@@ -1,0 +1,54 @@
+//! Baseline RCA algorithms the paper compares against (§6.1.2).
+//!
+//! All six comparators are reimplemented from their papers' method
+//! descriptions (the originals are closed-source or unmaintained):
+//!
+//! * [`MaxDuration`] — the SRE rule of thumb: the instance with the
+//!   largest aggregate exclusive duration is the root cause of a slow
+//!   trace; exclusive-error spans (found by DFS) are the root cause of
+//!   an error trace.
+//! * [`Threshold`] — per-operation percentile thresholds flag slow
+//!   spans; their services are root causes. Errors as in `MaxDuration`.
+//! * [`TraceAnomaly`] (Liu et al., ISSRE '20) — a variational
+//!   autoencoder over the trace's service-latency vector detects
+//!   anomalies; anomalous spans are flagged with the 3-sigma rule and
+//!   the root cause is read off the longest anomalous path.
+//! * [`RealtimeRca`] (Cai et al., IEEE Access '19) — spans outside the
+//!   95% confidence interval of their historical latency are anomalous;
+//!   a linear model attributes the end-to-end latency variance and the
+//!   top contributor is the root cause.
+//! * [`Sage`] (Gan et al., ASPLOS '21) — counterfactual RCA over a
+//!   causal Bayesian network with **one generative model per
+//!   operation**. This reimplementation keeps the properties the
+//!   paper's experiments measure — parameter count and training time
+//!   grow with application size, the models are keyed to the RPC
+//!   topology (so topology changes orphan them), and no cross-
+//!   application transfer is possible — while approximating each
+//!   per-node GVAE with a small per-operation regressor trained by
+//!   gradient descent.
+//! * [`DeepTraLog`] (Zhang et al., ICSE '22) — a gated-GNN embedding
+//!   trained with a Deep-SVDD objective; used in the paper as an
+//!   alternative *clustering distance* (§6.2). The SVDD objective pulls
+//!   embeddings toward a common centre, which is exactly the failure
+//!   mode the paper reports (distinct root causes cluster together).
+//!
+//! Every algorithm implements [`RootCauseLocator`], the interface the
+//! evaluation harness drives.
+
+pub mod common;
+pub mod deeptralog;
+pub mod linear_sem;
+pub mod max_duration;
+pub mod realtime;
+pub mod sage;
+pub mod threshold;
+pub mod trace_anomaly;
+
+pub use common::{OpKey, OpProfile, RootCauseLocator};
+pub use deeptralog::DeepTraLog;
+pub use linear_sem::LinearSem;
+pub use max_duration::MaxDuration;
+pub use realtime::RealtimeRca;
+pub use sage::Sage;
+pub use threshold::Threshold;
+pub use trace_anomaly::TraceAnomaly;

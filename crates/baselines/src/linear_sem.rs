@@ -1,0 +1,304 @@
+//! Linear structural equation model (SEM) ablation.
+//!
+//! §3.4 argues that the causal impact of a child RPC on its parent is
+//! inherently non-linear (a child only enters the critical path when it
+//! outlasts its siblings; timeouts cap its impact), so "it is impossible
+//! to accurately model the causal relationship with a linear model, such
+//! as linear structural equation modeling". This module implements that
+//! linear SEM so the claim can be measured: per-operation ridge
+//! regressions `d_parent = w·[1, d*, Σ children, max child]` fitted in
+//! closed form, used for the same counterfactual RCA loop.
+
+use std::collections::HashMap;
+
+use sleuth_trace::{exclusive, transform, Trace};
+
+use crate::common::{OpKey, OpProfile, RootCauseLocator};
+
+const FEATS: usize = 4;
+
+/// One operation's linear mechanism.
+#[derive(Debug, Clone, PartialEq)]
+struct LinearNode {
+    /// Regression weights over `[1, d*, Σ child, max child]` (scaled).
+    w: [f32; FEATS],
+}
+
+/// The linear-SEM baseline.
+#[derive(Debug, Clone)]
+pub struct LinearSem {
+    profile: OpProfile,
+    nodes: HashMap<OpKey, LinearNode>,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// Maximum root-cause candidates restored.
+    pub max_candidates: usize,
+}
+
+fn scale(d: f64) -> f32 {
+    transform::scale_duration_f32(d as f32)
+}
+
+fn unscale(s: f32) -> f64 {
+    10f64.powf((s as f64 + 4.0).clamp(-8.0, 8.0))
+}
+
+fn features(d_star_scaled: f32, children_us: &[f64]) -> [f32; FEATS] {
+    let sum: f64 = children_us.iter().sum();
+    let max = children_us.iter().copied().fold(0.0f64, f64::max);
+    [1.0, d_star_scaled, scale(sum), scale(max)]
+}
+
+/// Solve `(XᵀX + λI) w = Xᵀy` by Gaussian elimination (4×4).
+fn ridge_solve(xs: &[[f32; FEATS]], ys: &[f32], lambda: f64) -> [f32; FEATS] {
+    let mut a = [[0f64; FEATS + 1]; FEATS];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..FEATS {
+            for j in 0..FEATS {
+                a[i][j] += x[i] as f64 * x[j] as f64;
+            }
+            a[i][FEATS] += x[i] as f64 * y as f64;
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..FEATS {
+        let pivot = (col..FEATS)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        a.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for row in 0..FEATS {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / diag;
+            for k in col..=FEATS {
+                a[row][k] -= factor * a[col][k];
+            }
+        }
+    }
+    let mut w = [0f32; FEATS];
+    for i in 0..FEATS {
+        let diag = a[i][i];
+        w[i] = if diag.abs() < 1e-12 {
+            0.0
+        } else {
+            (a[i][FEATS] / diag) as f32
+        };
+    }
+    w
+}
+
+impl LinearSem {
+    /// Fit per-operation linear mechanisms from a training corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn fit(traces: &[Trace]) -> Self {
+        assert!(!traces.is_empty(), "training corpus must be non-empty");
+        let profile = OpProfile::fit(traces);
+        let mut samples: HashMap<OpKey, (Vec<[f32; FEATS]>, Vec<f32>)> = HashMap::new();
+        for t in traces {
+            let ex_d = exclusive::exclusive_durations(t);
+            for (i, s) in t.iter() {
+                if t.children(i).is_empty() {
+                    continue;
+                }
+                let children: Vec<f64> = t
+                    .children(i)
+                    .iter()
+                    .map(|&c| t.span(c).duration_us() as f64)
+                    .collect();
+                let entry = samples.entry(OpKey::of(s)).or_default();
+                entry.0.push(features(scale(ex_d[i] as f64), &children));
+                entry.1.push(scale(s.duration_us() as f64));
+            }
+        }
+        let lambda = 1e-3;
+        let nodes = samples
+            .into_iter()
+            .map(|(key, (xs, ys))| {
+                (
+                    key,
+                    LinearNode {
+                        w: ridge_solve(&xs, &ys, lambda),
+                    },
+                )
+            })
+            .collect();
+        LinearSem {
+            profile,
+            nodes,
+            lambda,
+            max_candidates: 3,
+        }
+    }
+
+    /// Bottom-up prediction of the root duration (µs) under exclusive-
+    /// duration overrides (scaled), mirroring the GNN's generative pass.
+    pub fn predict(&self, trace: &Trace, overrides: &HashMap<usize, f32>) -> f64 {
+        let ex_d = exclusive::exclusive_durations(trace);
+        let n = trace.len();
+        let mut d_hat = vec![0f32; n];
+        for i in (0..n).rev() {
+            let ds = overrides
+                .get(&i)
+                .copied()
+                .unwrap_or_else(|| scale(ex_d[i] as f64));
+            let kids = trace.children(i);
+            if kids.is_empty() {
+                d_hat[i] = ds;
+                continue;
+            }
+            let children: Vec<f64> = kids.iter().map(|&c| unscale(d_hat[c])).collect();
+            let x = features(ds, &children);
+            if let Some(node) = self.nodes.get(&OpKey::of(trace.span(i))) {
+                d_hat[i] = x
+                    .iter()
+                    .zip(&node.w)
+                    .map(|(xi, wi)| xi * wi)
+                    .sum::<f32>();
+            } else {
+                let max = children.iter().copied().fold(0.0f64, f64::max);
+                d_hat[i] = scale(unscale(ds) + max);
+            }
+        }
+        unscale(d_hat[trace.root()])
+    }
+
+    /// Mean squared error of scaled root-duration predictions over a
+    /// corpus (for the non-linearity ablation).
+    pub fn reconstruction_mse(&self, traces: &[Trace]) -> f64 {
+        let mut total = 0.0;
+        for t in traces {
+            let pred = self.predict(t, &HashMap::new());
+            let err = scale(pred) as f64 - scale(t.total_duration_us() as f64) as f64;
+            total += err * err;
+        }
+        total / traces.len() as f64
+    }
+}
+
+impl RootCauseLocator for LinearSem {
+    fn name(&self) -> &str {
+        "linear-sem"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        let ex_d = exclusive::exclusive_durations(trace);
+        // Rank services by excess exclusive duration.
+        let mut score: HashMap<&str, f64> = HashMap::new();
+        for (i, s) in trace.iter() {
+            let med = self
+                .profile
+                .get(&OpKey::of(s))
+                .map(|st| st.median_exclusive_us as f64)
+                .unwrap_or(0.0);
+            *score.entry(s.service.as_str()).or_default() +=
+                (ex_d[i] as f64 - med).max(0.0);
+        }
+        let mut ranked: Vec<(&str, f64)> = score.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(b.0)));
+
+        // Counterfactual restoration with the linear mechanisms.
+        let slo = self
+            .profile
+            .robust_root_slo_us(&OpKey::of(trace.span(trace.root()))) as f64;
+        let mut overrides: HashMap<usize, f32> = HashMap::new();
+        let mut restored = Vec::new();
+        for (svc, _) in ranked.into_iter().take(self.max_candidates) {
+            for (i, s) in trace.iter() {
+                if s.service == svc {
+                    let med = self
+                        .profile
+                        .get(&OpKey::of(s))
+                        .map(|st| st.median_exclusive_us)
+                        .unwrap_or(0);
+                    overrides.insert(i, scale(med.min(ex_d[i]) as f64));
+                }
+            }
+            restored.push(svc.to_string());
+            if self.predict(trace, &overrides) <= slo {
+                return restored;
+            }
+        }
+        restored.truncate(1);
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_synth::presets;
+    use sleuth_synth::workload::CorpusBuilder;
+
+    fn corpus() -> Vec<Trace> {
+        let app = presets::synthetic(16, 1);
+        CorpusBuilder::new(&app).seed(12).normal_traces(150).plain_traces()
+    }
+
+    #[test]
+    fn ridge_solves_known_system() {
+        // y = 2·x1 + 3·x3 exactly.
+        let xs: Vec<[f32; 4]> = (0..40)
+            .map(|i| {
+                let a = (i % 7) as f32;
+                let b = (i % 5) as f32;
+                [1.0, a, b, a + b]
+            })
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[1] + 3.0 * x[3]).collect();
+        let w = ridge_solve(&xs, &ys, 1e-6);
+        let pred: f32 = xs[7].iter().zip(&w).map(|(x, wi)| x * wi).sum();
+        assert!((pred - ys[7]).abs() < 1e-2, "pred {pred} vs {}", ys[7]);
+    }
+
+    #[test]
+    fn fits_and_predicts_reasonably_on_healthy_traces() {
+        let traces = corpus();
+        let sem = LinearSem::fit(&traces);
+        let mse = sem.reconstruction_mse(&traces);
+        assert!(mse.is_finite());
+        // Linear SEM should be rough but not absurd on healthy data.
+        assert!(mse < 2.0, "mse {mse}");
+    }
+
+    #[test]
+    fn localize_returns_candidates() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(13);
+        let traces = builder.normal_traces(150).plain_traces();
+        let sem = LinearSem::fit(&traces);
+        let queries = builder.anomaly_queries(3, 10);
+        for q in &queries {
+            for st in &q.traces {
+                let pred = sem.localize(&st.trace);
+                assert!(pred.len() <= sem.max_candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let traces = corpus();
+        let a = LinearSem::fit(&traces);
+        let b = LinearSem::fit(&traces);
+        assert_eq!(
+            a.predict(&traces[0], &HashMap::new()),
+            b.predict(&traces[0], &HashMap::new())
+        );
+    }
+}

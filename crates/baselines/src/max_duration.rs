@@ -1,0 +1,111 @@
+//! The "max exclusive duration" rule (§6.1.2).
+
+use std::collections::HashMap;
+
+use sleuth_trace::{exclusive, Trace};
+
+use crate::common::{exclusive_error_services, RootCauseLocator};
+
+/// Max-duration baseline: for a slow trace, the service aggregating the
+/// largest total exclusive duration is the root cause; for an error
+/// trace, the services holding exclusive errors are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxDuration;
+
+impl MaxDuration {
+    /// Create the (stateless) locator.
+    pub fn new() -> Self {
+        MaxDuration
+    }
+}
+
+impl RootCauseLocator for MaxDuration {
+    fn name(&self) -> &str {
+        "max-duration"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        if trace.is_error() {
+            let errs = exclusive_error_services(trace);
+            if !errs.is_empty() {
+                return errs;
+            }
+        }
+        let ex = exclusive::exclusive_durations(trace);
+        let mut by_service: HashMap<&str, u64> = HashMap::new();
+        for (i, s) in trace.iter() {
+            *by_service.entry(s.service.as_str()).or_default() += ex[i];
+        }
+        by_service
+            .into_iter()
+            .max_by_key(|&(name, total)| (total, std::cmp::Reverse(name.to_string())))
+            .map(|(name, _)| vec![name.to_string()])
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind, StatusCode};
+
+    fn trace_with_slow_db() -> Trace {
+        Trace::assemble(vec![
+            Span::builder(1, 1, "front", "GET /").time(0, 10_000).build(),
+            Span::builder(1, 2, "cart", "Get")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(500, 9_500)
+                .build(),
+            Span::builder(1, 3, "db", "query")
+                .parent(2)
+                .kind(SpanKind::Client)
+                .time(600, 9_400)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn slow_trace_blames_biggest_exclusive() {
+        // db span is a leaf with 8800µs exclusive; front 1000; cart 200.
+        let got = MaxDuration::new().localize(&trace_with_slow_db());
+        assert_eq!(got, vec!["db".to_string()]);
+    }
+
+    #[test]
+    fn error_trace_blames_exclusive_error() {
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "front", "GET /")
+                .time(0, 1_000)
+                .status(StatusCode::Error)
+                .build(),
+            Span::builder(1, 2, "auth", "Check")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(100, 300)
+                .status(StatusCode::Error)
+                .build(),
+        ])
+        .unwrap();
+        // Both errored; auth's is exclusive (leaf), front's propagated.
+        assert_eq!(MaxDuration::new().localize(&t), vec!["auth".to_string()]);
+    }
+
+    #[test]
+    fn error_trace_without_exclusive_falls_back_to_duration() {
+        // Root errored but no child errored either — root itself holds
+        // the exclusive error, so DFS finds it.
+        let t = Trace::assemble(vec![Span::builder(1, 1, "front", "GET /")
+            .time(0, 1_000)
+            .status(StatusCode::Error)
+            .build()])
+        .unwrap();
+        assert_eq!(MaxDuration::new().localize(&t), vec!["front".to_string()]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(MaxDuration::new().name(), "max-duration");
+    }
+}

@@ -1,0 +1,159 @@
+//! Realtime RCA (Cai et al., IEEE Access '19) reimplementation.
+//!
+//! Spans are compared with their historical normal latency; a span
+//! outside the 95% confidence interval is anomalous. Each operation's
+//! contribution to the end-to-end latency variance is estimated with a
+//! linear regression learned offline, and the most significant
+//! anomalous span is the origin of the anomaly.
+
+use std::collections::HashMap;
+
+use sleuth_trace::Trace;
+
+use crate::common::{exclusive_error_services, OpKey, OpProfile, RootCauseLocator};
+
+/// The Realtime RCA baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealtimeRca {
+    profile: OpProfile,
+    /// Per-operation slope of end-to-end latency vs span latency
+    /// (cov(d_op, total) / var(d_op)).
+    weights: HashMap<OpKey, f64>,
+}
+
+impl RealtimeRca {
+    /// Fit historical statistics and regression weights.
+    pub fn fit(traces: &[Trace]) -> Self {
+        let profile = OpProfile::fit(traces);
+        // Gather per-op samples of (span duration, trace total).
+        let mut samples: HashMap<OpKey, Vec<(f64, f64)>> = HashMap::new();
+        for t in traces {
+            let total = t.total_duration_us() as f64;
+            for (_, s) in t.iter() {
+                samples
+                    .entry(OpKey::of(s))
+                    .or_default()
+                    .push((s.duration_us() as f64, total));
+            }
+        }
+        let weights = samples
+            .into_iter()
+            .map(|(key, pts)| {
+                let n = pts.len() as f64;
+                let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+                let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+                let cov = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+                let var = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum::<f64>() / n;
+                let w = if var > 0.0 { (cov / var).max(0.0) } else { 0.0 };
+                (key, w)
+            })
+            .collect();
+        RealtimeRca { profile, weights }
+    }
+}
+
+impl RootCauseLocator for RealtimeRca {
+    fn name(&self) -> &str {
+        "realtime-rca"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        if trace.is_error() {
+            let errs = exclusive_error_services(trace);
+            if !errs.is_empty() {
+                return errs;
+            }
+        }
+        // Anomalous spans: outside the 95% CI of historical latency.
+        let mut best: Option<(f64, &str)> = None;
+        for (i, s) in trace.iter() {
+            // Skip the root: its latency is the effect being explained.
+            if i == trace.root() {
+                continue;
+            }
+            let key = OpKey::of(s);
+            let Some(st) = self.profile.get(&key) else {
+                continue;
+            };
+            let d = s.duration_us() as f64;
+            if (d - st.mean_us).abs() <= 1.96 * st.std_us {
+                continue;
+            }
+            let w = self.weights.get(&key).copied().unwrap_or(0.0);
+            let contribution = w * (d - st.mean_us);
+            if best.map(|(c, _)| contribution > c).unwrap_or(true) {
+                best = Some((contribution, s.service.as_str()));
+            }
+        }
+        best.map(|(_, svc)| vec![svc.to_string()]).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind, StatusCode};
+
+    fn mk(id: u64, cart: u64, db: u64) -> Trace {
+        Trace::assemble(vec![
+            Span::builder(id, 1, "front", "GET /").time(0, 1_000 + cart + db).build(),
+            Span::builder(id, 2, "cart", "Get")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 10 + cart)
+                .build(),
+            Span::builder(id, 3, "db", "query")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(20 + cart, 20 + cart + db)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    fn corpus() -> Vec<Trace> {
+        (0..100)
+            .map(|i| mk(i, 2_000 + 41 * (i % 13), 500 + 17 * (i % 11)))
+            .collect()
+    }
+
+    #[test]
+    fn blames_top_contributing_anomalous_span() {
+        let algo = RealtimeRca::fit(&corpus());
+        let anomaly = mk(999, 2_100, 90_000);
+        assert_eq!(algo.localize(&anomaly), vec!["db".to_string()]);
+    }
+
+    #[test]
+    fn healthy_trace_yields_nothing() {
+        let algo = RealtimeRca::fit(&corpus());
+        assert!(algo.localize(&mk(999, 2_200, 550)).is_empty());
+    }
+
+    #[test]
+    fn error_traces_use_exclusive_errors() {
+        let algo = RealtimeRca::fit(&corpus());
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "front", "GET /")
+                .time(0, 3_000)
+                .status(StatusCode::Error)
+                .build(),
+            Span::builder(1, 2, "pay", "Charge")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 200)
+                .status(StatusCode::Error)
+                .build(),
+        ])
+        .unwrap();
+        assert_eq!(algo.localize(&t), vec!["pay".to_string()]);
+    }
+
+    #[test]
+    fn larger_deviation_with_equal_weight_wins() {
+        let algo = RealtimeRca::fit(&corpus());
+        // Both anomalous; cart deviates by much more.
+        let anomaly = mk(999, 200_000, 5_000);
+        assert_eq!(algo.localize(&anomaly), vec!["cart".to_string()]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Sage (Gan et al., ASPLOS '21) reimplementation.
+//!
+//! Sage builds a causal Bayesian network from the RPC dependency graph
+//! and trains a **separate generative model per node** (a graphical
+//! VAE); root causes are found with counterfactual queries that restore
+//! candidate services to their normal state and re-generate the trace.
+//!
+//! This reimplementation approximates each per-node GVAE with a small
+//! per-operation MLP regressor. The properties Sleuth's evaluation
+//! measures are preserved exactly:
+//!
+//! * one model per operation → parameter count and training time grow
+//!   linearly with application size (Fig. 5),
+//! * models are keyed to the topology → service updates orphan them and
+//!   accuracy collapses until retraining (Fig. 6),
+//! * nothing transfers across applications (Fig. 7),
+//! * inference is counterfactual, so accuracy is competitive at small
+//!   scale (Table 3).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth_tensor::nn::{Activation, Mlp, Params};
+use sleuth_tensor::optim::{Adam, Optimizer};
+use sleuth_tensor::{Tape, Tensor};
+use sleuth_trace::{exclusive, transform, Trace};
+
+use crate::common::{OpKey, OpProfile, RootCauseLocator};
+
+const FEATS: usize = 5;
+
+/// One per-operation generative model.
+#[derive(Debug, Clone)]
+struct NodeModel {
+    params: Params,
+    mlp: Mlp,
+}
+
+/// The Sage baseline.
+#[derive(Debug, Clone)]
+pub struct Sage {
+    profile: OpProfile,
+    models: HashMap<OpKey, NodeModel>,
+    /// Wall-clock spent in the last [`Sage::fit`].
+    pub fit_wall: Duration,
+    /// Maximum root-cause candidates restored before giving up.
+    pub max_candidates: usize,
+}
+
+fn scale(d: f64) -> f32 {
+    transform::scale_duration_f32(d as f32)
+}
+
+fn unscale(s: f32) -> f64 {
+    10f64.powf((s as f64 + 4.0).clamp(-8.0, 8.0))
+}
+
+impl Sage {
+    /// Fit per-operation models from a training corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn fit(traces: &[Trace], epochs: usize, seed: u64) -> Self {
+        assert!(!traces.is_empty(), "training corpus must be non-empty");
+        let start = Instant::now();
+        let profile = OpProfile::fit(traces);
+
+        // Gather training samples per parent operation.
+        let mut samples: HashMap<OpKey, (Vec<Vec<f32>>, Vec<f32>, Vec<f32>)> = HashMap::new();
+        for t in traces {
+            let ex_d = exclusive::exclusive_durations(t);
+            let ex_e = exclusive::exclusive_errors(t);
+            for (i, s) in t.iter() {
+                if t.children(i).is_empty() {
+                    continue;
+                }
+                let feats = features(
+                    scale(ex_d[i] as f64),
+                    if ex_e[i] { 1.0 } else { 0.0 },
+                    t.children(i)
+                        .iter()
+                        .map(|&c| {
+                            (
+                                t.span(c).duration_us() as f64,
+                                if t.span(c).is_error() { 1.0 } else { 0.0 },
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .as_slice(),
+                );
+                let entry = samples.entry(OpKey::of(s)).or_default();
+                entry.0.push(feats);
+                entry.1.push(scale(s.duration_us() as f64));
+                entry.2.push(if s.is_error() { 1.0 } else { 0.0 });
+            }
+        }
+
+        // Train one model per operation (keys sorted so the shared RNG
+        // is consumed in a deterministic order).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut models = HashMap::new();
+        let mut ordered: Vec<(OpKey, (Vec<Vec<f32>>, Vec<f32>, Vec<f32>))> =
+            samples.into_iter().collect();
+        ordered.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, (xs, d_targets, e_targets)) in ordered {
+            let mut params = Params::new();
+            let mlp = Mlp::new(&mut params, &[FEATS, 32, 32, 2], Activation::Tanh, &mut rng);
+            let x = Tensor::from_rows(xs);
+            let mut adam = Adam::new(1e-2);
+            for _ in 0..epochs {
+                let tape = Tape::new();
+                let bound = params.bind(&tape);
+                let xin = tape.leaf(x.clone());
+                let out = mlp.forward(&tape, &bound, xin);
+                let dhat = tape.slice_cols(out, 0, 1);
+                let elogit = tape.slice_cols(out, 1, 2);
+                let eprob = tape.sigmoid(elogit);
+                let mse = tape.mse_loss(dhat, &d_targets);
+                let bce = tape.bce_loss(eprob, &e_targets);
+                let loss = tape.add(mse, bce);
+                let grads = tape.backward(loss);
+                adam.step(&mut params, &bound, &grads);
+            }
+            models.insert(key, NodeModel { params, mlp });
+        }
+
+        Sage {
+            profile,
+            models,
+            fit_wall: start.elapsed(),
+            max_candidates: 3,
+        }
+    }
+
+    /// Number of per-operation models (grows with application size).
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Total trainable scalars across all node models.
+    pub fn num_parameters(&self) -> usize {
+        self.models
+            .values()
+            .map(|m| m.params.num_scalars())
+            .sum()
+    }
+
+    /// Generative bottom-up prediction of the trace's root duration (µs)
+    /// and error probability, with optional per-span exclusive-feature
+    /// overrides `(span index → (scaled d*, e*))`.
+    pub fn predict(
+        &self,
+        trace: &Trace,
+        overrides: &HashMap<usize, (f32, f32)>,
+    ) -> (f64, f32) {
+        let ex_d = exclusive::exclusive_durations(trace);
+        let ex_e = exclusive::exclusive_errors(trace);
+        let n = trace.len();
+        let mut d_hat = vec![0f32; n];
+        let mut e_hat = vec![0f32; n];
+        for i in (0..n).rev() {
+            let (ds, es) = overrides.get(&i).copied().unwrap_or((
+                scale(ex_d[i] as f64),
+                if ex_e[i] { 1.0 } else { 0.0 },
+            ));
+            let kids = trace.children(i);
+            if kids.is_empty() {
+                d_hat[i] = ds;
+                e_hat[i] = es;
+                continue;
+            }
+            let child_states: Vec<(f64, f32)> = kids
+                .iter()
+                .map(|&c| (unscale(d_hat[c]), e_hat[c]))
+                .collect();
+            let key = OpKey::of(trace.span(i));
+            if let Some(model) = self.models.get(&key) {
+                let feats = features(ds, es, &child_states);
+                let x = Tensor::new(vec![1, FEATS], feats);
+                let out = model.mlp.infer(&model.params, &x);
+                d_hat[i] = out.data()[0];
+                e_hat[i] = 1.0 / (1.0 + (-out.data()[1]).exp());
+            } else {
+                // Topology changed: no model for this node. Fall back to
+                // a crude structural guess (this is what degrades Sage
+                // under service updates).
+                let max_child = child_states
+                    .iter()
+                    .map(|c| c.0)
+                    .fold(0.0f64, f64::max);
+                d_hat[i] = scale(unscale(ds) + max_child);
+                let max_child_err = child_states.iter().map(|c| c.1).fold(0.0f32, f32::max);
+                e_hat[i] = es.max(max_child_err);
+            }
+        }
+        (unscale(d_hat[trace.root()]), e_hat[trace.root()])
+    }
+
+    fn is_normal(&self, trace: &Trace, pred_d_us: f64, pred_e: f32) -> bool {
+        let slo = self.profile.root_slo_us(&OpKey::of(trace.span(trace.root())));
+        pred_e < 0.5 && (slo == u64::MAX || pred_d_us <= slo as f64)
+    }
+}
+
+/// Features of a parent span given its (possibly counterfactual)
+/// exclusive state and child states `(duration µs, error prob)`.
+fn features(d_star_scaled: f32, e_star: f32, children: &[(f64, f32)]) -> Vec<f32> {
+    let sum: f64 = children.iter().map(|c| c.0).sum();
+    let max = children.iter().map(|c| c.0).fold(0.0f64, f64::max);
+    let err_frac = if children.is_empty() {
+        0.0
+    } else {
+        children.iter().map(|c| c.1).sum::<f32>() / children.len() as f32
+    };
+    vec![d_star_scaled, e_star, scale(sum), scale(max), err_frac]
+}
+
+impl RootCauseLocator for Sage {
+    fn name(&self) -> &str {
+        "sage"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        let ex_d = exclusive::exclusive_durations(trace);
+        let ex_e = exclusive::exclusive_errors(trace);
+
+        // Rank candidate services by exclusive errors and excess
+        // exclusive duration vs their normal median.
+        let mut score: HashMap<&str, f64> = HashMap::new();
+        for (i, s) in trace.iter() {
+            let key = OpKey::of(s);
+            let median = self
+                .profile
+                .get(&key)
+                .map(|st| st.median_exclusive_us as f64)
+                .unwrap_or(0.0);
+            let excess = (ex_d[i] as f64 - median).max(0.0);
+            let err_bonus = if ex_e[i] { 1e9 } else { 0.0 };
+            *score.entry(s.service.as_str()).or_default() += excess + err_bonus;
+        }
+        let mut candidates: Vec<(&str, f64)> = score.into_iter().collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(b.0)));
+
+        // Iteratively restore candidates until the counterfactual trace
+        // is predicted normal.
+        let mut overrides: HashMap<usize, (f32, f32)> = HashMap::new();
+        let mut restored: Vec<String> = Vec::new();
+        for (svc, _) in candidates.into_iter().take(self.max_candidates) {
+            for (i, s) in trace.iter() {
+                if s.service == svc {
+                    let key = OpKey::of(s);
+                    let med = self
+                        .profile
+                        .get(&key)
+                        .map(|st| st.median_exclusive_us)
+                        .unwrap_or(0);
+                    overrides.insert(i, (scale(med as f64), 0.0));
+                }
+            }
+            restored.push(svc.to_string());
+            let (d, e) = self.predict(trace, &overrides);
+            if self.is_normal(trace, d, e) {
+                return restored;
+            }
+        }
+        restored.truncate(1);
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_synth::chaos::ChaosEngine;
+    use sleuth_synth::presets;
+    use sleuth_synth::workload::CorpusBuilder;
+
+    fn corpus_and_app() -> (Vec<Trace>, sleuth_synth::App) {
+        let app = presets::synthetic(16, 1);
+        let traces = CorpusBuilder::new(&app)
+            .seed(3)
+            .normal_traces(150)
+            .plain_traces();
+        (traces, app)
+    }
+
+    #[test]
+    fn model_count_scales_with_app() {
+        let (small_traces, _) = corpus_and_app();
+        let small = Sage::fit(&small_traces, 5, 1);
+        let app = presets::synthetic(64, 1);
+        let big_traces = CorpusBuilder::new(&app)
+            .seed(3)
+            .normal_traces(150)
+            .plain_traces();
+        let big = Sage::fit(&big_traces, 5, 1);
+        assert!(big.num_models() > small.num_models());
+        assert!(big.num_parameters() > small.num_parameters());
+    }
+
+    #[test]
+    fn healthy_traces_predicted_normal() {
+        let (traces, _) = corpus_and_app();
+        let sage = Sage::fit(&traces, 30, 1);
+        let mut ok = 0;
+        for t in traces.iter().take(40) {
+            let (d, e) = sage.predict(t, &HashMap::new());
+            if sage.is_normal(t, d, e) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 30, "only {ok}/40 healthy traces predicted normal");
+    }
+
+    #[test]
+    fn localizes_injected_fault_service() {
+        let (traces, app) = corpus_and_app();
+        let sage = Sage::fit(&traces, 30, 1);
+        let chaos = ChaosEngine::default();
+        let builder = CorpusBuilder::new(&app).seed(5).chaos(chaos);
+        let queries = builder.anomaly_queries(10, 15);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in &queries {
+            for st in &q.traces {
+                total += 1;
+                let pred = sage.localize(&st.trace);
+                if pred.iter().any(|p| st.ground_truth.services.contains(p)) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits * 2 > total,
+            "sage found the injected service in only {hits}/{total} traces"
+        );
+    }
+
+    #[test]
+    fn prediction_deterministic() {
+        let (traces, _) = corpus_and_app();
+        let a = Sage::fit(&traces, 5, 9);
+        let b = Sage::fit(&traces, 5, 9);
+        let (da, ea) = a.predict(&traces[0], &HashMap::new());
+        let (db, eb) = b.predict(&traces[0], &HashMap::new());
+        assert_eq!(da, db);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn unseen_topology_uses_fallback() {
+        let (traces, _) = corpus_and_app();
+        let sage = Sage::fit(&traces, 5, 1);
+        // A trace from a different application: no models match.
+        let foreign = sleuth_trace::Trace::assemble(vec![
+            sleuth_trace::Span::builder(1, 1, "alien", "Z").time(0, 50_000).build(),
+            sleuth_trace::Span::builder(1, 2, "alien-db", "q")
+                .parent(1)
+                .time(10, 40_000)
+                .build(),
+        ])
+        .unwrap();
+        let (d, _e) = sage.predict(&foreign, &HashMap::new());
+        assert!(d.is_finite());
+        // Localization still returns something (the fallback path).
+        let _ = sage.localize(&foreign);
+    }
+}

@@ -1,0 +1,117 @@
+//! Percentile-threshold baseline (§6.1.2).
+
+use sleuth_trace::Trace;
+
+use crate::common::{exclusive_error_services, OpKey, OpProfile, RootCauseLocator};
+
+/// Threshold baseline: spans whose duration exceeds their operation's
+/// historical percentile threshold are "high-latency spans"; their
+/// services are the root causes of a slow trace. Error traces use the
+/// exclusive-error DFS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Threshold {
+    profile: OpProfile,
+    /// Threshold multiplier applied to the p95 (1.0 = plain p95).
+    pub multiplier: f64,
+}
+
+impl Threshold {
+    /// Fit thresholds from a training corpus.
+    pub fn fit(traces: &[Trace]) -> Self {
+        Threshold {
+            profile: OpProfile::fit(traces),
+            multiplier: 1.0,
+        }
+    }
+
+    /// Fit with an explicit multiplier over the p95 threshold.
+    pub fn fit_with_multiplier(traces: &[Trace], multiplier: f64) -> Self {
+        Threshold {
+            profile: OpProfile::fit(traces),
+            multiplier,
+        }
+    }
+}
+
+impl RootCauseLocator for Threshold {
+    fn name(&self) -> &str {
+        "threshold"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        if trace.is_error() {
+            let errs = exclusive_error_services(trace);
+            if !errs.is_empty() {
+                return errs;
+            }
+        }
+        let mut out: Vec<String> = Vec::new();
+        for (_, s) in trace.iter() {
+            let Some(st) = self.profile.get(&OpKey::of(s)) else {
+                continue;
+            };
+            if s.duration_us() as f64 > st.p95_us as f64 * self.multiplier
+                && !out.contains(&s.service)
+            {
+                out.push(s.service.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind};
+
+    fn mk(id: u64, front_d: u64, db_d: u64) -> Trace {
+        Trace::assemble(vec![
+            Span::builder(id, 1, "front", "GET /").time(0, front_d).build(),
+            Span::builder(id, 2, "db", "query")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 10 + db_d)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn flags_spans_over_p95() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000 + i, 100 + i % 7)).collect();
+        let algo = Threshold::fit(&train);
+        // db slow, front normal.
+        let anomaly = mk(999, 1_050, 50_000);
+        let got = algo.localize(&anomaly);
+        assert_eq!(got, vec!["db".to_string()]);
+    }
+
+    #[test]
+    fn healthy_trace_yields_nothing() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000 + i, 100)).collect();
+        let algo = Threshold::fit(&train);
+        assert!(algo.localize(&mk(999, 1_010, 100)).is_empty());
+    }
+
+    #[test]
+    fn unseen_operations_are_ignored() {
+        let train: Vec<Trace> = (0..10).map(|i| mk(i, 1_000, 100)).collect();
+        let algo = Threshold::fit(&train);
+        let novel = Trace::assemble(vec![Span::builder(1, 1, "ghost", "op")
+            .time(0, 1_000_000)
+            .build()])
+        .unwrap();
+        assert!(algo.localize(&novel).is_empty());
+    }
+
+    #[test]
+    fn multiplier_raises_bar() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000, 100 + i % 7)).collect();
+        let strict = Threshold::fit(&train);
+        let lax = Threshold::fit_with_multiplier(&train, 100.0);
+        let anomaly = mk(999, 1_000, 1_000);
+        assert_eq!(strict.localize(&anomaly), vec!["db".to_string()]);
+        assert!(lax.localize(&anomaly).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! TraceAnomaly (Liu et al., ISSRE '20) reimplementation.
+//!
+//! A variational autoencoder learns the distribution of a trace's
+//! service-latency vector; anomalous spans are flagged with the
+//! three-sigma rule and the root cause is the deepest anomalous span on
+//! the longest anomalous path.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth_tensor::nn::{Activation, Mlp, Params};
+use sleuth_tensor::optim::{Adam, Optimizer};
+use sleuth_tensor::{Tape, Tensor};
+use sleuth_trace::{transform, Trace};
+
+use crate::common::{exclusive_error_services, OpKey, OpProfile, RootCauseLocator};
+
+/// Sentinel for operations absent from a trace (≈ 1 µs in scaled space).
+const ABSENT: f32 = -4.0;
+
+/// The TraceAnomaly baseline.
+#[derive(Debug, Clone)]
+pub struct TraceAnomaly {
+    vocab: HashMap<OpKey, usize>,
+    profile: OpProfile,
+    params: Params,
+    encoder: Mlp,
+    decoder: Mlp,
+    z_dim: usize,
+    /// p95 reconstruction error over the training set (detection
+    /// threshold).
+    threshold: f32,
+}
+
+impl TraceAnomaly {
+    /// Fit the VAE on a training corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn fit(traces: &[Trace], epochs: usize, seed: u64) -> Self {
+        assert!(!traces.is_empty(), "training corpus must be non-empty");
+        let profile = OpProfile::fit(traces);
+        let mut keys: Vec<OpKey> = profile.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        let vocab: HashMap<OpKey, usize> =
+            keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
+        let v = vocab.len().max(1);
+        let z_dim = 8usize.min(v.max(2));
+        let hidden = 32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let encoder = Mlp::new(&mut params, &[v, hidden, 2 * z_dim], Activation::Tanh, &mut rng);
+        let decoder = Mlp::new(&mut params, &[z_dim, hidden, v], Activation::Tanh, &mut rng);
+        let mut model = TraceAnomaly {
+            vocab,
+            profile,
+            params,
+            encoder,
+            decoder,
+            z_dim,
+            threshold: f32::MAX,
+        };
+
+        let vectors: Vec<Vec<f32>> = traces.iter().map(|t| model.vectorize(t)).collect();
+        let x = Tensor::from_rows(vectors.clone());
+        let mut adam = Adam::new(5e-3);
+        for _ in 0..epochs {
+            let tape = Tape::new();
+            let bound = model.params.bind(&tape);
+            let xin = tape.leaf(x.clone());
+            let enc = model.encoder.forward(&tape, &bound, xin);
+            let mu = tape.slice_cols(enc, 0, model.z_dim);
+            let logvar = tape.slice_cols(enc, model.z_dim, 2 * model.z_dim);
+            let eps = tape.leaf(Tensor::randn(&[x.rows(), model.z_dim], 1.0, &mut rng));
+            let std = tape.exp(tape.scale(logvar, 0.5));
+            let z = tape.add(mu, tape.mul(std, eps));
+            let recon = model.decoder.forward(&tape, &bound, z);
+            let mse = tape.mse_loss(recon, x.data());
+            // KL(q||N(0,I)) = -0.5 Σ (1 + logvar - mu² - e^logvar)
+            let kl_inner = tape.sub(
+                tape.add_scalar(logvar, 1.0),
+                tape.add(tape.square(mu), tape.exp(logvar)),
+            );
+            let kl = tape.scale(tape.mean(kl_inner), -0.5);
+            let beta = 0.05f32;
+            let loss = tape.add(mse, tape.scale(kl, beta));
+            let grads = tape.backward(loss);
+            adam.step(&mut model.params, &bound, &grads);
+        }
+
+        let mut scores: Vec<f32> = vectors.iter().map(|v| model.score_vec(v)).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        model.threshold = scores[(scores.len() * 95 / 100).min(scores.len() - 1)];
+        model
+    }
+
+    /// Encode a trace as its service-latency vector.
+    fn vectorize(&self, trace: &Trace) -> Vec<f32> {
+        let mut v = vec![ABSENT; self.vocab.len().max(1)];
+        let mut counts = vec![0u32; v.len()];
+        for (_, s) in trace.iter() {
+            if let Some(&idx) = self.vocab.get(&OpKey::of(s)) {
+                let d = transform::scale_duration(s.duration_us());
+                if counts[idx] == 0 {
+                    v[idx] = d;
+                } else {
+                    v[idx] += d;
+                }
+                counts[idx] += 1;
+            }
+        }
+        for (val, &c) in v.iter_mut().zip(&counts) {
+            if c > 1 {
+                *val /= c as f32;
+            }
+        }
+        v
+    }
+
+    fn score_vec(&self, v: &[f32]) -> f32 {
+        let x = Tensor::new(vec![1, v.len()], v.to_vec());
+        let enc = self.encoder.infer(&self.params, &x);
+        let mu = Tensor::new(
+            vec![1, self.z_dim],
+            enc.data()[..self.z_dim].to_vec(),
+        );
+        let recon = self.decoder.infer(&self.params, &mu);
+        recon
+            .data()
+            .iter()
+            .zip(v)
+            .map(|(&r, &t)| (r - t) * (r - t))
+            .sum::<f32>()
+            / v.len() as f32
+    }
+
+    /// Reconstruction-error anomaly score of a trace.
+    pub fn anomaly_score(&self, trace: &Trace) -> f32 {
+        self.score_vec(&self.vectorize(trace))
+    }
+
+    /// Whether the trace's score exceeds the training p95 threshold.
+    pub fn is_anomalous(&self, trace: &Trace) -> bool {
+        self.anomaly_score(trace) > self.threshold
+    }
+}
+
+impl RootCauseLocator for TraceAnomaly {
+    fn name(&self) -> &str {
+        "trace-anomaly"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        // Three-sigma anomalous spans.
+        let mut anomalous: Vec<usize> = Vec::new();
+        for (i, s) in trace.iter() {
+            if let Some(st) = self.profile.get(&OpKey::of(s)) {
+                if s.duration_us() as f64 > st.mean_us + 3.0 * st.std_us {
+                    anomalous.push(i);
+                }
+            }
+        }
+        // Deepest anomalous span on the longest anomalous path.
+        if let Some(&deepest) = anomalous.iter().max_by_key(|&&i| trace.depth(i)) {
+            return vec![trace.span(deepest).service.clone()];
+        }
+        if trace.is_error() {
+            return exclusive_error_services(trace);
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind};
+
+    fn mk(id: u64, front: u64, cart: u64, db: u64) -> Trace {
+        Trace::assemble(vec![
+            Span::builder(id, 1, "front", "GET /").time(0, front).build(),
+            Span::builder(id, 2, "cart", "Get")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 10 + cart)
+                .build(),
+            Span::builder(id, 3, "db", "query")
+                .parent(2)
+                .kind(SpanKind::Client)
+                .time(20, 20 + db)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    fn train_corpus() -> Vec<Trace> {
+        (0..80)
+            .map(|i| mk(i, 10_000 + 50 * (i % 9), 5_000 + 30 * (i % 7), 1_000 + 20 * (i % 5)))
+            .collect()
+    }
+
+    #[test]
+    fn three_sigma_blames_deepest_anomalous_span() {
+        let algo = TraceAnomaly::fit(&train_corpus(), 10, 1);
+        // db wildly slow — also inflates cart and front, but db is
+        // deepest.
+        let anomaly = mk(999, 120_000, 110_000, 100_000);
+        assert_eq!(algo.localize(&anomaly), vec!["db".to_string()]);
+    }
+
+    #[test]
+    fn healthy_trace_scores_below_anomaly() {
+        let algo = TraceAnomaly::fit(&train_corpus(), 40, 2);
+        let healthy = mk(999, 10_100, 5_050, 1_010);
+        let anomaly = mk(998, 500_000, 480_000, 470_000);
+        assert!(algo.anomaly_score(&healthy) < algo.anomaly_score(&anomaly));
+    }
+
+    #[test]
+    fn healthy_trace_localizes_nothing() {
+        let algo = TraceAnomaly::fit(&train_corpus(), 10, 3);
+        assert!(algo.localize(&mk(999, 10_050, 5_020, 1_005)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let a = TraceAnomaly::fit(&train_corpus(), 5, 7);
+        let b = TraceAnomaly::fit(&train_corpus(), 5, 7);
+        let t = mk(999, 20_000, 15_000, 12_000);
+        assert_eq!(a.anomaly_score(&t), b.anomaly_score(&t));
+    }
+}

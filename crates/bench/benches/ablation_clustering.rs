@@ -1,0 +1,8 @@
+//! Ablation: clustering algorithm and its accuracy/inference trade-off.
+
+fn main() {
+    bench::run_experiment("ablation_clustering", |scale| {
+        let r = sleuth_eval::experiments::ablation_clustering(scale);
+        (r.table(), r)
+    });
+}

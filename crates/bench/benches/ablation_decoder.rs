@@ -1,0 +1,8 @@
+//! Ablation: GNN decoder vs linear SEM (§3.4's non-linearity claim).
+
+fn main() {
+    bench::run_experiment("ablation_decoder", |scale| {
+        let r = sleuth_eval::experiments::ablation_decoder(scale);
+        (r.table(), r)
+    });
+}

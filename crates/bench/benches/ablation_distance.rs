@@ -1,0 +1,8 @@
+//! Ablation: Eq. 1 weighted Jaccard vs tree edit distance (§3.3.1).
+
+fn main() {
+    bench::run_experiment("ablation_distance", |scale| {
+        let r = sleuth_eval::experiments::ablation_distance(scale);
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,8 @@
+//! Figure 1: n-sigma rule accuracy vs microservice scale.
+
+fn main() {
+    bench::run_experiment("fig1_nsigma", |scale| {
+        let r = sleuth_eval::experiments::fig1_nsigma(scale);
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,8 @@
+//! Figure 3: span-duration CDF (log-scale skew).
+
+fn main() {
+    bench::run_experiment("fig3_duration_cdf", |scale| {
+        let r = sleuth_eval::experiments::fig3_duration_cdf(scale);
+        (r.table(), r)
+    });
+}

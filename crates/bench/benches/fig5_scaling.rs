@@ -1,0 +1,8 @@
+//! Figure 5: training/inference time scaling, Sleuth vs Sage.
+
+fn main() {
+    bench::run_experiment("fig5_scaling", |scale| {
+        let r = sleuth_eval::experiments::fig5_scaling(scale);
+        (r.table(), r)
+    });
+}

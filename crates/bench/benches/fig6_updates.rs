@@ -1,0 +1,8 @@
+//! Figure 6: live accuracy under service updates A–D.
+
+fn main() {
+    bench::run_experiment("fig6_updates", |scale| {
+        let r = sleuth_eval::experiments::fig6_updates(scale);
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,8 @@
+//! Figure 7: transfer learning across applications.
+
+fn main() {
+    bench::run_experiment("fig7_transfer", |scale| {
+        let r = sleuth_eval::experiments::fig7_transfer(scale);
+        (r.table(), r)
+    });
+}

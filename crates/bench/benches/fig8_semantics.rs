@@ -1,0 +1,8 @@
+//! Figure 8: sensitivity to span semantic information.
+
+fn main() {
+    bench::run_experiment("fig8_semantics", |scale| {
+        let r = sleuth_eval::experiments::fig8_semantics(scale);
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! trace assembly, exclusive-duration computation, the Eq. 1 distance,
+//! HDBSCAN, semantic embedding, and per-trace GNN inference (the
+//! paper's "<1 s for a thousand-span trace" claim, §3.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth_cluster::{hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
+use sleuth_embed::SemanticEmbedder;
+use sleuth_gnn::{Featurizer, ModelConfig, SleuthModel};
+use sleuth_synth::chaos::FaultPlan;
+use sleuth_synth::presets;
+use sleuth_synth::Simulator;
+use sleuth_trace::{exclusive, Trace};
+
+fn sample_traces(n_rpcs: usize, count: usize) -> Vec<Trace> {
+    let app = presets::synthetic(n_rpcs, 1);
+    let sim = Simulator::new(&app);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    (0..count)
+        .map(|i| sim.simulate(0, &FaultPlan::healthy(), i as u64, &mut rng).trace)
+        .collect()
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let traces = sample_traces(64, 8);
+    let spans: Vec<_> = traces[0].spans().to_vec();
+
+    c.bench_function("trace_assemble_127_spans", |b| {
+        b.iter_batched(
+            || spans.clone(),
+            |s| Trace::assemble(s).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("exclusive_durations_127_spans", |b| {
+        b.iter(|| exclusive::exclusive_durations(&traces[0]))
+    });
+
+    let encoder = TraceSetEncoder::new(3);
+    c.bench_function("traceset_encode_127_spans", |b| {
+        b.iter(|| encoder.encode(&traces[0]))
+    });
+
+    let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
+    c.bench_function("jaccard_distance_pair", |b| {
+        b.iter(|| sleuth_cluster::distance::trace_distance(&sets[0], &sets[1]))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let traces = sample_traces(16, 60);
+    let encoder = TraceSetEncoder::new(3);
+    let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
+    c.bench_function("distance_matrix_60_traces", |b| {
+        b.iter(|| DistanceMatrix::from_sets(&sets))
+    });
+    let dm = DistanceMatrix::from_sets(&sets);
+    c.bench_function("hdbscan_60_traces", |b| {
+        b.iter(|| {
+            hdbscan(
+                &dm,
+                &HdbscanParams {
+                    min_cluster_size: 5,
+                    min_samples: 3,
+                    cluster_selection_epsilon: 0.0,
+                    allow_single_cluster: true,
+                },
+            )
+        })
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let embedder = SemanticEmbedder::new(64);
+    c.bench_function("semantic_embed_operation_name", |b| {
+        b.iter(|| embedder.embed("payment RecordTransaction /api/v2/charge"))
+    });
+}
+
+fn bench_gnn_inference(c: &mut Criterion) {
+    let model = SleuthModel::new(&ModelConfig::default(), 1);
+    let mut featurizer = Featurizer::new(8);
+    for n_rpcs in [64usize, 256] {
+        let traces = sample_traces(n_rpcs, 1);
+        let enc = featurizer.encode(&traces[0]);
+        c.bench_function(&format!("gnn_generative_inference_{}_spans", enc.len()), |b| {
+            b.iter(|| model.predict(&enc))
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trace_pipeline, bench_clustering, bench_embedding, bench_gnn_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Table 1: benchmark specifications.
+
+fn main() {
+    bench::run_experiment("table1_specs", |_scale| {
+        let r = sleuth_eval::experiments::table1_specs();
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,8 @@
+//! Table 3: F1/ACC of all RCA algorithms on all benchmarks.
+
+fn main() {
+    bench::run_experiment("table3_accuracy", |scale| {
+        let r = sleuth_eval::experiments::table3_accuracy(scale);
+        (r.table(), r)
+    });
+}

@@ -1,0 +1,54 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every table and figure of the paper has a `harness = false` bench
+//! target that reruns the experiment, prints the paper-style table, and
+//! writes CSV + JSON artifacts under `target/experiments/`. Run the
+//! whole suite with `cargo bench --workspace`; set `SLEUTH_FULL=1` for
+//! paper-scale corpora.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use sleuth_eval::experiments::EvalScale;
+use sleuth_eval::Table;
+
+/// Directory experiment artifacts are written to
+/// (`<workspace>/target/experiments` regardless of the bench binary's
+/// working directory).
+pub fn artifact_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    target.join("experiments")
+}
+
+/// Run one experiment bench: execute, print, persist.
+pub fn run_experiment<R: Serialize>(name: &str, f: impl FnOnce(&EvalScale) -> (Table, R)) {
+    let scale = EvalScale::from_env();
+    let start = Instant::now();
+    let (table, result) = f(&scale);
+    let elapsed = start.elapsed();
+
+    println!("{}", table.render());
+    println!("[{name}] completed in {elapsed:.2?}\n");
+
+    let dir = artifact_dir();
+    if let Err(e) = table.write_csv(&dir.join(format!("{name}.csv"))) {
+        eprintln!("[{name}] could not write CSV: {e}");
+    }
+    match serde_json::to_string_pretty(&result) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(dir.join(format!("{name}.json")), json) {
+                eprintln!("[{name}] could not write JSON: {e}");
+            }
+        }
+        Err(e) => eprintln!("[{name}] could not serialise result: {e}"),
+    }
+}

@@ -1,0 +1,205 @@
+//! The extended weighted-Jaccard trace distance (Eq. 1).
+
+use crate::traceset::WeightedTraceSet;
+
+/// Distance between two weighted trace sets:
+///
+/// `d(A, B) = 1 − Σᵢ min(wᴬᵢ, wᴮᵢ) / Σᵢ max(wᴬᵢ, wᴮᵢ)`
+///
+/// over the union of elements, with absent elements weighted 0. The
+/// result lies in `[0, 1]`; two empty sets are at distance 0.
+pub fn trace_distance(a: &WeightedTraceSet, b: &WeightedTraceSet) -> f64 {
+    let mut inter = 0.0f64;
+    let mut union = 0.0f64;
+    let mut ita = a.elements().iter().peekable();
+    let mut itb = b.elements().iter().peekable();
+    loop {
+        match (ita.peek(), itb.peek()) {
+            (Some((&ka, &wa)), Some((&kb, &wb))) => {
+                if ka == kb {
+                    inter += wa.min(wb);
+                    union += wa.max(wb);
+                    ita.next();
+                    itb.next();
+                } else if ka < kb {
+                    union += wa;
+                    ita.next();
+                } else {
+                    union += wb;
+                    itb.next();
+                }
+            }
+            (Some((_, &wa)), None) => {
+                union += wa;
+                ita.next();
+            }
+            (None, Some((_, &wb))) => {
+                union += wb;
+                itb.next();
+            }
+            (None, None) => break,
+        }
+    }
+    if union <= 0.0 {
+        0.0
+    } else {
+        1.0 - inter / union
+    }
+}
+
+/// A symmetric pairwise distance matrix over `n` items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Condensed upper triangle, row-major, excluding the diagonal.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Compute all pairwise [`trace_distance`]s.
+    pub fn from_sets(sets: &[WeightedTraceSet]) -> Self {
+        Self::from_fn(sets.len(), |i, j| trace_distance(&sets[i], &sets[j]))
+    }
+
+    /// Build from an arbitrary symmetric distance function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(f(i, j));
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row a in the condensed triangle.
+        let row_start = a * self.n - a * (a + 1) / 2;
+        self.data[row_start + (b - a - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traceset::TraceSetEncoder;
+    use proptest::prelude::*;
+    use sleuth_trace::{Span, Trace};
+
+    fn set(pairs: &[(u64, f64)]) -> WeightedTraceSet {
+        let mut s = WeightedTraceSet::default();
+        for &(k, w) in pairs {
+            s.add(k, w);
+        }
+        s
+    }
+
+    #[test]
+    fn identity_distance_zero() {
+        let a = set(&[(1, 10.0), (2, 5.0)]);
+        assert_eq!(trace_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distance_one() {
+        let a = set(&[(1, 10.0)]);
+        let b = set(&[(2, 10.0)]);
+        assert_eq!(trace_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // inter = min(4,2)=2; union = max(4,2)+3 = 7 → d = 1 - 2/7
+        let a = set(&[(1, 4.0)]);
+        let b = set(&[(1, 2.0), (2, 3.0)]);
+        assert!((trace_distance(&a, &b) - (1.0 - 2.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_distance_zero() {
+        let e = WeightedTraceSet::default();
+        assert_eq!(trace_distance(&e, &e), 0.0);
+        let a = set(&[(1, 1.0)]);
+        assert_eq!(trace_distance(&e, &a), 1.0);
+    }
+
+    #[test]
+    fn high_duration_spans_dominate() {
+        // Shared heavy element with differing light elements → small
+        // distance; differing heavy elements → large distance.
+        let heavy_shared_a = set(&[(1, 1000.0), (2, 1.0)]);
+        let heavy_shared_b = set(&[(1, 1000.0), (3, 1.0)]);
+        let heavy_diff_a = set(&[(4, 1000.0), (2, 1.0)]);
+        let heavy_diff_b = set(&[(5, 1000.0), (2, 1.0)]);
+        assert!(
+            trace_distance(&heavy_shared_a, &heavy_shared_b)
+                < trace_distance(&heavy_diff_a, &heavy_diff_b)
+        );
+    }
+
+    #[test]
+    fn matrix_layout_and_diagonal() {
+        let sets = vec![set(&[(1, 1.0)]), set(&[(1, 1.0)]), set(&[(2, 1.0)])];
+        let dm = DistanceMatrix::from_sets(&sets);
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.get(0, 0), 0.0);
+        assert_eq!(dm.get(0, 1), 0.0);
+        assert_eq!(dm.get(1, 0), 0.0);
+        assert_eq!(dm.get(0, 2), 1.0);
+        assert_eq!(dm.get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn latency_shift_increases_distance_smoothly() {
+        let enc = TraceSetEncoder::new(3);
+        let mk = |d: u64| {
+            Trace::assemble(vec![Span::builder(1, 1, "s", "op").time(0, d).build()]).unwrap()
+        };
+        let base = enc.encode(&mk(1000));
+        let near = enc.encode(&mk(1100));
+        let far = enc.encode(&mk(100_000));
+        let dn = trace_distance(&base, &near);
+        let df = trace_distance(&base, &far);
+        assert!(dn < 0.2, "near distance {dn}");
+        assert!(df > 0.9, "far distance {df}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Symmetry, range, and identity over random weighted sets.
+        #[test]
+        fn prop_metric_axioms(
+            xs in proptest::collection::vec((0u64..20, 0.1f64..100.0), 0..12),
+            ys in proptest::collection::vec((0u64..20, 0.1f64..100.0), 0..12),
+        ) {
+            let a = set(&xs);
+            let b = set(&ys);
+            let dab = trace_distance(&a, &b);
+            let dba = trace_distance(&b, &a);
+            prop_assert!((dab - dba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&dab));
+            prop_assert!(trace_distance(&a, &a) == 0.0);
+        }
+    }
+}

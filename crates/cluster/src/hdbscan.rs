@@ -1,0 +1,540 @@
+//! HDBSCAN* density clustering (§3.3.2), plus plain DBSCAN.
+//!
+//! Implemented from scratch over a precomputed [`DistanceMatrix`]:
+//! core distances → mutual-reachability graph → minimum spanning tree
+//! (Prim) → single-linkage dendrogram → condensed tree with
+//! `min_cluster_size` → stability-based cluster extraction with
+//! `cluster_selection_epsilon`.
+
+use crate::distance::DistanceMatrix;
+
+/// HDBSCAN hyper-parameters. The paper initialises
+/// `min_cluster_size = 10`, `min_samples = 5`,
+/// `cluster_selection_epsilon = 1` and then adjusts them "according to
+/// the number and variation of the traces"; with the Eq. 1 distance
+/// normalised to `[0, 1]`, an epsilon of 1 collapses everything, so this
+/// implementation defaults epsilon to 0 and lets the pipeline adjust.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HdbscanParams {
+    /// Smallest group treated as a cluster.
+    pub min_cluster_size: usize,
+    /// Neighbourhood size used for core distances.
+    pub min_samples: usize,
+    /// Splits occurring below this distance are not taken.
+    pub cluster_selection_epsilon: f64,
+    /// Permit the hierarchy root itself to be selected (off by default,
+    /// as in reference implementations).
+    pub allow_single_cluster: bool,
+}
+
+impl Default for HdbscanParams {
+    fn default() -> Self {
+        HdbscanParams {
+            min_cluster_size: 10,
+            min_samples: 5,
+            cluster_selection_epsilon: 0.0,
+            allow_single_cluster: false,
+        }
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Per-item cluster label; `-1` marks noise.
+    pub labels: Vec<isize>,
+}
+
+impl Clustering {
+    /// Number of clusters (excluding noise).
+    pub fn n_clusters(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|&&l| l >= 0)
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Item indices belonging to cluster `c`.
+    pub fn members(&self, c: isize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Item indices labelled as noise.
+    pub fn noise(&self) -> Vec<usize> {
+        self.members(-1)
+    }
+}
+
+/// Run HDBSCAN* over a distance matrix.
+pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
+    let n = dist.len();
+    if n == 0 {
+        return Clustering { labels: vec![] };
+    }
+    let mcs = params.min_cluster_size.max(2);
+    if n < mcs {
+        return Clustering {
+            labels: vec![-1; n],
+        };
+    }
+
+    // 1. Core distances: distance to the k-th nearest neighbour
+    //    (k = min_samples, self excluded).
+    let k = params.min_samples.clamp(1, n - 1);
+    let mut core = vec![0.0f64; n];
+    for i in 0..n {
+        let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist.get(i, j)).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
+        core[i] = ds[k - 1];
+    }
+
+    // 2–3. Prim's MST over mutual reachability distances.
+    let mreach = |i: usize, j: usize| dist.get(i, j).max(core[i]).max(core[j]);
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = mreach(0, j);
+        best_from[j] = 0;
+    }
+    for _ in 1..n {
+        let (next, _) = best
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !in_tree[*j])
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("some vertex remains");
+        in_tree[next] = true;
+        edges.push((best[next], best_from[next], next));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = mreach(next, j);
+                if d < best[j] {
+                    best[j] = d;
+                    best_from[j] = next;
+                }
+            }
+        }
+    }
+
+    // 4. Single-linkage dendrogram via union-find over ascending edges.
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    // Dendrogram nodes: 0..n leaves, internal nodes appended.
+    let mut dendro_children: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut dendro_dist: Vec<f64> = vec![0.0; n];
+    let mut dendro_size: Vec<usize> = vec![1; n];
+    let mut uf_parent: Vec<usize> = (0..n).collect(); // union-find over points
+    let mut uf_node: Vec<usize> = (0..n).collect(); // current dendrogram node per set
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    for (w, a, b) in edges {
+        let ra = find(&mut uf_parent, a);
+        let rb = find(&mut uf_parent, b);
+        debug_assert_ne!(ra, rb, "MST edges never merge the same set twice");
+        let na = uf_node[ra];
+        let nb = uf_node[rb];
+        let new = dendro_children.len();
+        dendro_children.push(Some((na, nb)));
+        dendro_dist.push(w);
+        dendro_size.push(dendro_size[na] + dendro_size[nb]);
+        uf_parent[rb] = ra;
+        uf_node[ra] = new;
+    }
+    let root = dendro_children.len() - 1;
+
+    // 5. Condense the tree.
+    #[derive(Default)]
+    struct Cond {
+        parent: Vec<Option<usize>>,
+        birth_lambda: Vec<f64>,
+        children: Vec<Vec<usize>>,
+        stability: Vec<f64>,
+        /// Points that fell out of this cluster directly.
+        points: Vec<Vec<usize>>,
+    }
+    impl Cond {
+        fn new_cluster(&mut self, parent: Option<usize>, birth: f64) -> usize {
+            self.parent.push(parent);
+            self.birth_lambda.push(birth);
+            self.children.push(Vec::new());
+            self.stability.push(0.0);
+            self.points.push(Vec::new());
+            if let Some(p) = parent {
+                let id = self.parent.len() - 1;
+                self.children[p].push(id);
+            }
+            self.parent.len() - 1
+        }
+    }
+    let mut cond = Cond::default();
+    let root_cluster = cond.new_cluster(None, 0.0);
+
+    // Collect all leaf points under a dendrogram node.
+    let leaves_under = |node: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            match dendro_children[x] {
+                None => out.push(x),
+                Some((l, r)) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            }
+        }
+        out
+    };
+
+    let lambda_of = |d: f64| 1.0 / d.max(1e-12);
+
+    // Walk the dendrogram, tracking the condensed cluster each subtree
+    // belongs to.
+    let mut stack: Vec<(usize, usize)> = vec![(root, root_cluster)];
+    while let Some((node, cluster)) = stack.pop() {
+        let Some((l, r)) = dendro_children[node] else {
+            // Isolated leaf inside a cluster: it leaves when the cluster
+            // is exhausted; treated as falling out at its parent's merge
+            // lambda, which was already accounted by the caller. A leaf
+            // can only appear here as the dendrogram root (n == 1), which
+            // mcs >= 2 already excluded.
+            cond.points[cluster].push(node);
+            continue;
+        };
+        let lambda = lambda_of(dendro_dist[node]);
+        let (sl, sr) = (dendro_size[l], dendro_size[r]);
+        if sl >= mcs && sr >= mcs {
+            // True split: parent dies, two children are born.
+            cond.stability[cluster] +=
+                (sl + sr) as f64 * (lambda - cond.birth_lambda[cluster]);
+            let cl = cond.new_cluster(Some(cluster), lambda);
+            let cr = cond.new_cluster(Some(cluster), lambda);
+            stack.push((l, cl));
+            stack.push((r, cr));
+        } else if sl >= mcs {
+            // r falls out of the cluster.
+            for p in leaves_under(r) {
+                cond.points[cluster].push(p);
+                cond.stability[cluster] += lambda - cond.birth_lambda[cluster];
+            }
+            stack.push((l, cluster));
+        } else if sr >= mcs {
+            for p in leaves_under(l) {
+                cond.points[cluster].push(p);
+                cond.stability[cluster] += lambda - cond.birth_lambda[cluster];
+            }
+            stack.push((r, cluster));
+        } else {
+            // Cluster dissolves entirely.
+            for p in leaves_under(node) {
+                cond.points[cluster].push(p);
+                cond.stability[cluster] += lambda - cond.birth_lambda[cluster];
+            }
+        }
+    }
+
+    // 6. Stability-based selection with epsilon.
+    let n_clusters = cond.parent.len();
+    let mut selected = vec![false; n_clusters];
+    // Process bottom-up: children before parents (children have larger
+    // ids by construction).
+    let mut subtree_stability = cond.stability.clone();
+    for c in (0..n_clusters).rev() {
+        if cond.children[c].is_empty() {
+            selected[c] = true;
+            continue;
+        }
+        let child_sum: f64 = cond.children[c].iter().map(|&ch| subtree_stability[ch]).sum();
+        let split_dist = 1.0 / cond.birth_lambda[cond.children[c][0]].max(1e-12);
+        let is_root = c == root_cluster;
+        let epsilon_veto = split_dist < params.cluster_selection_epsilon;
+        let prefer_self = cond.stability[c] >= child_sum || epsilon_veto;
+        if prefer_self && (!is_root || params.allow_single_cluster) {
+            selected[c] = true;
+            // Deselect the entire subtree below.
+            let mut st = cond.children[c].clone();
+            while let Some(x) = st.pop() {
+                selected[x] = false;
+                st.extend(cond.children[x].iter().copied());
+            }
+            subtree_stability[c] = cond.stability[c];
+        } else {
+            subtree_stability[c] = child_sum.max(cond.stability[c]);
+        }
+    }
+    if !params.allow_single_cluster {
+        selected[root_cluster] = false;
+    }
+
+    // 7. Label points with the deepest selected ancestor cluster.
+    let mut labels = vec![-1isize; n];
+    let mut next_label = 0isize;
+    let mut label_of_cluster = vec![None::<isize>; n_clusters];
+    for c in 0..n_clusters {
+        if selected[c] {
+            label_of_cluster[c] = Some(next_label);
+            next_label += 1;
+        }
+    }
+    for c in 0..n_clusters {
+        // Find the nearest selected ancestor-or-self.
+        let mut cur = Some(c);
+        let mut label = None;
+        while let Some(x) = cur {
+            if let Some(l) = label_of_cluster[x] {
+                label = Some(l);
+                break;
+            }
+            cur = cond.parent[x];
+        }
+        if let Some(l) = label {
+            for &p in &cond.points[c] {
+                labels[p] = l;
+            }
+        }
+    }
+
+    Clustering { labels }
+}
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius.
+    pub eps: f64,
+    /// Minimum neighbourhood size (self included) for a core point.
+    pub min_points: usize,
+}
+
+/// Classic DBSCAN over a distance matrix.
+pub fn dbscan(dist: &DistanceMatrix, params: &DbscanParams) -> Clustering {
+    let n = dist.len();
+    let mut labels = vec![-2isize; n]; // -2 = unvisited, -1 = noise
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dist.get(i, j) <= params.eps).collect()
+    };
+    let mut cluster = 0isize;
+    for i in 0..n {
+        if labels[i] != -2 {
+            continue;
+        }
+        let ni = neighbours(i);
+        if ni.len() < params.min_points {
+            labels[i] = -1;
+            continue;
+        }
+        labels[i] = cluster;
+        let mut queue: Vec<usize> = ni;
+        while let Some(q) = queue.pop() {
+            if labels[q] == -1 {
+                labels[q] = cluster;
+            }
+            if labels[q] != -2 {
+                continue;
+            }
+            labels[q] = cluster;
+            let nq = neighbours(q);
+            if nq.len() >= params.min_points {
+                queue.extend(nq);
+            }
+        }
+        cluster += 1;
+    }
+    Clustering { labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix with two tight groups and optional noise points.
+    fn two_blobs(group: usize, noise: usize) -> DistanceMatrix {
+        let n = 2 * group + noise;
+        DistanceMatrix::from_fn(n, |i, j| {
+            let ga = blob_of(i, group, noise);
+            let gb = blob_of(j, group, noise);
+            match (ga, gb) {
+                (Some(a), Some(b)) if a == b => 0.05 + 0.001 * ((i + j) % 7) as f64,
+                (Some(_), Some(_)) => 0.6,
+                // True outliers: farther from everything than the blobs
+                // are from each other.
+                _ => 0.9 + 0.01 * ((i * 31 + j) % 7) as f64,
+            }
+        })
+    }
+
+    fn blob_of(i: usize, group: usize, _noise: usize) -> Option<usize> {
+        if i < group {
+            Some(0)
+        } else if i < 2 * group {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn hdbscan_separates_two_blobs() {
+        let dm = two_blobs(12, 0);
+        let c = hdbscan(
+            &dm,
+            &HdbscanParams {
+                min_cluster_size: 5,
+                min_samples: 3,
+                ..HdbscanParams::default()
+            },
+        );
+        assert_eq!(c.n_clusters(), 2);
+        // All members of one blob share a label.
+        let l0 = c.labels[0];
+        assert!(c.labels[..12].iter().all(|&l| l == l0));
+        let l1 = c.labels[12];
+        assert_ne!(l0, l1);
+        assert!(c.labels[12..].iter().all(|&l| l == l1));
+    }
+
+    #[test]
+    fn hdbscan_marks_outliers_noise() {
+        let dm = two_blobs(12, 3);
+        let c = hdbscan(
+            &dm,
+            &HdbscanParams {
+                min_cluster_size: 5,
+                min_samples: 3,
+                ..HdbscanParams::default()
+            },
+        );
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.noise().len(), 3);
+        assert!(c.labels[24..].iter().all(|&l| l == -1));
+    }
+
+    #[test]
+    fn hdbscan_small_input_all_noise() {
+        let dm = two_blobs(2, 0);
+        let c = hdbscan(&dm, &HdbscanParams::default());
+        assert!(c.labels.iter().all(|&l| l == -1));
+        assert_eq!(c.n_clusters(), 0);
+    }
+
+    #[test]
+    fn hdbscan_empty_input() {
+        let dm = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        let c = hdbscan(&dm, &HdbscanParams::default());
+        assert!(c.labels.is_empty());
+    }
+
+    #[test]
+    fn hdbscan_three_blobs() {
+        let n_per = 10;
+        let dm = DistanceMatrix::from_fn(3 * n_per, |i, j| {
+            if i / n_per == j / n_per {
+                0.02 + 0.001 * ((i + j) % 5) as f64
+            } else {
+                0.8
+            }
+        });
+        let c = hdbscan(
+            &dm,
+            &HdbscanParams {
+                min_cluster_size: 4,
+                min_samples: 3,
+                ..HdbscanParams::default()
+            },
+        );
+        assert_eq!(c.n_clusters(), 3);
+        for b in 0..3 {
+            let lab = c.labels[b * n_per];
+            assert!(lab >= 0);
+            assert!(c.labels[b * n_per..(b + 1) * n_per].iter().all(|&l| l == lab));
+        }
+    }
+
+    #[test]
+    fn epsilon_merges_fine_splits() {
+        // Two sub-blobs at distance 0.2, far from nothing else. With
+        // epsilon 0.5 the split at 0.2 must be vetoed → single cluster
+        // (allow_single_cluster enabled).
+        let n_per = 8;
+        let dm = DistanceMatrix::from_fn(2 * n_per, |i, j| {
+            if i / n_per == j / n_per {
+                0.02
+            } else {
+                0.2
+            }
+        });
+        let split = hdbscan(
+            &dm,
+            &HdbscanParams {
+                min_cluster_size: 4,
+                min_samples: 3,
+                cluster_selection_epsilon: 0.0,
+                allow_single_cluster: false,
+            },
+        );
+        assert_eq!(split.n_clusters(), 2);
+        let merged = hdbscan(
+            &dm,
+            &HdbscanParams {
+                min_cluster_size: 4,
+                min_samples: 3,
+                cluster_selection_epsilon: 0.5,
+                allow_single_cluster: true,
+            },
+        );
+        assert_eq!(merged.n_clusters(), 1);
+        assert!(merged.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn dbscan_two_blobs_and_noise() {
+        let dm = two_blobs(8, 2);
+        let c = dbscan(
+            &dm,
+            &DbscanParams {
+                eps: 0.1,
+                min_points: 4,
+            },
+        );
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.noise().len(), 2);
+    }
+
+    #[test]
+    fn dbscan_all_noise_when_eps_tiny() {
+        let dm = two_blobs(8, 0);
+        let c = dbscan(
+            &dm,
+            &DbscanParams {
+                eps: 0.001,
+                min_points: 3,
+            },
+        );
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.noise().len(), 16);
+    }
+
+    #[test]
+    fn clustering_accessors() {
+        let c = Clustering {
+            labels: vec![0, 0, 1, -1],
+        };
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.members(0), vec![0, 1]);
+        assert_eq!(c.members(1), vec![2]);
+        assert_eq!(c.noise(), vec![3]);
+    }
+}

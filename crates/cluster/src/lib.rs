@@ -1,0 +1,47 @@
+//! Trace clustering (§3.3).
+//!
+//! During an incident, hundreds or thousands of anomalous traces share a
+//! handful of failure modes; clustering them and running RCA only on one
+//! representative per cluster cuts ML inference by orders of magnitude.
+//! This crate implements the paper's clustering stack from scratch:
+//!
+//! * [`traceset`] — encoding a trace as a **weighted set** of span
+//!   identifiers (service, name, kind, error status, ancestor path up to
+//!   `d_max`), with span duration as the weight,
+//! * [`distance`] — the extended weighted-Jaccard distance of Eq. 1,
+//!   computable in `O(m)` per pair (vs `O(m² log² m)` for tree edit
+//!   distance),
+//! * [`hdbscan`] — the HDBSCAN* density clustering algorithm
+//!   (mutual-reachability MST → condensed tree → stability-based
+//!   extraction with `cluster_selection_epsilon`), plus a plain DBSCAN,
+//! * [`representative`] — geometric-median cluster representatives.
+//!
+//! # Example
+//!
+//! ```
+//! use sleuth_cluster::{DistanceMatrix, HdbscanParams, TraceSetEncoder};
+//! use sleuth_trace::{Span, Trace};
+//!
+//! # fn t(id: u64, d: u64) -> Trace {
+//! #     Trace::assemble(vec![Span::builder(id, 1, "s", "op").time(0, d).build()]).unwrap()
+//! # }
+//! let encoder = TraceSetEncoder::new(3);
+//! let sets: Vec<_> = [t(1, 100), t(2, 101), t(3, 90_000)]
+//!     .iter()
+//!     .map(|tr| encoder.encode(tr))
+//!     .collect();
+//! let dm = DistanceMatrix::from_sets(&sets);
+//! assert!(dm.get(0, 1) < dm.get(0, 2));
+//! ```
+
+pub mod distance;
+pub mod hdbscan;
+pub mod representative;
+pub mod ted;
+pub mod traceset;
+
+pub use distance::DistanceMatrix;
+pub use hdbscan::{dbscan, hdbscan, Clustering, DbscanParams, HdbscanParams};
+pub use representative::geometric_median;
+pub use ted::{normalized_ted, tree_edit_distance, OrderedTree};
+pub use traceset::{TraceSetEncoder, WeightedTraceSet};

@@ -1,0 +1,80 @@
+//! Cluster representatives (§3.3.2).
+//!
+//! After clustering, the trace with the minimum total distance to all
+//! other members — the geometric median — represents the cluster; its
+//! root causes are generalised to the whole cluster.
+
+use crate::distance::DistanceMatrix;
+use crate::hdbscan::Clustering;
+
+/// Index (within `members`) of the geometric median: the member with the
+/// minimal sum of distances to all other members. Ties resolve to the
+/// lower index.
+///
+/// Returns `None` for an empty member list.
+pub fn geometric_median(dist: &DistanceMatrix, members: &[usize]) -> Option<usize> {
+    members
+        .iter()
+        .map(|&i| {
+            let total: f64 = members.iter().map(|&j| dist.get(i, j)).sum();
+            (i, total)
+        })
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("distances are not NaN")
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(i, _)| i)
+}
+
+/// One representative per cluster of a [`Clustering`], as
+/// `(cluster_label, representative_item)` pairs ordered by label.
+pub fn representatives(dist: &DistanceMatrix, clustering: &Clustering) -> Vec<(isize, usize)> {
+    let mut out = Vec::new();
+    for c in 0..clustering.n_clusters() as isize {
+        let members = clustering.members(c);
+        if let Some(rep) = geometric_median(dist, &members) {
+            out.push((c, rep));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_line() {
+        // Points on a line at 0, 1, 2, 3, 10 — point 1 is the median of
+        // {0, 1, 2}; the far point 10 pulls the full median to 2.
+        let pos = [0.0f64, 1.0, 2.0, 3.0, 10.0];
+        let dm = DistanceMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs());
+        assert_eq!(geometric_median(&dm, &[0, 1, 2]), Some(1));
+        assert_eq!(geometric_median(&dm, &[0, 1, 2, 3, 4]), Some(2));
+    }
+
+    #[test]
+    fn median_of_singleton_and_empty() {
+        let dm = DistanceMatrix::from_fn(3, |_, _| 1.0);
+        assert_eq!(geometric_median(&dm, &[2]), Some(2));
+        assert_eq!(geometric_median(&dm, &[]), None);
+    }
+
+    #[test]
+    fn representatives_per_cluster() {
+        let pos = [0.0f64, 0.1, 0.2, 5.0, 5.1, 5.2];
+        let dm = DistanceMatrix::from_fn(6, |i, j| (pos[i] - pos[j]).abs());
+        let clustering = Clustering {
+            labels: vec![0, 0, 0, 1, 1, 1],
+        };
+        let reps = representatives(&dm, &clustering);
+        assert_eq!(reps, vec![(0, 1), (1, 4)]);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let dm = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        assert_eq!(geometric_median(&dm, &[0, 1]), Some(0));
+    }
+}

@@ -1,0 +1,288 @@
+//! Tree edit distance (Zhang–Shasha), the natural-but-slow trace
+//! distance the paper argues against (§3.3.1).
+//!
+//! Traces are ordered, labelled trees, so tree edit distance (TED) is
+//! the textbook similarity measure. The paper rejects it because even
+//! the state-of-the-art APTED implementation costs
+//! `O(m² log² m)`–`O(m⁴)` per pair, which is intractable for
+//! thousand-span traces. This module implements the classic
+//! Zhang–Shasha algorithm (`O(m² · min(depth, leaves)²)` time, `O(m²)`
+//! space) so the claim can be measured directly against the `O(m)`
+//! weighted-Jaccard distance (see the `ablation_distance` bench).
+
+use sleuth_trace::Trace;
+
+/// A labelled ordered tree in post-order form, ready for Zhang–Shasha.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedTree {
+    /// Node labels in post-order.
+    labels: Vec<u64>,
+    /// `l(i)`: post-order index of the leftmost leaf of the subtree
+    /// rooted at post-order node `i`.
+    leftmost: Vec<usize>,
+    /// Post-order indices of the keyroots (nodes with a left sibling,
+    /// plus the root), ascending.
+    keyroots: Vec<usize>,
+}
+
+fn fnv1a(s: &str, h: &mut u64) {
+    for b in s.as_bytes() {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+    *h ^= 0x1f;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+impl OrderedTree {
+    /// Convert a trace into an ordered tree labelled by
+    /// `(service, name, kind, error)` — the same identity fields the
+    /// weighted-Jaccard encoding uses.
+    pub fn from_trace(trace: &Trace) -> Self {
+        // Post-order traversal.
+        let mut post: Vec<usize> = Vec::with_capacity(trace.len());
+        fn rec(trace: &Trace, i: usize, post: &mut Vec<usize>) {
+            for &c in trace.children(i) {
+                rec(trace, c, post);
+            }
+            post.push(i);
+        }
+        rec(trace, trace.root(), &mut post);
+
+        let mut post_index = vec![0usize; trace.len()];
+        for (pi, &ti) in post.iter().enumerate() {
+            post_index[ti] = pi;
+        }
+
+        let labels = post
+            .iter()
+            .map(|&ti| {
+                let s = trace.span(ti);
+                let mut h = 0xcbf29ce484222325u64;
+                fnv1a(&s.service, &mut h);
+                fnv1a(&s.name, &mut h);
+                fnv1a(&s.kind.to_string(), &mut h);
+                fnv1a(if s.is_error() { "e" } else { "o" }, &mut h);
+                h
+            })
+            .collect();
+
+        // Leftmost leaf per post-order node.
+        let mut leftmost = vec![0usize; trace.len()];
+        for (pi, &ti) in post.iter().enumerate() {
+            let mut cur = ti;
+            while let Some(&first) = trace.children(cur).first() {
+                cur = first;
+            }
+            leftmost[pi] = post_index[cur];
+        }
+
+        // Keyroots: last node of each distinct leftmost value.
+        let mut keyroots = Vec::new();
+        for pi in 0..post.len() {
+            let is_keyroot = (pi + 1..post.len()).all(|q| leftmost[q] != leftmost[pi]);
+            if is_keyroot {
+                keyroots.push(pi);
+            }
+        }
+
+        OrderedTree {
+            labels,
+            leftmost,
+            keyroots,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the tree is empty (never true for assembled traces).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Zhang–Shasha tree edit distance with unit costs (insert, delete,
+/// relabel all cost 1).
+pub fn tree_edit_distance(a: &OrderedTree, b: &OrderedTree) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut treedist = vec![vec![0usize; m]; n];
+    // Forest-distance scratch: (n+1) x (m+1).
+    let mut fd = vec![vec![0usize; m + 1]; n + 1];
+
+    for &kr_a in &a.keyroots {
+        for &kr_b in &b.keyroots {
+            let la = a.leftmost[kr_a];
+            let lb = b.leftmost[kr_b];
+            // fd indices are offsets from (la-1, lb-1).
+            fd[0][0] = 0;
+            for i in la..=kr_a {
+                fd[i - la + 1][0] = fd[i - la][0] + 1;
+            }
+            for j in lb..=kr_b {
+                fd[0][j - lb + 1] = fd[0][j - lb] + 1;
+            }
+            for i in la..=kr_a {
+                for j in lb..=kr_b {
+                    let (ii, jj) = (i - la + 1, j - lb + 1);
+                    if a.leftmost[i] == la && b.leftmost[j] == lb {
+                        // Both forests are whole trees.
+                        let relabel = if a.labels[i] == b.labels[j] { 0 } else { 1 };
+                        let d = (fd[ii - 1][jj] + 1)
+                            .min(fd[ii][jj - 1] + 1)
+                            .min(fd[ii - 1][jj - 1] + relabel);
+                        fd[ii][jj] = d;
+                        treedist[i][j] = d;
+                    } else {
+                        let ta = a.leftmost[i].saturating_sub(la);
+                        let tb = b.leftmost[j].saturating_sub(lb);
+                        let d = (fd[ii - 1][jj] + 1)
+                            .min(fd[ii][jj - 1] + 1)
+                            .min(fd[ta][tb] + treedist[i][j]);
+                        fd[ii][jj] = d;
+                    }
+                }
+            }
+        }
+    }
+    treedist[n - 1][m - 1]
+}
+
+/// Normalised TED in `[0, 1]`: `ted / (|a| + |b|)`.
+pub fn normalized_ted(a: &OrderedTree, b: &OrderedTree) -> f64 {
+    let denom = a.len() + b.len();
+    if denom == 0 {
+        0.0
+    } else {
+        tree_edit_distance(a, b) as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind, StatusCode};
+
+    fn chain(names: &[&str]) -> Trace {
+        let spans: Vec<Span> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let b = Span::builder(1, i as u64 + 1, format!("s-{n}"), *n)
+                    .time(i as u64, 100 - i as u64);
+                if i > 0 {
+                    b.parent(i as u64).build()
+                } else {
+                    b.build()
+                }
+            })
+            .collect();
+        Trace::assemble(spans).unwrap()
+    }
+
+    fn star(root: &str, leaves: &[&str]) -> Trace {
+        let mut spans = vec![Span::builder(1, 1, format!("s-{root}"), root)
+            .time(0, 100)
+            .build()];
+        for (i, l) in leaves.iter().enumerate() {
+            spans.push(
+                Span::builder(1, 2 + i as u64, format!("s-{l}"), *l)
+                    .parent(1)
+                    .kind(SpanKind::Client)
+                    .time(10 + i as u64, 20 + i as u64)
+                    .build(),
+            );
+        }
+        Trace::assemble(spans).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        let a = OrderedTree::from_trace(&chain(&["a", "b", "c"]));
+        let b = OrderedTree::from_trace(&chain(&["a", "b", "c"]));
+        assert_eq!(tree_edit_distance(&a, &b), 0);
+        assert_eq!(normalized_ted(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn single_relabel_costs_one() {
+        let a = OrderedTree::from_trace(&chain(&["a", "b", "c"]));
+        let b = OrderedTree::from_trace(&chain(&["a", "b", "x"]));
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn single_insert_costs_one() {
+        let a = OrderedTree::from_trace(&chain(&["a", "b"]));
+        let b = OrderedTree::from_trace(&chain(&["a", "b", "c"]));
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn disjoint_trees_cost_full_rewrite() {
+        let a = OrderedTree::from_trace(&chain(&["a", "b"]));
+        let b = OrderedTree::from_trace(&chain(&["x", "y"]));
+        assert_eq!(tree_edit_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn structure_matters() {
+        // Same label multiset, different shape: chain vs star.
+        let a = OrderedTree::from_trace(&chain(&["r", "p", "q"]));
+        let b = OrderedTree::from_trace(&star("r", &["p", "q"]));
+        assert!(tree_edit_distance(&a, &b) > 0);
+    }
+
+    #[test]
+    fn error_status_changes_label() {
+        let healthy = chain(&["a", "b"]);
+        let mut spans: Vec<Span> = healthy.spans().to_vec();
+        spans[1].status = StatusCode::Error;
+        let errored = Trace::assemble(spans).unwrap();
+        let ta = OrderedTree::from_trace(&healthy);
+        let tb = OrderedTree::from_trace(&errored);
+        assert_eq!(tree_edit_distance(&ta, &tb), 1);
+    }
+
+    #[test]
+    fn symmetry_and_triangle_on_samples() {
+        let trees: Vec<OrderedTree> = [
+            chain(&["a", "b", "c"]),
+            chain(&["a", "x", "c"]),
+            star("a", &["b", "c", "d"]),
+            star("a", &["b"]),
+        ]
+        .iter()
+        .map(OrderedTree::from_trace)
+        .collect();
+        for i in 0..trees.len() {
+            assert_eq!(tree_edit_distance(&trees[i], &trees[i]), 0);
+            for j in 0..trees.len() {
+                let dij = tree_edit_distance(&trees[i], &trees[j]);
+                let dji = tree_edit_distance(&trees[j], &trees[i]);
+                assert_eq!(dij, dji, "symmetry {i},{j}");
+                for k in 0..trees.len() {
+                    let dik = tree_edit_distance(&trees[i], &trees[k]);
+                    let dkj = tree_edit_distance(&trees[k], &trees[j]);
+                    assert!(dij <= dik + dkj, "triangle {i},{j},{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_ted_bounded() {
+        let a = OrderedTree::from_trace(&chain(&["a", "b", "c", "d"]));
+        let b = OrderedTree::from_trace(&star("x", &["y", "z"]));
+        let d = normalized_ted(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+}

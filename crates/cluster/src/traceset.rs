@@ -1,0 +1,199 @@
+//! Weighted trace sets (§3.3.1).
+//!
+//! A trace is encoded as a weighted set whose elements identify a span
+//! by its service, operation name, kind, error status and the names of
+//! its ancestors within distance `d_max` (capturing the calling path);
+//! the element weight is the span duration, so long spans dominate the
+//! similarity — "more sensitive to high-duration spans as they
+//! contribute more significantly to the entire trace".
+
+use std::collections::BTreeMap;
+
+use sleuth_trace::Trace;
+
+/// Hash of a span identifier tuple. Two spans share an element iff
+/// their identifiers hash equally (64-bit FNV; collisions negligible at
+/// corpus scale).
+pub type ElementId = u64;
+
+/// A trace encoded as a weighted set of span identifiers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedTraceSet {
+    elements: BTreeMap<ElementId, f64>,
+}
+
+impl WeightedTraceSet {
+    /// The underlying `identifier → weight` map.
+    pub fn elements(&self) -> &BTreeMap<ElementId, f64> {
+        &self.elements
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Total weight `|S|` (Eq. 1).
+    pub fn total_weight(&self) -> f64 {
+        self.elements.values().sum()
+    }
+
+    /// Add weight to an element (merging duplicates by summation).
+    pub fn add(&mut self, id: ElementId, weight: f64) {
+        *self.elements.entry(id).or_insert(0.0) += weight;
+    }
+}
+
+fn fnv1a_str(h: &mut u64, s: &str) {
+    for b in s.as_bytes() {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+    // Field separator.
+    *h ^= 0x1f;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+/// Encodes traces into [`WeightedTraceSet`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSetEncoder {
+    /// How many ancestor names join the span identifier.
+    pub d_max: usize,
+}
+
+impl TraceSetEncoder {
+    /// Encoder including ancestors within `d_max` hops.
+    pub fn new(d_max: usize) -> Self {
+        TraceSetEncoder { d_max }
+    }
+
+    /// Encode one trace.
+    pub fn encode(&self, trace: &Trace) -> WeightedTraceSet {
+        let mut set = WeightedTraceSet::default();
+        for (i, span) in trace.iter() {
+            let mut h = 0xcbf29ce484222325u64;
+            fnv1a_str(&mut h, &span.service);
+            fnv1a_str(&mut h, &span.name);
+            fnv1a_str(&mut h, &span.kind.to_string());
+            fnv1a_str(&mut h, if span.is_error() { "err" } else { "ok" });
+            for (hop, anc) in trace.ancestors(i).into_iter().enumerate() {
+                if hop >= self.d_max {
+                    break;
+                }
+                fnv1a_str(&mut h, &trace.span(anc).name);
+            }
+            set.add(h, span.duration_us().max(1) as f64);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind, StatusCode};
+
+    fn chain(names: &[&str], durs: &[u64], err_last: bool) -> Trace {
+        let mut spans = Vec::new();
+        for (i, (&n, &d)) in names.iter().zip(durs).enumerate() {
+            let b = Span::builder(1, i as u64 + 1, format!("svc-{n}"), n)
+                .kind(if i == 0 { SpanKind::Server } else { SpanKind::Client })
+                .time(10 * i as u64, 10 * i as u64 + d);
+            let b = if i > 0 { b.parent(i as u64) } else { b };
+            let b = if err_last && i == names.len() - 1 {
+                b.status(StatusCode::Error)
+            } else {
+                b
+            };
+            spans.push(b.build());
+        }
+        Trace::assemble(spans).unwrap()
+    }
+
+    #[test]
+    fn identical_traces_identical_sets() {
+        let enc = TraceSetEncoder::new(3);
+        let a = chain(&["a", "b", "c"], &[100, 50, 20], false);
+        let b = chain(&["a", "b", "c"], &[100, 50, 20], false);
+        assert_eq!(enc.encode(&a), enc.encode(&b));
+    }
+
+    #[test]
+    fn total_weight_is_duration_sum() {
+        let enc = TraceSetEncoder::new(3);
+        let t = chain(&["a", "b"], &[100, 40], false);
+        assert_eq!(enc.encode(&t).total_weight(), 140.0);
+    }
+
+    #[test]
+    fn error_status_changes_identifier() {
+        let enc = TraceSetEncoder::new(3);
+        let ok = enc.encode(&chain(&["a", "b"], &[100, 40], false));
+        let err = enc.encode(&chain(&["a", "b"], &[100, 40], true));
+        assert_ne!(ok, err);
+        // Only the errored leaf's identifier changed.
+        let shared = ok
+            .elements()
+            .keys()
+            .filter(|k| err.elements().contains_key(*k))
+            .count();
+        assert_eq!(shared, 1);
+    }
+
+    #[test]
+    fn calling_path_distinguishes_same_leaf() {
+        // Same leaf op under different parents must differ when d_max>0…
+        let enc = TraceSetEncoder::new(2);
+        let via_b = chain(&["a", "b", "db.get"], &[100, 40, 10], false);
+        let via_c = chain(&["a", "c", "db.get"], &[100, 40, 10], false);
+        let sb = enc.encode(&via_b);
+        let sc = enc.encode(&via_c);
+        assert_ne!(sb, sc);
+
+        // …but with d_max = 0 the leaf identifiers coincide.
+        let enc0 = TraceSetEncoder::new(0);
+        let sb0 = enc0.encode(&via_b);
+        let sc0 = enc0.encode(&via_c);
+        let shared = sb0
+            .elements()
+            .keys()
+            .filter(|k| sc0.elements().contains_key(*k))
+            .count();
+        assert!(shared >= 2, "root and leaf should coincide, got {shared}");
+    }
+
+    #[test]
+    fn duplicate_spans_merge_weights() {
+        // Two identical sibling calls merge into one element with summed
+        // weight.
+        let spans = vec![
+            Span::builder(1, 1, "p", "P").time(0, 100).build(),
+            Span::builder(1, 2, "c", "get")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 30)
+                .build(),
+            Span::builder(1, 3, "c", "get")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(40, 70)
+                .build(),
+        ];
+        let t = Trace::assemble(spans).unwrap();
+        let set = TraceSetEncoder::new(3).encode(&t);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_weight(), 100.0 + 20.0 + 30.0);
+    }
+
+    #[test]
+    fn zero_duration_spans_get_unit_weight() {
+        let t = Trace::assemble(vec![Span::builder(1, 1, "s", "op").time(5, 5).build()]).unwrap();
+        let set = TraceSetEncoder::new(3).encode(&t);
+        assert_eq!(set.total_weight(), 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! SLO-based anomaly detection over traces.
+//!
+//! Sleuth is triggered by traces that violate their service-level
+//! objective (§3.1): an end-to-end latency above the flow's learned
+//! threshold, or an error at the root. The SLO is learned from a
+//! (mostly healthy) corpus as a percentile of per-root-operation
+//! latency.
+
+use sleuth_baselines::common::{OpKey, OpProfile};
+use sleuth_trace::Trace;
+
+/// Flags SLO-violating traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyDetector {
+    profile: OpProfile,
+    /// Multiplier on the learned p95 before a trace counts as slow.
+    pub slo_multiplier: f64,
+}
+
+impl AnomalyDetector {
+    /// Learn SLOs from a training corpus.
+    pub fn fit(traces: &[Trace]) -> Self {
+        AnomalyDetector {
+            profile: OpProfile::fit(traces),
+            slo_multiplier: 1.0,
+        }
+    }
+
+    /// Build from an existing operation profile.
+    pub fn from_profile(profile: OpProfile) -> Self {
+        AnomalyDetector {
+            profile,
+            slo_multiplier: 1.0,
+        }
+    }
+
+    /// The SLO (µs) applying to a trace, `u64::MAX` for unseen roots.
+    pub fn slo_us(&self, trace: &Trace) -> u64 {
+        let base = self.profile.root_slo_us(&OpKey::of(trace.span(trace.root())));
+        if base == u64::MAX {
+            u64::MAX
+        } else {
+            (base as f64 * self.slo_multiplier) as u64
+        }
+    }
+
+    /// Whether the trace violates its SLO (too slow or errored).
+    pub fn is_anomalous(&self, trace: &Trace) -> bool {
+        trace.is_error() || trace.total_duration_us() > self.slo_us(trace)
+    }
+
+    /// Indices of anomalous traces in a batch.
+    pub fn filter_anomalous(&self, traces: &[Trace]) -> Vec<usize> {
+        traces
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| self.is_anomalous(t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The underlying operation profile.
+    pub fn profile(&self) -> &OpProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, StatusCode};
+
+    fn mk(id: u64, d: u64, err: bool) -> Trace {
+        Trace::assemble(vec![Span::builder(id, 1, "front", "GET /")
+            .time(0, d)
+            .status(if err { StatusCode::Error } else { StatusCode::Ok })
+            .build()])
+        .unwrap()
+    }
+
+    #[test]
+    fn slow_traces_flagged() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000 + i, false)).collect();
+        let det = AnomalyDetector::fit(&train);
+        assert!(!det.is_anomalous(&mk(999, 1_050, false)));
+        assert!(det.is_anomalous(&mk(999, 50_000, false)));
+    }
+
+    #[test]
+    fn error_traces_always_flagged() {
+        let train: Vec<Trace> = (0..50).map(|i| mk(i, 1_000, false)).collect();
+        let det = AnomalyDetector::fit(&train);
+        assert!(det.is_anomalous(&mk(999, 100, true)));
+    }
+
+    #[test]
+    fn unseen_root_never_slow() {
+        let train: Vec<Trace> = (0..50).map(|i| mk(i, 1_000, false)).collect();
+        let det = AnomalyDetector::fit(&train);
+        let foreign = Trace::assemble(vec![Span::builder(1, 1, "x", "y")
+            .time(0, u64::MAX / 4)
+            .build()])
+        .unwrap();
+        assert_eq!(det.slo_us(&foreign), u64::MAX);
+        assert!(!det.is_anomalous(&foreign));
+    }
+
+    #[test]
+    fn multiplier_relaxes_slo() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000 + i, false)).collect();
+        let mut det = AnomalyDetector::fit(&train);
+        det.slo_multiplier = 100.0;
+        assert!(!det.is_anomalous(&mk(999, 50_000, false)));
+    }
+
+    #[test]
+    fn filter_batch() {
+        let train: Vec<Trace> = (0..100).map(|i| mk(i, 1_000 + i, false)).collect();
+        let det = AnomalyDetector::fit(&train);
+        let batch = vec![mk(1, 1_010, false), mk(2, 99_000, false), mk(3, 500, true)];
+        assert_eq!(det.filter_anomalous(&batch), vec![1, 2]);
+    }
+}

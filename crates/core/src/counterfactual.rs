@@ -1,0 +1,470 @@
+//! Counterfactual root cause localisation (§3.5).
+//!
+//! A counterfactual query asks what the trace's duration and error
+//! status *would have been* had a subset of spans been in their normal
+//! state. Sleuth aggregates spans by service (client spans affiliate
+//! with both caller and callee, because network faults at the callee
+//! surface in the caller's span), ranks services by exclusive errors
+//! plus excess exclusive duration, and restores them one by one —
+//! re-predicting the trace with the GNN generatively — until the trace
+//! is predicted normal. The restored set is the root cause.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use sleuth_baselines::common::{OpKey, OpProfile, RootCauseLocator};
+use sleuth_gnn::{Featurizer, SleuthModel};
+use sleuth_trace::{exclusive, transform, Trace};
+
+/// The Sleuth counterfactual localiser: a trained GNN plus the normal
+/// profile it restores spans against.
+#[derive(Debug)]
+pub struct CounterfactualRca {
+    model: SleuthModel,
+    featurizer: RefCell<Featurizer>,
+    profile: OpProfile,
+    /// Maximum services restored before giving up (then the top-ranked
+    /// candidate alone is reported).
+    pub max_candidates: usize,
+    /// Multiplier on the learned root p95 used as the "normal" bar.
+    pub slo_multiplier: f64,
+}
+
+impl CounterfactualRca {
+    /// Assemble the localiser from a trained model, its featurizer, and
+    /// the normal-state profile.
+    pub fn new(model: SleuthModel, featurizer: Featurizer, profile: OpProfile) -> Self {
+        CounterfactualRca {
+            model,
+            featurizer: RefCell::new(featurizer),
+            profile,
+            max_candidates: 5,
+            slo_multiplier: 1.0,
+        }
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &SleuthModel {
+        &self.model
+    }
+
+    /// The normal-state profile.
+    pub fn profile(&self) -> &OpProfile {
+        &self.profile
+    }
+
+    /// Services each span is affiliated with (§3.5): every span
+    /// affiliates with its own service; *client* spans additionally
+    /// affiliate with their callee services, because failures at the
+    /// callee (e.g. network faults) surface in the caller's span
+    /// without touching the callee's own spans.
+    fn affiliations(trace: &Trace, i: usize) -> Vec<&str> {
+        let s = trace.span(i);
+        let mut out = vec![s.service.as_str()];
+        if s.kind.is_caller() {
+            for &c in trace.children(i) {
+                let callee = trace.span(c).service.as_str();
+                if !out.contains(&callee) {
+                    out.push(callee);
+                }
+            }
+        }
+        out
+    }
+
+    /// Candidate services, most suspicious first: ranked by exclusive
+    /// errors and excess exclusive duration of all affiliated spans.
+    pub fn rank_candidates(&self, trace: &Trace) -> Vec<String> {
+        let ex_d = exclusive::exclusive_durations(trace);
+        let ex_e = exclusive::exclusive_errors(trace);
+        let mut score: HashMap<String, f64> = HashMap::new();
+        for (i, s) in trace.iter() {
+            let median = self
+                .profile
+                .get(&OpKey::of(s))
+                .map(|st| st.median_exclusive_us as f64)
+                .unwrap_or(0.0);
+            let excess = (ex_d[i] as f64 - median).max(0.0);
+            // Exclusive errors whose propagation chain reaches the root
+            // explain the trace's failure; broken-chain errors are
+            // bystanders and get only a weak bonus.
+            let err_bonus = if ex_e[i] {
+                if Self::error_chain_to_root(trace, i) {
+                    1e9
+                } else {
+                    1e5
+                }
+            } else {
+                0.0
+            };
+            let weight = excess + err_bonus;
+            // A client span's exclusive time is the network round trip
+            // to its callee, so its excess is evidence *against the
+            // callee* far more than against the caller (whose own
+            // compute shows up in its server spans). The caller keeps a
+            // small share to cover client-side stalls.
+            let is_caller_span = s.kind.is_caller();
+            for (a, svc) in Self::affiliations(trace, i).into_iter().enumerate() {
+                let share = if !is_caller_span {
+                    1.0
+                } else if a == 0 {
+                    0.2
+                } else {
+                    1.0
+                };
+                *score.entry(svc.to_string()).or_default() += weight * share;
+            }
+        }
+        let mut ranked: Vec<(String, f64)> = score.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// Whether every ancestor of `i` (inclusive) up to the root carries
+    /// an error — an unbroken propagation chain.
+    fn error_chain_to_root(trace: &Trace, i: usize) -> bool {
+        let mut cur = i;
+        loop {
+            if !trace.span(cur).is_error() {
+                return false;
+            }
+            match trace.parent(cur) {
+                Some(p) => cur = p,
+                None => return true,
+            }
+        }
+    }
+
+    /// Overrides restoring every span *affiliated with* `service` to its
+    /// normal state: exclusive duration = the operation's median, no
+    /// exclusive error.
+    fn restore_overrides(&self, trace: &Trace, service: &str, out: &mut Vec<(usize, f32, f32)>) {
+        let ex_d = exclusive::exclusive_durations(trace);
+        for (i, s) in trace.iter() {
+            if Self::affiliations(trace, i).contains(&service) {
+                let med = self
+                    .profile
+                    .get(&OpKey::of(s))
+                    .map(|st| st.median_exclusive_us)
+                    .unwrap_or(0);
+                // Only spans meaningfully above their normal state are
+                // restored: touching already-normal spans would shave
+                // ordinary median-to-observation noise off the whole
+                // service and masquerade as counterfactual savings.
+                let anomalous_duration = ex_d[i] > med.saturating_mul(2);
+                let target = if anomalous_duration { med } else { ex_d[i] };
+                out.push((i, transform::scale_duration(target), 0.0));
+            }
+        }
+    }
+
+    /// Whether predicted `(duration µs, error prob)` meets the SLO.
+    fn is_normal(&self, trace: &Trace, d_us: f32, e: f32) -> bool {
+        let slo = self
+            .profile
+            .robust_root_slo_us(&OpKey::of(trace.span(trace.root())));
+        let slow = slo != u64::MAX && d_us as f64 > slo as f64 * self.slo_multiplier;
+        e < 0.5 && !slow
+    }
+}
+
+
+/// Root-cause verdict at all three granularities (§3.5): services, and
+/// the pods/nodes those services' spans ran on, read off the span
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstanceVerdict {
+    /// Root-cause services.
+    pub services: Vec<String>,
+    /// Pods the root-cause services' spans ran on.
+    pub pods: Vec<String>,
+    /// Cluster nodes those pods were scheduled on.
+    pub nodes: Vec<String>,
+}
+
+impl CounterfactualRca {
+    /// Fraction of the best-achievable counterfactual savings a
+    /// candidate prefix must deliver before it is accepted.
+    const SAVINGS_COVERAGE: f32 = 0.9;
+
+    /// Localise the root cause and expand it to pod and node
+    /// granularity from the trace's placement attributes.
+    pub fn localize_instances(&self, trace: &Trace) -> InstanceVerdict {
+        let services = self.localize(trace);
+        let mut verdict = InstanceVerdict {
+            services,
+            ..InstanceVerdict::default()
+        };
+        for (_, s) in trace.iter() {
+            if verdict.services.contains(&s.service) {
+                if !s.pod.is_empty() && !verdict.pods.contains(&s.pod) {
+                    verdict.pods.push(s.pod.clone());
+                }
+                if !s.node.is_empty() && !verdict.nodes.contains(&s.node) {
+                    verdict.nodes.push(s.node.clone());
+                }
+            }
+        }
+        verdict
+    }
+}
+
+impl RootCauseLocator for CounterfactualRca {
+    fn name(&self) -> &str {
+        "sleuth"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        let enc = self.featurizer.borrow_mut().encode(trace);
+        let candidates: Vec<String> = self
+            .rank_candidates(trace)
+            .into_iter()
+            .take(self.max_candidates)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let actual = trace.total_duration_us() as f32;
+
+        // Counterfactual for a set of restored services (structural
+        // counterfactual with per-node abduction, §3.5).
+        let predict_set = |set: &[&String]| {
+            let mut overrides = Vec::new();
+            for svc in set {
+                self.restore_overrides(trace, svc, &mut overrides);
+            }
+            self.model.predict_counterfactual(&enc, &overrides)
+        };
+
+        // Best the model can explain: all candidates restored. Comparing
+        // each prefix against this *relative* ceiling cancels whatever
+        // share of the anomaly the model attributes to exogenous noise,
+        // so a partially-blind model still separates contributing from
+        // non-contributing candidates.
+        let all_refs: Vec<&String> = candidates.iter().collect();
+        let best = predict_set(&all_refs);
+        let best_savings = (actual - best.root_duration_us()).max(0.0);
+        let error_explainable = trace.is_error() && best.root_error_prob() < 0.5;
+
+        let accept = |pred: &sleuth_gnn::TracePrediction| {
+            let savings = (actual - pred.root_duration_us()).max(0.0);
+            let duration_ok = savings >= Self::SAVINGS_COVERAGE * best_savings
+                || self.is_normal(trace, pred.root_duration_us(), 0.0);
+            let error_ok = !error_explainable || pred.root_error_prob() < 0.5;
+            duration_ok && error_ok
+        };
+
+        // Smallest prefix of the ranking that explains as much as the
+        // whole candidate set…
+        let mut chosen = candidates.len();
+        for k in 1..=candidates.len() {
+            let prefix: Vec<&String> = candidates[..k].iter().collect();
+            if accept(&predict_set(&prefix)) {
+                chosen = k;
+                break;
+            }
+        }
+        let mut kept: Vec<String> = candidates[..chosen].to_vec();
+
+        // …then backward-eliminate candidates whose restoration adds
+        // nothing (they rode in on the prefix).
+        if kept.len() > 1 {
+            let mut i = kept.len();
+            while i > 0 {
+                i -= 1;
+                if kept.len() == 1 {
+                    break;
+                }
+                let without: Vec<&String> =
+                    kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, s)| s).collect();
+                if accept(&predict_set(&without)) {
+                    kept.remove(i);
+                }
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_gnn::{EncodedTrace, ModelConfig, TrainConfig};
+    use sleuth_synth::chaos::{ChaosEngine, Fault, FaultKind, FaultPlan, FaultTarget};
+    use sleuth_synth::presets;
+    use sleuth_synth::workload::CorpusBuilder;
+    use sleuth_synth::Simulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn trained_rca() -> (CounterfactualRca, sleuth_synth::App) {
+        let app = presets::synthetic(16, 1);
+        let corpus = CorpusBuilder::new(&app).seed(21).normal_traces(200);
+        let traces = corpus.plain_traces();
+        let mut featurizer = Featurizer::new(8);
+        let encoded: Vec<EncodedTrace> =
+            traces.iter().map(|t| featurizer.encode(t)).collect();
+        let mut model = SleuthModel::new(&ModelConfig::default(), 33);
+        model.train(
+            &encoded,
+            &TrainConfig {
+                epochs: 30,
+                batch_traces: 32,
+                lr: 1e-2,
+                seed: 1,
+            },
+        );
+        let profile = OpProfile::fit(&traces);
+        (CounterfactualRca::new(model, featurizer, profile), app)
+    }
+
+    #[test]
+    fn candidate_ranking_prefers_slow_service() {
+        let (rca, app) = trained_rca();
+        // Slow down one specific service massively.
+        let victim = app.flows[0].nodes[1].service;
+        let plan = FaultPlan {
+            faults: (0..app.services[victim].pods.len())
+                .map(|p| Fault {
+                    kind: FaultKind::CpuStress,
+                    target: FaultTarget::Pod {
+                        service: victim,
+                        pod: p,
+                    },
+                    severity: 60.0,
+                })
+                .collect(),
+        };
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut top_hits = 0;
+        for i in 0..10 {
+            let st = sim.simulate(0, &plan, 5000 + i, &mut rng);
+            if st.ground_truth.services.is_empty() {
+                continue;
+            }
+            let ranked = rca.rank_candidates(&st.trace);
+            if ranked
+                .first()
+                .is_some_and(|s| st.ground_truth.services.contains(s))
+            {
+                top_hits += 1;
+            }
+        }
+        assert!(top_hits >= 6, "top-ranked candidate hit only {top_hits}/10");
+    }
+
+    #[test]
+    fn localize_finds_injected_services() {
+        let (rca, app) = trained_rca();
+        let chaos = ChaosEngine::default();
+        let queries = CorpusBuilder::new(&app)
+            .seed(22)
+            .chaos(chaos)
+            .anomaly_queries(10, 15);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in &queries {
+            for st in &q.traces {
+                total += 1;
+                let pred = rca.localize(&st.trace);
+                if pred.iter().any(|p| st.ground_truth.services.contains(p)) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits * 3 > total * 2,
+            "sleuth found injected service in only {hits}/{total} traces"
+        );
+    }
+
+    #[test]
+    fn healthy_traces_restore_to_few_candidates() {
+        let (rca, app) = trained_rca();
+        let corpus = CorpusBuilder::new(&app).seed(23).normal_traces(5);
+        for st in &corpus.traces {
+            let pred = rca.localize(&st.trace);
+            assert!(pred.len() <= rca.max_candidates);
+        }
+    }
+
+    #[test]
+    fn instance_verdict_expands_to_pods_and_nodes() {
+        let (rca, app) = trained_rca();
+        let victim = app.flows[0].nodes[1].service;
+        let plan = FaultPlan {
+            faults: (0..app.services[victim].pods.len())
+                .map(|p| Fault {
+                    kind: FaultKind::CpuStress,
+                    target: FaultTarget::Pod {
+                        service: victim,
+                        pod: p,
+                    },
+                    severity: 60.0,
+                })
+                .collect(),
+        };
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let st = sim.simulate(0, &plan, 1, &mut rng);
+        let verdict = rca.localize_instances(&st.trace);
+        assert!(!verdict.services.is_empty());
+        // Every predicted service contributes the pods/nodes its spans
+        // actually ran on.
+        for svc in &verdict.services {
+            let spans: Vec<_> = st
+                .trace
+                .spans()
+                .iter()
+                .filter(|s| &s.service == svc)
+                .collect();
+            if !spans.is_empty() {
+                assert!(spans.iter().any(|s| verdict.pods.contains(&s.pod)));
+                assert!(spans.iter().any(|s| verdict.nodes.contains(&s.node)));
+            }
+        }
+    }
+
+    #[test]
+    fn network_fault_affiliation_reaches_callee() {
+        let (rca, app) = trained_rca();
+        // Network fault on a mid-tier service: caller spans slow down.
+        let victim = app.flows[0].nodes[1].service;
+        let plan = FaultPlan {
+            faults: (0..app.services[victim].pods.len())
+                .map(|p| Fault {
+                    kind: FaultKind::NetworkDelay,
+                    target: FaultTarget::Pod {
+                        service: victim,
+                        pod: p,
+                    },
+                    severity: 300.0,
+                })
+                .collect(),
+        };
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut hit = false;
+        for i in 0..10 {
+            let st = sim.simulate(0, &plan, 6000 + i, &mut rng);
+            if st.ground_truth.services.is_empty() {
+                continue;
+            }
+            let ranked = rca.rank_candidates(&st.trace);
+            if ranked
+                .iter()
+                .take(3)
+                .any(|s| st.ground_truth.services.contains(s))
+            {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "callee never ranked for a network fault");
+    }
+}

@@ -1,0 +1,50 @@
+//! Sleuth: trace-based root cause analysis for large-scale
+//! microservices with graph neural networks.
+//!
+//! This crate assembles the paper's full system (§3.1) out of the
+//! workspace's substrates:
+//!
+//! 1. anomalous traces are detected against learned SLOs
+//!    ([`anomaly::AnomalyDetector`]),
+//! 2. they are clustered with the weighted-Jaccard trace distance and
+//!    HDBSCAN, and only each cluster's geometric-median representative
+//!    is analysed ([`pipeline::SleuthPipeline::analyze`]),
+//! 3. the representative's root cause is localised with counterfactual
+//!    queries over the trace GNN — services are iteratively restored to
+//!    their normal state (median exclusive duration, no errors) until
+//!    the model predicts a normal trace ([`counterfactual`]),
+//! 4. trained models live in a [`registry::ModelRegistry`] supporting
+//!    the §4 model-server lifecycle (create, update, inherit, retire)
+//!    and the §6.5 transfer-learning workflow (pre-train on one
+//!    application, fine-tune on another).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+//! use sleuth_synth::presets;
+//! use sleuth_synth::workload::CorpusBuilder;
+//!
+//! let app = presets::synthetic(16, 1);
+//! let builder = CorpusBuilder::new(&app).seed(7);
+//! let train = builder.normal_traces(200).plain_traces();
+//! let sleuth = SleuthPipeline::fit(&train, &PipelineConfig::default());
+//!
+//! let queries = builder.anomaly_queries(3, 20);
+//! for q in &queries {
+//!     let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+//!     for result in sleuth.analyze(&traces) {
+//!         println!("trace {} -> {:?}", result.trace_idx, result.services);
+//!     }
+//! }
+//! ```
+
+pub mod anomaly;
+pub mod counterfactual;
+pub mod pipeline;
+pub mod registry;
+
+pub use anomaly::AnomalyDetector;
+pub use counterfactual::{CounterfactualRca, InstanceVerdict};
+pub use pipeline::{PipelineConfig, RcaResult, SleuthPipeline};
+pub use registry::{ModelRegistry, ModelStatus};

@@ -1,0 +1,330 @@
+//! The end-to-end Sleuth pipeline (§3.1): detect → cluster → localise.
+
+use sleuth_baselines::common::{OpProfile, RootCauseLocator};
+use sleuth_cluster::{
+    geometric_median, hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder,
+};
+use sleuth_gnn::{AggregatorKind, EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth_trace::Trace;
+
+use crate::anomaly::AnomalyDetector;
+use crate::counterfactual::CounterfactualRca;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// GNN hyper-parameters.
+    pub model: ModelConfig,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Trace-set encoder ancestor horizon `d_max`.
+    pub d_max: usize,
+    /// HDBSCAN parameters for anomaly-trace clustering.
+    pub hdbscan: HdbscanParams,
+    /// Maximum services restored per counterfactual query.
+    pub max_candidates: usize,
+    /// Model seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            model: ModelConfig::default(),
+            train: TrainConfig {
+                epochs: 30,
+                batch_traces: 32,
+                lr: 1e-2,
+                seed: 0,
+            },
+            d_max: 3,
+            hdbscan: HdbscanParams {
+                min_cluster_size: 5,
+                min_samples: 3,
+                cluster_selection_epsilon: 0.0,
+                allow_single_cluster: true,
+            },
+            max_candidates: 5,
+            seed: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration using the GCN ablation aggregator (Sleuth-GCN).
+    pub fn gcn() -> Self {
+        PipelineConfig {
+            model: ModelConfig {
+                aggregator: AggregatorKind::Gcn,
+                ..ModelConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Root cause verdict for one analysed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RcaResult {
+    /// Index of the trace in the analysed batch.
+    pub trace_idx: usize,
+    /// Predicted root-cause services.
+    pub services: Vec<String>,
+    /// Cluster the trace belonged to (`None` = noise / un-clustered).
+    pub cluster: Option<isize>,
+    /// Whether this trace was the cluster's representative (its RCA was
+    /// computed rather than inherited).
+    pub representative: bool,
+}
+
+/// The trained Sleuth system.
+#[derive(Debug)]
+pub struct SleuthPipeline {
+    rca: CounterfactualRca,
+    detector: AnomalyDetector,
+    encoder: TraceSetEncoder,
+    hdbscan_params: HdbscanParams,
+}
+
+impl SleuthPipeline {
+    /// Train the full system on a (mostly healthy) trace corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit(train: &[Trace], config: &PipelineConfig) -> Self {
+        assert!(!train.is_empty(), "training corpus must be non-empty");
+        let mut featurizer = Featurizer::new(config.model.sem_dim);
+        let encoded: Vec<EncodedTrace> = train.iter().map(|t| featurizer.encode(t)).collect();
+        let mut model = SleuthModel::new(&config.model, config.seed);
+        model.train(&encoded, &config.train);
+        Self::from_parts(model, featurizer, train, config)
+    }
+
+    /// Assemble a pipeline around an existing (e.g. pre-trained or
+    /// fine-tuned) model; the profile and SLOs are fit from `corpus`.
+    pub fn from_parts(
+        model: SleuthModel,
+        featurizer: Featurizer,
+        corpus: &[Trace],
+        config: &PipelineConfig,
+    ) -> Self {
+        let profile = OpProfile::fit(corpus);
+        let detector = AnomalyDetector::from_profile(profile.clone());
+        let mut rca = CounterfactualRca::new(model, featurizer, profile);
+        rca.max_candidates = config.max_candidates;
+        SleuthPipeline {
+            rca,
+            detector,
+            encoder: TraceSetEncoder::new(config.d_max),
+            hdbscan_params: config.hdbscan,
+        }
+    }
+
+    /// The counterfactual localiser (single-trace interface).
+    pub fn rca(&self) -> &CounterfactualRca {
+        &self.rca
+    }
+
+    /// The anomaly detector.
+    pub fn detector(&self) -> &AnomalyDetector {
+        &self.detector
+    }
+
+    /// Analyse a batch of anomalous traces **with clustering** (§3.3):
+    /// traces are clustered by the weighted-Jaccard distance; each
+    /// cluster's geometric-median representative is localised and its
+    /// root causes are generalised to the whole cluster. Noise traces
+    /// are localised individually.
+    pub fn analyze(&self, traces: &[Trace]) -> Vec<RcaResult> {
+        if traces.is_empty() {
+            return Vec::new();
+        }
+        let sets: Vec<_> = traces.iter().map(|t| self.encoder.encode(t)).collect();
+        let dm = DistanceMatrix::from_sets(&sets);
+        let clustering = hdbscan(&dm, &self.hdbscan_params);
+
+        let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
+        for c in 0..clustering.n_clusters() as isize {
+            let members = clustering.members(c);
+            let rep = geometric_median(&dm, &members).expect("cluster non-empty");
+            let services = self.rca.localize(&traces[rep]);
+            for m in members {
+                results[m] = Some(RcaResult {
+                    trace_idx: m,
+                    services: services.clone(),
+                    cluster: Some(c),
+                    representative: m == rep,
+                });
+            }
+        }
+        for i in clustering.noise() {
+            results[i] = Some(RcaResult {
+                trace_idx: i,
+                services: self.rca.localize(&traces[i]),
+                cluster: None,
+                representative: true,
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every trace labelled"))
+            .collect()
+    }
+
+    /// Analyse every trace individually (no clustering) — the paper's
+    /// "w/o clustering" configuration.
+    pub fn analyze_without_clustering(&self, traces: &[Trace]) -> Vec<RcaResult> {
+        traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| RcaResult {
+                trace_idx: i,
+                services: self.rca.localize(t),
+                cluster: None,
+                representative: true,
+            })
+            .collect()
+    }
+
+    /// Analyse with an externally supplied distance matrix (used to
+    /// compare clustering metrics, e.g. DeepTraLog's SVDD distance).
+    pub fn analyze_with_distance(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
+        if traces.is_empty() {
+            return Vec::new();
+        }
+        let clustering = hdbscan(dm, &self.hdbscan_params);
+        let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
+        for c in 0..clustering.n_clusters() as isize {
+            let members = clustering.members(c);
+            let rep = geometric_median(dm, &members).expect("cluster non-empty");
+            let services = self.rca.localize(&traces[rep]);
+            for m in members {
+                results[m] = Some(RcaResult {
+                    trace_idx: m,
+                    services: services.clone(),
+                    cluster: Some(c),
+                    representative: m == rep,
+                });
+            }
+        }
+        for i in clustering.noise() {
+            results[i] = Some(RcaResult {
+                trace_idx: i,
+                services: self.rca.localize(&traces[i]),
+                cluster: None,
+                representative: true,
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every trace labelled"))
+            .collect()
+    }
+}
+
+impl RootCauseLocator for SleuthPipeline {
+    fn name(&self) -> &str {
+        "sleuth"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        self.rca.localize(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_synth::presets;
+    use sleuth_synth::workload::CorpusBuilder;
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            train: TrainConfig {
+                epochs: 15,
+                batch_traces: 32,
+                lr: 1e-2,
+                seed: 0,
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_and_analyze_roundtrip() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(31);
+        let train = builder.normal_traces(120).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+
+        let queries = builder.anomaly_queries(3, 15);
+        let traces: Vec<Trace> = queries
+            .iter()
+            .flat_map(|q| q.traces.iter().map(|t| t.trace.clone()))
+            .collect();
+        let results = pipeline.analyze(&traces);
+        assert_eq!(results.len(), traces.len());
+        for r in &results {
+            assert!(!r.services.is_empty());
+        }
+    }
+
+    #[test]
+    fn clustering_reduces_rca_invocations() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(32);
+        let train = builder.normal_traces(120).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+
+        // Many traces from the same fault episode → few clusters.
+        let queries = builder.anomaly_queries(1, 60);
+        let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
+        if traces.len() >= 10 {
+            let results = pipeline.analyze(&traces);
+            let reps = results.iter().filter(|r| r.representative).count();
+            assert!(
+                reps < traces.len(),
+                "clustering did not reduce RCA invocations: {reps}/{}",
+                traces.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_members_share_root_causes() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(33);
+        let train = builder.normal_traces(120).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+        let queries = builder.anomaly_queries(1, 60);
+        let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
+        let results = pipeline.analyze(&traces);
+        for c in results.iter().filter_map(|r| r.cluster) {
+            let in_cluster: Vec<&RcaResult> =
+                results.iter().filter(|r| r.cluster == Some(c)).collect();
+            let first = &in_cluster[0].services;
+            assert!(in_cluster.iter().all(|r| &r.services == first));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let app = presets::synthetic(16, 1);
+        let train = CorpusBuilder::new(&app).seed(34).normal_traces(60).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+        assert!(pipeline.analyze(&[]).is_empty());
+    }
+
+    #[test]
+    fn without_clustering_every_trace_is_representative() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(35);
+        let train = builder.normal_traces(60).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+        let queries = builder.anomaly_queries(1, 10);
+        let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
+        let results = pipeline.analyze_without_clustering(&traces);
+        assert!(results.iter().all(|r| r.representative && r.cluster.is_none()));
+    }
+}

@@ -1,0 +1,232 @@
+//! Model registry (§4): the model server's lifecycle.
+//!
+//! The production deployment keeps GNN checkpoints in a centralised
+//! store that training and inference workers pull from; models are
+//! created, updated, **inherited** (a new model fine-tuned from a
+//! pre-trained parent — the §6.5 transfer workflow) and retired.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sleuth_gnn::{Checkpoint, SleuthModel};
+
+/// Lifecycle state of a registered model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelStatus {
+    /// Serving inference traffic.
+    Active,
+    /// Kept for lineage but no longer served.
+    Retired,
+}
+
+/// One registered model version.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Registry name.
+    pub name: String,
+    /// Monotonic version under that name.
+    pub version: u32,
+    /// Name/version of the parent this model was inherited from.
+    pub parent: Option<(String, u32)>,
+    /// Lifecycle state.
+    pub status: ModelStatus,
+    /// The checkpoint itself.
+    pub checkpoint: Checkpoint,
+}
+
+/// In-process model registry with serde export.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    records: HashMap<String, Vec<ModelRecord>>,
+}
+
+impl ModelRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Register a new model under `name`; returns the assigned version.
+    pub fn create(&mut self, name: &str, model: &SleuthModel) -> u32 {
+        self.insert(name, model, None)
+    }
+
+    /// Register an updated version of an existing model (e.g. after
+    /// periodic retraining).
+    pub fn update(&mut self, name: &str, model: &SleuthModel) -> u32 {
+        let parent = self
+            .latest_version(name)
+            .map(|v| (name.to_string(), v));
+        self.insert(name, model, parent)
+    }
+
+    /// Register a model inherited (fine-tuned) from another lineage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent does not exist.
+    pub fn inherit(&mut self, name: &str, model: &SleuthModel, parent: (&str, u32)) -> u32 {
+        assert!(
+            self.get(parent.0, parent.1).is_some(),
+            "parent {}@{} not registered",
+            parent.0,
+            parent.1
+        );
+        self.insert(name, model, Some((parent.0.to_string(), parent.1)))
+    }
+
+    fn insert(&mut self, name: &str, model: &SleuthModel, parent: Option<(String, u32)>) -> u32 {
+        let versions = self.records.entry(name.to_string()).or_default();
+        let version = versions.last().map(|r| r.version + 1).unwrap_or(1);
+        versions.push(ModelRecord {
+            name: name.to_string(),
+            version,
+            parent,
+            status: ModelStatus::Active,
+            checkpoint: model.to_checkpoint(),
+        });
+        version
+    }
+
+    /// Fetch a specific version.
+    pub fn get(&self, name: &str, version: u32) -> Option<&ModelRecord> {
+        self.records
+            .get(name)?
+            .iter()
+            .find(|r| r.version == version)
+    }
+
+    /// The latest *active* record under `name`.
+    pub fn latest(&self, name: &str) -> Option<&ModelRecord> {
+        self.records
+            .get(name)?
+            .iter()
+            .rev()
+            .find(|r| r.status == ModelStatus::Active)
+    }
+
+    fn latest_version(&self, name: &str) -> Option<u32> {
+        self.records.get(name)?.last().map(|r| r.version)
+    }
+
+    /// Instantiate the latest active model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the name is unknown, every version is
+    /// retired, or the checkpoint is corrupt.
+    pub fn load(&self, name: &str) -> Result<SleuthModel, String> {
+        let rec = self
+            .latest(name)
+            .ok_or_else(|| format!("no active model named {name}"))?;
+        SleuthModel::from_checkpoint(&rec.checkpoint)
+    }
+
+    /// Retire a version; it remains for lineage queries.
+    ///
+    /// Returns whether the version existed.
+    pub fn retire(&mut self, name: &str, version: u32) -> bool {
+        if let Some(versions) = self.records.get_mut(name) {
+            for r in versions.iter_mut() {
+                if r.version == version {
+                    r.status = ModelStatus::Retired;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The ancestry chain of a model, nearest parent first.
+    pub fn lineage(&self, name: &str, version: u32) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        let mut cur = self.get(name, version).and_then(|r| r.parent.clone());
+        while let Some((n, v)) = cur {
+            out.push((n.clone(), v));
+            cur = self.get(&n, v).and_then(|r| r.parent.clone());
+        }
+        out
+    }
+
+    /// Registered names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.records.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_gnn::ModelConfig;
+
+    fn model(seed: u64) -> SleuthModel {
+        SleuthModel::new(&ModelConfig::default(), seed)
+    }
+
+    #[test]
+    fn create_update_versioning() {
+        let mut reg = ModelRegistry::new();
+        assert_eq!(reg.create("prod", &model(1)), 1);
+        assert_eq!(reg.update("prod", &model(2)), 2);
+        assert_eq!(reg.latest("prod").unwrap().version, 2);
+        assert_eq!(reg.get("prod", 1).unwrap().parent, None);
+        assert_eq!(
+            reg.get("prod", 2).unwrap().parent,
+            Some(("prod".to_string(), 1))
+        );
+    }
+
+    #[test]
+    fn retire_hides_from_latest() {
+        let mut reg = ModelRegistry::new();
+        reg.create("m", &model(1));
+        reg.update("m", &model(2));
+        assert!(reg.retire("m", 2));
+        assert_eq!(reg.latest("m").unwrap().version, 1);
+        assert!(!reg.retire("m", 99));
+    }
+
+    #[test]
+    fn inherit_builds_lineage() {
+        let mut reg = ModelRegistry::new();
+        reg.create("pretrained", &model(1));
+        reg.inherit("sockshop", &model(2), ("pretrained", 1));
+        reg.update("sockshop", &model(3));
+        let lineage = reg.lineage("sockshop", 2);
+        assert_eq!(
+            lineage,
+            vec![("sockshop".to_string(), 1), ("pretrained".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn inherit_requires_parent() {
+        let mut reg = ModelRegistry::new();
+        reg.inherit("x", &model(1), ("ghost", 1));
+    }
+
+    #[test]
+    fn load_roundtrip() {
+        let mut reg = ModelRegistry::new();
+        let m = model(5);
+        reg.create("m", &m);
+        let loaded = reg.load("m").unwrap();
+        assert_eq!(loaded.to_checkpoint().params, m.to_checkpoint().params);
+        assert!(reg.load("ghost").is_err());
+    }
+
+    #[test]
+    fn registry_serde_roundtrip() {
+        let mut reg = ModelRegistry::new();
+        reg.create("a", &model(1));
+        reg.create("b", &model(2));
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: ModelRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.names(), vec!["a", "b"]);
+        assert!(back.load("a").is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Feature-hashing semantic embedder.
+
+use crate::preprocess::tokenize;
+
+/// Deterministic FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic, training-free text embedder.
+///
+/// Each token and each character trigram of a token is feature-hashed
+/// into a `dim`-bucket vector with a sign hash; the result is
+/// L2-normalised. Shared tokens/trigrams between two strings produce
+/// correlated vectors — the property sentence embeddings provide to the
+/// Sleuth model (see the crate docs for the substitution rationale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticEmbedder {
+    dim: usize,
+}
+
+/// Weight of whole-token features relative to trigram features.
+const TOKEN_WEIGHT: f32 = 1.0;
+const TRIGRAM_WEIGHT: f32 = 0.4;
+
+impl SemanticEmbedder {
+    /// Create an embedder producing `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        SemanticEmbedder { dim }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a raw string (pre-processing applied internally).
+    ///
+    /// The zero vector is returned for strings with no extractable
+    /// tokens.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        for token in tokenize(text) {
+            self.add_feature(&mut v, token.as_bytes(), TOKEN_WEIGHT);
+            let chars: Vec<u8> = token.bytes().collect();
+            if chars.len() > 3 {
+                for w in chars.windows(3) {
+                    self.add_feature(&mut v, w, TRIGRAM_WEIGHT);
+                }
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embed the concatenation of several attribute strings (e.g.
+    /// `service` and `name`), weighting them equally.
+    pub fn embed_joined(&self, parts: &[&str]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        for part in parts {
+            let e = self.embed(part);
+            for (a, b) in v.iter_mut().zip(&e) {
+                *a += b;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    fn add_feature(&self, v: &mut [f32], bytes: &[u8], weight: f32) {
+        let h = fnv1a(bytes, 0x5eed);
+        let bucket = (h % self.dim as u64) as usize;
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        v[bucket] += sign * weight;
+    }
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0.0 when either is
+/// the zero vector).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_identical_vectors() {
+        let e = SemanticEmbedder::new(64);
+        assert_eq!(e.embed("GetUser"), e.embed("GetUser"));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = SemanticEmbedder::new(64);
+        let v = e.embed("payment.charge");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_string_embeds_to_zero() {
+        let e = SemanticEmbedder::new(16);
+        assert!(e.embed("///").iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&e.embed(""), &e.embed("x")), 0.0);
+    }
+
+    #[test]
+    fn shared_tokens_increase_similarity() {
+        let e = SemanticEmbedder::new(128);
+        let a = e.embed("GetUserProfile");
+        let b = e.embed("GetUserSettings");
+        let c = e.embed("FlushDiskCache");
+        assert!(cosine(&a, &b) > cosine(&a, &c) + 0.1);
+    }
+
+    #[test]
+    fn cross_application_semantics() {
+        // The paper's motivating example: Redis GETs from two different
+        // applications should be similar.
+        let e = SemanticEmbedder::new(128);
+        let a = e.embed("redis.get user_cache");
+        let b = e.embed("RedisGet session_cache");
+        let c = e.embed("mysql.insert order");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn hex_ids_do_not_differentiate() {
+        let e = SemanticEmbedder::new(64);
+        let a = e.embed("GET /order/a1b2c3d4e5");
+        let b = e.embed("GET /order/ffee991122");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn embed_joined_combines_parts() {
+        let e = SemanticEmbedder::new(64);
+        let j = e.embed_joined(&["cart-service", "AddItem"]);
+        assert!(cosine(&j, &e.embed("cart-service")) > 0.3);
+        assert!(cosine(&j, &e.embed("AddItem")) > 0.3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Cosine of any embedding pair stays within [-1, 1].
+        #[test]
+        fn prop_cosine_bounded(a in "[a-zA-Z/._ -]{0,30}", b in "[a-zA-Z/._ -]{0,30}") {
+            let e = SemanticEmbedder::new(32);
+            let c = cosine(&e.embed(&a), &e.embed(&b));
+            prop_assert!((-1.0001..=1.0001).contains(&c));
+        }
+
+        /// Embedding is deterministic across calls.
+        #[test]
+        fn prop_deterministic(s in "\\PC{0,40}") {
+            let e = SemanticEmbedder::new(24);
+            prop_assert_eq!(e.embed(&s), e.embed(&s));
+        }
+    }
+}

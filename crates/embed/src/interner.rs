@@ -1,0 +1,115 @@
+//! Embedding interner: one stored vector per distinct string.
+//!
+//! The paper notes (§3.2.2) that materialising an embedding per span
+//! would cost tens of terabytes over billions of spans; because distinct
+//! service/operation names are few, Sleuth stores one vector per
+//! distinct string and keeps only pointers in span records. This type is
+//! that optimisation.
+
+use std::collections::HashMap;
+
+use crate::hashing::SemanticEmbedder;
+
+/// Index of an interned embedding.
+pub type EmbeddingId = u32;
+
+/// Deduplicating store of text embeddings.
+#[derive(Debug, Clone)]
+pub struct EmbeddingInterner {
+    embedder: SemanticEmbedder,
+    by_text: HashMap<String, EmbeddingId>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl EmbeddingInterner {
+    /// Create an interner over the given embedder.
+    pub fn new(embedder: SemanticEmbedder) -> Self {
+        EmbeddingInterner {
+            embedder,
+            by_text: HashMap::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Intern `text`, computing its embedding only on first sight.
+    pub fn intern(&mut self, text: &str) -> EmbeddingId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = self.vectors.len() as EmbeddingId;
+        self.vectors.push(self.embedder.embed(text));
+        self.by_text.insert(text.to_string(), id);
+        id
+    }
+
+    /// The vector for a previously interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn vector(&self, id: EmbeddingId) -> &[f32] {
+        &self.vectors[id as usize]
+    }
+
+    /// Convenience: intern and immediately fetch the vector.
+    pub fn embed(&mut self, text: &str) -> &[f32] {
+        let id = self.intern(text);
+        self.vector(id)
+    }
+
+    /// Number of distinct strings seen.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_on_repeat() {
+        let mut i = EmbeddingInterner::new(SemanticEmbedder::new(16));
+        let a = i.intern("cart");
+        let b = i.intern("cart");
+        let c = i.intern("orders");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn vectors_match_direct_embedding() {
+        let e = SemanticEmbedder::new(32);
+        let mut i = EmbeddingInterner::new(e.clone());
+        let id = i.intern("GetCart");
+        assert_eq!(i.vector(id), e.embed("GetCart").as_slice());
+    }
+
+    #[test]
+    fn embed_returns_stable_slice() {
+        let mut i = EmbeddingInterner::new(SemanticEmbedder::new(8));
+        let v1 = i.embed("x").to_vec();
+        let _ = i.embed("y");
+        let v2 = i.embed("x").to_vec();
+        assert_eq!(v1, v2);
+        assert_eq!(i.dim(), 8);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = EmbeddingInterner::new(SemanticEmbedder::new(8));
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

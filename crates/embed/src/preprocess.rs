@@ -1,0 +1,139 @@
+//! Text pre-processing for span attributes (§3.2.2).
+//!
+//! Mirrors the paper's pipeline: remove special characters, separate
+//! camel-case words, and replace long hexadecimal digit runs (request
+//! ids, object ids) with a placeholder so they do not pollute semantics.
+
+/// Placeholder token substituted for long hexadecimal runs.
+pub const HEX_PLACEHOLDER: &str = "hexid";
+
+/// Placeholder token substituted for decimal number runs.
+pub const NUM_PLACEHOLDER: &str = "num";
+
+/// Minimum length at which a hex-looking run is replaced.
+const HEX_MIN_LEN: usize = 6;
+
+/// Tokenize a raw attribute string into normalised lowercase tokens.
+///
+/// Steps:
+/// 1. split on any non-alphanumeric character,
+/// 2. split camel-case boundaries (`GetUser` → `get`, `user`),
+/// 3. replace hex runs of ≥ 6 chars containing a digit with
+///    [`HEX_PLACEHOLDER`] and all-digit runs with [`NUM_PLACEHOLDER`],
+/// 4. lowercase everything.
+///
+/// ```
+/// use sleuth_embed::preprocess::tokenize;
+/// assert_eq!(tokenize("GET /user/3fa9c1d204"), vec!["get", "user", "hexid"]);
+/// assert_eq!(tokenize("composePostService"), vec!["compose", "post", "service"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for rough in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if rough.is_empty() {
+            continue;
+        }
+        // Hex/number detection must see the whole run, before camel/digit
+        // splitting shreds "3fa9c1d2" into letter and digit fragments.
+        let whole = normalize_piece(rough);
+        if whole == HEX_PLACEHOLDER || whole == NUM_PLACEHOLDER {
+            tokens.push(whole);
+            continue;
+        }
+        for piece in split_camel(rough) {
+            tokens.push(normalize_piece(&piece));
+        }
+    }
+    tokens
+}
+
+/// Split a single alphanumeric run at camel-case and letter/digit
+/// boundaries.
+fn split_camel(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut pieces = Vec::new();
+    let mut cur = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if !cur.is_empty() {
+            let prev = chars[i - 1];
+            let upper_boundary = c.is_ascii_uppercase()
+                && (prev.is_ascii_lowercase()
+                    // Acronym end: "HTTPServer" -> "HTTP", "Server"
+                    || (prev.is_ascii_uppercase()
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase())));
+            let digit_boundary = c.is_ascii_digit() != prev.is_ascii_digit();
+            if upper_boundary || digit_boundary {
+                pieces.push(std::mem::take(&mut cur));
+            }
+        }
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+fn normalize_piece(piece: &str) -> String {
+    let lower = piece.to_ascii_lowercase();
+    if lower.chars().all(|c| c.is_ascii_digit()) {
+        return NUM_PLACEHOLDER.to_string();
+    }
+    if lower.len() >= HEX_MIN_LEN
+        && lower.chars().all(|c| c.is_ascii_hexdigit())
+        && lower.chars().any(|c| c.is_ascii_digit())
+    {
+        return HEX_PLACEHOLDER.to_string();
+    }
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_special_characters() {
+        assert_eq!(tokenize("redis.get"), vec!["redis", "get"]);
+        assert_eq!(tokenize("POST /orders"), vec!["post", "orders"]);
+        assert_eq!(tokenize("a--b__c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize("GetUserProfile"), vec!["get", "user", "profile"]);
+        assert_eq!(tokenize("composePost"), vec!["compose", "post"]);
+    }
+
+    #[test]
+    fn acronyms_kept_whole() {
+        assert_eq!(tokenize("HTTPServer"), vec!["http", "server"]);
+        assert_eq!(tokenize("parseJSONBody"), vec!["parse", "json", "body"]);
+    }
+
+    #[test]
+    fn hex_runs_replaced() {
+        assert_eq!(tokenize("span 3fa9c1d2"), vec!["span", "hexid"]);
+        // short hex-like strings survive
+        assert_eq!(tokenize("cafe"), vec!["cafe"]);
+        // all-letter hex words (no digit) survive: "deadbeef" has no digit? it does not -> stays
+        assert_eq!(tokenize("defaced"), vec!["defaced"]);
+    }
+
+    #[test]
+    fn digit_runs_replaced() {
+        assert_eq!(tokenize("v2"), vec!["v", "num"]);
+        assert_eq!(tokenize("shard12345"), vec!["shard", "num"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("///---").is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tokenize("GetUser"), tokenize("GetUser"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 1: the n-sigma rule degrades as the service count grows.
+
+use serde::Serialize;
+
+use crate::experiments::{eval_locator, prepare, AppSpec, EvalScale};
+use crate::nsigma::NSigmaRule;
+use crate::report::Table;
+use sleuth_baselines::common::OpProfile;
+
+/// One point on the Figure 1 curves.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig1Row {
+    /// Number of microservices in the application.
+    pub services: usize,
+    /// Best F1 over the n sweep.
+    pub f1: f64,
+    /// Best exact-match accuracy over the n sweep.
+    pub acc: f64,
+    /// The n achieving the best F1.
+    pub optimal_n: f64,
+}
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig1Result {
+    /// One row per application scale.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1Result {
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 1: n-sigma rule vs number of microservices",
+            &["services", "best F1", "best ACC", "optimal n"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.services.to_string(),
+                format!("{:.3}", r.f1),
+                format!("{:.3}", r.acc),
+                format!("{:.1}", r.optimal_n),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the experiment: sweep `n` per application scale and keep the
+/// best-F1 operating point.
+pub fn fig1_nsigma(scale: &EvalScale) -> Fig1Result {
+    let mut rows = Vec::new();
+    for &services in &scale.fig1_service_counts {
+        let spec = AppSpec::Synthetic(services * 4);
+        let prepared = prepare(spec, scale, 1000 + services as u64);
+        let profile = OpProfile::fit(&prepared.train);
+        let mut best = Fig1Row {
+            services,
+            f1: 0.0,
+            acc: 0.0,
+            optimal_n: 0.0,
+        };
+        for step in 0..=10 {
+            let n = 1.0 + 0.5 * step as f64;
+            let rule = NSigmaRule::with_profile(profile.clone(), n);
+            let acc = eval_locator(&rule, &prepared.queries);
+            if acc.f1() > best.f1 {
+                best.f1 = acc.f1();
+                best.acc = acc.accuracy();
+                best.optimal_n = n;
+            }
+        }
+        rows.push(best);
+    }
+    Fig1Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_degrades_with_scale() {
+        let result = fig1_nsigma(&EvalScale::smoke());
+        assert_eq!(result.rows.len(), 2);
+        // The headline claim: the rule is worse on the larger system.
+        let small = &result.rows[0];
+        let large = &result.rows[1];
+        assert!(
+            large.f1 <= small.f1 + 0.05,
+            "F1 did not degrade: {} -> {}",
+            small.f1,
+            large.f1
+        );
+        assert!(small.f1 > 0.0, "rule should work at tiny scale");
+        let table = result.table();
+        assert_eq!(table.len(), 2);
+    }
+}

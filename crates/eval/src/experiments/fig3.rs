@@ -1,0 +1,114 @@
+//! Figure 3: cumulative distribution of span durations.
+//!
+//! The paper's CDF motivates the log/standardise duration transform:
+//! >90% of spans are within 10× of the minimum, while the top 1%
+//! stretch five orders of magnitude.
+
+use serde::Serialize;
+
+use crate::experiments::{AppSpec, EvalScale};
+use crate::report::Table;
+use sleuth_synth::workload::CorpusBuilder;
+
+/// One CDF point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CdfPoint {
+    /// Cumulative probability (0–1).
+    pub percentile: f64,
+    /// Span duration normalised to the corpus minimum.
+    pub ratio_to_min: f64,
+}
+
+/// Result of the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig3Result {
+    /// CDF samples.
+    pub points: Vec<CdfPoint>,
+    /// Total spans measured.
+    pub spans: usize,
+}
+
+impl Fig3Result {
+    /// Ratio at a given percentile (nearest point).
+    pub fn ratio_at(&self, percentile: f64) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.percentile - percentile)
+                    .abs()
+                    .partial_cmp(&(b.percentile - percentile).abs())
+                    .expect("finite")
+            })
+            .map(|p| p.ratio_to_min)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 3: span duration CDF (normalised to minimum)",
+            &["percentile", "duration / min"],
+        );
+        for p in &self.points {
+            t.row(&[format!("{:.4}", p.percentile), format!("{:.1}", p.ratio_to_min)]);
+        }
+        t
+    }
+}
+
+/// Measure the duration CDF over a synthetic corpus.
+pub fn fig3_duration_cdf(scale: &EvalScale) -> Fig3Result {
+    let app = AppSpec::Synthetic(64).build(77);
+    let corpus = CorpusBuilder::new(&app)
+        .seed(77)
+        .normal_traces(scale.train_traces.max(200));
+    let mut durations: Vec<u64> = corpus
+        .traces
+        .iter()
+        .flat_map(|t| t.trace.spans().iter().map(|s| s.duration_us().max(1)))
+        .collect();
+    durations.sort_unstable();
+    let min = durations[0] as f64;
+    let points = [
+        0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0,
+    ]
+    .iter()
+    .map(|&q| {
+        let idx = ((q * durations.len() as f64).ceil() as usize)
+            .clamp(1, durations.len())
+            - 1;
+        CdfPoint {
+            percentile: q,
+            ratio_to_min: durations[idx] as f64 / min,
+        }
+    })
+    .collect();
+    Fig3Result {
+        points,
+        spans: durations.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        let r = fig3_duration_cdf(&EvalScale::smoke());
+        assert!(r.spans > 500);
+        // Monotone CDF.
+        for w in r.points.windows(2) {
+            assert!(w[1].ratio_to_min >= w[0].ratio_to_min);
+        }
+        // Heavy tail: p99 is at least an order of magnitude above the
+        // median ratio, echoing the paper's skew claim.
+        let p50 = r.ratio_at(0.50);
+        let p99 = r.ratio_at(0.99);
+        assert!(
+            p99 / p50 > 10.0,
+            "tail not heavy enough: p50 {p50}, p99 {p99}"
+        );
+        assert!(!r.table().is_empty());
+    }
+}

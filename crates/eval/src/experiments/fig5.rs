@@ -1,0 +1,184 @@
+//! Figure 5: training and inference time scaling, Sleuth vs Sage.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use sleuth_baselines::common::RootCauseLocator;
+use sleuth_baselines::Sage;
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_trace::Trace;
+
+use crate::experiments::{prepare, AppSpec, EvalScale};
+use crate::report::Table;
+
+/// One scale point of the Figure 5 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig5Row {
+    /// RPCs in the synthetic application.
+    pub rpcs: usize,
+    /// Sleuth-GIN training wall time (s).
+    pub gin_train_s: f64,
+    /// Sleuth-GCN training wall time (s).
+    pub gcn_train_s: f64,
+    /// Sage training wall time (s).
+    pub sage_train_s: f64,
+    /// Sleuth-GIN inference time for the batch (s), no clustering.
+    pub gin_infer_s: f64,
+    /// Sleuth-GCN inference time (s), no clustering.
+    pub gcn_infer_s: f64,
+    /// Sage inference time (s).
+    pub sage_infer_s: f64,
+    /// Sleuth-GIN inference time (s) with clustering.
+    pub gin_clustered_infer_s: f64,
+    /// Traces in the inference batch.
+    pub batch: usize,
+    /// Sleuth model parameters (constant in scale).
+    pub gin_params: usize,
+    /// Sage parameters (grows with scale).
+    pub sage_params: usize,
+}
+
+/// Result of the Figure 5 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig5Result {
+    /// One row per application scale.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 5: training / inference time scaling",
+            &[
+                "RPCs",
+                "GIN train s",
+                "GCN train s",
+                "Sage train s",
+                "GIN infer s",
+                "GCN infer s",
+                "Sage infer s",
+                "GIN+cluster s",
+                "GIN params",
+                "Sage params",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.rpcs.to_string(),
+                format!("{:.3}", r.gin_train_s),
+                format!("{:.3}", r.gcn_train_s),
+                format!("{:.3}", r.sage_train_s),
+                format!("{:.3}", r.gin_infer_s),
+                format!("{:.3}", r.gcn_infer_s),
+                format!("{:.3}", r.sage_infer_s),
+                format!("{:.3}", r.gin_clustered_infer_s),
+                r.gin_params.to_string(),
+                r.sage_params.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed())
+}
+
+/// Run the scaling sweep.
+pub fn fig5_scaling(scale: &EvalScale) -> Fig5Result {
+    let mut rows = Vec::new();
+    for (i, &rpcs) in scale.fig5_scales.iter().enumerate() {
+        let prepared = prepare(AppSpec::Synthetic(rpcs), scale, 500 + i as u64);
+        let train_cfg = TrainConfig {
+            epochs: scale.gnn_epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        };
+        let (gin, gin_train) = time(|| {
+            SleuthPipeline::fit(
+                &prepared.train,
+                &PipelineConfig {
+                    train: train_cfg,
+                    ..PipelineConfig::default()
+                },
+            )
+        });
+        let (gcn, gcn_train) = time(|| {
+            SleuthPipeline::fit(
+                &prepared.train,
+                &PipelineConfig {
+                    train: train_cfg,
+                    ..PipelineConfig::gcn()
+                },
+            )
+        });
+        let (sage, sage_train) = time(|| Sage::fit(&prepared.train, scale.sage_epochs, 1));
+
+        // Inference batch: all anomalous traces across queries.
+        let batch: Vec<Trace> = prepared
+            .queries
+            .iter()
+            .flat_map(|q| q.traces.iter().map(|t| t.trace.clone()))
+            .collect();
+        let (_, gin_infer) = time(|| {
+            for t in &batch {
+                let _ = gin.localize(t);
+            }
+        });
+        let (_, gcn_infer) = time(|| {
+            for t in &batch {
+                let _ = gcn.localize(t);
+            }
+        });
+        let (_, sage_infer) = time(|| {
+            for t in &batch {
+                let _ = sage.localize(t);
+            }
+        });
+        let (_, gin_clustered) = time(|| {
+            let _ = gin.analyze(&batch);
+        });
+
+        rows.push(Fig5Row {
+            rpcs,
+            gin_train_s: gin_train.as_secs_f64(),
+            gcn_train_s: gcn_train.as_secs_f64(),
+            sage_train_s: sage_train.as_secs_f64(),
+            gin_infer_s: gin_infer.as_secs_f64(),
+            gcn_infer_s: gcn_infer.as_secs_f64(),
+            sage_infer_s: sage_infer.as_secs_f64(),
+            gin_clustered_infer_s: gin_clustered.as_secs_f64(),
+            batch: batch.len(),
+            gin_params: gin.rca().model().num_parameters(),
+            sage_params: sage.num_parameters(),
+        });
+    }
+    Fig5Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sage_parameters_grow_and_sleuth_stay_fixed() {
+        let r = fig5_scaling(&EvalScale::smoke());
+        assert_eq!(r.rows.len(), 2);
+        let (a, b) = (&r.rows[0], &r.rows[1]);
+        assert_eq!(a.gin_params, b.gin_params, "Sleuth model must be fixed-size");
+        assert!(
+            b.sage_params > a.sage_params,
+            "Sage must grow with the app: {} vs {}",
+            a.sage_params,
+            b.sage_params
+        );
+        assert!(a.batch > 0 && b.batch > 0);
+        assert!(r.table().len() == 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Figure 6: live detection accuracy while services are updated.
+//!
+//! Four updates roll out over a streaming window (A: slow a third-level
+//! service 10×; B: remove it; C: add a second-level service; D: add
+//! three 3-service chains). Each period both models are evaluated on
+//! fresh traffic *before* retraining on it — so the period right after
+//! an update shows each model's robustness to staleness. Sage's
+//! per-node models are keyed to the topology and collapse on structural
+//! updates; Sleuth's topology-independent GNN degrades gently.
+
+use serde::Serialize;
+
+use sleuth_baselines::Sage;
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::{EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth_synth::updates;
+use sleuth_synth::workload::CorpusBuilder;
+
+use crate::experiments::{eval_locator, AppSpec, EvalScale};
+use crate::report::Table;
+
+/// One streaming period.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig6Row {
+    /// Period index.
+    pub period: usize,
+    /// Update rolled out at the start of this period, if any.
+    pub update: Option<char>,
+    /// Sleuth accuracy on this period's traffic (pre-retrain).
+    pub sleuth_acc: f64,
+    /// Sage accuracy on this period's traffic (pre-retrain).
+    pub sage_acc: f64,
+}
+
+/// Result of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig6Result {
+    /// One row per period.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6Result {
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 6: accuracy under service updates",
+            &["period", "update", "Sleuth ACC", "Sage ACC"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.period.to_string(),
+                r.update.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                format!("{:.3}", r.sleuth_acc),
+                format!("{:.3}", r.sage_acc),
+            ]);
+        }
+        t
+    }
+
+    /// Accuracy rows for the period in which update `u` landed.
+    pub fn at_update(&self, u: char) -> Option<&Fig6Row> {
+        self.rows.iter().find(|r| r.update == Some(u))
+    }
+}
+
+/// Run the streaming-update experiment.
+pub fn fig6_updates(scale: &EvalScale) -> Fig6Result {
+    let mut app = AppSpec::Synthetic(scale.fig6_app_rpcs).build(600);
+    let periods = scale.fig6_periods.max(4);
+    // Updates spread over the window, never in period 0.
+    let mut schedule: Vec<(usize, char)> = ['A', 'B', 'C', 'D']
+        .iter()
+        .enumerate()
+        .map(|(k, &u)| ((((k + 1) * periods) / 5).max(1), u))
+        .collect();
+    schedule.dedup_by_key(|(p, _)| *p);
+
+    // Initial training on period-0 traffic.
+    let model_cfg = ModelConfig::default();
+    let mut featurizer = Featurizer::new(model_cfg.sem_dim);
+    let init_corpus = CorpusBuilder::new(&app)
+        .seed(601)
+        .normal_traces(scale.train_traces)
+        .plain_traces();
+    let mut model = SleuthModel::new(&model_cfg, 9);
+    let full_train = TrainConfig {
+        epochs: scale.gnn_epochs,
+        batch_traces: 32,
+        lr: 1e-2,
+        seed: 0,
+    };
+    let encoded: Vec<EncodedTrace> = init_corpus.iter().map(|t| featurizer.encode(t)).collect();
+    model.train(&encoded, &full_train);
+    let mut sage = Sage::fit(&init_corpus, scale.sage_epochs, 1);
+    let mut slowed_service: Option<String> = None;
+
+    let mut rows = Vec::new();
+    for period in 0..periods {
+        let update = schedule
+            .iter()
+            .find(|(p, _)| *p == period)
+            .map(|&(_, u)| u);
+        if let Some(u) = update {
+            match u {
+                'A' => {
+                    let r = updates::update_a_slow_service(&mut app, 10.0);
+                    slowed_service = r.services.first().cloned();
+                }
+                'B' => {
+                    if let Some(svc) = slowed_service.take() {
+                        updates::update_b_remove_service(&mut app, &svc);
+                    }
+                }
+                'C' => {
+                    updates::update_c_add_service(&mut app);
+                }
+                _ => {
+                    updates::update_d_add_chains(&mut app);
+                }
+            }
+        }
+
+        // Fresh traffic on the (possibly updated) topology.
+        let builder = CorpusBuilder::new(&app).seed(700 + period as u64);
+        let corpus = builder
+            .normal_traces((scale.train_traces / 2).max(40))
+            .plain_traces();
+        let queries = builder.anomaly_queries(
+            (scale.queries / 2).max(3),
+            scale.traffic_per_query,
+        );
+
+        // Evaluate the *stale* models first.
+        let sleuth = SleuthPipeline::from_parts(
+            model.clone(),
+            featurizer.clone(),
+            &corpus,
+            &PipelineConfig::default(),
+        );
+        let sleuth_acc = eval_locator(&sleuth, &queries).accuracy();
+        let sage_acc = eval_locator(&sage, &queries).accuracy();
+        rows.push(Fig6Row {
+            period,
+            update,
+            sleuth_acc,
+            sage_acc,
+        });
+
+        // Stream-retrain on this period's data: Sleuth fine-tunes, Sage
+        // refits from scratch (its per-node models cannot be reused
+        // after topology changes).
+        let encoded: Vec<EncodedTrace> = corpus.iter().map(|t| featurizer.encode(t)).collect();
+        model.train(
+            &encoded,
+            &TrainConfig {
+                epochs: (scale.gnn_epochs / 4).max(3),
+                batch_traces: 32,
+                lr: 5e-3,
+                seed: period as u64,
+            },
+        );
+        sage = Sage::fit(&corpus, scale.sage_epochs, 1);
+    }
+    Fig6Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_full_timeline_with_updates() {
+        let r = fig6_updates(&EvalScale::smoke());
+        assert_eq!(r.rows.len(), 4);
+        let n_updates = r.rows.iter().filter(|row| row.update.is_some()).count();
+        assert!(n_updates >= 2, "expected updates in the window");
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.sleuth_acc));
+            assert!((0.0..=1.0).contains(&row.sage_acc));
+        }
+        assert!(!r.table().is_empty());
+    }
+}

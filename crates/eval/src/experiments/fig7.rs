@@ -1,0 +1,226 @@
+//! Figure 7: transfer learning — pre-trained Sleuth models fine-tuned
+//! onto unseen applications, vs Sage retrained from scratch.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use sleuth_baselines::Sage;
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::{EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth_synth::workload::CorpusBuilder;
+use sleuth_trace::Trace;
+
+use crate::experiments::{eval_locator, prepare, AppSpec, EvalScale, PreparedApp};
+use crate::report::Table;
+
+/// One operating point in the transfer sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig7Row {
+    /// Target application.
+    pub target: String,
+    /// Model provenance: `pretrain-single`, `pretrain-multi`,
+    /// `scratch`, or `sage-scratch`.
+    pub source: String,
+    /// Fine-tuning / retraining samples used.
+    pub finetune_samples: usize,
+    /// Exact-match accuracy on the target's anomaly queries.
+    pub acc: f64,
+    /// Fine-tuning / retraining wall time (s).
+    pub train_s: f64,
+}
+
+/// Result of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig7Result {
+    /// All measured operating points.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7Result {
+    /// Rows for one target/source pair, ordered by sample count.
+    pub fn series(&self, target: &str, source: &str) -> Vec<&Fig7Row> {
+        let mut v: Vec<&Fig7Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.target == target && r.source == source)
+            .collect();
+        v.sort_by_key(|r| r.finetune_samples);
+        v
+    }
+
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 7: transfer learning",
+            &["target", "source", "samples", "ACC", "train s"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.target.clone(),
+                r.source.clone(),
+                r.finetune_samples.to_string(),
+                format!("{:.3}", r.acc),
+                format!("{:.3}", r.train_s),
+            ]);
+        }
+        t
+    }
+}
+
+/// Train a Sleuth model on a corpus (shared featurizer), returning it.
+fn train_model(
+    featurizer: &mut Featurizer,
+    corpus: &[Trace],
+    epochs: usize,
+    seed: u64,
+) -> SleuthModel {
+    let encoded: Vec<EncodedTrace> = corpus.iter().map(|t| featurizer.encode(t)).collect();
+    let mut model = SleuthModel::new(&ModelConfig::default(), seed);
+    model.train(
+        &encoded,
+        &TrainConfig {
+            epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed,
+        },
+    );
+    model
+}
+
+fn eval_model_on(
+    model: &SleuthModel,
+    featurizer: &Featurizer,
+    target: &PreparedApp,
+) -> f64 {
+    let pipeline = SleuthPipeline::from_parts(
+        model.clone(),
+        featurizer.clone(),
+        &target.train,
+        &PipelineConfig::default(),
+    );
+    eval_locator(&pipeline, &target.queries).accuracy()
+}
+
+/// Run the transfer-learning sweep.
+pub fn fig7_transfer(scale: &EvalScale) -> Fig7Result {
+    let mut featurizer = Featurizer::new(ModelConfig::default().sem_dim);
+
+    // Pre-training corpora.
+    let single_src = AppSpec::Synthetic(scale.fig7_source_rpcs).build(800);
+    let single_corpus = CorpusBuilder::new(&single_src)
+        .seed(801)
+        .normal_traces(scale.train_traces)
+        .plain_traces();
+    let single_model = train_model(&mut featurizer, &single_corpus, scale.gnn_epochs, 1);
+
+    // The "50 production applications" corpus: diverse sizes and seeds.
+    let mut multi_corpus = Vec::new();
+    for k in 0..scale.fig7_pretrain_apps {
+        let n = [16, 24, 32, 48, 64, 96][k % 6];
+        let app = AppSpec::Synthetic(n).build(900 + k as u64);
+        let per_app = (scale.train_traces / scale.fig7_pretrain_apps).max(20);
+        multi_corpus.extend(
+            CorpusBuilder::new(&app)
+                .seed(901 + k as u64)
+                .normal_traces(per_app)
+                .plain_traces(),
+        );
+    }
+    let multi_model = train_model(&mut featurizer, &multi_corpus, scale.gnn_epochs, 2);
+
+    // Targets.
+    let targets = [
+        AppSpec::SockShop,
+        AppSpec::Synthetic(scale.fig7_target_rpcs),
+    ];
+
+    let mut rows = Vec::new();
+    for (ti, &tspec) in targets.iter().enumerate() {
+        let target = prepare(tspec, scale, 950 + ti as u64);
+
+        // Pre-trained models fine-tuned with increasing sample counts.
+        for (source_name, base) in [("pretrain-single", &single_model), ("pretrain-multi", &multi_model)] {
+            for &samples in &scale.finetune_sizes {
+                let mut model = base.clone();
+                let start = Instant::now();
+                if samples > 0 {
+                    let subset: Vec<EncodedTrace> = target.train
+                        [..samples.min(target.train.len())]
+                        .iter()
+                        .map(|t| featurizer.encode(t))
+                        .collect();
+                    model.train(
+                        &subset,
+                        &TrainConfig {
+                            epochs: (scale.gnn_epochs / 3).max(3),
+                            batch_traces: 32,
+                            lr: 5e-3,
+                            seed: 3,
+                        },
+                    );
+                }
+                let train_s = start.elapsed().as_secs_f64();
+                rows.push(Fig7Row {
+                    target: target.name.clone(),
+                    source: source_name.to_string(),
+                    finetune_samples: samples,
+                    acc: eval_model_on(&model, &featurizer, &target),
+                    train_s,
+                });
+            }
+        }
+
+        // Scratch reference (the paper's red line).
+        let start = Instant::now();
+        let scratch = train_model(&mut featurizer, &target.train, scale.gnn_epochs, 4);
+        rows.push(Fig7Row {
+            target: target.name.clone(),
+            source: "scratch".into(),
+            finetune_samples: target.train.len(),
+            acc: eval_model_on(&scratch, &featurizer, &target),
+            train_s: start.elapsed().as_secs_f64(),
+        });
+
+        // Sage must be retrained from scratch at every sample count.
+        for &samples in &scale.finetune_sizes {
+            let n = samples.max(10).min(target.train.len());
+            let start = Instant::now();
+            let sage = Sage::fit(&target.train[..n], scale.sage_epochs, 1);
+            let train_s = start.elapsed().as_secs_f64();
+            rows.push(Fig7Row {
+                target: target.name.clone(),
+                source: "sage-scratch".into(),
+                finetune_samples: samples,
+                acc: eval_locator(&sage, &target.queries).accuracy(),
+                train_s,
+            });
+        }
+    }
+    Fig7Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_improves_with_finetuning() {
+        let r = fig7_transfer(&EvalScale::smoke());
+        assert!(!r.rows.is_empty());
+        // Fine-tuning should not hurt relative to zero-shot for the
+        // single-source model (allowing noise at smoke scale).
+        for target in ["SockShop", "Syn-16"] {
+            let series = r.series(target, "pretrain-single");
+            assert_eq!(series.len(), 2);
+            assert!(
+                series[1].acc + 0.25 >= series[0].acc,
+                "{target}: fine-tuning collapsed: {} -> {}",
+                series[0].acc,
+                series[1].acc
+            );
+        }
+        assert!(!r.table().is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Figure 8: sensitivity to semantic information in span names.
+//!
+//! Service/operation names are randomised in a test replica; pre-trained
+//! models that overfit one vocabulary lose accuracy on misleading names,
+//! while a model pre-trained on diverse applications is robust, and
+//! fine-tuning recovers both.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use sleuth_baselines::common::RootCauseLocator;
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::{EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth_synth::workload::{AnomalyQuery, CorpusBuilder};
+use sleuth_trace::{Span, Trace};
+
+use crate::experiments::{prepare, AppSpec, EvalScale, PreparedApp};
+use crate::metrics::EvalAccumulator;
+use crate::report::Table;
+
+/// One measurement cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig8Row {
+    /// Pre-training source: `single` or `multi`.
+    pub model: String,
+    /// Test-set naming: `original` or `randomized`.
+    pub names: String,
+    /// Whether the model was fine-tuned on target samples first.
+    pub finetuned: bool,
+    /// Exact-match accuracy.
+    pub acc: f64,
+}
+
+/// Result of the Figure 8 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig8Result {
+    /// All cells.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8Result {
+    /// Look up one cell's accuracy.
+    pub fn acc(&self, model: &str, names: &str, finetuned: bool) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model && r.names == names && r.finetuned == finetuned)
+            .map(|r| r.acc)
+    }
+
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 8: accuracy vs span semantics",
+            &["model", "names", "finetuned", "ACC"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.model.clone(),
+                r.names.clone(),
+                r.finetuned.to_string(),
+                format!("{:.3}", r.acc),
+            ]);
+        }
+        t
+    }
+}
+
+/// Consistent random renaming of services and operations, disjoint from
+/// any natural vocabulary.
+#[derive(Debug, Default)]
+struct Renamer {
+    services: HashMap<String, String>,
+    ops: HashMap<String, String>,
+}
+
+impl Renamer {
+    fn gibberish(rng: &mut ChaCha8Rng) -> String {
+        let letters: String = (0..10)
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        format!("zz{letters}")
+    }
+
+    fn service(&mut self, name: &str, rng: &mut ChaCha8Rng) -> String {
+        self.services
+            .entry(name.to_string())
+            .or_insert_with(|| Self::gibberish(rng))
+            .clone()
+    }
+
+    fn op(&mut self, name: &str, rng: &mut ChaCha8Rng) -> String {
+        self.ops
+            .entry(name.to_string())
+            .or_insert_with(|| Self::gibberish(rng))
+            .clone()
+    }
+
+    fn rename_trace(&mut self, trace: &Trace, rng: &mut ChaCha8Rng) -> Trace {
+        let spans: Vec<Span> = trace
+            .spans()
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.service = self.service(&s.service, rng);
+                s.name = self.op(&s.name, rng);
+                s
+            })
+            .collect();
+        Trace::assemble(spans).expect("renaming preserves structure")
+    }
+
+    fn rename_queries(&mut self, queries: &[AnomalyQuery], rng: &mut ChaCha8Rng) -> Vec<AnomalyQuery> {
+        queries
+            .iter()
+            .map(|q| {
+                let traces = q
+                    .traces
+                    .iter()
+                    .map(|st| {
+                        let mut st = st.clone();
+                        st.trace = self.rename_trace(&st.trace, rng);
+                        st.ground_truth.services = st
+                            .ground_truth
+                            .services
+                            .iter()
+                            .map(|s| self.service(s, rng))
+                            .collect();
+                        st
+                    })
+                    .collect();
+                AnomalyQuery {
+                    plan: q.plan.clone(),
+                    traces,
+                }
+            })
+            .collect()
+    }
+}
+
+fn eval(model: &SleuthModel, featurizer: &Featurizer, train: &[Trace], queries: &[AnomalyQuery]) -> f64 {
+    let pipeline = SleuthPipeline::from_parts(
+        model.clone(),
+        featurizer.clone(),
+        train,
+        &PipelineConfig::default(),
+    );
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        for st in &q.traces {
+            let truth = st.ground_truth.services.iter().cloned().collect();
+            let pred = pipeline.localize(&st.trace);
+            acc.add_query(&pred, &truth);
+        }
+    }
+    acc.accuracy()
+}
+
+/// Run the semantics-sensitivity experiment.
+pub fn fig8_semantics(scale: &EvalScale) -> Fig8Result {
+    let mut featurizer = Featurizer::new(ModelConfig::default().sem_dim);
+    let train_cfg = TrainConfig {
+        epochs: scale.gnn_epochs,
+        batch_traces: 32,
+        lr: 1e-2,
+        seed: 0,
+    };
+
+    // Pre-trained models, as in Fig. 7.
+    let single_src = AppSpec::Synthetic(scale.fig7_source_rpcs).build(810);
+    let single_corpus = CorpusBuilder::new(&single_src)
+        .seed(811)
+        .normal_traces(scale.train_traces)
+        .plain_traces();
+    let mut single = SleuthModel::new(&ModelConfig::default(), 11);
+    let enc: Vec<EncodedTrace> = single_corpus.iter().map(|t| featurizer.encode(t)).collect();
+    single.train(&enc, &train_cfg);
+
+    let mut multi_corpus = Vec::new();
+    for k in 0..scale.fig7_pretrain_apps {
+        let n = [16, 24, 32, 48, 64, 96][k % 6];
+        let app = AppSpec::Synthetic(n).build(920 + k as u64);
+        let per_app = (scale.train_traces / scale.fig7_pretrain_apps).max(20);
+        multi_corpus.extend(
+            CorpusBuilder::new(&app)
+                .seed(921 + k as u64)
+                .normal_traces(per_app)
+                .plain_traces(),
+        );
+    }
+    let mut multi = SleuthModel::new(&ModelConfig::default(), 12);
+    let enc: Vec<EncodedTrace> = multi_corpus.iter().map(|t| featurizer.encode(t)).collect();
+    multi.train(&enc, &train_cfg);
+
+    // Target with two naming variants.
+    let target = prepare(AppSpec::SockShop, scale, 960);
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let mut renamer = Renamer::default();
+    let renamed_train: Vec<Trace> = target
+        .train
+        .iter()
+        .map(|t| renamer.rename_trace(t, &mut rng))
+        .collect();
+    let renamed_queries = renamer.rename_queries(&target.queries, &mut rng);
+
+    let variants: [(&str, &PreparedApp, &[Trace], &[AnomalyQuery]); 2] = [
+        ("original", &target, &target.train, &target.queries),
+        ("randomized", &target, &renamed_train, &renamed_queries),
+    ];
+
+    let finetune_samples = scale.finetune_sizes.last().copied().unwrap_or(0).max(20);
+    let mut rows = Vec::new();
+    for (model_name, base) in [("single", &single), ("multi", &multi)] {
+        for (names, _t, train, queries) in &variants {
+            // Zero-shot.
+            rows.push(Fig8Row {
+                model: model_name.into(),
+                names: (*names).into(),
+                finetuned: false,
+                acc: eval(base, &featurizer, train, queries),
+            });
+            // Fine-tuned on the correspondingly named target samples.
+            let mut ft = (*base).clone();
+            let subset: Vec<EncodedTrace> = train[..finetune_samples.min(train.len())]
+                .iter()
+                .map(|t| featurizer.encode(t))
+                .collect();
+            ft.train(
+                &subset,
+                &TrainConfig {
+                    epochs: (scale.gnn_epochs / 3).max(3),
+                    batch_traces: 32,
+                    lr: 5e-3,
+                    seed: 5,
+                },
+            );
+            rows.push(Fig8Row {
+                model: model_name.into(),
+                names: (*names).into(),
+                finetuned: true,
+                acc: eval(&ft, &featurizer, train, queries),
+            });
+        }
+    }
+    Fig8Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_eight_cells() {
+        let r = fig8_semantics(&EvalScale::smoke());
+        assert_eq!(r.rows.len(), 8);
+        for model in ["single", "multi"] {
+            for names in ["original", "randomized"] {
+                for ft in [false, true] {
+                    assert!(r.acc(model, names, ft).is_some(), "{model}/{names}/{ft}");
+                }
+            }
+        }
+        assert!(!r.table().is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Experiment drivers, one per paper table/figure.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table3;
+
+pub use ablations::{ablation_clustering, ablation_decoder, ablation_distance};
+pub use fig1::fig1_nsigma;
+pub use fig3::fig3_duration_cdf;
+pub use fig5::fig5_scaling;
+pub use fig6::fig6_updates;
+pub use fig7::fig7_transfer;
+pub use fig8::fig8_semantics;
+pub use table1::table1_specs;
+pub use table3::table3_accuracy;
+
+use std::collections::BTreeSet;
+
+use sleuth_baselines::common::RootCauseLocator;
+use sleuth_core::pipeline::SleuthPipeline;
+use sleuth_synth::config::App;
+use sleuth_synth::presets;
+use sleuth_synth::workload::{AnomalyQuery, CorpusBuilder};
+use sleuth_trace::Trace;
+
+use crate::metrics::EvalAccumulator;
+
+/// Which benchmark application an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSpec {
+    /// The SockShop preset.
+    SockShop,
+    /// The SocialNetwork preset.
+    SocialNetwork,
+    /// A Synthetic-N application.
+    Synthetic(usize),
+}
+
+impl AppSpec {
+    /// Instantiate the application.
+    pub fn build(self, seed: u64) -> App {
+        match self {
+            AppSpec::SockShop => presets::sockshop(),
+            AppSpec::SocialNetwork => presets::socialnetwork(),
+            AppSpec::Synthetic(n) => presets::synthetic(n, seed),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            AppSpec::SockShop => "SockShop".into(),
+            AppSpec::SocialNetwork => "SocialNet".into(),
+            AppSpec::Synthetic(n) => format!("Syn-{n}"),
+        }
+    }
+}
+
+/// Workload sizes for the experiment suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalScale {
+    /// Healthy traces per training corpus.
+    pub train_traces: usize,
+    /// Anomaly queries per evaluation.
+    pub queries: usize,
+    /// Traffic driven per query episode.
+    pub traffic_per_query: usize,
+    /// GNN training epochs.
+    pub gnn_epochs: usize,
+    /// Per-node model epochs for Sage.
+    pub sage_epochs: usize,
+    /// VAE epochs for TraceAnomaly / DeepTraLog.
+    pub vae_epochs: usize,
+    /// Applications in the Table 3 comparison.
+    pub table3_apps: Vec<AppSpec>,
+    /// Synthetic sizes for the Fig. 5 scaling sweep.
+    pub fig5_scales: Vec<usize>,
+    /// Service counts for the Fig. 1 sweep.
+    pub fig1_service_counts: Vec<usize>,
+    /// Stream periods for Fig. 6.
+    pub fig6_periods: usize,
+    /// Application size for Fig. 6.
+    pub fig6_app_rpcs: usize,
+    /// Target application size for Fig. 7 (besides SockShop).
+    pub fig7_target_rpcs: usize,
+    /// Source application size for the single-source pre-trained model.
+    pub fig7_source_rpcs: usize,
+    /// Number of diverse applications in the multi-source corpus (the
+    /// paper's "50 production microservices").
+    pub fig7_pretrain_apps: usize,
+    /// Fine-tuning sample counts for Fig. 7/8.
+    pub finetune_sizes: Vec<usize>,
+}
+
+impl EvalScale {
+    /// Tiny sizes for unit tests.
+    pub fn smoke() -> Self {
+        EvalScale {
+            train_traces: 60,
+            queries: 4,
+            traffic_per_query: 8,
+            gnn_epochs: 8,
+            sage_epochs: 8,
+            vae_epochs: 8,
+            table3_apps: vec![AppSpec::Synthetic(16)],
+            fig5_scales: vec![16, 32],
+            fig1_service_counts: vec![4, 16],
+            fig6_periods: 4,
+            fig6_app_rpcs: 16,
+            fig7_target_rpcs: 16,
+            fig7_source_rpcs: 32,
+            fig7_pretrain_apps: 2,
+            finetune_sizes: vec![0, 30],
+        }
+    }
+
+    /// Default (CI) sizes: minutes, not hours.
+    pub fn ci() -> Self {
+        EvalScale {
+            train_traces: 250,
+            queries: 25,
+            traffic_per_query: 15,
+            gnn_epochs: 25,
+            sage_epochs: 25,
+            vae_epochs: 30,
+            table3_apps: vec![
+                AppSpec::SockShop,
+                AppSpec::SocialNetwork,
+                AppSpec::Synthetic(64),
+                AppSpec::Synthetic(256),
+            ],
+            fig5_scales: vec![16, 64, 256],
+            fig1_service_counts: vec![4, 16, 64, 128],
+            fig6_periods: 9,
+            fig6_app_rpcs: 64,
+            fig7_target_rpcs: 128,
+            fig7_source_rpcs: 256,
+            fig7_pretrain_apps: 6,
+            finetune_sizes: vec![0, 50, 250],
+        }
+    }
+
+    /// Paper-scale sizes (hours of CPU).
+    pub fn full() -> Self {
+        EvalScale {
+            train_traces: 1_000,
+            queries: 100,
+            traffic_per_query: 40,
+            gnn_epochs: 40,
+            sage_epochs: 40,
+            vae_epochs: 60,
+            table3_apps: vec![
+                AppSpec::SockShop,
+                AppSpec::SocialNetwork,
+                AppSpec::Synthetic(64),
+                AppSpec::Synthetic(256),
+                AppSpec::Synthetic(1024),
+            ],
+            fig5_scales: vec![16, 64, 256, 1024],
+            fig1_service_counts: vec![4, 16, 64, 256],
+            fig6_periods: 12,
+            fig6_app_rpcs: 256,
+            fig7_target_rpcs: 256,
+            fig7_source_rpcs: 256,
+            fig7_pretrain_apps: 12,
+            finetune_sizes: vec![0, 100, 1_000],
+        }
+    }
+
+    /// `full()` when `SLEUTH_FULL=1` is set, else `ci()`.
+    pub fn from_env() -> Self {
+        if std::env::var("SLEUTH_FULL").map(|v| v == "1").unwrap_or(false) {
+            EvalScale::full()
+        } else {
+            EvalScale::ci()
+        }
+    }
+}
+
+/// A benchmark application with its training corpus and labelled
+/// anomaly queries.
+#[derive(Debug, Clone)]
+pub struct PreparedApp {
+    /// Display name.
+    pub name: String,
+    /// The application.
+    pub app: App,
+    /// Healthy training traces.
+    pub train: Vec<Trace>,
+    /// Labelled anomaly queries.
+    pub queries: Vec<AnomalyQuery>,
+}
+
+/// Build the corpus and queries for one application.
+///
+/// The training corpus is *mixed* traffic — mostly healthy windows with
+/// occasional background fault episodes — matching the paper's
+/// unsupervised setting (§6.2 trains on 24 h of production-like
+/// operation, which contains unlabelled anomalies; that exposure is
+/// what teaches the GNN's knees the anomalous duration range).
+pub fn prepare(spec: AppSpec, scale: &EvalScale, seed: u64) -> PreparedApp {
+    let app = spec.build(seed);
+    let instances: usize = app.services.iter().map(|s| s.pods.len()).sum();
+    // ~2 faulted instances per background episode regardless of scale.
+    let train_chaos = sleuth_synth::chaos::ChaosEngine {
+        per_instance_probability: (2.0 / instances as f64).min(0.02),
+        ..sleuth_synth::chaos::ChaosEngine::default()
+    };
+    let builder = CorpusBuilder::new(&app).seed(seed);
+    let train = builder
+        .clone()
+        .chaos(train_chaos)
+        .mixed_traces(scale.train_traces, 10)
+        .plain_traces();
+    let queries = builder.anomaly_queries(scale.queries, scale.traffic_per_query);
+    PreparedApp {
+        name: spec.name(),
+        app,
+        train,
+        queries,
+    }
+}
+
+/// Evaluate a per-trace locator across queries: every anomalous trace
+/// is one RCA query, scored against its own ground truth.
+pub fn eval_locator(locator: &dyn RootCauseLocator, queries: &[AnomalyQuery]) -> EvalAccumulator {
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        for st in &q.traces {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            let pred = locator.localize(&st.trace);
+            acc.add_query(&pred, &truth);
+        }
+    }
+    acc
+}
+
+/// Evaluate the Sleuth pipeline **with clustering**: each query's traces
+/// are clustered together, representatives analysed, and every trace is
+/// scored against the (possibly inherited) prediction.
+pub fn eval_pipeline_clustered(
+    pipeline: &SleuthPipeline,
+    queries: &[AnomalyQuery],
+) -> EvalAccumulator {
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let results = pipeline.analyze(&traces);
+        for (st, r) in q.traces.iter().zip(&results) {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            acc.add_query(&r.services, &truth);
+        }
+    }
+    acc
+}
+
+/// Count the RCA invocations clustering saves: `(representatives,
+/// total_traces)` across queries.
+pub fn clustering_savings(pipeline: &SleuthPipeline, queries: &[AnomalyQuery]) -> (usize, usize) {
+    let mut reps = 0;
+    let mut total = 0;
+    for q in queries {
+        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let results = pipeline.analyze(&traces);
+        reps += results.iter().filter(|r| r.representative).count();
+        total += results.len();
+    }
+    (reps, total)
+}

@@ -1,0 +1,104 @@
+//! Table 1: benchmark application specifications.
+
+use serde::Serialize;
+
+use crate::experiments::AppSpec;
+use crate::report::Table;
+
+/// One benchmark's measured specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Service count.
+    pub services: usize,
+    /// RPC invocation sites across flows.
+    pub rpcs: usize,
+    /// Spans of the largest flow.
+    pub max_spans: usize,
+    /// Span-tree depth of the deepest flow.
+    pub max_depth: usize,
+    /// Largest RPC fan-out.
+    pub max_out_degree: usize,
+}
+
+/// Result of the Table 1 measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table1Result {
+    /// One row per benchmark.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Table 1: specifications of microservice benchmarks",
+            &["benchmark", "services", "RPCs", "max spans", "max depth", "max out degree"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.name.clone(),
+                r.services.to_string(),
+                r.rpcs.to_string(),
+                r.max_spans.to_string(),
+                r.max_depth.to_string(),
+                r.max_out_degree.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Measure every benchmark the paper lists.
+pub fn table1_specs() -> Table1Result {
+    let specs = [
+        AppSpec::SockShop,
+        AppSpec::SocialNetwork,
+        AppSpec::Synthetic(16),
+        AppSpec::Synthetic(64),
+        AppSpec::Synthetic(256),
+        AppSpec::Synthetic(1024),
+    ];
+    let rows = specs
+        .iter()
+        .map(|&spec| {
+            let app = spec.build(7);
+            Table1Row {
+                name: spec.name(),
+                services: app.num_services(),
+                rpcs: app.num_rpcs(),
+                max_spans: app.max_spans(),
+                max_depth: app.max_depth(),
+                max_out_degree: app.max_out_degree(),
+            }
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_scale() {
+        let r = table1_specs();
+        assert_eq!(r.rows.len(), 6);
+        let by_name = |n: &str| r.rows.iter().find(|row| row.name == n).unwrap();
+        assert_eq!(by_name("SockShop").services, 11);
+        assert_eq!(by_name("SocialNet").services, 26);
+        assert_eq!(by_name("Syn-1024").rpcs, 1024);
+        assert_eq!(by_name("Syn-1024").services, 256);
+        // Depth 9 for the two real benchmarks, as in the paper.
+        assert_eq!(by_name("SockShop").max_depth, 9);
+        assert_eq!(by_name("SocialNet").max_depth, 9);
+        // Scale grows monotonically across the synthetic family.
+        let spans: Vec<usize> = ["Syn-16", "Syn-64", "Syn-256", "Syn-1024"]
+            .iter()
+            .map(|n| by_name(n).max_spans)
+            .collect();
+        assert!(spans.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.table().len(), 6);
+    }
+}

@@ -1,0 +1,214 @@
+//! Table 3: F1 and accuracy of every RCA algorithm on every benchmark.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use serde::Serialize;
+
+use sleuth_baselines::{DeepTraLog, MaxDuration, RealtimeRca, Sage, Threshold, TraceAnomaly};
+use sleuth_cluster::DistanceMatrix;
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_trace::Trace;
+
+use crate::experiments::{eval_locator, eval_pipeline_clustered, prepare, EvalScale};
+use crate::metrics::EvalAccumulator;
+use crate::report::Table;
+
+/// F1/ACC pair for one algorithm on one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Table3Cell {
+    /// F1 score.
+    pub f1: f64,
+    /// Exact-match accuracy.
+    pub acc: f64,
+}
+
+/// One algorithm's results across benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Row {
+    /// Algorithm name (paper's row labels).
+    pub algorithm: String,
+    /// One cell per benchmark, ordered as in
+    /// [`Table3Result::apps`].
+    pub cells: Vec<Table3Cell>,
+}
+
+/// Result of the Table 3 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Result {
+    /// Benchmark names (column groups).
+    pub apps: Vec<String>,
+    /// One row per algorithm.
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3Result {
+    /// Cell for `(algorithm, app)`.
+    pub fn cell(&self, algorithm: &str, app: &str) -> Option<Table3Cell> {
+        let col = self.apps.iter().position(|a| a == app)?;
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == algorithm)
+            .and_then(|r| r.cells.get(col).copied())
+    }
+
+    /// Render in the paper's style.
+    pub fn table(&self) -> Table {
+        let mut header: Vec<String> = vec!["algorithm".into()];
+        for app in &self.apps {
+            header.push(format!("{app} F1"));
+            header.push(format!("{app} ACC"));
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new("Table 3: RCA accuracy", &header_refs);
+        for r in &self.rows {
+            let mut cells = vec![r.algorithm.clone()];
+            for c in &r.cells {
+                cells.push(format!("{:.2}", c.f1));
+                cells.push(format!("{:.2}", c.acc));
+            }
+            t.row(&cells);
+        }
+        t
+    }
+}
+
+fn cell(acc: &EvalAccumulator) -> Table3Cell {
+    Table3Cell {
+        f1: acc.f1(),
+        acc: acc.accuracy(),
+    }
+}
+
+/// Run the full Table 3 comparison.
+pub fn table3_accuracy(scale: &EvalScale) -> Table3Result {
+    let algorithms = [
+        "Max",
+        "Threshold",
+        "TraceAnomaly",
+        "Realtime RCA",
+        "Sage",
+        "Sleuth-GCN",
+        "Sleuth-GIN w/ DeepTraLog",
+        "Sleuth-GIN w/ clustering",
+        "Sleuth-GIN w/o clustering",
+    ];
+    let mut rows: Vec<Table3Row> = algorithms
+        .iter()
+        .map(|a| Table3Row {
+            algorithm: a.to_string(),
+            cells: Vec::new(),
+        })
+        .collect();
+
+    let mut apps = Vec::new();
+    for (i, &spec) in scale.table3_apps.iter().enumerate() {
+        let prepared = prepare(spec, scale, 40 + i as u64);
+        apps.push(prepared.name.clone());
+        let train = &prepared.train;
+        let queries = &prepared.queries;
+
+        // Rule/statistics baselines.
+        let max = MaxDuration::new();
+        let threshold = Threshold::fit(train);
+        let trace_anomaly = TraceAnomaly::fit(train, scale.vae_epochs, 1);
+        let realtime = RealtimeRca::fit(train);
+        let sage = Sage::fit(train, scale.sage_epochs, 1);
+
+        // Sleuth variants.
+        let train_cfg = TrainConfig {
+            epochs: scale.gnn_epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        };
+        let gin_cfg = PipelineConfig {
+            train: train_cfg,
+            ..PipelineConfig::default()
+        };
+        let gcn_cfg = PipelineConfig {
+            train: train_cfg,
+            ..PipelineConfig::gcn()
+        };
+        let gin = SleuthPipeline::fit(train, &gin_cfg);
+        let gcn = SleuthPipeline::fit(train, &gcn_cfg);
+        let deeptralog = RefCell::new(DeepTraLog::fit(train, scale.vae_epochs, 1));
+
+        let results = [
+            eval_locator(&max, queries),
+            eval_locator(&threshold, queries),
+            eval_locator(&trace_anomaly, queries),
+            eval_locator(&realtime, queries),
+            eval_locator(&sage, queries),
+            eval_locator(&gcn, queries),
+            eval_deeptralog_clustered(&gin, &deeptralog, queries),
+            eval_pipeline_clustered(&gin, queries),
+            eval_locator(&gin, queries),
+        ];
+        for (row, acc) in rows.iter_mut().zip(&results) {
+            row.cells.push(cell(acc));
+        }
+    }
+    Table3Result { apps, rows }
+}
+
+/// Sleuth with DeepTraLog's SVDD embedding distance as the clustering
+/// metric (§6.2).
+fn eval_deeptralog_clustered(
+    pipeline: &SleuthPipeline,
+    deeptralog: &RefCell<DeepTraLog>,
+    queries: &[sleuth_synth::workload::AnomalyQuery],
+) -> EvalAccumulator {
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let embeddings: Vec<Vec<f32>> = traces
+            .iter()
+            .map(|t| deeptralog.borrow_mut().embed(t))
+            .collect();
+        let dm = DistanceMatrix::from_fn(traces.len(), |i, j| {
+            embeddings[i]
+                .iter()
+                .zip(&embeddings[j])
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum::<f64>()
+                .sqrt()
+        });
+        let results = pipeline.analyze_with_distance(&traces, &dm);
+        for (st, r) in q.traces.iter().zip(&results) {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            acc.add_query(&r.services, &truth);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_rows() {
+        let r = table3_accuracy(&EvalScale::smoke());
+        assert_eq!(r.apps.len(), 1);
+        assert_eq!(r.rows.len(), 9);
+        for row in &r.rows {
+            assert_eq!(row.cells.len(), 1);
+            let c = &row.cells[0];
+            assert!((0.0..=1.0).contains(&c.f1));
+            assert!((0.0..=1.0).contains(&c.acc));
+        }
+        // The paper's headline: Sleuth-GIN w/o clustering beats the
+        // rule-based baselines.
+        let gin = r.cell("Sleuth-GIN w/o clustering", &r.apps[0]).unwrap();
+        let threshold = r.cell("Threshold", &r.apps[0]).unwrap();
+        assert!(
+            gin.f1 >= threshold.f1,
+            "GIN ({}) should not lose to Threshold ({})",
+            gin.f1,
+            threshold.f1
+        );
+        assert_eq!(r.table().len(), 9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Evaluation harness: metrics and experiment drivers (§6).
+//!
+//! This crate regenerates every quantitative table and figure in the
+//! paper's evaluation from the workspace's own substrates:
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 1 — n-sigma rule degrades with scale | [`experiments::fig1_nsigma`] |
+//! | Fig. 3 — span-duration CDF | [`experiments::fig3_duration_cdf`] |
+//! | Table 1 — benchmark specifications | [`experiments::table1_specs`] |
+//! | Table 3 — RCA accuracy across algorithms | [`experiments::table3_accuracy`] |
+//! | Fig. 5 — training/inference scaling vs Sage | [`experiments::fig5_scaling`] |
+//! | Fig. 6 — accuracy under live service updates | [`experiments::fig6_updates`] |
+//! | Fig. 7 — transfer learning | [`experiments::fig7_transfer`] |
+//! | Fig. 8 — sensitivity to span semantics | [`experiments::fig8_semantics`] |
+//!
+//! Absolute numbers differ from the paper (this substrate is a
+//! simulator on CPU, not a 100-node cluster with V100s); the comparison
+//! target is the *shape*: which method wins, how metrics move with
+//! scale, where the crossovers sit. Experiments run at a reduced CI
+//! scale by default; set `SLEUTH_FULL=1` for larger corpora.
+
+pub mod experiments;
+pub mod metrics;
+pub mod nsigma;
+pub mod report;
+
+pub use metrics::{EvalAccumulator, QueryOutcome};
+pub use nsigma::NSigmaRule;
+pub use report::Table;

@@ -1,0 +1,183 @@
+//! Accuracy metrics (§6.1.5).
+//!
+//! Each RCA query predicts a set of root-cause instances which is
+//! compared against the injection-log ground truth. TP/FP/FN are
+//! aggregated across queries into the F₁ score; ACC is the fraction of
+//! queries whose prediction matches the truth *exactly*.
+
+use std::collections::BTreeSet;
+
+/// Outcome of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// True positives in this query.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// Whether prediction == truth exactly.
+    pub exact: bool,
+}
+
+/// Accumulates TP/FP/FN and exact matches across queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalAccumulator {
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+    exact: usize,
+    queries: usize,
+}
+
+impl EvalAccumulator {
+    /// Start an empty accumulator.
+    pub fn new() -> Self {
+        EvalAccumulator::default()
+    }
+
+    /// Score one query and fold it in.
+    pub fn add_query<S: AsRef<str>>(&mut self, predicted: &[S], truth: &BTreeSet<String>) -> QueryOutcome {
+        let pred: BTreeSet<&str> = predicted.iter().map(|s| s.as_ref()).collect();
+        let tp = pred.iter().filter(|p| truth.contains(**p)).count();
+        let fp = pred.len() - tp;
+        let fn_ = truth.len() - tp;
+        let exact = fp == 0 && fn_ == 0;
+        self.tp += tp;
+        self.fp += fp;
+        self.fn_ += fn_;
+        if exact {
+            self.exact += 1;
+        }
+        self.queries += 1;
+        QueryOutcome { tp, fp, fn_, exact }
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &EvalAccumulator) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.exact += other.exact;
+        self.queries += other.queries;
+    }
+
+    /// Number of queries scored.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// `F₁ = 2·TP / (2·TP + FP + FN)`; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let denom = 2 * self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Exact-match accuracy; 0 when no queries were scored.
+    pub fn accuracy(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.exact as f64 / self.queries as f64
+        }
+    }
+
+    /// Precision; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_query() {
+        let mut acc = EvalAccumulator::new();
+        let o = acc.add_query(&["a", "b"], &truth(&["a", "b"]));
+        assert!(o.exact);
+        assert_eq!(acc.f1(), 1.0);
+        assert_eq!(acc.accuracy(), 1.0);
+        assert_eq!(acc.precision(), 1.0);
+        assert_eq!(acc.recall(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let mut acc = EvalAccumulator::new();
+        let o = acc.add_query(&["a", "c"], &truth(&["a", "b"]));
+        assert_eq!((o.tp, o.fp, o.fn_), (1, 1, 1));
+        assert!(!o.exact);
+        // F1 = 2/(2+1+1) = 0.5
+        assert!((acc.f1() - 0.5).abs() < 1e-12);
+        assert_eq!(acc.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_prediction_counts_fn() {
+        let mut acc = EvalAccumulator::new();
+        let empty: &[&str] = &[];
+        acc.add_query(empty, &truth(&["a"]));
+        assert_eq!(acc.f1(), 0.0);
+        assert_eq!(acc.recall(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_in_prediction_collapse() {
+        let mut acc = EvalAccumulator::new();
+        let o = acc.add_query(&["a", "a"], &truth(&["a"]));
+        assert!(o.exact);
+        assert_eq!(o.fp, 0);
+    }
+
+    #[test]
+    fn accuracy_stricter_than_f1() {
+        // Two queries, each with one TP and one FP: F1 positive, ACC 0.
+        let mut acc = EvalAccumulator::new();
+        acc.add_query(&["a", "x"], &truth(&["a"]));
+        acc.add_query(&["b", "y"], &truth(&["b"]));
+        assert!(acc.f1() > 0.5);
+        assert_eq!(acc.accuracy(), 0.0);
+        assert_eq!(acc.queries(), 2);
+    }
+
+    #[test]
+    fn merge_accumulators() {
+        let mut a = EvalAccumulator::new();
+        a.add_query(&["a"], &truth(&["a"]));
+        let mut b = EvalAccumulator::new();
+        b.add_query(&["x"], &truth(&["y"]));
+        a.merge(&b);
+        assert_eq!(a.queries(), 2);
+        assert!((a.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_metrics_defined() {
+        let acc = EvalAccumulator::new();
+        assert_eq!(acc.f1(), 0.0);
+        assert_eq!(acc.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The n-sigma rule of thumb (Figure 1).
+//!
+//! The motivating experiment: flag spans whose duration exceeds
+//! `mean + n·σ` of their operation's historical latency and blame their
+//! services. Works acceptably on small systems, degrades sharply as the
+//! service count grows — heavy-tailed latencies make any fixed `n`
+//! either too lax (false positives across hundreds of services) or too
+//! strict (missed causes).
+
+use sleuth_baselines::common::{exclusive_error_services, OpKey, OpProfile, RootCauseLocator};
+use sleuth_trace::Trace;
+
+/// The n-sigma localisation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NSigmaRule {
+    profile: OpProfile,
+    /// The `n` in `mean + n·σ`.
+    pub n: f64,
+}
+
+impl NSigmaRule {
+    /// Fit historical statistics.
+    pub fn fit(traces: &[Trace], n: f64) -> Self {
+        NSigmaRule {
+            profile: OpProfile::fit(traces),
+            n,
+        }
+    }
+
+    /// Reuse a fitted profile with a different `n` (for sweeps).
+    pub fn with_profile(profile: OpProfile, n: f64) -> Self {
+        NSigmaRule { profile, n }
+    }
+}
+
+impl RootCauseLocator for NSigmaRule {
+    fn name(&self) -> &str {
+        "n-sigma"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        if trace.is_error() {
+            let errs = exclusive_error_services(trace);
+            if !errs.is_empty() {
+                return errs;
+            }
+        }
+        let mut out: Vec<String> = Vec::new();
+        for (_, s) in trace.iter() {
+            let Some(st) = self.profile.get(&OpKey::of(s)) else {
+                continue;
+            };
+            if s.duration_us() as f64 > st.mean_us + self.n * st.std_us
+                && !out.contains(&s.service)
+            {
+                out.push(s.service.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, SpanKind};
+
+    fn mk(id: u64, front: u64, db: u64) -> Trace {
+        Trace::assemble(vec![
+            Span::builder(id, 1, "front", "GET /").time(0, front).build(),
+            Span::builder(id, 2, "db", "q")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(5, 5 + db)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    fn corpus() -> Vec<Trace> {
+        (0..200).map(|i| mk(i, 1_000 + (i % 17), 100 + (i % 13))).collect()
+    }
+
+    #[test]
+    fn flags_extreme_spans() {
+        let rule = NSigmaRule::fit(&corpus(), 3.0);
+        let got = rule.localize(&mk(999, 1_005, 10_000));
+        assert_eq!(got, vec!["db".to_string()]);
+    }
+
+    #[test]
+    fn healthy_trace_clean() {
+        let rule = NSigmaRule::fit(&corpus(), 3.0);
+        assert!(rule.localize(&mk(999, 1_008, 106)).is_empty());
+    }
+
+    #[test]
+    fn smaller_n_flags_more() {
+        let profile = OpProfile::fit(&corpus());
+        let strict = NSigmaRule::with_profile(profile.clone(), 6.0);
+        let lax = NSigmaRule::with_profile(profile, 0.5);
+        let t = mk(999, 1_030, 130);
+        assert!(strict.localize(&t).len() <= lax.localize(&t).len());
+    }
+}

@@ -1,0 +1,236 @@
+//! Trace → tensor encoding (§3.2) and graph batching.
+
+use sleuth_embed::{EmbeddingInterner, SemanticEmbedder};
+use sleuth_tensor::Tensor;
+use sleuth_trace::{exclusive, transform, SpanKind, Trace};
+
+/// Turns traces into the model's numeric representation: per span a
+/// feature vector `[scaled duration, error, semantic embedding…]`, an
+/// exclusive-feature vector `[scaled exclusive duration, exclusive
+/// error]`, and the parent topology.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    interner: EmbeddingInterner,
+    sem_dim: usize,
+}
+
+impl Featurizer {
+    /// Create a featurizer with `sem_dim`-dimensional semantic
+    /// embeddings of `service`+`name` (the sentence-embedding substitute;
+    /// see `sleuth-embed`).
+    pub fn new(sem_dim: usize) -> Self {
+        Featurizer {
+            interner: EmbeddingInterner::new(SemanticEmbedder::new(sem_dim)),
+            sem_dim,
+        }
+    }
+
+    /// Semantic embedding dimensionality.
+    pub fn sem_dim(&self) -> usize {
+        self.sem_dim
+    }
+
+    /// Encode one trace.
+    pub fn encode(&mut self, trace: &Trace) -> EncodedTrace {
+        let ex_d = exclusive::exclusive_durations(trace);
+        let ex_e = exclusive::exclusive_errors(trace);
+        let n = trace.len();
+        let mut sem = Vec::with_capacity(n);
+        let mut d_scaled = Vec::with_capacity(n);
+        let mut e = Vec::with_capacity(n);
+        let mut d_star_scaled = Vec::with_capacity(n);
+        let mut e_star = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        for (i, span) in trace.iter() {
+            let key = format!("{} {}", span.service, span.name);
+            let id = self.interner.intern(&key);
+            sem.push(self.interner.vector(id).to_vec());
+            d_scaled.push(transform::scale_duration(span.duration_us()));
+            e.push(if span.is_error() { 1.0 } else { 0.0 });
+            d_star_scaled.push(transform::scale_duration(ex_d[i]));
+            e_star.push(if ex_e[i] { 1.0 } else { 0.0 });
+            parent.push(trace.parent(i));
+            kinds.push(span.kind);
+        }
+        EncodedTrace {
+            sem,
+            d_scaled,
+            e,
+            d_star_scaled,
+            e_star,
+            parent,
+            kinds,
+        }
+    }
+}
+
+/// One encoded trace (indices follow the trace's topological order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedTrace {
+    /// Per-span semantic embedding of `service name`.
+    pub sem: Vec<Vec<f32>>,
+    /// Observed span durations, log-scaled.
+    pub d_scaled: Vec<f32>,
+    /// Observed error flags (0/1).
+    pub e: Vec<f32>,
+    /// Exclusive durations, log-scaled.
+    pub d_star_scaled: Vec<f32>,
+    /// Exclusive error flags (0/1).
+    pub e_star: Vec<f32>,
+    /// Parent index per span (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Span kinds (used by RCA affiliation, not by the model).
+    pub kinds: Vec<SpanKind>,
+}
+
+impl EncodedTrace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.d_scaled.len()
+    }
+
+    /// Whether the trace is empty (never true for assembled traces).
+    pub fn is_empty(&self) -> bool {
+        self.d_scaled.is_empty()
+    }
+
+    /// Semantic dimensionality.
+    pub fn sem_dim(&self) -> usize {
+        self.sem.first().map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// Several encoded traces packed as one disjoint graph.
+#[derive(Debug, Clone)]
+pub struct GraphBatch {
+    /// Node features `[N, 2 + sem_dim]`: `[d, e, sem…]`.
+    pub x: Tensor,
+    /// Exclusive features `[N, 2]`: `[d*, e*]`.
+    pub x_star: Tensor,
+    /// Global node index of each non-root node ("child rows").
+    pub child_nodes: Vec<usize>,
+    /// Global parent index of each child row (segment ids).
+    pub parent_of_child: Vec<usize>,
+    /// Total node count.
+    pub n: usize,
+    /// Offset of each trace's first node.
+    pub offsets: Vec<usize>,
+    /// Scaled-duration targets per node.
+    pub d_target: Vec<f32>,
+    /// Error targets per node.
+    pub e_target: Vec<f32>,
+}
+
+impl GraphBatch {
+    /// Pack encoded traces into one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or semantic dimensions differ.
+    pub fn pack(traces: &[&EncodedTrace]) -> Self {
+        assert!(!traces.is_empty(), "cannot pack an empty batch");
+        let sem_dim = traces[0].sem_dim();
+        let n: usize = traces.iter().map(|t| t.len()).sum();
+        let mut x = Vec::with_capacity(n * (2 + sem_dim));
+        let mut x_star = Vec::with_capacity(n * 2);
+        let mut child_nodes = Vec::new();
+        let mut parent_of_child = Vec::new();
+        let mut offsets = Vec::with_capacity(traces.len());
+        let mut d_target = Vec::with_capacity(n);
+        let mut e_target = Vec::with_capacity(n);
+        let mut base = 0usize;
+        for t in traces {
+            assert_eq!(t.sem_dim(), sem_dim, "semantic dims must agree");
+            offsets.push(base);
+            for i in 0..t.len() {
+                x.push(t.d_scaled[i]);
+                x.push(t.e[i]);
+                x.extend_from_slice(&t.sem[i]);
+                x_star.push(t.d_star_scaled[i]);
+                x_star.push(t.e_star[i]);
+                d_target.push(t.d_scaled[i]);
+                e_target.push(t.e[i]);
+                if let Some(p) = t.parent[i] {
+                    child_nodes.push(base + i);
+                    parent_of_child.push(base + p);
+                }
+            }
+            base += t.len();
+        }
+        GraphBatch {
+            x: Tensor::new(vec![n, 2 + sem_dim], x),
+            x_star: Tensor::new(vec![n, 2], x_star),
+            child_nodes,
+            parent_of_child,
+            n,
+            offsets,
+            d_target,
+            e_target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{Span, StatusCode};
+
+    fn small_trace(id: u64) -> Trace {
+        Trace::assemble(vec![
+            Span::builder(id, 1, "frontend", "GET /").time(0, 10_000).build(),
+            Span::builder(id, 2, "db", "query")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(1_000, 6_000)
+                .status(StatusCode::Error)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encoding_shapes_and_values() {
+        let mut f = Featurizer::new(8);
+        let enc = f.encode(&small_trace(1));
+        assert_eq!(enc.len(), 2);
+        assert_eq!(enc.sem_dim(), 8);
+        // Root duration 10_000 µs scales to 0.
+        assert!((enc.d_scaled[0]).abs() < 1e-6);
+        assert_eq!(enc.e, vec![0.0, 1.0]);
+        // Child is a leaf: exclusive duration == duration.
+        assert_eq!(enc.d_star_scaled[1], enc.d_scaled[1]);
+        // Child error is exclusive (no failed grandchildren).
+        assert_eq!(enc.e_star, vec![0.0, 1.0]);
+        assert_eq!(enc.parent, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn same_operation_shares_embedding() {
+        let mut f = Featurizer::new(8);
+        let a = f.encode(&small_trace(1));
+        let b = f.encode(&small_trace(2));
+        assert_eq!(a.sem, b.sem);
+    }
+
+    #[test]
+    fn pack_concatenates_with_offsets() {
+        let mut f = Featurizer::new(4);
+        let e1 = f.encode(&small_trace(1));
+        let e2 = f.encode(&small_trace(2));
+        let batch = GraphBatch::pack(&[&e1, &e2]);
+        assert_eq!(batch.n, 4);
+        assert_eq!(batch.offsets, vec![0, 2]);
+        assert_eq!(batch.x.shape(), &[4, 6]);
+        assert_eq!(batch.x_star.shape(), &[4, 2]);
+        assert_eq!(batch.child_nodes, vec![1, 3]);
+        assert_eq!(batch.parent_of_child, vec![0, 2]);
+        assert_eq!(batch.d_target.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn pack_rejects_empty() {
+        let _ = GraphBatch::pack(&[]);
+    }
+}

@@ -1,0 +1,59 @@
+//! The Sleuth trace GNN (§3.4).
+//!
+//! A causal Bayesian network is read directly off each trace's RPC
+//! dependency tree; one message-passing layer with a **domain-informed
+//! decoder** models how duration and error status propagate from child
+//! spans to their parents:
+//!
+//! * **Eq. 2** — a parent's duration is the sum over children of a
+//!   *clipped ReLU* of the child's (unscaled) duration: a child only
+//!   contributes once it exceeds a learned lower knee `u'` (parallel
+//!   execution hides it below that), and stops contributing past a
+//!   learned upper knee `v'` (timeouts cap the wait). Asynchronous
+//!   children are expressible as `u' = v'`.
+//! * **Eq. 3** — a parent's error probability is the max over children
+//!   of learned gates on the child's error status and duration, and the
+//!   parent's own exclusive error.
+//! * **Eq. 4** — the knees and gates `h_j` come from a GIN-style
+//!   aggregation over the child's *siblings* concatenated with the
+//!   parent's exclusive features; a vanilla GCN mean-aggregation variant
+//!   ("Sleuth-GCN") is provided as the paper's ablation baseline.
+//! * **Eq. 5** — training minimises MSE on scaled durations plus BCE on
+//!   error status across all spans, teacher-forced on observed child
+//!   values; no labels are needed (unsupervised reconstruction).
+//!
+//! Inference for counterfactual queries runs the same decoder
+//! **generatively**: child states are replaced by their own predictions
+//! bottom-up, so substituting a span's exclusive features with their
+//! "normal" values propagates through the whole trace (§3.5).
+//!
+//! One deliberate deviation from the paper's notation: Eq. 3 as printed
+//! uses `sigmoid(h₂·e_j)` with `e_j ∈ {0, 1}`, which cannot fall below
+//! 0.5 for a healthy child (`sigmoid(0) = 0.5`). We map the error flag
+//! to `±1` before gating so the learned gate can express both "ignore
+//! healthy children" (`sigmoid(-h₂) → 0`) and "propagate failures"
+//! (`sigmoid(h₂) → 1`), which is plainly the architecture's intent.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sleuth_gnn::{Featurizer, ModelConfig, SleuthModel, TrainConfig};
+//! use sleuth_synth::presets;
+//! use sleuth_synth::workload::CorpusBuilder;
+//!
+//! let app = presets::synthetic(16, 1);
+//! let corpus = CorpusBuilder::new(&app).seed(2).normal_traces(64);
+//! let mut featurizer = Featurizer::new(8);
+//! let encoded: Vec<_> = corpus.traces.iter().map(|t| featurizer.encode(&t.trace)).collect();
+//! let mut model = SleuthModel::new(&ModelConfig::default(), 42);
+//! let report = model.train(&encoded, &TrainConfig { epochs: 4, ..TrainConfig::default() });
+//! assert!(report.epoch_losses.len() == 4);
+//! ```
+
+pub mod encode;
+pub mod model;
+pub mod train;
+
+pub use encode::{EncodedTrace, Featurizer, GraphBatch};
+pub use model::{AggregatorKind, Checkpoint, ModelConfig, SleuthModel, TracePrediction};
+pub use train::{TrainConfig, TrainReport};

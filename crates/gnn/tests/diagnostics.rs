@@ -1,0 +1,38 @@
+//! Opt-in training diagnostics (`cargo test -p sleuth-gnn -- --ignored
+//! --nocapture`): convergence and generative-quality summaries that are
+//! useful when tuning hyper-parameters but too slow/verbose for CI.
+
+use sleuth_gnn::*;
+use sleuth_synth::presets;
+use sleuth_synth::workload::CorpusBuilder;
+
+#[test]
+#[ignore = "diagnostic: prints convergence curves"]
+fn training_convergence_summary() {
+    let app = presets::synthetic(16, 1);
+    let corpus = CorpusBuilder::new(&app).seed(10).normal_traces(200);
+    let mut f = Featurizer::new(8);
+    let data: Vec<EncodedTrace> = corpus.traces.iter().map(|t| f.encode(&t.trace)).collect();
+    for (epochs, lr) in [(20usize, 5e-3f32), (40, 1e-2), (80, 1e-2)] {
+        let mut model = SleuthModel::new(&ModelConfig::default(), 12);
+        let rep = model.train(
+            &data,
+            &TrainConfig { epochs, batch_traces: 32, lr, seed: 2 },
+        );
+        let mut ok = 0;
+        for (enc, st) in data.iter().zip(&corpus.traces) {
+            let pred = model.predict(enc).root_duration_us();
+            let actual = st.trace.total_duration_us() as f32;
+            if pred > actual / 3.0 && pred < actual * 3.0 {
+                ok += 1;
+            }
+        }
+        println!(
+            "epochs={epochs} lr={lr}: loss {:.4} generative-within-3x {}/{} wall {:?}",
+            rep.final_loss(),
+            ok,
+            data.len(),
+            rep.wall
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Span collector with windowed trace completion (§4).
+//!
+//! Production collectors receive spans out of order, across network
+//! batches, and without an end-of-trace marker. This collector buffers
+//! spans per trace and declares a trace *complete* once it has been
+//! idle (no new spans) for a configurable window, handing the batch to
+//! the storage engine.
+
+use std::collections::HashMap;
+
+use sleuth_trace::{Span, TraceId};
+
+use crate::store::TraceStore;
+
+/// Buffering collector: spans in, completed trace batches out.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    idle_timeout_us: u64,
+    pending: HashMap<TraceId, PendingTrace>,
+    completed: usize,
+}
+
+#[derive(Debug, Clone)]
+struct PendingTrace {
+    spans: Vec<Span>,
+    last_seen_us: u64,
+}
+
+impl Collector {
+    /// A collector that completes traces after `idle_timeout_us` of
+    /// inactivity.
+    pub fn new(idle_timeout_us: u64) -> Self {
+        Collector {
+            idle_timeout_us,
+            pending: HashMap::new(),
+            completed: 0,
+        }
+    }
+
+    /// Ingest one span observed at wall-clock `now_us`.
+    pub fn ingest(&mut self, span: Span, now_us: u64) {
+        let entry = self
+            .pending
+            .entry(span.trace_id)
+            .or_insert_with(|| PendingTrace {
+                spans: Vec::new(),
+                last_seen_us: now_us,
+            });
+        entry.spans.push(span);
+        entry.last_seen_us = now_us;
+    }
+
+    /// Ingest a batch (spans may belong to different traces and arrive
+    /// in any order).
+    pub fn ingest_batch<I: IntoIterator<Item = Span>>(&mut self, spans: I, now_us: u64) {
+        for s in spans {
+            self.ingest(s, now_us);
+        }
+    }
+
+    /// Pop every trace idle since before `now_us − idle_timeout_us`.
+    pub fn poll_complete(&mut self, now_us: u64) -> Vec<Vec<Span>> {
+        let cutoff = now_us.saturating_sub(self.idle_timeout_us);
+        let done: Vec<TraceId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.last_seen_us <= cutoff)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            let p = self.pending.remove(&id).expect("listed above");
+            out.push(p.spans);
+        }
+        self.completed += out.len();
+        out
+    }
+
+    /// Drain everything regardless of idleness (shutdown).
+    pub fn flush(&mut self) -> Vec<Vec<Span>> {
+        let mut ids: Vec<TraceId> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        let out: Vec<Vec<Span>> = ids
+            .into_iter()
+            .map(|id| self.pending.remove(&id).expect("listed").spans)
+            .collect();
+        self.completed += out.len();
+        out
+    }
+
+    /// Traces still buffering.
+    pub fn pending_traces(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Spans still buffering.
+    pub fn pending_spans(&self) -> usize {
+        self.pending.values().map(|p| p.spans.len()).sum()
+    }
+
+    /// Traces completed so far.
+    pub fn completed_traces(&self) -> usize {
+        self.completed
+    }
+
+    /// Poll completed traces into a [`TraceStore`], returning how many
+    /// traces were forwarded.
+    pub fn drain_into(&mut self, store: &mut TraceStore, now_us: u64) -> usize {
+        let batches = self.poll_complete(now_us);
+        let n = batches.len();
+        for batch in batches {
+            store.extend(batch);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::Trace;
+
+    fn span(trace: TraceId, id: u64, parent: Option<u64>) -> Span {
+        let b = Span::builder(trace, id, "svc", "op").time(id * 10, id * 10 + 5);
+        match parent {
+            Some(p) => b.parent(p).build(),
+            None => b.build(),
+        }
+    }
+
+    #[test]
+    fn trace_completes_after_idle_window() {
+        let mut c = Collector::new(1_000);
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(1, 2, Some(1)), 500);
+        // Not yet idle long enough.
+        assert!(c.poll_complete(1_200).is_empty());
+        assert_eq!(c.pending_traces(), 1);
+        // Idle past the window.
+        let done = c.poll_complete(1_600);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].len(), 2);
+        assert_eq!(c.pending_traces(), 0);
+        assert_eq!(c.completed_traces(), 1);
+    }
+
+    #[test]
+    fn late_span_reopens_window() {
+        let mut c = Collector::new(1_000);
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(1, 2, Some(1)), 900);
+        // A late span at t=1800 keeps the trace pending at t=1900.
+        c.ingest(span(1, 3, Some(1)), 1_800);
+        assert!(c.poll_complete(1_900).is_empty());
+        let done = c.poll_complete(2_900);
+        assert_eq!(done[0].len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_spans_still_assemble() {
+        let mut c = Collector::new(100);
+        // Child before parent, interleaved traces.
+        c.ingest(span(7, 2, Some(1)), 0);
+        c.ingest(span(8, 1, None), 0);
+        c.ingest(span(7, 1, None), 10);
+        let mut done = c.poll_complete(10_000);
+        done.sort_by_key(|b| b[0].trace_id);
+        assert_eq!(done.len(), 2);
+        let t7 = done.iter().find(|b| b[0].trace_id == 7).unwrap();
+        assert!(Trace::assemble(t7.clone()).is_ok());
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut c = Collector::new(1_000_000);
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(2, 1, None), 0);
+        assert_eq!(c.pending_spans(), 2);
+        let done = c.flush();
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.pending_traces(), 0);
+    }
+
+    #[test]
+    fn drain_into_store() {
+        let mut c = Collector::new(100);
+        let mut store = TraceStore::new();
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(1, 2, Some(1)), 1);
+        assert_eq!(c.drain_into(&mut store, 10_000), 1);
+        assert_eq!(store.trace_count(), 1);
+        assert!(store.trace(1).is_some());
+    }
+}

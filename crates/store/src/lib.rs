@@ -1,0 +1,42 @@
+//! In-process trace storage engine.
+//!
+//! The production Sleuth deployment (§4 of the paper) stores traces in a
+//! distributed engine with SQL-like queries and offloads
+//! computation-heavy data engineering (feature extraction, exclusive
+//! duration/error calculation, baseline statistics) to store-side
+//! operators. This crate is the single-node stand-in exercising the same
+//! pattern:
+//!
+//! * [`TraceStore`] — a columnar span store with string interning,
+//!   indexed by trace id and time,
+//! * [`query`] — predicate scans and group-by aggregation over spans,
+//! * [`ops`] — store-side feature operators: bulk exclusive
+//!   duration/error computation and per-operation baseline statistics
+//!   ([`ops::BaselineStats`]) that the RCA pipeline uses as the "normal
+//!   state" for counterfactual restoration.
+//!
+//! # Example
+//!
+//! ```
+//! use sleuth_store::TraceStore;
+//! use sleuth_trace::{Span, SpanKind};
+//!
+//! let mut store = TraceStore::new();
+//! store.insert_span(Span::builder(1, 1, "frontend", "GET /").time(0, 500).build());
+//! store.insert_span(
+//!     Span::builder(1, 2, "db", "query").parent(1).time(100, 300).build(),
+//! );
+//! assert_eq!(store.span_count(), 2);
+//! let trace = store.trace(1).expect("assembles");
+//! assert_eq!(trace.len(), 2);
+//! ```
+
+pub mod collector;
+pub mod ops;
+pub mod query;
+pub mod store;
+
+pub use collector::Collector;
+pub use ops::BaselineStats;
+pub use query::{GroupKey, Query};
+pub use store::TraceStore;

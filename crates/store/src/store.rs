@@ -1,0 +1,297 @@
+//! Columnar span storage with string interning.
+
+use std::collections::HashMap;
+
+use sleuth_trace::{AssembleTraceError, Span, SpanKind, StatusCode, Trace, TraceId};
+
+/// Interned string id.
+pub(crate) type StrId = u32;
+
+/// A deduplicating string table shared by all string columns.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StringTable {
+    by_text: HashMap<String, StrId>,
+    texts: Vec<String>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.by_text.get(s) {
+            return id;
+        }
+        let id = self.texts.len() as StrId;
+        self.texts.push(s.to_string());
+        self.by_text.insert(s.to_string(), id);
+        id
+    }
+
+    fn get(&self, id: StrId) -> &str {
+        &self.texts[id as usize]
+    }
+
+    fn lookup(&self, s: &str) -> Option<StrId> {
+        self.by_text.get(s).copied()
+    }
+}
+
+/// Columnar storage of spans: one vector per attribute, plus a per-trace
+/// row index. Strings (`service`, `name`, `pod`, `node`) are interned.
+#[derive(Debug, Default, Clone)]
+pub struct TraceStore {
+    strings: StringTable,
+    trace_id: Vec<TraceId>,
+    span_id: Vec<u64>,
+    parent_span_id: Vec<Option<u64>>,
+    service: Vec<StrId>,
+    name: Vec<StrId>,
+    kind: Vec<SpanKind>,
+    start_us: Vec<u64>,
+    end_us: Vec<u64>,
+    status: Vec<StatusCode>,
+    pod: Vec<StrId>,
+    node: Vec<StrId>,
+    rows_by_trace: HashMap<TraceId, Vec<usize>>,
+}
+
+impl TraceStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Number of spans stored.
+    pub fn span_count(&self) -> usize {
+        self.trace_id.len()
+    }
+
+    /// Number of distinct traces stored.
+    pub fn trace_count(&self) -> usize {
+        self.rows_by_trace.len()
+    }
+
+    /// Whether the store holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.trace_id.is_empty()
+    }
+
+    /// Insert one span.
+    pub fn insert_span(&mut self, span: Span) {
+        let row = self.span_count();
+        self.trace_id.push(span.trace_id);
+        self.span_id.push(span.span_id);
+        self.parent_span_id.push(span.parent_span_id);
+        let svc = self.strings.intern(&span.service);
+        let name = self.strings.intern(&span.name);
+        let pod = self.strings.intern(&span.pod);
+        let node = self.strings.intern(&span.node);
+        self.service.push(svc);
+        self.name.push(name);
+        self.kind.push(span.kind);
+        self.start_us.push(span.start_us);
+        self.end_us.push(span.end_us);
+        self.status.push(span.status);
+        self.pod.push(pod);
+        self.node.push(node);
+        self.rows_by_trace.entry(span.trace_id).or_default().push(row);
+    }
+
+    /// Insert every span of an assembled trace.
+    pub fn insert_trace(&mut self, trace: &Trace) {
+        for (_, span) in trace.iter() {
+            self.insert_span(span.clone());
+        }
+    }
+
+    /// Bulk-insert spans.
+    pub fn extend<I: IntoIterator<Item = Span>>(&mut self, spans: I) {
+        for s in spans {
+            self.insert_span(s);
+        }
+    }
+
+    /// Materialise the span at a storage row.
+    pub(crate) fn span_at(&self, row: usize) -> Span {
+        Span {
+            trace_id: self.trace_id[row],
+            span_id: self.span_id[row],
+            parent_span_id: self.parent_span_id[row],
+            service: self.strings.get(self.service[row]).to_string(),
+            name: self.strings.get(self.name[row]).to_string(),
+            kind: self.kind[row],
+            start_us: self.start_us[row],
+            end_us: self.end_us[row],
+            status: self.status[row],
+            pod: self.strings.get(self.pod[row]).to_string(),
+            node: self.strings.get(self.node[row]).to_string(),
+        }
+    }
+
+    /// All trace ids present, in insertion order of first span.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<(usize, TraceId)> = self
+            .rows_by_trace
+            .iter()
+            .map(|(&tid, rows)| (rows[0], tid))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Assemble the trace with the given id.
+    ///
+    /// Returns `None` if the id is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AssembleTraceError`] for malformed span sets.
+    pub fn trace(&self, id: TraceId) -> Option<Trace> {
+        self.try_trace(id).and_then(Result::ok)
+    }
+
+    /// Like [`TraceStore::trace`] but surfacing assembly errors.
+    pub fn try_trace(&self, id: TraceId) -> Option<Result<Trace, AssembleTraceError>> {
+        let rows = self.rows_by_trace.get(&id)?;
+        let spans = rows.iter().map(|&r| self.span_at(r)).collect();
+        Some(Trace::assemble(spans))
+    }
+
+    /// Assemble every stored trace, skipping malformed ones.
+    pub fn all_traces(&self) -> Vec<Trace> {
+        self.trace_ids()
+            .into_iter()
+            .filter_map(|id| self.trace(id))
+            .collect()
+    }
+
+    /// Rows (storage indices) of all spans, for scans.
+    pub(crate) fn rows(&self) -> std::ops::Range<usize> {
+        0..self.span_count()
+    }
+
+    /// Interned id for a service name, if it has been seen.
+    pub(crate) fn service_id(&self, service: &str) -> Option<StrId> {
+        self.strings.lookup(service)
+    }
+
+    pub(crate) fn service_col(&self) -> &[StrId] {
+        &self.service
+    }
+
+    pub(crate) fn name_col(&self) -> &[StrId] {
+        &self.name
+    }
+
+    pub(crate) fn kind_col(&self) -> &[SpanKind] {
+        &self.kind
+    }
+
+    pub(crate) fn status_col(&self) -> &[StatusCode] {
+        &self.status
+    }
+
+    pub(crate) fn start_col(&self) -> &[u64] {
+        &self.start_us
+    }
+
+    pub(crate) fn end_col(&self) -> &[u64] {
+        &self.end_us
+    }
+
+    pub(crate) fn trace_id_col(&self) -> &[TraceId] {
+        &self.trace_id
+    }
+
+    pub(crate) fn str_text(&self, id: StrId) -> &str {
+        self.strings.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans(trace: TraceId) -> Vec<Span> {
+        vec![
+            Span::builder(trace, 1, "frontend", "GET /")
+                .time(0, 1000)
+                .build(),
+            Span::builder(trace, 2, "cart", "AddItem")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(100, 400)
+                .build(),
+            Span::builder(trace, 3, "db", "query")
+                .parent(2)
+                .kind(SpanKind::Client)
+                .time(150, 350)
+                .status(StatusCode::Error)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut s = TraceStore::new();
+        s.extend(sample_spans(1));
+        s.extend(sample_spans(2));
+        assert_eq!(s.span_count(), 6);
+        assert_eq!(s.trace_count(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_span_materialisation() {
+        let mut s = TraceStore::new();
+        let spans = sample_spans(1);
+        s.extend(spans.clone());
+        for (i, sp) in spans.iter().enumerate() {
+            assert_eq!(&s.span_at(i), sp);
+        }
+    }
+
+    #[test]
+    fn trace_assembly_from_store() {
+        let mut s = TraceStore::new();
+        s.extend(sample_spans(5));
+        let t = s.trace(5).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.max_depth(), 2);
+        assert!(s.trace(99).is_none());
+    }
+
+    #[test]
+    fn string_interning_dedups() {
+        let mut s = TraceStore::new();
+        for tid in 0..50 {
+            s.extend(sample_spans(tid));
+        }
+        // 3 services + 3 names + empty pod/node = small table.
+        assert!(s.strings.texts.len() <= 8);
+    }
+
+    #[test]
+    fn trace_ids_in_first_seen_order() {
+        let mut s = TraceStore::new();
+        s.extend(sample_spans(9));
+        s.extend(sample_spans(2));
+        s.extend(sample_spans(7));
+        assert_eq!(s.trace_ids(), vec![9, 2, 7]);
+    }
+
+    #[test]
+    fn malformed_trace_surfaces_error() {
+        let mut s = TraceStore::new();
+        s.insert_span(Span::builder(1, 2, "a", "x").parent(99).time(0, 1).build());
+        assert!(s.try_trace(1).unwrap().is_err());
+        assert!(s.trace(1).is_none());
+        assert!(s.all_traces().is_empty());
+    }
+
+    #[test]
+    fn insert_trace_roundtrip() {
+        let t = Trace::assemble(sample_spans(3)).unwrap();
+        let mut s = TraceStore::new();
+        s.insert_trace(&t);
+        assert_eq!(s.trace(3).unwrap(), t);
+    }
+}

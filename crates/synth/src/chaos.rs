@@ -1,0 +1,412 @@
+//! Chaos engineering: fault injection with ground-truth logging (§6.1.4).
+//!
+//! The paper injects CPU, network, memory, and disk noise with
+//! Chaosblade at container, pod, and node level, deciding per instance
+//! with independent small-probability Bernoulli draws, and uses the
+//! injection log as evaluation ground truth. This module reproduces that
+//! scheme against the simulator: a [`FaultPlan`] maps instances to
+//! active faults, and the simulator consults it for kernel slow-downs,
+//! extra network latency and forced errors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::App;
+use crate::kernels::KernelKind;
+
+/// The resource a fault disturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// CPU saturation (stresses CPU kernels hardest).
+    CpuStress,
+    /// Memory bandwidth/cache pressure.
+    MemoryStress,
+    /// Disk / filesystem contention.
+    DiskStress,
+    /// Added network latency on calls *into* the target.
+    NetworkDelay,
+    /// Forced request failures at the target.
+    ErrorInjection,
+}
+
+impl FaultKind {
+    /// All kinds in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CpuStress,
+        FaultKind::MemoryStress,
+        FaultKind::DiskStress,
+        FaultKind::NetworkDelay,
+        FaultKind::ErrorInjection,
+    ];
+
+    /// Slow-down multiplier this fault applies to a kernel of `kind`
+    /// per unit severity. Resource-matched kernels suffer most; others
+    /// see mild interference.
+    pub fn kernel_affinity(self, kind: KernelKind) -> f64 {
+        match (self, kind) {
+            (FaultKind::CpuStress, KernelKind::Cpu) => 1.0,
+            (FaultKind::CpuStress, KernelKind::Scheduler) => 0.5,
+            (FaultKind::MemoryStress, KernelKind::Memory) => 1.0,
+            (FaultKind::MemoryStress, KernelKind::Cpu) => 0.3,
+            (FaultKind::DiskStress, KernelKind::Disk) => 1.0,
+            (FaultKind::DiskStress, KernelKind::Scheduler) => 0.2,
+            (FaultKind::NetworkDelay, _) | (FaultKind::ErrorInjection, _) => 0.0,
+            _ => 0.1,
+        }
+    }
+}
+
+/// Scope of a fault, mirroring Chaosblade's container/pod/node levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// One container: a single service process in one pod.
+    Container {
+        /// Index into [`App::services`].
+        service: usize,
+        /// Index into that service's pods.
+        pod: usize,
+    },
+    /// A whole pod (all containers of the service replica).
+    Pod {
+        /// Index into [`App::services`].
+        service: usize,
+        /// Index into that service's pods.
+        pod: usize,
+    },
+    /// A cluster node: every pod scheduled on it.
+    Node {
+        /// Index into [`App::nodes`].
+        node: usize,
+    },
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// What is disturbed.
+    pub kind: FaultKind,
+    /// Where it is injected.
+    pub target: FaultTarget,
+    /// Intensity: kernel slow-down factor for stress faults, extra
+    /// latency in µs / 1000 for network delay, error probability for
+    /// error injection.
+    pub severity: f64,
+}
+
+/// The set of active faults during a simulation window, with the
+/// injection log that serves as evaluation ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Active faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (healthy system).
+    pub fn healthy() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether no faults are active.
+    pub fn is_healthy(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn target_matches(app: &App, target: FaultTarget, service: usize, pod: usize) -> bool {
+        match target {
+            FaultTarget::Container { service: s, pod: p } | FaultTarget::Pod { service: s, pod: p } => {
+                s == service && p == pod
+            }
+            FaultTarget::Node { node } => app.services[service].pods[pod].node == node,
+        }
+    }
+
+    /// Combined kernel slow-down multiplier for work of `kind` running
+    /// in `(service, pod)`. 1.0 when unaffected.
+    pub fn slowdown(&self, app: &App, service: usize, pod: usize, kind: KernelKind) -> f64 {
+        let mut m = 1.0;
+        for f in &self.faults {
+            if Self::target_matches(app, f.target, service, pod) {
+                let affinity = f.kind.kernel_affinity(kind);
+                if affinity > 0.0 {
+                    m += f.severity * affinity;
+                }
+            }
+        }
+        m
+    }
+
+    /// Extra network latency (µs) for a call into `(service, pod)`.
+    pub fn network_delay_us(&self, app: &App, service: usize, pod: usize) -> u64 {
+        let mut d = 0.0;
+        for f in &self.faults {
+            if f.kind == FaultKind::NetworkDelay && Self::target_matches(app, f.target, service, pod)
+            {
+                d += f.severity * 1_000.0;
+            }
+        }
+        d as u64
+    }
+
+    /// Extra exclusive-error probability at `(service, pod)`.
+    pub fn error_probability(&self, app: &App, service: usize, pod: usize) -> f64 {
+        let mut p: f64 = 0.0;
+        for f in &self.faults {
+            if f.kind == FaultKind::ErrorInjection && Self::target_matches(app, f.target, service, pod)
+            {
+                p = p.max(f.severity);
+            }
+        }
+        p.min(1.0)
+    }
+
+    /// Service names targeted by any fault (injection-log ground truth
+    /// at service granularity).
+    pub fn target_services(&self, app: &App) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for f in &self.faults {
+            match f.target {
+                FaultTarget::Container { service, .. } | FaultTarget::Pod { service, .. } => {
+                    let name = app.services[service].name.clone();
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+                FaultTarget::Node { node } => {
+                    for s in &app.services {
+                        if s.pods.iter().any(|p| p.node == node) && !out.contains(&s.name) {
+                            out.push(s.name.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Samples fault plans the way the paper's evaluation does: a Bernoulli
+/// draw per instance with a small probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEngine {
+    /// Per-instance injection probability.
+    pub per_instance_probability: f64,
+    /// Severity range for stress faults (slow-down factor).
+    pub stress_severity: (f64, f64),
+    /// Severity range for network delay (ms).
+    pub delay_severity: (f64, f64),
+    /// Severity range for error injection (probability).
+    pub error_severity: (f64, f64),
+    /// Probability a sampled fault targets a whole node instead of one
+    /// pod/container.
+    pub node_scope_probability: f64,
+}
+
+impl Default for ChaosEngine {
+    fn default() -> Self {
+        ChaosEngine {
+            per_instance_probability: 0.02,
+            stress_severity: (4.0, 20.0),
+            delay_severity: (20.0, 200.0),
+            error_severity: (0.6, 1.0),
+            node_scope_probability: 0.1,
+        }
+    }
+}
+
+impl ChaosEngine {
+    /// Sample a fault plan; may be healthy if no Bernoulli fires.
+    pub fn sample_plan<R: Rng + ?Sized>(&self, app: &App, rng: &mut R) -> FaultPlan {
+        let mut faults = Vec::new();
+        for (si, svc) in app.services.iter().enumerate() {
+            for (pi, _) in svc.pods.iter().enumerate() {
+                if rng.gen_bool(self.per_instance_probability) {
+                    faults.push(self.sample_fault_at(app, si, pi, rng));
+                }
+            }
+        }
+        FaultPlan { faults }
+    }
+
+    /// Sample a plan guaranteed to contain at least one fault (used to
+    /// build anomaly queries).
+    pub fn sample_nonempty_plan<R: Rng + ?Sized>(&self, app: &App, rng: &mut R) -> FaultPlan {
+        let mut plan = self.sample_plan(app, rng);
+        if plan.is_healthy() {
+            let si = rng.gen_range(0..app.services.len());
+            let pi = rng.gen_range(0..app.services[si].pods.len());
+            plan.faults.push(self.sample_fault_at(app, si, pi, rng));
+        }
+        plan
+    }
+
+    fn sample_fault_at<R: Rng + ?Sized>(
+        &self,
+        app: &App,
+        service: usize,
+        pod: usize,
+        rng: &mut R,
+    ) -> Fault {
+        let kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        let severity = match kind {
+            FaultKind::NetworkDelay => rng.gen_range(self.delay_severity.0..=self.delay_severity.1),
+            FaultKind::ErrorInjection => {
+                rng.gen_range(self.error_severity.0..=self.error_severity.1)
+            }
+            _ => rng.gen_range(self.stress_severity.0..=self.stress_severity.1),
+        };
+        let target = if rng.gen_bool(self.node_scope_probability) {
+            FaultTarget::Node {
+                node: app.services[service].pods[pod].node,
+            }
+        } else if rng.gen_bool(0.5) {
+            FaultTarget::Container { service, pod }
+        } else {
+            FaultTarget::Pod { service, pod }
+        };
+        Fault {
+            kind,
+            target,
+            severity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_app, GeneratorConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn app() -> App {
+        generate_app(&GeneratorConfig::synthetic(16), 1)
+    }
+
+    #[test]
+    fn healthy_plan_is_neutral() {
+        let app = app();
+        let plan = FaultPlan::healthy();
+        assert!(plan.is_healthy());
+        assert_eq!(plan.slowdown(&app, 0, 0, KernelKind::Cpu), 1.0);
+        assert_eq!(plan.network_delay_us(&app, 0, 0), 0);
+        assert_eq!(plan.error_probability(&app, 0, 0), 0.0);
+        assert!(plan.target_services(&app).is_empty());
+    }
+
+    #[test]
+    fn cpu_stress_slows_cpu_kernels_most() {
+        let app = app();
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                kind: FaultKind::CpuStress,
+                target: FaultTarget::Pod { service: 1, pod: 0 },
+                severity: 10.0,
+            }],
+        };
+        let cpu = plan.slowdown(&app, 1, 0, KernelKind::Cpu);
+        let disk = plan.slowdown(&app, 1, 0, KernelKind::Disk);
+        assert_eq!(cpu, 11.0);
+        assert!(disk < cpu);
+        // other pod unaffected
+        assert_eq!(plan.slowdown(&app, 1, 1, KernelKind::Cpu), 1.0);
+    }
+
+    #[test]
+    fn node_fault_hits_all_pods_on_node() {
+        let app = app();
+        let node = app.services[0].pods[0].node;
+        let plan = FaultPlan {
+            faults: vec![Fault {
+                kind: FaultKind::DiskStress,
+                target: FaultTarget::Node { node },
+                severity: 5.0,
+            }],
+        };
+        for (si, svc) in app.services.iter().enumerate() {
+            for (pi, pod) in svc.pods.iter().enumerate() {
+                let slowed = plan.slowdown(&app, si, pi, KernelKind::Disk) > 1.0;
+                assert_eq!(slowed, pod.node == node);
+            }
+        }
+        let targets = plan.target_services(&app);
+        assert!(!targets.is_empty());
+    }
+
+    #[test]
+    fn network_and_error_faults() {
+        let app = app();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault {
+                    kind: FaultKind::NetworkDelay,
+                    target: FaultTarget::Container { service: 2, pod: 1 },
+                    severity: 50.0,
+                },
+                Fault {
+                    kind: FaultKind::ErrorInjection,
+                    target: FaultTarget::Container { service: 2, pod: 1 },
+                    severity: 0.9,
+                },
+            ],
+        };
+        assert_eq!(plan.network_delay_us(&app, 2, 1), 50_000);
+        assert_eq!(plan.network_delay_us(&app, 2, 0), 0);
+        assert!((plan.error_probability(&app, 2, 1) - 0.9).abs() < 1e-12);
+        // stress-free kernels unaffected
+        assert_eq!(plan.slowdown(&app, 2, 1, KernelKind::Cpu), 1.0);
+    }
+
+    #[test]
+    fn sample_nonempty_always_has_fault() {
+        let app = app();
+        let engine = ChaosEngine {
+            per_instance_probability: 0.0,
+            ..ChaosEngine::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            let plan = engine.sample_nonempty_plan(&app, &mut rng);
+            assert!(!plan.is_healthy());
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_respected() {
+        let app = app();
+        let engine = ChaosEngine {
+            per_instance_probability: 0.25,
+            ..ChaosEngine::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let total: usize = (0..200)
+            .map(|_| engine.sample_plan(&app, &mut rng).faults.len())
+            .sum();
+        let instances: usize = app.services.iter().map(|s| s.pods.len()).sum();
+        let expected = 200.0 * instances as f64 * 0.25;
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.25,
+            "total {total}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn severities_accumulate_across_faults() {
+        let app = app();
+        let plan = FaultPlan {
+            faults: vec![
+                Fault {
+                    kind: FaultKind::CpuStress,
+                    target: FaultTarget::Pod { service: 0, pod: 0 },
+                    severity: 3.0,
+                },
+                Fault {
+                    kind: FaultKind::CpuStress,
+                    target: FaultTarget::Pod { service: 0, pod: 0 },
+                    severity: 4.0,
+                },
+            ],
+        };
+        assert_eq!(plan.slowdown(&app, 0, 0, KernelKind::Cpu), 8.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! The application model (§5.1's configuration file).
+//!
+//! An [`App`] is everything the code generator in the paper would turn
+//! into deployable services: the service inventory with tier labels and
+//! pod placements, and per operation flow an RPC call tree whose nodes
+//! carry execution plans (ordering/parallelism of child RPCs) and local
+//! workload kernels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::Kernel;
+
+/// Architectural tier of a service (§5.1.1) — controls where its RPCs
+/// sit in generated dependency graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Entry services (API gateways, web frontends).
+    Frontend,
+    /// Business-logic orchestrators.
+    Middleware,
+    /// Data and domain services.
+    Backend,
+    /// Leaf dependencies (caches, databases, queues).
+    Leaf,
+}
+
+impl Tier {
+    /// All tiers, shallow to deep.
+    pub const ALL: [Tier; 4] = [Tier::Frontend, Tier::Middleware, Tier::Backend, Tier::Leaf];
+}
+
+/// A replica of a service scheduled on a cluster node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pod {
+    /// Pod name (e.g. `cart-1`).
+    pub name: String,
+    /// Index into [`App::nodes`].
+    pub node: usize,
+}
+
+/// One microservice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Service {
+    /// Service name.
+    pub name: String,
+    /// Architectural tier.
+    pub tier: Tier,
+    /// Replicas and their placement.
+    pub pods: Vec<Pod>,
+}
+
+/// Ordering of the child RPCs of one flow node (§5.1.3).
+///
+/// Children in the same stage are invoked in parallel; stages run
+/// sequentially, each separated by local work. Positions index into
+/// [`FlowNode::children`]. Asynchronous children are listed separately:
+/// they are fired at the start of the first stage and never awaited.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ExecutionPlan {
+    /// Sequential stages of parallel child invocations.
+    pub stages: Vec<Vec<usize>>,
+    /// Fire-and-forget children (producer/consumer messaging).
+    pub async_children: Vec<usize>,
+}
+
+impl ExecutionPlan {
+    /// A plan invoking every child sequentially, one stage each.
+    pub fn sequential(num_children: usize) -> Self {
+        ExecutionPlan {
+            stages: (0..num_children).map(|c| vec![c]).collect(),
+            async_children: Vec::new(),
+        }
+    }
+
+    /// A plan invoking every child in one parallel stage.
+    pub fn parallel(num_children: usize) -> Self {
+        ExecutionPlan {
+            stages: if num_children == 0 {
+                Vec::new()
+            } else {
+                vec![(0..num_children).collect()]
+            },
+            async_children: Vec::new(),
+        }
+    }
+
+    /// Every child position covered by the plan, in plan order.
+    pub fn all_positions(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.stages.iter().flatten().copied().collect();
+        v.extend(&self.async_children);
+        v
+    }
+
+    /// Validate the plan covers positions `0..num_children` exactly once.
+    pub fn validate(&self, num_children: usize) -> Result<(), String> {
+        let mut seen = vec![false; num_children];
+        for &p in self.all_positions().iter() {
+            if p >= num_children {
+                return Err(format!("position {p} out of range {num_children}"));
+            }
+            if seen[p] {
+                return Err(format!("position {p} covered twice"));
+            }
+            seen[p] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("position {missing} not covered"));
+        }
+        Ok(())
+    }
+}
+
+/// One RPC invocation site in a flow's call tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowNode {
+    /// Index into [`App::services`] of the service handling this RPC.
+    pub service: usize,
+    /// Operation name of the RPC.
+    pub op_name: String,
+    /// Child flow-node indices (into [`Flow::nodes`]).
+    pub children: Vec<usize>,
+    /// Ordering/parallelism of the children.
+    pub exec: ExecutionPlan,
+    /// Local work before the first stage.
+    pub pre_kernel: Kernel,
+    /// Local work after the last stage (response assembly).
+    pub post_kernel: Kernel,
+    /// Synchronous callers abandon this RPC after this many µs.
+    pub timeout_us: u64,
+    /// Baseline probability this RPC fails of its own accord.
+    pub base_error_rate: f64,
+}
+
+/// One operation flow (request type) of the application (§5.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Flow name (e.g. `POST /orders`).
+    pub name: String,
+    /// Relative traffic weight across flows.
+    pub weight: f64,
+    /// Call tree; index 0 is the root.
+    pub nodes: Vec<FlowNode>,
+}
+
+impl Flow {
+    /// Depth of the call tree (root = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(f: &Flow, n: usize) -> usize {
+            f.nodes[n]
+                .children
+                .iter()
+                .map(|&c| 1 + rec(f, c))
+                .max()
+                .unwrap_or(0)
+        }
+        rec(self, 0)
+    }
+
+    /// Number of RPC invocation sites.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the flow has no nodes (invalid; flows always have a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum fan-out of any node.
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+    }
+
+    /// Number of spans a request through this flow produces
+    /// (one server span per node + one client span per non-root node).
+    pub fn span_count(&self) -> usize {
+        2 * self.nodes.len() - 1
+    }
+
+    /// Validate tree structure and execution plans.
+    pub fn validate(&self, num_services: usize) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("flow has no nodes".into());
+        }
+        let mut seen_child = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.service >= num_services {
+                return Err(format!("node {i}: service {} out of range", n.service));
+            }
+            for &c in &n.children {
+                if c >= self.nodes.len() {
+                    return Err(format!("node {i}: child {c} out of range"));
+                }
+                if c <= i {
+                    return Err(format!("node {i}: child {c} not in topological order"));
+                }
+                if seen_child[c] {
+                    return Err(format!("node {c} has two parents"));
+                }
+                seen_child[c] = true;
+            }
+            n.exec
+                .validate(n.children.len())
+                .map_err(|e| format!("node {i}: {e}"))?;
+        }
+        for (c, &seen) in seen_child.iter().enumerate().skip(1) {
+            if !seen {
+                return Err(format!("node {c} unreachable"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete synthetic (or preset) microservice application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct App {
+    /// Application name.
+    pub name: String,
+    /// Cluster node names.
+    pub nodes: Vec<String>,
+    /// Service inventory.
+    pub services: Vec<Service>,
+    /// Operation flows.
+    pub flows: Vec<Flow>,
+}
+
+impl App {
+    /// Total number of services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Total number of RPC invocation sites across flows (the paper's
+    /// "RPCs" count in Table 1).
+    pub fn num_rpcs(&self) -> usize {
+        self.flows.iter().map(Flow::len).sum()
+    }
+
+    /// Spans of the largest flow (Table 1 "Max spans").
+    pub fn max_spans(&self) -> usize {
+        self.flows.iter().map(Flow::span_count).max().unwrap_or(0)
+    }
+
+    /// Span-level depth of the deepest flow (Table 1 "Max depth"): each
+    /// RPC level contributes a client and a server hop, so a tree of RPC
+    /// depth `d` produces spans nested `2d + 1` deep.
+    pub fn max_depth(&self) -> usize {
+        self.flows.iter().map(|f| 2 * f.depth() + 1).max().unwrap_or(0)
+    }
+
+    /// Largest fan-out of any RPC (Table 1 "Max out degree").
+    pub fn max_out_degree(&self) -> usize {
+        self.flows.iter().map(Flow::max_out_degree).max().unwrap_or(0)
+    }
+
+    /// Validate all flows against the service inventory.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.services.is_empty() {
+            return Err("no services".into());
+        }
+        for s in &self.services {
+            if s.pods.is_empty() {
+                return Err(format!("service {} has no pods", s.name));
+            }
+            for p in &s.pods {
+                if p.node >= self.nodes.len() {
+                    return Err(format!("pod {} on unknown node", p.name));
+                }
+            }
+        }
+        for f in &self.flows {
+            f.validate(self.services.len())
+                .map_err(|e| format!("flow {}: {e}", f.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Kernel, KernelKind};
+
+    fn leaf_node(service: usize, op: &str) -> FlowNode {
+        FlowNode {
+            service,
+            op_name: op.to_string(),
+            children: vec![],
+            exec: ExecutionPlan::default(),
+            pre_kernel: Kernel::with_median(KernelKind::Cpu, 100.0, 0.5),
+            post_kernel: Kernel::negligible(),
+            timeout_us: 1_000_000,
+            base_error_rate: 0.0,
+        }
+    }
+
+    fn two_level_app() -> App {
+        let mut root = leaf_node(0, "GET /");
+        root.children = vec![1, 2];
+        root.exec = ExecutionPlan::parallel(2);
+        App {
+            name: "test".into(),
+            nodes: vec!["n0".into()],
+            services: vec![
+                Service {
+                    name: "frontend".into(),
+                    tier: Tier::Frontend,
+                    pods: vec![Pod { name: "frontend-0".into(), node: 0 }],
+                },
+                Service {
+                    name: "cart".into(),
+                    tier: Tier::Backend,
+                    pods: vec![Pod { name: "cart-0".into(), node: 0 }],
+                },
+            ],
+            flows: vec![Flow {
+                name: "GET /".into(),
+                weight: 1.0,
+                nodes: vec![root, leaf_node(1, "Get"), leaf_node(1, "List")],
+            }],
+        }
+    }
+
+    #[test]
+    fn app_statistics() {
+        let app = two_level_app();
+        assert_eq!(app.num_services(), 2);
+        assert_eq!(app.num_rpcs(), 3);
+        assert_eq!(app.max_spans(), 5);
+        assert_eq!(app.max_depth(), 3);
+        assert_eq!(app.max_out_degree(), 2);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn execution_plan_shapes() {
+        let s = ExecutionPlan::sequential(3);
+        assert_eq!(s.stages.len(), 3);
+        s.validate(3).unwrap();
+        let p = ExecutionPlan::parallel(3);
+        assert_eq!(p.stages.len(), 1);
+        p.validate(3).unwrap();
+        assert!(ExecutionPlan::parallel(0).stages.is_empty());
+    }
+
+    #[test]
+    fn execution_plan_validation_errors() {
+        let mut plan = ExecutionPlan::sequential(2);
+        assert!(plan.validate(3).is_err()); // missing position
+        plan.stages.push(vec![1]);
+        assert!(plan.validate(2).is_err()); // duplicate
+        let oob = ExecutionPlan { stages: vec![vec![5]], async_children: vec![] };
+        assert!(oob.validate(2).is_err());
+    }
+
+    #[test]
+    fn flow_validation_rejects_bad_topology() {
+        let mut app = two_level_app();
+        // child pointing backwards
+        app.flows[0].nodes[2].children = vec![1];
+        assert!(app.validate().is_err());
+
+        let mut app2 = two_level_app();
+        app2.flows[0].nodes[0].service = 99;
+        assert!(app2.validate().is_err());
+    }
+
+    #[test]
+    fn flow_validation_rejects_unreachable() {
+        let mut app = two_level_app();
+        app.flows[0].nodes[0].children = vec![1];
+        app.flows[0].nodes[0].exec = ExecutionPlan::sequential(1);
+        // node 2 now unreachable
+        assert!(app.validate().unwrap_err().contains("unreachable"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let app = two_level_app();
+        let json = serde_json::to_string(&app).unwrap();
+        let back: App = serde_json::from_str(&json).unwrap();
+        assert_eq!(app, back);
+    }
+
+    #[test]
+    fn async_children_counted_in_plan() {
+        let plan = ExecutionPlan {
+            stages: vec![vec![0]],
+            async_children: vec![1],
+        };
+        plan.validate(2).unwrap();
+        assert_eq!(plan.all_positions(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Random application generation (§5.1).
+//!
+//! Reproduces the paper's pipeline: allocate services to tiers, assign
+//! RPCs with realistic names, build a random RPC-dependency tree per
+//! operation flow with depth/out-degree control and tier-aware node
+//! placement (frontend RPCs shallow, leaf RPCs deep), attach random
+//! execution graphs (sequential/parallel stages, async children) and
+//! local workload kernels.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+use crate::config::{App, ExecutionPlan, Flow, FlowNode, Pod, Service, Tier};
+use crate::kernels::{Kernel, KernelKind};
+
+/// Tuning knobs for [`generate_app`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Application name.
+    pub name: String,
+    /// Number of services to allocate.
+    pub num_services: usize,
+    /// Total RPC invocation sites across all flows.
+    pub num_rpcs: usize,
+    /// Number of operation flows; the first is the "main" flow holding
+    /// most of the RPC budget.
+    pub num_flows: usize,
+    /// Maximum RPC-tree depth (levels below the root).
+    pub max_depth: usize,
+    /// Maximum children of one RPC.
+    pub max_out_degree: usize,
+    /// Probability a child is invoked asynchronously.
+    pub async_fraction: f64,
+    /// Probability consecutive children share a parallel stage.
+    pub parallel_fraction: f64,
+    /// Range of kernel median service times, µs (log-uniform).
+    pub kernel_median_range: (f64, f64),
+    /// Range of kernel log-normal sigmas (uniform).
+    pub kernel_sigma_range: (f64, f64),
+    /// Replicas per service.
+    pub pods_per_service: usize,
+    /// Cluster nodes to spread pods over.
+    pub num_cluster_nodes: usize,
+    /// Baseline per-RPC exclusive error probability.
+    pub base_error_rate: f64,
+    /// Synchronous RPC timeout, µs.
+    pub timeout_us: u64,
+}
+
+impl GeneratorConfig {
+    /// A configuration scaled like the paper's Synthetic-N benchmarks:
+    /// `num_rpcs = n`, `num_services = n / 4`, with Table 1's depth and
+    /// fan-out targets.
+    pub fn synthetic(n_rpcs: usize) -> Self {
+        let (max_depth, max_out) = match n_rpcs {
+            0..=16 => (2, 4),
+            17..=64 => (3, 7),
+            65..=256 => (7, 14),
+            _ => (7, 24),
+        };
+        GeneratorConfig {
+            name: format!("synthetic-{n_rpcs}"),
+            num_services: (n_rpcs / 4).max(2),
+            num_rpcs: n_rpcs,
+            num_flows: if n_rpcs <= 16 { 1 } else { 3 },
+            max_depth,
+            max_out_degree: max_out,
+            async_fraction: 0.08,
+            parallel_fraction: 0.45,
+            kernel_median_range: (40.0, 3_000.0),
+            kernel_sigma_range: (0.3, 0.9),
+            pods_per_service: 2,
+            num_cluster_nodes: ((n_rpcs / 8).clamp(4, 100)).max(1),
+            base_error_rate: 0.001,
+            timeout_us: 2_000_000,
+        }
+    }
+}
+
+const SERVICE_BASES: &[(&str, Tier)] = &[
+    ("api-gateway", Tier::Frontend),
+    ("web-frontend", Tier::Frontend),
+    ("mobile-bff", Tier::Frontend),
+    ("edge-router", Tier::Frontend),
+    ("user", Tier::Middleware),
+    ("order", Tier::Middleware),
+    ("cart", Tier::Middleware),
+    ("checkout", Tier::Middleware),
+    ("search", Tier::Middleware),
+    ("recommend", Tier::Middleware),
+    ("social-graph", Tier::Middleware),
+    ("timeline", Tier::Middleware),
+    ("compose", Tier::Middleware),
+    ("notification", Tier::Middleware),
+    ("payment", Tier::Backend),
+    ("inventory", Tier::Backend),
+    ("shipping", Tier::Backend),
+    ("catalog", Tier::Backend),
+    ("pricing", Tier::Backend),
+    ("auth", Tier::Backend),
+    ("session", Tier::Backend),
+    ("profile", Tier::Backend),
+    ("media", Tier::Backend),
+    ("geo", Tier::Backend),
+    ("rating", Tier::Backend),
+    ("analytics", Tier::Backend),
+    ("redis-cache", Tier::Leaf),
+    ("memcached", Tier::Leaf),
+    ("mongodb", Tier::Leaf),
+    ("mysql", Tier::Leaf),
+    ("postgres", Tier::Leaf),
+    ("kafka", Tier::Leaf),
+    ("rabbitmq", Tier::Leaf),
+    ("blobstore", Tier::Leaf),
+];
+
+const MID_VERBS: &[&str] = &["Get", "List", "Create", "Update", "Delete", "Compose", "Check", "Resolve", "Validate", "Fetch"];
+const MID_NOUNS: &[&str] = &["User", "Order", "Cart", "Item", "Post", "Timeline", "Profile", "Price", "Stock", "Session", "Review", "Payment", "Media"];
+const LEAF_OPS: &[&str] = &["get", "set", "mget", "query", "insert", "update", "scan", "publish", "consume", "read", "write"];
+
+/// Generate a complete application deterministically from a seed.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero services, RPCs,
+/// flows, or cluster nodes).
+pub fn generate_app(cfg: &GeneratorConfig, seed: u64) -> App {
+    assert!(cfg.num_services >= 2, "need at least two services");
+    assert!(cfg.num_rpcs >= cfg.num_flows, "need at least one RPC per flow");
+    assert!(cfg.num_flows >= 1, "need at least one flow");
+    assert!(cfg.num_cluster_nodes >= 1, "need at least one cluster node");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let nodes: Vec<String> = (0..cfg.num_cluster_nodes)
+        .map(|i| format!("node-{i}"))
+        .collect();
+    let services = allocate_services(cfg, &nodes, &mut rng);
+
+    // Split the RPC budget: the main flow gets most of it.
+    let mut budgets = vec![0usize; cfg.num_flows];
+    if cfg.num_flows == 1 {
+        budgets[0] = cfg.num_rpcs;
+    } else {
+        // Auxiliary flows are small so the main flow's trace size tracks
+        // the paper's "max spans ≈ 2·RPCs" (Table 1).
+        let aux = ((cfg.num_rpcs / 32).max(2)).min(cfg.num_rpcs / cfg.num_flows);
+        for b in budgets.iter_mut().skip(1) {
+            *b = aux;
+        }
+        budgets[0] = cfg.num_rpcs - aux * (cfg.num_flows - 1);
+    }
+
+    let flows = budgets
+        .iter()
+        .enumerate()
+        .map(|(i, &budget)| generate_flow(cfg, &services, i, budget, &mut rng))
+        .collect();
+
+    let app = App {
+        name: cfg.name.clone(),
+        nodes,
+        services,
+        flows,
+    };
+    app.validate().expect("generator must produce valid apps");
+    app
+}
+
+fn allocate_services<R: Rng>(cfg: &GeneratorConfig, nodes: &[String], rng: &mut R) -> Vec<Service> {
+    // Tier quotas: ~8% frontend, 30% middleware, 40% backend, rest leaf,
+    // with at least one frontend and one leaf.
+    let s = cfg.num_services;
+    let n_front = ((s as f64 * 0.08).round() as usize).clamp(1, s - 1);
+    let n_mid = ((s as f64 * 0.30).round() as usize).min(s - n_front - 1);
+    let n_back = ((s as f64 * 0.40).round() as usize).min(s - n_front - n_mid - 1);
+    let n_leaf = s - n_front - n_mid - n_back;
+
+    let mut quotas = vec![
+        (Tier::Frontend, n_front),
+        (Tier::Middleware, n_mid),
+        (Tier::Backend, n_back),
+        (Tier::Leaf, n_leaf.max(1)),
+    ];
+
+    let mut services = Vec::with_capacity(s);
+    for (tier, count) in quotas.drain(..) {
+        let bases: Vec<&str> = SERVICE_BASES
+            .iter()
+            .filter(|(_, t)| *t == tier)
+            .map(|(n, _)| *n)
+            .collect();
+        for k in 0..count {
+            let base = bases[k % bases.len()];
+            let name = if k < bases.len() {
+                base.to_string()
+            } else {
+                format!("{base}-{}", k / bases.len())
+            };
+            let pods = (0..cfg.pods_per_service.max(1))
+                .map(|p| Pod {
+                    name: format!("{name}-{p}"),
+                    node: rng.gen_range(0..nodes.len()),
+                })
+                .collect();
+            services.push(Service { name, tier, pods });
+        }
+    }
+    services
+}
+
+/// Indices of services in a tier (fallback: any service).
+fn tier_services(services: &[Service], tier: Tier) -> Vec<usize> {
+    let v: Vec<usize> = services
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.tier == tier)
+        .map(|(i, _)| i)
+        .collect();
+    if v.is_empty() {
+        (0..services.len()).collect()
+    } else {
+        v
+    }
+}
+
+fn tier_for_depth(depth: usize, max_depth: usize) -> Tier {
+    if depth == 0 {
+        return Tier::Frontend;
+    }
+    if max_depth <= 1 {
+        return Tier::Leaf;
+    }
+    let q = depth as f64 / max_depth as f64;
+    if q < 0.4 {
+        Tier::Middleware
+    } else if q < 0.8 {
+        Tier::Backend
+    } else {
+        Tier::Leaf
+    }
+}
+
+fn op_name_for<R: Rng>(services: &[Service], service: usize, depth: usize, rng: &mut R) -> String {
+    let svc = &services[service];
+    match svc.tier {
+        Tier::Frontend => {
+            let verbs = ["GET", "POST", "PUT"];
+            let paths = ["/home", "/orders", "/cart", "/user", "/compose", "/search", "/feed", "/checkout"];
+            format!(
+                "{} {}",
+                verbs[rng.gen_range(0..verbs.len())],
+                paths[rng.gen_range(0..paths.len())]
+            )
+        }
+        Tier::Leaf => {
+            let proto = svc.name.split('-').next().unwrap_or("kv");
+            format!("{proto}.{}", LEAF_OPS[rng.gen_range(0..LEAF_OPS.len())])
+        }
+        _ => {
+            let _ = depth;
+            format!(
+                "{}{}",
+                MID_VERBS[rng.gen_range(0..MID_VERBS.len())],
+                MID_NOUNS[rng.gen_range(0..MID_NOUNS.len())]
+            )
+        }
+    }
+}
+
+fn random_kernel<R: Rng>(cfg: &GeneratorConfig, tier: Tier, rng: &mut R) -> Kernel {
+    let (lo, hi) = cfg.kernel_median_range;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let mut median = (lo.ln() + u * (hi.ln() - lo.ln())).exp();
+    // Leaf stores are fast; middleware orchestration is light.
+    if tier == Tier::Leaf {
+        median *= 0.3;
+    }
+    let sigma = rng.gen_range(cfg.kernel_sigma_range.0..=cfg.kernel_sigma_range.1);
+    let kind = *[
+        KernelKind::Cpu,
+        KernelKind::Memory,
+        KernelKind::Disk,
+        KernelKind::Scheduler,
+    ]
+    .choose(rng)
+    .expect("non-empty");
+    Kernel::with_median(kind, median, sigma)
+}
+
+fn generate_flow<R: Rng>(
+    cfg: &GeneratorConfig,
+    services: &[Service],
+    flow_idx: usize,
+    budget: usize,
+    rng: &mut R,
+) -> Flow {
+    assert!(budget >= 1);
+    // Grow a random tree: each new node attaches to an eligible parent
+    // (depth < max_depth, fan-out < max_out_degree), preferring parents
+    // in shallower tiers to mimic production fan-out shapes.
+    let mut depths = vec![0usize];
+    let mut parents: Vec<Option<usize>> = vec![None];
+    let mut child_count = vec![0usize];
+    for _ in 1..budget {
+        let eligible: Vec<usize> = (0..depths.len())
+            .filter(|&i| depths[i] < cfg.max_depth && child_count[i] < cfg.max_out_degree)
+            .collect();
+        // Weight parents toward depth (so trees reach the target depth)
+        // and toward nodes that already fan out (preferential
+        // attachment — production RPC graphs have pronounced hubs,
+        // matching Table 1's large max out-degrees).
+        let parent = *eligible
+            .choose_weighted(rng, |&i| 1.0 + depths[i] as f64 + 1.5 * child_count[i] as f64)
+            .unwrap_or_else(|_| {
+                panic!("tree generation ran out of eligible parents (budget {budget})")
+            });
+        depths.push(depths[parent] + 1);
+        parents.push(Some(parent));
+        child_count.push(0);
+        child_count[parent] += 1;
+    }
+
+    // Assign services to nodes by tier affinity.
+    let mut node_service = Vec::with_capacity(budget);
+    for &d in &depths {
+        let tier = tier_for_depth(d, cfg.max_depth);
+        let pool = tier_services(services, tier);
+        node_service.push(pool[rng.gen_range(0..pool.len())]);
+    }
+
+    // Build children lists (topological order holds: parents precede
+    // children by construction).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); budget];
+    for (i, p) in parents.iter().enumerate() {
+        if let Some(p) = *p {
+            children[p].push(i);
+        }
+    }
+
+    let mut nodes = Vec::with_capacity(budget);
+    for i in 0..budget {
+        let svc = node_service[i];
+        let tier = services[svc].tier;
+        let exec = random_execution_plan(cfg, children[i].len(), rng);
+        nodes.push(FlowNode {
+            service: svc,
+            op_name: op_name_for(services, svc, depths[i], rng),
+            children: children[i].clone(),
+            exec,
+            pre_kernel: random_kernel(cfg, tier, rng),
+            post_kernel: random_kernel(cfg, tier, rng),
+            timeout_us: cfg.timeout_us,
+            base_error_rate: cfg.base_error_rate,
+        });
+    }
+
+    let name = if flow_idx == 0 {
+        nodes[0].op_name.clone()
+    } else {
+        format!("{}#{}", nodes[0].op_name, flow_idx)
+    };
+    Flow {
+        name,
+        weight: if flow_idx == 0 { 1.0 } else { 0.3 },
+        nodes,
+    }
+}
+
+fn random_execution_plan<R: Rng>(
+    cfg: &GeneratorConfig,
+    num_children: usize,
+    rng: &mut R,
+) -> ExecutionPlan {
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    let mut async_children = Vec::new();
+    for c in 0..num_children {
+        if rng.gen_bool(cfg.async_fraction) {
+            async_children.push(c);
+            continue;
+        }
+        let join = !stages.is_empty() && rng.gen_bool(cfg.parallel_fraction);
+        if join {
+            stages.last_mut().expect("non-empty").push(c);
+        } else {
+            stages.push(vec![c]);
+        }
+    }
+    ExecutionPlan {
+        stages,
+        async_children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_app_is_valid_and_sized() {
+        for n in [16usize, 64, 256] {
+            let cfg = GeneratorConfig::synthetic(n);
+            let app = generate_app(&cfg, 1);
+            app.validate().unwrap();
+            assert_eq!(app.num_rpcs(), n, "n={n}");
+            assert_eq!(app.num_services(), (n / 4).max(2));
+            assert!(app.max_out_degree() <= cfg.max_out_degree);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::synthetic(64);
+        let a = generate_app(&cfg, 9);
+        let b = generate_app(&cfg, 9);
+        assert_eq!(a, b);
+        let c = generate_app(&cfg, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn depth_respects_cap_and_grows_with_scale() {
+        let small = generate_app(&GeneratorConfig::synthetic(16), 3);
+        let large = generate_app(&GeneratorConfig::synthetic(256), 3);
+        let small_depth = small.flows.iter().map(|f| f.depth()).max().unwrap();
+        let large_depth = large.flows.iter().map(|f| f.depth()).max().unwrap();
+        assert!(small_depth <= 2);
+        assert!(large_depth <= 7);
+        assert!(large_depth > small_depth);
+    }
+
+    #[test]
+    fn root_is_frontend_service() {
+        let app = generate_app(&GeneratorConfig::synthetic(64), 5);
+        for f in &app.flows {
+            let root_svc = &app.services[f.nodes[0].service];
+            assert_eq!(root_svc.tier, Tier::Frontend);
+        }
+    }
+
+    #[test]
+    fn tiers_are_all_represented_at_scale() {
+        let app = generate_app(&GeneratorConfig::synthetic(256), 2);
+        for tier in Tier::ALL {
+            assert!(
+                app.services.iter().any(|s| s.tier == tier),
+                "missing {tier:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn main_flow_holds_most_rpcs() {
+        let app = generate_app(&GeneratorConfig::synthetic(256), 4);
+        let main = app.flows[0].len();
+        for f in &app.flows[1..] {
+            assert!(f.len() < main);
+        }
+    }
+
+    #[test]
+    fn pods_and_nodes_allocated() {
+        let app = generate_app(&GeneratorConfig::synthetic(64), 8);
+        for s in &app.services {
+            assert_eq!(s.pods.len(), 2);
+            for p in &s.pods {
+                assert!(p.node < app.nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn some_parallelism_and_async_generated() {
+        let app = generate_app(&GeneratorConfig::synthetic(256), 11);
+        let any_parallel = app
+            .flows
+            .iter()
+            .flat_map(|f| &f.nodes)
+            .any(|n| n.exec.stages.iter().any(|s| s.len() > 1));
+        let any_async = app
+            .flows
+            .iter()
+            .flat_map(|f| &f.nodes)
+            .any(|n| !n.exec.async_children.is_empty());
+        assert!(any_parallel, "no parallel stages generated");
+        assert!(any_async, "no async children generated");
+    }
+}

@@ -1,0 +1,162 @@
+//! Local workload kernels (§5.1.4).
+//!
+//! The paper inserts pluggable microbenchmarks (stress-ng/iBench style)
+//! between child RPC invocations to simulate request processing that
+//! stresses distinct hardware and OS components. In this reproduction a
+//! kernel is a heavy-tailed **log-normal service-time distribution**
+//! tagged with the resource it stresses; chaos faults targeting a
+//! resource multiply the service time of kernels stressing that resource
+//! (see [`crate::chaos`]).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The hardware/OS component a kernel stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// CPU-bound computation.
+    Cpu,
+    /// Memory-bandwidth / cache-thrashing work.
+    Memory,
+    /// Disk or filesystem I/O.
+    Disk,
+    /// Lock contention / OS scheduler pressure.
+    Scheduler,
+}
+
+impl KernelKind {
+    /// All kinds in a stable order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Cpu,
+        KernelKind::Memory,
+        KernelKind::Disk,
+        KernelKind::Scheduler,
+    ];
+}
+
+/// A local-execution kernel: log-normal service time on one resource.
+///
+/// `mu`/`sigma` are the parameters of `ln(duration_us)`, so the median
+/// service time is `e^mu` µs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Stressed resource.
+    pub kind: KernelKind,
+    /// Location of `ln(duration_us)`.
+    pub mu: f64,
+    /// Scale of `ln(duration_us)` — tail heaviness.
+    pub sigma: f64,
+}
+
+impl Kernel {
+    /// A kernel whose median service time is `median_us` with the given
+    /// log-scale `sigma`.
+    pub fn with_median(kind: KernelKind, median_us: f64, sigma: f64) -> Self {
+        assert!(median_us > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Kernel {
+            kind,
+            mu: median_us.ln(),
+            sigma,
+        }
+    }
+
+    /// Median service time in µs.
+    pub fn median_us(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Sample a service time (µs), optionally slowed by a fault
+    /// multiplier (`slowdown` ≥ 1.0 under stress, 1.0 when healthy).
+    pub fn sample_us<R: Rng + ?Sized>(&self, slowdown: f64, rng: &mut R) -> u64 {
+        let z = standard_normal(rng);
+        let d = (self.mu + self.sigma * z).exp() * slowdown;
+        d.round().clamp(1.0, 1e10) as u64
+    }
+
+    /// A zero-cost kernel (for nodes without local work).
+    pub fn negligible() -> Self {
+        Kernel::with_median(KernelKind::Cpu, 1.0, 0.0)
+    }
+}
+
+/// One draw from N(0, 1) via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One draw from LogNormal(mu, sigma), in µs.
+pub fn lognormal_us<R: Rng + ?Sized>(mu: f64, sigma: f64, rng: &mut R) -> u64 {
+    let z = standard_normal(rng);
+    (mu + sigma * z).exp().round().clamp(1.0, 1e10) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn median_roundtrip() {
+        let k = Kernel::with_median(KernelKind::Cpu, 500.0, 1.0);
+        assert!((k.median_us() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_median_approximates_configured_median() {
+        let k = Kernel::with_median(KernelKind::Disk, 1000.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut samples: Vec<u64> = (0..4000).map(|_| k.sample_us(1.0, &mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        assert!((median / 1000.0 - 1.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn slowdown_multiplies() {
+        let k = Kernel::with_median(KernelKind::Cpu, 100.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = k.sample_us(1.0, &mut rng);
+        let slow = k.sample_us(10.0, &mut rng);
+        assert_eq!(base, 100);
+        assert_eq!(slow, 1000);
+    }
+
+    #[test]
+    fn heavy_tail_is_heavy() {
+        // With sigma = 1.2, the p99/median ratio should be large (> 10x).
+        let k = Kernel::with_median(KernelKind::Memory, 100.0, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut samples: Vec<u64> = (0..20_000).map(|_| k.sample_us(1.0, &mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        let p99 = samples[samples.len() * 99 / 100] as f64;
+        assert!(p99 / median > 10.0, "tail ratio {}", p99 / median);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn negligible_kernel_is_one_microsecond() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(Kernel::negligible().sample_us(1.0, &mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_median_rejected() {
+        let _ = Kernel::with_median(KernelKind::Cpu, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic microservice benchmark generation and simulation (§5).
+//!
+//! The Sleuth paper's evaluation needs microservice applications far
+//! larger than any open-source benchmark (hundreds of services, RPC
+//! trees with thousands of spans). Its §5 describes a generator that
+//! emits deployable gRPC services; this crate reproduces that generator
+//! and — since this reproduction cannot run a Kubernetes cluster —
+//! replaces the deployed services with a faithful discrete-event
+//! **simulator** that executes the generated RPC/execution graphs and
+//! emits OpenTelemetry-shaped spans.
+//!
+//! The pieces mirror §5.1–5.2:
+//!
+//! * [`config`] — the application model: services with tiers and pod
+//!   placements, operation flows, per-node execution plans and local
+//!   workload kernels (the paper's configuration file),
+//! * [`generator`] — RPC/service allocation, random RPC-dependency DAGs
+//!   per operation flow, random execution graphs, kernel assignment,
+//! * [`kernels`] — pluggable local-workload kernels with heavy-tailed
+//!   log-normal service times, stressing distinct resources (CPU,
+//!   memory, disk, network),
+//! * [`simulator`] — executes one request through a flow: sequential /
+//!   parallel stages, synchronous RPCs with timeouts, asynchronous
+//!   producer/consumer messages, error generation and propagation,
+//! * [`chaos`] — fault injection (the paper's Chaosblade substitute) at
+//!   container, pod, and node scope, with ground-truth logging,
+//! * [`presets`] — SockShop, SocialNetwork and Synthetic-{16,64,256,1024}
+//!   topologies matching the paper's Table 1,
+//! * [`updates`] — the live service updates A–D of §6.4,
+//! * [`workload`] — corpus generation: normal training corpora and
+//!   labelled anomaly queries for evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use sleuth_synth::presets;
+//! use sleuth_synth::workload::CorpusBuilder;
+//!
+//! let app = presets::synthetic(16, 42);
+//! let corpus = CorpusBuilder::new(&app).seed(7).normal_traces(20);
+//! assert_eq!(corpus.traces.len(), 20);
+//! ```
+
+pub mod chaos;
+pub mod config;
+pub mod generator;
+pub mod kernels;
+pub mod presets;
+pub mod simulator;
+pub mod updates;
+pub mod workload;
+
+pub use chaos::{ChaosEngine, Fault, FaultKind, FaultPlan, FaultTarget};
+pub use config::{App, ExecutionPlan, Flow, FlowNode, Service, Tier};
+pub use generator::{generate_app, GeneratorConfig};
+pub use simulator::{GroundTruth, SimConfig, SimulatedTrace, Simulator};

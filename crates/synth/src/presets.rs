@@ -1,0 +1,552 @@
+//! Benchmark application presets (§6.1.1, Table 1).
+//!
+//! Hand-built topologies for the two open-source benchmarks the paper
+//! evaluates — SockShop and DeathStarBench's SocialNetwork — plus the
+//! Synthetic-N family produced by the §5 generator. The presets match
+//! Table 1's scale: service counts, RPC counts, max spans per trace and
+//! span-tree depth.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+use crate::config::{App, ExecutionPlan, Flow, FlowNode, Pod, Service, Tier};
+use crate::generator::{generate_app, GeneratorConfig};
+use crate::kernels::{Kernel, KernelKind};
+
+/// A Synthetic-N application (N ∈ {16, 64, 256, 1024} in the paper),
+/// generated deterministically from `seed`.
+pub fn synthetic(n_rpcs: usize, seed: u64) -> App {
+    generate_app(&GeneratorConfig::synthetic(n_rpcs), seed)
+}
+
+/// Incremental flow-tree builder used by the hand-built presets.
+struct FlowBuilder {
+    nodes: Vec<FlowNode>,
+    /// Parents whose children should run in one parallel stage.
+    parallel_parents: Vec<usize>,
+    /// (parent, position) pairs invoked asynchronously.
+    async_edges: Vec<(usize, usize)>,
+}
+
+impl FlowBuilder {
+    fn new() -> Self {
+        FlowBuilder {
+            nodes: Vec::new(),
+            parallel_parents: Vec::new(),
+            async_edges: Vec::new(),
+        }
+    }
+
+    /// Add a node; `parent` is `None` only for the root.
+    fn node(&mut self, parent: Option<usize>, service: usize, op: &str, kernel: Kernel) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(FlowNode {
+            service,
+            op_name: op.to_string(),
+            children: Vec::new(),
+            exec: ExecutionPlan::default(),
+            pre_kernel: kernel,
+            post_kernel: Kernel::with_median(kernel.kind, kernel.median_us() * 0.3, kernel.sigma),
+            timeout_us: 2_000_000,
+            base_error_rate: 0.0005,
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(idx);
+        }
+        idx
+    }
+
+    /// Mark a parent's children as one parallel stage.
+    fn parallel(&mut self, parent: usize) {
+        self.parallel_parents.push(parent);
+    }
+
+    /// Mark the edge to `child` as asynchronous (fire-and-forget).
+    fn asynchronous(&mut self, parent: usize, child: usize) {
+        let pos = self.nodes[parent]
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .expect("child must belong to parent");
+        self.async_edges.push((parent, pos));
+    }
+
+    fn finish(mut self, name: &str, weight: f64) -> Flow {
+        for i in 0..self.nodes.len() {
+            let n_children = self.nodes[i].children.len();
+            let async_positions: Vec<usize> = self
+                .async_edges
+                .iter()
+                .filter(|&&(p, _)| p == i)
+                .map(|&(_, pos)| pos)
+                .collect();
+            let sync_positions: Vec<usize> = (0..n_children)
+                .filter(|p| !async_positions.contains(p))
+                .collect();
+            let stages = if self.parallel_parents.contains(&i) {
+                if sync_positions.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![sync_positions]
+                }
+            } else {
+                sync_positions.into_iter().map(|p| vec![p]).collect()
+            };
+            self.nodes[i].exec = ExecutionPlan {
+                stages,
+                async_children: async_positions,
+            };
+        }
+        Flow {
+            name: name.to_string(),
+            weight,
+            nodes: self.nodes,
+        }
+    }
+}
+
+fn make_services(specs: &[(&str, Tier, KernelKind)], num_nodes: usize, seed: u64) -> (Vec<Service>, Vec<String>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nodes: Vec<String> = (0..num_nodes).map(|i| format!("node-{i}")).collect();
+    let services = specs
+        .iter()
+        .map(|(name, tier, _)| Service {
+            name: name.to_string(),
+            tier: *tier,
+            pods: (0..2)
+                .map(|p| Pod {
+                    name: format!("{name}-{p}"),
+                    node: rng.gen_range(0..num_nodes),
+                })
+                .collect(),
+        })
+        .collect();
+    (services, nodes)
+}
+
+/// Kernel presets per role.
+fn svc_kernel() -> Kernel {
+    Kernel::with_median(KernelKind::Cpu, 400.0, 0.6)
+}
+fn mid_kernel() -> Kernel {
+    Kernel::with_median(KernelKind::Cpu, 250.0, 0.5)
+}
+fn db_kernel() -> Kernel {
+    Kernel::with_median(KernelKind::Disk, 900.0, 0.8)
+}
+fn cache_kernel() -> Kernel {
+    Kernel::with_median(KernelKind::Memory, 80.0, 0.4)
+}
+fn queue_kernel() -> Kernel {
+    Kernel::with_median(KernelKind::Scheduler, 120.0, 0.5)
+}
+
+/// The SockShop demo application: 11 services, 58 RPC sites, with
+/// `POST /orders` as the most complex flow (≈57 spans, span depth 9).
+pub fn sockshop() -> App {
+    // Service indices.
+    const FRONT: usize = 0;
+    const CATALOGUE: usize = 1;
+    const CARTS: usize = 2;
+    const CARTS_DB: usize = 3;
+    const ORDERS: usize = 4;
+    const ORDERS_DB: usize = 5;
+    const SHIPPING: usize = 6;
+    const RABBITMQ: usize = 7;
+    const PAYMENT: usize = 8;
+    const USER: usize = 9;
+    const USER_DB: usize = 10;
+
+    let (services, nodes) = make_services(
+        &[
+            ("front-end", Tier::Frontend, KernelKind::Cpu),
+            ("catalogue", Tier::Backend, KernelKind::Cpu),
+            ("carts", Tier::Middleware, KernelKind::Cpu),
+            ("carts-db", Tier::Leaf, KernelKind::Disk),
+            ("orders", Tier::Middleware, KernelKind::Cpu),
+            ("orders-db", Tier::Leaf, KernelKind::Disk),
+            ("shipping", Tier::Backend, KernelKind::Cpu),
+            ("rabbitmq", Tier::Leaf, KernelKind::Scheduler),
+            ("payment", Tier::Backend, KernelKind::Cpu),
+            ("user", Tier::Middleware, KernelKind::Cpu),
+            ("user-db", Tier::Leaf, KernelKind::Disk),
+        ],
+        6,
+        101,
+    );
+
+    // POST /orders — the paper's most complex SockShop API (57 spans,
+    // depth 9).
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "POST /orders", svc_kernel());
+    let sess = b.node(Some(root), USER, "VerifySession", mid_kernel());
+    b.node(Some(sess), USER_DB, "mongo.find", db_kernel());
+    let order = b.node(Some(root), ORDERS, "CreateOrder", svc_kernel());
+    let cust = b.node(Some(order), USER, "GetCustomer", mid_kernel());
+    b.node(Some(cust), USER_DB, "mongo.find", db_kernel());
+    let card = b.node(Some(order), USER, "GetCard", mid_kernel());
+    b.node(Some(card), USER_DB, "mongo.find", db_kernel());
+    let addr = b.node(Some(order), USER, "GetAddress", mid_kernel());
+    b.node(Some(addr), USER_DB, "mongo.find", db_kernel());
+    let cart = b.node(Some(order), CARTS, "GetCart", mid_kernel());
+    b.node(Some(cart), CARTS_DB, "mongo.query", db_kernel());
+    let count = b.node(Some(order), CARTS, "GetItemCount", mid_kernel());
+    b.node(Some(count), CARTS_DB, "mongo.count", db_kernel());
+    let pay = b.node(Some(order), PAYMENT, "Authorise", svc_kernel());
+    let payc = b.node(Some(pay), USER, "GetCustomer", mid_kernel());
+    b.node(Some(payc), USER_DB, "mongo.find", db_kernel());
+    let payr = b.node(Some(pay), PAYMENT, "RecordTransaction", mid_kernel());
+    b.node(Some(payr), ORDERS_DB, "mongo.insert", db_kernel());
+    let ship = b.node(Some(order), SHIPPING, "CreateShipment", svc_kernel());
+    let publish = b.node(Some(ship), RABBITMQ, "amqp.publish", queue_kernel());
+    b.asynchronous(ship, publish);
+    let loyal = b.node(Some(order), USER, "GetLoyalty", mid_kernel());
+    b.node(Some(loyal), USER_DB, "mongo.find", db_kernel());
+    b.node(Some(order), ORDERS_DB, "mongo.insert", db_kernel());
+    let del = b.node(Some(order), CARTS, "DeleteCart", mid_kernel());
+    b.node(Some(del), CARTS_DB, "mongo.delete", db_kernel());
+    b.node(Some(root), CATALOGUE, "ListRelated", svc_kernel());
+    let recs = b.node(Some(root), CATALOGUE, "GetRecommendations", svc_kernel());
+    b.node(Some(recs), CATALOGUE, "sql.select", db_kernel());
+    // Parallelism: the user/cart lookups inside CreateOrder fan out.
+    b.parallel(order);
+    let post_orders = b.finish("POST /orders", 0.25);
+
+    // GET /catalogue
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "GET /catalogue", svc_kernel());
+    let list = b.node(Some(root), CATALOGUE, "ListSocks", svc_kernel());
+    b.node(Some(list), CATALOGUE, "sql.select", db_kernel());
+    let tags = b.node(Some(root), CATALOGUE, "GetTags", svc_kernel());
+    b.node(Some(tags), CATALOGUE, "sql.select", db_kernel());
+    b.node(Some(root), USER, "VerifySession", mid_kernel());
+    let get_catalogue = b.finish("GET /catalogue", 1.0);
+
+    // GET /cart
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "GET /cart", svc_kernel());
+    let cart = b.node(Some(root), CARTS, "GetCart", mid_kernel());
+    b.node(Some(cart), CARTS_DB, "mongo.query", db_kernel());
+    let sess = b.node(Some(root), USER, "VerifySession", mid_kernel());
+    b.node(Some(sess), USER_DB, "mongo.find", db_kernel());
+    let get_cart = b.finish("GET /cart", 0.7);
+
+    // POST /cart
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "POST /cart", svc_kernel());
+    let item = b.node(Some(root), CATALOGUE, "GetSock", svc_kernel());
+    b.node(Some(item), CATALOGUE, "sql.select", db_kernel());
+    let add = b.node(Some(root), CARTS, "AddItem", mid_kernel());
+    b.node(Some(add), CARTS_DB, "mongo.update", db_kernel());
+    b.node(Some(root), USER, "VerifySession", mid_kernel());
+    let post_cart = b.finish("POST /cart", 0.6);
+
+    // GET /login
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "GET /login", svc_kernel());
+    let login = b.node(Some(root), USER, "Login", mid_kernel());
+    b.node(Some(login), USER_DB, "mongo.find", db_kernel());
+    let merge = b.node(Some(root), CARTS, "MergeCarts", mid_kernel());
+    b.node(Some(merge), CARTS_DB, "mongo.update", db_kernel());
+    let get_login = b.finish("GET /login", 0.3);
+
+    // GET /orders
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, FRONT, "GET /orders", svc_kernel());
+    let list = b.node(Some(root), ORDERS, "ListOrders", svc_kernel());
+    b.node(Some(list), ORDERS_DB, "mongo.find", db_kernel());
+    let ship = b.node(Some(list), SHIPPING, "GetShipmentStatus", mid_kernel());
+    b.node(Some(ship), RABBITMQ, "amqp.query", queue_kernel());
+    let sess = b.node(Some(root), USER, "VerifySession", mid_kernel());
+    b.node(Some(sess), USER_DB, "mongo.find", db_kernel());
+    let get_orders = b.finish("GET /orders", 0.4);
+
+    let app = App {
+        name: "sockshop".into(),
+        nodes,
+        services,
+        flows: vec![
+            post_orders,
+            get_catalogue,
+            get_cart,
+            post_cart,
+            get_login,
+            get_orders,
+        ],
+    };
+    app.validate().expect("sockshop preset must validate");
+    app
+}
+
+/// The DeathStarBench SocialNetwork application: 26 services, with
+/// `ComposePost` as the most complex flow (31 spans, span depth 9).
+pub fn socialnetwork() -> App {
+    const NGINX: usize = 0;
+    const COMPOSE: usize = 1;
+    const UNIQUE_ID: usize = 2;
+    const TEXT: usize = 3;
+    const URL_SHORTEN: usize = 4;
+    const URL_MONGO: usize = 5;
+    const USER_MENTION: usize = 6;
+    const USER_MEMCACHED: usize = 7;
+    const MEDIA: usize = 8;
+    const MEDIA_MONGO: usize = 9;
+    const USER: usize = 10;
+    const USER_MONGO: usize = 11;
+    const POST_STORAGE: usize = 12;
+    const POST_MONGO: usize = 13;
+    const POST_MEMCACHED: usize = 14;
+    const USER_TIMELINE: usize = 15;
+    const UT_REDIS: usize = 16;
+    const UT_MONGO: usize = 17;
+    const HOME_TIMELINE: usize = 18;
+    const HT_REDIS: usize = 19;
+    const SOCIAL_GRAPH: usize = 20;
+    const SG_REDIS: usize = 21;
+    const SG_MONGO: usize = 22;
+    const WRITE_HT: usize = 23;
+    const RABBITMQ: usize = 24;
+    const COMPOSE_REDIS: usize = 25;
+
+    let (services, nodes) = make_services(
+        &[
+            ("nginx-web-server", Tier::Frontend, KernelKind::Cpu),
+            ("compose-post-service", Tier::Middleware, KernelKind::Cpu),
+            ("unique-id-service", Tier::Backend, KernelKind::Cpu),
+            ("text-service", Tier::Backend, KernelKind::Cpu),
+            ("url-shorten-service", Tier::Backend, KernelKind::Cpu),
+            ("url-shorten-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("user-mention-service", Tier::Backend, KernelKind::Cpu),
+            ("user-memcached", Tier::Leaf, KernelKind::Memory),
+            ("media-service", Tier::Backend, KernelKind::Cpu),
+            ("media-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("user-service", Tier::Middleware, KernelKind::Cpu),
+            ("user-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("post-storage-service", Tier::Backend, KernelKind::Cpu),
+            ("post-storage-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("post-storage-memcached", Tier::Leaf, KernelKind::Memory),
+            ("user-timeline-service", Tier::Backend, KernelKind::Cpu),
+            ("user-timeline-redis", Tier::Leaf, KernelKind::Memory),
+            ("user-timeline-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("home-timeline-service", Tier::Middleware, KernelKind::Cpu),
+            ("home-timeline-redis", Tier::Leaf, KernelKind::Memory),
+            ("social-graph-service", Tier::Middleware, KernelKind::Cpu),
+            ("social-graph-redis", Tier::Leaf, KernelKind::Memory),
+            ("social-graph-mongodb", Tier::Leaf, KernelKind::Disk),
+            ("write-home-timeline-service", Tier::Backend, KernelKind::Cpu),
+            ("write-home-timeline-rabbitmq", Tier::Leaf, KernelKind::Scheduler),
+            ("compose-post-redis", Tier::Leaf, KernelKind::Memory),
+        ],
+        10,
+        202,
+    );
+
+    // ComposePost — 16 RPC nodes → 31 spans, depth 9.
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "POST /api/post/compose", svc_kernel());
+    let compose = b.node(Some(root), COMPOSE, "ComposePost", svc_kernel());
+    b.node(Some(compose), UNIQUE_ID, "UploadUniqueId", mid_kernel());
+    let text = b.node(Some(compose), TEXT, "UploadText", mid_kernel());
+    let urls = b.node(Some(text), URL_SHORTEN, "UploadUrls", mid_kernel());
+    b.node(Some(urls), URL_MONGO, "mongo.insert", db_kernel());
+    let mention = b.node(Some(text), USER_MENTION, "UploadUserMentions", mid_kernel());
+    b.node(Some(mention), USER_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(Some(compose), MEDIA, "UploadMedia", mid_kernel());
+    let creator = b.node(Some(compose), USER, "UploadCreator", mid_kernel());
+    b.node(Some(creator), USER_MEMCACHED, "memcached.get", cache_kernel());
+    let store = b.node(Some(compose), POST_STORAGE, "StorePost", svc_kernel());
+    b.node(Some(store), POST_MONGO, "mongo.insert", db_kernel());
+    let ut = b.node(Some(compose), USER_TIMELINE, "WriteUserTimeline", mid_kernel());
+    b.node(Some(ut), UT_REDIS, "redis.zadd", cache_kernel());
+    let fanout = b.node(Some(compose), WRITE_HT, "FanoutHomeTimelines", svc_kernel());
+    b.asynchronous(compose, fanout);
+    b.parallel(compose);
+    b.parallel(text);
+    let compose_post = b.finish("ComposePost", 0.3);
+
+    // ReadHomeTimeline
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "GET /api/home-timeline/read", svc_kernel());
+    let ht = b.node(Some(root), HOME_TIMELINE, "ReadHomeTimeline", svc_kernel());
+    b.node(Some(ht), HT_REDIS, "redis.zrange", cache_kernel());
+    let posts = b.node(Some(ht), POST_STORAGE, "ReadPosts", mid_kernel());
+    b.node(Some(posts), POST_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(Some(posts), POST_MONGO, "mongo.find", db_kernel());
+    let read_home = b.finish("ReadHomeTimeline", 1.0);
+
+    // ReadUserTimeline
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "GET /api/user-timeline/read", svc_kernel());
+    let ut = b.node(Some(root), USER_TIMELINE, "ReadUserTimeline", svc_kernel());
+    b.node(Some(ut), UT_REDIS, "redis.zrevrange", cache_kernel());
+    b.node(Some(ut), UT_MONGO, "mongo.find", db_kernel());
+    let posts = b.node(Some(ut), POST_STORAGE, "ReadPosts", mid_kernel());
+    b.node(Some(posts), POST_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(Some(posts), POST_MONGO, "mongo.find", db_kernel());
+    let read_user = b.finish("ReadUserTimeline", 0.8);
+
+    // Login
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "POST /api/user/login", svc_kernel());
+    let login = b.node(Some(root), USER, "Login", mid_kernel());
+    b.node(Some(login), USER_MEMCACHED, "memcached.get", cache_kernel());
+    b.node(Some(login), USER_MONGO, "mongo.find", db_kernel());
+    b.node(Some(root), COMPOSE_REDIS, "redis.set", cache_kernel());
+    let login_flow = b.finish("Login", 0.2);
+
+    // Follow
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "POST /api/user/follow", svc_kernel());
+    let follow = b.node(Some(root), SOCIAL_GRAPH, "Follow", svc_kernel());
+    b.node(Some(follow), SG_REDIS, "redis.sadd", cache_kernel());
+    b.node(Some(follow), SG_MONGO, "mongo.update", db_kernel());
+    let uid = b.node(Some(follow), USER, "GetUserId", mid_kernel());
+    b.node(Some(uid), USER_MEMCACHED, "memcached.get", cache_kernel());
+    let follow_flow = b.finish("Follow", 0.2);
+
+    // FanoutHomeTimelines (worker-driven flow via the queue)
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, WRITE_HT, "FanoutWorker", svc_kernel());
+    b.node(Some(root), RABBITMQ, "amqp.consume", queue_kernel());
+    let sg = b.node(Some(root), SOCIAL_GRAPH, "GetFollowers", mid_kernel());
+    b.node(Some(sg), SG_REDIS, "redis.smembers", cache_kernel());
+    b.node(Some(root), HT_REDIS, "redis.zadd", cache_kernel());
+    let fanout_flow = b.finish("FanoutHomeTimelines", 0.25);
+
+    // ReadPost media path
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "GET /api/media/get", svc_kernel());
+    let media = b.node(Some(root), MEDIA, "GetMedia", mid_kernel());
+    b.node(Some(media), MEDIA_MONGO, "mongo.find", db_kernel());
+    let media_flow = b.finish("GetMedia", 0.3);
+
+    // ReadPost (single post with media and creator)
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "GET /api/post/read", svc_kernel());
+    let post = b.node(Some(root), POST_STORAGE, "ReadPost", mid_kernel());
+    b.node(Some(post), POST_MEMCACHED, "memcached.get", cache_kernel());
+    b.node(Some(post), POST_MONGO, "mongo.find", db_kernel());
+    let media = b.node(Some(root), MEDIA, "GetMedia", mid_kernel());
+    b.node(Some(media), MEDIA_MONGO, "mongo.find", db_kernel());
+    let user = b.node(Some(root), USER, "GetCreator", mid_kernel());
+    b.node(Some(user), USER_MEMCACHED, "memcached.get", cache_kernel());
+    let read_post_flow = b.finish("ReadPost", 0.3);
+
+    // Profile page composite
+    let mut b = FlowBuilder::new();
+    let root = b.node(None, NGINX, "GET /api/user/profile", svc_kernel());
+    let user = b.node(Some(root), USER, "GetProfile", mid_kernel());
+    b.node(Some(user), USER_MEMCACHED, "memcached.get", cache_kernel());
+    b.node(Some(user), USER_MONGO, "mongo.find", db_kernel());
+    let sg = b.node(Some(root), SOCIAL_GRAPH, "GetFollowerCount", mid_kernel());
+    b.node(Some(sg), SG_REDIS, "redis.scard", cache_kernel());
+    b.parallel(root);
+    let profile_flow = b.finish("GetProfile", 0.4);
+
+    let app = App {
+        name: "socialnetwork".into(),
+        nodes,
+        services,
+        flows: vec![
+            compose_post,
+            read_home,
+            read_user,
+            login_flow,
+            follow_flow,
+            fanout_flow,
+            media_flow,
+            read_post_flow,
+            profile_flow,
+        ],
+    };
+    app.validate().expect("socialnetwork preset must validate");
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sockshop_matches_table1_scale() {
+        let app = sockshop();
+        assert_eq!(app.num_services(), 11);
+        // Paper: 58 RPCs, 57 max spans, depth 9.
+        assert!(
+            (50..=66).contains(&app.num_rpcs()),
+            "rpcs {}",
+            app.num_rpcs()
+        );
+        assert!(
+            (50..=60).contains(&app.max_spans()),
+            "max spans {}",
+            app.max_spans()
+        );
+        assert_eq!(app.max_depth(), 9);
+    }
+
+    #[test]
+    fn socialnetwork_matches_table1_scale() {
+        let app = socialnetwork();
+        assert_eq!(app.num_services(), 26);
+        // Paper: 61 RPCs, 31 max spans, depth 9.
+        assert!(
+            (45..=70).contains(&app.num_rpcs()),
+            "rpcs {}",
+            app.num_rpcs()
+        );
+        assert!(
+            (29..=33).contains(&app.max_spans()),
+            "max spans {}",
+            app.max_spans()
+        );
+        assert_eq!(app.max_depth(), 9);
+    }
+
+    #[test]
+    fn synthetic_family_scales() {
+        for (n, svcs) in [(16usize, 4usize), (64, 16), (256, 64), (1024, 256)] {
+            let app = synthetic(n, 7);
+            assert_eq!(app.num_rpcs(), n);
+            assert_eq!(app.num_services(), svcs);
+            app.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        assert_eq!(sockshop(), sockshop());
+        assert_eq!(socialnetwork(), socialnetwork());
+        assert_eq!(synthetic(64, 3), synthetic(64, 3));
+    }
+
+    #[test]
+    fn sockshop_post_orders_is_most_complex() {
+        let app = sockshop();
+        let spans: Vec<usize> = app.flows.iter().map(|f| f.span_count()).collect();
+        assert_eq!(
+            spans.iter().max(),
+            Some(&app.flows[0].span_count()),
+            "POST /orders must be the largest flow"
+        );
+    }
+
+    #[test]
+    fn presets_have_async_and_parallel_structure() {
+        for app in [sockshop(), socialnetwork()] {
+            let any_async = app
+                .flows
+                .iter()
+                .flat_map(|f| &f.nodes)
+                .any(|n| !n.exec.async_children.is_empty());
+            let any_parallel = app
+                .flows
+                .iter()
+                .flat_map(|f| &f.nodes)
+                .any(|n| n.exec.stages.iter().any(|s| s.len() > 1));
+            assert!(any_async, "{}: no async edges", app.name);
+            assert!(any_parallel, "{}: no parallel stages", app.name);
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! Discrete-event request simulation.
+//!
+//! Replaces the paper's deployed gRPC services: executes one request
+//! through a flow's call tree, honouring execution plans (sequential and
+//! parallel stages, asynchronous fire-and-forget children), sampling
+//! local-work kernels under any active fault plan, adding network
+//! latency, propagating errors, and enforcing client-side timeouts. The
+//! output is an OpenTelemetry-shaped span set identical in structure to
+//! what the paper's collectors would gather, plus the injection-derived
+//! ground truth for the trace.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use sleuth_trace::{Span, SpanKind, StatusCode, Trace, TraceId};
+
+use crate::chaos::FaultPlan;
+use crate::config::{App, Flow};
+use crate::kernels::lognormal_us;
+
+/// Simulator tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Median one-way network hop latency, µs.
+    pub network_median_us: f64,
+    /// Log-normal sigma of network latency.
+    pub network_sigma: f64,
+    /// Probability a parent reports an error when a synchronous child
+    /// failed.
+    pub error_propagation: f64,
+    /// Median enqueue cost of an asynchronous publish, µs.
+    pub async_enqueue_median_us: f64,
+    /// Median queueing delay before an async consumer starts, µs.
+    pub async_queue_delay_us: f64,
+    /// Kernel slow-down below this factor is treated as background noise
+    /// and not recorded as ground truth.
+    pub affected_slowdown_threshold: f64,
+    /// Extra network delay below this many µs is treated as noise.
+    pub affected_delay_threshold_us: u64,
+    /// A faulted instance enters the ground truth only if the time it
+    /// added is at least this fraction of the trace's total duration
+    /// (or it caused an error). This implements the paper's root-cause
+    /// definition (§3.1): instances whose restoration would prevent the
+    /// SLO violation — negligible perturbations are not root causes.
+    pub ground_truth_min_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            network_median_us: 150.0,
+            network_sigma: 0.25,
+            error_propagation: 0.9,
+            async_enqueue_median_us: 80.0,
+            async_queue_delay_us: 500.0,
+            affected_slowdown_threshold: 1.5,
+            affected_delay_threshold_us: 5_000,
+            ground_truth_min_fraction: 0.05,
+        }
+    }
+}
+
+/// The injected instances that actually perturbed a simulated trace —
+/// the evaluation ground truth (§6.1.4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Root-cause services.
+    pub services: BTreeSet<String>,
+    /// Root-cause pods.
+    pub pods: BTreeSet<String>,
+    /// Root-cause cluster nodes.
+    pub nodes: BTreeSet<String>,
+}
+
+impl GroundTruth {
+    /// Whether no instance perturbed the trace.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    fn record(&mut self, app: &App, service: usize, pod: usize) {
+        let svc = &app.services[service];
+        self.services.insert(svc.name.clone());
+        self.pods.insert(svc.pods[pod].name.clone());
+        self.nodes.insert(app.nodes[svc.pods[pod].node].clone());
+    }
+}
+
+/// A simulated request: its trace and ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedTrace {
+    /// The assembled trace.
+    pub trace: Trace,
+    /// Index of the flow that produced it.
+    pub flow: usize,
+    /// Instances whose faults perturbed it (empty for clean traces).
+    pub ground_truth: GroundTruth,
+}
+
+/// Executes requests against an [`App`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    app: &'a App,
+    cfg: SimConfig,
+}
+
+struct Ctx<'p> {
+    plan: &'p FaultPlan,
+    trace_id: TraceId,
+    next_span_id: u64,
+    spans: Vec<Span>,
+    /// Extra synchronous-path time each faulted instance added, µs.
+    added_us: std::collections::BTreeMap<(usize, usize), f64>,
+    /// Instances whose fault injection produced an error.
+    errored: std::collections::BTreeSet<(usize, usize)>,
+    /// Depth of fire-and-forget subtrees we are inside (contributions
+    /// there never reach the root request, so they are not root causes
+    /// for it).
+    async_depth: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator with default tuning.
+    pub fn new(app: &'a App) -> Self {
+        Simulator {
+            app,
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Create a simulator with explicit tuning.
+    pub fn with_config(app: &'a App, cfg: SimConfig) -> Self {
+        Simulator { app, cfg }
+    }
+
+    /// The application being simulated.
+    pub fn app(&self) -> &App {
+        self.app
+    }
+
+    /// Pick a flow index weighted by [`Flow::weight`].
+    pub fn pick_flow<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.app.flows.iter().map(|f| f.weight).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, f) in self.app.flows.iter().enumerate() {
+            if x < f.weight {
+                return i;
+            }
+            x -= f.weight;
+        }
+        self.app.flows.len() - 1
+    }
+
+    /// Simulate one request through `flow_idx` under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow_idx` is out of range.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        flow_idx: usize,
+        plan: &FaultPlan,
+        trace_id: TraceId,
+        rng: &mut R,
+    ) -> SimulatedTrace {
+        let flow = &self.app.flows[flow_idx];
+        let mut ctx = Ctx {
+            plan,
+            trace_id,
+            next_span_id: 1,
+            spans: Vec::with_capacity(flow.span_count()),
+            added_us: std::collections::BTreeMap::new(),
+            errored: std::collections::BTreeSet::new(),
+            async_depth: 0,
+        };
+        let (root_end, _) = self.sim_node(flow, 0, 0, None, SpanKind::Server, &mut ctx, rng);
+        let trace = Trace::assemble(std::mem::take(&mut ctx.spans))
+            .expect("simulator emits well-formed traces");
+
+        // Finalise the ground truth per the paper's root-cause
+        // definition: instances whose injected error actually reached
+        // the root, or which added a material share of the end-to-end
+        // latency.
+        let mut gt = GroundTruth::default();
+        if trace.is_error() {
+            for &(svc, pod) in &ctx.errored {
+                if Self::error_reached_root(&trace, svc, self.app) {
+                    gt.record(self.app, svc, pod);
+                }
+            }
+        }
+        let min_added = root_end as f64 * self.cfg.ground_truth_min_fraction;
+        for (&(svc, pod), &added) in &ctx.added_us {
+            if added >= min_added {
+                gt.record(self.app, svc, pod);
+            }
+        }
+        SimulatedTrace {
+            trace,
+            flow: flow_idx,
+            ground_truth: gt,
+        }
+    }
+
+    /// Whether an error at `svc` plausibly caused the root's error: some
+    /// span of `svc` is errored and every ancestor up to the root is
+    /// errored too (an unbroken propagation chain).
+    fn error_reached_root(trace: &Trace, svc: usize, app: &App) -> bool {
+        let name = &app.services[svc].name;
+        'spans: for (i, s) in trace.iter() {
+            if &s.service != name || !s.is_error() {
+                continue;
+            }
+            let mut cur = i;
+            while let Some(p) = trace.parent(cur) {
+                if !trace.span(p).is_error() {
+                    continue 'spans;
+                }
+                cur = p;
+            }
+            return true;
+        }
+        false
+    }
+
+    fn net_hop_us<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        lognormal_us(
+            self.cfg.network_median_us.ln(),
+            self.cfg.network_sigma,
+            rng,
+        )
+    }
+
+    /// Simulate the server-side execution of `node`, returning
+    /// `(end_us, errored)`. Spans for this node and its whole subtree are
+    /// appended to `ctx`.
+    #[allow(clippy::too_many_arguments)]
+    fn sim_node<R: Rng + ?Sized>(
+        &self,
+        flow: &Flow,
+        node_idx: usize,
+        start_us: u64,
+        parent_span: Option<u64>,
+        kind: SpanKind,
+        ctx: &mut Ctx<'_>,
+        rng: &mut R,
+    ) -> (u64, bool) {
+        let node = &flow.nodes[node_idx];
+        let svc_idx = node.service;
+        let svc = &self.app.services[svc_idx];
+        let pod_idx = rng.gen_range(0..svc.pods.len());
+        let pod = &svc.pods[pod_idx];
+
+        let span_id = ctx.next_span_id;
+        ctx.next_span_id += 1;
+
+        let mut t = start_us;
+
+        // Pre-stage local work. The healthy service time is sampled and
+        // the fault multiplier applied on top, so the *added* time is
+        // known exactly for ground-truth accounting.
+        let pre_slow = ctx
+            .plan
+            .slowdown(self.app, svc_idx, pod_idx, node.pre_kernel.kind);
+        let pre_base = node.pre_kernel.sample_us(1.0, rng);
+        let pre_actual = ((pre_base as f64) * pre_slow).round().max(1.0) as u64;
+        if pre_slow >= self.cfg.affected_slowdown_threshold && ctx.async_depth == 0 {
+            *ctx.added_us.entry((svc_idx, pod_idx)).or_default() +=
+                (pre_actual - pre_base) as f64;
+        }
+        t += pre_actual;
+
+        // Fire-and-forget async children: enqueue cost on the parent,
+        // consumer executes independently.
+        for &pos in &node.exec.async_children {
+            let child = node.children[pos];
+            let enqueue = lognormal_us(self.cfg.async_enqueue_median_us.ln(), 0.3, rng);
+            let producer_id = ctx.next_span_id;
+            ctx.next_span_id += 1;
+            ctx.spans.push(
+                Span::builder(
+                    ctx.trace_id,
+                    producer_id,
+                    svc.name.clone(),
+                    flow.nodes[child].op_name.clone(),
+                )
+                .parent(span_id)
+                .kind(SpanKind::Producer)
+                .time(t, t + enqueue)
+                .status(StatusCode::Ok)
+                .placement(pod.name.clone(), self.app.nodes[pod.node].clone())
+                .build(),
+            );
+            let queue_delay = lognormal_us(self.cfg.async_queue_delay_us.ln(), 0.5, rng);
+            let consumer_start = t + enqueue + queue_delay;
+            ctx.async_depth += 1;
+            let _ = self.sim_node(
+                flow,
+                child,
+                consumer_start,
+                Some(producer_id),
+                SpanKind::Consumer,
+                ctx,
+                rng,
+            );
+            ctx.async_depth -= 1;
+            t += enqueue;
+        }
+
+        // Synchronous stages.
+        let mut any_child_error = false;
+        for stage in &node.exec.stages {
+            let stage_start = t;
+            let mut stage_end = t;
+            for &pos in stage {
+                let child = node.children[pos];
+                let child_node = &flow.nodes[child];
+                let callee_svc = child_node.service;
+                // Peek the callee pod here so client-side network faults
+                // can target the instance the request actually reaches.
+                let callee_pod = rng.gen_range(0..self.app.services[callee_svc].pods.len());
+
+                let net_fault = ctx
+                    .plan
+                    .network_delay_us(self.app, callee_svc, callee_pod);
+                if net_fault >= self.cfg.affected_delay_threshold_us && ctx.async_depth == 0 {
+                    *ctx.added_us.entry((callee_svc, callee_pod)).or_default() +=
+                        2.0 * net_fault as f64;
+                }
+                let net_out = self.net_hop_us(rng) + net_fault;
+                let net_back = self.net_hop_us(rng) + net_fault;
+
+                let client_id = ctx.next_span_id;
+                ctx.next_span_id += 1;
+
+                let child_start = stage_start + net_out;
+                let (child_end, child_err) = self.sim_node_with_pod(
+                    flow,
+                    child,
+                    child_start,
+                    Some(client_id),
+                    SpanKind::Server,
+                    callee_pod,
+                    ctx,
+                    rng,
+                );
+
+                let response_at = child_end + net_back;
+                let full_wait = response_at - stage_start;
+                let (client_end, client_err) = if full_wait > child_node.timeout_us {
+                    (stage_start + child_node.timeout_us, true)
+                } else {
+                    (response_at, child_err)
+                };
+                ctx.spans.push(
+                    Span::builder(
+                        ctx.trace_id,
+                        client_id,
+                        svc.name.clone(),
+                        child_node.op_name.clone(),
+                    )
+                    .parent(span_id)
+                    .kind(SpanKind::Client)
+                    .time(stage_start, client_end)
+                    .status(if client_err {
+                        StatusCode::Error
+                    } else {
+                        StatusCode::Ok
+                    })
+                    .placement(pod.name.clone(), self.app.nodes[pod.node].clone())
+                    .build(),
+                );
+                any_child_error |= client_err;
+                stage_end = stage_end.max(client_end);
+            }
+            t = stage_end;
+        }
+
+        // Post-stage local work (response assembly).
+        let post_slow = ctx
+            .plan
+            .slowdown(self.app, svc_idx, pod_idx, node.post_kernel.kind);
+        let post_base = node.post_kernel.sample_us(1.0, rng);
+        let post_actual = ((post_base as f64) * post_slow).round().max(1.0) as u64;
+        if post_slow >= self.cfg.affected_slowdown_threshold && ctx.async_depth == 0 {
+            *ctx.added_us.entry((svc_idx, pod_idx)).or_default() +=
+                (post_actual - post_base) as f64;
+        }
+        t += post_actual;
+
+        // Error status: own (exclusive) errors plus propagation.
+        let inject_p = ctx.plan.error_probability(self.app, svc_idx, pod_idx);
+        let own_error = if inject_p > 0.0 && rng.gen_bool(inject_p) {
+            if ctx.async_depth == 0 {
+                ctx.errored.insert((svc_idx, pod_idx));
+            }
+            true
+        } else {
+            node.base_error_rate > 0.0 && rng.gen_bool(node.base_error_rate)
+        };
+        let propagated = any_child_error && rng.gen_bool(self.cfg.error_propagation);
+        let errored = own_error || propagated;
+
+        ctx.spans.push(
+            Span::builder(ctx.trace_id, span_id, svc.name.clone(), node.op_name.clone())
+                .kind(kind)
+                .time(start_us, t)
+                .status(if errored {
+                    StatusCode::Error
+                } else {
+                    StatusCode::Ok
+                })
+                .placement(pod.name.clone(), self.app.nodes[pod.node].clone())
+                .build(),
+        );
+        // Root has no parent; set parent for non-roots.
+        if let Some(p) = parent_span {
+            let s = ctx.spans.last_mut().expect("just pushed");
+            s.parent_span_id = Some(p);
+        }
+        (t, errored)
+    }
+
+    /// Variant of [`Simulator::sim_node`] with the callee pod chosen by
+    /// the caller (needed so network faults can be attributed before the
+    /// callee executes).
+    #[allow(clippy::too_many_arguments)]
+    fn sim_node_with_pod<R: Rng + ?Sized>(
+        &self,
+        flow: &Flow,
+        node_idx: usize,
+        start_us: u64,
+        parent_span: Option<u64>,
+        kind: SpanKind,
+        _pod_idx: usize,
+        ctx: &mut Ctx<'_>,
+        rng: &mut R,
+    ) -> (u64, bool) {
+        // The pod chosen by the caller is only used for network-fault
+        // attribution; the node re-samples its own pod for kernel faults,
+        // which is equivalent in distribution because placement is
+        // uniform.
+        self.sim_node(flow, node_idx, start_us, parent_span, kind, ctx, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosEngine, Fault, FaultKind, FaultTarget};
+    use crate::generator::{generate_app, GeneratorConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn app16() -> App {
+        generate_app(&GeneratorConfig::synthetic(16), 1)
+    }
+
+    #[test]
+    fn healthy_trace_has_expected_span_count() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let st = sim.simulate(0, &FaultPlan::healthy(), 1, &mut rng);
+        assert_eq!(st.trace.len(), app.flows[0].span_count());
+        assert!(st.ground_truth.is_empty());
+        assert_eq!(st.flow, 0);
+    }
+
+    #[test]
+    fn spans_form_valid_tree_with_client_server_pairs() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let st = sim.simulate(0, &FaultPlan::healthy(), 7, &mut rng);
+        let t = &st.trace;
+        let servers = t
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Server | SpanKind::Consumer))
+            .count();
+        let clients = t
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Client | SpanKind::Producer))
+            .count();
+        assert_eq!(servers, app.flows[0].len());
+        assert_eq!(clients, app.flows[0].len() - 1);
+        // Children fit inside parents for synchronous spans.
+        for (i, s) in t.iter() {
+            if let Some(p) = t.parent(i) {
+                let ps = t.span(p);
+                if s.kind != SpanKind::Consumer {
+                    assert!(s.start_us >= ps.start_us);
+                    assert!(s.end_us <= ps.end_us, "span {} escapes parent", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_fault_slows_trace_and_records_ground_truth() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        // Fault every pod of a service that actually serves flow 0, so
+        // pod sampling cannot dodge it.
+        let victim = app.flows[0].nodes[1].service;
+        let plan = FaultPlan {
+            faults: (0..app.services[victim].pods.len())
+                .flat_map(|p| {
+                    crate::kernels::KernelKind::ALL.iter().map(move |_| p).take(1)
+                })
+                .map(|p| Fault {
+                    kind: FaultKind::CpuStress,
+                    target: FaultTarget::Pod { service: victim, pod: p },
+                    severity: 40.0,
+                })
+                .collect(),
+        };
+        let mut healthy_tot = 0u64;
+        let mut faulty_tot = 0u64;
+        let mut gt_seen = false;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..30 {
+            let h = sim.simulate(0, &FaultPlan::healthy(), i, &mut rng);
+            let f = sim.simulate(0, &plan, 1000 + i, &mut rng);
+            healthy_tot += h.trace.total_duration_us();
+            faulty_tot += f.trace.total_duration_us();
+            if f.ground_truth.services.contains(&app.services[victim].name) {
+                gt_seen = true;
+            }
+        }
+        // Service 1 appears in flow 0 for this seed; traces should slow.
+        assert!(gt_seen, "ground truth never recorded victim service");
+        assert!(
+            faulty_tot > healthy_tot,
+            "faulty {faulty_tot} <= healthy {healthy_tot}"
+        );
+    }
+
+    #[test]
+    fn error_injection_produces_error_traces() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        // Inject errors at the root service so propagation is certain.
+        let root_svc = app.flows[0].nodes[0].service;
+        let plan = FaultPlan {
+            faults: (0..app.services[root_svc].pods.len())
+                .map(|p| Fault {
+                    kind: FaultKind::ErrorInjection,
+                    target: FaultTarget::Pod { service: root_svc, pod: p },
+                    severity: 1.0,
+                })
+                .collect(),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let st = sim.simulate(0, &plan, 1, &mut rng);
+        assert!(st.trace.is_error());
+        assert!(st
+            .ground_truth
+            .services
+            .contains(&app.services[root_svc].name));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        let mut r1 = ChaCha8Rng::seed_from_u64(11);
+        let mut r2 = ChaCha8Rng::seed_from_u64(11);
+        let a = sim.simulate(0, &FaultPlan::healthy(), 1, &mut r1);
+        let b = sim.simulate(0, &FaultPlan::healthy(), 1, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pick_flow_respects_weights() {
+        let app = generate_app(&GeneratorConfig::synthetic(64), 2);
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = vec![0usize; app.flows.len()];
+        for _ in 0..3000 {
+            counts[sim.pick_flow(&mut rng)] += 1;
+        }
+        // Main flow (weight 1.0) should dominate the 0.3-weight aux flows.
+        assert!(counts[0] > counts[1]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn chaos_engine_plans_produce_anomalies() {
+        let app = app16();
+        let sim = Simulator::new(&app);
+        let engine = ChaosEngine::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut any_gt = false;
+        for i in 0..50 {
+            let plan = engine.sample_nonempty_plan(&app, &mut rng);
+            let st = sim.simulate(0, &plan, i, &mut rng);
+            any_gt |= !st.ground_truth.is_empty();
+        }
+        assert!(any_gt, "no trace was ever perturbed");
+    }
+
+    #[test]
+    fn timeouts_cap_client_spans() {
+        let mut app = app16();
+        // Tighten all timeouts drastically and slow everything down.
+        for f in &mut app.flows {
+            for n in &mut f.nodes {
+                n.timeout_us = 500;
+            }
+        }
+        let plan = FaultPlan {
+            faults: (0..app.services.len())
+                .flat_map(|s| {
+                    (0..app.services[s].pods.len()).map(move |p| Fault {
+                        kind: FaultKind::CpuStress,
+                        target: FaultTarget::Pod { service: s, pod: p },
+                        severity: 100.0,
+                    })
+                })
+                .collect(),
+        };
+        let sim = Simulator::new(&app);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let st = sim.simulate(0, &plan, 1, &mut rng);
+        let any_timeout = st
+            .trace
+            .spans()
+            .iter()
+            .any(|s| s.kind == SpanKind::Client && s.is_error());
+        if app.flows[0].len() > 1 {
+            assert!(any_timeout, "expected timeout errors");
+        }
+    }
+}

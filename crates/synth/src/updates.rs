@@ -1,0 +1,311 @@
+//! Live service updates (§6.4, Figure 6).
+//!
+//! The paper rolls four updates onto Synthetic-1024 to compare model
+//! robustness under topology change:
+//!
+//! * **A** — increase the average processing time of one third-level
+//!   service by 10×,
+//! * **B** — remove that service from the system,
+//! * **C** — add a service on the second level,
+//! * **D** — add three chains of three services each in the middle of
+//!   the dependency graph.
+
+use crate::config::{App, ExecutionPlan, FlowNode, Pod, Service, Tier};
+use crate::kernels::{Kernel, KernelKind};
+
+/// Outcome of an update, naming the services it touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Human-readable description.
+    pub description: String,
+    /// Services added, removed, or modified.
+    pub services: Vec<String>,
+}
+
+fn flow_node_depth(app: &App, flow: usize, node: usize) -> usize {
+    let f = &app.flows[flow];
+    let mut d = 0;
+    let mut cur = node;
+    'outer: loop {
+        for (i, n) in f.nodes.iter().enumerate() {
+            if n.children.contains(&cur) {
+                cur = i;
+                d += 1;
+                continue 'outer;
+            }
+        }
+        return d;
+    }
+}
+
+/// Update A: multiply the processing-time kernels of one service on the
+/// third level (RPC depth 2) of the main flow by `factor` (paper: 10×).
+///
+/// Returns the modified service's name.
+///
+/// # Panics
+///
+/// Panics if the main flow has no node at depth ≥ 2.
+pub fn update_a_slow_service(app: &mut App, factor: f64) -> UpdateReport {
+    let flow = 0;
+    let target_node = (0..app.flows[flow].nodes.len())
+        .find(|&n| flow_node_depth(app, flow, n) == 2)
+        .expect("main flow must reach depth 2");
+    let svc = app.flows[flow].nodes[target_node].service;
+    let svc_name = app.services[svc].name.clone();
+    for f in &mut app.flows {
+        for n in &mut f.nodes {
+            if n.service == svc {
+                n.pre_kernel = Kernel::with_median(
+                    n.pre_kernel.kind,
+                    n.pre_kernel.median_us() * factor,
+                    n.pre_kernel.sigma,
+                );
+                n.post_kernel = Kernel::with_median(
+                    n.post_kernel.kind,
+                    n.post_kernel.median_us() * factor,
+                    n.post_kernel.sigma,
+                );
+            }
+        }
+    }
+    UpdateReport {
+        description: format!("update A: slowed service {svc_name} by {factor}x"),
+        services: vec![svc_name],
+    }
+}
+
+/// Update B: remove a service's invocation sites from every flow. Each
+/// removed node's children are spliced onto its parent (preserving
+/// topological order); subtrees rooted at a removed *root* are left
+/// untouched.
+pub fn update_b_remove_service(app: &mut App, service_name: &str) -> UpdateReport {
+    let Some(svc) = app.services.iter().position(|s| s.name == service_name) else {
+        return UpdateReport {
+            description: format!("update B: service {service_name} not found"),
+            services: vec![],
+        };
+    };
+    for f in &mut app.flows {
+        // Splice out matching non-root nodes repeatedly until none left.
+        loop {
+            let Some(victim) = (1..f.nodes.len()).find(|&i| f.nodes[i].service == svc) else {
+                break;
+            };
+            let parent = f
+                .nodes
+                .iter()
+                .position(|n| n.children.contains(&victim))
+                .expect("non-root node has a parent");
+            let grandchildren = f.nodes[victim].children.clone();
+            // Replace the victim's slot in the parent with its children.
+            let pos = f.nodes[parent]
+                .children
+                .iter()
+                .position(|&c| c == victim)
+                .expect("victim is a child of parent");
+            f.nodes[parent].children.remove(pos);
+            f.nodes[parent].children.extend(grandchildren);
+            // Remove the node and reindex.
+            f.nodes.remove(victim);
+            for n in &mut f.nodes {
+                for c in n.children.iter_mut() {
+                    if *c > victim {
+                        *c -= 1;
+                    }
+                }
+            }
+            // Rebuild simple sequential plans (indices changed).
+            for n in &mut f.nodes {
+                n.exec = ExecutionPlan::sequential(n.children.len());
+            }
+        }
+    }
+    UpdateReport {
+        description: format!("update B: removed service {service_name}"),
+        services: vec![service_name.to_string()],
+    }
+}
+
+fn add_service(app: &mut App, name: &str, tier: Tier) -> usize {
+    let node = app.services.len() % app.nodes.len().max(1);
+    app.services.push(Service {
+        name: name.to_string(),
+        tier,
+        pods: vec![
+            Pod {
+                name: format!("{name}-0"),
+                node,
+            },
+            Pod {
+                name: format!("{name}-1"),
+                node: (node + 1) % app.nodes.len().max(1),
+            },
+        ],
+    });
+    app.services.len() - 1
+}
+
+fn new_node(service: usize, op: &str) -> FlowNode {
+    FlowNode {
+        service,
+        op_name: op.to_string(),
+        children: Vec::new(),
+        exec: ExecutionPlan::default(),
+        pre_kernel: Kernel::with_median(KernelKind::Cpu, 300.0, 0.5),
+        post_kernel: Kernel::with_median(KernelKind::Cpu, 100.0, 0.5),
+        timeout_us: 2_000_000,
+        base_error_rate: 0.001,
+    }
+}
+
+/// Update C: add one new service invoked from the second level (a child
+/// of the main flow's root).
+pub fn update_c_add_service(app: &mut App) -> UpdateReport {
+    let svc = add_service(app, "update-c-service", Tier::Middleware);
+    let f = &mut app.flows[0];
+    let idx = f.nodes.len();
+    f.nodes.push(new_node(svc, "HandleUpdateC"));
+    f.nodes[0].children.push(idx);
+    let n_children = f.nodes[0].children.len();
+    f.nodes[0].exec = ExecutionPlan::sequential(n_children);
+    UpdateReport {
+        description: "update C: added update-c-service at level 2".into(),
+        services: vec!["update-c-service".into()],
+    }
+}
+
+/// Update D: add three chains of three services each, attached under
+/// distinct mid-depth nodes of the main flow.
+pub fn update_d_add_chains(app: &mut App) -> UpdateReport {
+    let mut added = Vec::new();
+    for chain in 0..3 {
+        let svcs: Vec<usize> = (0..3)
+            .map(|k| {
+                let name = format!("update-d-{chain}-{k}");
+                added.push(name.clone());
+                add_service(app, &name, Tier::Backend)
+            })
+            .collect();
+        let f = &mut app.flows[0];
+        // Attach under a mid node: pick the chain-th child of the root
+        // when available, else the root.
+        let anchor = *f.nodes[0]
+            .children
+            .get(chain)
+            .unwrap_or(&0);
+        let mut parent = anchor;
+        for (k, &svc) in svcs.iter().enumerate() {
+            let idx = f.nodes.len();
+            f.nodes.push(new_node(svc, &format!("ChainStep{k}")));
+            f.nodes[parent].children.push(idx);
+            let n_children = f.nodes[parent].children.len();
+            f.nodes[parent].exec = ExecutionPlan::sequential(n_children);
+            parent = idx;
+        }
+    }
+    UpdateReport {
+        description: "update D: added three 3-service chains".into(),
+        services: added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::synthetic;
+
+    #[test]
+    fn update_a_slows_one_service() {
+        let mut app = synthetic(64, 1);
+        let before = app.clone();
+        let report = update_a_slow_service(&mut app, 10.0);
+        assert_eq!(report.services.len(), 1);
+        app.validate().unwrap();
+        // Some kernel median grew ~10x.
+        let svc = app
+            .services
+            .iter()
+            .position(|s| s.name == report.services[0])
+            .unwrap();
+        let old = before.flows[0]
+            .nodes
+            .iter()
+            .find(|n| n.service == svc)
+            .unwrap()
+            .pre_kernel
+            .median_us();
+        let new = app.flows[0]
+            .nodes
+            .iter()
+            .find(|n| n.service == svc)
+            .unwrap()
+            .pre_kernel
+            .median_us();
+        assert!((new / old - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_b_removes_all_sites() {
+        let mut app = synthetic(64, 1);
+        let report = update_a_slow_service(&mut app, 10.0);
+        let name = report.services[0].clone();
+        let before_rpcs = app.num_rpcs();
+        update_b_remove_service(&mut app, &name);
+        app.validate().unwrap();
+        let svc = app.services.iter().position(|s| s.name == name).unwrap();
+        for f in &app.flows {
+            assert!(f.nodes.iter().skip(1).all(|n| n.service != svc));
+        }
+        assert!(app.num_rpcs() < before_rpcs);
+    }
+
+    #[test]
+    fn update_b_unknown_service_is_noop() {
+        let mut app = synthetic(16, 1);
+        let before = app.clone();
+        let report = update_b_remove_service(&mut app, "no-such-service");
+        assert!(report.services.is_empty());
+        assert_eq!(app, before);
+    }
+
+    #[test]
+    fn update_c_adds_level2_service() {
+        let mut app = synthetic(64, 1);
+        let before_services = app.num_services();
+        let before_rpcs = app.num_rpcs();
+        update_c_add_service(&mut app);
+        app.validate().unwrap();
+        assert_eq!(app.num_services(), before_services + 1);
+        assert_eq!(app.num_rpcs(), before_rpcs + 1);
+        // New node is a child of the main flow's root.
+        let f = &app.flows[0];
+        let last = f.nodes.len() - 1;
+        assert!(f.nodes[0].children.contains(&last));
+    }
+
+    #[test]
+    fn update_d_adds_nine_services() {
+        let mut app = synthetic(64, 1);
+        let before_services = app.num_services();
+        let before_rpcs = app.num_rpcs();
+        let report = update_d_add_chains(&mut app);
+        app.validate().unwrap();
+        assert_eq!(report.services.len(), 9);
+        assert_eq!(app.num_services(), before_services + 9);
+        assert_eq!(app.num_rpcs(), before_rpcs + 9);
+    }
+
+    #[test]
+    fn full_update_sequence_keeps_app_valid() {
+        let mut app = synthetic(256, 2);
+        let r = update_a_slow_service(&mut app, 10.0);
+        app.validate().unwrap();
+        update_b_remove_service(&mut app, &r.services[0]);
+        app.validate().unwrap();
+        update_c_add_service(&mut app);
+        app.validate().unwrap();
+        update_d_add_chains(&mut app);
+        app.validate().unwrap();
+    }
+}

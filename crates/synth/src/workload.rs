@@ -1,0 +1,245 @@
+//! Workload generation: training corpora and labelled anomaly queries.
+//!
+//! Reproduces the paper's data-collection methodology (§6.1.4, §6.2):
+//! healthy traffic for (unsupervised) training, and evaluation queries
+//! built by sampling a chaos fault plan, driving traffic through the
+//! faulted system, and keeping SLO-violating traces together with the
+//! injection-log ground truth.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth_trace::Trace;
+
+use crate::chaos::{ChaosEngine, FaultPlan};
+use crate::config::App;
+use crate::simulator::{SimConfig, SimulatedTrace, Simulator};
+
+/// A set of simulated traces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Corpus {
+    /// Simulated traces with their ground truth (empty for healthy
+    /// traffic).
+    pub traces: Vec<SimulatedTrace>,
+}
+
+impl Corpus {
+    /// Just the assembled traces.
+    pub fn plain_traces(&self) -> Vec<Trace> {
+        self.traces.iter().map(|t| t.trace.clone()).collect()
+    }
+
+    /// Per-flow p99 end-to-end latency (µs), usable as an SLO.
+    pub fn p99_by_flow(&self, num_flows: usize) -> Vec<u64> {
+        let mut per_flow: Vec<Vec<u64>> = vec![Vec::new(); num_flows];
+        for t in &self.traces {
+            per_flow[t.flow].push(t.trace.total_duration_us());
+        }
+        per_flow
+            .into_iter()
+            .map(|mut v| {
+                if v.is_empty() {
+                    u64::MAX
+                } else {
+                    v.sort_unstable();
+                    v[(v.len() * 99 / 100).min(v.len() - 1)]
+                }
+            })
+            .collect()
+    }
+}
+
+/// One evaluation query: a fault episode and its anomalous traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyQuery {
+    /// The injected fault plan.
+    pub plan: FaultPlan,
+    /// SLO-violating traces observed during the episode (each carries
+    /// its own ground truth — the instances that perturbed it).
+    pub traces: Vec<SimulatedTrace>,
+}
+
+/// Generates corpora from an [`App`].
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder<'a> {
+    app: &'a App,
+    sim_cfg: SimConfig,
+    chaos: ChaosEngine,
+    seed: u64,
+    next_trace_id: u64,
+}
+
+impl<'a> CorpusBuilder<'a> {
+    /// Create a builder with default simulator and chaos settings.
+    pub fn new(app: &'a App) -> Self {
+        CorpusBuilder {
+            app,
+            sim_cfg: SimConfig::default(),
+            chaos: ChaosEngine::default(),
+            seed: 0,
+            next_trace_id: 1,
+        }
+    }
+
+    /// Set the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override simulator tuning.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim_cfg = cfg;
+        self
+    }
+
+    /// Override chaos tuning.
+    pub fn chaos(mut self, chaos: ChaosEngine) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Generate `n` traces of healthy traffic (flows weighted).
+    pub fn normal_traces(&self, n: usize) -> Corpus {
+        let sim = Simulator::with_config(self.app, self.sim_cfg.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x6e6f726d);
+        let plan = FaultPlan::healthy();
+        let traces = (0..n)
+            .map(|i| {
+                let flow = sim.pick_flow(&mut rng);
+                sim.simulate(flow, &plan, self.next_trace_id + i as u64, &mut rng)
+            })
+            .collect();
+        Corpus { traces }
+    }
+
+    /// Generate a training corpus with occasional background faults —
+    /// the unsupervised setting of the paper, where production traffic
+    /// already contains (unlabelled) anomalies.
+    pub fn mixed_traces(&self, n: usize, fault_episode_every: usize) -> Corpus {
+        let sim = Simulator::with_config(self.app, self.sim_cfg.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x6d697865);
+        let mut traces = Vec::with_capacity(n);
+        let mut plan = FaultPlan::healthy();
+        for i in 0..n {
+            if fault_episode_every > 0 && i % fault_episode_every == 0 {
+                // Mostly healthy windows; occasional faults.
+                plan = self.chaos.sample_plan(self.app, &mut rng);
+            }
+            let flow = sim.pick_flow(&mut rng);
+            traces.push(sim.simulate(flow, &plan, 1 + i as u64, &mut rng));
+        }
+        Corpus { traces }
+    }
+
+    /// Build `n_queries` anomaly queries. Each query samples a non-empty
+    /// fault plan, drives up to `traffic_per_query` requests through the
+    /// faulted system, and keeps traces that violate the SLO (duration
+    /// above the healthy p99 of their flow, or an error at the root) and
+    /// were actually perturbed by the injection.
+    pub fn anomaly_queries(&self, n_queries: usize, traffic_per_query: usize) -> Vec<AnomalyQuery> {
+        let sim = Simulator::with_config(self.app, self.sim_cfg.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x616e6f6d);
+
+        // Healthy SLO baselines.
+        let baseline = self.normal_traces(300.min(traffic_per_query * 4).max(50));
+        let slo = baseline.p99_by_flow(self.app.flows.len());
+
+        // Fault density is normalised to ~1 injected instance per
+        // episode regardless of application size (the paper's "small
+        // probabilities" per instance; real incidents are typically
+        // single-fault).
+        let instances: usize = self.app.services.iter().map(|s| s.pods.len()).sum();
+        let query_chaos = ChaosEngine {
+            per_instance_probability: self
+                .chaos
+                .per_instance_probability
+                .min(1.0 / instances as f64),
+            ..self.chaos.clone()
+        };
+        let mut queries = Vec::with_capacity(n_queries);
+        let mut trace_id = 1_000_000u64;
+        while queries.len() < n_queries {
+            let plan = query_chaos.sample_nonempty_plan(self.app, &mut rng);
+            let mut traces = Vec::new();
+            for _ in 0..traffic_per_query {
+                let flow = sim.pick_flow(&mut rng);
+                let st = sim.simulate(flow, &plan, trace_id, &mut rng);
+                trace_id += 1;
+                let violates =
+                    st.trace.is_error() || st.trace.total_duration_us() > slo[st.flow];
+                if violates && !st.ground_truth.is_empty() {
+                    traces.push(st);
+                }
+            }
+            if !traces.is_empty() {
+                queries.push(AnomalyQuery { plan, traces });
+            }
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::synthetic;
+
+    #[test]
+    fn normal_corpus_is_clean_and_deterministic() {
+        let app = synthetic(16, 1);
+        let b = CorpusBuilder::new(&app).seed(3);
+        let c1 = b.normal_traces(25);
+        let c2 = CorpusBuilder::new(&app).seed(3).normal_traces(25);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.traces.len(), 25);
+        assert!(c1.traces.iter().all(|t| t.ground_truth.is_empty()));
+    }
+
+    #[test]
+    fn p99_by_flow_reasonable() {
+        let app = synthetic(16, 1);
+        let c = CorpusBuilder::new(&app).seed(4).normal_traces(120);
+        let p99 = c.p99_by_flow(app.flows.len());
+        assert_eq!(p99.len(), app.flows.len());
+        // Main flow must have samples and a finite p99.
+        assert!(p99[0] > 0 && p99[0] < u64::MAX);
+    }
+
+    #[test]
+    fn anomaly_queries_carry_ground_truth() {
+        let app = synthetic(16, 1);
+        let queries = CorpusBuilder::new(&app).seed(5).anomaly_queries(5, 20);
+        assert_eq!(queries.len(), 5);
+        for q in &queries {
+            assert!(!q.plan.is_healthy());
+            assert!(!q.traces.is_empty());
+            for t in &q.traces {
+                assert!(!t.ground_truth.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_corpus_contains_some_anomalies() {
+        let app = synthetic(16, 1);
+        let chaos = ChaosEngine {
+            per_instance_probability: 0.1,
+            ..ChaosEngine::default()
+        };
+        let c = CorpusBuilder::new(&app)
+            .seed(6)
+            .chaos(chaos)
+            .mixed_traces(200, 20);
+        let anomalous = c.traces.iter().filter(|t| !t.ground_truth.is_empty()).count();
+        assert!(anomalous > 0, "no anomalies in mixed corpus");
+        assert!(anomalous < 150, "too many anomalies: {anomalous}");
+    }
+
+    #[test]
+    fn plain_traces_projection() {
+        let app = synthetic(16, 1);
+        let c = CorpusBuilder::new(&app).seed(7).normal_traces(5);
+        assert_eq!(c.plain_traces().len(), 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suite to validate every differentiable
+//! operator: the analytic gradient from [`Tape::backward`] is compared
+//! against a central-difference estimate of the same scalar function.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Compare analytic and numeric gradients of `f` at `inputs`.
+///
+/// `f` must rebuild the same computation for any tape and input leaf set
+/// (it is called `2 * numel + 1` times). Returns the maximum absolute
+/// difference observed, or an error string naming the offending input and
+/// element.
+///
+/// # Errors
+///
+/// Returns `Err` when any element's analytic/numeric gradient difference
+/// exceeds `tol`.
+pub fn check_gradients<F>(f: F, inputs: &[Tensor], eps: f32, tol: f32) -> Result<f32, String>
+where
+    F: Fn(&Tape, &[Var]) -> Var,
+{
+    // Analytic pass.
+    let tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&tape, &vars);
+    let grads = tape.backward(loss);
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        let loss = f(&tape, &vars);
+        tape.value(loss).item()
+    };
+
+    let mut worst = 0.0f32;
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads
+            .try_get(vars[i])
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(input.shape()));
+        for k in 0..input.numel() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].data_mut()[k] += eps;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].data_mut()[k] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let diff = (numeric - analytic.data()[k]).abs();
+            worst = worst.max(diff);
+            if diff > tol {
+                return Err(format!(
+                    "input {i} element {k}: analytic {} vs numeric {numeric} (diff {diff})",
+                    analytic.data()[k]
+                ));
+            }
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    #[test]
+    fn mlp_composite_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x = Tensor::randn(&[3, 4], 0.5, &mut rng);
+        let w1 = Tensor::randn(&[4, 5], 0.5, &mut rng);
+        let b1 = Tensor::randn(&[1, 5], 0.2, &mut rng);
+        let w2 = Tensor::randn(&[5, 2], 0.5, &mut rng);
+        check_gradients(
+            |tape, v| {
+                let h = tape.add_row(tape.matmul(v[0], v[1]), v[2]);
+                let h = tape.tanh(h);
+                let y = tape.matmul(h, v[3]);
+                let p = tape.sigmoid(y);
+                tape.bce_loss(p, &[1.0, 0.0, 0.0, 1.0, 1.0, 0.0])
+            },
+            &[x, w1, b1, w2],
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn segment_ops_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let x = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        check_gradients(
+            |tape, v| {
+                let s = tape.segment_sum(v[0], &[0, 0, 1, 1, 2, 2], 3);
+                let m = tape.segment_max(v[0], &[0, 1, 1, 2, 2, 2], 3, -10.0);
+                let both = tape.add(s, m);
+                tape.mean(tape.square(both))
+            },
+            &[x],
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unscale_scalelog_gradients() {
+        let x = Tensor::from_vec(vec![-0.5, 0.0, 0.7, 1.2]);
+        check_gradients(
+            |tape, v| {
+                let u = tape.unscale(v[0], 4.0, 1.0);
+                let u = tape.scale(u, 1e-4); // keep magnitudes tame
+                let s = tape.scale_log(u, 0.0, 1.0, 1e-6);
+                tape.mean(tape.square(s))
+            },
+            &[x],
+            1e-3,
+            0.05,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_concat_slice_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = Tensor::randn(&[4, 2], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 2], 1.0, &mut rng);
+        check_gradients(
+            |tape, v| {
+                let g = tape.gather_rows(v[0], &[0, 2, 3]);
+                let c = tape.concat_cols(g, v[1]);
+                let s = tape.slice_cols(c, 1, 4);
+                tape.mean(tape.square(s))
+            },
+            &[a, b],
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn max_elem_and_scale_gradients() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.3]);
+        let b = Tensor::from_vec(vec![0.5, 3.0, 0.1]);
+        check_gradients(
+            |tape, v| {
+                let m = tape.max_elem(v[0], v[1]);
+                let m = tape.scale(m, 2.0);
+                let m = tape.add_scalar(m, 1.0);
+                tape.sum(tape.square(m))
+            },
+            &[a, b],
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random small MLP-style computations must pass gradient check.
+        /// (Smooth activations only — central differences straddling a
+        /// ReLU kink produce false positives; the kink semantics are
+        /// covered by the dedicated ReLU tests.)
+        #[test]
+        fn prop_random_dense_graph(seed in 0u64..5_000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let x = Tensor::randn(&[2, 3], 0.8, &mut rng);
+            let w = Tensor::randn(&[3, 3], 0.8, &mut rng);
+            check_gradients(
+                |tape, v| {
+                    let y = tape.matmul(v[0], v[1]);
+                    let y = tape.tanh(y);
+                    let z = tape.sigmoid(y);
+                    tape.mean(tape.square(z))
+                },
+                &[x, w],
+                EPS,
+                TOL,
+            ).unwrap();
+        }
+
+        /// Segment sums over random segment assignments check out.
+        #[test]
+        fn prop_segment_sum(seed in 0u64..5_000, segs in proptest::collection::vec(0usize..4, 5)) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let x = Tensor::randn(&[5, 2], 1.0, &mut rng);
+            check_gradients(
+                |tape, v| {
+                    let s = tape.segment_sum(v[0], &segs, 4);
+                    tape.mean(tape.square(s))
+                },
+                &[x],
+                EPS,
+                TOL,
+            ).unwrap();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! A small reverse-mode automatic differentiation engine.
+//!
+//! The Sleuth paper implements its models with PyTorch Geometric on GPU
+//! clusters; the Rust ecosystem has no equivalent, so this crate provides
+//! the minimal substrate the paper's models need, built from scratch:
+//!
+//! * dense f32 [`Tensor`]s (rank ≤ 2),
+//! * a define-by-run [`Tape`] recording operations and computing exact
+//!   gradients by reverse traversal,
+//! * the graph-learning primitives the Trace GNN requires —
+//!   [`Tape::gather_rows`], [`Tape::segment_sum`], [`Tape::segment_max`]
+//!   — which implement message passing over ragged child/sibling sets,
+//! * neural-network building blocks ([`nn::Linear`], [`nn::Mlp`]) and
+//!   optimisers ([`optim::Sgd`], [`optim::Adam`]),
+//! * a finite-difference gradient checker ([`gradcheck`]) used by the
+//!   test suite to validate every operator.
+//!
+//! # Example
+//!
+//! ```
+//! use sleuth_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
+//! let w = tape.leaf(Tensor::from_rows(vec![vec![0.5], vec![-0.5]]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.sum(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).data(), &[4.0, 6.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod nn;
+pub mod optim;
+pub mod tape;
+pub mod tensor;
+
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,347 @@
+//! Neural-network building blocks over the tape.
+//!
+//! Parameters live in a central [`Params`] store so they persist across
+//! forward passes (the [`Tape`] is single-use). Each pass, [`Params::bind`]
+//! registers every parameter as a tape leaf; modules hold [`ParamId`]s and
+//! look their leaf [`Var`]s up through the returned [`Bound`] handle.
+//!
+//! ```
+//! use sleuth_tensor::nn::{Linear, Params};
+//! use sleuth_tensor::{Tape, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut params = Params::new();
+//! let layer = Linear::new(&mut params, 3, 2, &mut rng);
+//!
+//! let tape = Tape::new();
+//! let bound = params.bind(&tape);
+//! let x = tape.leaf(Tensor::from_rows(vec![vec![1.0, 0.5, -1.0]]));
+//! let y = layer.forward(&tape, &bound, x);
+//! assert_eq!(tape.shape(y), vec![1, 2]);
+//! ```
+
+use rand::Rng;
+
+use crate::tape::{Bound, Tape, Var};
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter within a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Central store of trainable tensors.
+#[derive(Debug, Default, Clone)]
+pub struct Params {
+    tensors: Vec<Tensor>,
+}
+
+impl Params {
+    /// Create an empty parameter store.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Allocate a new parameter initialised to `t`.
+    pub fn alloc(&mut self, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::numel).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimisers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Iterate over `(id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+
+    /// Register every parameter as a leaf on `tape`.
+    pub fn bind(&self, tape: &Tape) -> Bound {
+        Bound {
+            vars: self.tensors.iter().map(|t| tape.leaf(t.clone())).collect(),
+        }
+    }
+
+    /// Serialise all parameters to a flat list (for checkpointing).
+    pub fn to_flat(&self) -> Vec<Vec<f32>> {
+        self.tensors.iter().map(|t| t.data().to_vec()).collect()
+    }
+
+    /// Load parameters from a flat list produced by [`Params::to_flat`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description if counts or lengths mismatch.
+    pub fn load_flat(&mut self, flat: &[Vec<f32>]) -> Result<(), String> {
+        if flat.len() != self.tensors.len() {
+            return Err(format!(
+                "checkpoint has {} tensors, model has {}",
+                flat.len(),
+                self.tensors.len()
+            ));
+        }
+        for (t, f) in self.tensors.iter_mut().zip(flat) {
+            if t.numel() != f.len() {
+                return Err(format!(
+                    "checkpoint tensor has {} elements, model expects {}",
+                    f.len(),
+                    t.numel()
+                ));
+            }
+            t.data_mut().copy_from_slice(f);
+        }
+        Ok(())
+    }
+}
+
+/// A fully-connected layer `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Create a layer with Glorot-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let w = params.alloc(Tensor::uniform(&[in_dim, out_dim], limit, rng));
+        let b = params.alloc(Tensor::zeros(&[1, out_dim]));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply the layer to `[n, in_dim]` input.
+    pub fn forward(&self, tape: &Tape, bound: &Bound, x: Var) -> Var {
+        let y = tape.matmul(x, bound.var_for(self.w.0));
+        tape.add_row(y, bound.var_for(self.b.0))
+    }
+
+    /// Tape-free forward pass for inference.
+    pub fn infer(&self, params: &Params, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(params.get(self.w));
+        let b = params.get(self.b);
+        for i in 0..y.rows() {
+            for j in 0..y.cols() {
+                *y.at_mut(i, j) += b.data()[j];
+            }
+        }
+        y
+    }
+}
+
+/// Activation functions available to [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit (default).
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, tape: &Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+}
+
+/// A multi-layer perceptron with a fixed activation between layers and a
+/// linear output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer sizes, e.g. `[in, hidden, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        sizes: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least [in, out] sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(params, w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Apply the MLP to `[n, in_dim]` input.
+    pub fn forward(&self, tape: &Tape, bound: &Bound, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, bound, h);
+            if i != last {
+                h = self.activation.apply(tape, h);
+            }
+        }
+        h
+    }
+
+    /// Tape-free forward pass for inference.
+    pub fn infer(&self, params: &Params, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.infer(params, &h);
+            if i != last {
+                h = match self.activation {
+                    Activation::Relu => h.map(|v| v.max(0.0)),
+                    Activation::Tanh => h.map(f32::tanh),
+                    Activation::Sigmoid => h.map(|v| 1.0 / (1.0 + (-v).exp())),
+                };
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn params_roundtrip_checkpoint() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let _l = Linear::new(&mut params, 4, 2, &mut rng);
+        let flat = params.to_flat();
+        let mut params2 = Params::new();
+        let _l2 = Linear::new(&mut params2, 4, 2, &mut rng);
+        params2.load_flat(&flat).unwrap();
+        for (a, b) in params.iter().zip(params2.iter()) {
+            assert_eq!(a.1.data(), b.1.data());
+        }
+    }
+
+    #[test]
+    fn load_flat_rejects_mismatch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let _l = Linear::new(&mut params, 4, 2, &mut rng);
+        assert!(params.load_flat(&[vec![0.0]]).is_err());
+        assert!(params.load_flat(&[vec![0.0; 8], vec![0.0; 3]]).is_err());
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut params = Params::new();
+        let l = Linear::new(&mut params, 3, 5, &mut rng);
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let x = tape.leaf(Tensor::zeros(&[7, 3]));
+        let y = l.forward(&tape, &bound, x);
+        assert_eq!(tape.shape(y), vec![7, 5]);
+        assert_eq!(params.num_scalars(), 3 * 5 + 5);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut params = Params::new();
+        let mlp = Mlp::new(&mut params, &[2, 8, 1], Activation::Tanh, &mut rng);
+        let xs = Tensor::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let ys = [0.0, 1.0, 1.0, 0.0];
+        let mut adam = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let x = tape.leaf(xs.clone());
+            let logits = mlp.forward(&tape, &bound, x);
+            let probs = tape.sigmoid(logits);
+            let loss = tape.bce_loss(probs, &ys);
+            final_loss = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            adam.step(&mut params, &bound, &grads);
+        }
+        assert!(final_loss < 0.1, "XOR did not converge: loss {final_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn mlp_rejects_single_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut params = Params::new();
+        let _ = Mlp::new(&mut params, &[4], Activation::Relu, &mut rng);
+    }
+}

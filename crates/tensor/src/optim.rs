@@ -1,0 +1,195 @@
+//! First-order optimisers over a [`Params`] store.
+
+use crate::nn::Params;
+use crate::tape::{Bound, Gradients};
+use crate::tensor::Tensor;
+
+/// Common interface of gradient-descent optimisers.
+pub trait Optimizer {
+    /// Apply one update step from the gradients of a backward pass.
+    ///
+    /// Parameters that received no gradient (they did not participate in
+    /// the loss) are left untouched.
+    fn step(&mut self, params: &mut Params, bound: &Bound, grads: &Gradients);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, bound: &Bound, grads: &Gradients) {
+        let n = params.len();
+        self.velocity.resize(n, None);
+        for i in 0..n {
+            let Some(g) = grads.try_get(bound.vars()[i]) else {
+                continue;
+            };
+            let p = params.get_mut(crate::nn::ParamId(i));
+            if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
+                for (vk, &gk) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vk = self.momentum * *vk + gk;
+                }
+                p.axpy(-self.lr, &v.clone());
+            } else {
+                p.axpy(-self.lr, g);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Override the learning rate (e.g. for fine-tuning schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, bound: &Bound, grads: &Gradients) {
+        let n = params.len();
+        self.m.resize(n, None);
+        self.v.resize(n, None);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..n {
+            let Some(g) = grads.try_get(bound.vars()[i]) else {
+                continue;
+            };
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            for ((mk, vk), &gk) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *mk = self.beta1 * *mk + (1.0 - self.beta1) * gk;
+                *vk = self.beta2 * *vk + (1.0 - self.beta2) * gk * gk;
+            }
+            let p = params.get_mut(crate::nn::ParamId(i));
+            let (mdat, vdat) = (self.m[i].as_ref().unwrap(), self.v[i].as_ref().unwrap());
+            for ((pk, &mk), &vk) in p.data_mut().iter_mut().zip(mdat.data()).zip(vdat.data()) {
+                let mhat = mk / bc1;
+                let vhat = vk / bc2;
+                *pk -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::Tensor;
+
+    /// Minimise (x - 3)^2 from x = 0.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut params = Params::new();
+        let x = params.alloc(Tensor::scalar(0.0));
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let xv = bound.vars()[0];
+            let loss = tape.mse_loss(xv, &[3.0]);
+            let grads = tape.backward(loss);
+            opt.step(&mut params, &bound, &grads);
+        }
+        params.get(x).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = run_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 0.05, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn untouched_params_are_preserved() {
+        let mut params = Params::new();
+        let _used = params.alloc(Tensor::scalar(0.0));
+        let unused = params.alloc(Tensor::scalar(42.0));
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let loss = tape.mse_loss(bound.vars()[0], &[1.0]);
+        let grads = tape.backward(loss);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut params, &bound, &grads);
+        assert_eq!(params.get(unused).item(), 42.0);
+    }
+
+    #[test]
+    fn adam_lr_accessors() {
+        let mut a = Adam::new(0.01);
+        assert_eq!(a.lr(), 0.01);
+        a.set_lr(0.001);
+        assert_eq!(a.lr(), 0.001);
+    }
+}

@@ -1,0 +1,860 @@
+//! Define-by-run computation tape with reverse-mode differentiation.
+
+use std::cell::RefCell;
+
+use crate::tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Operations the tape knows how to differentiate.
+#[derive(Debug, Clone)]
+enum Op {
+    /// An input or parameter; no parents.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[n, c] + [1, c]` row-broadcast addition (bias add).
+    AddRow(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Matmul(Var, Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    /// `y = 10^(clamp(sigma * x + mu, -CAP, CAP))` — duration un-scaling.
+    Unscale(Var, f32, f32),
+    /// `y = (log10(max(x, eps)) - mu) / sigma` — duration re-scaling
+    /// (only `sigma` and `eps` are needed for the backward pass).
+    ScaleLog(Var, f32, f32),
+    Square(Var),
+    Sum(Var),
+    Mean(Var),
+    ConcatCols(Var, Var),
+    SliceCols(Var, usize, usize),
+    GatherRows(Var, Vec<usize>),
+    SegmentSum(Var, Vec<usize>),
+    /// Per-segment max with `init` as the floor value; the winning source
+    /// row per output cell is recorded in `aux` at forward time
+    /// (`usize::MAX` when the floor won).
+    SegmentMax(Var, usize),
+    MaxElem(Var, Var),
+    /// Mean binary cross-entropy of probabilities vs constant targets.
+    BceLoss(Var, Vec<f32>),
+    /// Mean squared error vs constant targets.
+    MseLoss(Var, Vec<f32>),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    /// Per-op auxiliary indices (e.g. argmax rows for `SegmentMax`).
+    aux: Vec<usize>,
+}
+
+/// A recording of a computation, supporting exact reverse-mode gradients.
+///
+/// The tape is single-use per forward pass: record leaves and operations,
+/// call [`Tape::backward`] on a scalar, and read gradients from the
+/// returned [`Gradients`]. Parameters persist *outside* the tape (see
+/// [`crate::nn`]) and are re-registered each pass.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// Exponent clamp for [`Tape::unscale`], preventing f32 overflow.
+const UNSCALE_EXP_CAP: f32 = 8.0;
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no recorded nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        self.push_aux(value, op, Vec::new())
+    }
+
+    fn push_aux(&self, value: Tensor, op: Op, aux: Vec<usize>) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op, aux });
+        Var(nodes.len() - 1)
+    }
+
+    /// Register a leaf (input or parameter) on the tape.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Clone of the value held at `v`.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of the value at `v`.
+    pub fn shape(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.0].value.shape().to_vec()
+    }
+
+    fn binary_same_shape(&self, a: Var, b: Var, name: &str) -> (Tensor, Tensor) {
+        let nodes = self.nodes.borrow();
+        let (ta, tb) = (&nodes[a.0].value, &nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "{name}: shape mismatch");
+        (ta.clone(), tb.clone())
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let (ta, tb) = self.binary_same_shape(a, b, "add");
+        self.push(ta.zip(&tb, |x, y| x + y), Op::Add(a, b))
+    }
+
+    /// Elementwise subtraction `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let (ta, tb) = self.binary_same_shape(a, b, "sub");
+        self.push(ta.zip(&tb, |x, y| x - y), Op::Sub(a, b))
+    }
+
+    /// Elementwise multiplication.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let (ta, tb) = self.binary_same_shape(a, b, "mul");
+        self.push(ta.zip(&tb, |x, y| x * y), Op::Mul(a, b))
+    }
+
+    /// Row-broadcast addition: `[n, c] + [1, c]`.
+    pub fn add_row(&self, a: Var, bias: Var) -> Var {
+        let nodes = self.nodes.borrow();
+        let ta = &nodes[a.0].value;
+        let tb = &nodes[bias.0].value;
+        assert_eq!(tb.rows(), 1, "add_row bias must have one row");
+        assert_eq!(ta.cols(), tb.cols(), "add_row col mismatch");
+        let c = ta.cols();
+        let mut out = ta.clone();
+        for i in 0..out.rows() {
+            for j in 0..c {
+                *out.at_mut(i, j) += tb.data()[j];
+            }
+        }
+        drop(nodes);
+        self.push(out, Op::AddRow(a, bias))
+    }
+
+    /// Multiply by a constant scalar.
+    pub fn scale(&self, a: Var, k: f32) -> Var {
+        let t = self.value(a).map(|x| x * k);
+        self.push(t, Op::Scale(a, k))
+    }
+
+    /// Add a constant scalar.
+    pub fn add_scalar(&self, a: Var, k: f32) -> Var {
+        let t = self.value(a).map(|x| x + k);
+        self.push(t, Op::AddScalar(a))
+    }
+
+    /// Matrix multiplication of rank-2 values.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let nodes = self.nodes.borrow();
+        let out = nodes[a.0].value.matmul(&nodes[b.0].value);
+        drop(nodes);
+        self.push(out, Op::Matmul(a, b))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let t = self.value(a).map(|x| x.max(0.0));
+        self.push(t, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let t = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(t, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let t = self.value(a).map(f32::tanh);
+        self.push(t, Op::Tanh(a))
+    }
+
+    /// Natural exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let t = self.value(a).map(f32::exp);
+        self.push(t, Op::Exp(a))
+    }
+
+    /// Duration un-scaling `y = 10^(sigma·x + mu)` with the exponent
+    /// clamped to ±8 to avoid f32 overflow (gradient is zero where
+    /// clamped).
+    pub fn unscale(&self, a: Var, mu: f32, sigma: f32) -> Var {
+        let t = self.value(a).map(|x| {
+            let e = (sigma * x + mu).clamp(-UNSCALE_EXP_CAP, UNSCALE_EXP_CAP);
+            10f32.powf(e)
+        });
+        self.push(t, Op::Unscale(a, mu, sigma))
+    }
+
+    /// Duration re-scaling `y = (log10(max(x, eps)) − mu) / sigma`.
+    pub fn scale_log(&self, a: Var, mu: f32, sigma: f32, eps: f32) -> Var {
+        let t = self
+            .value(a)
+            .map(|x| (x.max(eps).log10() - mu) / sigma);
+        self.push(t, Op::ScaleLog(a, sigma, eps))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        let t = self.value(a).map(|x| x * x);
+        self.push(t, Op::Square(a))
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self, a: Var) -> Var {
+        let s = self.value(a).sum();
+        self.push(Tensor::scalar(s), Op::Sum(a))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self, a: Var) -> Var {
+        let t = self.value(a);
+        let m = t.sum() / t.numel() as f32;
+        self.push(Tensor::scalar(m), Op::Mean(a))
+    }
+
+    /// Column-wise concatenation of two rank-2 values with equal rows.
+    pub fn concat_cols(&self, a: Var, b: Var) -> Var {
+        let nodes = self.nodes.borrow();
+        let (ta, tb) = (&nodes[a.0].value, &nodes[b.0].value);
+        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
+        let (n, ca, cb) = (ta.rows(), ta.cols(), tb.cols());
+        let mut data = Vec::with_capacity(n * (ca + cb));
+        for i in 0..n {
+            data.extend_from_slice(ta.row(i));
+            data.extend_from_slice(tb.row(i));
+        }
+        drop(nodes);
+        self.push(Tensor::new(vec![n, ca + cb], data), Op::ConcatCols(a, b))
+    }
+
+    /// Columns `[start, end)` of a rank-2 value.
+    pub fn slice_cols(&self, a: Var, start: usize, end: usize) -> Var {
+        let t = self.value(a);
+        assert!(start < end && end <= t.cols(), "slice_cols out of range");
+        let n = t.rows();
+        let mut data = Vec::with_capacity(n * (end - start));
+        for i in 0..n {
+            data.extend_from_slice(&t.row(i)[start..end]);
+        }
+        self.push(
+            Tensor::new(vec![n, end - start], data),
+            Op::SliceCols(a, start, end),
+        )
+    }
+
+    /// Gather rows by index, possibly with repetition:
+    /// `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&self, a: Var, idx: &[usize]) -> Var {
+        let t = self.value(a);
+        let c = t.cols();
+        let mut data = Vec::with_capacity(idx.len() * c);
+        for &i in idx {
+            assert!(i < t.rows(), "gather_rows index {i} out of range");
+            data.extend_from_slice(t.row(i));
+        }
+        self.push(
+            Tensor::new(vec![idx.len(), c], data),
+            Op::GatherRows(a, idx.to_vec()),
+        )
+    }
+
+    /// Segment sum: `out[s] = Σ_{i: seg[i]==s} a[i]`, output
+    /// `[num_segments, cols]`. Empty segments produce zero rows.
+    pub fn segment_sum(&self, a: Var, seg: &[usize], num_segments: usize) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.rows(), seg.len(), "segment_sum length mismatch");
+        let c = t.cols();
+        let mut out = Tensor::zeros(&[num_segments, c]);
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < num_segments, "segment id {s} out of range");
+            for j in 0..c {
+                *out.at_mut(s, j) += t.row(i)[j];
+            }
+        }
+        self.push(out, Op::SegmentSum(a, seg.to_vec()))
+    }
+
+    /// Segment max with floor: `out[s] = max(init, max_{i: seg[i]==s} a[i])`.
+    /// Empty segments produce `init`. Gradient flows only to the winning
+    /// input cell (none when the floor wins).
+    pub fn segment_max(&self, a: Var, seg: &[usize], num_segments: usize, init: f32) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.rows(), seg.len(), "segment_max length mismatch");
+        let c = t.cols();
+        let mut out = Tensor::full(&[num_segments, c], init);
+        let mut arg = vec![usize::MAX; num_segments * c];
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < num_segments, "segment id {s} out of range");
+            for j in 0..c {
+                let v = t.row(i)[j];
+                if v > out.at(s, j) {
+                    *out.at_mut(s, j) = v;
+                    arg[s * c + j] = i;
+                }
+            }
+        }
+        self.push_aux(out, Op::SegmentMax(a, num_segments), arg)
+    }
+
+    /// Elementwise maximum of two same-shape values. On ties the gradient
+    /// goes to `a`.
+    pub fn max_elem(&self, a: Var, b: Var) -> Var {
+        let (ta, tb) = self.binary_same_shape(a, b, "max_elem");
+        self.push(ta.zip(&tb, f32::max), Op::MaxElem(a, b))
+    }
+
+    /// Mean binary cross-entropy of probabilities `a` against constant
+    /// targets (clamped to `[1e-6, 1-1e-6]` for stability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from `a`'s element count.
+    pub fn bce_loss(&self, a: Var, targets: &[f32]) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.numel(), targets.len(), "bce_loss target length");
+        let n = targets.len() as f32;
+        let mut loss = 0.0f32;
+        for (&p, &y) in t.data().iter().zip(targets) {
+            let p = p.clamp(1e-6, 1.0 - 1e-6);
+            loss -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+        }
+        self.push(Tensor::scalar(loss / n), Op::BceLoss(a, targets.to_vec()))
+    }
+
+    /// Mean squared error of `a` against constant targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from `a`'s element count.
+    pub fn mse_loss(&self, a: Var, targets: &[f32]) -> Var {
+        let t = self.value(a);
+        assert_eq!(t.numel(), targets.len(), "mse_loss target length");
+        let n = targets.len() as f32;
+        let loss: f32 = t
+            .data()
+            .iter()
+            .zip(targets)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum();
+        self.push(Tensor::scalar(loss / n), Op::MseLoss(a, targets.to_vec()))
+    }
+
+    /// Run reverse-mode differentiation from the scalar `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[loss.0].value.numel(), 1, "backward requires scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            let node = &nodes[i];
+            match &node.op {
+                Op::Leaf => {
+                    grads[i] = Some(g);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate(&mut grads, b.0, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    let neg = g.map(|x| -x);
+                    accumulate(&mut grads, b.0, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.zip(&nodes[b.0].value, |x, y| x * y);
+                    let gb = g.zip(&nodes[a.0].value, |x, y| x * y);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::AddRow(a, bias) => {
+                    accumulate(&mut grads, a.0, &g);
+                    let c = g.cols();
+                    let mut gb = Tensor::zeros(&[1, c]);
+                    for r in 0..g.rows() {
+                        for j in 0..c {
+                            *gb.at_mut(0, j) += g.at(r, j);
+                        }
+                    }
+                    accumulate(&mut grads, bias.0, &gb);
+                }
+                Op::Scale(a, k) => {
+                    let ga = g.map(|x| x * k);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::AddScalar(a) => {
+                    accumulate(&mut grads, a.0, &g);
+                }
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul(&nodes[b.0].value.transpose());
+                    let gb = nodes[a.0].value.transpose().matmul(&g);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Relu(a) => {
+                    let ga = g.zip(&nodes[a.0].value, |gy, x| if x > 0.0 { gy } else { 0.0 });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    let ga = g.zip(&node.value, |gy, y| gy * y * (1.0 - y));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = g.zip(&node.value, |gy, y| gy * (1.0 - y * y));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Exp(a) => {
+                    let ga = g.zip(&node.value, |gy, y| gy * y);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Unscale(a, mu, sigma) => {
+                    const LN10: f32 = std::f32::consts::LN_10;
+                    let ga = g
+                        .zip(&nodes[a.0].value, |gy, x| {
+                            let e = sigma * x + mu;
+                            if e.abs() >= UNSCALE_EXP_CAP {
+                                0.0
+                            } else {
+                                gy * LN10 * sigma * 10f32.powf(e)
+                            }
+                        });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::ScaleLog(a, sigma, eps) => {
+                    const LN10: f32 = std::f32::consts::LN_10;
+                    let ga = g.zip(&nodes[a.0].value, |gy, x| {
+                        if x <= *eps {
+                            0.0
+                        } else {
+                            gy / (sigma * LN10 * x)
+                        }
+                    });
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Square(a) => {
+                    let ga = g.zip(&nodes[a.0].value, |gy, x| gy * 2.0 * x);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Sum(a) => {
+                    let gy = g.item();
+                    let src = &nodes[a.0].value;
+                    let ga = Tensor::full(src.shape(), gy);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Mean(a) => {
+                    let src = &nodes[a.0].value;
+                    let gy = g.item() / src.numel() as f32;
+                    let ga = Tensor::full(src.shape(), gy);
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (ca, cb) = (nodes[a.0].value.cols(), nodes[b.0].value.cols());
+                    let n = g.rows();
+                    let mut ga = Tensor::zeros(&[n, ca]);
+                    let mut gb = Tensor::zeros(&[n, cb]);
+                    for i in 0..n {
+                        for j in 0..ca {
+                            *ga.at_mut(i, j) = g.at(i, j);
+                        }
+                        for j in 0..cb {
+                            *gb.at_mut(i, j) = g.at(i, ca + j);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::SliceCols(a, start, _end) => {
+                    let src = &nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.shape());
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            *ga.at_mut(i, start + j) = g.at(i, j);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::GatherRows(a, idx) => {
+                    let src = &nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.shape());
+                    let c = src.cols();
+                    for (out_r, &src_r) in idx.iter().enumerate() {
+                        for j in 0..c {
+                            *ga.at_mut(src_r, j) += g.at(out_r, j);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SegmentSum(a, seg) => {
+                    let src = &nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.shape());
+                    let c = src.cols();
+                    for (i, &s) in seg.iter().enumerate() {
+                        for j in 0..c {
+                            *ga.at_mut(i, j) = g.at(s, j);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::SegmentMax(a, num_segments) => {
+                    let src = &nodes[a.0].value;
+                    let c = src.cols();
+                    let mut ga = Tensor::zeros(src.shape());
+                    for s in 0..*num_segments {
+                        for j in 0..c {
+                            let winner = node.aux[s * c + j];
+                            if winner != usize::MAX {
+                                *ga.at_mut(winner, j) += g.at(s, j);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::MaxElem(a, b) => {
+                    let (ta, tb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = Tensor::zeros(ta.shape());
+                    let mut gb = Tensor::zeros(tb.shape());
+                    for k in 0..g.numel() {
+                        if ta.data()[k] >= tb.data()[k] {
+                            ga.data_mut()[k] = g.data()[k];
+                        } else {
+                            gb.data_mut()[k] = g.data()[k];
+                        }
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::BceLoss(a, targets) => {
+                    let src = &nodes[a.0].value;
+                    let gy = g.item() / targets.len() as f32;
+                    let mut ga = Tensor::zeros(src.shape());
+                    for (k, (&p, &y)) in src.data().iter().zip(targets).enumerate() {
+                        let p = p.clamp(1e-6, 1.0 - 1e-6);
+                        ga.data_mut()[k] = gy * (p - y) / (p * (1.0 - p));
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::MseLoss(a, targets) => {
+                    let src = &nodes[a.0].value;
+                    let gy = g.item() / targets.len() as f32;
+                    let mut ga = Tensor::zeros(src.shape());
+                    for (k, (&p, &y)) in src.data().iter().zip(targets).enumerate() {
+                        ga.data_mut()[k] = gy * 2.0 * (p - y);
+                    }
+                    accumulate(&mut grads, a.0, &ga);
+                }
+            }
+        }
+
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+/// Leaf [`Var`]s registered for every parameter of a
+/// [`crate::nn::Params`] store, valid for one tape (see
+/// [`crate::nn::Params::bind`]).
+#[derive(Debug, Clone)]
+pub struct Bound {
+    pub(crate) vars: Vec<Var>,
+}
+
+impl Bound {
+    /// The leaf var bound for the parameter at position `idx`.
+    pub(crate) fn var_for(&self, idx: usize) -> Var {
+        self.vars[idx]
+    }
+
+    /// Leaf vars in parameter order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no gradient flowed to `v` (it did not influence the
+    /// loss); use [`Gradients::try_get`] for an optional lookup.
+    pub fn get(&self, v: Var) -> &Tensor {
+        self.try_get(v)
+            .expect("no gradient recorded for this var (did it reach the loss?)")
+    }
+
+    /// Gradient of the loss with respect to `v`, if any flowed.
+    pub fn try_get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn add_mul_chain_gradients() {
+        // loss = sum((a + b) * a); d/da = 2a + b, d/db = a
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0]));
+        let s = tape.add(a, b);
+        let p = tape.mul(s, a);
+        let loss = tape.sum(p);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[5.0, 8.0]);
+        assert_eq!(g.get(b).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![vec![1.0, 2.0]]));
+        let b = tape.leaf(Tensor::from_rows(vec![vec![3.0], vec![5.0]]));
+        let y = tape.matmul(a, b); // [1,1] = 13
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(tape.value(y).item(), 13.0);
+        assert_eq!(g.get(a).data(), &[3.0, 5.0]);
+        assert_eq!(g.get(b).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_kills_negative_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![-1.0, 2.0]));
+        let loss = tape.sum(tape.relu(a));
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_value_and_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(0.0));
+        let y = tape.sigmoid(a);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert!(close(tape.value(y).item(), 0.5));
+        assert!(close(g.get(a).item(), 0.25));
+    }
+
+    #[test]
+    fn mean_divides_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]));
+        let loss = tape.mean(a);
+        let g = tape.backward(loss);
+        assert!(g.get(a).data().iter().all(|&v| close(v, 0.25)));
+    }
+
+    #[test]
+    fn gather_rows_accumulates_repeats() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![vec![1.0], vec![2.0]]));
+        let y = tape.gather_rows(a, &[0, 0, 1]);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[2.0, 1.0]);
+        assert_eq!(tape.value(y).data(), &[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_sum_forward_and_backward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ]));
+        let y = tape.segment_sum(a, &[1, 0, 1], 3);
+        assert_eq!(tape.value(y).row(0), &[2.0, 20.0]);
+        assert_eq!(tape.value(y).row(1), &[4.0, 40.0]);
+        assert_eq!(tape.value(y).row(2), &[0.0, 0.0]); // empty segment
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert!(g.get(a).data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn segment_max_routes_gradient_to_winner() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![vec![1.0], vec![5.0], vec![3.0]]));
+        let y = tape.segment_max(a, &[0, 0, 1], 2, 0.0);
+        assert_eq!(tape.value(y).data(), &[5.0, 3.0]);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_max_floor_wins_on_empty_and_low_segments() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![vec![-2.0]]));
+        let y = tape.segment_max(a, &[0], 2, 0.0);
+        assert_eq!(tape.value(y).data(), &[0.0, 0.0]);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[0.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip_gradients() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(vec![vec![1.0, 2.0]]));
+        let b = tape.leaf(Tensor::from_rows(vec![vec![3.0]]));
+        let c = tape.concat_cols(a, b);
+        assert_eq!(tape.value(c).data(), &[1.0, 2.0, 3.0]);
+        let s = tape.slice_cols(c, 1, 3); // [2.0, 3.0]
+        let loss = tape.sum(s);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[0.0, 1.0]);
+        assert_eq!(g.get(b).data(), &[1.0]);
+    }
+
+    #[test]
+    fn max_elem_tie_goes_to_lhs() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, 1.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![2.0, 5.0]));
+        let y = tape.max_elem(a, b);
+        assert_eq!(tape.value(y).data(), &[2.0, 5.0]);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[1.0, 0.0]);
+        assert_eq!(g.get(b).data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bce_loss_gradient_sign() {
+        let tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(vec![0.8, 0.3]));
+        let loss = tape.bce_loss(p, &[1.0, 0.0]);
+        let g = tape.backward(loss);
+        // Underestimating target 1 → negative grad; overestimating 0 → positive.
+        assert!(g.get(p).data()[0] < 0.0);
+        assert!(g.get(p).data()[1] > 0.0);
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(vec![3.0, 1.0]));
+        let loss = tape.mse_loss(p, &[1.0, 1.0]);
+        assert!(close(tape.value(loss).item(), 2.0));
+        let g = tape.backward(loss);
+        assert_eq!(g.get(p).data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn unscale_matches_transform_and_has_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(0.0));
+        let y = tape.unscale(a, 4.0, 1.0);
+        assert!(close(tape.value(y).item(), 10_000.0));
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        // d/dx 10^(x+4) at 0 = ln10 * 10^4
+        assert!(close(g.get(a).item(), std::f32::consts::LN_10 * 10_000.0));
+    }
+
+    #[test]
+    fn unscale_clamps_extreme_exponents() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(100.0));
+        let y = tape.unscale(a, 4.0, 1.0);
+        assert!(tape.value(y).item().is_finite());
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).item(), 0.0);
+    }
+
+    #[test]
+    fn scale_log_roundtrips_unscale() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.5));
+        let y = tape.unscale(a, 4.0, 1.0);
+        let z = tape.scale_log(y, 4.0, 1.0, 1e-6);
+        assert!(close(tape.value(z).item(), 1.5));
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates() {
+        // loss = sum(a) + sum(a) → grad 2
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0]));
+        let s1 = tape.sum(a);
+        let s2 = tape.sum(a);
+        let loss = tape.add(s1, s2);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).data(), &[2.0]);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.0));
+        let b = tape.leaf(Tensor::scalar(2.0));
+        let loss = tape.sum(a);
+        let g = tape.backward(loss);
+        assert!(g.try_get(b).is_none());
+    }
+
+    #[test]
+    fn add_row_broadcast_bias_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = tape.leaf(Tensor::from_rows(vec![vec![10.0, 20.0]]));
+        let y = tape.add_row(x, b);
+        assert_eq!(tape.value(y).data(), &[11.0, 22.0, 13.0, 24.0]);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(b).data(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Dense f32 tensors of rank ≤ 2.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A dense, row-major f32 tensor. Rank is 1 (`[n]`) or 2 (`[rows, cols]`);
+/// scalars are represented as `[1]`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.data.len() <= 16 {
+            write!(f, "Tensor{{shape: {:?}, data: {:?}}}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{{shape: {:?}, data: [{}, {}, ..; {}]}}",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Tensor {
+    /// Create a tensor from an explicit shape and backing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape's element count does not match `data.len()`
+    /// or the rank exceeds 2.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert!(shape.len() <= 2, "rank must be <= 2, got {shape:?}");
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "shape {shape:?} implies {numel} elements but data has {}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A scalar tensor (shape `[1]`).
+    pub fn scalar(v: f32) -> Self {
+        Tensor::new(vec![1], vec![v])
+    }
+
+    /// A rank-1 tensor from a vector.
+    pub fn from_vec(v: Vec<f32>) -> Self {
+        let n = v.len();
+        Tensor::new(vec![n], v)
+    }
+
+    /// A rank-2 tensor from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the input is empty.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor::new(vec![rows.len(), cols], data)
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor::new(shape.to_vec(), vec![0.0; numel])
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor::new(shape.to_vec(), vec![1.0; numel])
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor::new(shape.to_vec(), vec![v; numel])
+    }
+
+    /// Tensor with entries drawn uniformly from `[-limit, limit]`.
+    pub fn uniform<R: Rng + ?Sized>(shape: &[usize], limit: f32, rng: &mut R) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Tensor::new(shape.to_vec(), data)
+    }
+
+    /// Tensor with approximately standard-normal entries (sum of uniforms),
+    /// scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel)
+            .map(|_| {
+                // Irwin–Hall(12) − 6 approximates N(0, 1).
+                let s: f32 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+                (s - 6.0) * std
+            })
+            .collect();
+        Tensor::new(shape.to_vec(), data)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of rows (rank-2) or elements (rank-1).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns; 1 for rank-1 tensors.
+    pub fn cols(&self) -> usize {
+        if self.shape.len() == 2 {
+            self.shape[1]
+        } else {
+            1
+        }
+    }
+
+    /// Immutable view of the backing data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The single element of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at `(r, c)` of a rank-2 tensor.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert_eq!(self.shape.len(), 2);
+        let c = self.shape[1];
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or either input is rank-1.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[p * m..(p + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::new(vec![n, m], out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires rank-2");
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = self.data[i * m + j];
+            }
+        }
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Elementwise map producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::new(self.shape.clone(), self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Elementwise binary zip with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::new(self.shape.clone(), data)
+    }
+
+    /// In-place `self += alpha * rhs` (same shapes).
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element (0.0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.at(1, 0), 3.0);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.numel(), 4);
+    }
+
+    #[test]
+    fn scalar_and_vec() {
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), &[3]);
+        assert_eq!(v.cols(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "elements")]
+    fn shape_data_mismatch_panics() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(vec![vec![2.0, -1.0], vec![0.5, 3.0]]);
+        let i = Tensor::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let tt = a.transpose().transpose();
+        assert_eq!(tt.data(), a.data());
+        assert_eq!(a.transpose().shape(), &[3, 2]);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn map_zip_axpy() {
+        let a = Tensor::from_vec(vec![1.0, -2.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0]);
+        let b = Tensor::from_vec(vec![10.0, 20.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 18.0]);
+        let mut c = Tensor::from_vec(vec![0.0, 0.0]);
+        c.axpy(2.0, &a);
+        assert_eq!(c.data(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed_and_roughly_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = Tensor::randn(&[100, 10], 1.0, &mut rng);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let b = Tensor::randn(&[100, 10], 1.0, &mut rng2);
+        assert_eq!(a.data(), b.data());
+        let mean = a.sum() / a.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = Tensor::uniform(&[50, 4], 0.3, &mut rng);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.3));
+    }
+
+    #[test]
+    fn max_abs_and_sum() {
+        let a = Tensor::from_vec(vec![1.0, -5.0, 3.0]);
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(a.sum(), -1.0);
+    }
+}

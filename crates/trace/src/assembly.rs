@@ -1,0 +1,284 @@
+//! Assembling raw span batches into [`Trace`] trees.
+//!
+//! Collectors deliver spans in arbitrary order; this module validates that
+//! a batch forms exactly one well-formed tree and produces the
+//! topologically ordered [`Trace`] the rest of the system consumes.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::span::{Span, SpanId, TraceId};
+use crate::trace::{SpanIdx, Trace};
+
+/// Reasons a span batch cannot be assembled into a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleTraceError {
+    /// The batch contained no spans.
+    Empty,
+    /// No span without a parent was found.
+    MissingRoot,
+    /// More than one span without a parent was found.
+    MultipleRoots(Vec<SpanId>),
+    /// Two spans shared the same span id.
+    DuplicateSpanId(SpanId),
+    /// A span referenced a parent id absent from the batch.
+    DanglingParent {
+        /// The span whose parent is missing.
+        span: SpanId,
+        /// The missing parent id.
+        parent: SpanId,
+    },
+    /// Spans from different traces were mixed in one batch.
+    MixedTraceIds(TraceId, TraceId),
+    /// The parent pointers contain a cycle (or unreachable spans).
+    Unreachable(SpanId),
+}
+
+impl fmt::Display for AssembleTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleTraceError::Empty => write!(f, "span batch is empty"),
+            AssembleTraceError::MissingRoot => write!(f, "no root span in batch"),
+            AssembleTraceError::MultipleRoots(ids) => {
+                write!(f, "multiple root spans in batch: {ids:?}")
+            }
+            AssembleTraceError::DuplicateSpanId(id) => {
+                write!(f, "duplicate span id {id}")
+            }
+            AssembleTraceError::DanglingParent { span, parent } => {
+                write!(f, "span {span} references missing parent {parent}")
+            }
+            AssembleTraceError::MixedTraceIds(a, b) => {
+                write!(f, "batch mixes trace ids {a} and {b}")
+            }
+            AssembleTraceError::Unreachable(id) => {
+                write!(f, "span {id} unreachable from root (parent cycle)")
+            }
+        }
+    }
+}
+
+impl Error for AssembleTraceError {}
+
+/// Assemble an unordered span batch into a [`Trace`].
+///
+/// Validation performed:
+/// * all spans share one trace id,
+/// * span ids are unique,
+/// * exactly one root (span without parent) exists,
+/// * every parent reference resolves,
+/// * every span is reachable from the root (no parent cycles).
+///
+/// # Errors
+///
+/// See [`AssembleTraceError`].
+pub fn assemble(spans: Vec<Span>) -> Result<Trace, AssembleTraceError> {
+    if spans.is_empty() {
+        return Err(AssembleTraceError::Empty);
+    }
+    let trace_id = spans[0].trace_id;
+    for s in &spans {
+        if s.trace_id != trace_id {
+            return Err(AssembleTraceError::MixedTraceIds(trace_id, s.trace_id));
+        }
+    }
+
+    let mut id_to_pos: HashMap<SpanId, usize> = HashMap::with_capacity(spans.len());
+    for (pos, s) in spans.iter().enumerate() {
+        if id_to_pos.insert(s.span_id, pos).is_some() {
+            return Err(AssembleTraceError::DuplicateSpanId(s.span_id));
+        }
+    }
+
+    let roots: Vec<SpanId> = spans
+        .iter()
+        .filter(|s| s.parent_span_id.is_none())
+        .map(|s| s.span_id)
+        .collect();
+    let root_id = match roots.as_slice() {
+        [] => return Err(AssembleTraceError::MissingRoot),
+        [only] => *only,
+        _ => return Err(AssembleTraceError::MultipleRoots(roots)),
+    };
+
+    // Children adjacency keyed by original positions.
+    let mut raw_children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for (pos, s) in spans.iter().enumerate() {
+        if let Some(pid) = s.parent_span_id {
+            let ppos = *id_to_pos
+                .get(&pid)
+                .ok_or(AssembleTraceError::DanglingParent {
+                    span: s.span_id,
+                    parent: pid,
+                })?;
+            raw_children[ppos].push(pos);
+        }
+    }
+    for kids in &mut raw_children {
+        kids.sort_by_key(|&c| (spans[c].start_us, spans[c].span_id));
+    }
+
+    // BFS from root to build topological order and detect unreachable spans.
+    let root_pos = id_to_pos[&root_id];
+    let mut order: Vec<usize> = Vec::with_capacity(spans.len());
+    let mut depth_by_pos: Vec<usize> = vec![0; spans.len()];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root_pos);
+    while let Some(p) = queue.pop_front() {
+        order.push(p);
+        for &c in &raw_children[p] {
+            depth_by_pos[c] = depth_by_pos[p] + 1;
+            queue.push_back(c);
+        }
+    }
+    if order.len() != spans.len() {
+        let reached: std::collections::HashSet<usize> = order.iter().copied().collect();
+        let missing = (0..spans.len()).find(|p| !reached.contains(p)).expect(
+            "order shorter than span count implies an unreached position",
+        );
+        return Err(AssembleTraceError::Unreachable(spans[missing].span_id));
+    }
+
+    // Re-index into topological order.
+    let mut new_idx: Vec<SpanIdx> = vec![0; spans.len()];
+    for (new, &old) in order.iter().enumerate() {
+        new_idx[old] = new;
+    }
+    let mut ordered: Vec<Option<Span>> = spans.into_iter().map(Some).collect();
+    let mut out_spans: Vec<Span> = Vec::with_capacity(ordered.len());
+    for &old in &order {
+        out_spans.push(ordered[old].take().expect("each position taken once"));
+    }
+    let mut parent: Vec<Option<SpanIdx>> = vec![None; out_spans.len()];
+    let mut children: Vec<Vec<SpanIdx>> = vec![Vec::new(); out_spans.len()];
+    let mut depth: Vec<usize> = vec![0; out_spans.len()];
+    for (new, &old) in order.iter().enumerate() {
+        depth[new] = depth_by_pos[old];
+        children[new] = raw_children[old].iter().map(|&c| new_idx[c]).collect();
+    }
+    for (i, kids) in children.iter().enumerate() {
+        for &k in kids {
+            parent[k] = Some(i);
+        }
+    }
+
+    Ok(Trace::from_parts(out_spans, parent, children, depth, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn span(id: SpanId, parent: Option<SpanId>) -> Span {
+        let b = Span::builder(1, id, format!("svc{id}"), format!("op{id}")).time(id, id + 10);
+        match parent {
+            Some(p) => b.parent(p).build(),
+            None => b.build(),
+        }
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert_eq!(assemble(vec![]), Err(AssembleTraceError::Empty));
+    }
+
+    #[test]
+    fn missing_root_rejected() {
+        // 1 -> 2 -> 1 cycle, no root.
+        let s1 = Span::builder(1, 1, "a", "a").parent(2).time(0, 1).build();
+        let s2 = Span::builder(1, 2, "b", "b").parent(1).time(0, 1).build();
+        assert_eq!(assemble(vec![s1, s2]), Err(AssembleTraceError::MissingRoot));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = assemble(vec![span(1, None), span(2, None)]).unwrap_err();
+        assert_eq!(err, AssembleTraceError::MultipleRoots(vec![1, 2]));
+    }
+
+    #[test]
+    fn duplicate_span_id_rejected() {
+        let err = assemble(vec![span(1, None), span(1, None)]).unwrap_err();
+        assert_eq!(err, AssembleTraceError::DuplicateSpanId(1));
+    }
+
+    #[test]
+    fn dangling_parent_rejected() {
+        let err = assemble(vec![span(1, None), span(2, Some(99))]).unwrap_err();
+        assert_eq!(
+            err,
+            AssembleTraceError::DanglingParent {
+                span: 2,
+                parent: 99
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_trace_ids_rejected() {
+        let a = Span::builder(1, 1, "a", "a").time(0, 1).build();
+        let b = Span::builder(2, 2, "b", "b").parent(1).time(0, 1).build();
+        assert_eq!(
+            assemble(vec![a, b]),
+            Err(AssembleTraceError::MixedTraceIds(1, 2))
+        );
+    }
+
+    #[test]
+    fn cycle_among_non_roots_rejected() {
+        // root 1; spans 2 and 3 point at each other.
+        let s1 = span(1, None);
+        let s2 = span(2, Some(3));
+        let s3 = span(3, Some(2));
+        let err = assemble(vec![s1, s2, s3]).unwrap_err();
+        assert!(matches!(err, AssembleTraceError::Unreachable(_)));
+    }
+
+    #[test]
+    fn shuffled_input_assembles_in_topological_order() {
+        // chain 1 -> 2 -> 3 -> 4, delivered shuffled.
+        let batch = vec![span(3, Some(2)), span(1, None), span(4, Some(3)), span(2, Some(1))];
+        let t = assemble(batch).unwrap();
+        for (i, _) in t.iter() {
+            if let Some(p) = t.parent(i) {
+                assert!(p < i, "parents must precede children");
+            }
+        }
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.span(t.root()).span_id, 1);
+    }
+
+    #[test]
+    fn single_span_trace() {
+        let t = assemble(vec![span(42, None)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.max_depth(), 0);
+        assert!(t.children(t.root()).is_empty());
+    }
+
+    #[test]
+    fn wide_fanout_children_sorted() {
+        let mut batch = vec![Span::builder(1, 1, "root", "root").time(0, 100).build()];
+        // children with descending start times
+        for i in 0..10u64 {
+            batch.push(
+                Span::builder(1, 2 + i, "c", "c")
+                    .parent(1)
+                    .time(90 - i * 5, 95)
+                    .build(),
+            );
+        }
+        let t = assemble(batch).unwrap();
+        let starts: Vec<u64> = t
+            .children(t.root())
+            .iter()
+            .map(|&c| t.span(c).start_us)
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert_eq!(t.max_out_degree(), 10);
+    }
+}

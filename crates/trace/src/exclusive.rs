@@ -1,0 +1,208 @@
+//! Exclusive duration and exclusive error computation (§3.2.2).
+//!
+//! The *exclusive duration* of a span is the total time during which the
+//! span does not overlap any of its child spans — the paper's observable
+//! stand-in for un-annotatable "self time". In the paper's Figure 2, with
+//! parent `P` = [t0, t5], `A` = [t1, t3] and `B` = [t2, t4], the exclusive
+//! duration of `P` is `(t1 − t0) + (t5 − t4)`.
+//!
+//! The *exclusive error* of a span marks an error that originated at the
+//! span itself rather than propagating up from a failed child: a span has
+//! an exclusive error when it errored and none of its children did.
+
+use crate::trace::{SpanIdx, Trace};
+
+/// Compute the exclusive duration (µs) of every span in the trace.
+///
+/// Index `i` of the result corresponds to span index `i`. Leaf spans'
+/// exclusive duration equals their full duration. Child intervals are
+/// clipped to the parent interval, so malformed timestamps (children
+/// exceeding the parent) cannot produce underflow.
+pub fn exclusive_durations(trace: &Trace) -> Vec<u64> {
+    (0..trace.len())
+        .map(|i| exclusive_duration_of(trace, i))
+        .collect()
+}
+
+/// Exclusive duration (µs) of the single span `idx`.
+pub fn exclusive_duration_of(trace: &Trace, idx: SpanIdx) -> u64 {
+    let s = trace.span(idx);
+    let (lo, hi) = (s.start_us, s.end_us);
+    let mut intervals: Vec<(u64, u64)> = trace
+        .children(idx)
+        .iter()
+        .map(|&c| {
+            let ch = trace.span(c);
+            (ch.start_us.clamp(lo, hi), ch.end_us.clamp(lo, hi))
+        })
+        .filter(|(a, b)| a < b)
+        .collect();
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in intervals {
+        match cur {
+            None => cur = Some((a, b)),
+            Some((ca, cb)) => {
+                if a <= cb {
+                    cur = Some((ca, cb.max(b)));
+                } else {
+                    covered += cb - ca;
+                    cur = Some((a, b));
+                }
+            }
+        }
+    }
+    if let Some((ca, cb)) = cur {
+        covered += cb - ca;
+    }
+    (hi - lo).saturating_sub(covered)
+}
+
+/// Compute the exclusive error flag of every span.
+///
+/// A span has an exclusive error when it errored and no child errored;
+/// an error co-occurring with a failed child is attributed to propagation
+/// from that child.
+pub fn exclusive_errors(trace: &Trace) -> Vec<bool> {
+    (0..trace.len())
+        .map(|i| {
+            trace.span(i).is_error()
+                && !trace.children(i).iter().any(|&c| trace.span(c).is_error())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, SpanKind, StatusCode};
+    use crate::Trace;
+
+    fn figure2() -> Trace {
+        // P=[0,100], A=[10,60], B=[40,80]
+        Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(0, 100).build(),
+            Span::builder(1, 2, "a", "A")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 60)
+                .build(),
+            Span::builder(1, 3, "b", "B")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(40, 80)
+                .build(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_exclusive_durations() {
+        let t = figure2();
+        let ex = exclusive_durations(&t);
+        // P: (10-0) + (100-80) = 30; children are leaves.
+        assert_eq!(ex[t.root()], 30);
+        let a = (0..t.len()).find(|&i| t.span(i).name == "A").unwrap();
+        let b = (0..t.len()).find(|&i| t.span(i).name == "B").unwrap();
+        assert_eq!(ex[a], 50);
+        assert_eq!(ex[b], 40);
+    }
+
+    #[test]
+    fn non_overlapping_children() {
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(0, 100).build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(10, 20).build(),
+            Span::builder(1, 3, "b", "B").parent(1).time(30, 40).build(),
+        ])
+        .unwrap();
+        assert_eq!(exclusive_duration_of(&t, t.root()), 100 - 10 - 10);
+    }
+
+    #[test]
+    fn child_fully_covering_parent() {
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(10, 20).build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(10, 20).build(),
+        ])
+        .unwrap();
+        assert_eq!(exclusive_duration_of(&t, t.root()), 0);
+    }
+
+    #[test]
+    fn child_exceeding_parent_is_clipped() {
+        // Malformed (clock skew): child extends past parent end.
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(10, 20).build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(15, 40).build(),
+        ])
+        .unwrap();
+        assert_eq!(exclusive_duration_of(&t, t.root()), 5);
+    }
+
+    #[test]
+    fn nested_children_count_only_direct_children() {
+        // P=[0,100] -> A=[10,90] -> B=[20,30]; P's exclusive time only
+        // subtracts A, not grandchild B.
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(0, 100).build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(10, 90).build(),
+            Span::builder(1, 3, "b", "B").parent(2).time(20, 30).build(),
+        ])
+        .unwrap();
+        let ex = exclusive_durations(&t);
+        assert_eq!(ex[0], 20); // P
+        assert_eq!(ex[1], 70); // A: 80 - 10
+        assert_eq!(ex[2], 10); // B leaf
+    }
+
+    #[test]
+    fn identical_children_intervals_merge() {
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P").time(0, 50).build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(10, 30).build(),
+            Span::builder(1, 3, "b", "B").parent(1).time(10, 30).build(),
+        ])
+        .unwrap();
+        assert_eq!(exclusive_duration_of(&t, t.root()), 30);
+    }
+
+    #[test]
+    fn exclusive_error_attribution() {
+        // Root errors because child errors -> only child is exclusive.
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P")
+                .time(0, 50)
+                .status(StatusCode::Error)
+                .build(),
+            Span::builder(1, 2, "a", "A")
+                .parent(1)
+                .time(10, 30)
+                .status(StatusCode::Error)
+                .build(),
+        ])
+        .unwrap();
+        let ee = exclusive_errors(&t);
+        assert_eq!(ee, vec![false, true]);
+    }
+
+    #[test]
+    fn error_without_failed_children_is_exclusive() {
+        let t = Trace::assemble(vec![
+            Span::builder(1, 1, "p", "P")
+                .time(0, 50)
+                .status(StatusCode::Error)
+                .build(),
+            Span::builder(1, 2, "a", "A").parent(1).time(10, 30).build(),
+        ])
+        .unwrap();
+        assert_eq!(exclusive_errors(&t), vec![true, false]);
+    }
+
+    #[test]
+    fn ok_trace_has_no_exclusive_errors() {
+        let t = figure2();
+        assert!(exclusive_errors(&t).iter().all(|&e| !e));
+    }
+}

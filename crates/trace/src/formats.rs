@@ -1,0 +1,566 @@
+//! Trace interchange formats.
+//!
+//! The paper's collectors (§4) accept OpenTelemetry, Zipkin and Jaeger
+//! protocols and forward everything into the storage engine. This
+//! module provides JSON import/export for simplified flavours of all
+//! three, mapped onto the crate's [`Span`] model. Nested
+//! resource/process envelopes are flattened to a per-span service name
+//! (documented per format below).
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::{Span, SpanId, SpanKind, StatusCode, TraceId};
+
+/// Errors raised while importing foreign span records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpanError {
+    /// The JSON could not be parsed.
+    Json(String),
+    /// An id field was not valid hexadecimal.
+    BadId(String),
+    /// A span ended before it started.
+    NegativeDuration {
+        /// Offending span id (hex).
+        span: String,
+    },
+}
+
+impl std::fmt::Display for ParseSpanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSpanError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ParseSpanError::BadId(s) => write!(f, "invalid hex id {s:?}"),
+            ParseSpanError::NegativeDuration { span } => {
+                write!(f, "span {span} ends before it starts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSpanError {}
+
+fn parse_hex_id(s: &str) -> Result<u64, ParseSpanError> {
+    // Ids may be up to 128-bit; keep the low 64 bits, as many backends do.
+    let tail = if s.len() > 16 { &s[s.len() - 16..] } else { s };
+    u64::from_str_radix(tail, 16).map_err(|_| ParseSpanError::BadId(s.to_string()))
+}
+
+fn hex16(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+// ---------------------------------------------------------------------------
+// OpenTelemetry (OTLP-JSON flavour)
+// ---------------------------------------------------------------------------
+
+/// One span in the (flattened) OTLP JSON flavour: the
+/// `resource.attributes["service.name"]` is hoisted to `serviceName`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "camelCase")]
+pub struct OtelSpan {
+    /// Trace id, hex.
+    pub trace_id: String,
+    /// Span id, hex.
+    pub span_id: String,
+    /// Parent span id, hex; empty or absent for roots.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent_span_id: Option<String>,
+    /// Operation name.
+    pub name: String,
+    /// `SPAN_KIND_*` constant.
+    pub kind: String,
+    /// Start time, Unix nanoseconds.
+    pub start_time_unix_nano: u64,
+    /// End time, Unix nanoseconds.
+    pub end_time_unix_nano: u64,
+    /// `STATUS_CODE_*` constant.
+    #[serde(default)]
+    pub status_code: Option<String>,
+    /// Hoisted `service.name` resource attribute.
+    pub service_name: String,
+    /// Hoisted `k8s.pod.name` attribute.
+    #[serde(default)]
+    pub pod_name: Option<String>,
+    /// Hoisted `k8s.node.name` attribute.
+    #[serde(default)]
+    pub node_name: Option<String>,
+}
+
+fn otel_kind(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Client => "SPAN_KIND_CLIENT",
+        SpanKind::Server => "SPAN_KIND_SERVER",
+        SpanKind::Producer => "SPAN_KIND_PRODUCER",
+        SpanKind::Consumer => "SPAN_KIND_CONSUMER",
+        SpanKind::Internal => "SPAN_KIND_INTERNAL",
+    }
+}
+
+fn parse_otel_kind(s: &str) -> SpanKind {
+    match s {
+        "SPAN_KIND_CLIENT" => SpanKind::Client,
+        "SPAN_KIND_PRODUCER" => SpanKind::Producer,
+        "SPAN_KIND_CONSUMER" => SpanKind::Consumer,
+        "SPAN_KIND_INTERNAL" => SpanKind::Internal,
+        _ => SpanKind::Server,
+    }
+}
+
+/// Export spans in the OTLP JSON flavour.
+pub fn to_otel(spans: &[Span]) -> Vec<OtelSpan> {
+    spans
+        .iter()
+        .map(|s| OtelSpan {
+            trace_id: hex16(s.trace_id),
+            span_id: hex16(s.span_id),
+            parent_span_id: s.parent_span_id.map(hex16),
+            name: s.name.clone(),
+            kind: otel_kind(s.kind).to_string(),
+            start_time_unix_nano: s.start_us * 1_000,
+            end_time_unix_nano: s.end_us * 1_000,
+            status_code: Some(
+                match s.status {
+                    StatusCode::Unset => "STATUS_CODE_UNSET",
+                    StatusCode::Ok => "STATUS_CODE_OK",
+                    StatusCode::Error => "STATUS_CODE_ERROR",
+                }
+                .to_string(),
+            ),
+            service_name: s.service.clone(),
+            pod_name: (!s.pod.is_empty()).then(|| s.pod.clone()),
+            node_name: (!s.node.is_empty()).then(|| s.node.clone()),
+        })
+        .collect()
+}
+
+/// Import OTLP-flavour spans.
+///
+/// # Errors
+///
+/// Returns [`ParseSpanError`] for malformed ids or inverted intervals.
+pub fn from_otel(records: &[OtelSpan]) -> Result<Vec<Span>, ParseSpanError> {
+    records
+        .iter()
+        .map(|r| {
+            let trace_id: TraceId = parse_hex_id(&r.trace_id)?;
+            let span_id: SpanId = parse_hex_id(&r.span_id)?;
+            let parent = match &r.parent_span_id {
+                Some(p) if !p.is_empty() => Some(parse_hex_id(p)?),
+                _ => None,
+            };
+            if r.end_time_unix_nano < r.start_time_unix_nano {
+                return Err(ParseSpanError::NegativeDuration {
+                    span: r.span_id.clone(),
+                });
+            }
+            let status = match r.status_code.as_deref() {
+                Some("STATUS_CODE_ERROR") => StatusCode::Error,
+                Some("STATUS_CODE_OK") => StatusCode::Ok,
+                _ => StatusCode::Unset,
+            };
+            let mut b = Span::builder(trace_id, span_id, r.service_name.clone(), r.name.clone())
+                .kind(parse_otel_kind(&r.kind))
+                .time(
+                    r.start_time_unix_nano / 1_000,
+                    r.end_time_unix_nano / 1_000,
+                )
+                .status(status)
+                .placement(
+                    r.pod_name.clone().unwrap_or_default(),
+                    r.node_name.clone().unwrap_or_default(),
+                );
+            if let Some(p) = parent {
+                b = b.parent(p);
+            }
+            Ok(b.build())
+        })
+        .collect()
+}
+
+/// Parse an OTLP-flavour JSON array into spans.
+///
+/// # Errors
+///
+/// Returns [`ParseSpanError::Json`] for malformed JSON, otherwise as
+/// [`from_otel`].
+pub fn from_otel_json(json: &str) -> Result<Vec<Span>, ParseSpanError> {
+    let records: Vec<OtelSpan> =
+        serde_json::from_str(json).map_err(|e| ParseSpanError::Json(e.to_string()))?;
+    from_otel(&records)
+}
+
+/// Serialise spans as an OTLP-flavour JSON array.
+pub fn to_otel_json(spans: &[Span]) -> String {
+    serde_json::to_string_pretty(&to_otel(spans)).expect("otel records serialise")
+}
+
+// ---------------------------------------------------------------------------
+// Zipkin v2
+// ---------------------------------------------------------------------------
+
+/// Zipkin v2 endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[serde(rename_all = "camelCase")]
+pub struct ZipkinEndpoint {
+    /// Service name.
+    #[serde(default)]
+    pub service_name: String,
+}
+
+/// One Zipkin v2 span.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "camelCase")]
+pub struct ZipkinSpan {
+    /// Trace id, hex.
+    pub trace_id: String,
+    /// Span id, hex.
+    pub id: String,
+    /// Parent span id, hex.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent_id: Option<String>,
+    /// Operation name.
+    pub name: String,
+    /// `CLIENT` / `SERVER` / `PRODUCER` / `CONSUMER`.
+    #[serde(default)]
+    pub kind: Option<String>,
+    /// Start, Unix microseconds.
+    pub timestamp: u64,
+    /// Duration, microseconds.
+    pub duration: u64,
+    /// Local endpoint (service).
+    #[serde(default)]
+    pub local_endpoint: ZipkinEndpoint,
+    /// Tags; `error` marks failures, `k8s.pod`/`k8s.node` carry
+    /// placement.
+    #[serde(default)]
+    pub tags: std::collections::BTreeMap<String, String>,
+}
+
+/// Export spans in Zipkin v2 format.
+pub fn to_zipkin(spans: &[Span]) -> Vec<ZipkinSpan> {
+    spans
+        .iter()
+        .map(|s| {
+            let mut tags = std::collections::BTreeMap::new();
+            if s.is_error() {
+                tags.insert("error".to_string(), "true".to_string());
+            }
+            if !s.pod.is_empty() {
+                tags.insert("k8s.pod".to_string(), s.pod.clone());
+            }
+            if !s.node.is_empty() {
+                tags.insert("k8s.node".to_string(), s.node.clone());
+            }
+            ZipkinSpan {
+                trace_id: hex16(s.trace_id),
+                id: hex16(s.span_id),
+                parent_id: s.parent_span_id.map(hex16),
+                name: s.name.clone(),
+                kind: Some(
+                    match s.kind {
+                        SpanKind::Client => "CLIENT",
+                        SpanKind::Server => "SERVER",
+                        SpanKind::Producer => "PRODUCER",
+                        SpanKind::Consumer => "CONSUMER",
+                        SpanKind::Internal => "INTERNAL",
+                    }
+                    .to_string(),
+                ),
+                timestamp: s.start_us,
+                duration: s.duration_us(),
+                local_endpoint: ZipkinEndpoint {
+                    service_name: s.service.clone(),
+                },
+                tags,
+            }
+        })
+        .collect()
+}
+
+/// Import Zipkin v2 spans.
+///
+/// # Errors
+///
+/// Returns [`ParseSpanError`] for malformed ids.
+pub fn from_zipkin(records: &[ZipkinSpan]) -> Result<Vec<Span>, ParseSpanError> {
+    records
+        .iter()
+        .map(|r| {
+            let trace_id = parse_hex_id(&r.trace_id)?;
+            let span_id = parse_hex_id(&r.id)?;
+            let kind = match r.kind.as_deref() {
+                Some("CLIENT") => SpanKind::Client,
+                Some("PRODUCER") => SpanKind::Producer,
+                Some("CONSUMER") => SpanKind::Consumer,
+                Some("INTERNAL") => SpanKind::Internal,
+                _ => SpanKind::Server,
+            };
+            let status = if r.tags.get("error").is_some() {
+                StatusCode::Error
+            } else {
+                StatusCode::Ok
+            };
+            let mut b = Span::builder(
+                trace_id,
+                span_id,
+                r.local_endpoint.service_name.clone(),
+                r.name.clone(),
+            )
+            .kind(kind)
+            .time(r.timestamp, r.timestamp + r.duration)
+            .status(status)
+            .placement(
+                r.tags.get("k8s.pod").cloned().unwrap_or_default(),
+                r.tags.get("k8s.node").cloned().unwrap_or_default(),
+            );
+            if let Some(p) = &r.parent_id {
+                b = b.parent(parse_hex_id(p)?);
+            }
+            Ok(b.build())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Jaeger (jaeger-ui JSON flavour)
+// ---------------------------------------------------------------------------
+
+/// Jaeger span reference.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "camelCase")]
+pub struct JaegerRef {
+    /// Reference type (`CHILD_OF`).
+    pub ref_type: String,
+    /// Referenced span id, hex.
+    #[serde(rename = "spanID")]
+    pub span_id: String,
+}
+
+/// Jaeger key/value tag (string and bool values only).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JaegerTag {
+    /// Tag key.
+    pub key: String,
+    /// Tag value rendered as a string.
+    pub value: String,
+}
+
+/// One Jaeger span (jaeger-ui JSON flavour; `process` flattened to a
+/// service name).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "camelCase")]
+pub struct JaegerSpan {
+    /// Trace id, hex.
+    #[serde(rename = "traceID")]
+    pub trace_id: String,
+    /// Span id, hex.
+    #[serde(rename = "spanID")]
+    pub span_id: String,
+    /// Operation name.
+    pub operation_name: String,
+    /// Parent references.
+    #[serde(default)]
+    pub references: Vec<JaegerRef>,
+    /// Start, Unix microseconds.
+    pub start_time: u64,
+    /// Duration, microseconds.
+    pub duration: u64,
+    /// Service name (flattened process).
+    pub service_name: String,
+    /// Tags (`span.kind`, `error`, `k8s.pod`, `k8s.node`).
+    #[serde(default)]
+    pub tags: Vec<JaegerTag>,
+}
+
+/// Export spans in the Jaeger flavour.
+pub fn to_jaeger(spans: &[Span]) -> Vec<JaegerSpan> {
+    spans
+        .iter()
+        .map(|s| {
+            let mut tags = vec![JaegerTag {
+                key: "span.kind".into(),
+                value: s.kind.to_string(),
+            }];
+            if s.is_error() {
+                tags.push(JaegerTag {
+                    key: "error".into(),
+                    value: "true".into(),
+                });
+            }
+            if !s.pod.is_empty() {
+                tags.push(JaegerTag {
+                    key: "k8s.pod".into(),
+                    value: s.pod.clone(),
+                });
+            }
+            if !s.node.is_empty() {
+                tags.push(JaegerTag {
+                    key: "k8s.node".into(),
+                    value: s.node.clone(),
+                });
+            }
+            JaegerSpan {
+                trace_id: hex16(s.trace_id),
+                span_id: hex16(s.span_id),
+                operation_name: s.name.clone(),
+                references: s
+                    .parent_span_id
+                    .map(|p| {
+                        vec![JaegerRef {
+                            ref_type: "CHILD_OF".into(),
+                            span_id: hex16(p),
+                        }]
+                    })
+                    .unwrap_or_default(),
+                start_time: s.start_us,
+                duration: s.duration_us(),
+                service_name: s.service.clone(),
+                tags,
+            }
+        })
+        .collect()
+}
+
+/// Import Jaeger-flavour spans.
+///
+/// # Errors
+///
+/// Returns [`ParseSpanError`] for malformed ids.
+pub fn from_jaeger(records: &[JaegerSpan]) -> Result<Vec<Span>, ParseSpanError> {
+    records
+        .iter()
+        .map(|r| {
+            let trace_id = parse_hex_id(&r.trace_id)?;
+            let span_id = parse_hex_id(&r.span_id)?;
+            let tag = |k: &str| r.tags.iter().find(|t| t.key == k).map(|t| t.value.as_str());
+            let kind = match tag("span.kind") {
+                Some("client") => SpanKind::Client,
+                Some("producer") => SpanKind::Producer,
+                Some("consumer") => SpanKind::Consumer,
+                Some("internal") => SpanKind::Internal,
+                _ => SpanKind::Server,
+            };
+            let status = if tag("error") == Some("true") {
+                StatusCode::Error
+            } else {
+                StatusCode::Ok
+            };
+            let mut b = Span::builder(trace_id, span_id, r.service_name.clone(), r.operation_name.clone())
+                .kind(kind)
+                .time(r.start_time, r.start_time + r.duration)
+                .status(status)
+                .placement(
+                    tag("k8s.pod").unwrap_or_default(),
+                    tag("k8s.node").unwrap_or_default(),
+                );
+            if let Some(parent) = r
+                .references
+                .iter()
+                .find(|rf| rf.ref_type == "CHILD_OF")
+            {
+                b = b.parent(parse_hex_id(&parent.span_id)?);
+            }
+            Ok(b.build())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn sample() -> Vec<Span> {
+        vec![
+            Span::builder(0xabc, 1, "frontend", "GET /")
+                .kind(SpanKind::Server)
+                .time(1_000, 9_000)
+                .status(StatusCode::Ok)
+                .placement("frontend-0", "node-2")
+                .build(),
+            Span::builder(0xabc, 2, "db", "query")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(2_000, 7_000)
+                .status(StatusCode::Error)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn otel_roundtrip() {
+        let spans = sample();
+        let back = from_otel(&to_otel(&spans)).unwrap();
+        assert_eq!(back, spans);
+        // JSON path too.
+        let back2 = from_otel_json(&to_otel_json(&spans)).unwrap();
+        assert_eq!(back2, spans);
+    }
+
+    #[test]
+    fn zipkin_roundtrip() {
+        let spans = sample();
+        let back = from_zipkin(&to_zipkin(&spans)).unwrap();
+        // Zipkin has no Unset status; Ok survives, Error survives.
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn jaeger_roundtrip() {
+        let spans = sample();
+        let back = from_jaeger(&to_jaeger(&spans)).unwrap();
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn imported_spans_assemble() {
+        let spans = from_otel(&to_otel(&sample())).unwrap();
+        let trace = Trace::assemble(spans).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.max_depth(), 1);
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        let mut rec = to_otel(&sample());
+        rec[0].trace_id = "not-hex".into();
+        assert!(matches!(
+            from_otel(&rec),
+            Err(ParseSpanError::BadId(_))
+        ));
+    }
+
+    #[test]
+    fn long_ids_truncate_to_low_64_bits() {
+        assert_eq!(
+            parse_hex_id("0123456789abcdef0000000000000042").unwrap(),
+            0x42
+        );
+    }
+
+    #[test]
+    fn inverted_interval_rejected() {
+        let mut rec = to_otel(&sample());
+        rec[0].end_time_unix_nano = rec[0].start_time_unix_nano - 1;
+        assert!(matches!(
+            from_otel(&rec),
+            Err(ParseSpanError::NegativeDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_parent_means_root() {
+        let rec = to_otel(&sample());
+        let spans = from_otel(&rec).unwrap();
+        assert_eq!(spans[0].parent_span_id, None);
+        assert_eq!(spans[1].parent_span_id, Some(1));
+    }
+
+    #[test]
+    fn otel_json_parse_error_is_reported() {
+        assert!(matches!(
+            from_otel_json("{not json"),
+            Err(ParseSpanError::Json(_))
+        ));
+    }
+}

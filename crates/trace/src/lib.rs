@@ -1,0 +1,53 @@
+//! Span and trace data model for Sleuth.
+//!
+//! This crate implements the OpenTelemetry-subset data model the paper's
+//! feature-engineering pipeline consumes (§3.2 of the Sleuth paper):
+//! spans carrying `service`, `name`, `kind`, timestamps and a status code,
+//! assembled into per-request trace trees via `spanId`/`parentSpanId`.
+//!
+//! It also implements the two trace-level derived features the paper
+//! introduces:
+//!
+//! * **exclusive duration** — the total time a span does *not* overlap any
+//!   of its child spans ([`exclusive::exclusive_durations`]), and
+//! * **exclusive error** — whether a span has an error of its own rather
+//!   than one propagated from its children
+//!   ([`exclusive::exclusive_errors`]),
+//!
+//! plus the global duration transform (log10 then standardisation with
+//! μ = 4.0, σ = 1.0, [`transform::scale_duration`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sleuth_trace::{Span, SpanKind, StatusCode, Trace};
+//!
+//! # fn main() -> Result<(), sleuth_trace::AssembleTraceError> {
+//! let spans = vec![
+//!     Span::builder(1, 1, "frontend", "GET /home")
+//!         .kind(SpanKind::Server)
+//!         .time(0, 1_000)
+//!         .build(),
+//!     Span::builder(1, 2, "backend", "query")
+//!         .parent(1)
+//!         .kind(SpanKind::Client)
+//!         .time(100, 700)
+//!         .build(),
+//! ];
+//! let trace = Trace::assemble(spans)?;
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.span(trace.root()).service, "frontend");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assembly;
+pub mod exclusive;
+pub mod formats;
+pub mod span;
+pub mod trace;
+pub mod transform;
+
+pub use assembly::AssembleTraceError;
+pub use span::{Span, SpanBuilder, SpanId, SpanKind, StatusCode, TraceId};
+pub use trace::{SpanIdx, Trace};

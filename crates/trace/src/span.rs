@@ -1,0 +1,307 @@
+//! The [`Span`] type and its identifiers.
+//!
+//! A span records one operation (an RPC leg or a local function call) with
+//! the subset of OpenTelemetry attributes Sleuth's feature selection keeps
+//! (§3.2.1): `service`, `name`, `kind`, `start`, `end` and `statusCode`.
+//! `spanId`/`parentSpanId` are retained for trace reconstruction only and
+//! never used as model features.
+
+use std::fmt;
+
+/// Unique identifier of a trace (one end-to-end request).
+pub type TraceId = u64;
+
+/// Unique identifier of a span within a trace.
+pub type SpanId = u64;
+
+/// The role a span plays in an RPC, per the OpenTelemetry convention.
+///
+/// Synchronous RPCs produce a `Client`/`Server` pair, asynchronous
+/// messages a `Producer`/`Consumer` pair, and local function calls an
+/// `Internal` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum SpanKind {
+    /// Outbound leg of a synchronous RPC.
+    Client,
+    /// Inbound leg of a synchronous RPC.
+    #[default]
+    Server,
+    /// Publishing side of an asynchronous message.
+    Producer,
+    /// Consuming side of an asynchronous message.
+    Consumer,
+    /// A local (in-process) operation.
+    Internal,
+}
+
+impl SpanKind {
+    /// All kinds, in a stable order (useful for encoding as one-hot).
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::Client,
+        SpanKind::Server,
+        SpanKind::Producer,
+        SpanKind::Consumer,
+        SpanKind::Internal,
+    ];
+
+    /// Stable index of this kind in [`SpanKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SpanKind::Client => 0,
+            SpanKind::Server => 1,
+            SpanKind::Producer => 2,
+            SpanKind::Consumer => 3,
+            SpanKind::Internal => 4,
+        }
+    }
+
+    /// Whether this span represents the *calling* side of an interaction
+    /// (used by the counterfactual RCA's service affiliation rule, §3.5).
+    pub fn is_caller(self) -> bool {
+        matches!(self, SpanKind::Client | SpanKind::Producer)
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpanKind::Client => "client",
+            SpanKind::Server => "server",
+            SpanKind::Producer => "producer",
+            SpanKind::Consumer => "consumer",
+            SpanKind::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Span status per the OpenTelemetry convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StatusCode {
+    /// Status was not explicitly set; treated as success.
+    #[default]
+    Unset,
+    /// The operation completed successfully.
+    Ok,
+    /// The operation failed.
+    Error,
+}
+
+impl StatusCode {
+    /// Whether this status indicates a failure.
+    pub fn is_error(self) -> bool {
+        matches!(self, StatusCode::Error)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusCode::Unset => "unset",
+            StatusCode::Ok => "ok",
+            StatusCode::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operation in a distributed trace.
+///
+/// Timestamps are in microseconds from an arbitrary per-trace epoch; only
+/// differences are meaningful. `end` is always ≥ `start` (enforced by the
+/// [`SpanBuilder`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: TraceId,
+    /// Unique span id within the trace.
+    pub span_id: SpanId,
+    /// Parent span id, or `None` for the root span.
+    pub parent_span_id: Option<SpanId>,
+    /// Name of the service that recorded the span.
+    pub service: String,
+    /// Operation name (e.g. `GET /cart`, `redis.get`).
+    pub name: String,
+    /// RPC role of the span.
+    pub kind: SpanKind,
+    /// Start timestamp in microseconds.
+    pub start_us: u64,
+    /// End timestamp in microseconds.
+    pub end_us: u64,
+    /// Completion status.
+    pub status: StatusCode,
+    /// Identity of the pod the service instance ran on (for root-cause
+    /// instance reporting at pod granularity).
+    pub pod: String,
+    /// Identity of the node the pod ran on.
+    pub node: String,
+}
+
+impl Span {
+    /// Start building a span with the required identity fields.
+    pub fn builder(
+        trace_id: TraceId,
+        span_id: SpanId,
+        service: impl Into<String>,
+        name: impl Into<String>,
+    ) -> SpanBuilder {
+        SpanBuilder {
+            trace_id,
+            span_id,
+            parent_span_id: None,
+            service: service.into(),
+            name: name.into(),
+            kind: SpanKind::default(),
+            start_us: 0,
+            end_us: 0,
+            status: StatusCode::default(),
+            pod: String::new(),
+            node: String::new(),
+        }
+    }
+
+    /// Wall-clock duration of the span in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+
+    /// Whether the span failed.
+    pub fn is_error(&self) -> bool {
+        self.status.is_error()
+    }
+}
+
+/// Builder for [`Span`] (see [`Span::builder`]).
+#[derive(Debug, Clone)]
+pub struct SpanBuilder {
+    trace_id: TraceId,
+    span_id: SpanId,
+    parent_span_id: Option<SpanId>,
+    service: String,
+    name: String,
+    kind: SpanKind,
+    start_us: u64,
+    end_us: u64,
+    status: StatusCode,
+    pod: String,
+    node: String,
+}
+
+impl SpanBuilder {
+    /// Set the parent span id. Omitting this marks the span as a root.
+    pub fn parent(mut self, parent: SpanId) -> Self {
+        self.parent_span_id = Some(parent);
+        self
+    }
+
+    /// Set the span kind.
+    pub fn kind(mut self, kind: SpanKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Set start and end timestamps (microseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn time(mut self, start_us: u64, end_us: u64) -> Self {
+        assert!(
+            end_us >= start_us,
+            "span end ({end_us}) must not precede start ({start_us})"
+        );
+        self.start_us = start_us;
+        self.end_us = end_us;
+        self
+    }
+
+    /// Set the status code.
+    pub fn status(mut self, status: StatusCode) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// Set the pod and node the span's service instance ran on.
+    pub fn placement(mut self, pod: impl Into<String>, node: impl Into<String>) -> Self {
+        self.pod = pod.into();
+        self.node = node.into();
+        self
+    }
+
+    /// Finish building the span.
+    pub fn build(self) -> Span {
+        Span {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_span_id: self.parent_span_id,
+            service: self.service,
+            name: self.name,
+            kind: self.kind,
+            start_us: self.start_us,
+            end_us: self.end_us,
+            status: self.status,
+            pod: self.pod,
+            node: self.node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_span() {
+        let s = Span::builder(7, 9, "cart", "POST /cart")
+            .parent(3)
+            .kind(SpanKind::Client)
+            .time(10, 40)
+            .status(StatusCode::Error)
+            .placement("cart-0", "node-1")
+            .build();
+        assert_eq!(s.trace_id, 7);
+        assert_eq!(s.span_id, 9);
+        assert_eq!(s.parent_span_id, Some(3));
+        assert_eq!(s.duration_us(), 30);
+        assert!(s.is_error());
+        assert_eq!(s.pod, "cart-0");
+        assert_eq!(s.node, "node-1");
+    }
+
+    #[test]
+    fn default_span_is_root_server_ok() {
+        let s = Span::builder(1, 1, "svc", "op").build();
+        assert_eq!(s.parent_span_id, None);
+        assert_eq!(s.kind, SpanKind::Server);
+        assert!(!s.is_error());
+        assert_eq!(s.duration_us(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede")]
+    fn time_rejects_inverted_interval() {
+        let _ = Span::builder(1, 1, "svc", "op").time(10, 5);
+    }
+
+    #[test]
+    fn kind_indices_are_consistent_with_all() {
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn caller_kinds() {
+        assert!(SpanKind::Client.is_caller());
+        assert!(SpanKind::Producer.is_caller());
+        assert!(!SpanKind::Server.is_caller());
+        assert!(!SpanKind::Consumer.is_caller());
+        assert!(!SpanKind::Internal.is_caller());
+    }
+
+    #[test]
+    fn display_forms_are_lowercase() {
+        assert_eq!(SpanKind::Client.to_string(), "client");
+        assert_eq!(StatusCode::Error.to_string(), "error");
+    }
+}

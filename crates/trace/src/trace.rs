@@ -1,0 +1,257 @@
+//! The assembled [`Trace`] tree.
+
+use crate::assembly::{self, AssembleTraceError};
+use crate::span::{Span, TraceId};
+
+/// Index of a span within a [`Trace`] (position in [`Trace::spans`]).
+pub type SpanIdx = usize;
+
+/// An assembled trace: the spans of one request arranged as a tree.
+///
+/// Spans are stored in topological order (parents before children), with
+/// children of each span sorted by start time. The tree mirrors the RPC
+/// dependency graph of the request, which Sleuth uses directly as the
+/// structure of its causal Bayesian network (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    spans: Vec<Span>,
+    parent: Vec<Option<SpanIdx>>,
+    children: Vec<Vec<SpanIdx>>,
+    depth: Vec<usize>,
+    root: SpanIdx,
+}
+
+impl Trace {
+    /// Assemble a trace from an unordered batch of spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleTraceError`] if the spans do not form a single
+    /// well-formed tree (empty input, no root, several roots, duplicate
+    /// span ids, dangling parents, mixed trace ids, or a parent cycle).
+    pub fn assemble(spans: Vec<Span>) -> Result<Self, AssembleTraceError> {
+        assembly::assemble(spans)
+    }
+
+    /// Construct directly from pre-validated parts (used by assembly).
+    pub(crate) fn from_parts(
+        spans: Vec<Span>,
+        parent: Vec<Option<SpanIdx>>,
+        children: Vec<Vec<SpanIdx>>,
+        depth: Vec<usize>,
+        root: SpanIdx,
+    ) -> Self {
+        Trace {
+            spans,
+            parent,
+            children,
+            depth,
+            root,
+        }
+    }
+
+    /// Trace id shared by every span.
+    pub fn trace_id(&self) -> TraceId {
+        self.spans[self.root].trace_id
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace contains no spans. Always false for a trace that
+    /// assembled successfully, but provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Index of the root span.
+    pub fn root(&self) -> SpanIdx {
+        self.root
+    }
+
+    /// The span at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn span(&self, idx: SpanIdx) -> &Span {
+        &self.spans[idx]
+    }
+
+    /// All spans in topological order (parents before children).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Parent index of `idx`, or `None` for the root.
+    pub fn parent(&self, idx: SpanIdx) -> Option<SpanIdx> {
+        self.parent[idx]
+    }
+
+    /// Children of `idx`, sorted by start time.
+    pub fn children(&self, idx: SpanIdx) -> &[SpanIdx] {
+        &self.children[idx]
+    }
+
+    /// Depth of `idx` (root has depth 0).
+    pub fn depth(&self, idx: SpanIdx) -> usize {
+        self.depth[idx]
+    }
+
+    /// Maximum depth over all spans (root-only trace has depth 0).
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of children of any span.
+    pub fn max_out_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// End-to-end duration of the request (root span duration), µs.
+    pub fn total_duration_us(&self) -> u64 {
+        self.spans[self.root].duration_us()
+    }
+
+    /// Whether the request as a whole failed (root span errored).
+    pub fn is_error(&self) -> bool {
+        self.spans[self.root].is_error()
+    }
+
+    /// Iterate over `(index, span)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (SpanIdx, &Span)> {
+        self.spans.iter().enumerate()
+    }
+
+    /// Indices of spans in the subtree rooted at `idx` (including `idx`),
+    /// in depth-first order.
+    pub fn subtree(&self, idx: SpanIdx) -> Vec<SpanIdx> {
+        let mut out = Vec::new();
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            for &c in self.children(i).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The ancestor chain of `idx` from its parent up to the root.
+    pub fn ancestors(&self, idx: SpanIdx) -> Vec<SpanIdx> {
+        let mut out = Vec::new();
+        let mut cur = self.parent[idx];
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent[p];
+        }
+        out
+    }
+
+    /// Distinct service names appearing in the trace, in first-seen order.
+    pub fn services(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for s in &self.spans {
+            if !seen.contains(&s.service.as_str()) {
+                seen.push(s.service.as_str());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::{Span, SpanKind, StatusCode};
+    use crate::Trace;
+
+    /// Build the paper's Figure-2 example: parent P with two overlapping
+    /// children A and B.
+    pub(crate) fn figure2_trace() -> Trace {
+        // P spans [0, 100]; A spans [10, 60]; B spans [40, 80].
+        let spans = vec![
+            Span::builder(1, 1, "p", "P")
+                .kind(SpanKind::Server)
+                .time(0, 100)
+                .build(),
+            Span::builder(1, 2, "a", "A")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(10, 60)
+                .build(),
+            Span::builder(1, 3, "b", "B")
+                .parent(1)
+                .kind(SpanKind::Client)
+                .time(40, 80)
+                .build(),
+        ];
+        Trace::assemble(spans).unwrap()
+    }
+
+    #[test]
+    fn topology_accessors() {
+        let t = figure2_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(0).len(), 2);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.max_depth(), 1);
+        assert_eq!(t.max_out_degree(), 2);
+        assert_eq!(t.total_duration_us(), 100);
+        assert!(!t.is_error());
+    }
+
+    #[test]
+    fn children_sorted_by_start_time() {
+        let t = figure2_trace();
+        let kids = t.children(t.root());
+        assert!(t.span(kids[0]).start_us <= t.span(kids[1]).start_us);
+        assert_eq!(t.span(kids[0]).name, "A");
+    }
+
+    #[test]
+    fn subtree_and_ancestors() {
+        let t = figure2_trace();
+        assert_eq!(t.subtree(t.root()).len(), 3);
+        assert_eq!(t.subtree(1), vec![1]);
+        assert_eq!(t.ancestors(1), vec![0]);
+        assert!(t.ancestors(0).is_empty());
+    }
+
+    #[test]
+    fn services_deduplicated_in_order() {
+        let t = figure2_trace();
+        assert_eq!(t.services(), vec!["p", "a", "b"]);
+    }
+
+    #[test]
+    fn error_propagates_to_trace_status() {
+        let spans = vec![Span::builder(9, 1, "s", "op")
+            .time(0, 5)
+            .status(StatusCode::Error)
+            .build()];
+        let t = Trace::assemble(spans).unwrap();
+        assert!(t.is_error());
+        assert_eq!(t.trace_id(), 9);
+    }
+
+    #[test]
+    fn deep_chain_depths() {
+        let mut spans = vec![Span::builder(1, 1, "s0", "op0").time(0, 100).build()];
+        for i in 1..5u64 {
+            spans.push(
+                Span::builder(1, i + 1, format!("s{i}"), format!("op{i}"))
+                    .parent(i)
+                    .time(i * 10, 100 - i * 10)
+                    .build(),
+            );
+        }
+        let t = Trace::assemble(spans).unwrap();
+        assert_eq!(t.max_depth(), 4);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.max_out_degree(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Span duration transformation (§3.2.2).
+//!
+//! Span durations are extremely heavy-tailed (the paper's Figure 3 shows
+//! the top 1% of spans reaching >165,000× the minimum duration). Sleuth
+//! therefore scales durations with a base-10 logarithm and standardises
+//! with a *global* mean of 4.0 and standard deviation of 1.0 — global so
+//! that a model trained on one dataset applies to any other without
+//! rescaling.
+
+/// Global mean used for standardisation (paper value: 4.0, i.e. 10 ms
+/// when durations are microseconds).
+pub const GLOBAL_LOG_MEAN: f32 = 4.0;
+
+/// Global standard deviation used for standardisation (paper value: 1.0).
+pub const GLOBAL_LOG_STD: f32 = 1.0;
+
+/// Scale a duration in microseconds into model space:
+/// `(log10(max(d, 1)) − 4.0) / 1.0`.
+///
+/// Zero durations are clamped to 1 µs before the logarithm.
+pub fn scale_duration(duration_us: u64) -> f32 {
+    let d = duration_us.max(1) as f32;
+    (d.log10() - GLOBAL_LOG_MEAN) / GLOBAL_LOG_STD
+}
+
+/// Invert [`scale_duration`], returning microseconds.
+///
+/// This is the paper's `a' = 10^(σ·a + μ)` un-scaling used inside the
+/// GNN's duration decoder (Eq. 2).
+pub fn unscale_duration(scaled: f32) -> f32 {
+    10f32.powf(GLOBAL_LOG_STD * scaled + GLOBAL_LOG_MEAN)
+}
+
+/// Scale a raw f32 duration (µs) already converted from integer space.
+pub fn scale_duration_f32(duration_us: f32) -> f32 {
+    (duration_us.max(1.0).log10() - GLOBAL_LOG_MEAN) / GLOBAL_LOG_STD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_milliseconds_maps_to_zero() {
+        // 10^4 µs = 10 ms is the global mean.
+        assert!((scale_duration(10_000)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decade_steps_are_unit_steps() {
+        assert!((scale_duration(100_000) - 1.0).abs() < 1e-6);
+        assert!((scale_duration(1_000) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_clamped() {
+        assert_eq!(scale_duration(0), scale_duration(1));
+        assert!((scale_duration(0) + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_within_tolerance() {
+        for &d in &[1u64, 10, 1_000, 10_000, 5_000_000] {
+            let back = unscale_duration(scale_duration(d));
+            let rel = (back - d as f32).abs() / d as f32;
+            assert!(rel < 1e-3, "d={d} back={back}");
+        }
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut prev = f32::NEG_INFINITY;
+        for d in [1u64, 2, 10, 100, 10_000, 1_000_000] {
+            let s = scale_duration(d);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn f32_variant_matches_integer_variant() {
+        for &d in &[1u64, 500, 123_456] {
+            assert!((scale_duration(d) - scale_duration_f32(d as f32)).abs() < 1e-6);
+        }
+    }
+}

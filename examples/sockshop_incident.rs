@@ -1,0 +1,104 @@
+//! Incident walkthrough on the SockShop benchmark: a payment-service
+//! CPU fault degrades `POST /orders`; Sleuth clusters the anomalous
+//! traces, analyses one representative per cluster, and names the
+//! culprit — compared against the SRE rule of thumb.
+//!
+//! ```text
+//! cargo run --release --example sockshop_incident
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth::baselines::common::RootCauseLocator;
+use sleuth::baselines::MaxDuration;
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::synth::chaos::{Fault, FaultKind, FaultPlan, FaultTarget};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::synth::Simulator;
+
+fn main() {
+    let app = presets::sockshop();
+    println!(
+        "SockShop: {} services, {} RPC sites, largest flow = {} ({} spans)",
+        app.num_services(),
+        app.num_rpcs(),
+        app.flows[0].name,
+        app.flows[0].span_count()
+    );
+
+    // Train on healthy traffic.
+    let train = CorpusBuilder::new(&app).seed(11).normal_traces(300).plain_traces();
+    println!("training Sleuth on {} healthy traces…", train.len());
+    let sleuth = SleuthPipeline::fit(&train, &PipelineConfig::default());
+
+    // The incident: CPU saturation on every payment pod.
+    let payment = app
+        .services
+        .iter()
+        .position(|s| s.name == "payment")
+        .expect("sockshop has a payment service");
+    let plan = FaultPlan {
+        faults: (0..app.services[payment].pods.len())
+            .map(|pod| Fault {
+                kind: FaultKind::CpuStress,
+                target: FaultTarget::Pod {
+                    service: payment,
+                    pod,
+                },
+                severity: 25.0,
+            })
+            .collect(),
+    };
+    println!("\ninjecting CPU stress on payment ({} pods)…", plan.faults.len());
+
+    // Drive traffic through the faulted system; keep the slow traces.
+    let sim = Simulator::new(&app);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut anomalous = Vec::new();
+    for i in 0..200 {
+        let flow = sim.pick_flow(&mut rng);
+        let st = sim.simulate(flow, &plan, 10_000 + i, &mut rng);
+        if sleuth.detector().is_anomalous(&st.trace) && !st.ground_truth.is_empty() {
+            anomalous.push(st.trace);
+        }
+    }
+    println!("collected {} SLO-violating traces", anomalous.len());
+
+    // Clustered RCA: one model inference per cluster representative.
+    let verdicts = sleuth.analyze(&anomalous);
+    let reps: Vec<&sleuth::core::pipeline::RcaResult> =
+        verdicts.iter().filter(|v| v.representative).collect();
+    println!(
+        "clustering reduced {} traces to {} RCA inferences:",
+        anomalous.len(),
+        reps.len()
+    );
+    for v in &reps {
+        println!(
+            "  cluster {:?}: root cause {:?}",
+            v.cluster, v.services
+        );
+    }
+
+    // The rule of thumb, for contrast.
+    let max_rule = MaxDuration::new();
+    let mut sleuth_hits = 0;
+    let mut max_hits = 0;
+    for (t, v) in anomalous.iter().zip(&verdicts) {
+        if v.services.iter().any(|s| s == "payment") {
+            sleuth_hits += 1;
+        }
+        if max_rule.localize(t).iter().any(|s| s == "payment") {
+            max_hits += 1;
+        }
+    }
+    println!(
+        "\nblamed payment: Sleuth {}/{} traces, max-duration rule {}/{}",
+        sleuth_hits,
+        anomalous.len(),
+        max_hits,
+        anomalous.len()
+    );
+}

@@ -1,0 +1,111 @@
+//! Transfer learning (§6.5): pre-train Sleuth on one application, then
+//! apply it to a different one — zero-shot and with few-shot
+//! fine-tuning — using the model registry's lifecycle.
+//!
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use std::collections::BTreeSet;
+
+use sleuth::baselines::common::RootCauseLocator;
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::core::ModelRegistry;
+use sleuth::eval::EvalAccumulator;
+use sleuth::gnn::{EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+
+fn accuracy(pipeline: &SleuthPipeline, queries: &[sleuth::synth::workload::AnomalyQuery]) -> f64 {
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        for st in &q.traces {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            let pred = pipeline.localize(&st.trace);
+            acc.add_query(&pred, &truth);
+        }
+    }
+    acc.accuracy()
+}
+
+fn main() {
+    let mut featurizer = Featurizer::new(ModelConfig::default().sem_dim);
+    let mut registry = ModelRegistry::new();
+
+    // Pre-train on a synthetic 64-RPC application.
+    let source = presets::synthetic(64, 5);
+    let source_corpus = CorpusBuilder::new(&source)
+        .seed(50)
+        .normal_traces(300)
+        .plain_traces();
+    println!("pre-training on {} ({} traces)…", source.name, source_corpus.len());
+    let encoded: Vec<EncodedTrace> = source_corpus.iter().map(|t| featurizer.encode(t)).collect();
+    let mut pretrained = SleuthModel::new(&ModelConfig::default(), 1);
+    let report = pretrained.train(
+        &encoded,
+        &TrainConfig {
+            epochs: 30,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+    );
+    println!("  final loss {:.4} in {:?}", report.final_loss(), report.wall);
+    let v = registry.create("pretrained-syn64", &pretrained);
+
+    // The unseen target: SockShop.
+    let target = presets::sockshop();
+    let builder = CorpusBuilder::new(&target).seed(51);
+    let target_corpus = builder.normal_traces(300).plain_traces();
+    let queries = builder.anomaly_queries(10, 15);
+
+    // Zero-shot: apply the pre-trained model directly.
+    let zero_shot = SleuthPipeline::from_parts(
+        registry.load("pretrained-syn64").expect("registered"),
+        featurizer.clone(),
+        &target_corpus,
+        &PipelineConfig::default(),
+    );
+    println!(
+        "\nzero-shot accuracy on SockShop: {:.3}",
+        accuracy(&zero_shot, &queries)
+    );
+
+    // Few-shot fine-tuning with increasing sample counts.
+    for samples in [50usize, 150, 300] {
+        let mut model = registry.load("pretrained-syn64").expect("registered");
+        let subset: Vec<EncodedTrace> = target_corpus[..samples]
+            .iter()
+            .map(|t| featurizer.encode(t))
+            .collect();
+        let report = model.train(
+            &subset,
+            &TrainConfig {
+                epochs: 10,
+                batch_traces: 32,
+                lr: 5e-3,
+                seed: 2,
+            },
+        );
+        registry.inherit("sockshop", &model, ("pretrained-syn64", v));
+        let tuned = SleuthPipeline::from_parts(
+            model,
+            featurizer.clone(),
+            &target_corpus,
+            &PipelineConfig::default(),
+        );
+        println!(
+            "fine-tuned on {samples:>4} samples ({:>6.2?}): accuracy {:.3}",
+            report.wall,
+            accuracy(&tuned, &queries)
+        );
+    }
+
+    let latest = registry.latest("sockshop").expect("fine-tuned versions exist");
+    println!(
+        "\nregistry: {:?}; sockshop@{} lineage: {:?}",
+        registry.names(),
+        latest.version,
+        registry.lineage("sockshop", latest.version)
+    );
+}

@@ -1,0 +1,293 @@
+//! `sleuth` — command-line interface to the reproduction.
+//!
+//! ```text
+//! sleuth generate --rpcs 64 --seed 7 --out app.json
+//! sleuth preset --name sockshop --out app.json
+//! sleuth simulate --app app.json --traces 100 --format otel --out spans.json
+//! sleuth train --app app.json --traces 300 --epochs 30 --out model.json
+//! sleuth analyze --app app.json --model model.json --queries 10
+//! sleuth experiment table3
+//! sleuth specs
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::eval::experiments::{self, EvalScale};
+use sleuth::eval::EvalAccumulator;
+use sleuth::gnn::{Checkpoint, EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth::synth::generator::{generate_app, GeneratorConfig};
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::synth::{presets, App};
+use sleuth::trace::formats;
+
+/// Minimal `--flag value` argument scanner.
+struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get_usize(&self, flag: &str, default: usize) -> Result<usize, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v:?}")),
+        }
+    }
+
+    fn get_u64(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v:?}")),
+        }
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+}
+
+fn write_or_print(out: Option<&str>, content: &str, what: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {what} to {path}");
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn load_app(args: &Args) -> Result<App, String> {
+    let path = args.get("--app").ok_or("--app <file> is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let app: App = serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    app.validate().map_err(|e| format!("invalid app config: {e}"))?;
+    Ok(app)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let rpcs = args.get_usize("--rpcs", 64)?;
+    let seed = args.get_u64("--seed", 1)?;
+    let app = generate_app(&GeneratorConfig::synthetic(rpcs), seed);
+    eprintln!(
+        "generated {}: {} services, {} RPCs, max {} spans",
+        app.name,
+        app.num_services(),
+        app.num_rpcs(),
+        app.max_spans()
+    );
+    let json = serde_json::to_string_pretty(&app).expect("app serialises");
+    write_or_print(args.get("--out"), &json, "application config")
+}
+
+fn cmd_preset(args: &Args) -> Result<(), String> {
+    let app = match args.get("--name") {
+        Some("sockshop") => presets::sockshop(),
+        Some("socialnetwork") => presets::socialnetwork(),
+        Some(other) => return Err(format!("unknown preset {other:?} (sockshop|socialnetwork)")),
+        None => return Err("--name <sockshop|socialnetwork> is required".into()),
+    };
+    let json = serde_json::to_string_pretty(&app).expect("app serialises");
+    write_or_print(args.get("--out"), &json, "application config")
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let app = load_app(args)?;
+    let n = args.get_usize("--traces", 100)?;
+    let seed = args.get_u64("--seed", 0)?;
+    let corpus = CorpusBuilder::new(&app).seed(seed).normal_traces(n);
+    let spans: Vec<sleuth::trace::Span> = corpus
+        .traces
+        .iter()
+        .flat_map(|t| t.trace.spans().iter().cloned())
+        .collect();
+    eprintln!("simulated {} traces ({} spans)", n, spans.len());
+    let json = match args.get("--format").unwrap_or("otel") {
+        "otel" => formats::to_otel_json(&spans),
+        "zipkin" => serde_json::to_string_pretty(&formats::to_zipkin(&spans))
+            .expect("zipkin records serialise"),
+        "jaeger" => serde_json::to_string_pretty(&formats::to_jaeger(&spans))
+            .expect("jaeger records serialise"),
+        other => return Err(format!("unknown format {other:?} (otel|zipkin|jaeger)")),
+    };
+    write_or_print(args.get("--out"), &json, "spans")
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let app = load_app(args)?;
+    let n = args.get_usize("--traces", 300)?;
+    let epochs = args.get_usize("--epochs", 30)?;
+    let seed = args.get_u64("--seed", 0)?;
+    let corpus = CorpusBuilder::new(&app)
+        .seed(seed)
+        .mixed_traces(n, 10)
+        .plain_traces();
+    let cfg = ModelConfig::default();
+    let mut featurizer = Featurizer::new(cfg.sem_dim);
+    let encoded: Vec<EncodedTrace> = corpus.iter().map(|t| featurizer.encode(t)).collect();
+    let mut model = SleuthModel::new(&cfg, seed);
+    let report = model.train(
+        &encoded,
+        &TrainConfig {
+            epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed,
+        },
+    );
+    eprintln!(
+        "trained {} epochs on {} traces: loss {:.4} -> {:.4} in {:.2?}",
+        epochs,
+        corpus.len(),
+        report.epoch_losses.first().copied().unwrap_or(f32::NAN),
+        report.final_loss(),
+        report.wall
+    );
+    let json = serde_json::to_string(&model.to_checkpoint()).expect("checkpoint serialises");
+    write_or_print(args.get("--out"), &json, "model checkpoint")
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let app = load_app(args)?;
+    let queries_n = args.get_usize("--queries", 10)?;
+    let seed = args.get_u64("--seed", 0)?;
+    let builder = CorpusBuilder::new(&app).seed(seed);
+    let corpus = builder.mixed_traces(300, 10).plain_traces();
+
+    let model = match args.get("--model") {
+        Some(path) => {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let ck: Checkpoint =
+                serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+            SleuthModel::from_checkpoint(&ck)?
+        }
+        None => {
+            eprintln!("no --model given; training from scratch…");
+            let cfg = ModelConfig::default();
+            let mut featurizer = Featurizer::new(cfg.sem_dim);
+            let encoded: Vec<EncodedTrace> =
+                corpus.iter().map(|t| featurizer.encode(t)).collect();
+            let mut m = SleuthModel::new(&cfg, seed);
+            m.train(&encoded, &TrainConfig::default());
+            m
+        }
+    };
+    let featurizer = Featurizer::new(model.config().sem_dim);
+    let pipeline =
+        SleuthPipeline::from_parts(model, featurizer, &corpus, &PipelineConfig::default());
+
+    let queries = builder.anomaly_queries(queries_n, 20);
+    let mut acc = EvalAccumulator::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let verdicts = pipeline.analyze(&traces);
+        for (st, v) in q.traces.iter().zip(&verdicts) {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            acc.add_query(&v.services, &truth);
+            if v.representative {
+                println!(
+                    "query {qi} trace {}: predicted {:?} (injected {:?})",
+                    v.trace_idx, v.services, st.ground_truth.services
+                );
+            }
+        }
+    }
+    println!(
+        "\nF1 {:.3}  ACC {:.3} over {} traces",
+        acc.f1(),
+        acc.accuracy(),
+        acc.queries()
+    );
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let name = args
+        .get("--name")
+        .or_else(|| args.argv.get(1).map(String::as_str))
+        .ok_or("experiment name required (fig1|fig3|fig5|fig6|fig7|fig8|table1|table3)")?;
+    let scale = if args.has("--full") {
+        EvalScale::full()
+    } else {
+        EvalScale::from_env()
+    };
+    let table = match name {
+        "fig1" => experiments::fig1_nsigma(&scale).table(),
+        "fig3" => experiments::fig3_duration_cdf(&scale).table(),
+        "fig5" => experiments::fig5_scaling(&scale).table(),
+        "fig6" => experiments::fig6_updates(&scale).table(),
+        "fig7" => experiments::fig7_transfer(&scale).table(),
+        "fig8" => experiments::fig8_semantics(&scale).table(),
+        "table1" => experiments::table1_specs().table(),
+        "table3" => experiments::table3_accuracy(&scale).table(),
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    println!("{}", table.render());
+    if let Some(path) = args.get("--csv") {
+        table
+            .write_csv(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote CSV to {path}");
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "sleuth — trace-based root cause analysis (Sleuth, ASPLOS 2023 reproduction)
+
+USAGE:
+  sleuth generate  --rpcs N [--seed S] [--out app.json]
+  sleuth preset    --name sockshop|socialnetwork [--out app.json]
+  sleuth simulate  --app app.json [--traces N] [--seed S] [--format otel|zipkin|jaeger] [--out spans.json]
+  sleuth train     --app app.json [--traces N] [--epochs E] [--seed S] [--out model.json]
+  sleuth analyze   --app app.json [--model model.json] [--queries N] [--seed S]
+  sleuth experiment <fig1|fig3|fig5|fig6|fig7|fig8|table1|table3> [--full] [--csv out.csv]
+  sleuth specs
+"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args { argv };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "preset" => cmd_preset(&args),
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "analyze" => cmd_analyze(&args),
+        "experiment" => cmd_experiment(&args),
+        "specs" => {
+            println!("{}", experiments::table1_specs().table().render());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

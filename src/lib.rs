@@ -1,0 +1,58 @@
+//! # Sleuth
+//!
+//! A from-scratch Rust reproduction of *"Sleuth: A Trace-Based Root
+//! Cause Analysis System for Large-Scale Microservices with Graph
+//! Neural Networks"* (Gan et al., ASPLOS 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — OpenTelemetry-subset span/trace model, exclusive
+//!   duration/error features, duration transform,
+//! * [`tensor`] — reverse-mode autodiff engine with graph primitives,
+//! * [`embed`] — deterministic semantic text embeddings,
+//! * [`store`] — columnar trace store with query operators,
+//! * [`synth`] — synthetic microservice generator, simulator, chaos,
+//! * [`cluster`] — weighted-Jaccard trace distance, HDBSCAN,
+//! * [`gnn`] — the trace GNN (Eq. 2–5) with GIN/GCN aggregators,
+//! * [`baselines`] — Max, Threshold, TraceAnomaly, Realtime RCA, Sage,
+//!   DeepTraLog,
+//! * [`core`] — the end-to-end pipeline: detect → cluster → localise,
+//! * [`eval`] — metrics and drivers for every paper table and figure.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+//! use sleuth::synth::presets;
+//! use sleuth::synth::workload::CorpusBuilder;
+//!
+//! // A 16-RPC synthetic application, simulated instead of deployed.
+//! let app = presets::synthetic(16, 1);
+//! let builder = CorpusBuilder::new(&app).seed(7);
+//!
+//! // Train the unsupervised pipeline on healthy traffic…
+//! let train = builder.normal_traces(300).plain_traces();
+//! let sleuth = SleuthPipeline::fit(&train, &PipelineConfig::default());
+//!
+//! // …then localise the root causes of chaos-injected anomalies.
+//! for query in builder.anomaly_queries(5, 20) {
+//!     let traces: Vec<_> = query.traces.iter().map(|t| t.trace.clone()).collect();
+//!     for verdict in sleuth.analyze(&traces) {
+//!         println!(
+//!             "trace #{} (cluster {:?}): root cause {:?}",
+//!             verdict.trace_idx, verdict.cluster, verdict.services
+//!         );
+//!     }
+//! }
+//! ```
+
+pub use sleuth_baselines as baselines;
+pub use sleuth_cluster as cluster;
+pub use sleuth_core as core;
+pub use sleuth_embed as embed;
+pub use sleuth_eval as eval;
+pub use sleuth_gnn as gnn;
+pub use sleuth_store as store;
+pub use sleuth_synth as synth;
+pub use sleuth_tensor as tensor;
+pub use sleuth_trace as trace;

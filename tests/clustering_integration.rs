@@ -1,0 +1,151 @@
+//! Integration of the trace distance metric and HDBSCAN with simulated
+//! failure modes: traces from the same fault episode should cluster
+//! together; different failure modes should separate.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth::cluster::{geometric_median, hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
+use sleuth::synth::chaos::{Fault, FaultKind, FaultPlan, FaultTarget};
+use sleuth::synth::presets;
+use sleuth::synth::Simulator;
+use sleuth::trace::Trace;
+
+/// Simulate `n` traces under a plan.
+fn traces_under(
+    app: &sleuth::synth::App,
+    plan: &FaultPlan,
+    n: usize,
+    seed: u64,
+) -> Vec<Trace> {
+    let sim = Simulator::new(app);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| sim.simulate(0, plan, seed * 10_000 + i as u64, &mut rng).trace)
+        .collect()
+}
+
+fn stress_plan(app: &sleuth::synth::App, service: usize, kind: FaultKind, severity: f64) -> FaultPlan {
+    FaultPlan {
+        faults: (0..app.services[service].pods.len())
+            .map(|pod| Fault {
+                kind,
+                target: FaultTarget::Pod { service, pod },
+                severity,
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn failure_modes_form_separate_clusters() {
+    let app = presets::synthetic(16, 1);
+    // Two very different failure modes on two different services.
+    let svc_a = app.flows[0].nodes[1].service;
+    let svc_b = app.flows[0].nodes[2].service;
+    let plan_a = stress_plan(&app, svc_a, FaultKind::CpuStress, 80.0);
+    let plan_b = stress_plan(&app, svc_b, FaultKind::ErrorInjection, 1.0);
+
+    let mut traces = traces_under(&app, &plan_a, 12, 1);
+    traces.extend(traces_under(&app, &plan_b, 12, 2));
+
+    let encoder = TraceSetEncoder::new(3);
+    let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
+    let dm = DistanceMatrix::from_sets(&sets);
+    let clustering = hdbscan(
+        &dm,
+        &HdbscanParams {
+            min_cluster_size: 5,
+            min_samples: 3,
+            cluster_selection_epsilon: 0.0,
+            allow_single_cluster: false,
+        },
+    );
+    assert!(
+        clustering.n_clusters() >= 2,
+        "two failure modes should separate, got {} clusters",
+        clustering.n_clusters()
+    );
+    // The first failure mode's traces should dominate one cluster.
+    let labels_a: Vec<isize> = clustering.labels[..12]
+        .iter()
+        .copied()
+        .filter(|&l| l >= 0)
+        .collect();
+    let labels_b: Vec<isize> = clustering.labels[12..]
+        .iter()
+        .copied()
+        .filter(|&l| l >= 0)
+        .collect();
+    if let (Some(&la), Some(&lb)) = (labels_a.first(), labels_b.first()) {
+        assert!(labels_a.iter().all(|&l| l == la), "mode A split: {labels_a:?}");
+        assert!(labels_b.iter().all(|&l| l == lb), "mode B split: {labels_b:?}");
+        assert_ne!(la, lb, "modes A and B merged");
+    }
+}
+
+#[test]
+fn representative_is_a_member_of_its_cluster() {
+    let app = presets::synthetic(16, 1);
+    let svc = app.flows[0].nodes[1].service;
+    let plan = stress_plan(&app, svc, FaultKind::CpuStress, 40.0);
+    let traces = traces_under(&app, &plan, 15, 3);
+    let encoder = TraceSetEncoder::new(3);
+    let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
+    let dm = DistanceMatrix::from_sets(&sets);
+    let clustering = hdbscan(
+        &dm,
+        &HdbscanParams {
+            min_cluster_size: 4,
+            min_samples: 2,
+            cluster_selection_epsilon: 0.0,
+            allow_single_cluster: true,
+        },
+    );
+    for c in 0..clustering.n_clusters() as isize {
+        let members = clustering.members(c);
+        let rep = geometric_median(&dm, &members).expect("non-empty cluster");
+        assert!(members.contains(&rep));
+        // The representative minimises total distance within the cluster.
+        let total = |i: usize| -> f64 { members.iter().map(|&j| dm.get(i, j)).sum() };
+        for &m in &members {
+            assert!(total(rep) <= total(m) + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn distance_separates_latency_regimes() {
+    let app = presets::synthetic(16, 1);
+    let svc = app.flows[0].nodes[1].service;
+    let healthy = traces_under(&app, &FaultPlan::healthy(), 8, 4);
+    let slow = traces_under(&app, &stress_plan(&app, svc, FaultKind::CpuStress, 80.0), 8, 5);
+
+    let encoder = TraceSetEncoder::new(3);
+    let h_sets: Vec<_> = healthy.iter().map(|t| encoder.encode(t)).collect();
+    let s_sets: Vec<_> = slow.iter().map(|t| encoder.encode(t)).collect();
+
+    // Mean intra-healthy distance should be below healthy↔slow distance.
+    let mut intra = 0.0;
+    let mut n_intra = 0usize;
+    for i in 0..h_sets.len() {
+        for j in (i + 1)..h_sets.len() {
+            intra += sleuth::cluster::distance::trace_distance(&h_sets[i], &h_sets[j]);
+            n_intra += 1;
+        }
+    }
+    let mut inter = 0.0;
+    let mut n_inter = 0usize;
+    for h in &h_sets {
+        for s in &s_sets {
+            inter += sleuth::cluster::distance::trace_distance(h, s);
+            n_inter += 1;
+        }
+    }
+    let intra = intra / n_intra as f64;
+    let inter = inter / n_inter as f64;
+    assert!(
+        inter > intra,
+        "faulted traces should be farther: intra {intra:.3} vs inter {inter:.3}"
+    );
+}

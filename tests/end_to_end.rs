@@ -1,0 +1,123 @@
+//! End-to-end integration: simulator → pipeline → metrics, spanning
+//! every crate in the workspace.
+
+use std::collections::BTreeSet;
+
+use sleuth::baselines::common::RootCauseLocator;
+use sleuth::baselines::{MaxDuration, RealtimeRca, Threshold};
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::eval::EvalAccumulator;
+use sleuth::gnn::TrainConfig;
+use sleuth::synth::presets;
+use sleuth::synth::workload::{AnomalyQuery, CorpusBuilder};
+
+fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        train: TrainConfig {
+            epochs: 25,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn score(locator: &dyn RootCauseLocator, queries: &[AnomalyQuery]) -> EvalAccumulator {
+    let mut acc = EvalAccumulator::new();
+    for q in queries {
+        for st in &q.traces {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            let pred = locator.localize(&st.trace);
+            acc.add_query(&pred, &truth);
+        }
+    }
+    acc
+}
+
+#[test]
+fn sleuth_beats_rule_based_baselines_end_to_end() {
+    let app = presets::synthetic(16, 1);
+    let builder = CorpusBuilder::new(&app).seed(77);
+    let train = builder.normal_traces(250).plain_traces();
+    let queries = builder.anomaly_queries(12, 15);
+
+    let sleuth = SleuthPipeline::fit(&train, &quick_config());
+    let sleuth_acc = score(&sleuth, &queries);
+
+    let threshold = Threshold::fit(&train);
+    let realtime = RealtimeRca::fit(&train);
+    let max = MaxDuration::new();
+
+    let t_acc = score(&threshold, &queries);
+    let r_acc = score(&realtime, &queries);
+    let m_acc = score(&max, &queries);
+
+    assert!(
+        sleuth_acc.f1() > t_acc.f1(),
+        "sleuth ({:.3}) must beat threshold ({:.3})",
+        sleuth_acc.f1(),
+        t_acc.f1()
+    );
+    assert!(
+        sleuth_acc.f1() > r_acc.f1(),
+        "sleuth ({:.3}) must beat realtime RCA ({:.3})",
+        sleuth_acc.f1(),
+        r_acc.f1()
+    );
+    assert!(
+        sleuth_acc.f1() > m_acc.f1(),
+        "sleuth ({:.3}) must beat max-duration ({:.3})",
+        sleuth_acc.f1(),
+        m_acc.f1()
+    );
+    assert!(
+        sleuth_acc.f1() > 0.6,
+        "sleuth F1 too low: {:.3}",
+        sleuth_acc.f1()
+    );
+}
+
+#[test]
+fn clustering_trades_modest_accuracy_for_fewer_inferences() {
+    let app = presets::synthetic(16, 2);
+    let builder = CorpusBuilder::new(&app).seed(78);
+    let train = builder.normal_traces(250).plain_traces();
+    let queries = builder.anomaly_queries(8, 25);
+    let sleuth = SleuthPipeline::fit(&train, &quick_config());
+
+    let unclustered = score(&sleuth, &queries);
+    let mut clustered = EvalAccumulator::new();
+    let mut reps = 0usize;
+    let mut total = 0usize;
+    for q in &queries {
+        let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let results = sleuth.analyze(&traces);
+        reps += results.iter().filter(|r| r.representative).count();
+        total += results.len();
+        for (st, r) in q.traces.iter().zip(&results) {
+            let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
+            clustered.add_query(&r.services, &truth);
+        }
+    }
+    assert!(reps < total, "clustering saved nothing: {reps}/{total}");
+    // Paper: clustering costs 6.1–9.5% accuracy. Allow a wider band but
+    // insist the cost is bounded.
+    assert!(
+        clustered.f1() > unclustered.f1() - 0.25,
+        "clustering lost too much: {:.3} vs {:.3}",
+        clustered.f1(),
+        unclustered.f1()
+    );
+}
+
+#[test]
+fn pipeline_works_on_hand_built_sockshop() {
+    let app = presets::sockshop();
+    let builder = CorpusBuilder::new(&app).seed(79);
+    let train = builder.normal_traces(250).plain_traces();
+    let queries = builder.anomaly_queries(8, 15);
+    let sleuth = SleuthPipeline::fit(&train, &quick_config());
+    let acc = score(&sleuth, &queries);
+    assert!(acc.f1() > 0.5, "sockshop F1 too low: {:.3}", acc.f1());
+}

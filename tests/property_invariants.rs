@@ -1,0 +1,136 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! generated application, any simulated trace, and any format
+//! round-trip.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth::cluster::{hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
+use sleuth::synth::chaos::{ChaosEngine, FaultPlan};
+use sleuth::synth::generator::{generate_app, GeneratorConfig};
+use sleuth::synth::Simulator;
+use sleuth::trace::{exclusive, formats, SpanKind, Trace};
+
+/// Simulate one trace of a generated app, under an arbitrary fault plan.
+fn simulate(n_rpcs: usize, app_seed: u64, sim_seed: u64, faulty: bool) -> Trace {
+    let app = generate_app(&GeneratorConfig::synthetic(n_rpcs), app_seed);
+    let sim = Simulator::new(&app);
+    let mut rng = ChaCha8Rng::seed_from_u64(sim_seed);
+    let plan = if faulty {
+        ChaosEngine::default().sample_nonempty_plan(&app, &mut rng)
+    } else {
+        FaultPlan::healthy()
+    };
+    sim.simulate(0, &plan, sim_seed, &mut rng).trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every simulated trace is a well-formed tree with sane physics:
+    /// parents precede children, synchronous children nest inside their
+    /// parents, exclusive durations never exceed full durations.
+    #[test]
+    fn prop_simulated_traces_are_physical(
+        app_seed in 0u64..200,
+        sim_seed in 0u64..1000,
+        faulty in any::<bool>(),
+    ) {
+        let trace = simulate(16, app_seed, sim_seed, faulty);
+        prop_assert!(trace.len() >= 1);
+        let ex = exclusive::exclusive_durations(&trace);
+        for (i, span) in trace.iter() {
+            prop_assert!(span.end_us >= span.start_us);
+            prop_assert!(ex[i] <= span.duration_us());
+            if let Some(p) = trace.parent(i) {
+                prop_assert!(p < i, "topological order violated");
+                let ps = trace.span(p);
+                if span.kind != SpanKind::Consumer {
+                    prop_assert!(span.start_us >= ps.start_us);
+                    prop_assert!(span.end_us <= ps.end_us,
+                        "sync span escapes parent: {} [{},{}] vs parent [{},{}]",
+                        span.name, span.start_us, span.end_us, ps.start_us, ps.end_us);
+                }
+            }
+        }
+        // Exclusive errors imply errors.
+        let ee = exclusive::exclusive_errors(&trace);
+        for (i, _) in trace.iter() {
+            if ee[i] {
+                prop_assert!(trace.span(i).is_error());
+            }
+        }
+    }
+
+    /// All three interchange formats round-trip simulated spans exactly.
+    #[test]
+    fn prop_format_roundtrips(app_seed in 0u64..100, sim_seed in 0u64..500) {
+        let trace = simulate(16, app_seed, sim_seed, true);
+        let spans = trace.spans().to_vec();
+        prop_assert_eq!(&formats::from_otel(&formats::to_otel(&spans)).unwrap(), &spans);
+        prop_assert_eq!(&formats::from_zipkin(&formats::to_zipkin(&spans)).unwrap(), &spans);
+        prop_assert_eq!(&formats::from_jaeger(&formats::to_jaeger(&spans)).unwrap(), &spans);
+    }
+
+    /// The trace distance is a bounded semi-metric on simulated traces,
+    /// and identical traces are at distance zero.
+    #[test]
+    fn prop_trace_distance_semimetric(app_seed in 0u64..50, s1 in 0u64..200, s2 in 0u64..200) {
+        let a = simulate(16, app_seed, s1, false);
+        let b = simulate(16, app_seed, s2, true);
+        let enc = TraceSetEncoder::new(3);
+        let (sa, sb) = (enc.encode(&a), enc.encode(&b));
+        let d_ab = sleuth::cluster::distance::trace_distance(&sa, &sb);
+        let d_ba = sleuth::cluster::distance::trace_distance(&sb, &sa);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert_eq!(sleuth::cluster::distance::trace_distance(&sa, &sa), 0.0);
+    }
+
+    /// HDBSCAN labels are always valid: contiguous cluster ids from 0,
+    /// noise as -1, every selected cluster at least min_cluster_size.
+    #[test]
+    fn prop_hdbscan_labels_valid(
+        app_seed in 0u64..30,
+        n in 8usize..24,
+        mcs in 3usize..6,
+    ) {
+        let traces: Vec<Trace> = (0..n).map(|i| simulate(16, app_seed, i as u64, i % 3 == 0)).collect();
+        let enc = TraceSetEncoder::new(3);
+        let sets: Vec<_> = traces.iter().map(|t| enc.encode(t)).collect();
+        let dm = DistanceMatrix::from_sets(&sets);
+        let c = hdbscan(&dm, &HdbscanParams {
+            min_cluster_size: mcs,
+            min_samples: 2,
+            cluster_selection_epsilon: 0.0,
+            allow_single_cluster: true,
+        });
+        prop_assert_eq!(c.labels.len(), n);
+        let k = c.n_clusters() as isize;
+        for &l in &c.labels {
+            prop_assert!(l == -1 || (0..k).contains(&l), "label {l} out of range");
+        }
+        for cl in 0..k {
+            let size = c.members(cl).len();
+            prop_assert!(size >= mcs, "cluster {cl} has only {size} members (mcs {mcs})");
+        }
+    }
+
+    /// The GNN counterfactual with no intervention reproduces the
+    /// observed trace for any simulated input, even with an untrained
+    /// model (abduction invariant).
+    #[test]
+    fn prop_counterfactual_reproduces_observation(app_seed in 0u64..50, sim_seed in 0u64..200) {
+        let trace = simulate(16, app_seed, sim_seed, true);
+        let mut featurizer = sleuth::gnn::Featurizer::new(8);
+        let enc = featurizer.encode(&trace);
+        let model = sleuth::gnn::SleuthModel::new(&sleuth::gnn::ModelConfig::default(), app_seed);
+        let pred = model.predict_counterfactual(&enc, &[]);
+        for i in 0..enc.len() {
+            prop_assert!((pred.d_scaled[i] - enc.d_scaled[i]).abs() < 1e-3,
+                "span {i}: {} vs {}", pred.d_scaled[i], enc.d_scaled[i]);
+            prop_assert!((pred.e_prob[i] - enc.e[i]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration of the storage engine with the simulator and the
+//! feature pipeline: traces flow collector → store → query operators →
+//! featurisation, as in the paper's §4 deployment.
+
+use sleuth::store::{BaselineStats, Query, TraceStore};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::trace::SpanKind;
+
+fn loaded_store() -> (TraceStore, usize) {
+    let app = presets::synthetic(16, 1);
+    let corpus = CorpusBuilder::new(&app).seed(5).normal_traces(60);
+    let mut store = TraceStore::new();
+    for st in &corpus.traces {
+        store.insert_trace(&st.trace);
+    }
+    (store, corpus.traces.len())
+}
+
+#[test]
+fn simulated_traces_roundtrip_through_store() {
+    let (store, n) = loaded_store();
+    assert_eq!(store.trace_count(), n);
+    let traces = store.all_traces();
+    assert_eq!(traces.len(), n);
+    // Every stored trace reassembles into a well-formed tree.
+    for t in &traces {
+        assert!(t.len() >= 1);
+        assert_eq!(t.max_depth(), t.iter().map(|(i, _)| t.depth(i)).max().unwrap());
+    }
+}
+
+#[test]
+fn store_side_operators_support_feature_engineering() {
+    let (store, _) = loaded_store();
+    // Baseline stats over every operation — the RCA's "normal state".
+    let stats = BaselineStats::compute(&store);
+    assert!(!stats.is_empty());
+    for (_, op) in stats.iter() {
+        assert!(op.median_us <= op.p95_us);
+        assert!(op.p95_us <= op.p99_us);
+        assert!((0.0..=1.0).contains(&op.error_rate));
+    }
+    // Exclusive-feature bulk computation.
+    let feats = sleuth::store::ops::exclusive_features(&store);
+    for (t, ex_d, ex_e) in &feats {
+        assert_eq!(ex_d.len(), t.len());
+        assert_eq!(ex_e.len(), t.len());
+        for (i, _) in t.iter() {
+            assert!(ex_d[i] <= t.span(i).duration_us());
+        }
+    }
+}
+
+#[test]
+fn query_operators_compose_on_simulated_data() {
+    let (store, _) = loaded_store();
+    let servers = Query::new(&store).kind(SpanKind::Server).count();
+    let clients = Query::new(&store).kind(SpanKind::Client).count();
+    assert!(servers > 0 && clients > 0);
+    // Group-by covers every (service, op, kind) combination seen.
+    let groups = Query::new(&store).durations_by_operation();
+    let total: usize = groups.values().map(Vec::len).sum();
+    assert_eq!(total, store.span_count());
+    // Time scans partition the corpus.
+    let early = Query::new(&store).start_before_us(1_000).count();
+    let late = Query::new(&store).start_after_us(1_000).count();
+    assert_eq!(early + late, store.span_count());
+}
