@@ -220,7 +220,7 @@ mod tests {
             kind: SpanKind::Server,
         };
         let slo = prof.root_slo_us(&root_key);
-        assert!(slo >= 1090 && slo <= 1100, "slo {slo}");
+        assert!((1090..=1100).contains(&slo), "slo {slo}");
         let ghost = OpKey {
             service: "x".into(),
             name: "y".into(),

@@ -50,6 +50,9 @@ fn features(d_star_scaled: f32, children_us: &[f64]) -> [f32; FEATS] {
 }
 
 /// Solve `(XᵀX + λI) w = Xᵀy` by Gaussian elimination (4×4).
+// Gaussian elimination indexes two rows of `a` at once; the index loop
+// is clearer than a split_at_mut dance.
+#[allow(clippy::needless_range_loop)]
 fn ridge_solve(xs: &[[f32; FEATS]], ys: &[f32], lambda: f64) -> [f32; FEATS] {
     let mut a = [[0f64; FEATS + 1]; FEATS];
     for (x, &y) in xs.iter().zip(ys) {

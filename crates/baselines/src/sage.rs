@@ -32,6 +32,10 @@ use crate::common::{OpKey, OpProfile, RootCauseLocator};
 
 const FEATS: usize = 5;
 
+/// Training samples gathered per parent operation: child feature rows,
+/// duration targets, error targets.
+type OpSamples = (Vec<Vec<f32>>, Vec<f32>, Vec<f32>);
+
 /// One per-operation generative model.
 #[derive(Debug, Clone)]
 struct NodeModel {
@@ -70,7 +74,7 @@ impl Sage {
         let profile = OpProfile::fit(traces);
 
         // Gather training samples per parent operation.
-        let mut samples: HashMap<OpKey, (Vec<Vec<f32>>, Vec<f32>, Vec<f32>)> = HashMap::new();
+        let mut samples: HashMap<OpKey, OpSamples> = HashMap::new();
         for t in traces {
             let ex_d = exclusive::exclusive_durations(t);
             let ex_e = exclusive::exclusive_errors(t);
@@ -103,8 +107,7 @@ impl Sage {
         // is consumed in a deterministic order).
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut models = HashMap::new();
-        let mut ordered: Vec<(OpKey, (Vec<Vec<f32>>, Vec<f32>, Vec<f32>))> =
-            samples.into_iter().collect();
+        let mut ordered: Vec<(OpKey, OpSamples)> = samples.into_iter().collect();
         ordered.sort_by(|a, b| a.0.cmp(&b.0));
         for (key, (xs, d_targets, e_targets)) in ordered {
             let mut params = Params::new();

@@ -89,10 +89,10 @@ pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
     //    (k = min_samples, self excluded).
     let k = params.min_samples.clamp(1, n - 1);
     let mut core = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, c) in core.iter_mut().enumerate() {
         let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist.get(i, j)).collect();
         ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
-        core[i] = ds[k - 1];
+        *c = ds[k - 1];
     }
 
     // 2–3. Prim's MST over mutual reachability distances.

@@ -106,6 +106,9 @@ impl OrderedTree {
 
 /// Zhang–Shasha tree edit distance with unit costs (insert, delete,
 /// relabel all cost 1).
+// The Zhang–Shasha recurrence is written in its textbook index form;
+// iterator rewrites of the DP loops obscure the `fd`/`treedist` offsets.
+#[allow(clippy::needless_range_loop)]
 pub fn tree_edit_distance(a: &OrderedTree, b: &OrderedTree) -> usize {
     let (n, m) = (a.len(), b.len());
     if n == 0 {

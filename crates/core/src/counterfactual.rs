@@ -9,8 +9,8 @@
 //! re-predicting the trace with the GNN generatively — until the trace
 //! is predicted normal. The restored set is the root cause.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use sleuth_baselines::common::{OpKey, OpProfile, RootCauseLocator};
 use sleuth_gnn::{Featurizer, SleuthModel};
@@ -21,7 +21,12 @@ use sleuth_trace::{exclusive, transform, Trace};
 #[derive(Debug)]
 pub struct CounterfactualRca {
     model: SleuthModel,
-    featurizer: RefCell<Featurizer>,
+    // Mutex (not RefCell) so the localiser — and the pipeline holding
+    // it — is Sync and can serve RCA queries from worker threads
+    // behind an `Arc`. Encoding mutates only the featurizer's
+    // vocabulary cache, which is deterministic per span text, so
+    // concurrent callers see identical encodings regardless of order.
+    featurizer: Mutex<Featurizer>,
     profile: OpProfile,
     /// Maximum services restored before giving up (then the top-ranked
     /// candidate alone is reported).
@@ -36,7 +41,7 @@ impl CounterfactualRca {
     pub fn new(model: SleuthModel, featurizer: Featurizer, profile: OpProfile) -> Self {
         CounterfactualRca {
             model,
-            featurizer: RefCell::new(featurizer),
+            featurizer: Mutex::new(featurizer),
             profile,
             max_candidates: 5,
             slo_multiplier: 1.0,
@@ -219,7 +224,7 @@ impl RootCauseLocator for CounterfactualRca {
     }
 
     fn localize(&self, trace: &Trace) -> Vec<String> {
-        let enc = self.featurizer.borrow_mut().encode(trace);
+        let enc = self.featurizer.lock().expect("featurizer lock").encode(trace);
         let candidates: Vec<String> = self
             .rank_candidates(trace)
             .into_iter()

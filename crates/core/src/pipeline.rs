@@ -233,6 +233,14 @@ impl RootCauseLocator for SleuthPipeline {
     }
 }
 
+// The serving runtime shares one fitted pipeline across worker threads
+// behind an `Arc`; keep that guarantee from regressing silently.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SleuthPipeline>();
+    assert_send_sync::<CounterfactualRca>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

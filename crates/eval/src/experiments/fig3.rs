@@ -1,7 +1,7 @@
 //! Figure 3: cumulative distribution of span durations.
 //!
 //! The paper's CDF motivates the log/standardise duration transform:
-//! >90% of spans are within 10× of the minimum, while the top 1%
+//! \>90% of spans are within 10× of the minimum, while the top 1%
 //! stretch five orders of magnitude.
 
 use serde::Serialize;

@@ -336,8 +336,8 @@ impl SleuthModel {
             // Family sum / mean.
             let mut fam_agg = vec![0f32; f];
             for r in 0..fam.len() {
-                for c in 0..f {
-                    fam_agg[c] += xc.at(r, c);
+                for (c, agg) in fam_agg.iter_mut().enumerate() {
+                    *agg += xc.at(r, c);
                 }
             }
             if self.config.aggregator == AggregatorKind::Gcn {
@@ -351,13 +351,13 @@ impl SleuthModel {
             for r in 0..fam.len() {
                 input.push(d_star[i]);
                 input.push(e_star[i]);
-                for c in 0..f {
+                for (c, &agg) in fam_agg.iter().enumerate() {
                     let self_term = if self.config.aggregator == AggregatorKind::Gin {
                         self.config.epsilon * xc.at(r, c)
                     } else {
                         0.0
                     };
-                    input.push(fam_agg[c] + self_term);
+                    input.push(agg + self_term);
                 }
             }
             let input = Tensor::new(vec![fam.len(), in_dim], input);

@@ -1,0 +1,86 @@
+//! Serving runtime configuration.
+
+use sleuth_store::CollectorCaps;
+
+/// What a full shard queue does with an incoming batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Refuse the new batch and report it to the caller (default):
+    /// the producer sees the rejection and can retry or downsample.
+    #[default]
+    Reject,
+    /// Admit the new batch, silently dropping the *oldest* pending
+    /// batch — keeps the freshest telemetry under sustained overload.
+    DropOldest,
+}
+
+/// How the RCA stage groups anomalous traces for localisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterPolicy {
+    /// Localise each anomalous trace individually (default). Verdicts
+    /// are independent of arrival batching, so online results match
+    /// the batch pipeline's `analyze_without_clustering` exactly.
+    #[default]
+    PerTrace,
+    /// Cluster anomalous traces in micro-batches of up to this many
+    /// traces (§3.3 clustering applied to whatever is queued).
+    /// Verdicts then depend on arrival timing.
+    MicroBatch(usize),
+}
+
+/// Tunables for [`crate::ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards; each owns a collector and a trace-store slice.
+    pub num_shards: usize,
+    /// Per-shard queue capacity in *batches* (not spans).
+    pub shard_queue_capacity: usize,
+    /// Completed-trace queue capacity feeding the RCA stage. When full
+    /// it blocks shard workers, propagating backpressure to ingest.
+    pub rca_queue_capacity: usize,
+    /// Collector idle window: a trace completes after this much
+    /// logical time without new spans.
+    pub idle_timeout_us: u64,
+    /// Bounds on per-shard collector buffering.
+    pub collector_caps: CollectorCaps,
+    /// Admission policy for full shard queues.
+    pub shed_policy: ShedPolicy,
+    /// RCA grouping policy.
+    pub cluster_policy: ClusterPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_shards: 4,
+            shard_queue_capacity: 64,
+            rca_queue_capacity: 256,
+            idle_timeout_us: 2_000_000,
+            collector_caps: CollectorCaps::default(),
+            shed_policy: ShedPolicy::default(),
+            cluster_policy: ClusterPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate invariants the runtime relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count or zero queue capacity.
+    pub fn validate(&self) {
+        assert!(self.num_shards > 0, "num_shards must be positive");
+        assert!(
+            self.shard_queue_capacity > 0,
+            "shard_queue_capacity must be positive"
+        );
+        assert!(
+            self.rca_queue_capacity > 0,
+            "rca_queue_capacity must be positive"
+        );
+        if let ClusterPolicy::MicroBatch(n) = self.cluster_policy {
+            assert!(n > 0, "micro-batch size must be positive");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Sharded online RCA serving runtime.
+//!
+//! The batch pipeline in `sleuth-core` answers "given this corpus,
+//! where are the root causes?". This crate answers the production
+//! question from §4 of the paper: spans arrive continuously, out of
+//! order and across network batches, and verdicts must come out the
+//! other side with bounded memory. The runtime is a small
+//! thread-per-shard system:
+//!
+//! ```text
+//!                    ┌─ shard 0: queue ─ Collector ─ TraceStore ─┐
+//!  submit_batch ──►──┼─ shard 1: queue ─ Collector ─ TraceStore ─┼─► RCA queue
+//!  (hash by          └─ shard N: queue ─ Collector ─ TraceStore ─┘      │
+//!   trace id)                                                  detector + Arc<SleuthPipeline>
+//!                                                                       │
+//!                                                                   verdicts
+//! ```
+//!
+//! * **Ingest front-end** ([`ServeRuntime::submit_batch`]) —
+//!   hash-shards span batches by trace id ([`shard_of`]) so each
+//!   trace is owned by exactly one shard; no cross-shard locking.
+//! * **Bounded queues with explicit backpressure** ([`BoundedQueue`])
+//!   — per-shard capacity is configurable; a full queue either
+//!   rejects the new batch ([`ShedPolicy::Reject`]) or drops the
+//!   oldest pending one ([`ShedPolicy::DropOldest`]), and every
+//!   outcome is reported ([`SubmitReport`]) and counted.
+//! * **RCA stage** — pulls completed traces, filters through the
+//!   fitted anomaly detector, localises root causes via a shared
+//!   read-only `Arc<SleuthPipeline>`, and emits [`Verdict`]s.
+//! * **Built-in metrics** ([`MetricsRegistry`]) — atomic counters and
+//!   fixed-bucket histograms, snapshotable ([`MetricsSnapshot`]) and
+//!   renderable as Prometheus-style text.
+//! * **Clean shutdown** ([`ServeRuntime::shutdown`]) — flushes every
+//!   collector, joins all workers, drains the RCA queue, and returns
+//!   the verdicts, the merged [`sleuth_store::TraceStore`], and a
+//!   final snapshot.
+//!
+//! After a full drain the span accounting is conservative:
+//! `spans_submitted = spans_rejected + spans_shed + spans_evicted +
+//! spans_stored`.
+
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod runtime;
+pub mod shard;
+
+pub use config::{ClusterPolicy, ServeConfig, ShedPolicy};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use queue::{BoundedQueue, PushOutcome};
+pub use runtime::{ServeReport, ServeRuntime, SubmitReport, Verdict};
+pub use shard::shard_of;

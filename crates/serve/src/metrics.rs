@@ -1,0 +1,278 @@
+//! Built-in serving metrics: lock-free counters and fixed-bucket
+//! histograms, snapshotable as plain structs and renderable as
+//! Prometheus-style exposition text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ histogram buckets; bucket `i` covers values in
+/// `[2^(i−1), 2^i)` (bucket 0 holds zeros), the last bucket is
+/// open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket log₂ histogram (e.g. microsecond latencies, queue
+/// depths). Thread-safe; recording is two relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Plain-struct snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (log₂ buckets).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of the smallest bucket prefix holding at
+    /// least `q` (0..=1) of the observations — a coarse quantile.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let need = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                return if i >= 63 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// All counters and histograms the serving runtime maintains. Shared
+/// via `Arc` between the ingest front-end, shard workers, and the RCA
+/// stage.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Spans offered to `submit_batch` (before admission control).
+    pub spans_submitted: Counter,
+    /// Spans admitted to a shard queue.
+    pub spans_enqueued: Counter,
+    /// Spans refused because the shard queue was full (`Reject` policy).
+    pub spans_rejected: Counter,
+    /// Spans dropped from the front of a full shard queue (`DropOldest`).
+    pub spans_shed: Counter,
+    /// Spans dropped by collector cap eviction inside a shard.
+    pub spans_evicted: Counter,
+    /// Retransmitted spans discarded by collector dedup.
+    pub spans_deduped: Counter,
+    /// Spans persisted into shard trace stores.
+    pub spans_stored: Counter,
+    /// Traces whose idle window elapsed (assembled and handed to RCA).
+    pub traces_completed: Counter,
+    /// Completed span sets that failed trace assembly.
+    pub traces_malformed: Counter,
+    /// Completed traces flagged anomalous by the detector.
+    pub traces_anomalous: Counter,
+    /// Root-cause verdicts emitted.
+    pub verdicts_emitted: Counter,
+    /// End-to-end RCA latency per anomalous trace, microseconds.
+    pub rca_latency_us: Histogram,
+    /// Shard queue depth sampled at each submit.
+    pub queue_depth: Histogram,
+}
+
+/// Frozen view of every metric, cheap to copy around and assert on.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub spans_submitted: u64,
+    pub spans_enqueued: u64,
+    pub spans_rejected: u64,
+    pub spans_shed: u64,
+    pub spans_evicted: u64,
+    pub spans_deduped: u64,
+    pub spans_stored: u64,
+    pub traces_completed: u64,
+    pub traces_malformed: u64,
+    pub traces_anomalous: u64,
+    pub verdicts_emitted: u64,
+    pub rca_latency_us: HistogramSnapshot,
+    pub queue_depth: HistogramSnapshot,
+}
+
+impl MetricsRegistry {
+    /// Freeze every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans_submitted: self.spans_submitted.get(),
+            spans_enqueued: self.spans_enqueued.get(),
+            spans_rejected: self.spans_rejected.get(),
+            spans_shed: self.spans_shed.get(),
+            spans_evicted: self.spans_evicted.get(),
+            spans_deduped: self.spans_deduped.get(),
+            spans_stored: self.spans_stored.get(),
+            traces_completed: self.traces_completed.get(),
+            traces_malformed: self.traces_malformed.get(),
+            traces_anomalous: self.traces_anomalous.get(),
+            verdicts_emitted: self.verdicts_emitted.get(),
+            rca_latency_us: self.rca_latency_us.snapshot(),
+            queue_depth: self.queue_depth.snapshot(),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Spans lost to admission control or eviction. Deduped spans are
+    /// not counted: their payload survived via the first copy.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_rejected + self.spans_shed + self.spans_evicted
+    }
+
+    /// Prometheus-style exposition text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let counters = [
+            ("sleuth_serve_spans_submitted_total", self.spans_submitted),
+            ("sleuth_serve_spans_enqueued_total", self.spans_enqueued),
+            ("sleuth_serve_spans_rejected_total", self.spans_rejected),
+            ("sleuth_serve_spans_shed_total", self.spans_shed),
+            ("sleuth_serve_spans_evicted_total", self.spans_evicted),
+            ("sleuth_serve_spans_deduped_total", self.spans_deduped),
+            ("sleuth_serve_spans_stored_total", self.spans_stored),
+            ("sleuth_serve_traces_completed_total", self.traces_completed),
+            ("sleuth_serve_traces_malformed_total", self.traces_malformed),
+            ("sleuth_serve_traces_anomalous_total", self.traces_anomalous),
+            ("sleuth_serve_verdicts_emitted_total", self.verdicts_emitted),
+        ];
+        for (name, value) in counters {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, h) in [
+            ("sleuth_serve_rca_latency_us", &self.rca_latency_us),
+            ("sleuth_serve_queue_depth", &self.queue_depth),
+        ] {
+            let mut cumulative = 0;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let le = if i >= 63 { u64::MAX } else { 1u64 << i };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::default();
+        m.spans_submitted.add(10);
+        m.spans_submitted.inc();
+        assert_eq!(m.snapshot().spans_submitted, 11);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.buckets[0], 1); // zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 1); // 4
+        assert_eq!(s.buckets[10], 1); // 1000
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1); // clamped
+    }
+
+    #[test]
+    fn quantile_bound_covers_mass() {
+        let h = Histogram::default();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_upper_bound(0.5) <= 64);
+        assert!(s.quantile_upper_bound(1.0) >= 64);
+        assert!((s.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_text_mentions_all_counters() {
+        let m = MetricsRegistry::default();
+        m.verdicts_emitted.add(3);
+        m.rca_latency_us.record(900);
+        let text = m.snapshot().render_text();
+        assert!(text.contains("sleuth_serve_verdicts_emitted_total 3"));
+        assert!(text.contains("sleuth_serve_rca_latency_us_count 1"));
+        assert!(text.contains("le=\"1024\""));
+    }
+}

@@ -1,0 +1,200 @@
+//! Bounded MPMC queue with explicit backpressure.
+//!
+//! `std::sync::mpsc::sync_channel` blocks or errors when full but can
+//! neither shed the *oldest* pending item nor report its depth, both
+//! of which the serving runtime needs. This queue is a plain
+//! `Mutex<VecDeque>` + condvars exposing exactly the three admission
+//! modes the runtime uses: reject-newest ([`BoundedQueue::try_push`]),
+//! drop-oldest ([`BoundedQueue::push_shedding`]), and blocking
+//! ([`BoundedQueue::push_wait`], reserved for control messages that
+//! must not be lost).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a non-blocking push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Item admitted.
+    Enqueued,
+    /// Queue full; item returned to the caller.
+    Rejected,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity FIFO shared between producer and consumer threads.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue admitting at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit `item` unless the queue is full or closed; on failure the
+    /// item is handed back.
+    pub fn try_push(&self, item: T) -> Result<PushOutcome, T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(PushOutcome::Enqueued)
+    }
+
+    /// Admit `item`, dropping the *oldest* pending item when full.
+    /// Returns the shed item, if any; `Err` when closed.
+    pub fn push_shedding(&self, item: T) -> Result<Option<T>, T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(item);
+        }
+        let shed = if inner.items.len() >= self.capacity {
+            inner.items.pop_front()
+        } else {
+            None
+        };
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(shed)
+    }
+
+    /// Block until there is room (or the queue closes). Used for
+    /// control messages and for propagating backpressure upstream.
+    pub fn push_wait(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while !inner.closed && inner.items.len() >= self.capacity {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Pop without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            drop(inner);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop admitting items; consumers drain what remains, then
+    /// [`BoundedQueue::pop`] returns `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_rejects_when_full() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(PushOutcome::Enqueued));
+        assert_eq!(q.try_push(2), Ok(PushOutcome::Enqueued));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_shedding_drops_oldest() {
+        let q = BoundedQueue::new(2);
+        q.push_shedding(1).unwrap();
+        q.push_shedding(2).unwrap();
+        assert_eq!(q.push_shedding(3).unwrap(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(9), Err(9));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        q.push_wait(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn push_wait_blocks_until_room() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+}

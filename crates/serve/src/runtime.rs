@@ -1,0 +1,262 @@
+//! The serving runtime: ingest front-end, shard workers, RCA stage,
+//! and the shutdown/drain protocol.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sleuth_core::SleuthPipeline;
+use sleuth_store::TraceStore;
+use sleuth_trace::{Span, Trace, TraceId};
+
+use crate::config::{ClusterPolicy, ServeConfig, ShedPolicy};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushOutcome};
+use crate::shard::{run_shard, shard_of, ShardMsg, ShardReport};
+
+/// A root-cause finding for one anomalous trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The anomalous trace.
+    pub trace_id: TraceId,
+    /// Root-cause services, most suspicious first.
+    pub services: Vec<String>,
+    /// Cluster label when localised through a micro-batch cluster
+    /// (`None` for per-trace localisation and cluster noise).
+    pub cluster: Option<isize>,
+    /// Wall-clock localisation latency, microseconds.
+    pub rca_latency_us: u64,
+}
+
+/// Per-batch admission summary returned by
+/// [`ServeRuntime::submit_batch`], in spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitReport {
+    /// Spans admitted to shard queues.
+    pub enqueued: usize,
+    /// Spans refused (queue full under [`ShedPolicy::Reject`]).
+    pub rejected: usize,
+    /// Spans dropped from queue fronts ([`ShedPolicy::DropOldest`]).
+    pub shed: usize,
+}
+
+/// Everything the runtime hands back after a clean shutdown.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Verdicts not yet retrieved via [`ServeRuntime::poll_verdicts`],
+    /// in emission order.
+    pub verdicts: Vec<Verdict>,
+    /// All shard stores merged into one queryable store.
+    pub store: TraceStore,
+    /// Final metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+struct ShardHandle {
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    join: JoinHandle<ShardReport>,
+}
+
+/// Sharded online RCA runtime. Create with [`ServeRuntime::start`],
+/// feed with [`ServeRuntime::submit_batch`] + [`ServeRuntime::tick`],
+/// finish with [`ServeRuntime::shutdown`].
+pub struct ServeRuntime {
+    shards: Vec<ShardHandle>,
+    rca_queue: Arc<BoundedQueue<Trace>>,
+    rca_join: JoinHandle<()>,
+    verdict_rx: mpsc::Receiver<Verdict>,
+    metrics: Arc<MetricsRegistry>,
+    shed_policy: ShedPolicy,
+    num_shards: usize,
+}
+
+impl ServeRuntime {
+    /// Spawn shard workers and the RCA stage around a fitted pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`ServeConfig::validate`]).
+    pub fn start(pipeline: Arc<SleuthPipeline>, config: ServeConfig) -> Self {
+        config.validate();
+        let metrics = Arc::new(MetricsRegistry::default());
+        let rca_queue = Arc::new(BoundedQueue::new(config.rca_queue_capacity));
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+
+        let shards = (0..config.num_shards)
+            .map(|i| {
+                let queue = Arc::new(BoundedQueue::new(config.shard_queue_capacity));
+                let join = std::thread::Builder::new()
+                    .name(format!("sleuth-shard-{i}"))
+                    .spawn({
+                        let queue = Arc::clone(&queue);
+                        let rca_queue = Arc::clone(&rca_queue);
+                        let metrics = Arc::clone(&metrics);
+                        let config = config.clone();
+                        move || run_shard(queue, rca_queue, metrics, &config)
+                    })
+                    .expect("spawn shard worker");
+                ShardHandle { queue, join }
+            })
+            .collect();
+
+        let rca_join = std::thread::Builder::new()
+            .name("sleuth-rca".to_string())
+            .spawn({
+                let rca_queue = Arc::clone(&rca_queue);
+                let metrics = Arc::clone(&metrics);
+                let policy = config.cluster_policy;
+                move || run_rca_stage(rca_queue, pipeline, verdict_tx, metrics, policy)
+            })
+            .expect("spawn rca worker");
+
+        ServeRuntime {
+            shards,
+            rca_queue,
+            rca_join,
+            verdict_rx,
+            metrics,
+            shed_policy: config.shed_policy,
+            num_shards: config.num_shards,
+        }
+    }
+
+    /// Hash-shard a span batch by trace id and offer each sub-batch to
+    /// its shard queue under the configured [`ShedPolicy`]. `now_us`
+    /// is the logical observation time driving trace completion.
+    pub fn submit_batch(&self, spans: Vec<Span>, now_us: u64) -> SubmitReport {
+        self.metrics.spans_submitted.add(spans.len() as u64);
+        let mut routed: Vec<Vec<Span>> = (0..self.num_shards).map(|_| Vec::new()).collect();
+        for span in spans {
+            routed[shard_of(span.trace_id, self.num_shards)].push(span);
+        }
+
+        let mut report = SubmitReport::default();
+        for (shard, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len();
+            let queue = &self.shards[shard].queue;
+            self.metrics.queue_depth.record(queue.len() as u64);
+            let msg = ShardMsg::Batch {
+                spans: batch,
+                now_us,
+            };
+            match self.shed_policy {
+                ShedPolicy::Reject => match queue.try_push(msg) {
+                    Ok(PushOutcome::Enqueued) => report.enqueued += n,
+                    Ok(PushOutcome::Rejected) | Err(_) => report.rejected += n,
+                },
+                ShedPolicy::DropOldest => match queue.push_shedding(msg) {
+                    Ok(shed) => {
+                        report.enqueued += n;
+                        report.shed += shed.map_or(0, |m| m.span_count());
+                    }
+                    Err(_) => report.rejected += n,
+                },
+            }
+        }
+        self.metrics.spans_enqueued.add(report.enqueued as u64);
+        self.metrics.spans_rejected.add(report.rejected as u64);
+        self.metrics.spans_shed.add(report.shed as u64);
+        report
+    }
+
+    /// Advance the logical clock on every shard so idle traces can
+    /// complete without new spans arriving.
+    pub fn tick(&self, now_us: u64) {
+        for shard in &self.shards {
+            // Blocking: a tick must not be lost to a full queue, and a
+            // full queue means the shard is behind anyway.
+            let _ = shard.queue.push_wait(ShardMsg::Tick { now_us });
+        }
+    }
+
+    /// Verdicts emitted since the last call (non-blocking).
+    pub fn poll_verdicts(&self) -> Vec<Verdict> {
+        self.verdict_rx.try_iter().collect()
+    }
+
+    /// Live metrics handle.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drain protocol: flush every collector, join shard workers,
+    /// drain the RCA queue, join the RCA stage, and return all
+    /// verdicts plus the merged store and a final metrics snapshot.
+    pub fn shutdown(self) -> ServeReport {
+        for shard in &self.shards {
+            let _ = shard.queue.push_wait(ShardMsg::Shutdown);
+            shard.queue.close();
+        }
+        let mut store = TraceStore::new();
+        for shard in self.shards {
+            let report = shard.join.join().expect("shard worker panicked");
+            store.merge(&report.store);
+        }
+        // All shard output is now in the RCA queue; close it so the
+        // stage exits after draining.
+        self.rca_queue.close();
+        self.rca_join.join().expect("rca worker panicked");
+        let verdicts = self.verdict_rx.try_iter().collect();
+        ServeReport {
+            verdicts,
+            store,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// RCA stage: pull completed traces, detect anomalies, localise with
+/// the shared pipeline, emit verdicts.
+fn run_rca_stage(
+    queue: Arc<BoundedQueue<Trace>>,
+    pipeline: Arc<SleuthPipeline>,
+    verdicts: mpsc::Sender<Verdict>,
+    metrics: Arc<MetricsRegistry>,
+    policy: ClusterPolicy,
+) {
+    let batch_max = match policy {
+        ClusterPolicy::PerTrace => 1,
+        ClusterPolicy::MicroBatch(n) => n,
+    };
+    while let Some(first) = queue.pop() {
+        // Group whatever is already queued, up to the policy's limit.
+        let mut anomalous = Vec::new();
+        let mut pending = Some(first);
+        while anomalous.len() < batch_max {
+            let trace = match pending.take().or_else(|| queue.try_pop()) {
+                Some(t) => t,
+                None => break,
+            };
+            if pipeline.detector().is_anomalous(&trace) {
+                metrics.traces_anomalous.inc();
+                anomalous.push(trace);
+            }
+        }
+        if anomalous.is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let results = match policy {
+            ClusterPolicy::PerTrace => pipeline.analyze_without_clustering(&anomalous),
+            ClusterPolicy::MicroBatch(_) => pipeline.analyze(&anomalous),
+        };
+        let latency_us = started.elapsed().as_micros() as u64 / results.len().max(1) as u64;
+        for r in results {
+            metrics.rca_latency_us.record(latency_us);
+            metrics.verdicts_emitted.inc();
+            let verdict = Verdict {
+                trace_id: anomalous[r.trace_idx].trace_id(),
+                services: r.services,
+                cluster: r.cluster,
+                rca_latency_us: latency_us,
+            };
+            if verdicts.send(verdict).is_err() {
+                return; // Runtime dropped the receiver; stop working.
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Shard routing and the per-shard worker loop.
+//!
+//! Every span batch is split by trace id so that all spans of one
+//! trace land on the same shard; each shard owns a private
+//! [`Collector`] and [`TraceStore`] slice and therefore needs no
+//! locking on the hot ingest path. Completed traces flow into the
+//! shared RCA queue with a *blocking* push: a saturated RCA stage
+//! stalls shard workers, their queues fill, and the ingest front-end
+//! starts rejecting or shedding — backpressure end to end.
+
+use std::sync::Arc;
+
+use sleuth_store::{Collector, TraceStore};
+use sleuth_trace::{Span, Trace, TraceId};
+
+use crate::config::ServeConfig;
+use crate::metrics::MetricsRegistry;
+use crate::queue::BoundedQueue;
+
+/// SplitMix64 finaliser — decorrelates sequential trace ids so shard
+/// load stays even under monotonic id allocation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard a trace id routes to. Pure function of `(trace_id,
+/// num_shards)` — stable across runs, processes, and machines.
+pub fn shard_of(trace_id: TraceId, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "num_shards must be positive");
+    (splitmix64(trace_id) % num_shards as u64) as usize
+}
+
+/// Message consumed by a shard worker.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// Spans pre-routed to this shard, observed at logical `now_us`.
+    Batch { spans: Vec<Span>, now_us: u64 },
+    /// Advance the logical clock so idle traces can complete.
+    Tick { now_us: u64 },
+    /// Flush the collector, report state, and exit.
+    Shutdown,
+}
+
+impl ShardMsg {
+    /// Spans carried by this message (for shed accounting).
+    pub fn span_count(&self) -> usize {
+        match self {
+            ShardMsg::Batch { spans, .. } => spans.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// What a shard worker hands back at shutdown.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// The shard's slice of stored spans.
+    pub store: TraceStore,
+    /// Traces dropped by collector cap eviction.
+    pub evicted_traces: usize,
+}
+
+/// Run one shard worker to completion (until `Shutdown` or queue
+/// close). Completed traces are stored locally and pushed to
+/// `rca_queue`.
+pub fn run_shard(
+    queue: Arc<BoundedQueue<ShardMsg>>,
+    rca_queue: Arc<BoundedQueue<Trace>>,
+    metrics: Arc<MetricsRegistry>,
+    config: &ServeConfig,
+) -> ShardReport {
+    let mut collector = Collector::new(config.idle_timeout_us).with_caps(config.collector_caps);
+    let mut store = TraceStore::new();
+    let mut evicted_seen = 0;
+    let mut deduped_seen = 0;
+
+    while let Some(msg) = queue.pop() {
+        let shutdown = matches!(msg, ShardMsg::Shutdown);
+        let completed = match msg {
+            ShardMsg::Batch { spans, now_us } => {
+                collector.ingest_batch(spans, now_us);
+                collector.poll_complete(now_us)
+            }
+            ShardMsg::Tick { now_us } => collector.poll_complete(now_us),
+            ShardMsg::Shutdown => collector.flush(),
+        };
+
+        let newly_evicted = collector.evicted_spans() - evicted_seen;
+        if newly_evicted > 0 {
+            metrics.spans_evicted.add(newly_evicted as u64);
+            evicted_seen = collector.evicted_spans();
+        }
+        let newly_deduped = collector.deduped_spans() - deduped_seen;
+        if newly_deduped > 0 {
+            metrics.spans_deduped.add(newly_deduped as u64);
+            deduped_seen = collector.deduped_spans();
+        }
+
+        for spans in completed {
+            metrics.spans_stored.add(spans.len() as u64);
+            store.extend(spans.clone());
+            match Trace::assemble(spans) {
+                Ok(trace) => {
+                    metrics.traces_completed.inc();
+                    // Err only when the RCA queue is already closed
+                    // (teardown); the trace is still stored.
+                    let _ = rca_queue.push_wait(trace);
+                }
+                Err(_) => metrics.traces_malformed.inc(),
+            }
+        }
+
+        if shutdown {
+            break;
+        }
+    }
+
+    ShardReport {
+        store,
+        evicted_traces: collector.evicted_traces(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for id in 0..500u64 {
+            let s = shard_of(id, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(id, 4));
+        }
+    }
+
+    #[test]
+    fn routing_spreads_sequential_ids() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for id in 0..8000u64 {
+            counts[shard_of(id, n)] += 1;
+        }
+        // Each shard should get roughly 1000; allow wide slack.
+        assert!(counts.iter().all(|&c| c > 500 && c < 1500), "{counts:?}");
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for id in [0, 1, u64::MAX] {
+            assert_eq!(shard_of(id, 1), 0);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! idle (no new spans) for a configurable window, handing the batch to
 //! the storage engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sleuth_trace::{Span, TraceId};
 
@@ -18,11 +18,38 @@ pub struct Collector {
     idle_timeout_us: u64,
     pending: HashMap<TraceId, PendingTrace>,
     completed: usize,
+    caps: CollectorCaps,
+    buffered_spans: usize,
+    evicted_traces: usize,
+    evicted_spans: usize,
+    deduped_spans: usize,
+}
+
+/// Bounds on collector buffering. When a cap is exceeded the
+/// *oldest* pending trace (smallest `last_seen_us`) is evicted whole:
+/// a trace that has been quiet longest is the most likely to already
+/// be complete, and partial traces are worthless downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorCaps {
+    /// Maximum distinct traces buffering at once (`usize::MAX` = unbounded).
+    pub max_pending_traces: usize,
+    /// Maximum spans buffering across all traces (`usize::MAX` = unbounded).
+    pub max_buffered_spans: usize,
+}
+
+impl Default for CollectorCaps {
+    fn default() -> Self {
+        CollectorCaps {
+            max_pending_traces: usize::MAX,
+            max_buffered_spans: usize::MAX,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct PendingTrace {
     spans: Vec<Span>,
+    span_ids: HashSet<u64>,
     last_seen_us: u64,
 }
 
@@ -34,20 +61,66 @@ impl Collector {
             idle_timeout_us,
             pending: HashMap::new(),
             completed: 0,
+            caps: CollectorCaps::default(),
+            buffered_spans: 0,
+            evicted_traces: 0,
+            evicted_spans: 0,
+            deduped_spans: 0,
         }
+    }
+
+    /// Bound pending traces / buffered spans (builder style).
+    pub fn with_caps(mut self, caps: CollectorCaps) -> Self {
+        self.caps = caps;
+        self
     }
 
     /// Ingest one span observed at wall-clock `now_us`.
     pub fn ingest(&mut self, span: Span, now_us: u64) {
+        let trace_id = span.trace_id;
+        // Admitting a span to a *new* trace may exceed the trace cap.
+        if !self.pending.contains_key(&trace_id)
+            && self.pending.len() >= self.caps.max_pending_traces
+        {
+            self.evict_oldest();
+        }
         let entry = self
             .pending
-            .entry(span.trace_id)
+            .entry(trace_id)
             .or_insert_with(|| PendingTrace {
                 spans: Vec::new(),
+                span_ids: HashSet::new(),
                 last_seen_us: now_us,
             });
-        entry.spans.push(span);
+        // A retransmitted span id still signals trace liveness but is
+        // buffered only once (assembly rejects duplicates).
         entry.last_seen_us = now_us;
+        if !entry.span_ids.insert(span.span_id) {
+            self.deduped_spans += 1;
+            return;
+        }
+        entry.spans.push(span);
+        self.buffered_spans += 1;
+        while self.buffered_spans > self.caps.max_buffered_spans && self.pending.len() > 1 {
+            self.evict_oldest();
+        }
+    }
+
+    /// Drop the pending trace idle the longest; the current trace is
+    /// only evicted when it is the sole one left (span cap smaller
+    /// than a single trace).
+    fn evict_oldest(&mut self) {
+        let victim = self
+            .pending
+            .iter()
+            .min_by_key(|(&id, p)| (p.last_seen_us, id))
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            let p = self.pending.remove(&id).expect("listed above");
+            self.buffered_spans -= p.spans.len();
+            self.evicted_traces += 1;
+            self.evicted_spans += p.spans.len();
+        }
     }
 
     /// Ingest a batch (spans may belong to different traces and arrive
@@ -60,16 +133,19 @@ impl Collector {
 
     /// Pop every trace idle since before `now_us − idle_timeout_us`.
     pub fn poll_complete(&mut self, now_us: u64) -> Vec<Vec<Span>> {
-        let cutoff = now_us.saturating_sub(self.idle_timeout_us);
+        // `last_seen + timeout <= now`, saturating on the *addition*:
+        // subtracting from `now` would saturate to a zero cutoff while
+        // `now < timeout` and complete fresh traces seen at t=0.
         let done: Vec<TraceId> = self
             .pending
             .iter()
-            .filter(|(_, p)| p.last_seen_us <= cutoff)
+            .filter(|(_, p)| p.last_seen_us.saturating_add(self.idle_timeout_us) <= now_us)
             .map(|(&id, _)| id)
             .collect();
         let mut out = Vec::with_capacity(done.len());
         for id in done {
             let p = self.pending.remove(&id).expect("listed above");
+            self.buffered_spans -= p.spans.len();
             out.push(p.spans);
         }
         self.completed += out.len();
@@ -84,6 +160,7 @@ impl Collector {
             .into_iter()
             .map(|id| self.pending.remove(&id).expect("listed").spans)
             .collect();
+        self.buffered_spans = 0;
         self.completed += out.len();
         out
     }
@@ -95,12 +172,27 @@ impl Collector {
 
     /// Spans still buffering.
     pub fn pending_spans(&self) -> usize {
-        self.pending.values().map(|p| p.spans.len()).sum()
+        self.buffered_spans
     }
 
     /// Traces completed so far.
     pub fn completed_traces(&self) -> usize {
         self.completed
+    }
+
+    /// Whole traces dropped by cap-triggered eviction.
+    pub fn evicted_traces(&self) -> usize {
+        self.evicted_traces
+    }
+
+    /// Spans dropped inside evicted traces.
+    pub fn evicted_spans(&self) -> usize {
+        self.evicted_spans
+    }
+
+    /// Retransmitted spans discarded as duplicates.
+    pub fn deduped_spans(&self) -> usize {
+        self.deduped_spans
     }
 
     /// Poll completed traces into a [`TraceStore`], returning how many
@@ -179,6 +271,78 @@ mod tests {
         let done = c.flush();
         assert_eq!(done.len(), 2);
         assert_eq!(c.pending_traces(), 0);
+    }
+
+    #[test]
+    fn duplicate_spans_buffered_once() {
+        let mut c = Collector::new(1_000);
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(1, 2, Some(1)), 100);
+        // Retransmission of span 2: discarded, but keeps the trace live.
+        c.ingest(span(1, 2, Some(1)), 900);
+        assert_eq!(c.pending_spans(), 2);
+        assert_eq!(c.deduped_spans(), 1);
+        assert!(c.poll_complete(1_500).is_empty(), "retransmit refreshed window");
+        let done = c.poll_complete(2_000);
+        assert_eq!(done[0].len(), 2);
+        assert!(Trace::assemble(done.into_iter().next().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn trace_cap_evicts_oldest_pending() {
+        let mut c = Collector::new(1_000).with_caps(CollectorCaps {
+            max_pending_traces: 2,
+            max_buffered_spans: usize::MAX,
+        });
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(2, 1, None), 100);
+        // Trace 3 exceeds the cap: trace 1 (idle longest) is dropped.
+        c.ingest(span(3, 1, None), 200);
+        assert_eq!(c.pending_traces(), 2);
+        assert_eq!(c.evicted_traces(), 1);
+        assert_eq!(c.evicted_spans(), 1);
+        let mut done = c.poll_complete(10_000);
+        done.sort_by_key(|b| b[0].trace_id);
+        let ids: Vec<TraceId> = done.iter().map(|b| b[0].trace_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn span_cap_evicts_but_keeps_current_trace() {
+        let mut c = Collector::new(1_000).with_caps(CollectorCaps {
+            max_pending_traces: usize::MAX,
+            max_buffered_spans: 3,
+        });
+        c.ingest(span(1, 1, None), 0);
+        c.ingest(span(1, 2, Some(1)), 10);
+        c.ingest(span(2, 1, None), 20);
+        assert_eq!(c.evicted_traces(), 0);
+        // 4th span: trace 1 (2 spans, oldest) is evicted.
+        c.ingest(span(2, 2, Some(1)), 30);
+        assert_eq!(c.evicted_traces(), 1);
+        assert_eq!(c.evicted_spans(), 2);
+        assert_eq!(c.pending_spans(), 2);
+        // A single trace larger than the cap is never self-evicted.
+        for i in 3..10 {
+            c.ingest(span(2, i, Some(1)), 40 + i);
+        }
+        assert_eq!(c.evicted_traces(), 1);
+        assert_eq!(c.pending_traces(), 1);
+    }
+
+    #[test]
+    fn eviction_accounting_balances() {
+        let mut c = Collector::new(100).with_caps(CollectorCaps {
+            max_pending_traces: 4,
+            max_buffered_spans: usize::MAX,
+        });
+        let total: usize = 40;
+        for i in 0..total as u64 {
+            c.ingest(span(i, 1, None), i * 10);
+        }
+        let completed = c.flush().iter().map(Vec::len).sum::<usize>();
+        assert_eq!(completed + c.evicted_spans(), total);
+        assert_eq!(c.pending_spans(), 0);
     }
 
     #[test]

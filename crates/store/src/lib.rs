@@ -36,7 +36,7 @@ pub mod ops;
 pub mod query;
 pub mod store;
 
-pub use collector::Collector;
+pub use collector::{Collector, CollectorCaps};
 pub use ops::BaselineStats;
 pub use query::{GroupKey, Query};
 pub use store::TraceStore;

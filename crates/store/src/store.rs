@@ -109,6 +109,15 @@ impl TraceStore {
         }
     }
 
+    /// Absorb every span of `other`, re-interning its strings into
+    /// this store's table. Lets sharded stores (one per serving
+    /// worker) be folded into a single queryable store after drain.
+    pub fn merge(&mut self, other: &TraceStore) {
+        for row in other.rows() {
+            self.insert_span(other.span_at(row));
+        }
+    }
+
     /// Materialise the span at a storage row.
     pub(crate) fn span_at(&self, row: usize) -> Span {
         Span {
@@ -285,6 +294,20 @@ mod tests {
         assert!(s.try_trace(1).unwrap().is_err());
         assert!(s.trace(1).is_none());
         assert!(s.all_traces().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_shards() {
+        let mut a = TraceStore::new();
+        let mut b = TraceStore::new();
+        a.extend(sample_spans(1));
+        b.extend(sample_spans(2));
+        b.extend(sample_spans(3));
+        a.merge(&b);
+        assert_eq!(a.trace_count(), 3);
+        assert_eq!(a.span_count(), 9);
+        let t2 = a.trace(2).unwrap();
+        assert_eq!(t2, Trace::assemble(sample_spans(2)).unwrap());
     }
 
     #[test]

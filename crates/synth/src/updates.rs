@@ -88,10 +88,7 @@ pub fn update_b_remove_service(app: &mut App, service_name: &str) -> UpdateRepor
     };
     for f in &mut app.flows {
         // Splice out matching non-root nodes repeatedly until none left.
-        loop {
-            let Some(victim) = (1..f.nodes.len()).find(|&i| f.nodes[i].service == svc) else {
-                break;
-            };
+        while let Some(victim) = (1..f.nodes.len()).find(|&i| f.nodes[i].service == svc) {
             let parent = f
                 .nodes
                 .iter()

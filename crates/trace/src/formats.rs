@@ -295,7 +295,7 @@ pub fn from_zipkin(records: &[ZipkinSpan]) -> Result<Vec<Span>, ParseSpanError> 
                 Some("INTERNAL") => SpanKind::Internal,
                 _ => SpanKind::Server,
             };
-            let status = if r.tags.get("error").is_some() {
+            let status = if r.tags.contains_key("error") {
                 StatusCode::Error
             } else {
                 StatusCode::Ok

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must keep green.
+#
+#   scripts/tier1.sh
+#
+# Runs the release build, the full test suite, and (for the serving
+# crate, which was added after the seed) formatting and lint gates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --check (sleuth-serve)"
+cargo fmt --check -p sleuth-serve
+
+echo "==> cargo clippy -D warnings (sleuth-serve)"
+cargo clippy --offline -p sleuth-serve --all-targets -- -D warnings
+
+echo "tier-1: OK"

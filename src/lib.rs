@@ -17,7 +17,10 @@
 //! * [`baselines`] — Max, Threshold, TraceAnomaly, Realtime RCA, Sage,
 //!   DeepTraLog,
 //! * [`core`] — the end-to-end pipeline: detect → cluster → localise,
-//! * [`eval`] — metrics and drivers for every paper table and figure.
+//! * [`eval`] — metrics and drivers for every paper table and figure,
+//! * [`serve`] — sharded online serving runtime: bounded queues with
+//!   backpressure, per-shard collectors, an RCA stage around a shared
+//!   fitted pipeline, and built-in metrics.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use sleuth_core as core;
 pub use sleuth_embed as embed;
 pub use sleuth_eval as eval;
 pub use sleuth_gnn as gnn;
+pub use sleuth_serve as serve;
 pub use sleuth_store as store;
 pub use sleuth_synth as synth;
 pub use sleuth_tensor as tensor;

@@ -2,13 +2,20 @@
 //! generated application, any simulated trace, and any format
 //! round-trip.
 
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use sleuth::cluster::{hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::gnn::TrainConfig;
+use sleuth::serve::{shard_of, ServeConfig, ServeRuntime};
 use sleuth::synth::chaos::{ChaosEngine, FaultPlan};
 use sleuth::synth::generator::{generate_app, GeneratorConfig};
+use sleuth::synth::workload::CorpusBuilder;
 use sleuth::synth::Simulator;
 use sleuth::trace::{exclusive, formats, SpanKind, Trace};
 
@@ -38,7 +45,7 @@ proptest! {
         faulty in any::<bool>(),
     ) {
         let trace = simulate(16, app_seed, sim_seed, faulty);
-        prop_assert!(trace.len() >= 1);
+        prop_assert!(!trace.is_empty());
         let ex = exclusive::exclusive_durations(&trace);
         for (i, span) in trace.iter() {
             prop_assert!(span.end_us >= span.start_us);
@@ -132,5 +139,90 @@ proptest! {
                 "span {i}: {} vs {}", pred.d_scaled[i], enc.d_scaled[i]);
             prop_assert!((pred.e_prob[i] - enc.e[i]).abs() < 1e-4);
         }
+    }
+
+    /// Shard routing is a pure, stable function: the same trace id
+    /// always lands on the same in-range shard, regardless of when or
+    /// in what order batches arrive.
+    #[test]
+    fn prop_shard_routing_deterministic(
+        ids in proptest::collection::vec(0u64..=u64::MAX, 1..64),
+        num_shards in 1usize..12,
+    ) {
+        for &id in &ids {
+            let s = shard_of(id, num_shards);
+            prop_assert!(s < num_shards);
+            prop_assert_eq!(s, shard_of(id, num_shards), "routing not stable");
+            prop_assert_eq!(shard_of(id, 1), 0);
+        }
+        // Order-independence: routing a reversed stream is identical.
+        let forward: Vec<usize> = ids.iter().map(|&i| shard_of(i, num_shards)).collect();
+        let mut backward: Vec<usize> =
+            ids.iter().rev().map(|&i| shard_of(i, num_shards)).collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+    }
+}
+
+/// One quick-fitted pipeline shared by the serving properties below.
+fn serve_pipeline() -> Arc<SleuthPipeline> {
+    static PIPELINE: OnceLock<Arc<SleuthPipeline>> = OnceLock::new();
+    Arc::clone(PIPELINE.get_or_init(|| {
+        let app = sleuth::synth::presets::synthetic(12, 1);
+        let train = CorpusBuilder::new(&app).seed(5).normal_traces(100).plain_traces();
+        let config = PipelineConfig {
+            train: TrainConfig { epochs: 10, batch_traces: 32, lr: 1e-2, seed: 0 },
+            ..PipelineConfig::default()
+        };
+        Arc::new(SleuthPipeline::fit(&train, &config))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shutting down immediately after ingest — no ticks, no idle
+    /// windows elapsed — still drains every ingested trace exactly
+    /// once: the flush path loses nothing.
+    #[test]
+    fn prop_drain_after_shutdown_loses_no_traces(
+        app_seed in 0u64..40,
+        sim_seeds in proptest::collection::vec(1u64..500, 2..6),
+        num_shards in 1usize..6,
+    ) {
+        let seeds: BTreeSet<u64> = sim_seeds.into_iter().collect();
+        let traces: Vec<Trace> = seeds
+            .iter()
+            .map(|&s| simulate(12, app_seed, s, s % 2 == 0))
+            .collect();
+        let pipeline = serve_pipeline();
+        let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+            num_shards,
+            ..ServeConfig::default()
+        });
+        for t in &traces {
+            let report = runtime.submit_batch(t.spans().to_vec(), 0);
+            prop_assert_eq!(report.rejected + report.shed, 0);
+        }
+        let report = runtime.shutdown();
+        let m = &report.metrics;
+        prop_assert_eq!(report.store.trace_count(), traces.len());
+        prop_assert_eq!(m.traces_completed, traces.len() as u64);
+        prop_assert_eq!(m.traces_malformed, 0);
+        prop_assert_eq!(
+            m.spans_submitted,
+            m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+        );
+        // Verdicts match the batch pipeline over the same traces.
+        let anomalous: Vec<&Trace> = traces
+            .iter()
+            .filter(|t| pipeline.detector().is_anomalous(t))
+            .collect();
+        prop_assert_eq!(report.verdicts.len(), anomalous.len());
+        let mut online: Vec<u64> = report.verdicts.iter().map(|v| v.trace_id).collect();
+        online.sort_unstable();
+        let mut expected: Vec<u64> = anomalous.iter().map(|t| t.trace_id()).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(online, expected);
     }
 }

@@ -1,0 +1,234 @@
+//! Integration tests for the online serving runtime: a chaos corpus
+//! replayed as shuffled, duplicated, cross-batch out-of-order span
+//! streams must produce exactly the verdicts the offline batch
+//! pipeline produces, with every span accounted for.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::gnn::TrainConfig;
+use sleuth::serve::{ServeConfig, ServeRuntime, ShedPolicy};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::trace::{Span, Trace};
+
+/// One quick-fitted pipeline shared by every test in this file.
+fn pipeline() -> Arc<SleuthPipeline> {
+    static PIPELINE: OnceLock<Arc<SleuthPipeline>> = OnceLock::new();
+    Arc::clone(PIPELINE.get_or_init(|| {
+        let app = presets::synthetic(12, 1);
+        let train = CorpusBuilder::new(&app).seed(5).normal_traces(120).plain_traces();
+        let config = PipelineConfig {
+            train: TrainConfig { epochs: 12, batch_traces: 32, lr: 1e-2, seed: 0 },
+            ..PipelineConfig::default()
+        };
+        Arc::new(SleuthPipeline::fit(&train, &config))
+    }))
+}
+
+fn chaos_traces(n: usize) -> Vec<Trace> {
+    let app = presets::synthetic(12, 1);
+    CorpusBuilder::new(&app)
+        .seed(5)
+        .mixed_traces(n, 8)
+        .traces
+        .into_iter()
+        .map(|t| t.trace)
+        .collect()
+}
+
+#[test]
+fn shuffled_duplicated_stream_matches_batch_pipeline() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(80);
+
+    // Shuffle all spans globally (cross-batch out-of-order) and
+    // retransmit every 5th span.
+    let mut spans: Vec<Span> = traces.iter().flat_map(|t| t.spans().to_vec()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    spans.shuffle(&mut rng);
+    let duplicates: Vec<Span> = spans.iter().step_by(5).cloned().collect();
+    let unique = spans.len();
+    spans.extend(duplicates);
+    spans.shuffle(&mut rng);
+
+    // Replay: the clock advances far less than the idle window per
+    // batch, so shuffling cannot split a trace across completions.
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+        num_shards: 4,
+        idle_timeout_us: 1_000_000,
+        ..ServeConfig::default()
+    });
+    let mut clock = 0;
+    for batch in spans.chunks(300) {
+        let report = runtime.submit_batch(batch.to_vec(), clock);
+        assert_eq!(report.rejected + report.shed, 0, "no overload expected");
+        clock += 1_000;
+    }
+    clock += 2_000_000;
+    runtime.tick(clock);
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+
+    // Every trace assembled exactly once, every span accounted for.
+    assert_eq!(m.traces_completed, traces.len() as u64);
+    assert_eq!(m.traces_malformed, 0);
+    assert_eq!(report.store.trace_count(), traces.len());
+    assert_eq!(report.store.span_count(), unique);
+    assert_eq!(m.spans_deduped, (spans.len() - unique) as u64);
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+    );
+
+    // Verdicts identical to the batch pipeline over the same corpus.
+    let online: BTreeMap<u64, Vec<String>> = report
+        .verdicts
+        .iter()
+        .map(|v| (v.trace_id, v.services.clone()))
+        .collect();
+    assert_eq!(online.len(), report.verdicts.len(), "duplicate verdicts");
+    let anomalous: Vec<Trace> = traces
+        .iter()
+        .filter(|t| pipeline.detector().is_anomalous(t))
+        .cloned()
+        .collect();
+    let batch: BTreeMap<u64, Vec<String>> = anomalous
+        .iter()
+        .zip(pipeline.analyze_without_clustering(&anomalous))
+        .map(|(t, r)| (t.trace_id(), r.services))
+        .collect();
+    assert!(!batch.is_empty(), "chaos corpus produced no anomalies");
+    assert_eq!(online, batch);
+}
+
+/// Rebadge one anomalous trace's spans under a fresh trace id.
+fn rebadged(spans: &[Span], trace_id: u64) -> Vec<Span> {
+    spans
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            s.trace_id = trace_id;
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn backpressure_rejects_under_undersized_queue() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(40);
+    let anomalous = traces
+        .iter()
+        .find(|t| pipeline.detector().is_anomalous(t))
+        .expect("chaos corpus contains an anomaly");
+
+    // Single shard, single-slot queues: once a tick completes many
+    // anomalous traces at once, the shard worker blocks pushing them
+    // into the one-slot RCA queue (localisation takes real time per
+    // trace), the shard queue stays full, and submits bounce.
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+        num_shards: 1,
+        shard_queue_capacity: 1,
+        rca_queue_capacity: 1,
+        idle_timeout_us: 1_000,
+        shed_policy: ShedPolicy::Reject,
+        ..ServeConfig::default()
+    });
+    for i in 0..40u64 {
+        let spans = rebadged(anomalous.spans(), 10_000 + i);
+        while runtime.submit_batch(spans.clone(), 0).rejected > 0 {
+            std::thread::yield_now();
+        }
+    }
+    runtime.tick(1_000_000);
+
+    let mut rejected = 0;
+    for i in 0..200u64 {
+        let spans = rebadged(anomalous.spans(), 20_000 + i);
+        rejected += runtime.submit_batch(spans, 2_000_000 + i).rejected;
+    }
+    assert!(rejected > 0, "undersized queue never pushed back");
+
+    let report = runtime.shutdown();
+    assert!(report.metrics.spans_rejected > 0);
+    assert_eq!(
+        report.metrics.spans_submitted,
+        report.metrics.spans_stored
+            + report.metrics.spans_rejected
+            + report.metrics.spans_shed
+            + report.metrics.spans_evicted
+            + report.metrics.spans_deduped
+    );
+}
+
+#[test]
+fn drop_oldest_sheds_under_undersized_queue() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(20);
+    let anomalous = traces
+        .iter()
+        .find(|t| pipeline.detector().is_anomalous(t))
+        .expect("chaos corpus contains an anomaly");
+
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+        num_shards: 1,
+        shard_queue_capacity: 1,
+        rca_queue_capacity: 1,
+        idle_timeout_us: 1_000,
+        shed_policy: ShedPolicy::DropOldest,
+        ..ServeConfig::default()
+    });
+    let mut shed = 0;
+    for i in 0..40u64 {
+        shed += runtime.submit_batch(rebadged(anomalous.spans(), 30_000 + i), 0).shed;
+    }
+    runtime.tick(1_000_000);
+    for i in 0..200u64 {
+        shed += runtime
+            .submit_batch(rebadged(anomalous.spans(), 40_000 + i), 2_000_000 + i)
+            .shed;
+    }
+    assert!(shed > 0, "drop-oldest policy never shed");
+    let report = runtime.shutdown();
+    assert_eq!(report.metrics.spans_shed, shed as u64);
+    assert_eq!(
+        report.metrics.spans_submitted,
+        report.metrics.spans_stored
+            + report.metrics.spans_rejected
+            + report.metrics.spans_shed
+            + report.metrics.spans_evicted
+            + report.metrics.spans_deduped
+    );
+}
+
+#[test]
+fn collector_caps_shed_inside_shards() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(30);
+    let spans: Vec<Span> = traces.iter().flat_map(|t| t.spans().to_vec()).collect();
+
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+        num_shards: 2,
+        idle_timeout_us: 1 << 40, // nothing completes: caps must act
+        collector_caps: sleuth::store::CollectorCaps {
+            max_pending_traces: 3,
+            max_buffered_spans: usize::MAX,
+        },
+        ..ServeConfig::default()
+    });
+    runtime.submit_batch(spans, 1);
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+    assert!(m.spans_evicted > 0, "caps never evicted");
+    assert!(report.store.trace_count() <= 6, "at most 3 pending per shard survive");
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+    );
+}

@@ -25,7 +25,7 @@ fn simulated_traces_roundtrip_through_store() {
     assert_eq!(traces.len(), n);
     // Every stored trace reassembles into a well-formed tree.
     for t in &traces {
-        assert!(t.len() >= 1);
+        assert!(!t.is_empty());
         assert_eq!(t.max_depth(), t.iter().map(|(i, _)| t.depth(i)).max().unwrap());
     }
 }

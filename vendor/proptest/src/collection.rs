@@ -1,0 +1,62 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::strategy::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Size specification for [`vec`]: a fixed length or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy generating vectors of elements from an inner strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let n = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors of `element`, with `size` either a fixed
+/// `usize` or a `Range<usize>`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::for_case("v", 0);
+        for _ in 0..100 {
+            let v = vec(0u64..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let f = vec(0u64..4, 3usize).generate(&mut rng);
+            assert_eq!(f.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, range / tuple / `any::<bool>()` /
+//! regex-string strategies, [`collection::vec`], and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test RNG (seeded from the test name and case index), so runs
+//! are reproducible; there is no shrinking — the failing inputs are
+//! printed instead.
+
+// Vendored shim: exempt from workspace lint style.
+#![allow(clippy::all)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Strategy, TestRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; keep CI fast while still sweeping.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker for [`any`]: types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Sample one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Whole-domain strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The commonly-glob-imported surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Strategy, TestRng};
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run `cases` deterministic property cases; used by [`proptest!`].
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    for i in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, i);
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest `{test_name}` failed on case {i}:\n{msg}");
+        }
+    }
+}
+
+/// Property-test harness macro (shim).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __outcome.map_err(|e| format!("{e}\n  inputs: {}", __inputs))
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4, f in 0.5f64..1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            pair in (0u64..10, 0.0f64..1.0),
+            xs in collection::vec(0u32..5, 0..8),
+            fixed in collection::vec(0usize..3, 4),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(fixed.len(), 4);
+        }
+
+        #[test]
+        fn bools_and_strings(b in any::<bool>(), s in "[a-c]{0,5}") {
+            prop_assert!(b || !b);
+            prop_assert!(s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `failing` failed")]
+    fn failures_report_inputs() {
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn failing(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        failing();
+    }
+}

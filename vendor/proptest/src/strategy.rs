@@ -1,0 +1,327 @@
+//! Value-generation strategies (shim: generation only, no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one named test case, stable across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A way to generate values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Span in u128: `0..=u64::MAX` has 2^64 values, which
+                // overflows a u64 span. A full-domain range just takes
+                // a raw 64-bit draw.
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    rng.next_u64() as $t
+                } else {
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                let v = v as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
+
+/// Fixed value strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-flavoured string strategies
+// ---------------------------------------------------------------------------
+
+/// One atom of the tiny pattern language.
+enum Atom {
+    /// Explicit alternatives from a `[...]` class.
+    Class(Vec<char>),
+    /// Any printable char (`\PC`): ASCII printable plus a few
+    /// multibyte characters to exercise UTF-8 handling.
+    Printable,
+    /// A literal char.
+    Literal(char),
+}
+
+struct Pattern {
+    atoms: Vec<(Atom, usize, usize)>,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(&c) = chars.peek() {
+        if c == ']' {
+            chars.next();
+            break;
+        }
+        chars.next();
+        if c == '-' {
+            // Range if both endpoints exist; else a literal '-'.
+            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                if hi != ']' {
+                    chars.next();
+                    for code in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            members.push(ch);
+                        }
+                    }
+                    prev = None;
+                    continue;
+                }
+            }
+            members.push('-');
+            prev = Some('-');
+        } else if c == '\\' {
+            if let Some(&esc) = chars.peek() {
+                chars.next();
+                members.push(esc);
+                prev = Some(esc);
+            }
+        } else {
+            members.push(c);
+            prev = Some(c);
+        }
+    }
+    members
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let atom = match c {
+            '[' => {
+                chars.next();
+                Atom::Class(parse_class(&mut chars))
+            }
+            '\\' => {
+                chars.next();
+                match chars.peek() {
+                    Some('P') => {
+                        chars.next();
+                        // `\PC` = not-control; treat as "printable".
+                        if chars.peek() == Some(&'C') {
+                            chars.next();
+                        }
+                        Atom::Printable
+                    }
+                    Some(&esc) => {
+                        chars.next();
+                        Atom::Literal(esc)
+                    }
+                    None => break,
+                }
+            }
+            _ => {
+                chars.next();
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    Pattern { atoms }
+}
+
+const PRINTABLE_EXTRA: [char; 6] = ['é', 'λ', '中', 'ß', 'Ω', '→'];
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Interpret `self` as a tiny regex subset (char classes, `\PC`,
+    /// literals, `{m,n}` repeats) and generate a matching string.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pattern.atoms {
+            let n = *lo + rng.below((*hi - *lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match atom {
+                    Atom::Class(members) if !members.is_empty() => {
+                        out.push(members[rng.below(members.len() as u64) as usize]);
+                    }
+                    Atom::Class(_) => {}
+                    Atom::Printable => {
+                        // Mostly ASCII printable, occasionally multibyte.
+                        if rng.below(8) == 0 {
+                            out.push(PRINTABLE_EXTRA[rng.below(6) as usize]);
+                        } else {
+                            out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii"));
+                        }
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let (a, b) = ((0u64..5, 1.0f64..2.0)).generate(&mut rng);
+            assert!(a < 5 && (1.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern() {
+        let mut rng = TestRng::for_case("p", 1);
+        for _ in 0..100 {
+            let s = "[a-zA-Z/._ -]{0,30}".generate(&mut rng);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || "/._ -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut rng = TestRng::for_case("p", 2);
+        for _ in 0..100 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(
+            (0u64..1000).generate(&mut a),
+            (0u64..1000).generate(&mut b)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Slice sampling helpers (`rand::seq` subset).
+
+use crate::Rng;
+
+/// Error returned by [`SliceRandom::choose_weighted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The slice was empty or all weights were zero.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no item to choose from"),
+            WeightedError::InvalidWeight => write!(f, "invalid weight"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly choose one element.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Choose one element with probability proportional to `weight`.
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&Self::Item, WeightedError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Self::Item) -> f64;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&T, WeightedError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&T) -> f64,
+    {
+        let weights: Vec<f64> = self.iter().map(&weight).collect();
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(WeightedError::InvalidWeight);
+        }
+        let total: f64 = weights.iter().sum();
+        if self.is_empty() || total <= 0.0 {
+            return Err(WeightedError::NoItem);
+        }
+        let mut x = rng.gen_range(0.0..total);
+        for (item, w) in self.iter().zip(&weights) {
+            if x < *w {
+                return Ok(item);
+            }
+            x -= w;
+        }
+        Ok(self.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Lcg(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_and_weighted() {
+        let mut rng = Lcg(11);
+        let v = [1u32, 2, 3];
+        assert!(v.choose(&mut rng).is_some());
+        let picked = *v.choose_weighted(&mut rng, |&x| x as f64).unwrap();
+        assert!(v.contains(&picked));
+        let empty: [u32; 0] = [];
+        assert_eq!(
+            empty.choose_weighted(&mut rng, |_| 1.0),
+            Err(WeightedError::NoItem)
+        );
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shimmed `serde` crate (whose data model is a concrete JSON-like
+//! `Value` tree) using only the built-in `proc_macro` API — the build
+//! environment has no `syn`/`quote`.
+//!
+//! Supported shapes: structs with named fields, unit structs, tuple
+//! structs, and enums with unit / newtype / tuple / struct variants.
+//! Supported `#[serde(...)]` attributes (the surface this workspace
+//! uses): `rename_all = "camelCase"` on containers, and `rename`,
+//! `default`, `skip_serializing_if = "path"` on fields.
+
+// Vendored shim: exempt from workspace lint style.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Container- or field-level `#[serde(...)]` attribute values.
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum Shape {
+    /// `struct S;`
+    Unit,
+    /// `struct S(A, B, …);` with the field count.
+    Tuple(usize),
+    /// `struct S { … }`
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, attrs: SerdeAttrs, shape: Shape },
+    // Enum-level serde attrs are parsed (so unsupported ones error)
+    // but none of the workspace's enums need them applied.
+    Enum { name: String, #[allow(dead_code)] attrs: SerdeAttrs, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    /// Parse leading `#[...]` attributes, folding `#[serde(...)]`
+    /// contents into the returned attrs.
+    fn parse_attrs(&mut self) -> Result<SerdeAttrs, String> {
+        let mut attrs = SerdeAttrs::default();
+        while self.eat_punct('#') {
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("expected [...] after #".into()),
+            };
+            let mut inner = Cursor::new(group.stream());
+            let is_serde = inner.peek_ident("serde");
+            if !is_serde {
+                continue;
+            }
+            inner.next();
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                _ => return Err("expected serde(...)".into()),
+            };
+            let mut items = Cursor::new(args.stream());
+            while !items.at_end() {
+                let key = match items.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => return Err(format!("unexpected token in serde attr: {other}")),
+                    None => break,
+                };
+                let value = if items.eat_punct('=') {
+                    match items.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            Some(s.trim_matches('"').to_string())
+                        }
+                        _ => return Err("expected string literal in serde attr".into()),
+                    }
+                } else {
+                    None
+                };
+                match (key.as_str(), value) {
+                    ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+                    ("rename", Some(v)) => attrs.rename = Some(v),
+                    ("default", None) => attrs.default = true,
+                    ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+                    (other, _) => {
+                        return Err(format!("unsupported serde attribute `{other}` (shim)"))
+                    }
+                }
+                items.eat_punct(',');
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Skip an optional `pub` / `pub(crate)` visibility.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skip a type (field type or discriminant): everything until a
+    /// top-level `,`, tracking `<`/`>` nesting.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.parse_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got {other}")),
+            None => break,
+        };
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.skip_until_comma();
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut n = 0;
+    while !cur.at_end() {
+        // Each iteration consumes one field (attrs + vis + type).
+        let _ = cur.parse_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_until_comma();
+        n += 1;
+        cur.eat_punct(',');
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let attrs = cur.parse_attrs()?;
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim: generic type `{name}` unsupported"));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Item::Struct { name, attrs, shape })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            let mut vcur = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vcur.at_end() {
+                let _vattrs = vcur.parse_attrs()?;
+                if vcur.at_end() {
+                    break;
+                }
+                let vname = match vcur.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => return Err(format!("expected variant name, got {other}")),
+                    None => break,
+                };
+                let shape = match vcur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        vcur.next();
+                        Shape::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vcur.next();
+                        Shape::Tuple(n)
+                    }
+                    _ => Shape::Unit,
+                };
+                if vcur.eat_punct('=') {
+                    vcur.skip_until_comma();
+                }
+                vcur.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            Ok(Item::Enum { name, attrs, variants })
+        }
+        other => Err(format!("cannot derive serde for `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn camel_case(snake: &str) -> String {
+    let mut out = String::with_capacity(snake.len());
+    let mut upper_next = false;
+    for (i, ch) in snake.chars().enumerate() {
+        if ch == '_' {
+            upper_next = i > 0;
+        } else if upper_next {
+            out.extend(ch.to_uppercase());
+            upper_next = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn field_key(field: &Field, container: &SerdeAttrs) -> String {
+    if let Some(r) = &field.attrs.rename {
+        return r.clone();
+    }
+    match container.rename_all.as_deref() {
+        Some("camelCase") => camel_case(&field.name),
+        _ => field.name.clone(),
+    }
+}
+
+fn gen_struct_ser(name: &str, attrs: &SerdeAttrs, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut code = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                let key = field_key(f, attrs);
+                let insert = format!(
+                    "__map.insert(\"{key}\", ::serde::Serialize::to_value(&self.{}));",
+                    f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    code.push_str(&format!("if !({pred}(&self.{})) {{ {insert} }}\n", f.name));
+                } else {
+                    code.push_str(&insert);
+                    code.push('\n');
+                }
+            }
+            code.push_str("::serde::Value::Object(__map)");
+            code
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_de_fields(fields: &[Field], container: &SerdeAttrs, ty: &str) -> String {
+    let mut code = String::new();
+    for f in fields {
+        let key = field_key(f, container);
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"missing field `{key}` in {ty}\"))"
+            )
+        };
+        code.push_str(&format!(
+            "{}: match __obj.get(\"{key}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    code
+}
+
+fn gen_struct_de(name: &str, attrs: &SerdeAttrs, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::custom(\"expected null for {name}\")) }}"
+        ),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected {n}-element array for {name}\")),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => format!(
+            "let __obj = match __v {{\n\
+             ::serde::Value::Object(__m) => __m,\n\
+             _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"expected object for {name}\")),\n\
+             }};\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            gen_named_de_fields(fields, attrs, name)
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\n\
+                     let mut __m = ::serde::Map::new();\n\
+                     __m.insert(\"{vn}\", {inner});\n\
+                     ::serde::Value::Object(__m)\n\
+                     }},\n",
+                    binds.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__inner.insert(\"{}\", ::serde::Serialize::to_value({}));\n",
+                        f.name, f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n\
+                     {inner}\
+                     let mut __m = ::serde::Map::new();\n\
+                     __m.insert(\"{vn}\", ::serde::Value::Object(__inner));\n\
+                     ::serde::Value::Object(__m)\n\
+                     }},\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}\n}}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(n) => {
+                let build = if *n == 1 {
+                    format!("{name}::{vn}(::serde::Deserialize::from_value(__val)?)")
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __val {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         {name}::{vn}({}),\n\
+                         _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"variant {vn}: expected {n}-element array\")),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                };
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({build}),\n"
+                ));
+            }
+            Shape::Named(fields) => {
+                let plain = SerdeAttrs::default();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __obj = match __val {{\n\
+                     ::serde::Value::Object(__m) => __m,\n\
+                     _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"variant {vn}: expected object\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{}\n}})\n\
+                     }},\n",
+                    gen_named_de_fields(fields, &plain, name)
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+         let (__k, __val) = __m.iter().next().expect(\"len-1 object\");\n\
+         match __k.as_str() {{\n\
+         {data_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::DeError::custom(\
+         \"expected string or single-key object for {name}\")),\n\
+         }}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct { name, attrs, shape }) => match mode {
+            Mode::Ser => gen_struct_ser(&name, &attrs, &shape),
+            Mode::De => gen_struct_de(&name, &attrs, &shape),
+        },
+        Ok(Item::Enum { name, variants, .. }) => match mode {
+            Mode::Ser => gen_enum_ser(&name, &variants),
+            Mode::De => gen_enum_de(&name, &variants),
+        },
+        Err(msg) => format!("compile_error!(\"serde derive shim: {msg}\");"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde derive shim generated invalid code: {e}\");")
+            .parse()
+            .expect("compile_error parses")
+    })
+}
+
+/// Derive the shimmed `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derive the shimmed `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
