@@ -125,6 +125,22 @@ impl OpProfile {
         }
     }
 
+    /// Assemble a profile from externally computed statistics — the
+    /// constructor used by incremental baseline refresh, where the
+    /// per-operation stats come from streaming sketches over served
+    /// traffic rather than a batch [`OpProfile::fit`].
+    pub fn from_parts(
+        stats: HashMap<OpKey, OpStats>,
+        root_p95: HashMap<OpKey, u64>,
+        root_p50: HashMap<OpKey, u64>,
+    ) -> Self {
+        OpProfile {
+            stats,
+            root_p95,
+            root_p50,
+        }
+    }
+
     /// Stats for an operation, if seen in training.
     pub fn get(&self, key: &OpKey) -> Option<&OpStats> {
         self.stats.get(key)
@@ -160,6 +176,15 @@ impl OpProfile {
     /// Iterate over all `(key, stats)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&OpKey, &OpStats)> {
         self.stats.iter()
+    }
+
+    /// Iterate over all profiled root operations as
+    /// `(key, p50_us, p95_us)` of end-to-end duration.
+    pub fn roots(&self) -> impl Iterator<Item = (&OpKey, u64, u64)> {
+        self.root_p95.iter().map(|(k, &p95)| {
+            let p50 = self.root_p50.get(k).copied().unwrap_or(p95);
+            (k, p50, p95)
+        })
     }
 }
 

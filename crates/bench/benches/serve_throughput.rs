@@ -72,7 +72,8 @@ fn bench_serve_ingest(c: &mut Criterion) {
                 num_shards: 4,
                 idle_timeout_us: 1_000_000,
                 ..ServeConfig::default()
-            });
+            })
+            .expect("valid serve config");
             let mut clock = 0u64;
             for batch in spans.chunks(400) {
                 runtime.submit_batch(batch.to_vec(), clock);

@@ -48,6 +48,21 @@ impl CounterfactualRca {
         }
     }
 
+    /// A copy of this localiser restoring against a different
+    /// normal-state `profile` — the incremental-refresh hook: the
+    /// trained model and featurizer vocabulary are reused as-is, only
+    /// the baselines (median exclusive durations, SLO percentiles)
+    /// change.
+    pub fn with_profile(&self, profile: OpProfile) -> CounterfactualRca {
+        CounterfactualRca {
+            model: self.model.clone(),
+            featurizer: Mutex::new(self.featurizer.lock().expect("featurizer lock").clone()),
+            profile,
+            max_candidates: self.max_candidates,
+            slo_multiplier: self.slo_multiplier,
+        }
+    }
+
     /// The trained model.
     pub fn model(&self) -> &SleuthModel {
         &self.model

@@ -33,7 +33,7 @@
 //! let queries = builder.anomaly_queries(3, 20);
 //! for q in &queries {
 //!     let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
-//!     for result in sleuth.analyze(&traces) {
+//!     for result in sleuth.analyze(&traces, Default::default()) {
 //!         println!("trace {} -> {:?}", result.trace_idx, result.services);
 //!     }
 //! }
@@ -46,5 +46,8 @@ pub mod registry;
 
 pub use anomaly::AnomalyDetector;
 pub use counterfactual::{CounterfactualRca, InstanceVerdict};
-pub use pipeline::{PipelineConfig, RcaResult, SleuthPipeline};
+pub use pipeline::{
+    AnalyzeOptions, ClusteringMode, PipelineConfig, PipelineConfigBuilder, RcaResult,
+    SleuthPipeline,
+};
 pub use registry::{ModelRegistry, ModelStatus};

@@ -11,19 +11,32 @@ use crate::anomaly::AnomalyDetector;
 use crate::counterfactual::CounterfactualRca;
 
 /// Configuration of the full pipeline.
+///
+/// Construct via [`PipelineConfig::default`], the
+/// [`PipelineConfig::builder`], or the [`PipelineConfig::gcn`] ablation
+/// preset, then override fields as needed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
-    /// GNN hyper-parameters.
+    /// GNN hyper-parameters (§3.4): aggregator kind (GIN by default,
+    /// GCN for the ablation), hidden width, and the semantic embedding
+    /// dimension fed by the §3.2 featurizer.
     pub model: ModelConfig,
-    /// Training hyper-parameters.
+    /// Training hyper-parameters for the Eq. 5 loss (§3.4): epochs,
+    /// traces per mini-batch graph, learning rate, shuffling seed.
     pub train: TrainConfig,
-    /// Trace-set encoder ancestor horizon `d_max`.
+    /// Trace-set encoder ancestor horizon `d_max` (§3.3): span
+    /// identifiers include ancestor operation names up to this depth,
+    /// so the weighted-Jaccard distance sees call-path context.
     pub d_max: usize,
-    /// HDBSCAN parameters for anomaly-trace clustering.
+    /// HDBSCAN parameters for anomaly-trace clustering (§3.3): minimum
+    /// cluster size, core-distance sample count, selection epsilon,
+    /// and whether a single all-encompassing cluster is acceptable.
     pub hdbscan: HdbscanParams,
-    /// Maximum services restored per counterfactual query.
+    /// Maximum services restored per counterfactual query (§3.5)
+    /// before RCA gives up and reports the top-ranked candidate alone.
     pub max_candidates: usize,
-    /// Model seed.
+    /// Seed for GNN weight initialisation (§3.4); experiments are
+    /// reproducible bit-for-bit on one platform given the same seed.
     pub seed: u64,
 }
 
@@ -59,6 +72,113 @@ impl PipelineConfig {
                 ..ModelConfig::default()
             },
             ..PipelineConfig::default()
+        }
+    }
+
+    /// Per-field builder starting from the defaults, mirroring
+    /// `ServeConfig::builder` on the serving side.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Per-field builder for [`PipelineConfig`]; finish with
+/// [`PipelineConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Set the GNN hyper-parameters (§3.4).
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Set the training hyper-parameters (§3.4, Eq. 5).
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.config.train = train;
+        self
+    }
+
+    /// Set the trace-set ancestor horizon `d_max` (§3.3).
+    pub fn d_max(mut self, d_max: usize) -> Self {
+        self.config.d_max = d_max;
+        self
+    }
+
+    /// Set the HDBSCAN clustering parameters (§3.3).
+    pub fn hdbscan(mut self, hdbscan: HdbscanParams) -> Self {
+        self.config.hdbscan = hdbscan;
+        self
+    }
+
+    /// Set the counterfactual candidate budget (§3.5).
+    pub fn max_candidates(mut self, max_candidates: usize) -> Self {
+        self.config.max_candidates = max_candidates;
+        self
+    }
+
+    /// Set the model initialisation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> PipelineConfig {
+        self.config
+    }
+}
+
+/// How [`SleuthPipeline::analyze`] groups traces before localisation.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum ClusteringMode<'a> {
+    /// Weighted-Jaccard distance + HDBSCAN clustering (§3.3, the
+    /// default): each cluster's geometric-median representative is
+    /// localised and its root causes generalise to the whole cluster.
+    #[default]
+    Jaccard,
+    /// Localise every trace individually — the paper's
+    /// "w/o clustering" configuration. Results are independent of how
+    /// traces are batched together.
+    Disabled,
+    /// Cluster on a caller-supplied distance matrix (used to compare
+    /// clustering metrics, e.g. DeepTraLog's SVDD distance).
+    Precomputed(&'a DistanceMatrix),
+}
+
+/// Options for [`SleuthPipeline::analyze`], the single batch-analysis
+/// entry point. `AnalyzeOptions::default()` reproduces the paper's
+/// full pipeline (Jaccard clustering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions<'a> {
+    /// Trace grouping policy.
+    pub clustering: ClusteringMode<'a>,
+}
+
+impl<'a> AnalyzeOptions<'a> {
+    /// The paper's full pipeline: Jaccard + HDBSCAN clustering.
+    pub fn clustered() -> Self {
+        AnalyzeOptions {
+            clustering: ClusteringMode::Jaccard,
+        }
+    }
+
+    /// Per-trace localisation with no clustering.
+    pub fn unclustered() -> Self {
+        AnalyzeOptions {
+            clustering: ClusteringMode::Disabled,
+        }
+    }
+
+    /// Clustering over an externally computed distance matrix.
+    pub fn with_distance(dm: &'a DistanceMatrix) -> Self {
+        AnalyzeOptions {
+            clustering: ClusteringMode::Precomputed(dm),
         }
     }
 }
@@ -131,68 +251,65 @@ impl SleuthPipeline {
         &self.detector
     }
 
-    /// Analyse a batch of anomalous traces **with clustering** (§3.3):
-    /// traces are clustered by the weighted-Jaccard distance; each
-    /// cluster's geometric-median representative is localised and its
-    /// root causes are generalised to the whole cluster. Noise traces
-    /// are localised individually.
-    pub fn analyze(&self, traces: &[Trace]) -> Vec<RcaResult> {
+    /// A copy of this pipeline with its detector SLOs and
+    /// counterfactual restore targets replaced by `profile` — the
+    /// incremental baseline-refresh hook. The trained GNN, featurizer
+    /// vocabulary, encoder, and clustering parameters are reused
+    /// untouched; only the normal-state baselines (per-operation
+    /// duration medians, root SLO percentiles, §3.3/§3.5) change, so
+    /// no refit is needed.
+    pub fn with_baselines(&self, profile: OpProfile) -> SleuthPipeline {
+        let mut detector = AnomalyDetector::from_profile(profile.clone());
+        detector.slo_multiplier = self.detector.slo_multiplier;
+        SleuthPipeline {
+            rca: self.rca.with_profile(profile),
+            detector,
+            encoder: self.encoder,
+            hdbscan_params: self.hdbscan_params,
+        }
+    }
+
+    /// Analyse a batch of anomalous traces — the single batch entry
+    /// point. The grouping policy comes from
+    /// [`AnalyzeOptions::clustering`]:
+    ///
+    /// * [`ClusteringMode::Jaccard`] (default, §3.3) — traces are
+    ///   clustered by the weighted-Jaccard distance; each cluster's
+    ///   geometric-median representative is localised and its root
+    ///   causes are generalised to the whole cluster. Noise traces are
+    ///   localised individually.
+    /// * [`ClusteringMode::Disabled`] — every trace is localised
+    ///   individually.
+    /// * [`ClusteringMode::Precomputed`] — clustering runs on a
+    ///   caller-supplied distance matrix.
+    pub fn analyze(&self, traces: &[Trace], options: AnalyzeOptions) -> Vec<RcaResult> {
         if traces.is_empty() {
             return Vec::new();
         }
-        let sets: Vec<_> = traces.iter().map(|t| self.encoder.encode(t)).collect();
-        let dm = DistanceMatrix::from_sets(&sets);
-        let clustering = hdbscan(&dm, &self.hdbscan_params);
-
-        let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
-        for c in 0..clustering.n_clusters() as isize {
-            let members = clustering.members(c);
-            let rep = geometric_median(&dm, &members).expect("cluster non-empty");
-            let services = self.rca.localize(&traces[rep]);
-            for m in members {
-                results[m] = Some(RcaResult {
-                    trace_idx: m,
-                    services: services.clone(),
-                    cluster: Some(c),
-                    representative: m == rep,
-                });
+        match options.clustering {
+            ClusteringMode::Jaccard => {
+                let sets: Vec<_> = traces.iter().map(|t| self.encoder.encode(t)).collect();
+                let dm = DistanceMatrix::from_sets(&sets);
+                self.localize_clustered(traces, &dm)
             }
+            ClusteringMode::Disabled => traces
+                .iter()
+                .enumerate()
+                .map(|(i, t)| RcaResult {
+                    trace_idx: i,
+                    services: self.rca.localize(t),
+                    cluster: None,
+                    representative: true,
+                })
+                .collect(),
+            ClusteringMode::Precomputed(dm) => self.localize_clustered(traces, dm),
         }
-        for i in clustering.noise() {
-            results[i] = Some(RcaResult {
-                trace_idx: i,
-                services: self.rca.localize(&traces[i]),
-                cluster: None,
-                representative: true,
-            });
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every trace labelled"))
-            .collect()
     }
 
-    /// Analyse every trace individually (no clustering) — the paper's
-    /// "w/o clustering" configuration.
-    pub fn analyze_without_clustering(&self, traces: &[Trace]) -> Vec<RcaResult> {
-        traces
-            .iter()
-            .enumerate()
-            .map(|(i, t)| RcaResult {
-                trace_idx: i,
-                services: self.rca.localize(t),
-                cluster: None,
-                representative: true,
-            })
-            .collect()
-    }
-
-    /// Analyse with an externally supplied distance matrix (used to
-    /// compare clustering metrics, e.g. DeepTraLog's SVDD distance).
-    pub fn analyze_with_distance(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
-        if traces.is_empty() {
-            return Vec::new();
-        }
+    /// Shared clustering path: HDBSCAN over `dm`, representative per
+    /// cluster, inherited verdicts for members, per-trace verdicts for
+    /// noise.
+    fn localize_clustered(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
         let clustering = hdbscan(dm, &self.hdbscan_params);
         let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
         for c in 0..clustering.n_clusters() as isize {
@@ -220,6 +337,24 @@ impl SleuthPipeline {
             .into_iter()
             .map(|r| r.expect("every trace labelled"))
             .collect()
+    }
+
+    /// Analyse every trace individually (no clustering).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use analyze(traces, AnalyzeOptions::unclustered())"
+    )]
+    pub fn analyze_without_clustering(&self, traces: &[Trace]) -> Vec<RcaResult> {
+        self.analyze(traces, AnalyzeOptions::unclustered())
+    }
+
+    /// Analyse with an externally supplied distance matrix.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use analyze(traces, AnalyzeOptions::with_distance(dm))"
+    )]
+    pub fn analyze_with_distance(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
+        self.analyze(traces, AnalyzeOptions::with_distance(dm))
     }
 }
 
@@ -271,7 +406,7 @@ mod tests {
             .iter()
             .flat_map(|q| q.traces.iter().map(|t| t.trace.clone()))
             .collect();
-        let results = pipeline.analyze(&traces);
+        let results = pipeline.analyze(&traces, AnalyzeOptions::default());
         assert_eq!(results.len(), traces.len());
         for r in &results {
             assert!(!r.services.is_empty());
@@ -289,7 +424,7 @@ mod tests {
         let queries = builder.anomaly_queries(1, 60);
         let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
         if traces.len() >= 10 {
-            let results = pipeline.analyze(&traces);
+            let results = pipeline.analyze(&traces, AnalyzeOptions::clustered());
             let reps = results.iter().filter(|r| r.representative).count();
             assert!(
                 reps < traces.len(),
@@ -307,7 +442,7 @@ mod tests {
         let pipeline = SleuthPipeline::fit(&train, &quick_config());
         let queries = builder.anomaly_queries(1, 60);
         let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
-        let results = pipeline.analyze(&traces);
+        let results = pipeline.analyze(&traces, AnalyzeOptions::default());
         for c in results.iter().filter_map(|r| r.cluster) {
             let in_cluster: Vec<&RcaResult> =
                 results.iter().filter(|r| r.cluster == Some(c)).collect();
@@ -321,7 +456,8 @@ mod tests {
         let app = presets::synthetic(16, 1);
         let train = CorpusBuilder::new(&app).seed(34).normal_traces(60).plain_traces();
         let pipeline = SleuthPipeline::fit(&train, &quick_config());
-        assert!(pipeline.analyze(&[]).is_empty());
+        assert!(pipeline.analyze(&[], AnalyzeOptions::default()).is_empty());
+        assert!(pipeline.analyze(&[], AnalyzeOptions::unclustered()).is_empty());
     }
 
     #[test]
@@ -332,7 +468,101 @@ mod tests {
         let pipeline = SleuthPipeline::fit(&train, &quick_config());
         let queries = builder.anomaly_queries(1, 10);
         let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
-        let results = pipeline.analyze_without_clustering(&traces);
+        let results = pipeline.analyze(&traces, AnalyzeOptions::unclustered());
         assert!(results.iter().all(|r| r.representative && r.cluster.is_none()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_new_entry_point() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(36);
+        let train = builder.normal_traces(60).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+        let queries = builder.anomaly_queries(1, 8);
+        let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
+        assert_eq!(
+            pipeline.analyze_without_clustering(&traces),
+            pipeline.analyze(&traces, AnalyzeOptions::unclustered())
+        );
+        let sets: Vec<_> = traces.iter().map(|t| TraceSetEncoder::new(3).encode(t)).collect();
+        let dm = DistanceMatrix::from_sets(&sets);
+        assert_eq!(
+            pipeline.analyze_with_distance(&traces, &dm),
+            pipeline.analyze(&traces, AnalyzeOptions::with_distance(&dm))
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let config = PipelineConfig::builder()
+            .d_max(5)
+            .max_candidates(7)
+            .seed(11)
+            .train(TrainConfig {
+                epochs: 3,
+                batch_traces: 8,
+                lr: 1e-3,
+                seed: 2,
+            })
+            .build();
+        assert_eq!(config.d_max, 5);
+        assert_eq!(config.max_candidates, 7);
+        assert_eq!(config.seed, 11);
+        assert_eq!(config.train.epochs, 3);
+        assert_eq!(config.model, PipelineConfig::default().model);
+    }
+
+    #[test]
+    fn with_baselines_swaps_detector_without_refit() {
+        let app = presets::synthetic(16, 1);
+        let builder = CorpusBuilder::new(&app).seed(37);
+        let train = builder.normal_traces(80).plain_traces();
+        let pipeline = SleuthPipeline::fit(&train, &quick_config());
+
+        // Refresh against a profile fit on 3x-slower versions of the
+        // same traffic: traces that violated the old SLO pass the new.
+        let slowed: Vec<Trace> = train
+            .iter()
+            .map(|t| {
+                let spans = t
+                    .spans()
+                    .iter()
+                    .cloned()
+                    .map(|mut s| {
+                        s.start_us *= 3;
+                        s.end_us *= 3;
+                        s
+                    })
+                    .collect();
+                Trace::assemble(spans).unwrap()
+            })
+            .collect();
+        let refreshed = pipeline.with_baselines(OpProfile::fit(&slowed));
+        let was_flagged = slowed
+            .iter()
+            .filter(|t| pipeline.detector().is_anomalous(t))
+            .count();
+        assert!(
+            was_flagged > slowed.len() / 2,
+            "drift mostly invisible to the old SLO ({was_flagged}/{})",
+            slowed.len()
+        );
+        // The refreshed SLO is the drifted p95, so at most the top ~5%
+        // of the drifted population can still be flagged.
+        let still_flagged = slowed
+            .iter()
+            .filter(|t| refreshed.detector().is_anomalous(t))
+            .count();
+        assert!(
+            still_flagged * 10 <= slowed.len(),
+            "refreshed baselines still flag drifted-healthy traffic ({still_flagged}/{})",
+            slowed.len()
+        );
+        // The model itself is shared, not refit.
+        assert_eq!(
+            refreshed.rca().model().to_checkpoint().params,
+            pipeline.rca().model().to_checkpoint().params
+        );
     }
 }

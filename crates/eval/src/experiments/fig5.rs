@@ -142,7 +142,7 @@ pub fn fig5_scaling(scale: &EvalScale) -> Fig5Result {
             }
         });
         let (_, gin_clustered) = time(|| {
-            let _ = gin.analyze(&batch);
+            let _ = gin.analyze(&batch, Default::default());
         });
 
         rows.push(Fig5Row {

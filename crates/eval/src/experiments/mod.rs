@@ -251,7 +251,7 @@ pub fn eval_pipeline_clustered(
     let mut acc = EvalAccumulator::new();
     for q in queries {
         let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
-        let results = pipeline.analyze(&traces);
+        let results = pipeline.analyze(&traces, Default::default());
         for (st, r) in q.traces.iter().zip(&results) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
             acc.add_query(&r.services, &truth);
@@ -267,7 +267,7 @@ pub fn clustering_savings(pipeline: &SleuthPipeline, queries: &[AnomalyQuery]) -
     let mut total = 0;
     for q in queries {
         let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
-        let results = pipeline.analyze(&traces);
+        let results = pipeline.analyze(&traces, Default::default());
         reps += results.iter().filter(|r| r.representative).count();
         total += results.len();
     }

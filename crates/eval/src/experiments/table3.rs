@@ -7,7 +7,7 @@ use serde::Serialize;
 
 use sleuth_baselines::{DeepTraLog, MaxDuration, RealtimeRca, Sage, Threshold, TraceAnomaly};
 use sleuth_cluster::DistanceMatrix;
-use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
 use sleuth_gnn::TrainConfig;
 use sleuth_trace::Trace;
 
@@ -175,7 +175,7 @@ fn eval_deeptralog_clustered(
                 .sum::<f64>()
                 .sqrt()
         });
-        let results = pipeline.analyze_with_distance(&traces, &dm);
+        let results = pipeline.analyze(&traces, AnalyzeOptions::with_distance(&dm));
         for (st, r) in q.traces.iter().zip(&results) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
             acc.add_query(&r.services, &truth);

@@ -19,7 +19,7 @@ pub enum ShedPolicy {
 pub enum ClusterPolicy {
     /// Localise each anomalous trace individually (default). Verdicts
     /// are independent of arrival batching, so online results match
-    /// the batch pipeline's `analyze_without_clustering` exactly.
+    /// the batch pipeline's unclustered `analyze` exactly.
     #[default]
     PerTrace,
     /// Cluster anomalous traces in micro-batches of up to this many
@@ -28,7 +28,73 @@ pub enum ClusterPolicy {
     MicroBatch(usize),
 }
 
-/// Tunables for [`crate::ServeRuntime`].
+/// Background incremental baseline refresh (see [`crate::refresh`]).
+///
+/// When set on [`ServeConfig::refresh`], every completed trace is also
+/// teed (as a clone, through a drop-oldest queue that can never
+/// backpressure ingest) into a [`crate::BaselineRefresher`] running on
+/// its own thread, which publishes a refreshed pipeline through the
+/// model registry every `interval_traces` folded traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshConfig {
+    /// Publish a refreshed pipeline after this many folded traces.
+    pub interval_traces: usize,
+    /// Capacity of the completed-trace refresh queue; overflow sheds
+    /// the oldest clone (counted in `refresh_traces_shed`).
+    pub queue_capacity: usize,
+    /// An operation's sketched baselines only override the base
+    /// profile once it has this many fresh samples.
+    pub min_op_samples: usize,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            interval_traces: 256,
+            queue_capacity: 1024,
+            min_op_samples: 20,
+        }
+    }
+}
+
+/// A [`ServeConfig`] invariant violation, reported by
+/// [`ServeConfig::validate`] and [`crate::ServeRuntime::start`]
+/// instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_shards` was zero.
+    ZeroShards,
+    /// `shard_queue_capacity` was zero.
+    ZeroShardQueueCapacity,
+    /// `rca_queue_capacity` was zero.
+    ZeroRcaQueueCapacity,
+    /// `ClusterPolicy::MicroBatch(0)`.
+    ZeroMicroBatch,
+    /// `RefreshConfig::interval_traces` was zero.
+    ZeroRefreshInterval,
+    /// `RefreshConfig::queue_capacity` was zero.
+    ZeroRefreshQueueCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroShards => "num_shards must be positive",
+            ConfigError::ZeroShardQueueCapacity => "shard_queue_capacity must be positive",
+            ConfigError::ZeroRcaQueueCapacity => "rca_queue_capacity must be positive",
+            ConfigError::ZeroMicroBatch => "micro-batch size must be positive",
+            ConfigError::ZeroRefreshInterval => "refresh interval_traces must be positive",
+            ConfigError::ZeroRefreshQueueCapacity => "refresh queue_capacity must be positive",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Tunables for [`crate::ServeRuntime`]. Construct via
+/// [`ServeConfig::builder`] or struct-literal update syntax over
+/// [`ServeConfig::default`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker shards; each owns a collector and a trace-store slice.
@@ -47,6 +113,9 @@ pub struct ServeConfig {
     pub shed_policy: ShedPolicy,
     /// RCA grouping policy.
     pub cluster_policy: ClusterPolicy,
+    /// Background incremental baseline refresh; `None` (default)
+    /// disables the refresher thread entirely.
+    pub refresh: Option<RefreshConfig>,
 }
 
 impl Default for ServeConfig {
@@ -59,28 +128,190 @@ impl Default for ServeConfig {
             collector_caps: CollectorCaps::default(),
             shed_policy: ShedPolicy::default(),
             cluster_policy: ClusterPolicy::default(),
+            refresh: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// Validate invariants the runtime relies on.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a zero shard count or zero queue capacity.
-    pub fn validate(&self) {
-        assert!(self.num_shards > 0, "num_shards must be positive");
-        assert!(
-            self.shard_queue_capacity > 0,
-            "shard_queue_capacity must be positive"
-        );
-        assert!(
-            self.rca_queue_capacity > 0,
-            "rca_queue_capacity must be positive"
-        );
-        if let ClusterPolicy::MicroBatch(n) = self.cluster_policy {
-            assert!(n > 0, "micro-batch size must be positive");
+    /// A builder starting from [`ServeConfig::default`].
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
         }
+    }
+
+    /// Check every invariant the runtime relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.shard_queue_capacity == 0 {
+            return Err(ConfigError::ZeroShardQueueCapacity);
+        }
+        if self.rca_queue_capacity == 0 {
+            return Err(ConfigError::ZeroRcaQueueCapacity);
+        }
+        if matches!(self.cluster_policy, ClusterPolicy::MicroBatch(0)) {
+            return Err(ConfigError::ZeroMicroBatch);
+        }
+        if let Some(refresh) = &self.refresh {
+            if refresh.interval_traces == 0 {
+                return Err(ConfigError::ZeroRefreshInterval);
+            }
+            if refresh.queue_capacity == 0 {
+                return Err(ConfigError::ZeroRefreshQueueCapacity);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent constructor for [`ServeConfig`]; see the field docs there.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Set the worker-shard count.
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.config.num_shards = n;
+        self
+    }
+
+    /// Set the per-shard queue capacity (in batches).
+    pub fn shard_queue_capacity(mut self, n: usize) -> Self {
+        self.config.shard_queue_capacity = n;
+        self
+    }
+
+    /// Set the RCA queue capacity (in traces).
+    pub fn rca_queue_capacity(mut self, n: usize) -> Self {
+        self.config.rca_queue_capacity = n;
+        self
+    }
+
+    /// Set the collector idle window, µs of logical time.
+    pub fn idle_timeout_us(mut self, us: u64) -> Self {
+        self.config.idle_timeout_us = us;
+        self
+    }
+
+    /// Set the per-shard collector buffering caps.
+    pub fn collector_caps(mut self, caps: CollectorCaps) -> Self {
+        self.config.collector_caps = caps;
+        self
+    }
+
+    /// Set the full-queue admission policy.
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.config.shed_policy = policy;
+        self
+    }
+
+    /// Set the RCA grouping policy.
+    pub fn cluster_policy(mut self, policy: ClusterPolicy) -> Self {
+        self.config.cluster_policy = policy;
+        self
+    }
+
+    /// Enable background baseline refresh.
+    pub fn refresh(mut self, refresh: RefreshConfig) -> Self {
+        self.config.refresh = Some(refresh);
+        self
+    }
+
+    /// Validate and return the finished config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let caps = CollectorCaps::default();
+        let refresh = RefreshConfig {
+            interval_traces: 64,
+            queue_capacity: 128,
+            min_op_samples: 5,
+        };
+        let config = ServeConfig::builder()
+            .num_shards(2)
+            .shard_queue_capacity(8)
+            .rca_queue_capacity(16)
+            .idle_timeout_us(1000)
+            .collector_caps(caps)
+            .shed_policy(ShedPolicy::DropOldest)
+            .cluster_policy(ClusterPolicy::MicroBatch(4))
+            .refresh(refresh)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.num_shards, 2);
+        assert_eq!(config.shard_queue_capacity, 8);
+        assert_eq!(config.rca_queue_capacity, 16);
+        assert_eq!(config.idle_timeout_us, 1000);
+        assert_eq!(config.shed_policy, ShedPolicy::DropOldest);
+        assert_eq!(config.cluster_policy, ClusterPolicy::MicroBatch(4));
+        assert_eq!(config.refresh, Some(refresh));
+    }
+
+    #[test]
+    fn invalid_configs_name_the_violated_invariant() {
+        assert_eq!(
+            ServeConfig::builder().num_shards(0).build().unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .shard_queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroShardQueueCapacity
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .rca_queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRcaQueueCapacity
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .cluster_policy(ClusterPolicy::MicroBatch(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMicroBatch
+        );
+        let bad_refresh = RefreshConfig {
+            interval_traces: 0,
+            ..RefreshConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .refresh(bad_refresh)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRefreshInterval
+        );
+        assert!(ConfigError::ZeroShards.to_string().contains("num_shards"));
     }
 }

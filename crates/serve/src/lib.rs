@@ -11,9 +11,12 @@
 //!                    ┌─ shard 0: queue ─ Collector ─ TraceStore ─┐
 //!  submit_batch ──►──┼─ shard 1: queue ─ Collector ─ TraceStore ─┼─► RCA queue
 //!  (hash by          └─ shard N: queue ─ Collector ─ TraceStore ─┘      │
-//!   trace id)                                                  detector + Arc<SleuthPipeline>
-//!                                                                       │
-//!                                                                   verdicts
+//!   trace id)                      │ (completed-trace clones,           │
+//!                                  ▼  drop-oldest)              RCA stage: lease ─► verdicts
+//!                            refresh queue                              ▲  (version-tagged)
+//!                                  │                                    │ lease per batch
+//!                        BaselineRefresher ──── publish ────► ModelRegistry ◄── publish()
+//!                        (P² sketches, no refit)              (versioned hot-swap)
 //! ```
 //!
 //! * **Ingest front-end** ([`ServeRuntime::submit_batch`]) —
@@ -25,8 +28,17 @@
 //!   oldest pending one ([`ShedPolicy::DropOldest`]), and every
 //!   outcome is reported ([`SubmitReport`]) and counted.
 //! * **RCA stage** — pulls completed traces, filters through the
-//!   fitted anomaly detector, localises root causes via a shared
-//!   read-only `Arc<SleuthPipeline>`, and emits [`Verdict`]s.
+//!   fitted anomaly detector, localises root causes via a short-lived
+//!   [`ModelLease`] on the registry's current pipeline, and emits
+//!   version-tagged [`Verdict`]s.
+//! * **Model registry + hot swap** ([`ModelRegistry`],
+//!   [`ServeRuntime::publish`]) — versioned `Arc<SleuthPipeline>`
+//!   handles behind an epoch cell; a publish installs the new model
+//!   atomically and drains in-flight RCA work on retired versions.
+//! * **Incremental baseline refresh** ([`BaselineRefresher`],
+//!   [`RefreshConfig`]) — completed traces are folded into streaming
+//!   quantile sketches and periodically re-published as a refreshed
+//!   pipeline (same GNN, fresh baselines — no refit).
 //! * **Built-in metrics** ([`MetricsRegistry`]) — atomic counters and
 //!   fixed-bucket histograms, snapshotable ([`MetricsSnapshot`]) and
 //!   renderable as Prometheus-style text.
@@ -42,11 +54,17 @@
 pub mod config;
 pub mod metrics;
 pub mod queue;
+pub mod refresh;
+pub mod registry;
 pub mod runtime;
 pub mod shard;
 
-pub use config::{ClusterPolicy, ServeConfig, ShedPolicy};
+pub use config::{
+    ClusterPolicy, ConfigError, RefreshConfig, ServeConfig, ServeConfigBuilder, ShedPolicy,
+};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use queue::{BoundedQueue, PushOutcome};
+pub use refresh::{BaselineRefresher, P2Quantile};
+pub use registry::{ModelLease, ModelRegistry, ModelVersion};
 pub use runtime::{ServeReport, ServeRuntime, SubmitReport, Verdict};
 pub use shard::shard_of;

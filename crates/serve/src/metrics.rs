@@ -2,7 +2,11 @@
 //! histograms, snapshotable as plain structs and renderable as
 //! Prometheus-style exposition text.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::registry::ModelVersion;
 
 /// Number of log₂ histogram buckets; bucket `i` covers values in
 /// `[2^(i−1), 2^i)` (bucket 0 holds zeros), the last bucket is
@@ -138,6 +142,25 @@ pub struct MetricsRegistry {
     pub rca_latency_us: Histogram,
     /// Shard queue depth sampled at each submit.
     pub queue_depth: Histogram,
+    /// Model hot-swaps completed (the runtime's initial publish is not
+    /// a swap and is excluded).
+    pub model_swaps: Counter,
+    /// Wall-clock time each swap spent draining in-flight RCA work on
+    /// retired model versions, microseconds.
+    pub swap_drain_us: Histogram,
+    /// Refreshed pipelines published by the background refresher.
+    pub baseline_refreshes: Counter,
+    /// Completed traces folded into the streaming baseline sketches.
+    pub refresh_traces_folded: Counter,
+    /// Completed-trace *clones* shed from the refresh queue when the
+    /// refresher lags (outside span-conservation accounting: the
+    /// original spans are already stored).
+    pub refresh_traces_shed: Counter,
+    /// Traces folded between consecutive refresh publishes — how stale
+    /// the served baselines get before each refresh lands.
+    pub refresh_staleness_traces: Histogram,
+    /// Verdicts emitted per model version.
+    verdicts_by_version: Mutex<BTreeMap<u64, u64>>,
 }
 
 /// Frozen view of every metric, cheap to copy around and assert on.
@@ -156,9 +179,27 @@ pub struct MetricsSnapshot {
     pub verdicts_emitted: u64,
     pub rca_latency_us: HistogramSnapshot,
     pub queue_depth: HistogramSnapshot,
+    pub model_swaps: u64,
+    pub swap_drain_us: HistogramSnapshot,
+    pub baseline_refreshes: u64,
+    pub refresh_traces_folded: u64,
+    pub refresh_traces_shed: u64,
+    pub refresh_staleness_traces: HistogramSnapshot,
+    /// Verdicts emitted per model version, ascending by version.
+    pub verdicts_by_version: Vec<(u64, u64)>,
 }
 
 impl MetricsRegistry {
+    /// Count one verdict against the model version that produced it.
+    pub fn record_verdict_version(&self, version: ModelVersion) {
+        *self
+            .verdicts_by_version
+            .lock()
+            .expect("verdict version lock")
+            .entry(version.0)
+            .or_insert(0) += 1;
+    }
+
     /// Freeze every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -175,6 +216,19 @@ impl MetricsRegistry {
             verdicts_emitted: self.verdicts_emitted.get(),
             rca_latency_us: self.rca_latency_us.snapshot(),
             queue_depth: self.queue_depth.snapshot(),
+            model_swaps: self.model_swaps.get(),
+            swap_drain_us: self.swap_drain_us.snapshot(),
+            baseline_refreshes: self.baseline_refreshes.get(),
+            refresh_traces_folded: self.refresh_traces_folded.get(),
+            refresh_traces_shed: self.refresh_traces_shed.get(),
+            refresh_staleness_traces: self.refresh_staleness_traces.snapshot(),
+            verdicts_by_version: self
+                .verdicts_by_version
+                .lock()
+                .expect("verdict version lock")
+                .iter()
+                .map(|(&v, &n)| (v, n))
+                .collect(),
         }
     }
 }
@@ -201,13 +255,36 @@ impl MetricsSnapshot {
             ("sleuth_serve_traces_malformed_total", self.traces_malformed),
             ("sleuth_serve_traces_anomalous_total", self.traces_anomalous),
             ("sleuth_serve_verdicts_emitted_total", self.verdicts_emitted),
+            ("sleuth_serve_model_swaps_total", self.model_swaps),
+            (
+                "sleuth_serve_baseline_refreshes_total",
+                self.baseline_refreshes,
+            ),
+            (
+                "sleuth_serve_refresh_traces_folded_total",
+                self.refresh_traces_folded,
+            ),
+            (
+                "sleuth_serve_refresh_traces_shed_total",
+                self.refresh_traces_shed,
+            ),
         ];
         for (name, value) in counters {
             out.push_str(&format!("{name} {value}\n"));
         }
+        for (version, count) in &self.verdicts_by_version {
+            out.push_str(&format!(
+                "sleuth_serve_verdicts_total{{model_version=\"{version}\"}} {count}\n"
+            ));
+        }
         for (name, h) in [
             ("sleuth_serve_rca_latency_us", &self.rca_latency_us),
             ("sleuth_serve_queue_depth", &self.queue_depth),
+            ("sleuth_serve_swap_drain_us", &self.swap_drain_us),
+            (
+                "sleuth_serve_refresh_staleness_traces",
+                &self.refresh_staleness_traces,
+            ),
         ] {
             let mut cumulative = 0;
             for (i, &c) in h.buckets.iter().enumerate() {
@@ -263,6 +340,20 @@ mod tests {
         assert!(s.quantile_upper_bound(0.5) <= 64);
         assert!(s.quantile_upper_bound(1.0) >= 64);
         assert!((s.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_version_verdicts_accumulate_and_render() {
+        let m = MetricsRegistry::default();
+        m.record_verdict_version(ModelVersion(1));
+        m.record_verdict_version(ModelVersion(2));
+        m.record_verdict_version(ModelVersion(2));
+        let s = m.snapshot();
+        assert_eq!(s.verdicts_by_version, vec![(1, 1), (2, 2)]);
+        let text = s.render_text();
+        assert!(text.contains("sleuth_serve_verdicts_total{model_version=\"1\"} 1"));
+        assert!(text.contains("sleuth_serve_verdicts_total{model_version=\"2\"} 2"));
+        assert!(text.contains("sleuth_serve_model_swaps_total 0"));
     }
 
     #[test]

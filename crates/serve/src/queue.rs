@@ -178,6 +178,17 @@ mod tests {
     }
 
     #[test]
+    fn close_is_idempotent() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        q.close(); // double shutdown must be a no-op
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push_shedding(2), Err(2));
+    }
+
+    #[test]
     fn blocking_pop_wakes_on_push() {
         let q = Arc::new(BoundedQueue::new(1));
         let q2 = Arc::clone(&q);

@@ -1,0 +1,380 @@
+//! Incremental baseline refresh from served traffic.
+//!
+//! Production trace populations drift: deployments change service
+//! latencies, traffic mix shifts, new operations appear. The paper's
+//! detector depends on per-flow SLO percentiles (§3.1) and the
+//! counterfactual localiser on per-operation duration medians (§3.5),
+//! all fit offline — so they go stale. The [`BaselineRefresher`] folds
+//! completed traces into **streaming sketches** (P² quantile
+//! estimators + Welford moments, constant memory per operation) and
+//! periodically assembles a refreshed `SleuthPipeline` via the core
+//! `with_baselines` hook: same trained GNN, same featurizer
+//! vocabulary, fresh baselines — no refit, no training pass.
+//!
+//! Inside the serving runtime the refresher runs on its own thread,
+//! fed by a drop-oldest queue of completed-trace clones (refresher lag
+//! can never backpressure ingest), and publishes refreshed pipelines
+//! through the [`crate::ModelRegistry`]. It is also usable
+//! synchronously: fold any trace source (e.g. a
+//! `TraceStore::export_completed_since` export) and publish the
+//! assembled pipeline by hand.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sleuth_baselines::common::{OpKey, OpProfile, OpStats};
+use sleuth_core::SleuthPipeline;
+use sleuth_trace::{exclusive, Trace};
+
+use crate::metrics::MetricsRegistry;
+use crate::queue::BoundedQueue;
+use crate::registry::ModelRegistry;
+
+/// Streaming quantile estimator (the P² algorithm, Jain & Chlamtac
+/// 1985): tracks one quantile with five markers in O(1) memory and
+/// O(1) deterministic update time. Exact below five observations.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    /// Exact buffer for the first five observations.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Fold one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            self.initial.sort_by(f64::total_cmp);
+            if self.initial.len() == 5 {
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        let cell = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 2;
+            for i in 1..5 {
+                if x < self.heights[i] {
+                    cell = i - 1;
+                    break;
+                }
+            }
+            cell
+        };
+        for position in &mut self.positions[cell + 1..] {
+            *position += 1.0;
+        }
+        for (desired, increment) in self.desired.iter_mut().zip(self.increments) {
+            *desired += increment;
+        }
+        for i in 1..4 {
+            let gap = self.desired[i] - self.positions[i];
+            let room_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let room_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (gap >= 1.0 && room_up) || (gap <= -1.0 && room_down) {
+                let direction = gap.signum();
+                let parabolic = self.parabolic(i, direction);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, direction)
+                    };
+                self.positions[i] += direction;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic marker interpolation (the "P squared").
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let n = &self.positions;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (0 when nothing observed).
+    pub fn estimate(&self) -> f64 {
+        if self.initial.len() < 5 {
+            if self.initial.is_empty() {
+                return 0.0;
+            }
+            let idx = (self.q * (self.initial.len() - 1) as f64).round() as usize;
+            return self.initial[idx];
+        }
+        self.heights[2]
+    }
+
+    /// Observations folded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Welford's online mean/variance (population variance, matching
+/// `OpProfile::fit`).
+#[derive(Debug, Clone, Default)]
+struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Per-operation streaming sketch mirroring [`OpStats`].
+#[derive(Debug, Clone)]
+struct OpSketch {
+    duration: Welford,
+    duration_p50: P2Quantile,
+    duration_p95: P2Quantile,
+    exclusive: Welford,
+    exclusive_p50: P2Quantile,
+}
+
+impl OpSketch {
+    fn new() -> Self {
+        OpSketch {
+            duration: Welford::default(),
+            duration_p50: P2Quantile::new(0.5),
+            duration_p95: P2Quantile::new(0.95),
+            exclusive: Welford::default(),
+            exclusive_p50: P2Quantile::new(0.5),
+        }
+    }
+
+    fn observe(&mut self, duration_us: f64, exclusive_us: f64) {
+        self.duration.observe(duration_us);
+        self.duration_p50.observe(duration_us);
+        self.duration_p95.observe(duration_us);
+        self.exclusive.observe(exclusive_us);
+        self.exclusive_p50.observe(exclusive_us);
+    }
+
+    fn to_stats(&self) -> OpStats {
+        OpStats {
+            count: self.duration.count as usize,
+            mean_us: self.duration.mean,
+            std_us: self.duration.std(),
+            median_us: self.duration_p50.estimate().max(0.0) as u64,
+            p95_us: self.duration_p95.estimate().max(0.0) as u64,
+            mean_exclusive_us: self.exclusive.mean,
+            median_exclusive_us: self.exclusive_p50.estimate().max(0.0) as u64,
+        }
+    }
+}
+
+/// Per-root-operation SLO sketch (end-to-end duration percentiles).
+#[derive(Debug, Clone)]
+struct RootSketch {
+    p50: P2Quantile,
+    p95: P2Quantile,
+}
+
+/// Folds completed traces into streaming baseline sketches and
+/// assembles refreshed pipelines around an immutable base model.
+#[derive(Debug)]
+pub struct BaselineRefresher {
+    base: Arc<SleuthPipeline>,
+    min_op_samples: usize,
+    ops: HashMap<OpKey, OpSketch>,
+    roots: HashMap<OpKey, RootSketch>,
+    folded: u64,
+}
+
+impl BaselineRefresher {
+    /// A refresher around `base`. Sketched baselines only override the
+    /// base profile's once an operation has at least `min_op_samples`
+    /// fresh observations; below that the base values stand, so rare
+    /// operations never get a noisy two-sample SLO.
+    pub fn new(base: Arc<SleuthPipeline>, min_op_samples: usize) -> Self {
+        BaselineRefresher {
+            base,
+            min_op_samples: min_op_samples.max(1),
+            ops: HashMap::new(),
+            roots: HashMap::new(),
+            folded: 0,
+        }
+    }
+
+    /// Fold one completed trace into the sketches.
+    pub fn fold(&mut self, trace: &Trace) {
+        let exclusive = exclusive::exclusive_durations(trace);
+        for (i, span) in trace.iter() {
+            self.ops
+                .entry(OpKey::of(span))
+                .or_insert_with(OpSketch::new)
+                .observe(span.duration_us() as f64, exclusive[i] as f64);
+        }
+        let root = trace.span(trace.root());
+        let sketch = self
+            .roots
+            .entry(OpKey::of(root))
+            .or_insert_with(|| RootSketch {
+                p50: P2Quantile::new(0.5),
+                p95: P2Quantile::new(0.95),
+            });
+        let total = trace.total_duration_us() as f64;
+        sketch.p50.observe(total);
+        sketch.p95.observe(total);
+        self.folded += 1;
+    }
+
+    /// Traces folded since construction.
+    pub fn traces_folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Assemble a refreshed pipeline: the base profile overlaid with
+    /// every sketch that has reached `min_op_samples`, wrapped around
+    /// the base pipeline's model via the no-refit
+    /// `SleuthPipeline::with_baselines` hook.
+    pub fn assemble(&self) -> Arc<SleuthPipeline> {
+        let base_profile = self.base.detector().profile();
+        let mut stats: HashMap<OpKey, OpStats> = base_profile
+            .iter()
+            .map(|(key, stats)| (key.clone(), stats.clone()))
+            .collect();
+        for (key, sketch) in &self.ops {
+            if sketch.duration.count as usize >= self.min_op_samples {
+                stats.insert(key.clone(), sketch.to_stats());
+            }
+        }
+        let mut root_p50: HashMap<OpKey, u64> = HashMap::new();
+        let mut root_p95: HashMap<OpKey, u64> = HashMap::new();
+        for (key, p50, p95) in base_profile.roots() {
+            root_p50.insert(key.clone(), p50);
+            root_p95.insert(key.clone(), p95);
+        }
+        for (key, sketch) in &self.roots {
+            if sketch.p95.count() as usize >= self.min_op_samples {
+                root_p50.insert(key.clone(), sketch.p50.estimate().max(0.0) as u64);
+                root_p95.insert(key.clone(), sketch.p95.estimate().max(0.0) as u64);
+            }
+        }
+        let profile = OpProfile::from_parts(stats, root_p95, root_p50);
+        Arc::new(self.base.with_baselines(profile))
+    }
+}
+
+/// The runtime's background refresh loop: drain the completed-trace
+/// queue, fold, and publish a refreshed pipeline through the registry
+/// every `interval_traces` folded traces. Exits when the queue closes.
+pub(crate) fn run_refresher(
+    queue: Arc<BoundedQueue<Trace>>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<MetricsRegistry>,
+    mut refresher: BaselineRefresher,
+    interval_traces: usize,
+) {
+    let mut since_publish = 0usize;
+    while let Some(trace) = queue.pop() {
+        refresher.fold(&trace);
+        metrics.refresh_traces_folded.inc();
+        since_publish += 1;
+        if since_publish >= interval_traces {
+            registry.publish(refresher.assemble());
+            metrics.baseline_refreshes.inc();
+            metrics
+                .refresh_staleness_traces
+                .record(since_publish as u64);
+            since_publish = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), 0.0);
+        for x in [5.0, 1.0, 3.0] {
+            q.observe(x);
+        }
+        assert_eq!(q.estimate(), 3.0);
+    }
+
+    #[test]
+    fn p2_median_tracks_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            // Deterministic low-discrepancy permutation of 0..10000.
+            q.observe(((i * 7919) % 10_000) as f64);
+        }
+        let est = q.estimate();
+        assert!((est - 5_000.0).abs() < 250.0, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_p95_tracks_uniform_stream() {
+        let mut q = P2Quantile::new(0.95);
+        for i in 0..10_000 {
+            q.observe(((i * 7919) % 10_000) as f64);
+        }
+        let est = q.estimate();
+        assert!((est - 9_500.0).abs() < 300.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn welford_matches_batch_moments() {
+        let mut w = Welford::default();
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        for &x in &xs {
+            w.observe(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean - mean).abs() < 1e-9);
+        assert!((w.std() - var.sqrt()).abs() < 1e-9);
+    }
+}

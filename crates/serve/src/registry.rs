@@ -1,0 +1,268 @@
+//! Versioned pipeline registry with atomic hot-swap.
+//!
+//! The registry is an epoch-style cell holding the *current*
+//! `Arc<SleuthPipeline>` plus a monotonically increasing
+//! [`ModelVersion`]. The RCA stage takes a short-lived [`ModelLease`]
+//! per localisation batch; [`ModelRegistry::publish`] installs a new
+//! pipeline atomically and then **drains**: it blocks until every
+//! lease on an older version has been dropped, so when `publish`
+//! returns no verdict is still being computed by a retired model and
+//! every trace is analysed wholly under exactly one version — no
+//! cross-model corruption, no lost in-flight work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use sleuth_core::SleuthPipeline;
+
+use crate::metrics::MetricsRegistry;
+
+/// Monotonic identity of one published pipeline. Version 1 is the
+/// pipeline the runtime started with; every [`ModelRegistry::publish`]
+/// (manual hot-swap or background baseline refresh) increments it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ModelVersion(pub u64);
+
+impl std::fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+struct Current {
+    version: ModelVersion,
+    pipeline: Arc<SleuthPipeline>,
+}
+
+struct State {
+    current: Option<Current>,
+    next_version: u64,
+    /// Outstanding lease count per version (entries removed at zero).
+    leases: HashMap<u64, usize>,
+}
+
+/// Epoch cell of versioned `Arc<SleuthPipeline>` handles. Shared via
+/// `Arc` between the RCA stage (leasing), the serving front-end
+/// (manual [`ModelRegistry::publish`]), and the background baseline
+/// refresher (periodic publish).
+pub struct ModelRegistry {
+    state: Mutex<State>,
+    drained: Condvar,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry: [`ModelRegistry::lease`] returns `None`
+    /// until the first publish.
+    pub fn new() -> Self {
+        ModelRegistry {
+            state: Mutex::new(State {
+                current: None,
+                next_version: 1,
+                leases: HashMap::new(),
+            }),
+            drained: Condvar::new(),
+            metrics: None,
+        }
+    }
+
+    /// A registry reporting swap count and drain latency to `metrics`.
+    pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Self {
+        ModelRegistry {
+            metrics: Some(metrics),
+            ..ModelRegistry::new()
+        }
+    }
+
+    /// Install `pipeline` as the current model and wait until all
+    /// in-flight work on older versions has drained. Returns the
+    /// version assigned to the new pipeline.
+    ///
+    /// New [`ModelRegistry::lease`] calls see the new pipeline the
+    /// moment it is installed (before the drain completes), so the
+    /// swap itself is atomic and non-blocking for readers; only the
+    /// publisher waits.
+    pub fn publish(&self, pipeline: Arc<SleuthPipeline>) -> ModelVersion {
+        let started = Instant::now();
+        let mut state = self.state.lock().expect("registry lock");
+        let version = ModelVersion(state.next_version);
+        state.next_version += 1;
+        let is_swap = state.current.is_some();
+        state.current = Some(Current { version, pipeline });
+        while state.leases.keys().any(|&v| v < version.0) {
+            state = self.drained.wait(state).expect("registry lock");
+        }
+        drop(state);
+        if let Some(metrics) = &self.metrics {
+            if is_swap {
+                metrics.model_swaps.inc();
+                metrics
+                    .swap_drain_us
+                    .record(started.elapsed().as_micros() as u64);
+            }
+        }
+        version
+    }
+
+    /// Take a lease on the current pipeline, or `None` if nothing has
+    /// been published yet. The lease pins its version as "in use":
+    /// a concurrent publish will not return until this lease drops.
+    pub fn lease(self: &Arc<Self>) -> Option<ModelLease> {
+        let mut state = self.state.lock().expect("registry lock");
+        let current = state.current.as_ref()?;
+        let version = current.version;
+        let pipeline = Arc::clone(&current.pipeline);
+        *state.leases.entry(version.0).or_insert(0) += 1;
+        drop(state);
+        Some(ModelLease {
+            registry: Arc::clone(self),
+            version,
+            pipeline,
+        })
+    }
+
+    /// The currently published version, if any.
+    pub fn current_version(&self) -> Option<ModelVersion> {
+        self.state
+            .lock()
+            .expect("registry lock")
+            .current
+            .as_ref()
+            .map(|c| c.version)
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("current_version", &self.current_version())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned reference to one published pipeline version. Holding a
+/// lease guarantees the pipeline stays "current or draining" — a
+/// publish of a newer version blocks until the lease is dropped.
+pub struct ModelLease {
+    registry: Arc<ModelRegistry>,
+    version: ModelVersion,
+    pipeline: Arc<SleuthPipeline>,
+}
+
+impl ModelLease {
+    /// The leased version.
+    pub fn version(&self) -> ModelVersion {
+        self.version
+    }
+
+    /// The leased pipeline.
+    pub fn pipeline(&self) -> &SleuthPipeline {
+        &self.pipeline
+    }
+}
+
+impl Drop for ModelLease {
+    fn drop(&mut self) {
+        let mut state = self.registry.state.lock().expect("registry lock");
+        if let Some(count) = state.leases.get_mut(&self.version.0) {
+            *count -= 1;
+            if *count == 0 {
+                state.leases.remove(&self.version.0);
+                self.registry.drained.notify_all();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelLease")
+            .field("version", &self.version)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use sleuth_core::pipeline::PipelineConfig;
+    use sleuth_gnn::TrainConfig;
+    use sleuth_synth::presets;
+    use sleuth_synth::workload::CorpusBuilder;
+
+    fn quick_pipeline(seed: u64) -> Arc<SleuthPipeline> {
+        let app = presets::synthetic(8, 1);
+        let train = CorpusBuilder::new(&app)
+            .seed(seed)
+            .normal_traces(40)
+            .plain_traces();
+        let config = PipelineConfig {
+            train: TrainConfig {
+                epochs: 2,
+                batch_traces: 16,
+                lr: 1e-2,
+                seed: 0,
+            },
+            ..PipelineConfig::default()
+        };
+        Arc::new(SleuthPipeline::fit(&train, &config))
+    }
+
+    #[test]
+    fn empty_registry_has_no_lease_and_accepts_first_publish() {
+        let registry = Arc::new(ModelRegistry::new());
+        assert!(registry.lease().is_none());
+        assert_eq!(registry.current_version(), None);
+        let v = registry.publish(quick_pipeline(1));
+        assert_eq!(v, ModelVersion(1));
+        assert_eq!(registry.lease().unwrap().version(), ModelVersion(1));
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_leases_track_current() {
+        let registry = Arc::new(ModelRegistry::new());
+        let v1 = registry.publish(quick_pipeline(1));
+        let v2 = registry.publish(quick_pipeline(2));
+        assert!(v2 > v1);
+        assert_eq!(registry.current_version(), Some(v2));
+        assert_eq!(registry.lease().unwrap().version(), v2);
+    }
+
+    #[test]
+    fn publish_drains_outstanding_leases() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(quick_pipeline(1));
+        let lease = registry.lease().unwrap();
+
+        let publisher = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || registry.publish(quick_pipeline(2)))
+        };
+        // The publisher must block while the v1 lease is live; readers
+        // already see v2.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!publisher.is_finished(), "publish returned before drain");
+        assert_eq!(registry.current_version(), Some(ModelVersion(2)));
+        drop(lease);
+        assert_eq!(publisher.join().unwrap(), ModelVersion(2));
+    }
+
+    #[test]
+    fn leases_taken_after_publish_do_not_block_it() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(quick_pipeline(1));
+        let v2 = registry.publish(quick_pipeline(2));
+        // A lease on the *current* version never blocks its own publish.
+        let lease = registry.lease().unwrap();
+        assert_eq!(lease.version(), v2);
+    }
+}

@@ -1,18 +1,21 @@
 //! The serving runtime: ingest front-end, shard workers, RCA stage,
-//! and the shutdown/drain protocol.
+//! model registry, background baseline refresh, and the
+//! shutdown/drain protocol.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use sleuth_core::SleuthPipeline;
+use sleuth_core::{AnalyzeOptions, SleuthPipeline};
 use sleuth_store::TraceStore;
 use sleuth_trace::{Span, Trace, TraceId};
 
-use crate::config::{ClusterPolicy, ServeConfig, ShedPolicy};
+use crate::config::{ClusterPolicy, ConfigError, ServeConfig, ShedPolicy};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushOutcome};
+use crate::refresh::{run_refresher, BaselineRefresher};
+use crate::registry::{ModelRegistry, ModelVersion};
 use crate::shard::{run_shard, shard_of, ShardMsg, ShardReport};
 
 /// A root-cause finding for one anomalous trace.
@@ -27,6 +30,9 @@ pub struct Verdict {
     pub cluster: Option<isize>,
     /// Wall-clock localisation latency, microseconds.
     pub rca_latency_us: u64,
+    /// The pipeline version that produced this verdict. Detection and
+    /// localisation of one trace always run under a single version.
+    pub model_version: ModelVersion,
 }
 
 /// Per-batch admission summary returned by
@@ -60,28 +66,64 @@ struct ShardHandle {
 
 /// Sharded online RCA runtime. Create with [`ServeRuntime::start`],
 /// feed with [`ServeRuntime::submit_batch`] + [`ServeRuntime::tick`],
-/// finish with [`ServeRuntime::shutdown`].
+/// hot-swap models with [`ServeRuntime::publish`], finish with
+/// [`ServeRuntime::shutdown`].
 pub struct ServeRuntime {
     shards: Vec<ShardHandle>,
     rca_queue: Arc<BoundedQueue<Trace>>,
     rca_join: JoinHandle<()>,
     verdict_rx: mpsc::Receiver<Verdict>,
     metrics: Arc<MetricsRegistry>,
+    registry: Arc<ModelRegistry>,
+    refresh_queue: Option<Arc<BoundedQueue<Trace>>>,
+    refresh_join: Option<JoinHandle<()>>,
     shed_policy: ShedPolicy,
     num_shards: usize,
 }
 
 impl ServeRuntime {
-    /// Spawn shard workers and the RCA stage around a fitted pipeline.
+    /// Spawn shard workers, the RCA stage, and (when configured) the
+    /// baseline refresher around a fitted pipeline. The pipeline is
+    /// published into the model registry as version 1.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` is invalid (see [`ServeConfig::validate`]).
-    pub fn start(pipeline: Arc<SleuthPipeline>, config: ServeConfig) -> Self {
-        config.validate();
+    /// Returns a [`ConfigError`] when `config` violates an invariant
+    /// (see [`ServeConfig::validate`]); nothing is spawned.
+    pub fn start(pipeline: Arc<SleuthPipeline>, config: ServeConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let metrics = Arc::new(MetricsRegistry::default());
+        let registry = Arc::new(ModelRegistry::with_metrics(Arc::clone(&metrics)));
+        registry.publish(Arc::clone(&pipeline));
         let rca_queue = Arc::new(BoundedQueue::new(config.rca_queue_capacity));
         let (verdict_tx, verdict_rx) = mpsc::channel();
+
+        let (refresh_queue, refresh_join) = match config.refresh {
+            Some(refresh) => {
+                let queue = Arc::new(BoundedQueue::new(refresh.queue_capacity));
+                let join = std::thread::Builder::new()
+                    .name("sleuth-refresh".to_string())
+                    .spawn({
+                        let queue = Arc::clone(&queue);
+                        let registry = Arc::clone(&registry);
+                        let metrics = Arc::clone(&metrics);
+                        let refresher =
+                            BaselineRefresher::new(Arc::clone(&pipeline), refresh.min_op_samples);
+                        move || {
+                            run_refresher(
+                                queue,
+                                registry,
+                                metrics,
+                                refresher,
+                                refresh.interval_traces,
+                            )
+                        }
+                    })
+                    .expect("spawn refresh worker");
+                (Some(queue), Some(join))
+            }
+            None => (None, None),
+        };
 
         let shards = (0..config.num_shards)
             .map(|i| {
@@ -91,9 +133,10 @@ impl ServeRuntime {
                     .spawn({
                         let queue = Arc::clone(&queue);
                         let rca_queue = Arc::clone(&rca_queue);
+                        let refresh_queue = refresh_queue.clone();
                         let metrics = Arc::clone(&metrics);
                         let config = config.clone();
-                        move || run_shard(queue, rca_queue, metrics, &config)
+                        move || run_shard(queue, rca_queue, refresh_queue, metrics, &config)
                     })
                     .expect("spawn shard worker");
                 ShardHandle { queue, join }
@@ -104,21 +147,25 @@ impl ServeRuntime {
             .name("sleuth-rca".to_string())
             .spawn({
                 let rca_queue = Arc::clone(&rca_queue);
+                let registry = Arc::clone(&registry);
                 let metrics = Arc::clone(&metrics);
                 let policy = config.cluster_policy;
-                move || run_rca_stage(rca_queue, pipeline, verdict_tx, metrics, policy)
+                move || run_rca_stage(rca_queue, registry, verdict_tx, metrics, policy)
             })
             .expect("spawn rca worker");
 
-        ServeRuntime {
+        Ok(ServeRuntime {
             shards,
             rca_queue,
             rca_join,
             verdict_rx,
             metrics,
+            registry,
+            refresh_queue,
+            refresh_join,
             shed_policy: config.shed_policy,
             num_shards: config.num_shards,
-        }
+        })
     }
 
     /// Hash-shard a span batch by trace id and offer each sub-batch to
@@ -173,6 +220,27 @@ impl ServeRuntime {
         }
     }
 
+    /// Hot-swap the serving pipeline. Installs `pipeline` as the new
+    /// current model — verdicts for traces analysed from now on carry
+    /// the returned version — and blocks until all in-flight RCA work
+    /// on older versions has drained, so when this returns no verdict
+    /// is still being produced by a retired model.
+    pub fn publish(&self, pipeline: Arc<SleuthPipeline>) -> ModelVersion {
+        self.registry.publish(pipeline)
+    }
+
+    /// The model registry (shared with the RCA stage and refresher).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The currently served model version.
+    pub fn current_version(&self) -> ModelVersion {
+        self.registry
+            .current_version()
+            .expect("runtime always has a published model")
+    }
+
     /// Verdicts emitted since the last call (non-blocking).
     pub fn poll_verdicts(&self) -> Vec<Verdict> {
         self.verdict_rx.try_iter().collect()
@@ -184,8 +252,9 @@ impl ServeRuntime {
     }
 
     /// Drain protocol: flush every collector, join shard workers,
-    /// drain the RCA queue, join the RCA stage, and return all
-    /// verdicts plus the merged store and a final metrics snapshot.
+    /// retire the baseline refresher, drain the RCA queue, join the
+    /// RCA stage, and return all verdicts plus the merged store and a
+    /// final metrics snapshot.
     pub fn shutdown(self) -> ServeReport {
         for shard in &self.shards {
             let _ = shard.queue.push_wait(ShardMsg::Shutdown);
@@ -195,6 +264,15 @@ impl ServeRuntime {
         for shard in self.shards {
             let report = shard.join.join().expect("shard worker panicked");
             store.merge(&report.store);
+        }
+        // Shards are done, so no more refresh tees: close the refresh
+        // queue and let the refresher fold its backlog and exit. Any
+        // final publish drains against the still-running RCA stage.
+        if let Some(queue) = &self.refresh_queue {
+            queue.close();
+        }
+        if let Some(join) = self.refresh_join {
+            join.join().expect("refresh worker panicked");
         }
         // All shard output is now in the RCA queue; close it so the
         // stage exits after draining.
@@ -210,10 +288,14 @@ impl ServeRuntime {
 }
 
 /// RCA stage: pull completed traces, detect anomalies, localise with
-/// the shared pipeline, emit verdicts.
+/// the registry's current pipeline, emit version-tagged verdicts.
+///
+/// The stage leases the current model once per batch, *after* the
+/// blocking pop — a lease is never held while idle, so a publish can
+/// only ever wait for at most one in-flight batch.
 fn run_rca_stage(
     queue: Arc<BoundedQueue<Trace>>,
-    pipeline: Arc<SleuthPipeline>,
+    registry: Arc<ModelRegistry>,
     verdicts: mpsc::Sender<Verdict>,
     metrics: Arc<MetricsRegistry>,
     policy: ClusterPolicy,
@@ -223,7 +305,12 @@ fn run_rca_stage(
         ClusterPolicy::MicroBatch(n) => n,
     };
     while let Some(first) = queue.pop() {
-        // Group whatever is already queued, up to the policy's limit.
+        // One lease per batch: detection and localisation of these
+        // traces all run under a single model version.
+        let Some(lease) = registry.lease() else {
+            return; // Unreachable: start() publishes before spawning us.
+        };
+        let pipeline = lease.pipeline();
         let mut anomalous = Vec::new();
         let mut pending = Some(first);
         while anomalous.len() < batch_max {
@@ -240,19 +327,22 @@ fn run_rca_stage(
             continue;
         }
         let started = Instant::now();
-        let results = match policy {
-            ClusterPolicy::PerTrace => pipeline.analyze_without_clustering(&anomalous),
-            ClusterPolicy::MicroBatch(_) => pipeline.analyze(&anomalous),
+        let options = match policy {
+            ClusterPolicy::PerTrace => AnalyzeOptions::unclustered(),
+            ClusterPolicy::MicroBatch(_) => AnalyzeOptions::clustered(),
         };
+        let results = pipeline.analyze(&anomalous, options);
         let latency_us = started.elapsed().as_micros() as u64 / results.len().max(1) as u64;
         for r in results {
             metrics.rca_latency_us.record(latency_us);
             metrics.verdicts_emitted.inc();
+            metrics.record_verdict_version(lease.version());
             let verdict = Verdict {
                 trace_id: anomalous[r.trace_idx].trace_id(),
                 services: r.services,
                 cluster: r.cluster,
                 rca_latency_us: latency_us,
+                model_version: lease.version(),
             };
             if verdicts.send(verdict).is_err() {
                 return; // Runtime dropped the receiver; stop working.

@@ -65,10 +65,14 @@ pub struct ShardReport {
 
 /// Run one shard worker to completion (until `Shutdown` or queue
 /// close). Completed traces are stored locally and pushed to
-/// `rca_queue`.
+/// `rca_queue`; when a `refresh_queue` is given, a clone of each
+/// completed trace is also teed to the baseline refresher with a
+/// *drop-oldest* push, so a lagging refresher sheds stale clones
+/// instead of ever backpressuring ingest.
 pub fn run_shard(
     queue: Arc<BoundedQueue<ShardMsg>>,
     rca_queue: Arc<BoundedQueue<Trace>>,
+    refresh_queue: Option<Arc<BoundedQueue<Trace>>>,
     metrics: Arc<MetricsRegistry>,
     config: &ServeConfig,
 ) -> ShardReport {
@@ -105,6 +109,13 @@ pub fn run_shard(
             match Trace::assemble(spans) {
                 Ok(trace) => {
                     metrics.traces_completed.inc();
+                    if let Some(refresh) = &refresh_queue {
+                        // Err means the queue closed (refresher already
+                        // retired); the drop-oldest clone is counted shed.
+                        if let Ok(Some(_)) = refresh.push_shedding(trace.clone()) {
+                            metrics.refresh_traces_shed.inc();
+                        }
+                    }
                     // Err only when the RCA queue is already closed
                     // (teardown); the trace is still stored.
                     let _ = rca_queue.push_wait(trace);

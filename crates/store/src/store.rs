@@ -172,6 +172,28 @@ impl TraceStore {
             .collect()
     }
 
+    /// Incremental completed-trace export: assemble every trace whose
+    /// *first* span was stored at row `watermark` or later, and return
+    /// the new watermark to pass next time. Serving-shard stores append
+    /// each completed trace as a contiguous row block, so repeatedly
+    /// calling this yields every completed trace exactly once — the
+    /// feed for incremental baseline refresh. Malformed span sets are
+    /// skipped (they advance the watermark but export nothing).
+    pub fn export_completed_since(&self, watermark: usize) -> (Vec<Trace>, usize) {
+        let mut fresh: Vec<(usize, TraceId)> = self
+            .rows_by_trace
+            .iter()
+            .filter(|(_, rows)| rows[0] >= watermark)
+            .map(|(&tid, rows)| (rows[0], tid))
+            .collect();
+        fresh.sort_unstable();
+        let traces = fresh
+            .into_iter()
+            .filter_map(|(_, id)| self.trace(id))
+            .collect();
+        (traces, self.span_count())
+    }
+
     /// Rows (storage indices) of all spans, for scans.
     pub(crate) fn rows(&self) -> std::ops::Range<usize> {
         0..self.span_count()
@@ -316,5 +338,31 @@ mod tests {
         let mut s = TraceStore::new();
         s.insert_trace(&t);
         assert_eq!(s.trace(3).unwrap(), t);
+    }
+
+    #[test]
+    fn export_completed_since_yields_each_trace_once() {
+        let mut s = TraceStore::new();
+        s.extend(sample_spans(1));
+        s.extend(sample_spans(2));
+        let (first, mark) = s.export_completed_since(0);
+        assert_eq!(
+            first.iter().map(Trace::trace_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(mark, s.span_count());
+
+        // Nothing new: empty export, stable watermark.
+        let (none, mark2) = s.export_completed_since(mark);
+        assert!(none.is_empty());
+        assert_eq!(mark2, mark);
+
+        // Only traces stored after the watermark come back.
+        s.extend(sample_spans(7));
+        let (fresh, _) = s.export_completed_since(mark);
+        assert_eq!(
+            fresh.iter().map(Trace::trace_id).collect::<Vec<_>>(),
+            vec![7]
+        );
     }
 }

@@ -89,7 +89,7 @@ fn main() {
     let mut total = 0;
     for q in &queries {
         let batch: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
-        for (st, v) in q.traces.iter().zip(sleuth.analyze(&batch)) {
+        for (st, v) in q.traces.iter().zip(sleuth.analyze(&batch, Default::default())) {
             total += 1;
             if v.services.iter().any(|s| st.ground_truth.services.contains(s)) {
                 hits += 1;

@@ -15,8 +15,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
-use sleuth::serve::{ServeConfig, ServeRuntime, Verdict};
+use sleuth::core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
+use sleuth::serve::{ModelVersion, ServeConfig, ServeRuntime, Verdict};
 use sleuth::synth::presets;
 use sleuth::synth::workload::CorpusBuilder;
 
@@ -50,11 +50,26 @@ fn main() {
     );
 
     // 3. Replay through the serving runtime with a logical clock.
-    let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig::default());
+    let config = ServeConfig::builder()
+        .num_shards(4)
+        .shard_queue_capacity(64)
+        .build()
+        .expect("valid serve config");
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), config).expect("start runtime");
     let mut clock = 0u64;
     let mut live_verdicts: Vec<Verdict> = Vec::new();
     let mut live_polls = 0;
-    for batch in timed.chunks_mut(400) {
+    let mut swapped = false;
+    let total_batches = timed.len().div_ceil(400);
+    for (batch_no, batch) in timed.chunks_mut(400).enumerate() {
+        // Halfway through the replay, hot-swap the model. Publishing
+        // the *same* pipeline exercises the swap/drain machinery
+        // without changing any verdict: later verdicts simply carry v2.
+        if !swapped && batch_no >= total_batches / 2 {
+            let version = runtime.publish(Arc::clone(&pipeline));
+            println!("hot-swapped model mid-replay: now serving {version}");
+            swapped = true;
+        }
         clock = batch.iter().map(|(at, _)| *at).max().expect("non-empty");
         batch.shuffle(&mut rng);
         let spans: Vec<_> = batch.iter().map(|(_, s)| s.clone()).collect();
@@ -90,6 +105,13 @@ fn main() {
     assert!(m.spans_submitted > 0 && m.traces_completed > 0 && m.verdicts_emitted > 0);
     assert_eq!(m.spans_submitted, m.spans_stored + m.spans_dropped() + m.spans_deduped);
     assert_eq!(report.store.trace_count() as u64, m.traces_completed);
+    assert_eq!(m.model_swaps, 1, "exactly one mid-replay hot swap");
+    let per_version: u64 = m.verdicts_by_version.iter().map(|&(_, n)| n).sum();
+    assert_eq!(per_version, m.verdicts_emitted, "every verdict is version-tagged");
+    assert!(
+        live_verdicts.iter().all(|v| v.model_version >= ModelVersion(1)),
+        "verdict versions start at v1"
+    );
 
     // 4. Cross-check: the online verdicts must match what the batch
     //    pipeline says about the same traces.
@@ -104,7 +126,7 @@ fn main() {
         .collect();
     let batch: BTreeMap<u64, Vec<String>> = anomalous
         .iter()
-        .zip(pipeline.analyze_without_clustering(&anomalous))
+        .zip(pipeline.analyze(&anomalous, AnalyzeOptions::unclustered()))
         .map(|(t, r)| (t.trace_id(), r.services))
         .collect();
     assert_eq!(online, batch, "online and batch verdicts diverged");

@@ -37,7 +37,7 @@ fn main() {
     let mut acc = EvalAccumulator::new();
     for (qi, query) in queries.iter().enumerate() {
         let traces: Vec<_> = query.traces.iter().map(|t| t.trace.clone()).collect();
-        let verdicts = sleuth.analyze(&traces);
+        let verdicts = sleuth.analyze(&traces, Default::default());
         for (st, v) in query.traces.iter().zip(&verdicts) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
             let outcome = acc.add_query(&v.services, &truth);

@@ -67,7 +67,7 @@ fn main() {
     println!("collected {} SLO-violating traces", anomalous.len());
 
     // Clustered RCA: one model inference per cluster representative.
-    let verdicts = sleuth.analyze(&anomalous);
+    let verdicts = sleuth.analyze(&anomalous, Default::default());
     let reps: Vec<&sleuth::core::pipeline::RcaResult> =
         verdicts.iter().filter(|v| v.representative).collect();
     println!(

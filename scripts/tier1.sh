@@ -14,10 +14,16 @@ cargo build --release --offline
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
 
+echo "==> cargo test --test hot_swap (hot-swap + refresh integration)"
+cargo test -q --offline --test hot_swap
+
 echo "==> cargo fmt --check (sleuth-serve)"
 cargo fmt --check -p sleuth-serve
 
 echo "==> cargo clippy -D warnings (sleuth-serve)"
 cargo clippy --offline -p sleuth-serve --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core
 
 echo "tier-1: OK"

@@ -193,7 +193,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let mut acc = EvalAccumulator::new();
     for (qi, q) in queries.iter().enumerate() {
         let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
-        let verdicts = pipeline.analyze(&traces);
+        let verdicts = pipeline.analyze(&traces, Default::default());
         for (st, v) in q.traces.iter().zip(&verdicts) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
             acc.add_query(&v.services, &truth);

@@ -40,7 +40,7 @@
 //! // …then localise the root causes of chaos-injected anomalies.
 //! for query in builder.anomaly_queries(5, 20) {
 //!     let traces: Vec<_> = query.traces.iter().map(|t| t.trace.clone()).collect();
-//!     for verdict in sleuth.analyze(&traces) {
+//!     for verdict in sleuth.analyze(&traces, Default::default()) {
 //!         println!(
 //!             "trace #{} (cluster {:?}): root cause {:?}",
 //!             verdict.trace_idx, verdict.cluster, verdict.services

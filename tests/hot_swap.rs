@@ -1,0 +1,326 @@
+//! Hot-swap + incremental-refresh integration tests: drifting traffic
+//! replayed through the serving runtime must see verdicts follow the
+//! refreshed baselines — traffic that violates the stale SLO is
+//! flagged under v1, and the same traffic is accepted after a
+//! refreshed pipeline is published — with zero dropped traces and no
+//! verdict produced across two model versions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::gnn::TrainConfig;
+use sleuth::serve::{
+    BaselineRefresher, ModelVersion, RefreshConfig, ServeConfig, ServeRuntime, Verdict,
+};
+use sleuth::trace::{Span, SpanKind, Trace};
+
+/// A minimal two-span trace with a controlled end-to-end duration.
+fn trace(id: u64, total_us: u64) -> Trace {
+    Trace::assemble(vec![
+        Span::builder(id, 1, "front", "GET /").time(0, total_us).build(),
+        Span::builder(id, 2, "db", "query")
+            .parent(1)
+            .kind(SpanKind::Client)
+            .time(total_us / 4, total_us / 2)
+            .build(),
+    ])
+    .expect("well-formed trace")
+}
+
+/// Fit a quick pipeline whose learned SLO is ≈1057µs (p95 of the
+/// 1000..1060µs training range).
+fn baseline_pipeline() -> Arc<SleuthPipeline> {
+    let train: Vec<Trace> = (0..60).map(|i| trace(i, 1000 + i)).collect();
+    let config = PipelineConfig::builder()
+        .train(TrainConfig { epochs: 2, batch_traces: 16, lr: 1e-2, seed: 0 })
+        .build();
+    Arc::new(SleuthPipeline::fit(&train, &config))
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn assert_conservation(m: &sleuth::serve::MetricsSnapshot) {
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+    );
+}
+
+fn assert_versions_monotonic(verdicts: &[Verdict]) {
+    for pair in verdicts.windows(2) {
+        assert!(
+            pair[0].model_version <= pair[1].model_version,
+            "verdict versions regressed: {} then {}",
+            pair[0].model_version,
+            pair[1].model_version
+        );
+    }
+}
+
+/// The chaos drill from the issue: healthy traffic, then a latency
+/// drift that the stale v1 baselines flag, then a manual publish of a
+/// refreshed pipeline assembled from the drifted traffic itself —
+/// after which the same drift is within SLO and only genuinely extreme
+/// traces are flagged, now under v2.
+#[test]
+fn drifting_traffic_follows_refreshed_baselines() {
+    let pipeline = baseline_pipeline();
+    let config = ServeConfig::builder()
+        .num_shards(2)
+        .idle_timeout_us(1_000)
+        .build()
+        .expect("valid serve config");
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), config).expect("start runtime");
+    assert_eq!(runtime.current_version(), ModelVersion(1));
+    let mut verdicts: Vec<Verdict> = Vec::new();
+
+    // Phase A: healthy traffic, within the learned SLO — no verdicts.
+    for i in 0..30u64 {
+        runtime.submit_batch(trace(1000 + i, 1000 + i).spans().to_vec(), 0);
+    }
+    runtime.tick(10_000);
+    wait_until(
+        || runtime.metrics().traces_completed.get() >= 30,
+        "phase A completion",
+    );
+
+    // Phase B: latency drifts to ~3×. Every trace violates the stale
+    // v1 SLO and is flagged.
+    let drifted: Vec<Trace> = (0..20).map(|i| trace(2000 + i, 3_000 + i * 5)).collect();
+    for t in &drifted {
+        runtime.submit_batch(t.spans().to_vec(), 20_000);
+    }
+    runtime.tick(30_000);
+    wait_until(
+        || {
+            verdicts.extend(runtime.poll_verdicts());
+            verdicts.len() >= 20
+        },
+        "phase B verdicts",
+    );
+    assert_eq!(verdicts.len(), 20, "every drifted trace flagged under v1");
+    assert!(verdicts.iter().all(|v| v.model_version == ModelVersion(1)));
+
+    // Refresh: fold the drifted traffic into streaming sketches and
+    // hot-swap the assembled pipeline. The refreshed SLO sits at the
+    // drifted p95 (~3090µs); the GNN is reused without refit.
+    let mut refresher = BaselineRefresher::new(Arc::clone(&pipeline), 10);
+    for t in &drifted {
+        refresher.fold(t);
+    }
+    assert_eq!(refresher.traces_folded(), 20);
+    let version = runtime.publish(refresher.assemble());
+    assert_eq!(version, ModelVersion(2));
+    assert_eq!(runtime.current_version(), ModelVersion(2));
+
+    // Phase C: the same drift is now within SLO — no new verdicts —
+    // while genuinely extreme traces are still flagged, under v2.
+    for i in 0..20u64 {
+        runtime.submit_batch(trace(3000 + i, 3_000 + i * 2).spans().to_vec(), 40_000);
+    }
+    for i in 0..5u64 {
+        runtime.submit_batch(trace(4000 + i, 50_000).spans().to_vec(), 40_000);
+    }
+    runtime.tick(50_000);
+    wait_until(
+        || runtime.metrics().traces_completed.get() >= 75,
+        "phase C completion",
+    );
+
+    let mut report = runtime.shutdown();
+    verdicts.append(&mut report.verdicts);
+    let m = &report.metrics;
+
+    // Zero dropped traces, every span accounted for.
+    assert_conservation(m);
+    assert_eq!(m.spans_rejected + m.spans_shed + m.spans_evicted, 0);
+    assert_eq!(m.traces_completed, 75);
+    assert_eq!(m.traces_malformed, 0);
+    assert_eq!(report.store.trace_count(), 75);
+
+    // Verdicts followed the refreshed baselines: the re-drifted phase
+    // C traffic produced no verdicts; only the extreme traces did.
+    assert_eq!(verdicts.len(), 25);
+    assert!(
+        verdicts.iter().all(|v| !(3000..3020).contains(&v.trace_id)),
+        "drifted traffic was flagged after the refresh"
+    );
+    let v2_verdicts: Vec<&Verdict> = verdicts
+        .iter()
+        .filter(|v| v.model_version == ModelVersion(2))
+        .collect();
+    assert_eq!(v2_verdicts.len(), 5);
+    assert!(v2_verdicts.iter().all(|v| (4000..4005).contains(&v.trace_id)));
+    assert_versions_monotonic(&verdicts);
+
+    // Swap metrics: exactly one hot swap (the initial publish is not a
+    // swap), one drain latency sample, and per-version verdict counts
+    // that add up.
+    assert_eq!(m.model_swaps, 1);
+    assert_eq!(m.swap_drain_us.count, 1);
+    assert_eq!(m.verdicts_by_version, vec![(1, 20), (2, 5)]);
+    assert_eq!(m.verdicts_emitted, 25);
+}
+
+/// The same drill with the *background* refresher: completed traces
+/// are teed into the refresh thread, which publishes drift-absorbing
+/// pipelines on its own every `interval_traces` folds.
+#[test]
+fn background_refresher_absorbs_drift() {
+    let pipeline = baseline_pipeline();
+    let config = ServeConfig::builder()
+        .num_shards(2)
+        .idle_timeout_us(1_000)
+        .refresh(RefreshConfig {
+            interval_traces: 30,
+            queue_capacity: 256,
+            min_op_samples: 10,
+        })
+        .build()
+        .expect("valid serve config");
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), config).expect("start runtime");
+    let mut verdicts: Vec<Verdict> = Vec::new();
+
+    // Healthy traffic; the first background refresh (at 30 folds)
+    // publishes v2 with still-healthy baselines.
+    for i in 0..30u64 {
+        runtime.submit_batch(trace(1000 + i, 1000 + i).spans().to_vec(), 0);
+    }
+    runtime.tick(10_000);
+    wait_until(
+        || runtime.metrics().baseline_refreshes.get() >= 1,
+        "first background refresh",
+    );
+
+    // Drifted traffic (3000..3090µs): flagged while baselines are
+    // stale. The second refresh (at 60 folds) sees a mixture whose
+    // p95 sits inside the drifted band, absorbing the drift.
+    for i in 0..30u64 {
+        runtime.submit_batch(trace(2000 + i, 3_000 + i * 3).spans().to_vec(), 20_000);
+    }
+    runtime.tick(30_000);
+    wait_until(
+        || runtime.metrics().baseline_refreshes.get() >= 2,
+        "drift-absorbing refresh",
+    );
+    assert!(runtime.current_version() >= ModelVersion(3));
+
+    // Mildly-slow traffic below the drifted band: accepted by every
+    // post-drift baseline (sketch p95 ≥ 3000µs), so no new verdicts.
+    verdicts.extend(runtime.poll_verdicts());
+    for i in 0..10u64 {
+        runtime.submit_batch(trace(3000 + i, 2_900 + i * 5).spans().to_vec(), 40_000);
+    }
+    runtime.tick(50_000);
+    wait_until(
+        || runtime.metrics().traces_completed.get() >= 70,
+        "post-refresh completion",
+    );
+
+    let mut report = runtime.shutdown();
+    verdicts.append(&mut report.verdicts);
+    let m = &report.metrics;
+
+    assert_conservation(m);
+    assert_eq!(m.traces_completed, 70);
+    assert_eq!(m.traces_malformed, 0);
+    assert!(
+        verdicts.iter().all(|v| !(3000..3010).contains(&v.trace_id)),
+        "post-refresh traffic below the drifted band was flagged"
+    );
+    assert_versions_monotonic(&verdicts);
+
+    // Refresher accounting: every completed trace was folded exactly
+    // once (the queue never shed), and staleness was recorded per
+    // publish.
+    assert_eq!(m.refresh_traces_folded, m.traces_completed);
+    assert_eq!(m.refresh_traces_shed, 0);
+    assert!(m.baseline_refreshes >= 2);
+    assert_eq!(m.refresh_staleness_traces.count, m.baseline_refreshes);
+    assert_eq!(m.model_swaps, m.baseline_refreshes);
+    let tagged: u64 = m.verdicts_by_version.iter().map(|&(_, n)| n).sum();
+    assert_eq!(tagged, m.verdicts_emitted);
+}
+
+/// Publishing while the runtime is stalled under backpressure must
+/// complete (the RCA stage leases per batch, so a publish waits for at
+/// most one in-flight batch) and verdicts keep flowing afterwards.
+#[test]
+fn publish_during_backpressure_stall_completes() {
+    let pipeline = baseline_pipeline();
+    let config = ServeConfig::builder()
+        .num_shards(1)
+        .shard_queue_capacity(1)
+        .rca_queue_capacity(1)
+        .idle_timeout_us(1_000)
+        .build()
+        .expect("valid serve config");
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), config).expect("start runtime");
+
+    // Flood with anomalous traces through single-slot queues: the RCA
+    // stage is continuously busy and shard workers stall on its queue.
+    for i in 0..20u64 {
+        let spans = trace(7000 + i, 50_000).spans().to_vec();
+        while runtime.submit_batch(spans.clone(), 0).rejected > 0 {
+            std::thread::yield_now();
+        }
+    }
+    runtime.tick(10_000);
+
+    // Publish mid-stall: the same pipeline, so verdict content is
+    // unchanged — only the version tag moves.
+    let version = runtime.publish(Arc::clone(&pipeline));
+    assert_eq!(version, ModelVersion(2));
+
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+    assert_conservation(m);
+    assert_eq!(m.model_swaps, 1);
+    assert_eq!(report.verdicts.len(), 20, "one verdict per anomalous trace");
+    assert!(report
+        .verdicts
+        .iter()
+        .all(|v| v.model_version >= ModelVersion(1) && v.model_version <= ModelVersion(2)));
+    assert_versions_monotonic(&report.verdicts);
+    let tagged: u64 = m.verdicts_by_version.iter().map(|&(_, n)| n).sum();
+    assert_eq!(tagged, m.verdicts_emitted);
+}
+
+/// Shutting down while the refresher is mid-fold — before it ever
+/// reaches its publish interval — must not hang, must not publish,
+/// and must still fold every completed trace exactly once.
+#[test]
+fn shutdown_with_refresher_mid_fold_never_publishes() {
+    let pipeline = baseline_pipeline();
+    let config = ServeConfig::builder()
+        .num_shards(2)
+        .idle_timeout_us(1_000)
+        .refresh(RefreshConfig {
+            interval_traces: 1_000_000, // never reached
+            queue_capacity: 256,
+            min_op_samples: 10,
+        })
+        .build()
+        .expect("valid serve config");
+    let runtime = ServeRuntime::start(Arc::clone(&pipeline), config).expect("start runtime");
+    for i in 0..10u64 {
+        runtime.submit_batch(trace(8000 + i, 1_000).spans().to_vec(), 0);
+    }
+    // No ticks: shutdown's flush path completes the traces.
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.traces_completed, 10);
+    assert_eq!(m.baseline_refreshes, 0, "interval never reached");
+    assert_eq!(m.model_swaps, 0);
+    assert_eq!(m.refresh_traces_folded, 10, "backlog folded before exit");
+    assert_eq!(m.refresh_traces_shed, 0);
+    assert!(report.verdicts.iter().all(|v| v.model_version == ModelVersion(1)));
+    assert_conservation(m);
+}

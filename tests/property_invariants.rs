@@ -199,7 +199,8 @@ proptest! {
         let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
             num_shards,
             ..ServeConfig::default()
-        });
+        })
+        .expect("valid serve config");
         for t in &traces {
             let report = runtime.submit_batch(t.spans().to_vec(), 0);
             prop_assert_eq!(report.rejected + report.shed, 0);
@@ -224,5 +225,55 @@ proptest! {
         let mut expected: Vec<u64> = anomalous.iter().map(|t| t.trace_id()).collect();
         expected.sort_unstable();
         prop_assert_eq!(online, expected);
+    }
+
+    /// Verdict model versions are non-decreasing in emission order and
+    /// every verdict is tagged, no matter when hot-swaps land relative
+    /// to ingest. Publishing the same pipeline leaves verdict content
+    /// untouched — only the version tag moves.
+    #[test]
+    fn prop_verdict_versions_monotonic_across_swaps(
+        app_seed in 0u64..40,
+        sim_seeds in proptest::collection::vec(1u64..500, 3..8),
+        publish_before in 0usize..8,
+    ) {
+        let seeds: BTreeSet<u64> = sim_seeds.into_iter().collect();
+        let traces: Vec<Trace> = seeds
+            .iter()
+            .map(|&s| simulate(12, app_seed, s, true))
+            .collect();
+        let pipeline = serve_pipeline();
+        let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+            num_shards: 2,
+            ..ServeConfig::default()
+        })
+        .expect("valid serve config");
+        for (i, t) in traces.iter().enumerate() {
+            if i == publish_before {
+                let v = runtime.publish(Arc::clone(&pipeline));
+                prop_assert_eq!(v, sleuth::serve::ModelVersion(2));
+            }
+            let report = runtime.submit_batch(t.spans().to_vec(), 0);
+            prop_assert_eq!(report.rejected + report.shed, 0);
+        }
+        let report = runtime.shutdown();
+        let m = &report.metrics;
+        let current = if publish_before < traces.len() { 2 } else { 1 };
+        for pair in report.verdicts.windows(2) {
+            prop_assert!(pair[0].model_version <= pair[1].model_version);
+        }
+        for v in &report.verdicts {
+            prop_assert!(v.model_version.0 >= 1 && v.model_version.0 <= current);
+        }
+        let tagged: u64 = m.verdicts_by_version.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(tagged, m.verdicts_emitted);
+        prop_assert_eq!(m.verdicts_emitted, report.verdicts.len() as u64);
+        // Same pipeline on both sides of the swap: content matches the
+        // batch pipeline exactly.
+        let anomalous: Vec<&Trace> = traces
+            .iter()
+            .filter(|t| pipeline.detector().is_anomalous(t))
+            .collect();
+        prop_assert_eq!(report.verdicts.len(), anomalous.len());
     }
 }

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
 use sleuth::serve::{ServeConfig, ServeRuntime, ShedPolicy};
 use sleuth::synth::presets;
@@ -63,7 +63,8 @@ fn shuffled_duplicated_stream_matches_batch_pipeline() {
         num_shards: 4,
         idle_timeout_us: 1_000_000,
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid serve config");
     let mut clock = 0;
     for batch in spans.chunks(300) {
         let report = runtime.submit_batch(batch.to_vec(), clock);
@@ -100,7 +101,7 @@ fn shuffled_duplicated_stream_matches_batch_pipeline() {
         .collect();
     let batch: BTreeMap<u64, Vec<String>> = anomalous
         .iter()
-        .zip(pipeline.analyze_without_clustering(&anomalous))
+        .zip(pipeline.analyze(&anomalous, AnalyzeOptions::unclustered()))
         .map(|(t, r)| (t.trace_id(), r.services))
         .collect();
     assert!(!batch.is_empty(), "chaos corpus produced no anomalies");
@@ -139,7 +140,8 @@ fn backpressure_rejects_under_undersized_queue() {
         idle_timeout_us: 1_000,
         shed_policy: ShedPolicy::Reject,
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid serve config");
     for i in 0..40u64 {
         let spans = rebadged(anomalous.spans(), 10_000 + i);
         while runtime.submit_batch(spans.clone(), 0).rejected > 0 {
@@ -183,7 +185,8 @@ fn drop_oldest_sheds_under_undersized_queue() {
         idle_timeout_us: 1_000,
         shed_policy: ShedPolicy::DropOldest,
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid serve config");
     let mut shed = 0;
     for i in 0..40u64 {
         shed += runtime.submit_batch(rebadged(anomalous.spans(), 30_000 + i), 0).shed;
@@ -221,7 +224,8 @@ fn collector_caps_shed_inside_shards() {
             max_buffered_spans: usize::MAX,
         },
         ..ServeConfig::default()
-    });
+    })
+    .expect("valid serve config");
     runtime.submit_batch(spans, 1);
     let report = runtime.shutdown();
     let m = &report.metrics;
