@@ -1,0 +1,104 @@
+//! Parallel scaling benchmark for the data-parallel runtime.
+//!
+//! Unlike the criterion-based microbenches, this binary prints one
+//! machine-readable line per benchmark so `scripts/bench.sh` can run
+//! it twice (`SLEUTH_THREADS=1` and `SLEUTH_THREADS=<nproc>`) and
+//! assemble `BENCH_parallel.json` with per-bench medians and speedups:
+//!
+//! ```text
+//! PARALLEL_BENCH bench=distance_matrix threads=4 median_us=1234 samples=5
+//! ```
+//!
+//! Every timed path goes through the global [`sleuth_par`] pool, so
+//! the `SLEUTH_THREADS` override is the only knob between runs; the
+//! serve benchmark additionally sets `rca_workers` to the same count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sleuth_cluster::{core_distances, DistanceMatrix};
+use sleuth_core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_serve::{ServeConfig, ServeRuntime};
+use sleuth_synth::presets;
+use sleuth_synth::workload::CorpusBuilder;
+use sleuth_trace::Trace;
+
+const SAMPLES: usize = 5;
+
+/// Median wall-clock of `SAMPLES` runs of `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn report(bench: &str, median_us: u128) {
+    let threads = sleuth_par::ThreadPool::global().num_threads();
+    println!("PARALLEL_BENCH bench={bench} threads={threads} median_us={median_us} samples={SAMPLES}");
+}
+
+fn chaos_traces(n: usize) -> Vec<Trace> {
+    let app = presets::synthetic(12, 1);
+    CorpusBuilder::new(&app)
+        .seed(5)
+        .mixed_traces(n, 8)
+        .traces
+        .into_iter()
+        .map(|t| t.trace)
+        .collect()
+}
+
+fn main() {
+    let app = presets::synthetic(12, 1);
+    let train = CorpusBuilder::new(&app).seed(5).normal_traces(100).plain_traces();
+    let config = PipelineConfig {
+        train: TrainConfig { epochs: 8, batch_traces: 32, lr: 1e-2, seed: 0 },
+        ..PipelineConfig::default()
+    };
+    let pipeline = Arc::new(SleuthPipeline::fit(&train, &config));
+    let traces = chaos_traces(96);
+
+    // Pairwise distance matrix over the encoded corpus (par_triangle).
+    let sets: Vec<_> = traces.iter().map(|t| pipeline.encoder().encode(t)).collect();
+    let mut dist = DistanceMatrix::from_sets(&sets);
+    report("distance_matrix", median_us(|| {
+        dist = DistanceMatrix::from_sets(&sets);
+    }));
+
+    // HDBSCAN core distances over that matrix (par_map).
+    report("core_distances", median_us(|| {
+        std::hint::black_box(core_distances(&dist, 8));
+    }));
+
+    // Full clustered batch analysis: encode + distance + localise.
+    report("analyze_clustered", median_us(|| {
+        std::hint::black_box(pipeline.analyze(&traces, AnalyzeOptions::default()));
+    }));
+
+    // End-to-end serve ingest with as many RCA workers as threads.
+    let spans: Vec<_> = traces.iter().flat_map(|t| t.spans().to_vec()).collect();
+    let workers = sleuth_par::ThreadPool::global().num_threads();
+    report("serve_ingest", median_us(|| {
+        let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+            num_shards: 4,
+            rca_workers: workers,
+            idle_timeout_us: 1_000_000,
+            ..ServeConfig::default()
+        })
+        .expect("valid serve config");
+        let mut clock = 0u64;
+        for batch in spans.chunks(400) {
+            runtime.submit_batch(batch.to_vec(), clock);
+            clock += 1_000;
+        }
+        runtime.tick(clock + 2_000_000);
+        std::hint::black_box(runtime.shutdown());
+    }));
+}

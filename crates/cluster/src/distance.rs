@@ -1,6 +1,7 @@
 //! The extended weighted-Jaccard trace distance (Eq. 1).
 
 use crate::traceset::WeightedTraceSet;
+use sleuth_par::ThreadPool;
 
 /// Distance between two weighted trace sets:
 ///
@@ -56,19 +57,33 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Compute all pairwise [`trace_distance`]s.
+    /// Compute all pairwise [`trace_distance`]s on the global pool.
     pub fn from_sets(sets: &[WeightedTraceSet]) -> Self {
-        Self::from_fn(sets.len(), |i, j| trace_distance(&sets[i], &sets[j]))
+        Self::from_sets_with(ThreadPool::global(), sets)
     }
 
-    /// Build from an arbitrary symmetric distance function.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                data.push(f(i, j));
-            }
-        }
+    /// Compute all pairwise [`trace_distance`]s on an explicit pool.
+    pub fn from_sets_with(pool: &ThreadPool, sets: &[WeightedTraceSet]) -> Self {
+        Self::from_fn_with(pool, sets.len(), |i, j| trace_distance(&sets[i], &sets[j]))
+    }
+
+    /// Build from an arbitrary symmetric distance function on the
+    /// global pool.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        Self::from_fn_with(ThreadPool::global(), n, f)
+    }
+
+    /// Build from an arbitrary symmetric distance function on an
+    /// explicit pool. The condensed upper triangle is partitioned into
+    /// row bands claimed dynamically across the pool's threads; the
+    /// result is bit-identical to the sequential fill at any thread
+    /// count.
+    pub fn from_fn_with(
+        pool: &ThreadPool,
+        n: usize,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Self {
+        let data = pool.par_triangle(n, f);
         DistanceMatrix { n, data }
     }
 
@@ -182,6 +197,31 @@ mod tests {
         let df = trace_distance(&base, &far);
         assert!(dn < 0.2, "near distance {dn}");
         assert!(df > 0.9, "far distance {df}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The parallel triangle fill is bit-identical to the
+        /// sequential one across thread counts.
+        #[test]
+        fn prop_parallel_matrix_bit_identical(
+            weight_sets in proptest::collection::vec(
+                proptest::collection::vec((0u64..30, 0.1f64..100.0), 0..10),
+                0..24,
+            ),
+        ) {
+            let sets: Vec<WeightedTraceSet> =
+                weight_sets.iter().map(|pairs| set(pairs)).collect();
+            let seq = DistanceMatrix::from_sets_with(&ThreadPool::new(1), &sets);
+            for threads in [2usize, 8] {
+                let par = DistanceMatrix::from_sets_with(&ThreadPool::new(threads), &sets);
+                prop_assert_eq!(par.len(), seq.len());
+                let seq_bits: Vec<u64> = seq.data.iter().map(|d| d.to_bits()).collect();
+                let par_bits: Vec<u64> = par.data.iter().map(|d| d.to_bits()).collect();
+                prop_assert_eq!(par_bits, seq_bits, "threads = {}", threads);
+            }
+        }
     }
 
     proptest! {

@@ -7,6 +7,7 @@
 //! `cluster_selection_epsilon`.
 
 use crate::distance::DistanceMatrix;
+use sleuth_par::ThreadPool;
 
 /// HDBSCAN hyper-parameters. The paper initialises
 /// `min_cluster_size = 10`, `min_samples = 5`,
@@ -72,6 +73,34 @@ impl Clustering {
     }
 }
 
+/// Per-point core distances: distance to the k-th nearest neighbour
+/// (k = `min_samples` clamped to `[1, n − 1]`, self excluded),
+/// computed on the global pool. Empty when the matrix is.
+pub fn core_distances(dist: &DistanceMatrix, min_samples: usize) -> Vec<f64> {
+    core_distances_with(ThreadPool::global(), dist, min_samples)
+}
+
+/// [`core_distances`] on an explicit pool. Each point's neighbour scan
+/// and sort is independent, so the parallel result is bit-identical to
+/// the sequential one at any thread count.
+pub fn core_distances_with(
+    pool: &ThreadPool,
+    dist: &DistanceMatrix,
+    min_samples: usize,
+) -> Vec<f64> {
+    let n = dist.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let k = min_samples.clamp(1, n - 1);
+    let indices: Vec<usize> = (0..n).collect();
+    pool.par_map(&indices, |&i| {
+        let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist.get(i, j)).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
+        ds[k - 1]
+    })
+}
+
 /// Run HDBSCAN* over a distance matrix.
 pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
     let n = dist.len();
@@ -85,15 +114,8 @@ pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
         };
     }
 
-    // 1. Core distances: distance to the k-th nearest neighbour
-    //    (k = min_samples, self excluded).
-    let k = params.min_samples.clamp(1, n - 1);
-    let mut core = vec![0.0f64; n];
-    for (i, c) in core.iter_mut().enumerate() {
-        let mut ds: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist.get(i, j)).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
-        *c = ds[k - 1];
-    }
+    // 1. Core distances (parallel across points).
+    let core = core_distances(dist, params.min_samples);
 
     // 2–3. Prim's MST over mutual reachability distances.
     let mreach = |i: usize, j: usize| dist.get(i, j).max(core[i]).max(core[j]);
@@ -218,8 +240,7 @@ pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
         let (sl, sr) = (dendro_size[l], dendro_size[r]);
         if sl >= mcs && sr >= mcs {
             // True split: parent dies, two children are born.
-            cond.stability[cluster] +=
-                (sl + sr) as f64 * (lambda - cond.birth_lambda[cluster]);
+            cond.stability[cluster] += (sl + sr) as f64 * (lambda - cond.birth_lambda[cluster]);
             let cl = cond.new_cluster(Some(cluster), lambda);
             let cr = cond.new_cluster(Some(cluster), lambda);
             stack.push((l, cl));
@@ -257,7 +278,10 @@ pub fn hdbscan(dist: &DistanceMatrix, params: &HdbscanParams) -> Clustering {
             selected[c] = true;
             continue;
         }
-        let child_sum: f64 = cond.children[c].iter().map(|&ch| subtree_stability[ch]).sum();
+        let child_sum: f64 = cond.children[c]
+            .iter()
+            .map(|&ch| subtree_stability[ch])
+            .sum();
         let split_dist = 1.0 / cond.birth_lambda[cond.children[c][0]].max(1e-12);
         let is_root = c == root_cluster;
         let epsilon_veto = split_dist < params.cluster_selection_epsilon;
@@ -323,9 +347,8 @@ pub struct DbscanParams {
 pub fn dbscan(dist: &DistanceMatrix, params: &DbscanParams) -> Clustering {
     let n = dist.len();
     let mut labels = vec![-2isize; n]; // -2 = unvisited, -1 = noise
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| dist.get(i, j) <= params.eps).collect()
-    };
+    let neighbours =
+        |i: usize| -> Vec<usize> { (0..n).filter(|&j| dist.get(i, j) <= params.eps).collect() };
     let mut cluster = 0isize;
     for i in 0..n {
         if labels[i] != -2 {
@@ -459,7 +482,9 @@ mod tests {
         for b in 0..3 {
             let lab = c.labels[b * n_per];
             assert!(lab >= 0);
-            assert!(c.labels[b * n_per..(b + 1) * n_per].iter().all(|&l| l == lab));
+            assert!(c.labels[b * n_per..(b + 1) * n_per]
+                .iter()
+                .all(|&l| l == lab));
         }
     }
 
@@ -469,13 +494,17 @@ mod tests {
         // epsilon 0.5 the split at 0.2 must be vetoed → single cluster
         // (allow_single_cluster enabled).
         let n_per = 8;
-        let dm = DistanceMatrix::from_fn(2 * n_per, |i, j| {
-            if i / n_per == j / n_per {
-                0.02
-            } else {
-                0.2
-            }
-        });
+        let dm =
+            DistanceMatrix::from_fn(
+                2 * n_per,
+                |i, j| {
+                    if i / n_per == j / n_per {
+                        0.02
+                    } else {
+                        0.2
+                    }
+                },
+            );
         let split = hdbscan(
             &dm,
             &HdbscanParams {
@@ -536,5 +565,46 @@ mod tests {
         assert_eq!(c.members(0), vec![0, 1]);
         assert_eq!(c.members(1), vec![2]);
         assert_eq!(c.noise(), vec![3]);
+    }
+
+    #[test]
+    fn core_distances_trivial_inputs() {
+        let empty = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        assert!(core_distances(&empty, 5).is_empty());
+        let single = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        assert_eq!(core_distances(&single, 5), vec![0.0]);
+    }
+
+    mod parallel_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Parallel core distances are bit-identical to sequential
+            /// across thread counts {1, 2, 8}.
+            #[test]
+            fn prop_core_distances_bit_identical(
+                seed_dists in proptest::collection::vec(0.0f64..1.0, 1..120),
+                min_samples in 1usize..8,
+            ) {
+                // Derive a symmetric matrix of pseudo-random distances
+                // from the sampled pool.
+                let n = (1 + (seed_dists.len() as f64).sqrt() as usize).min(16);
+                let dm = DistanceMatrix::from_fn_with(
+                    &ThreadPool::new(1),
+                    n,
+                    |i, j| seed_dists[(i * 31 + j * 17) % seed_dists.len()],
+                );
+                let seq = core_distances_with(&ThreadPool::new(1), &dm, min_samples);
+                for threads in [2usize, 8] {
+                    let par = core_distances_with(&ThreadPool::new(threads), &dm, min_samples);
+                    let seq_bits: Vec<u64> = seq.iter().map(|d| d.to_bits()).collect();
+                    let par_bits: Vec<u64> = par.iter().map(|d| d.to_bits()).collect();
+                    prop_assert_eq!(par_bits, seq_bits, "threads = {}", threads);
+                }
+            }
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! * [`distance`] — the extended weighted-Jaccard distance of Eq. 1,
 //!   computable in `O(m)` per pair (vs `O(m² log² m)` for tree edit
 //!   distance),
-//! * [`hdbscan`] — the HDBSCAN* density clustering algorithm
+//! * [`hdbscan`](mod@hdbscan) — the HDBSCAN* density clustering algorithm
 //!   (mutual-reachability MST → condensed tree → stability-based
 //!   extraction with `cluster_selection_epsilon`), plus a plain DBSCAN,
 //! * [`representative`] — geometric-median cluster representatives.
@@ -41,7 +41,9 @@ pub mod ted;
 pub mod traceset;
 
 pub use distance::DistanceMatrix;
-pub use hdbscan::{dbscan, hdbscan, Clustering, DbscanParams, HdbscanParams};
+pub use hdbscan::{
+    core_distances, core_distances_with, dbscan, hdbscan, Clustering, DbscanParams, HdbscanParams,
+};
 pub use representative::geometric_median;
 pub use ted::{normalized_ted, tree_edit_distance, OrderedTree};
 pub use traceset::{TraceSetEncoder, WeightedTraceSet};

@@ -102,7 +102,11 @@ mod tests {
         let mut spans = Vec::new();
         for (i, (&n, &d)) in names.iter().zip(durs).enumerate() {
             let b = Span::builder(1, i as u64 + 1, format!("svc-{n}"), n)
-                .kind(if i == 0 { SpanKind::Server } else { SpanKind::Client })
+                .kind(if i == 0 {
+                    SpanKind::Server
+                } else {
+                    SpanKind::Client
+                })
                 .time(10 * i as u64, 10 * i as u64 + d);
             let b = if i > 0 { b.parent(i as u64) } else { b };
             let b = if err_last && i == names.len() - 1 {

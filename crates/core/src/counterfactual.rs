@@ -14,6 +14,7 @@ use std::sync::Mutex;
 
 use sleuth_baselines::common::{OpKey, OpProfile, RootCauseLocator};
 use sleuth_gnn::{Featurizer, SleuthModel};
+use sleuth_par::ThreadPool;
 use sleuth_trace::{exclusive, transform, Trace};
 
 /// The Sleuth counterfactual localiser: a trained GNN plus the normal
@@ -279,15 +280,21 @@ impl RootCauseLocator for CounterfactualRca {
         };
 
         // Smallest prefix of the ranking that explains as much as the
-        // whole candidate set…
-        let mut chosen = candidates.len();
-        for k in 1..=candidates.len() {
+        // whole candidate set. The prefix predictions are independent
+        // of each other, so they fan out across the pool and the first
+        // accepted length is read off the ordered results — the same
+        // `chosen` the sequential early-exit loop would find, at the
+        // cost of predicting the (short) tail it would have skipped.
+        let lengths: Vec<usize> = (1..=candidates.len()).collect();
+        let prefix_preds = ThreadPool::global().par_map(&lengths, |&k| {
             let prefix: Vec<&String> = candidates[..k].iter().collect();
-            if accept(&predict_set(&prefix)) {
-                chosen = k;
-                break;
-            }
-        }
+            predict_set(&prefix)
+        });
+        let chosen = prefix_preds
+            .iter()
+            .position(accept)
+            .map(|p| p + 1)
+            .unwrap_or(candidates.len());
         let mut kept: Vec<String> = candidates[..chosen].to_vec();
 
         // …then backward-eliminate candidates whose restoration adds

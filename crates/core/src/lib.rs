@@ -32,7 +32,7 @@
 //!
 //! let queries = builder.anomaly_queries(3, 20);
 //! for q in &queries {
-//!     let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+//!     let traces: Vec<_> = q.traces.iter().map(|t| &t.trace).collect();
 //!     for result in sleuth.analyze(&traces, Default::default()) {
 //!         println!("trace {} -> {:?}", result.trace_idx, result.services);
 //!     }

@@ -5,7 +5,9 @@ use sleuth_cluster::{
     geometric_median, hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder,
 };
 use sleuth_gnn::{AggregatorKind, EncodedTrace, Featurizer, ModelConfig, SleuthModel, TrainConfig};
+use sleuth_par::ThreadPool;
 use sleuth_trace::Trace;
+use std::borrow::Borrow;
 
 use crate::anomaly::AnomalyDetector;
 use crate::counterfactual::CounterfactualRca;
@@ -251,6 +253,11 @@ impl SleuthPipeline {
         &self.detector
     }
 
+    /// The weighted trace-set encoder used for clustering.
+    pub fn encoder(&self) -> &TraceSetEncoder {
+        &self.encoder
+    }
+
     /// A copy of this pipeline with its detector SLOs and
     /// counterfactual restore targets replaced by `profile` — the
     /// incremental baseline-refresh hook. The trained GNN, featurizer
@@ -282,22 +289,34 @@ impl SleuthPipeline {
     ///   individually.
     /// * [`ClusteringMode::Precomputed`] — clustering runs on a
     ///   caller-supplied distance matrix.
-    pub fn analyze(&self, traces: &[Trace], options: AnalyzeOptions) -> Vec<RcaResult> {
+    ///
+    /// `traces` is generic over anything that borrows a [`Trace`]
+    /// (`&[Trace]`, `&[&Trace]`, `&[Arc<Trace>]`), so callers never
+    /// need to deep-clone traces just to assemble a batch. Trace-set
+    /// encoding, clustering, and per-representative localisation fan
+    /// out across the global [`ThreadPool`]; results are bit-identical
+    /// to a sequential run at any thread count.
+    pub fn analyze<T>(&self, traces: &[T], options: AnalyzeOptions) -> Vec<RcaResult>
+    where
+        T: Borrow<Trace> + Sync,
+    {
         if traces.is_empty() {
             return Vec::new();
         }
+        let pool = ThreadPool::global();
         match options.clustering {
             ClusteringMode::Jaccard => {
-                let sets: Vec<_> = traces.iter().map(|t| self.encoder.encode(t)).collect();
-                let dm = DistanceMatrix::from_sets(&sets);
+                let sets = pool.par_map(traces, |t| self.encoder.encode(t.borrow()));
+                let dm = DistanceMatrix::from_sets_with(pool, &sets);
                 self.localize_clustered(traces, &dm)
             }
-            ClusteringMode::Disabled => traces
-                .iter()
+            ClusteringMode::Disabled => pool
+                .par_map(traces, |t| self.rca.localize(t.borrow()))
+                .into_iter()
                 .enumerate()
-                .map(|(i, t)| RcaResult {
+                .map(|(i, services)| RcaResult {
                     trace_idx: i,
-                    services: self.rca.localize(t),
+                    services,
                     cluster: None,
                     representative: true,
                 })
@@ -308,14 +327,27 @@ impl SleuthPipeline {
 
     /// Shared clustering path: HDBSCAN over `dm`, representative per
     /// cluster, inherited verdicts for members, per-trace verdicts for
-    /// noise.
-    fn localize_clustered(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
+    /// noise. Representatives and noise traces are localised in
+    /// parallel (each verdict depends only on its own trace, so the
+    /// fan-out keeps results identical to the sequential loop).
+    fn localize_clustered<T>(&self, traces: &[T], dm: &DistanceMatrix) -> Vec<RcaResult>
+    where
+        T: Borrow<Trace> + Sync,
+    {
+        let pool = ThreadPool::global();
         let clustering = hdbscan(dm, &self.hdbscan_params);
-        let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
-        for c in 0..clustering.n_clusters() as isize {
+        let cluster_ids: Vec<isize> = (0..clustering.n_clusters() as isize).collect();
+        let per_cluster = pool.par_map(&cluster_ids, |&c| {
             let members = clustering.members(c);
             let rep = geometric_median(dm, &members).expect("cluster non-empty");
-            let services = self.rca.localize(&traces[rep]);
+            let services = self.rca.localize(traces[rep].borrow());
+            (members, rep, services)
+        });
+        let noise = clustering.noise();
+        let noise_services = pool.par_map(&noise, |&i| self.rca.localize(traces[i].borrow()));
+
+        let mut results: Vec<Option<RcaResult>> = vec![None; traces.len()];
+        for (c, (members, rep, services)) in cluster_ids.into_iter().zip(per_cluster) {
             for m in members {
                 results[m] = Some(RcaResult {
                     trace_idx: m,
@@ -325,10 +357,10 @@ impl SleuthPipeline {
                 });
             }
         }
-        for i in clustering.noise() {
+        for (&i, services) in noise.iter().zip(noise_services) {
             results[i] = Some(RcaResult {
                 trace_idx: i,
-                services: self.rca.localize(&traces[i]),
+                services,
                 cluster: None,
                 representative: true,
             });
@@ -337,24 +369,6 @@ impl SleuthPipeline {
             .into_iter()
             .map(|r| r.expect("every trace labelled"))
             .collect()
-    }
-
-    /// Analyse every trace individually (no clustering).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use analyze(traces, AnalyzeOptions::unclustered())"
-    )]
-    pub fn analyze_without_clustering(&self, traces: &[Trace]) -> Vec<RcaResult> {
-        self.analyze(traces, AnalyzeOptions::unclustered())
-    }
-
-    /// Analyse with an externally supplied distance matrix.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use analyze(traces, AnalyzeOptions::with_distance(dm))"
-    )]
-    pub fn analyze_with_distance(&self, traces: &[Trace], dm: &DistanceMatrix) -> Vec<RcaResult> {
-        self.analyze(traces, AnalyzeOptions::with_distance(dm))
     }
 }
 
@@ -456,8 +470,9 @@ mod tests {
         let app = presets::synthetic(16, 1);
         let train = CorpusBuilder::new(&app).seed(34).normal_traces(60).plain_traces();
         let pipeline = SleuthPipeline::fit(&train, &quick_config());
-        assert!(pipeline.analyze(&[], AnalyzeOptions::default()).is_empty());
-        assert!(pipeline.analyze(&[], AnalyzeOptions::unclustered()).is_empty());
+        let empty: &[Trace] = &[];
+        assert!(pipeline.analyze(empty, AnalyzeOptions::default()).is_empty());
+        assert!(pipeline.analyze(empty, AnalyzeOptions::unclustered()).is_empty());
     }
 
     #[test]
@@ -473,22 +488,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_new_entry_point() {
+    fn borrowed_and_owned_batches_agree() {
         let app = presets::synthetic(16, 1);
         let builder = CorpusBuilder::new(&app).seed(36);
         let train = builder.normal_traces(60).plain_traces();
         let pipeline = SleuthPipeline::fit(&train, &quick_config());
         let queries = builder.anomaly_queries(1, 8);
         let traces: Vec<Trace> = queries[0].traces.iter().map(|t| t.trace.clone()).collect();
-        assert_eq!(
-            pipeline.analyze_without_clustering(&traces),
-            pipeline.analyze(&traces, AnalyzeOptions::unclustered())
-        );
+        let owned = pipeline.analyze(&traces, AnalyzeOptions::unclustered());
+        let borrowed: Vec<&Trace> = traces.iter().collect();
+        assert_eq!(pipeline.analyze(&borrowed, AnalyzeOptions::unclustered()), owned);
+        let shared: Vec<std::sync::Arc<Trace>> =
+            traces.iter().cloned().map(std::sync::Arc::new).collect();
+        assert_eq!(pipeline.analyze(&shared, AnalyzeOptions::unclustered()), owned);
         let sets: Vec<_> = traces.iter().map(|t| TraceSetEncoder::new(3).encode(t)).collect();
         let dm = DistanceMatrix::from_sets(&sets);
         assert_eq!(
-            pipeline.analyze_with_distance(&traces, &dm),
+            pipeline.analyze(&borrowed, AnalyzeOptions::with_distance(&dm)),
             pipeline.analyze(&traces, AnalyzeOptions::with_distance(&dm))
         );
     }

@@ -219,7 +219,7 @@ pub fn ablation_clustering(scale: &EvalScale) -> ClusteringAblation {
     let mut inferences = 0usize;
     let mut total = 0usize;
     for q in &prepared.queries {
-        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<&Trace> = q.traces.iter().map(|t| &t.trace).collect();
         let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
         let dm = DistanceMatrix::from_sets(&sets);
         let clustering = dbscan(
@@ -234,14 +234,14 @@ pub fn ablation_clustering(scale: &EvalScale) -> ClusteringAblation {
             let members = clustering.members(c);
             let rep = sleuth_cluster::geometric_median(&dm, &members).expect("non-empty");
             inferences += 1;
-            let services = pipeline.localize(&traces[rep]);
+            let services = pipeline.localize(traces[rep]);
             for m in members {
                 verdicts[m] = Some(services.clone());
             }
         }
         for i in clustering.noise() {
             inferences += 1;
-            verdicts[i] = Some(pipeline.localize(&traces[i]));
+            verdicts[i] = Some(pipeline.localize(traces[i]));
         }
         for (st, v) in q.traces.iter().zip(&verdicts) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();

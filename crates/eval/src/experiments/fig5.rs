@@ -121,10 +121,10 @@ pub fn fig5_scaling(scale: &EvalScale) -> Fig5Result {
         let (sage, sage_train) = time(|| Sage::fit(&prepared.train, scale.sage_epochs, 1));
 
         // Inference batch: all anomalous traces across queries.
-        let batch: Vec<Trace> = prepared
+        let batch: Vec<&Trace> = prepared
             .queries
             .iter()
-            .flat_map(|q| q.traces.iter().map(|t| t.trace.clone()))
+            .flat_map(|q| q.traces.iter().map(|t| &t.trace))
             .collect();
         let (_, gin_infer) = time(|| {
             for t in &batch {

@@ -250,7 +250,7 @@ pub fn eval_pipeline_clustered(
 ) -> EvalAccumulator {
     let mut acc = EvalAccumulator::new();
     for q in queries {
-        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<&Trace> = q.traces.iter().map(|t| &t.trace).collect();
         let results = pipeline.analyze(&traces, Default::default());
         for (st, r) in q.traces.iter().zip(&results) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();
@@ -266,7 +266,7 @@ pub fn clustering_savings(pipeline: &SleuthPipeline, queries: &[AnomalyQuery]) -
     let mut reps = 0;
     let mut total = 0;
     for q in queries {
-        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<&Trace> = q.traces.iter().map(|t| &t.trace).collect();
         let results = pipeline.analyze(&traces, Default::default());
         reps += results.iter().filter(|r| r.representative).count();
         total += results.len();

@@ -162,7 +162,7 @@ fn eval_deeptralog_clustered(
 ) -> EvalAccumulator {
     let mut acc = EvalAccumulator::new();
     for q in queries {
-        let traces: Vec<Trace> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<&Trace> = q.traces.iter().map(|t| &t.trace).collect();
         let embeddings: Vec<Vec<f32>> = traces
             .iter()
             .map(|t| deeptralog.borrow_mut().embed(t))

@@ -1,0 +1,606 @@
+//! Std-only data-parallel execution runtime.
+//!
+//! Sleuth's offline pipeline is dominated by embarrassingly parallel
+//! loops — the O(n²) weighted-Jaccard distance matrix feeding HDBSCAN
+//! (§3.3), per-trace encoding, and the counterfactual re-predictions
+//! of §3.5 — and the serving runtime wants several RCA workers per
+//! process. This crate provides the one shared substrate: a
+//! fixed-size, work-stealing [`ThreadPool`] with *scoped* parallel
+//! primitives over borrowed data:
+//!
+//! * [`ThreadPool::par_map`] — map a function over a slice,
+//! * [`ThreadPool::par_chunks`] — one result per fixed-size chunk,
+//! * [`ThreadPool::par_triangle`] — fill the condensed upper triangle
+//!   of a symmetric pairwise matrix, partitioned into row bands.
+//!
+//! # Guarantees
+//!
+//! * **Deterministic results.** Every primitive writes each output
+//!   slot from exactly one task, indexed by position — the result is
+//!   bit-identical to the sequential loop regardless of thread count
+//!   or scheduling. (Execution *order* is not deterministic; outputs
+//!   are.)
+//! * **Panic propagation.** If a task panics, the batch is cancelled,
+//!   the first panic payload is captured, and the calling thread
+//!   re-raises it after the batch drains. The pool survives and stays
+//!   usable. Output values already produced by other tasks of the
+//!   aborted batch are leaked, never dropped twice.
+//! * **Sequential fallback.** A pool of one thread (or a call made
+//!   from inside a pool worker — nested parallelism) runs the plain
+//!   sequential loop on the calling thread: zero scheduling overhead,
+//!   identical results.
+//!
+//! # Pool lifecycle
+//!
+//! [`ThreadPool::new(n)`](ThreadPool::new) spawns `n − 1` workers; the
+//! caller of every primitive is the n-th executor (caller-runs), so a
+//! submitted batch always makes progress even when all workers are
+//! busy elsewhere. Batches from concurrent callers queue up and
+//! workers *steal* whole task indices from any pending batch via an
+//! atomic claim counter — dynamic self-scheduling that balances
+//! irregular task sizes (e.g. the shrinking rows of a triangle).
+//! Dropping the pool joins all workers.
+//!
+//! [`ThreadPool::global`] is the process-wide shared pool used by the
+//! library hot paths. Its size is `available_parallelism()`, overridden
+//! by the `SLEUTH_THREADS` environment variable (read once, at first
+//! use; `SLEUTH_THREADS=1` forces fully sequential execution).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Whether the current thread is a pool worker (used to run nested
+    /// parallel calls sequentially instead of oversubscribing).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased pointer to a batch's task closure. Only
+/// dereferenced while the owning [`ThreadPool::run_batch`] call is
+/// still blocked on the batch (see the safety argument there).
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync`, so sharing the pointer across worker
+// threads for shared (`&`) calls is sound; validity is guaranteed by
+// the run_batch protocol.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Raw output cursor shared with tasks; each task writes a disjoint
+/// set of slots.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: tasks write disjoint `T` slots from worker threads, which
+// requires `T: Send`; no two tasks alias a slot.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    ///
+    /// `idx` must be in bounds of the allocation and written by at
+    /// most one task.
+    unsafe fn write(&self, idx: usize, value: T) {
+        self.0.add(idx).write(value);
+    }
+}
+
+struct Done {
+    /// Task indices claimed-and-finished still outstanding.
+    remaining: usize,
+    /// First panic payload observed in this batch.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One submitted parallel batch: `n_tasks` indices claimed via an
+/// atomic counter by whichever threads get there first.
+struct Batch {
+    task: TaskPtr,
+    n_tasks: usize,
+    next: AtomicUsize,
+    /// Set on the first panic: remaining unclaimed indices are counted
+    /// down without running.
+    cancelled: AtomicBool,
+    done: Mutex<Done>,
+    cv: Condvar,
+}
+
+struct PoolState {
+    batches: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+/// Fixed-size work-stealing thread pool with scoped, deterministic
+/// parallel primitives. See the crate docs for the guarantees.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("n_threads", &self.n_threads)
+            .finish()
+    }
+}
+
+fn detected_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pool size for [`ThreadPool::global`]: the `SLEUTH_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// `available_parallelism()` (1 if undetectable).
+pub fn default_threads() -> usize {
+    match std::env::var("SLEUTH_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => detected_threads(),
+        },
+        Err(_) => detected_threads(),
+    }
+}
+
+impl ThreadPool {
+    /// A pool executing on `n_threads` threads total: `n_threads − 1`
+    /// spawned workers plus the calling thread of each primitive.
+    /// `n_threads == 1` spawns nothing and runs everything
+    /// sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is zero or a worker thread cannot be
+    /// spawned.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads >= 1, "thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                batches: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let workers = (1..n_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sleuth-par-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            n_threads,
+        }
+    }
+
+    /// The process-wide shared pool, created on first use with
+    /// [`default_threads`] threads.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// Total executor count (spawned workers + the calling thread).
+    pub fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Whether a call with `n_tasks` tasks should skip the pool: a
+    /// one-thread pool, a trivial batch, or a nested call from a pool
+    /// worker (which would otherwise wait on its own siblings).
+    fn use_sequential(&self, n_tasks: usize) -> bool {
+        self.n_threads == 1 || n_tasks <= 1 || IN_POOL.with(Cell::get)
+    }
+
+    /// Map `f` over `items`, preserving order. Bit-identical to
+    /// `items.iter().map(f).collect()` at any thread count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.use_sequential(n) {
+            return items.iter().map(f).collect();
+        }
+        // ~4 chunks per thread: coarse enough to amortise claim
+        // overhead, fine enough for the claim counter to balance load.
+        let chunk = n.div_ceil(4 * self.n_threads).max(1);
+        let n_tasks = n.div_ceil(chunk);
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.run_batch(n_tasks, &|t| {
+            let start = t * chunk;
+            let end = (start + chunk).min(n);
+            for (i, item) in items[start..end].iter().enumerate() {
+                let value = f(item);
+                // SAFETY: slot `start + i` belongs to task `t` alone
+                // and lies within the `n`-slot allocation.
+                unsafe { out_ptr.write(start + i, value) };
+            }
+        });
+        // SAFETY: run_batch returned without panicking, so every task
+        // ran and all `n` slots are initialised.
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    /// One result per `chunk_size`-sized chunk of `items` (the last
+    /// chunk may be shorter); `f` receives the chunk index and the
+    /// chunk. Results are in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let n_tasks = items.len().div_ceil(chunk_size);
+        if self.use_sequential(n_tasks) {
+            return items
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(i, c)| f(i, c))
+                .collect();
+        }
+        let mut out: Vec<R> = Vec::with_capacity(n_tasks);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.run_batch(n_tasks, &|t| {
+            let start = t * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            let value = f(t, &items[start..end]);
+            // SAFETY: slot `t` belongs to task `t` alone.
+            unsafe { out_ptr.write(t, value) };
+        });
+        // SAFETY: as in par_map.
+        unsafe { out.set_len(n_tasks) };
+        out
+    }
+
+    /// Fill the condensed upper triangle of an `n × n` symmetric
+    /// matrix: `f(i, j)` for all `i < j`, row-major (the layout used by
+    /// `DistanceMatrix`). The triangle is partitioned into row bands
+    /// claimed dynamically, so the shrinking row lengths stay balanced
+    /// across threads.
+    pub fn par_triangle<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        let len = n * n.saturating_sub(1) / 2;
+        if len == 0 {
+            return Vec::new();
+        }
+        let n_rows = n - 1; // row i covers pairs (i, i+1..n); row n−1 is empty
+        if self.use_sequential(n_rows) {
+            let mut data = Vec::with_capacity(len);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    data.push(f(i, j));
+                }
+            }
+            return data;
+        }
+        let mut out: Vec<R> = Vec::with_capacity(len);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        self.run_batch(n_rows, &|i| {
+            let row_start = i * n - i * (i + 1) / 2;
+            for j in (i + 1)..n {
+                let value = f(i, j);
+                // SAFETY: row `i` owns slots `row_start..row_start +
+                // (n − 1 − i)`, disjoint across rows and within `len`.
+                unsafe { out_ptr.write(row_start + (j - i - 1), value) };
+            }
+        });
+        // SAFETY: as in par_map.
+        unsafe { out.set_len(len) };
+        out
+    }
+
+    /// Execute `task(0..n_tasks)` across the pool, blocking until all
+    /// indices finish; re-raises the first task panic.
+    fn run_batch(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(n_tasks > 0);
+        // SAFETY (lifetime erasure): the erased reference is only ever
+        // dereferenced by `drain_batch`, which calls the task strictly
+        // before counting the claimed index finished; this function
+        // does not return until `remaining == 0`, so every dereference
+        // happens while the caller — and therefore the borrow — is
+        // still alive.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let batch = Arc::new(Batch {
+            task: TaskPtr(task),
+            n_tasks,
+            next: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            done: Mutex::new(Done {
+                remaining: n_tasks,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.batches.push_back(Arc::clone(&batch));
+        }
+        self.shared.work_cv.notify_all();
+        // Caller-runs: guarantees progress even with zero free workers.
+        drain_batch(&batch);
+        let panic = {
+            let mut done = batch.done.lock().expect("batch lock");
+            while done.remaining > 0 {
+                done = batch.cv.wait(done).expect("batch lock");
+            }
+            done.panic.take()
+        };
+        // De-queue the exhausted batch (workers also skip exhausted
+        // batches, this just keeps the queue from accumulating stubs).
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.batches.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Claim and run task indices until the batch is exhausted. Every
+/// claimed index is counted finished exactly once, so `remaining`
+/// reliably reaches zero even across panics and cancellation.
+fn drain_batch(batch: &Batch) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.n_tasks {
+            break;
+        }
+        let result = if batch.cancelled.load(Ordering::Relaxed) {
+            Ok(())
+        } else {
+            // SAFETY: see the lifetime-erasure argument in run_batch.
+            catch_unwind(AssertUnwindSafe(|| unsafe { (*batch.task.0)(i) }))
+        };
+        let mut done = batch.done.lock().expect("batch lock");
+        if let Err(payload) = result {
+            if done.panic.is_none() {
+                done.panic = Some(payload);
+            }
+            batch.cancelled.store(true, Ordering::Relaxed);
+        }
+        done.remaining -= 1;
+        if done.remaining == 0 {
+            batch.cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_POOL.with(|f| f.set(true));
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                // Steal from the oldest batch that still has unclaimed
+                // tasks; drop exhausted stubs from the front.
+                while st
+                    .batches
+                    .front()
+                    .is_some_and(|b| b.next.load(Ordering::Relaxed) >= b.n_tasks)
+                {
+                    st.batches.pop_front();
+                }
+                if let Some(b) = st
+                    .batches
+                    .iter()
+                    .find(|b| b.next.load(Ordering::Relaxed) < b.n_tasks)
+                {
+                    break Arc::clone(b);
+                }
+                st = shared.work_cv.wait(st).expect("pool lock");
+            }
+        };
+        drain_batch(&batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.par_map(&items, |x| x * x + 1), expected);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.par_map(&[] as &[u8], |x| *x), Vec::<u8>::new());
+        assert_eq!(pool.par_map(&[7u8], |x| *x as u32 * 2), vec![14]);
+    }
+
+    #[test]
+    fn par_chunks_preserves_chunk_order_and_indices() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let sums = pool.par_chunks(&items, 10, |idx, chunk| {
+                (idx, chunk.iter().sum::<usize>(), chunk.len())
+            });
+            assert_eq!(sums.len(), 11);
+            assert_eq!(sums[0], (0, 45, 10));
+            assert_eq!(sums[10], (10, 100 + 101 + 102, 3));
+            for (i, entry) in sums.iter().enumerate() {
+                assert_eq!(entry.0, i);
+            }
+        }
+    }
+
+    #[test]
+    fn par_triangle_matches_nested_loop() {
+        for n in [0usize, 1, 2, 3, 17, 64] {
+            let mut expected = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    expected.push((i * 1000 + j) as f64);
+                }
+            }
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let got = pool.par_triangle(n, |i, j| (i * 1000 + j) as f64);
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 33 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 33"), "unexpected payload: {msg}");
+        // The pool keeps working after a panicked batch.
+        assert_eq!(pool.par_map(&items, |&x| x + 1)[0], 1);
+    }
+
+    #[test]
+    fn nested_calls_complete() {
+        let pool = ThreadPool::new(4);
+        let outer: Vec<u64> = (0..16).collect();
+        let result = pool.par_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..8).map(|i| x * 8 + i).collect();
+            ThreadPool::global()
+                .par_map(&inner, |&y| y * 2)
+                .iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..16u64)
+            .map(|x| (0..8).map(|i| (x * 8 + i) * 2).sum())
+            .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn all_items_visited_exactly_once() {
+        let pool = ThreadPool::new(8);
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = pool.par_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        // Thread-identity check: every call runs on the caller.
+        let me = std::thread::current().id();
+        let ids = pool.par_map(&[0u8; 9], |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == me));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(ThreadPool::global().num_threads() >= 1);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let items: Vec<u64> = (0..200).map(|i| i + t * 1000).collect();
+                    let got = pool.par_map(&items, |&x| x * 3);
+                    let expected: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+                    assert_eq!(got, expected);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("caller thread");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// par_map is the identity transformation of sequential map for
+        /// arbitrary inputs and small thread counts.
+        #[test]
+        fn prop_par_map_equals_sequential(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..200),
+            threads in 1usize..5,
+        ) {
+            let pool = ThreadPool::new(threads);
+            let expected: Vec<u64> = xs.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+            prop_assert_eq!(pool.par_map(&xs, |x| x.wrapping_mul(2654435761)), expected);
+        }
+    }
+}

@@ -31,8 +31,8 @@ pub enum ClusterPolicy {
 /// Background incremental baseline refresh (see [`crate::refresh`]).
 ///
 /// When set on [`ServeConfig::refresh`], every completed trace is also
-/// teed (as a clone, through a drop-oldest queue that can never
-/// backpressure ingest) into a [`crate::BaselineRefresher`] running on
+/// teed (as a shared `Arc` handle, through a drop-oldest queue that can
+/// never backpressure ingest) into a [`crate::BaselineRefresher`] running on
 /// its own thread, which publishes a refreshed pipeline through the
 /// model registry every `interval_traces` folded traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +40,7 @@ pub struct RefreshConfig {
     /// Publish a refreshed pipeline after this many folded traces.
     pub interval_traces: usize,
     /// Capacity of the completed-trace refresh queue; overflow sheds
-    /// the oldest clone (counted in `refresh_traces_shed`).
+    /// the oldest handle (counted in `refresh_traces_shed`).
     pub queue_capacity: usize,
     /// An operation's sketched baselines only override the base
     /// profile once it has this many fresh samples.
@@ -68,6 +68,8 @@ pub enum ConfigError {
     ZeroShardQueueCapacity,
     /// `rca_queue_capacity` was zero.
     ZeroRcaQueueCapacity,
+    /// `rca_workers` was zero.
+    ZeroRcaWorkers,
     /// `ClusterPolicy::MicroBatch(0)`.
     ZeroMicroBatch,
     /// `RefreshConfig::interval_traces` was zero.
@@ -82,6 +84,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroShards => "num_shards must be positive",
             ConfigError::ZeroShardQueueCapacity => "shard_queue_capacity must be positive",
             ConfigError::ZeroRcaQueueCapacity => "rca_queue_capacity must be positive",
+            ConfigError::ZeroRcaWorkers => "rca_workers must be positive",
             ConfigError::ZeroMicroBatch => "micro-batch size must be positive",
             ConfigError::ZeroRefreshInterval => "refresh interval_traces must be positive",
             ConfigError::ZeroRefreshQueueCapacity => "refresh queue_capacity must be positive",
@@ -104,6 +107,15 @@ pub struct ServeConfig {
     /// Completed-trace queue capacity feeding the RCA stage. When full
     /// it blocks shard workers, propagating backpressure to ingest.
     pub rca_queue_capacity: usize,
+    /// RCA stage workers draining the completed-trace queue
+    /// concurrently. Each worker leases the registry's current model
+    /// per batch and reports its own latency histogram
+    /// (`sleuth_rca_worker_latency_us{worker="i"}`). With
+    /// [`ClusterPolicy::PerTrace`] the verdict *set* is invariant to
+    /// this knob (each verdict depends only on its own trace); with
+    /// [`ClusterPolicy::MicroBatch`] batch composition — already
+    /// arrival-dependent — additionally depends on worker interleaving.
+    pub rca_workers: usize,
     /// Collector idle window: a trace completes after this much
     /// logical time without new spans.
     pub idle_timeout_us: u64,
@@ -124,6 +136,7 @@ impl Default for ServeConfig {
             num_shards: 4,
             shard_queue_capacity: 64,
             rca_queue_capacity: 256,
+            rca_workers: 1,
             idle_timeout_us: 2_000_000,
             collector_caps: CollectorCaps::default(),
             shed_policy: ShedPolicy::default(),
@@ -155,6 +168,9 @@ impl ServeConfig {
         }
         if self.rca_queue_capacity == 0 {
             return Err(ConfigError::ZeroRcaQueueCapacity);
+        }
+        if self.rca_workers == 0 {
+            return Err(ConfigError::ZeroRcaWorkers);
         }
         if matches!(self.cluster_policy, ClusterPolicy::MicroBatch(0)) {
             return Err(ConfigError::ZeroMicroBatch);
@@ -193,6 +209,12 @@ impl ServeConfigBuilder {
     /// Set the RCA queue capacity (in traces).
     pub fn rca_queue_capacity(mut self, n: usize) -> Self {
         self.config.rca_queue_capacity = n;
+        self
+    }
+
+    /// Set the RCA worker count.
+    pub fn rca_workers(mut self, n: usize) -> Self {
+        self.config.rca_workers = n;
         self
     }
 
@@ -258,6 +280,7 @@ mod tests {
             .num_shards(2)
             .shard_queue_capacity(8)
             .rca_queue_capacity(16)
+            .rca_workers(3)
             .idle_timeout_us(1000)
             .collector_caps(caps)
             .shed_policy(ShedPolicy::DropOldest)
@@ -268,6 +291,7 @@ mod tests {
         assert_eq!(config.num_shards, 2);
         assert_eq!(config.shard_queue_capacity, 8);
         assert_eq!(config.rca_queue_capacity, 16);
+        assert_eq!(config.rca_workers, 3);
         assert_eq!(config.idle_timeout_us, 1000);
         assert_eq!(config.shed_policy, ShedPolicy::DropOldest);
         assert_eq!(config.cluster_policy, ClusterPolicy::MicroBatch(4));
@@ -293,6 +317,10 @@ mod tests {
                 .build()
                 .unwrap_err(),
             ConfigError::ZeroRcaQueueCapacity
+        );
+        assert_eq!(
+            ServeConfig::builder().rca_workers(0).build().unwrap_err(),
+            ConfigError::ZeroRcaWorkers
         );
         assert_eq!(
             ServeConfig::builder()

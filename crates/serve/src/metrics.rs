@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::registry::ModelVersion;
 
@@ -152,7 +152,7 @@ pub struct MetricsRegistry {
     pub baseline_refreshes: Counter,
     /// Completed traces folded into the streaming baseline sketches.
     pub refresh_traces_folded: Counter,
-    /// Completed-trace *clones* shed from the refresh queue when the
+    /// Completed-trace *handles* shed from the refresh queue when the
     /// refresher lags (outside span-conservation accounting: the
     /// original spans are already stored).
     pub refresh_traces_shed: Counter,
@@ -161,6 +161,10 @@ pub struct MetricsRegistry {
     pub refresh_staleness_traces: Histogram,
     /// Verdicts emitted per model version.
     verdicts_by_version: Mutex<BTreeMap<u64, u64>>,
+    /// Per-RCA-worker localisation latency, microseconds, keyed by
+    /// worker id. Workers register lazily via
+    /// [`MetricsRegistry::rca_worker_latency`].
+    rca_worker_latency_us: Mutex<BTreeMap<usize, Arc<Histogram>>>,
 }
 
 /// Frozen view of every metric, cheap to copy around and assert on.
@@ -187,6 +191,8 @@ pub struct MetricsSnapshot {
     pub refresh_staleness_traces: HistogramSnapshot,
     /// Verdicts emitted per model version, ascending by version.
     pub verdicts_by_version: Vec<(u64, u64)>,
+    /// Per-RCA-worker latency histograms, ascending by worker id.
+    pub rca_worker_latency_us: Vec<(usize, HistogramSnapshot)>,
 }
 
 impl MetricsRegistry {
@@ -198,6 +204,18 @@ impl MetricsRegistry {
             .expect("verdict version lock")
             .entry(version.0)
             .or_insert(0) += 1;
+    }
+
+    /// The latency histogram for RCA worker `worker_id`, registering
+    /// it on first use.
+    pub fn rca_worker_latency(&self, worker_id: usize) -> Arc<Histogram> {
+        Arc::clone(
+            self.rca_worker_latency_us
+                .lock()
+                .expect("worker latency lock")
+                .entry(worker_id)
+                .or_default(),
+        )
     }
 
     /// Freeze every metric.
@@ -228,6 +246,13 @@ impl MetricsRegistry {
                 .expect("verdict version lock")
                 .iter()
                 .map(|(&v, &n)| (v, n))
+                .collect(),
+            rca_worker_latency_us: self
+                .rca_worker_latency_us
+                .lock()
+                .expect("worker latency lock")
+                .iter()
+                .map(|(&w, h)| (w, h.snapshot()))
                 .collect(),
         }
     }
@@ -275,6 +300,16 @@ impl MetricsSnapshot {
         for (version, count) in &self.verdicts_by_version {
             out.push_str(&format!(
                 "sleuth_serve_verdicts_total{{model_version=\"{version}\"}} {count}\n"
+            ));
+        }
+        for (worker, h) in &self.rca_worker_latency_us {
+            out.push_str(&format!(
+                "sleuth_serve_rca_worker_latency_us_sum{{worker=\"{worker}\"}} {}\n",
+                h.sum
+            ));
+            out.push_str(&format!(
+                "sleuth_serve_rca_worker_latency_us_count{{worker=\"{worker}\"}} {}\n",
+                h.count
             ));
         }
         for (name, h) in [
@@ -354,6 +389,23 @@ mod tests {
         assert!(text.contains("sleuth_serve_verdicts_total{model_version=\"1\"} 1"));
         assert!(text.contains("sleuth_serve_verdicts_total{model_version=\"2\"} 2"));
         assert!(text.contains("sleuth_serve_model_swaps_total 0"));
+    }
+
+    #[test]
+    fn per_worker_latency_registers_and_renders() {
+        let m = MetricsRegistry::default();
+        m.rca_worker_latency(0).record(100);
+        m.rca_worker_latency(2).record(50);
+        m.rca_worker_latency(0).record(300);
+        let s = m.snapshot();
+        assert_eq!(s.rca_worker_latency_us.len(), 2);
+        assert_eq!(s.rca_worker_latency_us[0].0, 0);
+        assert_eq!(s.rca_worker_latency_us[0].1.count, 2);
+        assert_eq!(s.rca_worker_latency_us[0].1.sum, 400);
+        assert_eq!(s.rca_worker_latency_us[1].0, 2);
+        let text = s.render_text();
+        assert!(text.contains("sleuth_serve_rca_worker_latency_us_count{worker=\"0\"} 2"));
+        assert!(text.contains("sleuth_serve_rca_worker_latency_us_sum{worker=\"2\"} 50"));
     }
 
     #[test]

@@ -308,7 +308,7 @@ impl BaselineRefresher {
 /// queue, fold, and publish a refreshed pipeline through the registry
 /// every `interval_traces` folded traces. Exits when the queue closes.
 pub(crate) fn run_refresher(
-    queue: Arc<BoundedQueue<Trace>>,
+    queue: Arc<BoundedQueue<Arc<Trace>>>,
     registry: Arc<ModelRegistry>,
     metrics: Arc<MetricsRegistry>,
     mut refresher: BaselineRefresher,

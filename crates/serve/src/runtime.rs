@@ -70,12 +70,12 @@ struct ShardHandle {
 /// [`ServeRuntime::shutdown`].
 pub struct ServeRuntime {
     shards: Vec<ShardHandle>,
-    rca_queue: Arc<BoundedQueue<Trace>>,
-    rca_join: JoinHandle<()>,
+    rca_queue: Arc<BoundedQueue<Arc<Trace>>>,
+    rca_joins: Vec<JoinHandle<()>>,
     verdict_rx: mpsc::Receiver<Verdict>,
     metrics: Arc<MetricsRegistry>,
     registry: Arc<ModelRegistry>,
-    refresh_queue: Option<Arc<BoundedQueue<Trace>>>,
+    refresh_queue: Option<Arc<BoundedQueue<Arc<Trace>>>>,
     refresh_join: Option<JoinHandle<()>>,
     shed_policy: ShedPolicy,
     num_shards: usize,
@@ -143,21 +143,34 @@ impl ServeRuntime {
             })
             .collect();
 
-        let rca_join = std::thread::Builder::new()
-            .name("sleuth-rca".to_string())
-            .spawn({
-                let rca_queue = Arc::clone(&rca_queue);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
-                let policy = config.cluster_policy;
-                move || run_rca_stage(rca_queue, registry, verdict_tx, metrics, policy)
+        // The queue is MPMC, so RCA workers share it directly: each
+        // blocking-pops its next trace, giving dynamic load balancing
+        // across workers with no extra routing layer.
+        let rca_joins = (0..config.rca_workers)
+            .map(|worker_id| {
+                std::thread::Builder::new()
+                    .name(format!("sleuth-rca-{worker_id}"))
+                    .spawn({
+                        let rca_queue = Arc::clone(&rca_queue);
+                        let registry = Arc::clone(&registry);
+                        let metrics = Arc::clone(&metrics);
+                        let verdict_tx = verdict_tx.clone();
+                        let policy = config.cluster_policy;
+                        move || {
+                            run_rca_stage(
+                                worker_id, rca_queue, registry, verdict_tx, metrics, policy,
+                            )
+                        }
+                    })
+                    .expect("spawn rca worker")
             })
-            .expect("spawn rca worker");
+            .collect();
+        drop(verdict_tx);
 
         Ok(ServeRuntime {
             shards,
             rca_queue,
-            rca_join,
+            rca_joins,
             verdict_rx,
             metrics,
             registry,
@@ -275,9 +288,11 @@ impl ServeRuntime {
             join.join().expect("refresh worker panicked");
         }
         // All shard output is now in the RCA queue; close it so the
-        // stage exits after draining.
+        // workers exit after draining.
         self.rca_queue.close();
-        self.rca_join.join().expect("rca worker panicked");
+        for join in self.rca_joins {
+            join.join().expect("rca worker panicked");
+        }
         let verdicts = self.verdict_rx.try_iter().collect();
         ServeReport {
             verdicts,
@@ -287,14 +302,18 @@ impl ServeRuntime {
     }
 }
 
-/// RCA stage: pull completed traces, detect anomalies, localise with
-/// the registry's current pipeline, emit version-tagged verdicts.
+/// One RCA worker: pull completed traces, detect anomalies, localise
+/// with the registry's current pipeline, emit version-tagged verdicts.
+/// `ServeConfig::rca_workers` of these run concurrently over the
+/// shared MPMC queue; each records its latency into both the shared
+/// `rca_latency_us` histogram and its own per-worker histogram.
 ///
-/// The stage leases the current model once per batch, *after* the
+/// Each worker leases the current model once per batch, *after* the
 /// blocking pop — a lease is never held while idle, so a publish can
-/// only ever wait for at most one in-flight batch.
+/// only ever wait for at most one in-flight batch per worker.
 fn run_rca_stage(
-    queue: Arc<BoundedQueue<Trace>>,
+    worker_id: usize,
+    queue: Arc<BoundedQueue<Arc<Trace>>>,
     registry: Arc<ModelRegistry>,
     verdicts: mpsc::Sender<Verdict>,
     metrics: Arc<MetricsRegistry>,
@@ -304,6 +323,7 @@ fn run_rca_stage(
         ClusterPolicy::PerTrace => 1,
         ClusterPolicy::MicroBatch(n) => n,
     };
+    let worker_latency = metrics.rca_worker_latency(worker_id);
     while let Some(first) = queue.pop() {
         // One lease per batch: detection and localisation of these
         // traces all run under a single model version.
@@ -335,6 +355,7 @@ fn run_rca_stage(
         let latency_us = started.elapsed().as_micros() as u64 / results.len().max(1) as u64;
         for r in results {
             metrics.rca_latency_us.record(latency_us);
+            worker_latency.record(latency_us);
             metrics.verdicts_emitted.inc();
             metrics.record_verdict_version(lease.version());
             let verdict = Verdict {

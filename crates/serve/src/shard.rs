@@ -65,14 +65,15 @@ pub struct ShardReport {
 
 /// Run one shard worker to completion (until `Shutdown` or queue
 /// close). Completed traces are stored locally and pushed to
-/// `rca_queue`; when a `refresh_queue` is given, a clone of each
-/// completed trace is also teed to the baseline refresher with a
-/// *drop-oldest* push, so a lagging refresher sheds stale clones
-/// instead of ever backpressuring ingest.
+/// `rca_queue` behind an `Arc`; when a `refresh_queue` is given, the
+/// same `Arc` is also teed to the baseline refresher with a
+/// *drop-oldest* push — no deep copy of the trace is ever made, and a
+/// lagging refresher sheds stale handles instead of ever
+/// backpressuring ingest.
 pub fn run_shard(
     queue: Arc<BoundedQueue<ShardMsg>>,
-    rca_queue: Arc<BoundedQueue<Trace>>,
-    refresh_queue: Option<Arc<BoundedQueue<Trace>>>,
+    rca_queue: Arc<BoundedQueue<Arc<Trace>>>,
+    refresh_queue: Option<Arc<BoundedQueue<Arc<Trace>>>>,
     metrics: Arc<MetricsRegistry>,
     config: &ServeConfig,
 ) -> ShardReport {
@@ -109,10 +110,11 @@ pub fn run_shard(
             match Trace::assemble(spans) {
                 Ok(trace) => {
                     metrics.traces_completed.inc();
+                    let trace = Arc::new(trace);
                     if let Some(refresh) = &refresh_queue {
                         // Err means the queue closed (refresher already
-                        // retired); the drop-oldest clone is counted shed.
-                        if let Ok(Some(_)) = refresh.push_shedding(trace.clone()) {
+                        // retired); the drop-oldest handle is counted shed.
+                        if let Ok(Some(_)) = refresh.push_shedding(Arc::clone(&trace)) {
                             metrics.refresh_traces_shed.inc();
                         }
                     }

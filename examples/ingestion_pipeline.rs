@@ -88,7 +88,7 @@ fn main() {
     let mut hits = 0;
     let mut total = 0;
     for q in &queries {
-        let batch: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let batch: Vec<_> = q.traces.iter().map(|t| &t.trace).collect();
         for (st, v) in q.traces.iter().zip(sleuth.analyze(&batch, Default::default())) {
             total += 1;
             if v.services.iter().any(|s| st.ground_truth.services.contains(s)) {

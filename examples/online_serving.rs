@@ -33,7 +33,7 @@ fn main() {
     //    jittered and locally reordered — the out-of-order batched
     //    stream a real collector sees.
     let corpus = builder.mixed_traces(300, 10);
-    let traces: Vec<_> = corpus.traces.iter().map(|t| t.trace.clone()).collect();
+    let traces: Vec<_> = corpus.traces.iter().map(|t| &t.trace).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let mut timed = Vec::new();
     for (i, t) in traces.iter().enumerate() {

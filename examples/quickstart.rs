@@ -36,7 +36,7 @@ fn main() {
     // 4. Localise root causes and score against the injection log.
     let mut acc = EvalAccumulator::new();
     for (qi, query) in queries.iter().enumerate() {
-        let traces: Vec<_> = query.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<_> = query.traces.iter().map(|t| &t.trace).collect();
         let verdicts = sleuth.analyze(&traces, Default::default());
         for (st, v) in query.traces.iter().zip(&verdicts) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();

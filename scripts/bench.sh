@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Parallel-scaling benchmark harness.
+#
+#   scripts/bench.sh [N_THREADS]
+#
+# Runs the `parallel_scaling` bench binary twice — sequential
+# (SLEUTH_THREADS=1) and parallel (SLEUTH_THREADS=N, default: all
+# hardware threads) — and writes BENCH_parallel.json with per-bench
+# median wall-clock and speedup. The JSON records the machine's
+# hardware thread count: on a single-core host the parallel run
+# exercises the pool machinery but cannot show real speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HW_THREADS=$(nproc)
+N_THREADS="${1:-$HW_THREADS}"
+OUT=BENCH_parallel.json
+
+echo "==> building parallel_scaling bench"
+cargo build --offline --release --benches -p bench >/dev/null
+
+run_bench() {
+    echo "==> SLEUTH_THREADS=$1 cargo bench parallel_scaling" >&2
+    SLEUTH_THREADS="$1" cargo bench --offline -p bench --bench parallel_scaling 2>/dev/null \
+        | grep '^PARALLEL_BENCH '
+}
+
+SEQ_LINES=$(run_bench 1)
+PAR_LINES=$(run_bench "$N_THREADS")
+
+SEQ="$SEQ_LINES" PAR="$PAR_LINES" HW="$HW_THREADS" N="$N_THREADS" OUT="$OUT" python3 - <<'EOF'
+import json, os
+
+def parse(block):
+    out = {}
+    for line in block.strip().splitlines():
+        kv = dict(f.split("=", 1) for f in line.split()[1:])
+        out[kv["bench"]] = {
+            "threads": int(kv["threads"]),
+            "median_us": int(kv["median_us"]),
+            "samples": int(kv["samples"]),
+        }
+    return out
+
+seq, par = parse(os.environ["SEQ"]), parse(os.environ["PAR"])
+benches = {}
+for name in seq:
+    s, p = seq[name]["median_us"], par[name]["median_us"]
+    benches[name] = {
+        "sequential_median_us": s,
+        "parallel_median_us": p,
+        "parallel_threads": par[name]["threads"],
+        "speedup": round(s / p, 3) if p else None,
+        "samples": seq[name]["samples"],
+    }
+result = {
+    "hardware_threads": int(os.environ["HW"]),
+    "requested_threads": int(os.environ["N"]),
+    "note": "speedup is bounded by hardware_threads; on a 1-core host "
+            "the parallel run only verifies pool overhead stays small",
+    "benches": benches,
+}
+path = os.environ["OUT"]
+with open(path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+for name, b in benches.items():
+    print(f"  {name:20s} seq={b['sequential_median_us']}us "
+          f"par={b['parallel_median_us']}us speedup={b['speedup']}x")
+EOF

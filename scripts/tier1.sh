@@ -3,8 +3,9 @@
 #
 #   scripts/tier1.sh
 #
-# Runs the release build, the full test suite, and (for the serving
-# crate, which was added after the seed) formatting and lint gates.
+# Runs the release build, the full test suite, and (for the crates
+# added or reworked after the seed: serve, par, cluster) formatting
+# and lint gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,13 +18,13 @@ cargo test -q --workspace --offline
 echo "==> cargo test --test hot_swap (hot-swap + refresh integration)"
 cargo test -q --offline --test hot_swap
 
-echo "==> cargo fmt --check (sleuth-serve)"
-cargo fmt --check -p sleuth-serve
+echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster)"
+cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster
 
-echo "==> cargo clippy -D warnings (sleuth-serve)"
-cargo clippy --offline -p sleuth-serve --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster)"
+cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster --all-targets -- -D warnings
 
-echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core)"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core
+echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster
 
 echo "tier-1: OK"

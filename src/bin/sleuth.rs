@@ -192,7 +192,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let queries = builder.anomaly_queries(queries_n, 20);
     let mut acc = EvalAccumulator::new();
     for (qi, q) in queries.iter().enumerate() {
-        let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<_> = q.traces.iter().map(|t| &t.trace).collect();
         let verdicts = pipeline.analyze(&traces, Default::default());
         for (st, v) in q.traces.iter().zip(&verdicts) {
             let truth: BTreeSet<String> = st.ground_truth.services.iter().cloned().collect();

@@ -39,7 +39,7 @@
 //!
 //! // …then localise the root causes of chaos-injected anomalies.
 //! for query in builder.anomaly_queries(5, 20) {
-//!     let traces: Vec<_> = query.traces.iter().map(|t| t.trace.clone()).collect();
+//!     let traces: Vec<_> = query.traces.iter().map(|t| &t.trace).collect();
 //!     for verdict in sleuth.analyze(&traces, Default::default()) {
 //!         println!(
 //!             "trace #{} (cluster {:?}): root cause {:?}",

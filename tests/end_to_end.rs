@@ -91,7 +91,7 @@ fn clustering_trades_modest_accuracy_for_fewer_inferences() {
     let mut reps = 0usize;
     let mut total = 0usize;
     for q in &queries {
-        let traces: Vec<_> = q.traces.iter().map(|t| t.trace.clone()).collect();
+        let traces: Vec<_> = q.traces.iter().map(|t| &t.trace).collect();
         let results = sleuth.analyze(&traces, Default::default());
         reps += results.iter().filter(|r| r.representative).count();
         total += results.len();

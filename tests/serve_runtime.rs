@@ -236,3 +236,61 @@ fn collector_caps_shed_inside_shards() {
         m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
     );
 }
+
+#[test]
+fn verdict_set_invariant_to_rca_workers() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(60);
+    let spans: Vec<Span> = traces.iter().flat_map(|t| t.spans().to_vec()).collect();
+
+    let mut runs: Vec<BTreeMap<u64, Vec<String>>> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let runtime = ServeRuntime::start(Arc::clone(&pipeline), ServeConfig {
+            num_shards: 2,
+            rca_workers: workers,
+            idle_timeout_us: 1_000_000,
+            ..ServeConfig::default()
+        })
+        .expect("valid serve config");
+        let mut clock = 0;
+        for batch in spans.chunks(250) {
+            let report = runtime.submit_batch(batch.to_vec(), clock);
+            assert_eq!(report.rejected + report.shed, 0, "no overload expected");
+            clock += 1_000;
+        }
+        runtime.tick(clock + 2_000_000);
+        let report = runtime.shutdown();
+
+        let verdicts: BTreeMap<u64, Vec<String>> = report
+            .verdicts
+            .iter()
+            .map(|v| (v.trace_id, v.services.clone()))
+            .collect();
+        assert_eq!(verdicts.len(), report.verdicts.len(), "duplicate verdicts");
+        // Every worker registers its histogram at startup; with
+        // PerTrace batching each verdict records exactly one latency
+        // observation on whichever worker produced it.
+        let worker_stats = &report.metrics.rca_worker_latency_us;
+        assert_eq!(worker_stats.len(), workers);
+        assert!(worker_stats.iter().all(|(w, _)| *w < workers));
+        let observations: u64 = worker_stats.iter().map(|(_, h)| h.count).sum();
+        assert_eq!(observations, report.verdicts.len() as u64);
+        runs.push(verdicts);
+    }
+
+    assert!(!runs[0].is_empty(), "chaos corpus produced no anomalies");
+    assert_eq!(runs[0], runs[1], "2 workers changed the verdict set");
+    assert_eq!(runs[0], runs[2], "4 workers changed the verdict set");
+
+    // And all of them match the offline batch pipeline.
+    let anomalous: Vec<&Trace> = traces
+        .iter()
+        .filter(|t| pipeline.detector().is_anomalous(t))
+        .collect();
+    let batch: BTreeMap<u64, Vec<String>> = anomalous
+        .iter()
+        .zip(pipeline.analyze(&anomalous, AnalyzeOptions::unclustered()))
+        .map(|(t, r)| (t.trace_id(), r.services))
+        .collect();
+    assert_eq!(runs[0], batch);
+}
