@@ -1,0 +1,267 @@
+//! Adversarial span-batch corruptions.
+//!
+//! Runtime faults (panics, stalls) test the supervision layer; these
+//! test the *ingestion* layer: structurally broken batches that real
+//! collectors produce under partial delivery, clock bugs, and id
+//! collisions. Each [`Corruption`] mutates an otherwise-valid batch
+//! into a specific [`sleuth_trace::AssembleTraceError`] shape (or an
+//! inverted interval caught even earlier, at `submit_batch`). The
+//! serving runtime must quarantine every one of them — never panic,
+//! never leak spans from the conservation accounting.
+
+use sleuth_trace::Span;
+
+/// One way to break a span batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Point the root's parent at a leaf: the trace becomes a rootless
+    /// parent cycle (`AssembleTraceError::MissingRoot`).
+    Cycle,
+    /// Point one span's parent at an id that does not exist
+    /// (`AssembleTraceError::DanglingParent`).
+    DanglingParent,
+    /// Move one span to a neighbouring trace id. Under per-trace
+    /// collection the stray fragment becomes its own pending trace
+    /// whose parent pointer never resolves.
+    MixedTraceIds,
+    /// Give two spans the same span id
+    /// (`AssembleTraceError::DuplicateSpanId` on direct assembly; a
+    /// deduplicating collector instead drops the second span, thinning
+    /// the trace rather than quarantining it).
+    DuplicateSpanId,
+    /// Make one span end before it starts — rejected at submission,
+    /// before assembly ever sees it.
+    InvertedInterval,
+}
+
+impl Corruption {
+    /// Every corruption kind, for sweep-style tests.
+    pub const ALL: [Corruption; 5] = [
+        Corruption::Cycle,
+        Corruption::DanglingParent,
+        Corruption::MixedTraceIds,
+        Corruption::DuplicateSpanId,
+        Corruption::InvertedInterval,
+    ];
+
+    /// Whether this corruption guarantees the trace is quarantined by
+    /// the serving runtime (assembly can never succeed, even behind a
+    /// deduplicating collector). [`Corruption::InvertedInterval`] only
+    /// costs the one rejected span, [`Corruption::DuplicateSpanId`] is
+    /// absorbed by collector dedup, and [`Corruption::MixedTraceIds`]
+    /// splits into fragments whose fate depends on which span moved.
+    pub fn malforms_trace(self) -> bool {
+        matches!(self, Corruption::Cycle | Corruption::DanglingParent)
+    }
+}
+
+/// An id guaranteed absent from the batch.
+fn absent_span_id(spans: &[Span]) -> u64 {
+    spans
+        .iter()
+        .map(|s| s.span_id)
+        .max()
+        .unwrap_or(0)
+        .wrapping_add(0x5EED)
+}
+
+/// Position of the root span (no parent), defaulting to 0 so
+/// already-broken batches stay broken rather than panicking.
+fn root_pos(spans: &[Span]) -> usize {
+    spans
+        .iter()
+        .position(|s| s.parent_span_id.is_none())
+        .unwrap_or(0)
+}
+
+/// Position of a leaf: any span no other span claims as parent.
+fn leaf_pos(spans: &[Span]) -> usize {
+    spans
+        .iter()
+        .position(|s| spans.iter().all(|o| o.parent_span_id != Some(s.span_id)))
+        .unwrap_or(spans.len() - 1)
+}
+
+/// Apply `kind` to `spans` in place. The batch must be non-empty;
+/// single-span batches are handled (a [`Corruption::Cycle`] becomes a
+/// self-cycle, still rootless).
+pub fn corrupt_batch(spans: &mut [Span], kind: Corruption) {
+    assert!(!spans.is_empty(), "cannot corrupt an empty batch");
+    match kind {
+        Corruption::Cycle => {
+            let leaf_id = spans[leaf_pos(spans)].span_id;
+            let root = root_pos(spans);
+            spans[root].parent_span_id = Some(leaf_id);
+        }
+        Corruption::DanglingParent => {
+            let ghost = absent_span_id(spans);
+            let last = spans.len() - 1;
+            spans[last].parent_span_id = Some(ghost);
+        }
+        Corruption::MixedTraceIds => {
+            // Prefer moving a span that has children so the original
+            // trace is provably broken (dangling children) too.
+            let victim = spans
+                .iter()
+                .position(|s| {
+                    s.parent_span_id.is_some()
+                        && spans.iter().any(|o| o.parent_span_id == Some(s.span_id))
+                })
+                .unwrap_or(spans.len() - 1);
+            spans[victim].trace_id = spans[victim].trace_id.wrapping_add(1);
+        }
+        Corruption::DuplicateSpanId => {
+            let first_id = spans[0].span_id;
+            let last = spans.len() - 1;
+            if last == 0 {
+                return; // a single span cannot collide with itself
+            }
+            spans[last].span_id = first_id;
+            // Keep the duplicate from also being a second root.
+            if spans[last].parent_span_id.is_none() {
+                spans[last].parent_span_id = spans[0].parent_span_id;
+            }
+        }
+        Corruption::InvertedInterval => {
+            let last = spans.len() - 1;
+            let start = spans[last].start_us.max(1);
+            spans[last].start_us = start;
+            spans[last].end_us = start - 1;
+        }
+    }
+}
+
+/// Deterministically pick which corruption (if any is wanted) to apply
+/// to `trace_id` — a stable content-keyed choice so corrupted runs are
+/// reproducible batch-for-batch.
+pub fn corruption_for(seed: u64, trace_id: u64) -> Corruption {
+    let mut x = seed ^ trace_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    Corruption::ALL[(x % Corruption::ALL.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sleuth_trace::{AssembleTraceError, Trace};
+
+    /// root(1) ── 2 ── 3, plus leaf 4 under the root.
+    fn healthy_batch(trace_id: u64) -> Vec<Span> {
+        vec![
+            Span::builder(trace_id, 1, "gw", "ingress")
+                .time(0, 100)
+                .build(),
+            Span::builder(trace_id, 2, "auth", "check")
+                .parent(1)
+                .time(5, 40)
+                .build(),
+            Span::builder(trace_id, 3, "db", "query")
+                .parent(2)
+                .time(10, 30)
+                .build(),
+            Span::builder(trace_id, 4, "cache", "get")
+                .parent(1)
+                .time(50, 60)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn healthy_batch_assembles() {
+        assert!(Trace::assemble(healthy_batch(7)).is_ok());
+    }
+
+    #[test]
+    fn cycle_makes_batch_rootless() {
+        let mut spans = healthy_batch(7);
+        corrupt_batch(&mut spans, Corruption::Cycle);
+        assert_eq!(Trace::assemble(spans), Err(AssembleTraceError::MissingRoot));
+    }
+
+    #[test]
+    fn cycle_on_single_span_is_a_self_cycle() {
+        let mut spans = vec![Span::builder(7, 1, "gw", "ingress").time(0, 9).build()];
+        corrupt_batch(&mut spans, Corruption::Cycle);
+        assert_eq!(Trace::assemble(spans), Err(AssembleTraceError::MissingRoot));
+    }
+
+    #[test]
+    fn dangling_parent_is_detected() {
+        let mut spans = healthy_batch(7);
+        corrupt_batch(&mut spans, Corruption::DanglingParent);
+        assert!(matches!(
+            Trace::assemble(spans),
+            Err(AssembleTraceError::DanglingParent { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_trace_ids_split_and_break_the_original() {
+        let mut spans = healthy_batch(7);
+        corrupt_batch(&mut spans, Corruption::MixedTraceIds);
+        let moved: Vec<Span> = spans.iter().filter(|s| s.trace_id == 8).cloned().collect();
+        let kept: Vec<Span> = spans.iter().filter(|s| s.trace_id == 7).cloned().collect();
+        assert_eq!(moved.len(), 1);
+        // A direct mixed assemble fails outright…
+        assert!(matches!(
+            Trace::assemble(spans.clone()),
+            Err(AssembleTraceError::MixedTraceIds(_, _))
+        ));
+        // …and a per-trace collector sees two broken fragments: the
+        // stray span has a parent but no root in its fragment, and the
+        // original lost an interior span.
+        assert_eq!(Trace::assemble(moved), Err(AssembleTraceError::MissingRoot));
+        assert!(matches!(
+            Trace::assemble(kept),
+            Err(AssembleTraceError::DanglingParent { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_span_id_is_detected() {
+        let mut spans = healthy_batch(7);
+        corrupt_batch(&mut spans, Corruption::DuplicateSpanId);
+        assert_eq!(
+            Trace::assemble(spans),
+            Err(AssembleTraceError::DuplicateSpanId(1))
+        );
+    }
+
+    #[test]
+    fn inverted_interval_inverts_exactly_one_span() {
+        let mut spans = healthy_batch(7);
+        corrupt_batch(&mut spans, Corruption::InvertedInterval);
+        let inverted: Vec<&Span> = spans.iter().filter(|s| s.end_us < s.start_us).collect();
+        assert_eq!(inverted.len(), 1);
+        // With the bad span filtered out (as submit_batch does), the
+        // rest still cannot assemble only if the victim was interior;
+        // here the victim is leaf 4, so the remainder is healthy.
+        let rest: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.end_us >= s.start_us)
+            .cloned()
+            .collect();
+        assert!(Trace::assemble(rest).is_ok());
+    }
+
+    #[test]
+    fn corruption_choice_is_deterministic_and_varied() {
+        let picks: Vec<Corruption> = (0..64).map(|id| corruption_for(99, id)).collect();
+        let again: Vec<Corruption> = (0..64).map(|id| corruption_for(99, id)).collect();
+        assert_eq!(picks, again);
+        for kind in Corruption::ALL {
+            assert!(picks.contains(&kind), "{kind:?} never chosen in 64 draws");
+        }
+    }
+
+    #[test]
+    fn malforming_kinds_are_classified() {
+        assert!(Corruption::Cycle.malforms_trace());
+        assert!(Corruption::DanglingParent.malforms_trace());
+        assert!(!Corruption::DuplicateSpanId.malforms_trace());
+        assert!(!Corruption::MixedTraceIds.malforms_trace());
+        assert!(!Corruption::InvertedInterval.malforms_trace());
+    }
+}

@@ -57,6 +57,41 @@ impl Default for RefreshConfig {
     }
 }
 
+/// Supervision and recovery tunables (see [`crate::quarantine`] and
+/// the `Failure model` section of DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// RCA tries per trace before it is quarantined as poison. 1
+    /// disables retries: the first panic quarantines the trace.
+    pub max_rca_attempts: u32,
+    /// First restart pause after a worker panic, µs (doubles per
+    /// consecutive panic).
+    pub restart_backoff_base_us: u64,
+    /// Restart pause ceiling, µs.
+    pub restart_backoff_max_us: u64,
+    /// Quarantine store capacity; overflow drops the oldest entry.
+    pub quarantine_capacity: usize,
+    /// Consecutive full-path RCA crashes that trip the circuit
+    /// breaker open.
+    pub breaker_threshold: usize,
+    /// Batches served degraded before an open breaker half-opens for
+    /// a probe; also the probe cadence of deadline degradation.
+    pub breaker_cooldown: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_rca_attempts: 2,
+            restart_backoff_base_us: 100,
+            restart_backoff_max_us: 10_000,
+            quarantine_capacity: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+        }
+    }
+}
+
 /// A [`ServeConfig`] invariant violation, reported by
 /// [`ServeConfig::validate`] and [`crate::ServeRuntime::start`]
 /// instead of a panic.
@@ -76,6 +111,21 @@ pub enum ConfigError {
     ZeroRefreshInterval,
     /// `RefreshConfig::queue_capacity` was zero.
     ZeroRefreshQueueCapacity,
+    /// `ResilienceConfig::max_rca_attempts` was zero.
+    ZeroRcaAttempts,
+    /// `ResilienceConfig::quarantine_capacity` was zero.
+    ZeroQuarantineCapacity,
+    /// `ResilienceConfig::breaker_threshold` was zero.
+    ZeroBreakerThreshold,
+    /// `ResilienceConfig::breaker_cooldown` was zero.
+    ZeroBreakerCooldown,
+    /// `restart_backoff_max_us` was below `restart_backoff_base_us`.
+    BackoffInverted,
+    /// `rca_deadline_us` was `Some(0)`.
+    ZeroRcaDeadline,
+    /// `rca_queue_high_water` exceeded `rca_queue_capacity` (the
+    /// queue could never reach the mark).
+    HighWaterAboveCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -88,6 +138,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMicroBatch => "micro-batch size must be positive",
             ConfigError::ZeroRefreshInterval => "refresh interval_traces must be positive",
             ConfigError::ZeroRefreshQueueCapacity => "refresh queue_capacity must be positive",
+            ConfigError::ZeroRcaAttempts => "max_rca_attempts must be positive",
+            ConfigError::ZeroQuarantineCapacity => "quarantine_capacity must be positive",
+            ConfigError::ZeroBreakerThreshold => "breaker_threshold must be positive",
+            ConfigError::ZeroBreakerCooldown => "breaker_cooldown must be positive",
+            ConfigError::BackoffInverted => {
+                "restart_backoff_max_us must be at least restart_backoff_base_us"
+            }
+            ConfigError::ZeroRcaDeadline => "rca_deadline_us must be positive when set",
+            ConfigError::HighWaterAboveCapacity => {
+                "rca_queue_high_water must not exceed rca_queue_capacity"
+            }
         };
         f.write_str(msg)
     }
@@ -128,6 +189,17 @@ pub struct ServeConfig {
     /// Background incremental baseline refresh; `None` (default)
     /// disables the refresher thread entirely.
     pub refresh: Option<RefreshConfig>,
+    /// Per-trace full-RCA deadline, µs. When a full localisation
+    /// exceeds it, subsequent verdicts take the cheap degraded path
+    /// (with periodic full-path probes) until a probe meets the
+    /// deadline again. `None` (default) disables the deadline rung.
+    pub rca_deadline_us: Option<u64>,
+    /// Completed-trace queue depth at which verdicts shed to the
+    /// degraded path until the backlog drains. `None` (default)
+    /// disables the high-water rung.
+    pub rca_queue_high_water: Option<usize>,
+    /// Supervision, quarantine, and circuit-breaker tunables.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +214,9 @@ impl Default for ServeConfig {
             shed_policy: ShedPolicy::default(),
             cluster_policy: ClusterPolicy::default(),
             refresh: None,
+            rca_deadline_us: None,
+            rca_queue_high_water: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -181,6 +256,29 @@ impl ServeConfig {
             }
             if refresh.queue_capacity == 0 {
                 return Err(ConfigError::ZeroRefreshQueueCapacity);
+            }
+        }
+        if self.resilience.max_rca_attempts == 0 {
+            return Err(ConfigError::ZeroRcaAttempts);
+        }
+        if self.resilience.quarantine_capacity == 0 {
+            return Err(ConfigError::ZeroQuarantineCapacity);
+        }
+        if self.resilience.breaker_threshold == 0 {
+            return Err(ConfigError::ZeroBreakerThreshold);
+        }
+        if self.resilience.breaker_cooldown == 0 {
+            return Err(ConfigError::ZeroBreakerCooldown);
+        }
+        if self.resilience.restart_backoff_max_us < self.resilience.restart_backoff_base_us {
+            return Err(ConfigError::BackoffInverted);
+        }
+        if self.rca_deadline_us == Some(0) {
+            return Err(ConfigError::ZeroRcaDeadline);
+        }
+        if let Some(hw) = self.rca_queue_high_water {
+            if hw > self.rca_queue_capacity {
+                return Err(ConfigError::HighWaterAboveCapacity);
             }
         }
         Ok(())
@@ -245,6 +343,24 @@ impl ServeConfigBuilder {
     /// Enable background baseline refresh.
     pub fn refresh(mut self, refresh: RefreshConfig) -> Self {
         self.config.refresh = Some(refresh);
+        self
+    }
+
+    /// Set the per-trace full-RCA deadline, µs.
+    pub fn rca_deadline_us(mut self, us: u64) -> Self {
+        self.config.rca_deadline_us = Some(us);
+        self
+    }
+
+    /// Set the completed-trace queue high-water mark (in traces).
+    pub fn rca_queue_high_water(mut self, traces: usize) -> Self {
+        self.config.rca_queue_high_water = Some(traces);
+        self
+    }
+
+    /// Set the supervision/quarantine/breaker tunables.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
         self
     }
 
@@ -341,5 +457,98 @@ mod tests {
             ConfigError::ZeroRefreshInterval
         );
         assert!(ConfigError::ZeroShards.to_string().contains("num_shards"));
+    }
+
+    #[test]
+    fn resilience_defaults_are_valid_and_round_trip() {
+        let resilience = ResilienceConfig {
+            max_rca_attempts: 3,
+            breaker_threshold: 5,
+            ..ResilienceConfig::default()
+        };
+        let config = ServeConfig::builder()
+            .rca_deadline_us(5_000)
+            .rca_queue_high_water(200)
+            .resilience(resilience)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.rca_deadline_us, Some(5_000));
+        assert_eq!(config.rca_queue_high_water, Some(200));
+        assert_eq!(config.resilience, resilience);
+    }
+
+    #[test]
+    fn invalid_resilience_configs_are_rejected() {
+        let zero_attempts = ResilienceConfig {
+            max_rca_attempts: 0,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .resilience(zero_attempts)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRcaAttempts
+        );
+        let inverted_backoff = ResilienceConfig {
+            restart_backoff_base_us: 100,
+            restart_backoff_max_us: 10,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .resilience(inverted_backoff)
+                .build()
+                .unwrap_err(),
+            ConfigError::BackoffInverted
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .rca_deadline_us(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRcaDeadline
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .rca_queue_capacity(16)
+                .rca_queue_high_water(17)
+                .build()
+                .unwrap_err(),
+            ConfigError::HighWaterAboveCapacity
+        );
+        let zero_quarantine = ResilienceConfig {
+            quarantine_capacity: 0,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .resilience(zero_quarantine)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQuarantineCapacity
+        );
+        let zero_breaker = ResilienceConfig {
+            breaker_threshold: 0,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .resilience(zero_breaker)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBreakerThreshold
+        );
+        let zero_cooldown = ResilienceConfig {
+            breaker_cooldown: 0,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(
+            ServeConfig::builder()
+                .resilience(zero_cooldown)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBreakerCooldown
+        );
     }
 }

@@ -1,0 +1,313 @@
+//! Graceful degradation: deadlines, queue high-water, and a circuit
+//! breaker.
+//!
+//! The degradation ladder has three rungs, checked in order before
+//! each RCA batch:
+//!
+//! 1. **Circuit breaker** — `breaker_threshold` *consecutive*
+//!    pipeline crashes trip it open; while open every verdict takes
+//!    the cheap path for `breaker_cooldown` batches, then one
+//!    half-open probe runs the full path and either closes the
+//!    breaker (success) or re-trips it (another crash).
+//! 2. **Queue high-water** — when the completed-trace queue depth is
+//!    at or above `rca_queue_high_water`, verdicts take the cheap
+//!    path until the backlog drains below the mark.
+//! 3. **Deadline** — when a full RCA exceeds `rca_deadline_us` per
+//!    trace, degradation latches; every `breaker_cooldown` degraded
+//!    batches one full-path probe re-measures, and a probe under the
+//!    deadline unlatches.
+//!
+//! The cheap path is the detector's anomaly ranking without the
+//! counterfactual prefix search — still a verdict, flagged
+//! [`crate::Verdict::degraded`], roughly the "fast localisation" tier
+//! the paper falls back to when interactive budgets are tight.
+
+use std::sync::{Arc, Mutex};
+
+use crate::config::ServeConfig;
+use crate::metrics::MetricsRegistry;
+use crate::sync::lock_or_recover;
+
+/// Circuit-breaker position (see module docs for transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; full-path verdicts.
+    Closed,
+    /// Tripped; degraded verdicts while the cooldown runs down.
+    Open,
+    /// Cooldown elapsed; the next batch is a full-path probe.
+    HalfOpen,
+}
+
+/// Why a batch was degraded — the `reason` label on
+/// `sleuth_serve_degraded_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The circuit breaker is open.
+    BreakerOpen,
+    /// The completed-trace queue crossed its high-water mark.
+    QueueHighWater,
+    /// A previous full RCA exceeded its deadline.
+    DeadlineExceeded,
+}
+
+impl DegradeReason {
+    /// Stable metric label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeReason::BreakerOpen => "breaker_open",
+            DegradeReason::QueueHighWater => "queue_high_water",
+            DegradeReason::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+/// The path the next RCA batch should take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VerdictPath {
+    /// Run the full counterfactual localisation. `probe` marks a
+    /// half-open breaker probe or a deadline re-measure.
+    Full { probe: bool },
+    /// Run the cheap anomaly-ranking path.
+    Degraded(DegradeReason),
+}
+
+struct Inner {
+    breaker: BreakerState,
+    consecutive_errors: usize,
+    cooldown_left: usize,
+    deadline_latched: bool,
+    degraded_since_probe: usize,
+}
+
+/// Shared decision point for the degradation ladder. One per runtime,
+/// consulted by every RCA worker before each batch.
+pub(crate) struct DegradeController {
+    deadline_us: Option<u64>,
+    high_water: Option<usize>,
+    threshold: usize,
+    cooldown: usize,
+    inner: Mutex<Inner>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl DegradeController {
+    pub fn new(config: &ServeConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        DegradeController {
+            deadline_us: config.rca_deadline_us,
+            high_water: config.rca_queue_high_water,
+            threshold: config.resilience.breaker_threshold,
+            cooldown: config.resilience.breaker_cooldown,
+            inner: Mutex::new(Inner {
+                breaker: BreakerState::Closed,
+                consecutive_errors: 0,
+                cooldown_left: 0,
+                deadline_latched: false,
+                degraded_since_probe: 0,
+            }),
+            metrics,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        lock_or_recover(&self.inner, Some(&self.metrics.lock_poisoned))
+    }
+
+    /// Decide the path for the next batch given the current RCA queue
+    /// depth. Advances the breaker cooldown and the deadline probe
+    /// schedule, so call exactly once per batch.
+    pub fn plan(&self, queue_depth: usize) -> VerdictPath {
+        let mut inner = self.lock();
+        match inner.breaker {
+            BreakerState::Open => {
+                if inner.cooldown_left > 0 {
+                    inner.cooldown_left -= 1;
+                    return VerdictPath::Degraded(DegradeReason::BreakerOpen);
+                }
+                inner.breaker = BreakerState::HalfOpen;
+                VerdictPath::Full { probe: true }
+            }
+            BreakerState::HalfOpen => VerdictPath::Full { probe: true },
+            BreakerState::Closed => {
+                if self.high_water.is_some_and(|hw| queue_depth >= hw) {
+                    return VerdictPath::Degraded(DegradeReason::QueueHighWater);
+                }
+                if inner.deadline_latched {
+                    inner.degraded_since_probe += 1;
+                    if inner.degraded_since_probe >= self.cooldown {
+                        inner.degraded_since_probe = 0;
+                        return VerdictPath::Full { probe: true };
+                    }
+                    return VerdictPath::Degraded(DegradeReason::DeadlineExceeded);
+                }
+                VerdictPath::Full { probe: false }
+            }
+        }
+    }
+
+    /// A full-path batch finished at `latency_us` per trace. Resets
+    /// the error streak, closes a probing breaker, and latches or
+    /// clears deadline degradation.
+    pub fn record_success(&self, latency_us: u64) {
+        let mut inner = self.lock();
+        inner.consecutive_errors = 0;
+        if inner.breaker == BreakerState::HalfOpen {
+            inner.breaker = BreakerState::Closed;
+        }
+        if let Some(deadline) = self.deadline_us {
+            let over = latency_us > deadline;
+            if over && !inner.deadline_latched {
+                inner.deadline_latched = true;
+                inner.degraded_since_probe = 0;
+            } else if !over {
+                inner.deadline_latched = false;
+            }
+        }
+    }
+
+    /// A full-path batch crashed. A half-open probe re-trips
+    /// immediately; otherwise `threshold` consecutive crashes trip
+    /// the breaker.
+    pub fn record_error(&self) {
+        let mut inner = self.lock();
+        match inner.breaker {
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => self.trip(&mut inner),
+            BreakerState::Closed => {
+                inner.consecutive_errors += 1;
+                if inner.consecutive_errors >= self.threshold {
+                    self.trip(&mut inner);
+                }
+            }
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner) {
+        inner.breaker = BreakerState::Open;
+        inner.cooldown_left = self.cooldown;
+        inner.consecutive_errors = 0;
+        self.metrics.breaker_trips.inc();
+    }
+
+    /// Current breaker position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.lock().breaker
+    }
+}
+
+impl std::fmt::Debug for DegradeController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegradeController")
+            .field("breaker", &self.breaker_state())
+            .field("deadline_us", &self.deadline_us)
+            .field("high_water", &self.high_water)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResilienceConfig;
+
+    fn controller(config: ServeConfig) -> DegradeController {
+        DegradeController::new(&config, Arc::new(MetricsRegistry::default()))
+    }
+
+    #[test]
+    fn healthy_controller_always_plans_full() {
+        let c = controller(ServeConfig::default());
+        for depth in [0, 10, 1_000_000] {
+            assert_eq!(c.plan(depth), VerdictPath::Full { probe: false });
+            c.record_success(5);
+        }
+        assert_eq!(c.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_then_probes_and_closes() {
+        let config = ServeConfig {
+            resilience: ResilienceConfig {
+                breaker_threshold: 2,
+                breaker_cooldown: 2,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let c = controller(config);
+        c.record_error();
+        assert_eq!(c.breaker_state(), BreakerState::Closed);
+        c.record_error();
+        assert_eq!(c.breaker_state(), BreakerState::Open);
+        // Cooldown: two degraded batches, then a probe.
+        assert_eq!(c.plan(0), VerdictPath::Degraded(DegradeReason::BreakerOpen));
+        assert_eq!(c.plan(0), VerdictPath::Degraded(DegradeReason::BreakerOpen));
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: true });
+        assert_eq!(c.breaker_state(), BreakerState::HalfOpen);
+        c.record_success(5);
+        assert_eq!(c.breaker_state(), BreakerState::Closed);
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_retrips_immediately() {
+        let config = ServeConfig {
+            resilience: ResilienceConfig {
+                breaker_threshold: 1,
+                breaker_cooldown: 1,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let c = controller(config);
+        c.record_error();
+        assert_eq!(c.plan(0), VerdictPath::Degraded(DegradeReason::BreakerOpen));
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: true });
+        c.record_error(); // probe crashed
+        assert_eq!(c.breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn high_water_degrades_until_backlog_drains() {
+        let config = ServeConfig {
+            rca_queue_high_water: Some(8),
+            ..ServeConfig::default()
+        };
+        let c = controller(config);
+        assert_eq!(
+            c.plan(8),
+            VerdictPath::Degraded(DegradeReason::QueueHighWater)
+        );
+        assert_eq!(c.plan(7), VerdictPath::Full { probe: false });
+    }
+
+    #[test]
+    fn deadline_latches_then_probe_unlatches() {
+        let config = ServeConfig {
+            rca_deadline_us: Some(100),
+            resilience: ResilienceConfig {
+                breaker_cooldown: 2,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let c = controller(config);
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: false });
+        c.record_success(500); // over deadline -> latch
+        assert_eq!(
+            c.plan(0),
+            VerdictPath::Degraded(DegradeReason::DeadlineExceeded)
+        );
+        // Second degraded batch reaches the probe cadence.
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: true });
+        c.record_success(50); // probe under deadline -> unlatch
+        assert_eq!(c.plan(0), VerdictPath::Full { probe: false });
+    }
+
+    #[test]
+    fn degrade_reason_labels_are_stable() {
+        assert_eq!(DegradeReason::BreakerOpen.label(), "breaker_open");
+        assert_eq!(DegradeReason::QueueHighWater.label(), "queue_high_water");
+        assert_eq!(DegradeReason::DeadlineExceeded.label(), "deadline");
+    }
+}

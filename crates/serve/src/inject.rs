@@ -1,0 +1,63 @@
+//! Fault-injection seam for chaos testing.
+//!
+//! The runtime calls these hooks at the exact points where production
+//! failures bite: right before a shard processes a message, right
+//! before an RCA attempt, right before a refresh fold, and when a
+//! shard reads its logical clock. In production the hooks are the
+//! no-op [`NoFaults`] (start via [`crate::ServeRuntime::start`]);
+//! `sleuth-chaos` implements the trait with a seeded deterministic
+//! plan and starts the runtime via
+//! [`crate::ServeRuntime::start_with_injector`]. A hook that panics
+//! simulates a worker crash — the supervision layer must contain it.
+
+use sleuth_trace::Trace;
+
+/// Hooks invoked from inside the serving workers. Every method has a
+/// no-op default so implementors override only the faults they model.
+pub trait FaultInjector: Send + Sync {
+    /// About to run RCA (full or degraded) on `trace`; `attempt` is 0
+    /// for the first try and increments on supervised retries.
+    /// Panicking here simulates a pipeline crash on this trace.
+    fn rca_attempt(&self, worker: usize, trace: &Trace, attempt: u32) {
+        let _ = (worker, trace, attempt);
+    }
+
+    /// A shard worker is about to process a message carrying
+    /// `span_count` spans (0 for ticks/shutdown). Panicking simulates
+    /// a shard crash; sleeping simulates a queue stall.
+    fn shard_message(&self, shard: usize, span_count: usize) {
+        let _ = (shard, span_count);
+    }
+
+    /// The baseline refresher is about to fold `trace`.
+    fn refresh_fold(&self, trace: &Trace) {
+        let _ = trace;
+    }
+
+    /// Signed skew applied to the logical clock a shard observes,
+    /// simulating a host whose timestamps drift.
+    fn clock_skew_us(&self, shard: usize) -> i64 {
+        let _ = shard;
+        0
+    }
+}
+
+/// The production injector: no faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let injector = NoFaults;
+        injector.shard_message(0, 10);
+        assert_eq!(injector.clock_skew_us(3), 0);
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoFaults>();
+    }
+}

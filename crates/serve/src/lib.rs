@@ -46,25 +46,53 @@
 //!   collector, joins all workers, drains the RCA queue, and returns
 //!   the verdicts, the merged [`sleuth_store::TraceStore`], and a
 //!   final snapshot.
+//! * **Supervision and quarantine** ([`crate::sync`],
+//!   [`QuarantineStore`]) — every worker loop runs under
+//!   `catch_unwind`: a panic is counted
+//!   (`worker_panics{stage,worker}`), the work in flight is retried up
+//!   to `max_rca_attempts` and then parked in a bounded quarantine
+//!   ([`ServeRuntime::poll_quarantined`]), and the worker restarts
+//!   with bounded exponential backoff. Mutexes recover from poisoning
+//!   instead of cascading the crash.
+//! * **Graceful degradation** ([`crate::degrade`],
+//!   [`Verdict::degraded`]) — per-trace RCA deadlines
+//!   ([`ServeConfig::rca_deadline_us`]), a completed-trace queue
+//!   high-water mark, and a circuit breaker
+//!   ([`ServeRuntime::breaker_state`]) shed verdicts to a cheap
+//!   anomaly-ranking path under pressure instead of falling over.
+//! * **Fault injection seam** ([`FaultInjector`],
+//!   [`ServeRuntime::start_with_injector`]) — the deterministic hook
+//!   surface the `sleuth-chaos` crate drives in tests.
 //!
 //! After a full drain the span accounting is conservative:
 //! `spans_submitted = spans_rejected + spans_shed + spans_evicted +
-//! spans_stored`.
+//! spans_quarantined + spans_stored` (where `spans_rejected` counts
+//! both full queues and invalid inverted-interval spans, and
+//! `spans_quarantined` counts batches stranded by a shard panic).
 
 pub mod config;
+pub mod degrade;
+pub mod inject;
 pub mod metrics;
+pub mod quarantine;
 pub mod queue;
 pub mod refresh;
 pub mod registry;
 pub mod runtime;
 pub mod shard;
+pub mod sync;
 
 pub use config::{
-    ClusterPolicy, ConfigError, RefreshConfig, ServeConfig, ServeConfigBuilder, ShedPolicy,
+    ClusterPolicy, ConfigError, RefreshConfig, ResilienceConfig, ServeConfig, ServeConfigBuilder,
+    ShedPolicy,
 };
-pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use degrade::{BreakerState, DegradeReason};
+pub use inject::{FaultInjector, NoFaults};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use quarantine::{QuarantineReason, QuarantineStore, QuarantinedTrace};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use refresh::{BaselineRefresher, P2Quantile};
 pub use registry::{ModelLease, ModelRegistry, ModelVersion};
 pub use runtime::{ServeReport, ServeRuntime, SubmitReport, Verdict};
 pub use shard::shard_of;
+pub use sync::{lock_or_recover, Backoff};

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::registry::ModelVersion;
+use crate::sync::lock_or_recover;
 
 /// Number of log₂ histogram buckets; bucket `i` covers values in
 /// `[2^(i−1), 2^i)` (bucket 0 holds zeros), the last bucket is
@@ -159,12 +160,40 @@ pub struct MetricsRegistry {
     /// Traces folded between consecutive refresh publishes — how stale
     /// the served baselines get before each refresh lands.
     pub refresh_staleness_traces: Histogram,
+    /// Poisoned `Mutex` acquisitions recovered by
+    /// [`crate::sync::lock_or_recover`]. Behind an `Arc` so queues and
+    /// stores constructed before the registry can share the handle.
+    pub lock_poisoned: Arc<Counter>,
+    /// Traces (or span batches) moved to the quarantine store.
+    pub poison_traces: Counter,
+    /// Quarantine entries dropped because the store overflowed.
+    pub quarantine_dropped: Counter,
+    /// Spans whose batch was quarantined by a shard panic before
+    /// reaching the collector (a span-conservation term).
+    pub spans_quarantined: Counter,
+    /// Verdicts produced by the cheap degraded path.
+    pub verdicts_degraded: Counter,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: Counter,
     /// Verdicts emitted per model version.
     verdicts_by_version: Mutex<BTreeMap<u64, u64>>,
     /// Per-RCA-worker localisation latency, microseconds, keyed by
     /// worker id. Workers register lazily via
     /// [`MetricsRegistry::rca_worker_latency`].
     rca_worker_latency_us: Mutex<BTreeMap<usize, Arc<Histogram>>>,
+    /// Caught worker panics, keyed by (stage, worker id).
+    worker_panics: Mutex<BTreeMap<(&'static str, usize), u64>>,
+    /// Supervised worker restarts, keyed by (stage, worker id).
+    worker_restarts: Mutex<BTreeMap<(&'static str, usize), u64>>,
+    /// Spans refused at `submit_batch`, keyed by reason
+    /// (`queue_full`, `inverted_interval`).
+    spans_rejected_by_reason: Mutex<BTreeMap<&'static str, u64>>,
+    /// Degraded verdicts by ladder rung (`breaker_open`,
+    /// `queue_high_water`, `deadline`).
+    degraded_by_reason: Mutex<BTreeMap<&'static str, u64>>,
+    /// Quarantined entries by reason (`assembly`, `rca_panic`,
+    /// `shard_panic`).
+    quarantined_by_reason: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 /// Frozen view of every metric, cheap to copy around and assert on.
@@ -189,19 +218,32 @@ pub struct MetricsSnapshot {
     pub refresh_traces_folded: u64,
     pub refresh_traces_shed: u64,
     pub refresh_staleness_traces: HistogramSnapshot,
+    pub lock_poisoned: u64,
+    pub poison_traces: u64,
+    pub quarantine_dropped: u64,
+    pub spans_quarantined: u64,
+    pub verdicts_degraded: u64,
+    pub breaker_trips: u64,
     /// Verdicts emitted per model version, ascending by version.
     pub verdicts_by_version: Vec<(u64, u64)>,
     /// Per-RCA-worker latency histograms, ascending by worker id.
     pub rca_worker_latency_us: Vec<(usize, HistogramSnapshot)>,
+    /// Caught panics per (stage, worker), ascending.
+    pub worker_panics: Vec<(String, usize, u64)>,
+    /// Worker restarts per (stage, worker), ascending.
+    pub worker_restarts: Vec<(String, usize, u64)>,
+    /// Rejected spans per reason, ascending by reason.
+    pub spans_rejected_by_reason: Vec<(String, u64)>,
+    /// Degraded verdicts per ladder rung, ascending by reason.
+    pub degraded_by_reason: Vec<(String, u64)>,
+    /// Quarantined entries per reason, ascending by reason.
+    pub quarantined_by_reason: Vec<(String, u64)>,
 }
 
 impl MetricsRegistry {
     /// Count one verdict against the model version that produced it.
     pub fn record_verdict_version(&self, version: ModelVersion) {
-        *self
-            .verdicts_by_version
-            .lock()
-            .expect("verdict version lock")
+        *lock_or_recover(&self.verdicts_by_version, Some(&self.lock_poisoned))
             .entry(version.0)
             .or_insert(0) += 1;
     }
@@ -210,12 +252,58 @@ impl MetricsRegistry {
     /// it on first use.
     pub fn rca_worker_latency(&self, worker_id: usize) -> Arc<Histogram> {
         Arc::clone(
-            self.rca_worker_latency_us
-                .lock()
-                .expect("worker latency lock")
+            lock_or_recover(&self.rca_worker_latency_us, Some(&self.lock_poisoned))
                 .entry(worker_id)
                 .or_default(),
         )
+    }
+
+    /// Count one caught panic for worker `worker` of `stage`
+    /// (`"rca"`, `"shard"`, or `"refresh"`).
+    pub fn record_worker_panic(&self, stage: &'static str, worker: usize) {
+        *lock_or_recover(&self.worker_panics, Some(&self.lock_poisoned))
+            .entry((stage, worker))
+            .or_insert(0) += 1;
+    }
+
+    /// Count one supervised restart for worker `worker` of `stage`.
+    pub fn record_worker_restart(&self, stage: &'static str, worker: usize) {
+        *lock_or_recover(&self.worker_restarts, Some(&self.lock_poisoned))
+            .entry((stage, worker))
+            .or_insert(0) += 1;
+    }
+
+    /// Count `n` spans rejected at admission for `reason`.
+    pub fn record_rejected_reason(&self, reason: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *lock_or_recover(&self.spans_rejected_by_reason, Some(&self.lock_poisoned))
+            .entry(reason)
+            .or_insert(0) += n;
+    }
+
+    /// Count one degraded verdict for ladder rung `reason`.
+    pub fn record_degraded(&self, reason: &'static str) {
+        *lock_or_recover(&self.degraded_by_reason, Some(&self.lock_poisoned))
+            .entry(reason)
+            .or_insert(0) += 1;
+    }
+
+    /// Count one quarantined entry for `reason`.
+    pub fn record_quarantined(&self, reason: &'static str) {
+        *lock_or_recover(&self.quarantined_by_reason, Some(&self.lock_poisoned))
+            .entry(reason)
+            .or_insert(0) += 1;
+    }
+
+    /// Caught panics summed over one stage's workers.
+    pub fn worker_panics_for_stage(&self, stage: &str) -> u64 {
+        lock_or_recover(&self.worker_panics, Some(&self.lock_poisoned))
+            .iter()
+            .filter(|((s, _), _)| *s == stage)
+            .map(|(_, &n)| n)
+            .sum()
     }
 
     /// Freeze every metric.
@@ -240,20 +328,55 @@ impl MetricsRegistry {
             refresh_traces_folded: self.refresh_traces_folded.get(),
             refresh_traces_shed: self.refresh_traces_shed.get(),
             refresh_staleness_traces: self.refresh_staleness_traces.snapshot(),
-            verdicts_by_version: self
-                .verdicts_by_version
-                .lock()
-                .expect("verdict version lock")
+            lock_poisoned: self.lock_poisoned.get(),
+            poison_traces: self.poison_traces.get(),
+            quarantine_dropped: self.quarantine_dropped.get(),
+            spans_quarantined: self.spans_quarantined.get(),
+            verdicts_degraded: self.verdicts_degraded.get(),
+            breaker_trips: self.breaker_trips.get(),
+            verdicts_by_version: lock_or_recover(
+                &self.verdicts_by_version,
+                Some(&self.lock_poisoned),
+            )
+            .iter()
+            .map(|(&v, &n)| (v, n))
+            .collect(),
+            rca_worker_latency_us: lock_or_recover(
+                &self.rca_worker_latency_us,
+                Some(&self.lock_poisoned),
+            )
+            .iter()
+            .map(|(&w, h)| (w, h.snapshot()))
+            .collect(),
+            worker_panics: lock_or_recover(&self.worker_panics, Some(&self.lock_poisoned))
                 .iter()
-                .map(|(&v, &n)| (v, n))
+                .map(|(&(s, w), &n)| (s.to_string(), w, n))
                 .collect(),
-            rca_worker_latency_us: self
-                .rca_worker_latency_us
-                .lock()
-                .expect("worker latency lock")
+            worker_restarts: lock_or_recover(&self.worker_restarts, Some(&self.lock_poisoned))
                 .iter()
-                .map(|(&w, h)| (w, h.snapshot()))
+                .map(|(&(s, w), &n)| (s.to_string(), w, n))
                 .collect(),
+            spans_rejected_by_reason: lock_or_recover(
+                &self.spans_rejected_by_reason,
+                Some(&self.lock_poisoned),
+            )
+            .iter()
+            .map(|(&r, &n)| (r.to_string(), n))
+            .collect(),
+            degraded_by_reason: lock_or_recover(
+                &self.degraded_by_reason,
+                Some(&self.lock_poisoned),
+            )
+            .iter()
+            .map(|(&r, &n)| (r.to_string(), n))
+            .collect(),
+            quarantined_by_reason: lock_or_recover(
+                &self.quarantined_by_reason,
+                Some(&self.lock_poisoned),
+            )
+            .iter()
+            .map(|(&r, &n)| (r.to_string(), n))
+            .collect(),
         }
     }
 }
@@ -293,9 +416,49 @@ impl MetricsSnapshot {
                 "sleuth_serve_refresh_traces_shed_total",
                 self.refresh_traces_shed,
             ),
+            ("sleuth_serve_lock_poisoned_total", self.lock_poisoned),
+            ("sleuth_serve_poison_traces_total", self.poison_traces),
+            (
+                "sleuth_serve_quarantine_dropped_total",
+                self.quarantine_dropped,
+            ),
+            (
+                "sleuth_serve_spans_quarantined_total",
+                self.spans_quarantined,
+            ),
+            (
+                "sleuth_serve_verdicts_degraded_total",
+                self.verdicts_degraded,
+            ),
+            ("sleuth_serve_breaker_trips_total", self.breaker_trips),
         ];
         for (name, value) in counters {
             out.push_str(&format!("{name} {value}\n"));
+        }
+        for (stage, worker, count) in &self.worker_panics {
+            out.push_str(&format!(
+                "sleuth_serve_worker_panics_total{{stage=\"{stage}\",worker=\"{worker}\"}} {count}\n"
+            ));
+        }
+        for (stage, worker, count) in &self.worker_restarts {
+            out.push_str(&format!(
+                "sleuth_serve_worker_restarts_total{{stage=\"{stage}\",worker=\"{worker}\"}} {count}\n"
+            ));
+        }
+        for (reason, count) in &self.spans_rejected_by_reason {
+            out.push_str(&format!(
+                "sleuth_serve_spans_rejected_total{{reason=\"{reason}\"}} {count}\n"
+            ));
+        }
+        for (reason, count) in &self.degraded_by_reason {
+            out.push_str(&format!(
+                "sleuth_serve_degraded_total{{reason=\"{reason}\"}} {count}\n"
+            ));
+        }
+        for (reason, count) in &self.quarantined_by_reason {
+            out.push_str(&format!(
+                "sleuth_serve_quarantined_total{{reason=\"{reason}\"}} {count}\n"
+            ));
         }
         for (version, count) in &self.verdicts_by_version {
             out.push_str(&format!(
@@ -406,6 +569,37 @@ mod tests {
         let text = s.render_text();
         assert!(text.contains("sleuth_serve_rca_worker_latency_us_count{worker=\"0\"} 2"));
         assert!(text.contains("sleuth_serve_rca_worker_latency_us_sum{worker=\"2\"} 50"));
+    }
+
+    #[test]
+    fn resilience_series_accumulate_and_render() {
+        let m = MetricsRegistry::default();
+        m.record_worker_panic("rca", 1);
+        m.record_worker_panic("rca", 1);
+        m.record_worker_restart("rca", 1);
+        m.record_rejected_reason("inverted_interval", 3);
+        m.record_rejected_reason("queue_full", 0); // zero is elided
+        m.record_degraded("breaker_open");
+        m.record_quarantined("rca_panic");
+        m.poison_traces.inc();
+        m.breaker_trips.inc();
+        let s = m.snapshot();
+        assert_eq!(s.worker_panics, vec![("rca".to_string(), 1, 2)]);
+        assert_eq!(s.worker_restarts, vec![("rca".to_string(), 1, 1)]);
+        assert_eq!(
+            s.spans_rejected_by_reason,
+            vec![("inverted_interval".to_string(), 3)]
+        );
+        assert_eq!(m.worker_panics_for_stage("rca"), 2);
+        assert_eq!(m.worker_panics_for_stage("shard"), 0);
+        let text = s.render_text();
+        assert!(text.contains("sleuth_serve_worker_panics_total{stage=\"rca\",worker=\"1\"} 2"));
+        assert!(text.contains("sleuth_serve_worker_restarts_total{stage=\"rca\",worker=\"1\"} 1"));
+        assert!(text.contains("sleuth_serve_spans_rejected_total{reason=\"inverted_interval\"} 3"));
+        assert!(text.contains("sleuth_serve_degraded_total{reason=\"breaker_open\"} 1"));
+        assert!(text.contains("sleuth_serve_quarantined_total{reason=\"rca_panic\"} 1"));
+        assert!(text.contains("sleuth_serve_poison_traces_total 1"));
+        assert!(text.contains("sleuth_serve_breaker_trips_total 1"));
     }
 
     #[test]

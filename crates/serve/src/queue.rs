@@ -10,7 +10,10 @@
 //! must not be lost).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::metrics::Counter;
+use crate::sync::{lock_or_recover, wait_or_recover};
 
 /// Outcome of a non-blocking push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,7 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    poisoned: Option<Arc<Counter>>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -46,13 +50,25 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            poisoned: None,
         }
+    }
+
+    /// Report lock-poisoning recoveries (a producer or consumer
+    /// panicking inside a queue operation) to `counter`.
+    pub fn with_poison_counter(mut self, counter: Arc<Counter>) -> Self {
+        self.poisoned = Some(counter);
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        lock_or_recover(&self.inner, self.poisoned.as_deref())
     }
 
     /// Admit `item` unless the queue is full or closed; on failure the
     /// item is handed back.
     pub fn try_push(&self, item: T) -> Result<PushOutcome, T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         if inner.closed || inner.items.len() >= self.capacity {
             return Err(item);
         }
@@ -65,7 +81,7 @@ impl<T> BoundedQueue<T> {
     /// Admit `item`, dropping the *oldest* pending item when full.
     /// Returns the shed item, if any; `Err` when closed.
     pub fn push_shedding(&self, item: T) -> Result<Option<T>, T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         if inner.closed {
             return Err(item);
         }
@@ -83,9 +99,9 @@ impl<T> BoundedQueue<T> {
     /// Block until there is room (or the queue closes). Used for
     /// control messages and for propagating backpressure upstream.
     pub fn push_wait(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         while !inner.closed && inner.items.len() >= self.capacity {
-            inner = self.not_full.wait(inner).expect("queue lock");
+            inner = wait_or_recover(&self.not_full, inner, self.poisoned.as_deref());
         }
         if inner.closed {
             return Err(item);
@@ -99,7 +115,7 @@ impl<T> BoundedQueue<T> {
     /// Block until an item is available; `None` once the queue is
     /// closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -109,13 +125,13 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
+            inner = wait_or_recover(&self.not_empty, inner, self.poisoned.as_deref());
         }
     }
 
     /// Pop without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         let item = inner.items.pop_front();
         if item.is_some() {
             drop(inner);
@@ -126,7 +142,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -137,7 +153,7 @@ impl<T> BoundedQueue<T> {
     /// Stop admitting items; consumers drain what remains, then
     /// [`BoundedQueue::pop`] returns `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -195,6 +211,28 @@ mod tests {
         let consumer = std::thread::spawn(move || q2.pop());
         q.push_wait(42).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn queue_survives_a_poisoning_panic() {
+        let counter = Arc::new(Counter::default());
+        let q = Arc::new(BoundedQueue::new(4).with_poison_counter(Arc::clone(&counter)));
+        q.try_push(1).unwrap();
+        // Poison the queue's mutex by panicking while holding it.
+        let q2 = Arc::clone(&q);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = q2.inner.lock().unwrap();
+            panic!("poison the queue lock");
+        });
+        assert!(poisoner.join().is_err());
+        // Every operation still works, and the recovery was counted.
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert!(counter.get() >= 1);
     }
 
     #[test]

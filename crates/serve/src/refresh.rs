@@ -20,15 +20,18 @@
 //! assembled pipeline by hand.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use sleuth_baselines::common::{OpKey, OpProfile, OpStats};
 use sleuth_core::SleuthPipeline;
 use sleuth_trace::{exclusive, Trace};
 
+use crate::inject::FaultInjector;
 use crate::metrics::MetricsRegistry;
 use crate::queue::BoundedQueue;
 use crate::registry::ModelRegistry;
+use crate::sync::Backoff;
 
 /// Streaming quantile estimator (the P² algorithm, Jain & Chlamtac
 /// 1985): tracks one quantile with five markers in O(1) memory and
@@ -307,25 +310,47 @@ impl BaselineRefresher {
 /// The runtime's background refresh loop: drain the completed-trace
 /// queue, fold, and publish a refreshed pipeline through the registry
 /// every `interval_traces` folded traces. Exits when the queue closes.
+///
+/// Supervised: a panic while folding (or publishing) is caught and
+/// counted (`worker_panics{stage="refresh"}`), the trace in hand is
+/// skipped — baselines are statistical, one lost sample is harmless —
+/// and the loop restarts after a bounded backoff. The sketches
+/// themselves survive restarts; a panic mid-fold can at worst leave
+/// one trace partially folded.
 pub(crate) fn run_refresher(
     queue: Arc<BoundedQueue<Arc<Trace>>>,
     registry: Arc<ModelRegistry>,
     metrics: Arc<MetricsRegistry>,
     mut refresher: BaselineRefresher,
     interval_traces: usize,
+    injector: Arc<dyn FaultInjector>,
+    backoff: Backoff,
 ) {
     let mut since_publish = 0usize;
-    while let Some(trace) = queue.pop() {
-        refresher.fold(&trace);
-        metrics.refresh_traces_folded.inc();
-        since_publish += 1;
-        if since_publish >= interval_traces {
-            registry.publish(refresher.assemble());
-            metrics.baseline_refreshes.inc();
-            metrics
-                .refresh_staleness_traces
-                .record(since_publish as u64);
-            since_publish = 0;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            while let Some(trace) = queue.pop() {
+                injector.refresh_fold(&trace);
+                refresher.fold(&trace);
+                metrics.refresh_traces_folded.inc();
+                since_publish += 1;
+                if since_publish >= interval_traces {
+                    registry.publish(refresher.assemble());
+                    metrics.baseline_refreshes.inc();
+                    metrics
+                        .refresh_staleness_traces
+                        .record(since_publish as u64);
+                    since_publish = 0;
+                }
+            }
+        }));
+        match result {
+            Ok(()) => return,
+            Err(_) => {
+                metrics.record_worker_panic("refresh", 0);
+                backoff.sleep_and_advance();
+                metrics.record_worker_restart("refresh", 0);
+            }
         }
     }
 }

@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use sleuth_core::SleuthPipeline;
 
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Counter, MetricsRegistry};
+use crate::sync::{lock_or_recover, wait_or_recover};
 
 /// Monotonic identity of one published pipeline. Version 1 is the
 /// pipeline the runtime started with; every [`ModelRegistry::publish`]
@@ -50,6 +51,16 @@ pub struct ModelRegistry {
     state: Mutex<State>,
     drained: Condvar,
     metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ModelRegistry {
+    fn poison_counter(&self) -> Option<&Counter> {
+        self.metrics.as_ref().map(|m| &*m.lock_poisoned)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        lock_or_recover(&self.state, self.poison_counter())
+    }
 }
 
 impl Default for ModelRegistry {
@@ -91,13 +102,13 @@ impl ModelRegistry {
     /// publisher waits.
     pub fn publish(&self, pipeline: Arc<SleuthPipeline>) -> ModelVersion {
         let started = Instant::now();
-        let mut state = self.state.lock().expect("registry lock");
+        let mut state = self.lock();
         let version = ModelVersion(state.next_version);
         state.next_version += 1;
         let is_swap = state.current.is_some();
         state.current = Some(Current { version, pipeline });
         while state.leases.keys().any(|&v| v < version.0) {
-            state = self.drained.wait(state).expect("registry lock");
+            state = wait_or_recover(&self.drained, state, self.poison_counter());
         }
         drop(state);
         if let Some(metrics) = &self.metrics {
@@ -115,7 +126,7 @@ impl ModelRegistry {
     /// been published yet. The lease pins its version as "in use":
     /// a concurrent publish will not return until this lease drops.
     pub fn lease(self: &Arc<Self>) -> Option<ModelLease> {
-        let mut state = self.state.lock().expect("registry lock");
+        let mut state = self.lock();
         let current = state.current.as_ref()?;
         let version = current.version;
         let pipeline = Arc::clone(&current.pipeline);
@@ -130,12 +141,7 @@ impl ModelRegistry {
 
     /// The currently published version, if any.
     pub fn current_version(&self) -> Option<ModelVersion> {
-        self.state
-            .lock()
-            .expect("registry lock")
-            .current
-            .as_ref()
-            .map(|c| c.version)
+        self.lock().current.as_ref().map(|c| c.version)
     }
 }
 
@@ -170,7 +176,7 @@ impl ModelLease {
 
 impl Drop for ModelLease {
     fn drop(&mut self) {
-        let mut state = self.registry.state.lock().expect("registry lock");
+        let mut state = self.registry.lock();
         if let Some(count) = state.leases.get_mut(&self.version.0) {
             *count -= 1;
             if *count == 0 {

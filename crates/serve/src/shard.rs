@@ -8,14 +8,19 @@
 //! stalls shard workers, their queues fill, and the ingest front-end
 //! starts rejecting or shedding — backpressure end to end.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use sleuth_store::{Collector, TraceStore};
 use sleuth_trace::{Span, Trace, TraceId};
 
 use crate::config::ServeConfig;
+use crate::inject::FaultInjector;
 use crate::metrics::MetricsRegistry;
+use crate::quarantine::{QuarantineReason, QuarantineStore, QuarantinedTrace};
 use crate::queue::BoundedQueue;
+use crate::runtime::RcaItem;
+use crate::sync::Backoff;
 
 /// SplitMix64 finaliser — decorrelates sequential trace ids so shard
 /// load stays even under monotonic id allocation.
@@ -63,6 +68,40 @@ pub struct ShardReport {
     pub evicted_traces: usize,
 }
 
+/// Everything one shard worker needs, bundled so the supervised loop
+/// has a single capture.
+pub(crate) struct ShardCtx {
+    pub shard_id: usize,
+    pub queue: Arc<BoundedQueue<ShardMsg>>,
+    pub rca_queue: Arc<BoundedQueue<RcaItem>>,
+    pub refresh_queue: Option<Arc<BoundedQueue<Arc<Trace>>>>,
+    pub metrics: Arc<MetricsRegistry>,
+    pub quarantine: Arc<QuarantineStore>,
+    pub injector: Arc<dyn FaultInjector>,
+    pub backoff: Backoff,
+}
+
+/// State that must survive a worker panic: the collector and store
+/// (unfinished traces, the shard's span slice), metric watermarks,
+/// and the message in flight when the panic hit.
+struct ShardState {
+    collector: Collector,
+    store: TraceStore,
+    evicted_seen: usize,
+    deduped_seen: usize,
+    in_flight: Option<ShardMsg>,
+    resume_shutdown: bool,
+}
+
+/// Logical clock as this shard observes it, under injected skew.
+fn apply_skew(now_us: u64, skew_us: i64) -> u64 {
+    if skew_us >= 0 {
+        now_us.saturating_add(skew_us as u64)
+    } else {
+        now_us.saturating_sub(skew_us.unsigned_abs())
+    }
+}
+
 /// Run one shard worker to completion (until `Shutdown` or queue
 /// close). Completed traces are stored locally and pushed to
 /// `rca_queue` behind an `Arc`; when a `refresh_queue` is given, the
@@ -70,70 +109,140 @@ pub struct ShardReport {
 /// *drop-oldest* push — no deep copy of the trace is ever made, and a
 /// lagging refresher sheds stale handles instead of ever
 /// backpressuring ingest.
-pub fn run_shard(
-    queue: Arc<BoundedQueue<ShardMsg>>,
-    rca_queue: Arc<BoundedQueue<Arc<Trace>>>,
-    refresh_queue: Option<Arc<BoundedQueue<Arc<Trace>>>>,
-    metrics: Arc<MetricsRegistry>,
-    config: &ServeConfig,
-) -> ShardReport {
-    let mut collector = Collector::new(config.idle_timeout_us).with_caps(config.collector_caps);
-    let mut store = TraceStore::new();
-    let mut evicted_seen = 0;
-    let mut deduped_seen = 0;
+///
+/// Supervised: a panic while processing a message is caught and
+/// counted (`worker_panics{stage="shard"}`); the batch in flight is
+/// quarantined (its spans counted in `spans_quarantined` — they never
+/// reached the collector) and the loop restarts after a bounded
+/// backoff, keeping the collector and store intact. A panic during a
+/// `Shutdown` flush re-runs the flush so the drain protocol still
+/// completes. Completed span sets that fail [`Trace::assemble`] are
+/// quarantined with the assembly error instead of being silently
+/// counted.
+pub(crate) fn run_shard(ctx: ShardCtx, config: &ServeConfig) -> ShardReport {
+    let mut state = ShardState {
+        collector: Collector::new(config.idle_timeout_us).with_caps(config.collector_caps),
+        store: TraceStore::new(),
+        evicted_seen: 0,
+        deduped_seen: 0,
+        in_flight: None,
+        resume_shutdown: false,
+    };
+    let skew_us = ctx.injector.clock_skew_us(ctx.shard_id);
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| shard_loop(&ctx, &mut state, skew_us)));
+        match result {
+            Ok(()) => break,
+            Err(_) => {
+                ctx.metrics.record_worker_panic("shard", ctx.shard_id);
+                match state.in_flight.take() {
+                    Some(ShardMsg::Batch { spans, .. }) => {
+                        // These spans never reached the collector;
+                        // park them so conservation still balances.
+                        ctx.metrics.spans_quarantined.add(spans.len() as u64);
+                        ctx.quarantine.put(QuarantinedTrace {
+                            trace_id: spans.first().map(|s| s.trace_id),
+                            span_count: spans.len(),
+                            reason: QuarantineReason::ShardPanic {
+                                shard: ctx.shard_id,
+                            },
+                            trace: None,
+                        });
+                    }
+                    Some(ShardMsg::Shutdown) => state.resume_shutdown = true,
+                    Some(ShardMsg::Tick { .. }) | None => {}
+                }
+                ctx.backoff.sleep_and_advance();
+                ctx.metrics.record_worker_restart("shard", ctx.shard_id);
+            }
+        }
+    }
+    ShardReport {
+        store: state.store,
+        evicted_traces: state.collector.evicted_traces(),
+    }
+}
 
-    while let Some(msg) = queue.pop() {
+fn shard_loop(ctx: &ShardCtx, state: &mut ShardState, skew_us: i64) {
+    loop {
+        let msg = if state.resume_shutdown {
+            state.resume_shutdown = false;
+            ShardMsg::Shutdown
+        } else {
+            match ctx.queue.pop() {
+                Some(msg) => msg,
+                None => return,
+            }
+        };
+        // Stash before the injector hook so a simulated crash right
+        // here still quarantines the batch instead of dropping it.
+        let span_count = msg.span_count();
+        state.in_flight = Some(msg);
+        ctx.injector.shard_message(ctx.shard_id, span_count);
+        let Some(msg) = state.in_flight.take() else {
+            continue;
+        };
+
         let shutdown = matches!(msg, ShardMsg::Shutdown);
         let completed = match msg {
             ShardMsg::Batch { spans, now_us } => {
-                collector.ingest_batch(spans, now_us);
-                collector.poll_complete(now_us)
+                let now_us = apply_skew(now_us, skew_us);
+                state.collector.ingest_batch(spans, now_us);
+                state.collector.poll_complete(now_us)
             }
-            ShardMsg::Tick { now_us } => collector.poll_complete(now_us),
-            ShardMsg::Shutdown => collector.flush(),
+            ShardMsg::Tick { now_us } => state.collector.poll_complete(apply_skew(now_us, skew_us)),
+            ShardMsg::Shutdown => state.collector.flush(),
         };
 
-        let newly_evicted = collector.evicted_spans() - evicted_seen;
+        let newly_evicted = state.collector.evicted_spans() - state.evicted_seen;
         if newly_evicted > 0 {
-            metrics.spans_evicted.add(newly_evicted as u64);
-            evicted_seen = collector.evicted_spans();
+            ctx.metrics.spans_evicted.add(newly_evicted as u64);
+            state.evicted_seen = state.collector.evicted_spans();
         }
-        let newly_deduped = collector.deduped_spans() - deduped_seen;
+        let newly_deduped = state.collector.deduped_spans() - state.deduped_seen;
         if newly_deduped > 0 {
-            metrics.spans_deduped.add(newly_deduped as u64);
-            deduped_seen = collector.deduped_spans();
+            ctx.metrics.spans_deduped.add(newly_deduped as u64);
+            state.deduped_seen = state.collector.deduped_spans();
         }
 
         for spans in completed {
-            metrics.spans_stored.add(spans.len() as u64);
-            store.extend(spans.clone());
+            let trace_id = spans.first().map(|s| s.trace_id);
+            let span_count = spans.len();
+            ctx.metrics.spans_stored.add(span_count as u64);
+            state.store.extend(spans.clone());
             match Trace::assemble(spans) {
                 Ok(trace) => {
-                    metrics.traces_completed.inc();
+                    ctx.metrics.traces_completed.inc();
                     let trace = Arc::new(trace);
-                    if let Some(refresh) = &refresh_queue {
+                    if let Some(refresh) = &ctx.refresh_queue {
                         // Err means the queue closed (refresher already
                         // retired); the drop-oldest handle is counted shed.
                         if let Ok(Some(_)) = refresh.push_shedding(Arc::clone(&trace)) {
-                            metrics.refresh_traces_shed.inc();
+                            ctx.metrics.refresh_traces_shed.inc();
                         }
                     }
                     // Err only when the RCA queue is already closed
                     // (teardown); the trace is still stored.
-                    let _ = rca_queue.push_wait(trace);
+                    let _ = ctx.rca_queue.push_wait(RcaItem { trace, attempts: 0 });
                 }
-                Err(_) => metrics.traces_malformed.inc(),
+                Err(err) => {
+                    // Spans are already stored above, so no
+                    // conservation term — but the operator can now see
+                    // *why* the trace never got a verdict.
+                    ctx.metrics.traces_malformed.inc();
+                    ctx.quarantine.put(QuarantinedTrace {
+                        trace_id,
+                        span_count,
+                        reason: QuarantineReason::Assembly(err.to_string()),
+                        trace: None,
+                    });
+                }
             }
         }
 
         if shutdown {
-            break;
+            return;
         }
-    }
-
-    ShardReport {
-        store,
-        evicted_traces: collector.evicted_traces(),
     }
 }
 

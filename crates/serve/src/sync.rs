@@ -1,0 +1,144 @@
+//! Poison-tolerant synchronisation helpers.
+//!
+//! A panicking thread poisons every `Mutex` it holds; with the stock
+//! `lock().unwrap()` idiom one crashed worker then takes down every
+//! other thread that touches the same lock — a single bad trace
+//! becomes a whole-runtime outage. The serving runtime instead treats
+//! poisoning as an *observable recoverable event*: [`lock_or_recover`]
+//! clears the poison (the protected data is all plain counters,
+//! queues, and maps whose invariants hold between individual
+//! mutations), increments a `lock_poisoned` counter when one is
+//! wired, and hands back the guard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::metrics::Counter;
+
+/// Lock `mutex`, recovering (and counting) instead of panicking when
+/// a previous holder panicked. The caller is responsible for the
+/// protected data being valid between mutations — true for every
+/// lock in this crate (queues, lease maps, metric maps).
+pub fn lock_or_recover<'a, T>(
+    mutex: &'a Mutex<T>,
+    poisoned: Option<&Counter>,
+) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(err) => {
+            if let Some(counter) = poisoned {
+                counter.inc();
+            }
+            mutex.clear_poison();
+            err.into_inner()
+        }
+    }
+}
+
+/// [`Condvar::wait`] with the same poison-recovery contract as
+/// [`lock_or_recover`].
+pub fn wait_or_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    poisoned: Option<&Counter>,
+) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(err) => {
+            if let Some(counter) = poisoned {
+                counter.inc();
+            }
+            err.into_inner()
+        }
+    }
+}
+
+/// Bounded exponential backoff for supervised worker restarts: each
+/// failure doubles the pause up to `max_us`; a success resets it.
+/// Thread-safe so a supervisor and its observers can share one.
+#[derive(Debug)]
+pub struct Backoff {
+    base_us: u64,
+    max_us: u64,
+    current_us: AtomicU64,
+}
+
+impl Backoff {
+    /// Backoff starting at `base_us` and capped at `max_us`.
+    pub fn new(base_us: u64, max_us: u64) -> Self {
+        Backoff {
+            base_us: base_us.max(1),
+            max_us: max_us.max(base_us.max(1)),
+            current_us: AtomicU64::new(base_us.max(1)),
+        }
+    }
+
+    /// Sleep for the current pause, then double it (saturating at the
+    /// cap). Returns the pause actually slept, µs.
+    pub fn sleep_and_advance(&self) -> u64 {
+        let pause = self.current_us.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_micros(pause));
+        let next = pause.saturating_mul(2).min(self.max_us);
+        self.current_us.store(next, Ordering::Relaxed);
+        pause
+    }
+
+    /// Reset to the base pause after a healthy iteration.
+    pub fn reset(&self) {
+        self.current_us.store(self.base_us, Ordering::Relaxed);
+    }
+
+    /// The pause the next failure would sleep, µs.
+    pub fn current_us(&self) -> u64 {
+        self.current_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_from_poisoned_mutex_and_counts() {
+        let mutex = Arc::new(Mutex::new(7u64));
+        let counter = Counter::default();
+        let poisoner = {
+            let mutex = Arc::clone(&mutex);
+            std::thread::spawn(move || {
+                let _guard = mutex.lock().unwrap();
+                panic!("poison the lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(mutex.is_poisoned());
+        {
+            let mut guard = lock_or_recover(&mutex, Some(&counter));
+            *guard += 1;
+        }
+        assert_eq!(counter.get(), 1);
+        // Recovery clears the poison flag for subsequent lockers.
+        assert_eq!(*lock_or_recover(&mutex, Some(&counter)), 8);
+        assert_eq!(counter.get(), 1);
+    }
+
+    #[test]
+    fn healthy_lock_does_not_count() {
+        let mutex = Mutex::new(0u64);
+        let counter = Counter::default();
+        drop(lock_or_recover(&mutex, Some(&counter)));
+        assert_eq!(counter.get(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap_and_resets() {
+        let b = Backoff::new(1, 4);
+        assert_eq!(b.sleep_and_advance(), 1);
+        assert_eq!(b.sleep_and_advance(), 2);
+        assert_eq!(b.sleep_and_advance(), 4);
+        assert_eq!(b.current_us(), 4); // capped
+        b.reset();
+        assert_eq!(b.current_us(), 1);
+    }
+}

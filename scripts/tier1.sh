@@ -4,8 +4,8 @@
 #   scripts/tier1.sh
 #
 # Runs the release build, the full test suite, and (for the crates
-# added or reworked after the seed: serve, par, cluster) formatting
-# and lint gates.
+# added or reworked after the seed: serve, par, cluster, chaos)
+# formatting and lint gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,13 +18,19 @@ cargo test -q --workspace --offline
 echo "==> cargo test --test hot_swap (hot-swap + refresh integration)"
 cargo test -q --offline --test hot_swap
 
-echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster)"
-cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster
+echo "==> cargo test -p sleuth-chaos (fault-injection harness)"
+cargo test -q --offline -p sleuth-chaos
 
-echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster)"
-cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster --all-targets -- -D warnings
+echo "==> cargo test --test chaos_serving (chaos serving integration)"
+cargo test -q --offline --test chaos_serving
 
-echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster)"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster
+echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos)"
+cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos
+
+echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos)"
+cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster, sleuth-chaos)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster -p sleuth-chaos
 
 echo "tier-1: OK"

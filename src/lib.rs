@@ -20,7 +20,11 @@
 //! * [`eval`] — metrics and drivers for every paper table and figure,
 //! * [`serve`] — sharded online serving runtime: bounded queues with
 //!   backpressure, per-shard collectors, an RCA stage around a shared
-//!   fitted pipeline, and built-in metrics.
+//!   fitted pipeline, built-in metrics, worker supervision with
+//!   poison-trace quarantine, and deadline-based graceful degradation,
+//! * [`chaos`] — deterministic fault-injection harness for the serving
+//!   runtime: seeded fault plans (worker panics, stalls, clock skew)
+//!   and adversarial span-batch corruptions.
 //!
 //! # Quickstart
 //!
@@ -50,6 +54,7 @@
 //! ```
 
 pub use sleuth_baselines as baselines;
+pub use sleuth_chaos as chaos;
 pub use sleuth_cluster as cluster;
 pub use sleuth_core as core;
 pub use sleuth_embed as embed;

@@ -9,10 +9,11 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use sleuth::chaos::{FaultPlan as RuntimeFaultPlan, SeededInjector};
 use sleuth::cluster::{hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
-use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
-use sleuth::serve::{shard_of, ServeConfig, ServeRuntime};
+use sleuth::serve::{shard_of, FaultInjector, ResilienceConfig, ServeConfig, ServeRuntime};
 use sleuth::synth::chaos::{ChaosEngine, FaultPlan};
 use sleuth::synth::generator::{generate_app, GeneratorConfig};
 use sleuth::synth::workload::CorpusBuilder;
@@ -275,5 +276,94 @@ proptest! {
             .filter(|t| pipeline.detector().is_anomalous(t))
             .collect();
         prop_assert_eq!(report.verdicts.len(), anomalous.len());
+    }
+
+    /// Fault transparency: under any seeded runtime fault plan whose
+    /// faults eventually fall silent (budgeted panics and delays, all
+    /// injected at attempt 0 so the supervised retry succeeds), the
+    /// surviving traces receive exactly the verdicts of a fault-free
+    /// run — nothing quarantined, nothing degraded, nothing lost.
+    #[test]
+    fn prop_faulted_run_matches_fault_free_verdicts(
+        app_seed in 0u64..40,
+        sim_seeds in proptest::collection::vec(1u64..500, 3..8),
+        chaos_seed in 0u64..10_000,
+        panic_budget in 1u64..12,
+        kill_once in any::<bool>(),
+        rca_workers in 1usize..3,
+    ) {
+        let seeds: BTreeSet<u64> = sim_seeds.into_iter().collect();
+        let traces: Vec<Trace> = seeds
+            .iter()
+            .map(|&s| simulate(12, app_seed, s, true))
+            .collect();
+        let pipeline = serve_pipeline();
+
+        // Ground truth from the fault-free batch pipeline.
+        let anomalous: Vec<&Trace> = traces
+            .iter()
+            .filter(|t| pipeline.detector().is_anomalous(t))
+            .collect();
+        let mut expected: Vec<(u64, Vec<String>)> = anomalous
+            .iter()
+            .zip(pipeline.analyze(&anomalous, AnalyzeOptions::unclustered()))
+            .map(|(t, r)| (t.trace_id(), r.services))
+            .collect();
+        expected.sort_unstable();
+
+        let plan = RuntimeFaultPlan {
+            seed: chaos_seed,
+            kill_each_rca_worker_once: kill_once,
+            rca_panic_rate: 0.5,
+            rca_panic_budget: panic_budget,
+            rca_delay_rate: 0.25,
+            rca_delay_us: 50,
+            rca_delay_budget: 8,
+            shard_stall_rate: 0.25,
+            shard_stall_us: 50,
+            shard_stall_budget: 8,
+            clock_skew_us: 100,
+            ..RuntimeFaultPlan::default()
+        };
+        let injector = Arc::new(SeededInjector::new(plan));
+        let runtime = ServeRuntime::start_with_injector(
+            Arc::clone(&pipeline),
+            ServeConfig {
+                num_shards: 2,
+                rca_workers,
+                resilience: ResilienceConfig {
+                    // Keep the breaker out of the picture: this property
+                    // is about supervision + retry, not degradation.
+                    breaker_threshold: 1 << 20,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            Arc::clone(&injector) as Arc<dyn FaultInjector>,
+        )
+        .expect("valid serve config");
+        for t in &traces {
+            let report = runtime.submit_batch(t.spans().to_vec(), 0);
+            prop_assert_eq!(report.rejected + report.shed + report.invalid, 0);
+        }
+        let report = runtime.shutdown();
+        let m = &report.metrics;
+
+        prop_assert!(report.quarantined.is_empty(),
+            "retried faults must not poison traces: {:?}",
+            report.quarantined.iter().map(|q| (&q.reason, q.trace_id)).collect::<Vec<_>>());
+        prop_assert_eq!(m.poison_traces, 0);
+        let mut online: Vec<(u64, Vec<String>)> = report
+            .verdicts
+            .iter()
+            .map(|v| (v.trace_id, v.services.clone()))
+            .collect();
+        online.sort_unstable();
+        prop_assert_eq!(online, expected);
+        prop_assert!(report.verdicts.iter().all(|v| !v.degraded));
+        prop_assert_eq!(
+            m.spans_submitted,
+            m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+        );
     }
 }
