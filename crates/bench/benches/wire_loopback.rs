@@ -1,0 +1,198 @@
+//! Wire-protocol benchmark: frame codec throughput and end-to-end
+//! loopback serving through the multi-process stack.
+//!
+//! Prints one machine-readable line per benchmark so
+//! `scripts/bench.sh` can assemble `BENCH_wire.json`:
+//!
+//! ```text
+//! WIRE_BENCH bench=frame_encode frames=512 spans=16384 median_us=1234
+//! ```
+//!
+//! The loopback benches run real [`sleuth_wire::serve_shard`] servers
+//! on background threads behind Unix-domain sockets and drive them
+//! with a [`sleuth_wire::RouterClient`] — the full frame, session,
+//! and ack machinery, minus process-spawn and scheduler noise (the
+//! `examples/multi_process_serving.rs` topology covers true
+//! multi-process operation).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_serve::{NoFaults, ServeConfig};
+use sleuth_synth::presets;
+use sleuth_synth::workload::CorpusBuilder;
+use sleuth_trace::Span;
+use sleuth_wire::{
+    decode_frame_bytes, encode_frame, serve_shard, Endpoint, Frame, Msg, NoWireFaults,
+    RouterClient, RouterConfig, ShardServerConfig, WireListener, WireMetrics,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+const SAMPLES: usize = 5;
+
+/// Median wall-clock of `SAMPLES` runs of `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn report(bench: &str, frames: usize, spans: usize, median_us: u128) {
+    println!(
+        "WIRE_BENCH bench={bench} frames={frames} spans={spans} median_us={median_us} samples={SAMPLES}"
+    );
+}
+
+fn fitted_pipeline() -> Arc<SleuthPipeline> {
+    let app = presets::synthetic(12, 1);
+    let train = CorpusBuilder::new(&app)
+        .seed(5)
+        .normal_traces(100)
+        .plain_traces();
+    let config = PipelineConfig {
+        train: TrainConfig {
+            epochs: 8,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+        ..PipelineConfig::default()
+    };
+    Arc::new(SleuthPipeline::fit(&train, &config))
+}
+
+/// Per-trace span batches for a mixed workload.
+fn batches(n_traces: usize) -> Vec<Vec<Span>> {
+    let app = presets::synthetic(12, 1);
+    CorpusBuilder::new(&app)
+        .seed(5)
+        .mixed_traces(n_traces, 8)
+        .traces
+        .into_iter()
+        .map(|t| t.trace.spans().to_vec())
+        .collect()
+}
+
+fn uds(tag: &str) -> Endpoint {
+    Endpoint::Unix(
+        std::env::temp_dir().join(format!("sleuth-bench-{}-{tag}.sock", std::process::id())),
+    )
+}
+
+/// One loopback run: spawn `shards` servers, route every batch, shut
+/// down. Returns total spans moved.
+fn loopback_run(pipeline: &Arc<SleuthPipeline>, work: &[Vec<Span>], shards: usize) -> usize {
+    let mut endpoints = Vec::new();
+    let mut handles = Vec::new();
+    for shard_id in 0..shards {
+        let endpoint = uds(&format!("s{shard_id}"));
+        let listener = WireListener::bind(&endpoint).expect("bind bench endpoint");
+        let serve = ServeConfig {
+            num_shards: 1,
+            idle_timeout_us: 1_000_000,
+            ..ServeConfig::default()
+        };
+        let config = ShardServerConfig::new(shard_id, serve);
+        let pipeline = Arc::clone(pipeline);
+        handles.push(std::thread::spawn(move || {
+            serve_shard(
+                &listener,
+                pipeline,
+                config,
+                Arc::new(NoFaults),
+                Arc::new(NoWireFaults),
+                Arc::new(WireMetrics::default()),
+            )
+        }));
+        endpoints.push(endpoint);
+    }
+    let mut router = RouterClient::connect(RouterConfig::new(endpoints)).expect("connect");
+    let mut clock = 0u64;
+    let mut spans = 0usize;
+    for batch in work {
+        clock += 1_000;
+        spans += batch.len();
+        router.submit_batch(batch.clone(), clock);
+    }
+    router.tick(clock + 10_000_000);
+    let report = router.shutdown();
+    assert_eq!(
+        report.metrics.spans_submitted, spans as u64,
+        "loopback lost spans"
+    );
+    for handle in handles {
+        handle
+            .join()
+            .expect("shard thread")
+            .expect("clean shard exit");
+    }
+    spans
+}
+
+fn main() {
+    // ---- Pure codec: encode/decode span-batch frames ----------------
+    let work = batches(64);
+    let spans: usize = work.iter().map(Vec::len).sum();
+    let frames: Vec<Frame> = work
+        .iter()
+        .enumerate()
+        .map(|(i, batch)| Frame::Data {
+            seq: i as u64 + 1,
+            msg: Msg::SpanBatch {
+                now_us: 1_000 * i as u64,
+                spans: batch.clone(),
+            },
+        })
+        .collect();
+
+    let mut encoded: Vec<Vec<u8>> = Vec::new();
+    report(
+        "frame_encode",
+        frames.len(),
+        spans,
+        median_us(|| {
+            encoded = frames
+                .iter()
+                .map(|f| encode_frame(f, PROTOCOL_VERSION))
+                .collect();
+        }),
+    );
+    let bytes: usize = encoded.iter().map(Vec::len).sum();
+    println!("WIRE_BENCH bench=frame_bytes frames={} spans={spans} median_us=0 samples=1 payload_bytes={bytes}", frames.len());
+
+    report(
+        "frame_decode",
+        encoded.len(),
+        spans,
+        median_us(|| {
+            for buf in &encoded {
+                let frame =
+                    decode_frame_bytes(buf, DEFAULT_MAX_FRAME_LEN).expect("self-encoded frame");
+                std::hint::black_box(frame);
+            }
+        }),
+    );
+
+    // ---- Loopback end-to-end: router -> shard server(s) -------------
+    let pipeline = fitted_pipeline();
+    for shards in [1usize, 2] {
+        let moved = loopback_run(&pipeline, &work, shards); // warm-up + sanity
+        assert_eq!(moved, spans);
+        report(
+            &format!("loopback_{shards}shard"),
+            work.len(),
+            spans,
+            median_us(|| {
+                loopback_run(&pipeline, &work, shards);
+            }),
+        );
+    }
+}

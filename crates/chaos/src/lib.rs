@@ -46,9 +46,18 @@
 //! *input* faults: span-batch corruptions (cycles, dangling parents,
 //! mixed trace ids, duplicate span ids, inverted intervals) that
 //! ingestion must quarantine rather than crash on.
+//!
+//! [`net`] extends the harness across the process boundary: a
+//! [`NetFaultPlan`] drops, duplicates, reorders, corrupts, and
+//! truncates wire frames between the router and its shard servers
+//! (and kills connections / stalls reconnects) through the
+//! [`sleuth_wire::WireFaultInjector`] seam, with the same
+//! seeded-and-budgeted determinism.
 
 pub mod malform;
+pub mod net;
 pub mod plan;
 
 pub use malform::{corrupt_batch, corruption_for, Corruption};
+pub use net::{NetFaultPlan, NetInjector};
 pub use plan::{FaultPlan, SeededInjector};

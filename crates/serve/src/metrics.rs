@@ -97,6 +97,17 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Fold `other` into this snapshot: per-bucket counts, total count,
+    /// and sum all add. Merging histograms recorded by different
+    /// processes is exact because the buckets are fixed.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Upper bound (exclusive) of the smallest bucket prefix holding at
     /// least `q` (0..=1) of the observations — a coarse quantile.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
@@ -197,7 +208,7 @@ pub struct MetricsRegistry {
 }
 
 /// Frozen view of every metric, cheap to copy around and assert on.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     pub spans_submitted: u64,
     pub spans_enqueued: u64,
@@ -381,11 +392,94 @@ impl MetricsRegistry {
     }
 }
 
+/// Merge two label→count series, summing counts per label.
+fn merge_labeled<K: Ord + Clone>(into: &mut Vec<(K, u64)>, other: &[(K, u64)]) {
+    let mut map: BTreeMap<K, u64> = into.drain(..).collect();
+    for (k, n) in other {
+        *map.entry(k.clone()).or_insert(0) += n;
+    }
+    *into = map.into_iter().collect();
+}
+
 impl MetricsSnapshot {
     /// Spans lost to admission control or eviction. Deduped spans are
     /// not counted: their payload survived via the first copy.
     pub fn spans_dropped(&self) -> u64 {
         self.spans_rejected + self.spans_shed + self.spans_evicted
+    }
+
+    /// Fold `other` into this snapshot: counters sum, histograms merge
+    /// bucket-wise, labeled series sum per label. This is the one
+    /// audited aggregation path — a router combining N shard-process
+    /// snapshots uses it, so the span-conservation identity
+    /// (`spans_submitted` = stored + rejected + shed + evicted +
+    /// deduped + quarantined) holds on the merged snapshot exactly
+    /// when it holds on every input.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.spans_submitted += other.spans_submitted;
+        self.spans_enqueued += other.spans_enqueued;
+        self.spans_rejected += other.spans_rejected;
+        self.spans_shed += other.spans_shed;
+        self.spans_evicted += other.spans_evicted;
+        self.spans_deduped += other.spans_deduped;
+        self.spans_stored += other.spans_stored;
+        self.traces_completed += other.traces_completed;
+        self.traces_malformed += other.traces_malformed;
+        self.traces_anomalous += other.traces_anomalous;
+        self.verdicts_emitted += other.verdicts_emitted;
+        self.rca_latency_us.merge(&other.rca_latency_us);
+        self.queue_depth.merge(&other.queue_depth);
+        self.model_swaps += other.model_swaps;
+        self.swap_drain_us.merge(&other.swap_drain_us);
+        self.baseline_refreshes += other.baseline_refreshes;
+        self.refresh_traces_folded += other.refresh_traces_folded;
+        self.refresh_traces_shed += other.refresh_traces_shed;
+        self.refresh_staleness_traces
+            .merge(&other.refresh_staleness_traces);
+        self.lock_poisoned += other.lock_poisoned;
+        self.poison_traces += other.poison_traces;
+        self.quarantine_dropped += other.quarantine_dropped;
+        self.spans_quarantined += other.spans_quarantined;
+        self.verdicts_degraded += other.verdicts_degraded;
+        self.breaker_trips += other.breaker_trips;
+        merge_labeled(&mut self.verdicts_by_version, &other.verdicts_by_version);
+        merge_labeled(
+            &mut self.spans_rejected_by_reason,
+            &other.spans_rejected_by_reason,
+        );
+        merge_labeled(&mut self.degraded_by_reason, &other.degraded_by_reason);
+        merge_labeled(
+            &mut self.quarantined_by_reason,
+            &other.quarantined_by_reason,
+        );
+        // Worker-keyed series: workers in different processes are
+        // distinct even when they share an index, so entries merge per
+        // (stage, worker) key — a router rewrites worker ids to global
+        // ones before merging if it needs per-process attribution.
+        let mut latency: BTreeMap<usize, HistogramSnapshot> =
+            self.rca_worker_latency_us.drain(..).collect();
+        for (w, h) in &other.rca_worker_latency_us {
+            latency.entry(*w).or_default().merge(h);
+        }
+        self.rca_worker_latency_us = latency.into_iter().collect();
+        let mut panics: BTreeMap<(String, usize), u64> = self
+            .worker_panics
+            .drain(..)
+            .map(|(s, w, n)| ((s, w), n))
+            .collect();
+        for (s, w, n) in &other.worker_panics {
+            *panics.entry((s.clone(), *w)).or_insert(0) += n;
+        }
+        self.worker_panics = panics.into_iter().map(|((s, w), n)| (s, w, n)).collect();
+        let mut restarts: BTreeMap<(String, usize), u64> = self
+            .worker_restarts
+            .drain(..)
+            .map(|(s, w, n)| ((s, w), n))
+            .collect();
+        for (s, w, n) in &other.worker_restarts {
+            *restarts.entry((s.clone(), *w)).or_insert(0) += n;
+        }
+        self.worker_restarts = restarts.into_iter().map(|((s, w), n)| (s, w, n)).collect();
     }
 
     /// Prometheus-style exposition text.
@@ -600,6 +694,50 @@ mod tests {
         assert!(text.contains("sleuth_serve_quarantined_total{reason=\"rca_panic\"} 1"));
         assert!(text.contains("sleuth_serve_poison_traces_total 1"));
         assert!(text.contains("sleuth_serve_breaker_trips_total 1"));
+    }
+
+    #[test]
+    fn merge_sums_counters_histograms_and_labels() {
+        let a = MetricsRegistry::default();
+        a.spans_submitted.add(10);
+        a.spans_stored.add(7);
+        a.spans_rejected.add(3);
+        a.rca_latency_us.record(100);
+        a.record_verdict_version(ModelVersion(1));
+        a.record_rejected_reason("queue_full", 3);
+        a.record_worker_panic("rca", 0);
+        a.rca_worker_latency(0).record(100);
+        let b = MetricsRegistry::default();
+        b.spans_submitted.add(5);
+        b.spans_stored.add(5);
+        b.rca_latency_us.record(900);
+        b.record_verdict_version(ModelVersion(1));
+        b.record_verdict_version(ModelVersion(2));
+        b.record_rejected_reason("inverted_interval", 1);
+        b.record_worker_panic("rca", 0);
+        b.rca_worker_latency(1).record(50);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.spans_submitted, 15);
+        assert_eq!(merged.spans_stored, 12);
+        assert_eq!(merged.spans_rejected, 3);
+        assert_eq!(merged.rca_latency_us.count, 2);
+        assert_eq!(merged.rca_latency_us.sum, 1000);
+        assert_eq!(merged.verdicts_by_version, vec![(1, 2), (2, 1)]);
+        assert_eq!(
+            merged.spans_rejected_by_reason,
+            vec![
+                ("inverted_interval".to_string(), 1),
+                ("queue_full".to_string(), 3)
+            ]
+        );
+        assert_eq!(merged.worker_panics, vec![("rca".to_string(), 0, 2)]);
+        assert_eq!(merged.rca_worker_latency_us.len(), 2);
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

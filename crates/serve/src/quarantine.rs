@@ -63,6 +63,14 @@ pub struct QuarantinedTrace {
     pub span_count: usize,
     /// Why the runtime gave up.
     pub reason: QuarantineReason,
+    /// The shard that owned this trace when it was given up on. Set by
+    /// every quarantine site (shard workers know their own id; the RCA
+    /// stage recomputes it from the trace id), so a router aggregating
+    /// several shard processes can attribute each entry to its origin.
+    /// In a multi-process topology the entry leaves its process still
+    /// carrying the *local* shard id; the router rewrites it to the
+    /// global shard index.
+    pub origin_shard: Option<usize>,
     /// The assembled trace, when it got that far (RCA panics).
     pub trace: Option<Arc<Trace>>,
 }
@@ -137,6 +145,7 @@ mod tests {
             trace_id: Some(id),
             span_count: 1,
             reason: QuarantineReason::Assembly("test".to_string()),
+            origin_shard: Some(0),
             trace: None,
         }
     }

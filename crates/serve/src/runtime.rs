@@ -233,6 +233,7 @@ impl ServeRuntime {
                             controller: Arc::clone(&controller),
                             injector: Arc::clone(&injector),
                             policy: config.cluster_policy,
+                            num_shards: config.num_shards,
                             max_attempts: config.resilience.max_rca_attempts,
                             backoff: backoff(&config.resilience),
                             in_flight: Mutex::new(Vec::new()),
@@ -436,6 +437,9 @@ struct RcaCtx {
     controller: Arc<DegradeController>,
     injector: Arc<dyn FaultInjector>,
     policy: ClusterPolicy,
+    /// Shard count, for recomputing a poison trace's owning shard
+    /// (`shard_of`) when it is quarantined from the RCA stage.
+    num_shards: usize,
     max_attempts: u32,
     backoff: Backoff,
     /// Items admitted to the current batch; on a panic the supervisor
@@ -480,6 +484,7 @@ impl RcaCtx {
                 worker: self.worker_id,
                 attempts: item.attempts,
             },
+            origin_shard: Some(shard_of(item.trace.trace_id(), self.num_shards)),
             trace: Some(item.trace),
         });
     }

@@ -146,6 +146,7 @@ pub(crate) fn run_shard(ctx: ShardCtx, config: &ServeConfig) -> ShardReport {
                             reason: QuarantineReason::ShardPanic {
                                 shard: ctx.shard_id,
                             },
+                            origin_shard: Some(ctx.shard_id),
                             trace: None,
                         });
                     }
@@ -234,6 +235,7 @@ fn shard_loop(ctx: &ShardCtx, state: &mut ShardState, skew_us: i64) {
                         trace_id,
                         span_count,
                         reason: QuarantineReason::Assembly(err.to_string()),
+                        origin_shard: Some(ctx.shard_id),
                         trace: None,
                     });
                 }

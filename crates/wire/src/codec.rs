@@ -1,0 +1,547 @@
+//! Stream codec: an incremental [`FrameReader`] and a fault-injectable
+//! [`FrameWriter`].
+//!
+//! The reader is a resumable state machine over a blocking `Read`: a
+//! read timeout returns [`WireError::Timeout`] with all partial bytes
+//! retained, so OS-level read timeouts never desynchronize the frame
+//! stream. Decode work is bounded by each frame's declared — and
+//! capped — payload length: an oversized header is rejected before
+//! any payload is read, and every allocation inside the payload is
+//! clamped by the bytes actually present.
+//!
+//! The writer is where the network chaos seam lives: every outgoing
+//! `Data` frame is assigned a [`FrameFate`] by the installed
+//! [`WireFaultInjector`] (deliver / drop / duplicate / hold-for-
+//! reorder / corrupt / truncate / kill). Control frames (handshake,
+//! acks) are exempt so a test plan cannot deadlock the protocol
+//! before it starts — the reliability layer in [`crate::session`]
+//! must heal everything the injector does to data frames.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::WireError;
+use crate::frame::{decode_frame, encode_frame, parse_header, Frame, FrameHeader, HEADER_LEN};
+use crate::metrics::WireMetrics;
+
+/// What the chaos layer decided to do with one outgoing data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Write the frame normally.
+    Deliver,
+    /// Silently discard the frame (the peer sees a sequence gap).
+    Drop,
+    /// Write the frame twice (the peer must dedup).
+    Duplicate,
+    /// Hold the frame and emit it *after* the next written frame
+    /// (a one-slot reorder).
+    HoldUntilNext,
+    /// Flip a payload byte before writing (the peer's checksum must
+    /// catch it).
+    Corrupt,
+    /// Write only a prefix of the frame, then kill the connection
+    /// (the peer sees a mid-frame EOF).
+    Truncate,
+    /// Write nothing and kill the connection.
+    Kill,
+}
+
+/// The network-boundary fault seam. `sleuth-chaos` provides the
+/// seeded, budgeted implementation; the default is fault-free.
+pub trait WireFaultInjector: Send + Sync {
+    /// Fate of the `counter`-th data frame written to `peer` on the
+    /// current connection.
+    fn frame_fate(&self, peer: usize, counter: u64) -> FrameFate {
+        let _ = (peer, counter);
+        FrameFate::Deliver
+    }
+
+    /// Extra delay to impose before connect attempt `attempt` to
+    /// `peer` (a connect stall).
+    fn connect_delay(&self, peer: usize, attempt: u32) -> Option<Duration> {
+        let _ = (peer, attempt);
+        None
+    }
+}
+
+/// The no-op injector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWireFaults;
+
+impl WireFaultInjector for NoWireFaults {}
+
+enum ReadStage {
+    Header,
+    Payload(FrameHeader),
+}
+
+/// Incremental frame decoder over a blocking reader.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    max_frame_len: u32,
+    buf: Vec<u8>,
+    stage: ReadStage,
+    metrics: Arc<WireMetrics>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Decoder bounding frames at `max_frame_len` payload bytes.
+    pub fn new(inner: R, max_frame_len: u32, metrics: Arc<WireMetrics>) -> Self {
+        FrameReader {
+            inner,
+            max_frame_len,
+            buf: Vec::new(),
+            stage: ReadStage::Header,
+            metrics,
+        }
+    }
+
+    /// Pull bytes until at least `need` are buffered. A timeout
+    /// surfaces as [`WireError::Timeout`] with the partial bytes kept;
+    /// EOF is [`WireError::Closed`] only at a frame boundary with an
+    /// empty buffer, otherwise [`WireError::Truncated`].
+    fn fill_to(&mut self, need: usize) -> Result<(), WireError> {
+        let mut chunk = [0u8; 8192];
+        while self.buf.len() < need {
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(
+                        if self.buf.is_empty() && matches!(self.stage, ReadStage::Header) {
+                            WireError::Closed
+                        } else {
+                            WireError::Truncated {
+                                needed: need,
+                                available: self.buf.len(),
+                            }
+                        },
+                    )
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the next frame. Non-fatal errors (`ChecksumMismatch`,
+    /// `UnknownFrameType`) consume the offending frame, so the caller
+    /// may simply call again; [`WireError::Timeout`] preserves all
+    /// partial state; any other error poisons the stream.
+    ///
+    /// Every rejection is counted in `frames_rejected{reason}` (but
+    /// timeouts and clean closes are not rejections).
+    pub fn read_frame(&mut self) -> Result<Frame, WireError> {
+        let result = self.read_frame_inner();
+        if let Err(err) = &result {
+            if !matches!(err, WireError::Timeout | WireError::Closed) {
+                self.metrics.record_rejected(err.label());
+            }
+        }
+        result
+    }
+
+    fn read_frame_inner(&mut self) -> Result<Frame, WireError> {
+        loop {
+            match self.stage {
+                ReadStage::Header => {
+                    self.fill_to(HEADER_LEN)?;
+                    let mut head = [0u8; HEADER_LEN];
+                    head.copy_from_slice(&self.buf[..HEADER_LEN]);
+                    let header = parse_header(&head, self.max_frame_len)?;
+                    // Only consume the header once it validated: a
+                    // fatal header error leaves the stream poisoned
+                    // anyway, but the bytes stay inspectable.
+                    self.buf.drain(..HEADER_LEN);
+                    self.stage = ReadStage::Payload(header);
+                }
+                ReadStage::Payload(header) => {
+                    let len = header.payload_len as usize;
+                    self.fill_to(len)?;
+                    let payload: Vec<u8> = self.buf.drain(..len).collect();
+                    self.stage = ReadStage::Header;
+                    let frame = decode_frame(&header, &payload)?;
+                    self.metrics.frames_received.inc();
+                    self.metrics.bytes_received.add((HEADER_LEN + len) as u64);
+                    return Ok(frame);
+                }
+            }
+        }
+    }
+}
+
+/// Frame encoder over a blocking writer, with the chaos seam applied
+/// to data frames.
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    version: u16,
+    peer: usize,
+    data_counter: u64,
+    held: Option<Vec<u8>>,
+    dead: bool,
+    injector: Arc<dyn WireFaultInjector>,
+    metrics: Arc<WireMetrics>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Writer stamping `version` into headers, identified as `peer`
+    /// for the injector's keying.
+    pub fn new(
+        inner: W,
+        version: u16,
+        peer: usize,
+        injector: Arc<dyn WireFaultInjector>,
+        metrics: Arc<WireMetrics>,
+    ) -> Self {
+        FrameWriter {
+            inner,
+            version,
+            peer,
+            data_counter: 0,
+            held: None,
+            dead: false,
+            injector,
+            metrics,
+        }
+    }
+
+    /// Update the stamped protocol version (after negotiation).
+    pub fn set_version(&mut self, version: u16) {
+        self.version = version;
+    }
+
+    /// Whether a `Truncate`/`Kill` fate (or an I/O error) has ended
+    /// this connection.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if let Err(e) = self.inner.write_all(bytes).and_then(|_| self.inner.flush()) {
+            self.dead = true;
+            return Err(e.into());
+        }
+        self.metrics.frames_sent.inc();
+        self.metrics.bytes_sent.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Encode and write one frame, applying the injector's fate when
+    /// it is a `Data` frame. Returns `Ok(())` for `Drop` (the loss is
+    /// invisible to the sender, exactly like a lossy network) and
+    /// an error for `Truncate`/`Kill`, which also mark the writer
+    /// dead.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        if self.dead {
+            return Err(WireError::Io(
+                std::io::ErrorKind::NotConnected,
+                "connection already failed".to_string(),
+            ));
+        }
+        let mut bytes = encode_frame(frame, self.version);
+        let fate = if matches!(frame, Frame::Data { .. }) {
+            self.data_counter += 1;
+            self.injector.frame_fate(self.peer, self.data_counter)
+        } else {
+            FrameFate::Deliver
+        };
+        match fate {
+            FrameFate::Deliver => self.write_bytes(&bytes)?,
+            FrameFate::Drop => {}
+            FrameFate::Duplicate => {
+                self.write_bytes(&bytes)?;
+                self.write_bytes(&bytes)?;
+            }
+            FrameFate::HoldUntilNext => {
+                // One-slot reorder: park this frame; it goes out right
+                // after the next write. A second hold while one is
+                // parked delivers immediately (no unbounded holding).
+                if self.held.is_none() {
+                    self.held = Some(bytes);
+                    return Ok(());
+                }
+                self.write_bytes(&bytes)?;
+            }
+            FrameFate::Corrupt => {
+                // Flip a payload byte (or a checksum byte when the
+                // payload is empty) so the receiver's checksum — not
+                // its framing — must catch the damage.
+                let idx = if bytes.len() > HEADER_LEN {
+                    HEADER_LEN + (self.data_counter as usize % (bytes.len() - HEADER_LEN))
+                } else {
+                    HEADER_LEN - 1
+                };
+                bytes[idx] ^= 0x55;
+                self.write_bytes(&bytes)?;
+            }
+            FrameFate::Truncate => {
+                let cut = (bytes.len() / 2).max(1);
+                let _ = self.inner.write_all(&bytes[..cut]);
+                let _ = self.inner.flush();
+                self.dead = true;
+                return Err(WireError::Io(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected frame truncation".to_string(),
+                ));
+            }
+            FrameFate::Kill => {
+                self.dead = true;
+                return Err(WireError::Io(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected connection kill".to_string(),
+                ));
+            }
+        }
+        if let Some(held) = self.held.take() {
+            self.write_bytes(&held)?;
+        }
+        Ok(())
+    }
+
+    /// Flush any frame parked by a `HoldUntilNext` fate (call before
+    /// blocking on a reply).
+    pub fn flush_held(&mut self) -> Result<(), WireError> {
+        if let Some(held) = self.held.take() {
+            self.write_bytes(&held)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Msg;
+    use std::sync::Mutex;
+
+    fn metrics() -> Arc<WireMetrics> {
+        Arc::new(WireMetrics::default())
+    }
+
+    fn tick_frame(seq: u64) -> Frame {
+        Frame::Data {
+            seq,
+            msg: Msg::Tick { now_us: seq },
+        }
+    }
+
+    /// Reader replaying a script: each `Ok` entry is a byte chunk,
+    /// each `Err` a `WouldBlock` timeout; EOF after the script ends.
+    struct ChunkedReader {
+        script: Vec<Result<Vec<u8>, ()>>,
+    }
+
+    impl ChunkedReader {
+        fn new(script: Vec<Result<Vec<u8>, ()>>) -> Self {
+            ChunkedReader { script }
+        }
+
+        fn bytes(chunks: Vec<Vec<u8>>) -> Self {
+            ChunkedReader::new(chunks.into_iter().map(Ok).collect())
+        }
+    }
+
+    impl Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.script.is_empty() {
+                return Ok(0);
+            }
+            match self.script.remove(0) {
+                Err(()) => Err(std::io::ErrorKind::WouldBlock.into()),
+                Ok(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.script.insert(0, Ok(chunk[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reader_survives_timeouts_mid_frame() {
+        let bytes = encode_frame(&tick_frame(1), crate::PROTOCOL_VERSION);
+        let source = ChunkedReader::bytes(vec![bytes[..7].to_vec(), bytes[7..].to_vec()]);
+        let mut reader = FrameReader::new(source, crate::DEFAULT_MAX_FRAME_LEN, metrics());
+        assert_eq!(reader.read_frame().unwrap(), tick_frame(1));
+
+        // A timeout strikes mid-frame, after 7 header bytes arrived:
+        // the partial state is preserved and the next call finishes
+        // decoding the same frame.
+        let source = ChunkedReader::new(vec![
+            Ok(bytes[..7].to_vec()),
+            Err(()),
+            Ok(bytes[7..].to_vec()),
+        ]);
+        let mut reader = FrameReader::new(source, crate::DEFAULT_MAX_FRAME_LEN, metrics());
+        assert_eq!(reader.read_frame(), Err(WireError::Timeout));
+        assert_eq!(reader.read_frame().unwrap(), tick_frame(1));
+    }
+
+    #[test]
+    fn reader_reports_closed_only_at_boundary() {
+        let m = metrics();
+        let mut reader = FrameReader::new(ChunkedReader::bytes(vec![]), 1024, Arc::clone(&m));
+        assert_eq!(reader.read_frame(), Err(WireError::Closed));
+        assert_eq!(m.snapshot().frames_rejected, 0);
+
+        let bytes = encode_frame(&tick_frame(1), crate::PROTOCOL_VERSION);
+        let mut reader = FrameReader::new(
+            ChunkedReader::bytes(vec![bytes[..10].to_vec()]),
+            1024,
+            Arc::clone(&m),
+        );
+        assert!(matches!(
+            reader.read_frame(),
+            Err(WireError::Truncated { .. })
+        ));
+        assert_eq!(m.snapshot().rejected("truncated"), 1);
+    }
+
+    #[test]
+    fn reader_skips_corrupt_frame_and_continues() {
+        let mut first = encode_frame(&tick_frame(1), crate::PROTOCOL_VERSION);
+        let last = first.len() - 1;
+        first[last] ^= 0xff;
+        let second = encode_frame(&tick_frame(2), crate::PROTOCOL_VERSION);
+        let mut stream = first;
+        stream.extend_from_slice(&second);
+        let m = metrics();
+        let mut reader = FrameReader::new(
+            ChunkedReader::bytes(vec![stream]),
+            crate::DEFAULT_MAX_FRAME_LEN,
+            Arc::clone(&m),
+        );
+        let err = reader.read_frame().unwrap_err();
+        assert!(!err.is_stream_fatal());
+        assert_eq!(reader.read_frame().unwrap(), tick_frame(2));
+        assert_eq!(m.snapshot().rejected("checksum_mismatch"), 1);
+        assert_eq!(m.snapshot().frames_received, 1);
+    }
+
+    /// Injector scripting one fate per data-frame counter.
+    struct ScriptedFates(Vec<FrameFate>);
+
+    impl WireFaultInjector for ScriptedFates {
+        fn frame_fate(&self, _peer: usize, counter: u64) -> FrameFate {
+            self.0
+                .get((counter - 1) as usize)
+                .copied()
+                .unwrap_or(FrameFate::Deliver)
+        }
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+        let mut reader = FrameReader::new(
+            ChunkedReader::bytes(vec![bytes.to_vec()]),
+            crate::DEFAULT_MAX_FRAME_LEN,
+            metrics(),
+        );
+        let mut out = Vec::new();
+        loop {
+            match reader.read_frame() {
+                Ok(f) => out.push(f),
+                Err(WireError::Closed) => break,
+                Err(e) if !e.is_stream_fatal() => continue,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        out
+    }
+
+    /// Shared sink so the writer and the test can both see the bytes.
+    #[derive(Clone, Default)]
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writer_fates_shape_the_stream() {
+        let sink = SharedSink::default();
+        let injector = Arc::new(ScriptedFates(vec![
+            FrameFate::Deliver,
+            FrameFate::Drop,
+            FrameFate::Duplicate,
+            FrameFate::HoldUntilNext,
+            FrameFate::Deliver,
+            FrameFate::Corrupt,
+        ]));
+        let mut writer = FrameWriter::new(
+            sink.clone(),
+            crate::PROTOCOL_VERSION,
+            0,
+            injector,
+            metrics(),
+        );
+        for seq in 1..=6u64 {
+            writer.send(&tick_frame(seq)).unwrap();
+        }
+        let frames = decode_all(&sink.0.lock().unwrap());
+        // 1 delivered; 2 dropped; 3 twice; 4 held then released after
+        // 5; 6 corrupted (skipped by the reader).
+        let seqs: Vec<u64> = frames
+            .iter()
+            .map(|f| match f {
+                Frame::Data { seq, .. } => *seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 3, 3, 5, 4]);
+    }
+
+    #[test]
+    fn control_frames_are_exempt_from_fates() {
+        let sink = SharedSink::default();
+        // Every data frame dies, but control frames still go through.
+        struct AlwaysKill;
+        impl WireFaultInjector for AlwaysKill {
+            fn frame_fate(&self, _: usize, _: u64) -> FrameFate {
+                FrameFate::Kill
+            }
+        }
+        let mut writer = FrameWriter::new(
+            sink.clone(),
+            crate::PROTOCOL_VERSION,
+            0,
+            Arc::new(AlwaysKill),
+            metrics(),
+        );
+        writer.send(&Frame::Ack { upto: 3 }).unwrap();
+        assert!(!writer.is_dead());
+        let err = writer.send(&tick_frame(1)).unwrap_err();
+        assert!(err.is_stream_fatal());
+        assert!(writer.is_dead());
+        // After death every send fails.
+        assert!(writer.send(&Frame::Ack { upto: 4 }).is_err());
+        let frames = decode_all(&sink.0.lock().unwrap());
+        assert_eq!(frames, vec![Frame::Ack { upto: 3 }]);
+    }
+
+    #[test]
+    fn truncate_fate_writes_prefix_then_dies() {
+        let sink = SharedSink::default();
+        let mut writer = FrameWriter::new(
+            sink.clone(),
+            crate::PROTOCOL_VERSION,
+            0,
+            Arc::new(ScriptedFates(vec![FrameFate::Truncate])),
+            metrics(),
+        );
+        assert!(writer.send(&tick_frame(1)).is_err());
+        let written = sink.0.lock().unwrap().clone();
+        let full = encode_frame(&tick_frame(1), crate::PROTOCOL_VERSION);
+        assert!(!written.is_empty() && written.len() < full.len());
+        assert_eq!(written[..], full[..written.len()]);
+    }
+}

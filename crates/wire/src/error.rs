@@ -1,0 +1,228 @@
+//! Structured wire-protocol errors.
+//!
+//! Every way a peer can misbehave — wrong magic, an unsupported
+//! protocol version, a frame larger than the negotiated bound, a
+//! truncated stream, a checksum mismatch — maps to a distinct
+//! [`WireError`] variant. Decoding untrusted bytes never panics; it
+//! returns one of these. The key split is
+//! [`WireError::is_stream_fatal`]: a checksum mismatch (or a frame
+//! type from a newer protocol) leaves the stream *framing* intact, so
+//! the receiver can skip the frame, count it, and keep reading; every
+//! other error means the byte stream can no longer be trusted and the
+//! connection must be torn down and re-established.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// A read or write timed out (`WouldBlock`/`TimedOut`). The
+    /// decoder's partial state is preserved; retry the call.
+    Timeout,
+    /// Underlying I/O failure (kind + display form).
+    Io(io::ErrorKind, String),
+    /// The first four bytes of a header were not [`crate::MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is outside the range this build
+    /// speaks.
+    UnsupportedVersion {
+        /// Version carried by the offending frame.
+        got: u16,
+        /// Lowest version this build accepts.
+        min: u16,
+        /// Highest version this build accepts.
+        max: u16,
+    },
+    /// The header declared a payload larger than the configured bound.
+    /// Detected *before* any payload allocation.
+    Oversized {
+        /// Declared payload length.
+        declared: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// The stream ended (or the payload ran out) before a complete
+    /// value was read.
+    Truncated {
+        /// Bytes still required.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload checksum did not match the header. Framing is
+    /// intact: the bad frame was fully consumed and the stream can
+    /// continue.
+    ChecksumMismatch {
+        /// Checksum the header declared.
+        expected: u64,
+        /// Checksum computed over the received payload.
+        actual: u64,
+    },
+    /// A frame type this build does not know. The payload was
+    /// consumed, so the stream can continue (forward compatibility).
+    UnknownFrameType(u8),
+    /// A payload decoded cleanly but left unread bytes behind.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        unread: usize,
+    },
+    /// A payload field held an invalid value (bad UTF-8, unknown
+    /// enum tag, …).
+    InvalidPayload(&'static str),
+    /// The first frame on a connection was not `Hello`.
+    HandshakeRequired,
+    /// The unacked-frame buffer hit its bound; the peer is not acking.
+    ResendOverflow {
+        /// Configured buffer capacity.
+        cap: usize,
+    },
+    /// A peer was declared dead after exhausting reconnect attempts.
+    PeerDead {
+        /// Index of the dead peer.
+        peer: usize,
+    },
+    /// The serving configuration failed validation.
+    Config(String),
+    /// A protocol-state violation (frame legal but unexpected here).
+    Protocol(&'static str),
+}
+
+impl WireError {
+    /// Whether this error poisons the byte stream. Non-fatal errors
+    /// (`ChecksumMismatch`, `UnknownFrameType`) consumed exactly one
+    /// whole frame, so the reader may continue; fatal ones require
+    /// closing the connection and reconnecting.
+    pub fn is_stream_fatal(&self) -> bool {
+        !matches!(
+            self,
+            WireError::ChecksumMismatch { .. } | WireError::UnknownFrameType(_)
+        )
+    }
+
+    /// Stable label for the `frames_rejected{reason=…}` metric series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireError::Closed => "closed",
+            WireError::Timeout => "timeout",
+            WireError::Io(..) => "io",
+            WireError::BadMagic(_) => "bad_magic",
+            WireError::UnsupportedVersion { .. } => "unsupported_version",
+            WireError::Oversized { .. } => "oversized",
+            WireError::Truncated { .. } => "truncated",
+            WireError::ChecksumMismatch { .. } => "checksum_mismatch",
+            WireError::UnknownFrameType(_) => "unknown_frame_type",
+            WireError::TrailingBytes { .. } => "trailing_bytes",
+            WireError::InvalidPayload(_) => "invalid_payload",
+            WireError::HandshakeRequired => "handshake_required",
+            WireError::ResendOverflow { .. } => "resend_overflow",
+            WireError::PeerDead { .. } => "peer_dead",
+            WireError::Config(_) => "config",
+            WireError::Protocol(_) => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Timeout => write!(f, "read timed out"),
+            WireError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
+            WireError::BadMagic(m) => write!(f, "bad magic bytes {m:02x?}"),
+            WireError::UnsupportedVersion { got, min, max } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (speak {min}..={max})"
+                )
+            }
+            WireError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} payload bytes, max is {max}")
+            }
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated: needed {needed} bytes, had {available}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#x}, payload {actual:#x}"
+                )
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::TrailingBytes { unread } => {
+                write!(f, "payload decoded with {unread} trailing bytes")
+            }
+            WireError::InvalidPayload(what) => write!(f, "invalid payload: {what}"),
+            WireError::HandshakeRequired => write!(f, "first frame was not Hello"),
+            WireError::ResendOverflow { cap } => {
+                write!(f, "unacked buffer overflow (cap {cap}); peer not acking")
+            }
+            WireError::PeerDead { peer } => write!(f, "peer {peer} is dead"),
+            WireError::Config(msg) => write!(f, "invalid serve config: {msg}"),
+            WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(err: io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::Timeout,
+            kind => WireError::Io(kind, err.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_and_unknown_type_are_recoverable() {
+        assert!(!WireError::ChecksumMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .is_stream_fatal());
+        assert!(!WireError::UnknownFrameType(99).is_stream_fatal());
+        assert!(WireError::BadMagic([0; 4]).is_stream_fatal());
+        assert!(WireError::Truncated {
+            needed: 4,
+            available: 0
+        }
+        .is_stream_fatal());
+        assert!(WireError::Oversized {
+            declared: 1,
+            max: 0
+        }
+        .is_stream_fatal());
+    }
+
+    #[test]
+    fn io_timeouts_map_to_timeout() {
+        let e: WireError = io::Error::from(io::ErrorKind::WouldBlock).into();
+        assert_eq!(e, WireError::Timeout);
+        let e: WireError = io::Error::from(io::ErrorKind::TimedOut).into();
+        assert_eq!(e, WireError::Timeout);
+        let e: WireError = io::Error::from(io::ErrorKind::BrokenPipe).into();
+        assert!(matches!(e, WireError::Io(io::ErrorKind::BrokenPipe, _)));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            WireError::ChecksumMismatch {
+                expected: 0,
+                actual: 1
+            }
+            .label(),
+            "checksum_mismatch"
+        );
+        assert_eq!(WireError::BadMagic([0; 4]).label(), "bad_magic");
+        assert_eq!(WireError::UnknownFrameType(7).label(), "unknown_frame_type");
+    }
+}

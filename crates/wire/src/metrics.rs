@@ -1,0 +1,184 @@
+//! Wire-level metrics: frame/byte counters, rejected-frame reasons,
+//! reliability-layer activity, and peer health.
+//!
+//! Shared via `Arc` between a router (or shard server), its reader
+//! threads, and its frame writers. Rejected frames are counted both in
+//! total and per [`crate::WireError::label`] reason, satisfying the
+//! "malformed frames are rejected with typed errors *and counted in
+//! metrics*" gate.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use sleuth_serve::{lock_or_recover, Counter};
+
+/// Live wire metrics (atomic counters, lock only on the label map).
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    /// Frames written to a socket (after fault fates; a dropped frame
+    /// is not counted here).
+    pub frames_sent: Counter,
+    /// Frames decoded successfully.
+    pub frames_received: Counter,
+    /// Frames replayed by the reliability layer (nack or ack stall).
+    pub frames_resent: Counter,
+    /// Bytes written.
+    pub bytes_sent: Counter,
+    /// Bytes consumed by successful decodes.
+    pub bytes_received: Counter,
+    /// Frames rejected by the decoder (any [`crate::WireError`]).
+    pub frames_rejected: Counter,
+    /// Duplicate `Data` frames dropped by receive-side dedup.
+    pub duplicates_dropped: Counter,
+    /// Out-of-order frames parked and later delivered in order.
+    pub reorders_healed: Counter,
+    /// `Nack` frames sent.
+    pub nacks_sent: Counter,
+    /// `Ack` frames sent.
+    pub acks_sent: Counter,
+    /// Successful reconnects to a peer.
+    pub reconnects: Counter,
+    /// Reconnects that resumed an existing session.
+    pub sessions_resumed: Counter,
+    /// Peers declared dead after exhausting reconnect attempts.
+    pub peer_deaths: Counter,
+    /// Spans routed to a live shard connection.
+    pub spans_routed: Counter,
+    /// Spans bound for a dead peer (counted rejected; degraded
+    /// verdicts are emitted for their traces).
+    pub spans_unroutable: Counter,
+    /// Degraded verdicts synthesized by the router for unreachable
+    /// shards.
+    pub degraded_unroutable: Counter,
+    rejected_by_reason: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl WireMetrics {
+    /// Count one rejected frame under `reason` (a
+    /// [`crate::WireError::label`] value).
+    pub fn record_rejected(&self, reason: &'static str) {
+        self.frames_rejected.inc();
+        *lock_or_recover(&self.rejected_by_reason, None)
+            .entry(reason)
+            .or_insert(0) += 1;
+    }
+
+    /// Freeze every counter.
+    pub fn snapshot(&self) -> WireMetricsSnapshot {
+        WireMetricsSnapshot {
+            frames_sent: self.frames_sent.get(),
+            frames_received: self.frames_received.get(),
+            frames_resent: self.frames_resent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            frames_rejected: self.frames_rejected.get(),
+            duplicates_dropped: self.duplicates_dropped.get(),
+            reorders_healed: self.reorders_healed.get(),
+            nacks_sent: self.nacks_sent.get(),
+            acks_sent: self.acks_sent.get(),
+            reconnects: self.reconnects.get(),
+            sessions_resumed: self.sessions_resumed.get(),
+            peer_deaths: self.peer_deaths.get(),
+            spans_routed: self.spans_routed.get(),
+            spans_unroutable: self.spans_unroutable.get(),
+            degraded_unroutable: self.degraded_unroutable.get(),
+            rejected_by_reason: lock_or_recover(&self.rejected_by_reason, None)
+                .iter()
+                .map(|(&r, &n)| (r.to_string(), n))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen wire metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetricsSnapshot {
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    pub frames_resent: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub frames_rejected: u64,
+    pub duplicates_dropped: u64,
+    pub reorders_healed: u64,
+    pub nacks_sent: u64,
+    pub acks_sent: u64,
+    pub reconnects: u64,
+    pub sessions_resumed: u64,
+    pub peer_deaths: u64,
+    pub spans_routed: u64,
+    pub spans_unroutable: u64,
+    pub degraded_unroutable: u64,
+    /// Rejected frames per reason, ascending by reason label.
+    pub rejected_by_reason: Vec<(String, u64)>,
+}
+
+impl WireMetricsSnapshot {
+    /// Rejected-frame count for one reason label.
+    pub fn rejected(&self, reason: &str) -> u64 {
+        self.rejected_by_reason
+            .iter()
+            .find(|(r, _)| r == reason)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Prometheus-style exposition text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in [
+            ("sleuth_wire_frames_sent_total", self.frames_sent),
+            ("sleuth_wire_frames_received_total", self.frames_received),
+            ("sleuth_wire_frames_resent_total", self.frames_resent),
+            ("sleuth_wire_bytes_sent_total", self.bytes_sent),
+            ("sleuth_wire_bytes_received_total", self.bytes_received),
+            ("sleuth_wire_frames_rejected_total", self.frames_rejected),
+            (
+                "sleuth_wire_duplicates_dropped_total",
+                self.duplicates_dropped,
+            ),
+            ("sleuth_wire_reorders_healed_total", self.reorders_healed),
+            ("sleuth_wire_nacks_sent_total", self.nacks_sent),
+            ("sleuth_wire_acks_sent_total", self.acks_sent),
+            ("sleuth_wire_reconnects_total", self.reconnects),
+            ("sleuth_wire_sessions_resumed_total", self.sessions_resumed),
+            ("sleuth_wire_peer_deaths_total", self.peer_deaths),
+            ("sleuth_wire_spans_routed_total", self.spans_routed),
+            ("sleuth_wire_spans_unroutable_total", self.spans_unroutable),
+            (
+                "sleuth_wire_degraded_unroutable_total",
+                self.degraded_unroutable,
+            ),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (reason, count) in &self.rejected_by_reason {
+            out.push_str(&format!(
+                "sleuth_wire_frames_rejected_total{{reason=\"{reason}\"}} {count}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejected_reasons_accumulate_and_render() {
+        let m = WireMetrics::default();
+        m.record_rejected("checksum_mismatch");
+        m.record_rejected("checksum_mismatch");
+        m.record_rejected("bad_magic");
+        m.frames_sent.add(10);
+        let s = m.snapshot();
+        assert_eq!(s.frames_rejected, 3);
+        assert_eq!(s.rejected("checksum_mismatch"), 2);
+        assert_eq!(s.rejected("bad_magic"), 1);
+        assert_eq!(s.rejected("oversized"), 0);
+        let text = s.render_text();
+        assert!(text.contains("sleuth_wire_frames_sent_total 10"));
+        assert!(text.contains("sleuth_wire_frames_rejected_total{reason=\"checksum_mismatch\"} 2"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Reliable, exactly-once delivery of `Data` frames over a lossy
+//! transport.
+//!
+//! The chaos layer can drop, duplicate, reorder, and corrupt frames;
+//! the fault-transparency gate demands that the verdict stream still
+//! comes out *identical* to a fault-free run. That forces a small
+//! ARQ protocol on top of the raw frame codec:
+//!
+//! * Every application message gets a per-session sequence number
+//!   ([`SendChannel::stage`]) and is retained until cumulatively
+//!   acknowledged ([`SendChannel::ack`]).
+//! * The receiver ([`RecvChannel::accept`]) delivers messages in
+//!   sequence order exactly once: duplicates are dropped, early
+//!   frames are parked in a bounded reorder buffer, and a gap
+//!   triggers a `Nack { expected }` so the sender can resend.
+//! * Either side can replay its unacked tail at any time (reconnect,
+//!   ack stall); replays are harmless because the receiver dedups.
+//!
+//! Sessions survive reconnects: the channels live with the logical
+//! peer, not the socket, and a `Hello { resume: true }` reattaches
+//! them.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::error::WireError;
+use crate::frame::{Frame, Msg};
+
+/// Sender half: assigns sequence numbers and retains unacked messages
+/// for replay.
+#[derive(Debug)]
+pub struct SendChannel {
+    next_seq: u64,
+    unacked: VecDeque<(u64, Msg)>,
+    cap: usize,
+}
+
+impl SendChannel {
+    /// Channel retaining at most `cap` unacked messages.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "send channel capacity must be positive");
+        SendChannel {
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Assign the next sequence number to `msg` and retain it for
+    /// replay. Fails with [`WireError::ResendOverflow`] when the peer
+    /// has stopped acking and the retention buffer is full.
+    pub fn stage(&mut self, msg: Msg) -> Result<Frame, WireError> {
+        if self.unacked.len() >= self.cap {
+            return Err(WireError::ResendOverflow { cap: self.cap });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back((seq, msg.clone()));
+        Ok(Frame::Data { seq, msg })
+    }
+
+    /// Apply a cumulative ack: forget everything with `seq <= upto`.
+    /// Returns whether any message was newly acknowledged.
+    pub fn ack(&mut self, upto: u64) -> bool {
+        let before = self.unacked.len();
+        while matches!(self.unacked.front(), Some((seq, _)) if *seq <= upto) {
+            self.unacked.pop_front();
+        }
+        self.unacked.len() != before
+    }
+
+    /// Frames to replay from `seq` onward (for a `Nack`).
+    pub fn resend_from(&self, seq: u64) -> Vec<Frame> {
+        self.unacked
+            .iter()
+            .filter(|(s, _)| *s >= seq)
+            .map(|(s, m)| Frame::Data {
+                seq: *s,
+                msg: m.clone(),
+            })
+            .collect()
+    }
+
+    /// Every unacked frame, oldest first (reconnect / ack-stall replay).
+    pub fn unacked_frames(&self) -> Vec<Frame> {
+        self.resend_from(0)
+    }
+
+    /// Unacked messages currently retained.
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Oldest unacked sequence number (`None` when fully acked).
+    /// Watching this stand still is how senders detect an ack stall
+    /// (e.g. the frame carrying it was dropped) and trigger a resend.
+    pub fn first_unacked(&self) -> Option<u64> {
+        self.unacked.front().map(|(seq, _)| *seq)
+    }
+
+    /// Sequence number the next staged message will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// What [`RecvChannel::accept`] decided about one incoming frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvOutcome {
+    /// In-order delivery: these messages (the new one plus any parked
+    /// successors it unblocked) are now delivered, in sequence order.
+    Deliver(Vec<Msg>),
+    /// Already delivered; dropped. Re-ack so the sender stops
+    /// replaying it.
+    Duplicate,
+    /// Out of order: the frame was parked (or dropped on overflow) and
+    /// the sender should resend from `expected`.
+    Gap {
+        /// First sequence number not yet received.
+        expected: u64,
+        /// Whether the reorder buffer overflowed and the frame was
+        /// dropped rather than parked (a later resend recovers it).
+        overflow: bool,
+    },
+}
+
+/// Receiver half: in-order, exactly-once delivery with a bounded
+/// reorder buffer.
+#[derive(Debug)]
+pub struct RecvChannel {
+    expected: u64,
+    pending: BTreeMap<u64, Msg>,
+    cap: usize,
+}
+
+impl RecvChannel {
+    /// Channel parking at most `cap` out-of-order messages.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "recv channel capacity must be positive");
+        RecvChannel {
+            expected: 1,
+            pending: BTreeMap::new(),
+            cap,
+        }
+    }
+
+    /// Classify one incoming `Data` frame.
+    pub fn accept(&mut self, seq: u64, msg: Msg) -> RecvOutcome {
+        if seq < self.expected || self.pending.contains_key(&seq) {
+            return RecvOutcome::Duplicate;
+        }
+        if seq > self.expected {
+            let overflow = self.pending.len() >= self.cap;
+            if !overflow {
+                self.pending.insert(seq, msg);
+            }
+            return RecvOutcome::Gap {
+                expected: self.expected,
+                overflow,
+            };
+        }
+        // seq == expected: deliver it plus any contiguous parked run.
+        let mut out = vec![msg];
+        self.expected += 1;
+        while let Some(next) = self.pending.remove(&self.expected) {
+            out.push(next);
+            self.expected += 1;
+        }
+        RecvOutcome::Deliver(out)
+    }
+
+    /// Cumulative ack level: the highest sequence number delivered
+    /// in order (`None` before anything arrived).
+    pub fn ack_level(&self) -> Option<u64> {
+        if self.expected > 1 {
+            Some(self.expected - 1)
+        } else {
+            None
+        }
+    }
+
+    /// First sequence number not yet received.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(n: u64) -> Msg {
+        Msg::Tick { now_us: n }
+    }
+
+    fn seq_of(frame: &Frame) -> u64 {
+        match frame {
+            Frame::Data { seq, .. } => *seq,
+            other => panic!("not a data frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_order_delivery_and_acks() {
+        let mut tx = SendChannel::new(8);
+        let mut rx = RecvChannel::new(8);
+        for i in 1..=3u64 {
+            let frame = tx.stage(tick(i)).unwrap();
+            assert_eq!(seq_of(&frame), i);
+            assert_eq!(rx.accept(i, tick(i)), RecvOutcome::Deliver(vec![tick(i)]));
+        }
+        assert_eq!(rx.ack_level(), Some(3));
+        assert!(tx.ack(3));
+        assert_eq!(tx.unacked_len(), 0);
+        assert!(!tx.ack(3)); // idempotent
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut rx = RecvChannel::new(8);
+        assert!(matches!(rx.accept(1, tick(1)), RecvOutcome::Deliver(_)));
+        assert_eq!(rx.accept(1, tick(1)), RecvOutcome::Duplicate);
+        // A parked out-of-order frame also dedups.
+        assert!(matches!(rx.accept(3, tick(3)), RecvOutcome::Gap { .. }));
+        assert_eq!(rx.accept(3, tick(3)), RecvOutcome::Duplicate);
+    }
+
+    #[test]
+    fn reorder_buffer_heals_gaps() {
+        let mut rx = RecvChannel::new(8);
+        assert_eq!(
+            rx.accept(2, tick(2)),
+            RecvOutcome::Gap {
+                expected: 1,
+                overflow: false
+            }
+        );
+        assert_eq!(
+            rx.accept(1, tick(1)),
+            RecvOutcome::Deliver(vec![tick(1), tick(2)])
+        );
+        assert_eq!(rx.expected(), 3);
+    }
+
+    #[test]
+    fn reorder_overflow_drops_but_recovers_via_resend() {
+        let mut rx = RecvChannel::new(2);
+        for seq in [3, 4] {
+            assert!(matches!(
+                rx.accept(seq, tick(seq)),
+                RecvOutcome::Gap {
+                    overflow: false,
+                    ..
+                }
+            ));
+        }
+        assert_eq!(
+            rx.accept(5, tick(5)),
+            RecvOutcome::Gap {
+                expected: 1,
+                overflow: true
+            }
+        );
+        // Sender resends from 1; 5 arrives again later and delivers.
+        assert!(matches!(rx.accept(1, tick(1)), RecvOutcome::Deliver(_)));
+        assert!(matches!(rx.accept(2, tick(2)), RecvOutcome::Deliver(_)));
+        assert_eq!(rx.accept(5, tick(5)), RecvOutcome::Deliver(vec![tick(5)]));
+    }
+
+    #[test]
+    fn resend_from_and_unacked_replay() {
+        let mut tx = SendChannel::new(8);
+        for i in 1..=4u64 {
+            tx.stage(tick(i)).unwrap();
+        }
+        tx.ack(2);
+        let replay = tx.unacked_frames();
+        assert_eq!(replay.iter().map(seq_of).collect::<Vec<_>>(), vec![3, 4]);
+        let partial = tx.resend_from(4);
+        assert_eq!(partial.iter().map(seq_of).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn stage_overflow_is_an_error() {
+        let mut tx = SendChannel::new(2);
+        tx.stage(tick(1)).unwrap();
+        tx.stage(tick(2)).unwrap();
+        assert_eq!(tx.stage(tick(3)), Err(WireError::ResendOverflow { cap: 2 }));
+        tx.ack(1);
+        assert!(tx.stage(tick(3)).is_ok());
+        // A failed stage burns no sequence number — otherwise the
+        // receiver would wait forever on a seq that never ships.
+        assert_eq!(tx.next_seq(), 4);
+    }
+
+    #[test]
+    fn ack_level_is_none_before_first_delivery() {
+        let rx = RecvChannel::new(4);
+        assert_eq!(rx.ack_level(), None);
+    }
+}

@@ -69,3 +69,47 @@ for name, b in benches.items():
     print(f"  {name:20s} seq={b['sequential_median_us']}us "
           f"par={b['parallel_median_us']}us speedup={b['speedup']}x")
 EOF
+
+# ---- Wire-protocol loopback benchmark -> BENCH_wire.json ------------
+WIRE_OUT=BENCH_wire.json
+echo "==> cargo bench wire_loopback (frame codec + loopback serving)" >&2
+WIRE_LINES=$(cargo bench --offline -p bench --bench wire_loopback 2>/dev/null \
+    | grep '^WIRE_BENCH ')
+
+WIRE="$WIRE_LINES" OUT="$WIRE_OUT" python3 - <<'EOF'
+import json, os
+
+benches = {}
+payload_bytes = None
+for line in os.environ["WIRE"].strip().splitlines():
+    kv = dict(f.split("=", 1) for f in line.split()[1:])
+    name = kv["bench"]
+    if name == "frame_bytes":
+        payload_bytes = int(kv["payload_bytes"])
+        continue
+    frames, spans, us = int(kv["frames"]), int(kv["spans"]), int(kv["median_us"])
+    benches[name] = {
+        "frames": frames,
+        "spans": spans,
+        "median_us": us,
+        "frames_per_sec": round(frames / (us / 1e6)) if us else None,
+        "spans_per_sec": round(spans / (us / 1e6)) if us else None,
+        "ns_per_span": round(us * 1000 / spans, 1) if spans else None,
+        "samples": int(kv["samples"]),
+    }
+result = {
+    "note": "loopback benches run real shard servers over Unix-domain "
+            "sockets and include RCA latency; frame_encode/frame_decode "
+            "isolate the codec",
+    "encoded_payload_bytes": payload_bytes,
+    "benches": benches,
+}
+path = os.environ["OUT"]
+with open(path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+for name, b in benches.items():
+    print(f"  {name:20s} median={b['median_us']}us "
+          f"frames/s={b['frames_per_sec']} ns/span={b['ns_per_span']}")
+EOF

@@ -3,9 +3,11 @@
 #
 #   scripts/tier1.sh
 #
-# Runs the release build, the full test suite, and (for the crates
-# added or reworked after the seed: serve, par, cluster, chaos)
-# formatting and lint gates.
+# Runs the release build, the full test suite, a multi-process
+# loopback smoke test (router + two real shard-server processes over
+# Unix-domain sockets), and (for the crates added or reworked after
+# the seed: serve, par, cluster, chaos, wire) formatting and lint
+# gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,13 +26,76 @@ cargo test -q --offline -p sleuth-chaos
 echo "==> cargo test --test chaos_serving (chaos serving integration)"
 cargo test -q --offline --test chaos_serving
 
-echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos)"
-cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos
+echo "==> cargo test -p sleuth-wire (wire protocol + router/server)"
+cargo test -q --offline -p sleuth-wire
 
-echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos)"
-cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos --all-targets -- -D warnings
+echo "==> cargo test --test wire_serving (multi-process serving integration)"
+cargo test -q --offline --test wire_serving
 
-echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster, sleuth-chaos)"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster -p sleuth-chaos
+# ---- Multi-process loopback smoke -----------------------------------
+# Real processes: two sleuth-shardd children behind Unix-domain
+# sockets, driven by sleuth-routerd. Pass = router exits 0 (span
+# conservation balanced across processes), both shards exit 0, and no
+# orphan process survives.
+echo "==> loopback smoke: sleuth-routerd + 2x sleuth-shardd over UDS"
+SMOKE_DIR=$(mktemp -d)
+SHARD_PIDS=()
+cleanup_smoke() {
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+
+for i in 0 1; do
+    target/release/sleuth-shardd \
+        --addr "unix:$SMOKE_DIR/shard$i.sock" --shard-id "$i" \
+        >"$SMOKE_DIR/shardd$i.log" 2>&1 &
+    SHARD_PIDS+=($!)
+done
+if ! timeout 120 target/release/sleuth-routerd \
+    --shard "unix:$SMOKE_DIR/shard0.sock" --shard "unix:$SMOKE_DIR/shard1.sock" \
+    --traces 48 --anomalies 6 >"$SMOKE_DIR/routerd.log" 2>&1; then
+    echo "loopback smoke: router failed" >&2
+    cat "$SMOKE_DIR"/routerd.log "$SMOKE_DIR"/shardd*.log >&2
+    exit 1
+fi
+grep -q '^ROUTER_CONSERVATION ok$' "$SMOKE_DIR/routerd.log" || {
+    echo "loopback smoke: conservation line missing" >&2
+    cat "$SMOKE_DIR/routerd.log" >&2
+    exit 1
+}
+SMOKE_FAIL=0
+for i in 0 1; do
+    pid=${SHARD_PIDS[$i]}
+    # The shards should already be exiting; give them a bounded grace
+    # period before declaring them orphaned.
+    for _ in $(seq 1 250); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.02
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "loopback smoke: shard $i (pid $pid) orphaned after shutdown" >&2
+        SMOKE_FAIL=1
+    elif ! wait "$pid"; then
+        echo "loopback smoke: shard $i exited non-zero" >&2
+        cat "$SMOKE_DIR/shardd$i.log" >&2
+        SMOKE_FAIL=1
+    fi
+done
+[ "$SMOKE_FAIL" -eq 0 ] || exit 1
+SHARD_PIDS=()
+grep '^ROUTER_' "$SMOKE_DIR/routerd.log" | sed 's/^/    /'
+echo "loopback smoke: OK"
+
+echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
+cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire
+
+echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
+cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire
 
 echo "tier-1: OK"

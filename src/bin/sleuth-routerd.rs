@@ -1,0 +1,237 @@
+//! `sleuth-routerd`: the front-end router process.
+//!
+//! Connects to every `--shard` endpoint, drives traffic through the
+//! fleet — either a deterministic synthetic workload (default) or
+//! OTLP-JSON spans piped to stdin with `--stdin-otlp` — then shuts
+//! the shards down cleanly and prints the merged accounting:
+//!
+//! ```text
+//! sleuth-routerd --shard unix:/tmp/shard0.sock --shard unix:/tmp/shard1.sock \
+//!     --traces 64 --anomalies 8
+//! ```
+//!
+//! Exit status is the audit: 0 only when merged span conservation
+//! balances across processes (`ROUTER_CONSERVATION ok`) and every
+//! routed span is accounted for; 1 when the books don't balance;
+//! 2 on usage or connection errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use sleuth::serve::Verdict;
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::trace::formats::from_otel_json;
+use sleuth::trace::Span;
+use sleuth::wire::{Endpoint, RouterClient, RouterConfig};
+
+const USAGE: &str = "usage: sleuth-routerd --shard ENDPOINT [--shard ENDPOINT ...] [options]
+
+options:
+  --shard ENDPOINT   shard server to route to (repeat; order = shard index)
+  --traces N         synthetic traces to submit (default 64)
+  --anomalies N      anomalous traces among them (default 8)
+  --seed N           synthetic corpus seed (default 5)
+  --rpcs N           synthetic application size in RPC kinds (default 12)
+  --stdin-otlp       read OTLP-JSON spans from stdin instead of synthesizing
+  --connect-retries N  dial attempts per shard before declaring it dead (default 100)
+  --verdicts         print one VERDICT line per verdict";
+
+struct Args {
+    shards: Vec<Endpoint>,
+    traces: usize,
+    anomalies: usize,
+    seed: u64,
+    rpcs: usize,
+    stdin_otlp: bool,
+    connect_retries: u32,
+    print_verdicts: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: Vec::new(),
+        traces: 64,
+        anomalies: 8,
+        seed: 5,
+        rpcs: 12,
+        stdin_otlp: false,
+        connect_retries: 100,
+        print_verdicts: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--shard" => args
+                .shards
+                .push(Endpoint::parse(&value("--shard")?).map_err(|e| e.to_string())?),
+            "--traces" => args.traces = parse_num(&value("--traces")?, "--traces")?,
+            "--anomalies" => args.anomalies = parse_num(&value("--anomalies")?, "--anomalies")?,
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--rpcs" => args.rpcs = parse_num(&value("--rpcs")?, "--rpcs")?,
+            "--stdin-otlp" => args.stdin_otlp = true,
+            "--connect-retries" => {
+                args.connect_retries = parse_num(&value("--connect-retries")?, "--connect-retries")?
+            }
+            "--verdicts" => args.print_verdicts = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.shards.is_empty() {
+        return Err(format!("at least one --shard is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: not a number: {s}"))
+}
+
+/// Batches of spans to submit, one batch per trace.
+fn load_workload(args: &Args) -> Result<Vec<Vec<Span>>, String> {
+    if args.stdin_otlp {
+        let mut json = String::new();
+        std::io::stdin()
+            .read_to_string(&mut json)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        let spans = from_otel_json(&json).map_err(|e| format!("parsing OTLP JSON: {e:?}"))?;
+        if spans.is_empty() {
+            return Err("stdin carried no spans".to_string());
+        }
+        // One batch per trace keeps arrival grouped the way the
+        // synthetic path does; routing is per-span either way.
+        let mut by_trace: std::collections::BTreeMap<u64, Vec<Span>> =
+            std::collections::BTreeMap::new();
+        for span in spans {
+            by_trace.entry(span.trace_id).or_default().push(span);
+        }
+        Ok(by_trace.into_values().collect())
+    } else {
+        let app = presets::synthetic(args.rpcs, 1);
+        Ok(CorpusBuilder::new(&app)
+            .seed(args.seed)
+            .mixed_traces(args.traces, args.anomalies)
+            .traces
+            .into_iter()
+            .map(|t| t.trace.spans().to_vec())
+            .collect())
+    }
+}
+
+fn print_verdict(v: &Verdict) {
+    println!(
+        "VERDICT trace={} services={:?} cluster={:?} version={} degraded={}",
+        v.trace_id, v.services, v.cluster, v.model_version.0, v.degraded
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let batches = match load_workload(&args) {
+        Ok(batches) => batches,
+        Err(msg) => {
+            eprintln!("sleuth-routerd: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut config = RouterConfig::new(args.shards.clone());
+    config.reconnect_attempts = args.connect_retries;
+    let mut router = match RouterClient::connect(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("sleuth-routerd: connect: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "ROUTER_READY shards={} dead={:?}",
+        router.num_shards(),
+        router.dead_peers()
+    );
+
+    let total_spans: usize = batches.iter().map(Vec::len).sum();
+    let mut clock = 0u64;
+    let mut submitted = 0usize;
+    for batch in batches {
+        clock += 1_000;
+        submitted += batch.len();
+        router.submit_batch(batch, clock);
+    }
+    // One tick far past the idle timeout finalizes every open trace.
+    router.tick(clock + 10_000_000);
+
+    let report = router.shutdown();
+    if args.print_verdicts {
+        for v in &report.verdicts {
+            print_verdict(v);
+        }
+    }
+
+    let m = &report.metrics;
+    let conserved = m.spans_submitted
+        == m.spans_stored
+            + m.spans_rejected
+            + m.spans_shed
+            + m.spans_evicted
+            + m.spans_deduped
+            + m.spans_quarantined;
+    let routed_accounted =
+        report.wire.spans_routed + report.wire.spans_unroutable == total_spans as u64;
+    let degraded = report.verdicts.iter().filter(|v| v.degraded).count();
+    println!(
+        "ROUTER_VERDICTS total={} degraded={} quarantined={}",
+        report.verdicts.len(),
+        degraded,
+        report.quarantined.len()
+    );
+    println!(
+        "ROUTER_SPANS submitted_batches={} routed={} unroutable={} shard_submitted={}",
+        submitted, report.wire.spans_routed, report.wire.spans_unroutable, m.spans_submitted
+    );
+    println!(
+        "ROUTER_WIRE frames_sent={} frames_received={} resent={} rejected={} reconnects={} nacks={} dups_dropped={}",
+        report.wire.frames_sent,
+        report.wire.frames_received,
+        report.wire.frames_resent,
+        report.wire.frames_rejected,
+        report.wire.reconnects,
+        report.wire.nacks_sent,
+        report.wire.duplicates_dropped
+    );
+    println!("ROUTER_DEAD peers={:?}", report.dead_peers);
+    println!(
+        "ROUTER_CONSERVATION {}",
+        if conserved && routed_accounted {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if conserved && routed_accounted {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sleuth-routerd: conservation violated: submitted={} stored={} rejected={} shed={} evicted={} deduped={} quarantined={} routed={} unroutable={} total={}",
+            m.spans_submitted,
+            m.spans_stored,
+            m.spans_rejected,
+            m.spans_shed,
+            m.spans_evicted,
+            m.spans_deduped,
+            m.spans_quarantined,
+            report.wire.spans_routed,
+            report.wire.spans_unroutable,
+            total_spans
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,179 @@
+//! `sleuth-shardd`: one shard server process.
+//!
+//! Fits a pipeline deterministically from `--seed`/`--rpcs`/`--train`
+//! (so every shard process — and any router that wants a reference —
+//! builds the *same* model without shipping weights over the wire),
+//! binds `--addr`, and runs [`sleuth::wire::serve_shard`] until a
+//! router drives it through `Shutdown`.
+//!
+//! ```text
+//! sleuth-shardd --addr unix:/tmp/shard0.sock --shard-id 0
+//! sleuth-shardd --addr tcp:127.0.0.1:7401 --shard-id 1 --rpcs 12
+//! ```
+//!
+//! On clean shutdown it prints one machine-readable `SHARDD_FINAL`
+//! line (shard id, stored trace/span counts, span conservation) and
+//! exits 0; any listener or protocol-fatal error exits 2.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::gnn::TrainConfig;
+use sleuth::serve::{NoFaults, ServeConfig};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::wire::{
+    serve_shard, Endpoint, NoWireFaults, ShardServerConfig, WireListener, WireMetrics,
+};
+
+const USAGE: &str = "usage: sleuth-shardd --addr <tcp:HOST:PORT|unix:/PATH> [options]
+
+options:
+  --addr ENDPOINT    listen endpoint (required)
+  --shard-id N       global shard index stamped on quarantine entries (default 0)
+  --seed N           corpus seed for the deterministic pipeline fit (default 5)
+  --rpcs N           synthetic application size in RPC kinds (default 12)
+  --train N          normal traces in the training corpus (default 120)
+  --epochs N         GNN training epochs (default 12)
+  --idle-us N        trace idle timeout in microseconds (default 1000000)";
+
+struct Args {
+    addr: Endpoint,
+    shard_id: usize,
+    seed: u64,
+    rpcs: usize,
+    train: usize,
+    epochs: usize,
+    idle_us: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut shard_id = 0usize;
+    let mut seed = 5u64;
+    let mut rpcs = 12usize;
+    let mut train = 120usize;
+    let mut epochs = 12usize;
+    let mut idle_us = 1_000_000u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(Endpoint::parse(&value("--addr")?).map_err(|e| e.to_string())?),
+            "--shard-id" => shard_id = parse_num(&value("--shard-id")?, "--shard-id")?,
+            "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+            "--rpcs" => rpcs = parse_num(&value("--rpcs")?, "--rpcs")?,
+            "--train" => train = parse_num(&value("--train")?, "--train")?,
+            "--epochs" => epochs = parse_num(&value("--epochs")?, "--epochs")?,
+            "--idle-us" => idle_us = parse_num(&value("--idle-us")?, "--idle-us")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required\n{USAGE}"))?;
+    Ok(Args {
+        addr,
+        shard_id,
+        seed,
+        rpcs,
+        train,
+        epochs,
+        idle_us,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: not a number: {s}"))
+}
+
+/// The fit every process in a topology must agree on: same
+/// seed/rpcs/train/epochs → bit-identical pipeline.
+fn fit_pipeline(args: &Args) -> Arc<SleuthPipeline> {
+    let app = presets::synthetic(args.rpcs, 1);
+    let corpus = CorpusBuilder::new(&app)
+        .seed(args.seed)
+        .normal_traces(args.train)
+        .plain_traces();
+    let config = PipelineConfig {
+        train: TrainConfig {
+            epochs: args.epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+        ..PipelineConfig::default()
+    };
+    Arc::new(SleuthPipeline::fit(&corpus, &config))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // Bind before the (slow) fit so a router polling for the socket
+    // knows the process is coming up.
+    let listener = match WireListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sleuth-shardd: bind {}: {e}", args.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let pipeline = fit_pipeline(&args);
+    println!("SHARDD_READY shard={} addr={}", args.shard_id, args.addr);
+
+    let serve = ServeConfig {
+        num_shards: 1,
+        idle_timeout_us: args.idle_us,
+        ..ServeConfig::default()
+    };
+    let config = ShardServerConfig::new(args.shard_id, serve);
+    let metrics = Arc::new(WireMetrics::default());
+    match serve_shard(
+        &listener,
+        pipeline,
+        config,
+        Arc::new(NoFaults),
+        Arc::new(NoWireFaults),
+        Arc::clone(&metrics),
+    ) {
+        Ok(final_state) => {
+            let m = &final_state.metrics;
+            let conserved = m.spans_submitted
+                == m.spans_stored
+                    + m.spans_rejected
+                    + m.spans_shed
+                    + m.spans_evicted
+                    + m.spans_deduped
+                    + m.spans_quarantined;
+            println!(
+                "SHARDD_FINAL shard={} traces={} spans={} submitted={} conserved={}",
+                args.shard_id,
+                final_state.trace_count,
+                final_state.span_count,
+                m.spans_submitted,
+                conserved
+            );
+            let wire = metrics.snapshot();
+            println!(
+                "SHARDD_WIRE shard={} frames_sent={} frames_received={} frames_rejected={} resent={}",
+                args.shard_id, wire.frames_sent, wire.frames_received, wire.frames_rejected,
+                wire.frames_resent
+            );
+            if conserved {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("sleuth-shardd: serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -24,7 +24,12 @@
 //!   poison-trace quarantine, and deadline-based graceful degradation,
 //! * [`chaos`] — deterministic fault-injection harness for the serving
 //!   runtime: seeded fault plans (worker panics, stalls, clock skew)
-//!   and adversarial span-batch corruptions.
+//!   and adversarial span-batch corruptions,
+//! * [`wire`] — multi-process sharded serving: a length-prefixed
+//!   checksummed binary frame protocol, shard-server loop
+//!   (`sleuth-shardd`), and a hash-routing front-end
+//!   (`sleuth-routerd` / `RouterClient`) with reliable delivery and
+//!   network fault injection.
 //!
 //! # Quickstart
 //!
@@ -65,3 +70,4 @@ pub use sleuth_store as store;
 pub use sleuth_synth as synth;
 pub use sleuth_tensor as tensor;
 pub use sleuth_trace as trace;
+pub use sleuth_wire as wire;

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use sleuth::chaos::{FaultPlan as RuntimeFaultPlan, SeededInjector};
@@ -170,9 +170,17 @@ fn serve_pipeline() -> Arc<SleuthPipeline> {
     static PIPELINE: OnceLock<Arc<SleuthPipeline>> = OnceLock::new();
     Arc::clone(PIPELINE.get_or_init(|| {
         let app = sleuth::synth::presets::synthetic(12, 1);
-        let train = CorpusBuilder::new(&app).seed(5).normal_traces(100).plain_traces();
+        let train = CorpusBuilder::new(&app)
+            .seed(5)
+            .normal_traces(100)
+            .plain_traces();
         let config = PipelineConfig {
-            train: TrainConfig { epochs: 10, batch_traces: 32, lr: 1e-2, seed: 0 },
+            train: TrainConfig {
+                epochs: 10,
+                batch_traces: 32,
+                lr: 1e-2,
+                seed: 0,
+            },
             ..PipelineConfig::default()
         };
         Arc::new(SleuthPipeline::fit(&train, &config))
@@ -364,6 +372,294 @@ proptest! {
         prop_assert_eq!(
             m.spans_submitted,
             m.spans_stored + m.spans_rejected + m.spans_shed + m.spans_evicted + m.spans_deduped
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire frame properties: the binary protocol must round-trip every
+// frame type exactly, and decoding untrusted bytes must be total —
+// structured errors, never panics, work bounded by the declared
+// (capped) frame length.
+// ---------------------------------------------------------------------------
+
+use sleuth::serve::metrics::HISTOGRAM_BUCKETS;
+use sleuth::serve::{HistogramSnapshot, MetricsSnapshot, ModelVersion, QuarantineReason, Verdict};
+use sleuth::trace::{Span, StatusCode};
+use sleuth::wire::{
+    decode_frame_bytes, encode_frame, frame_checksum, Frame, Msg, ShardFinal, WireQuarantined,
+    DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+};
+
+fn wire_string(rng: &mut ChaCha8Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+        .collect()
+}
+
+fn wire_span(rng: &mut ChaCha8Rng) -> Span {
+    Span {
+        trace_id: rng.next_u64(),
+        span_id: rng.next_u64(),
+        parent_span_id: rng.gen_bool(0.5).then(|| rng.next_u64()),
+        service: wire_string(rng, 12),
+        name: wire_string(rng, 12),
+        kind: SpanKind::ALL[rng.gen_range(0..SpanKind::ALL.len())],
+        start_us: rng.next_u64(),
+        end_us: rng.next_u64(),
+        status: match rng.gen_range(0u8..3) {
+            0 => StatusCode::Unset,
+            1 => StatusCode::Ok,
+            _ => StatusCode::Error,
+        },
+        pod: wire_string(rng, 8),
+        node: wire_string(rng, 8),
+    }
+}
+
+fn wire_verdict(rng: &mut ChaCha8Rng) -> Verdict {
+    Verdict {
+        trace_id: rng.next_u64(),
+        services: (0..rng.gen_range(0usize..4))
+            .map(|_| wire_string(rng, 10))
+            .collect(),
+        cluster: rng.gen_bool(0.5).then(|| rng.gen_range(-2isize..100)),
+        rca_latency_us: rng.next_u64(),
+        model_version: ModelVersion(rng.next_u64()),
+        degraded: rng.gen_bool(0.5),
+    }
+}
+
+fn wire_quarantined(rng: &mut ChaCha8Rng) -> WireQuarantined {
+    WireQuarantined {
+        trace_id: rng.gen_bool(0.7).then(|| rng.next_u64()),
+        span_count: rng.next_u64(),
+        reason: match rng.gen_range(0u8..3) {
+            0 => QuarantineReason::Assembly(wire_string(rng, 24)),
+            1 => QuarantineReason::RcaPanic {
+                worker: rng.gen_range(0usize..64),
+                attempts: rng.gen_range(0u32..10),
+            },
+            _ => QuarantineReason::ShardPanic {
+                shard: rng.gen_range(0usize..64),
+            },
+        },
+        origin_shard: rng.gen_bool(0.7).then(|| rng.next_u64()),
+    }
+}
+
+fn wire_histogram(rng: &mut ChaCha8Rng) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for b in h.buckets.iter_mut() {
+        *b = rng.gen_range(0u64..1_000);
+    }
+    h.count = h.buckets.iter().sum();
+    h.sum = rng.next_u64() >> 16;
+    let _ = HISTOGRAM_BUCKETS; // bucket count is fixed by the serve crate
+    h
+}
+
+// Field-by-field construction is the point here: every counter gets
+// an independent random value so a codec that drops or swaps fields
+// cannot round-trip.
+#[allow(clippy::field_reassign_with_default)]
+fn wire_metrics(rng: &mut ChaCha8Rng) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::default();
+    m.spans_submitted = rng.next_u64();
+    m.spans_enqueued = rng.next_u64();
+    m.spans_rejected = rng.next_u64();
+    m.spans_shed = rng.next_u64();
+    m.spans_evicted = rng.next_u64();
+    m.spans_deduped = rng.next_u64();
+    m.spans_stored = rng.next_u64();
+    m.traces_completed = rng.next_u64();
+    m.traces_malformed = rng.next_u64();
+    m.traces_anomalous = rng.next_u64();
+    m.verdicts_emitted = rng.next_u64();
+    m.rca_latency_us = wire_histogram(rng);
+    m.queue_depth = wire_histogram(rng);
+    m.model_swaps = rng.next_u64();
+    m.swap_drain_us = wire_histogram(rng);
+    m.baseline_refreshes = rng.next_u64();
+    m.refresh_traces_folded = rng.next_u64();
+    m.refresh_traces_shed = rng.next_u64();
+    m.refresh_staleness_traces = wire_histogram(rng);
+    m.lock_poisoned = rng.next_u64();
+    m.poison_traces = rng.next_u64();
+    m.quarantine_dropped = rng.next_u64();
+    m.spans_quarantined = rng.next_u64();
+    m.verdicts_degraded = rng.next_u64();
+    m.breaker_trips = rng.next_u64();
+    m.verdicts_by_version = (0..rng.gen_range(0u64..4))
+        .map(|v| (v, rng.next_u64()))
+        .collect();
+    m.rca_worker_latency_us = (0..rng.gen_range(0usize..3))
+        .map(|w| (w, wire_histogram(rng)))
+        .collect();
+    m.worker_panics = (0..rng.gen_range(0usize..3))
+        .map(|w| (wire_string(rng, 8), w, rng.next_u64()))
+        .collect();
+    m.worker_restarts = (0..rng.gen_range(0usize..3))
+        .map(|w| (wire_string(rng, 8), w, rng.next_u64()))
+        .collect();
+    m.spans_rejected_by_reason = (0..rng.gen_range(0usize..3))
+        .map(|_| (wire_string(rng, 12), rng.next_u64()))
+        .collect();
+    m.degraded_by_reason = (0..rng.gen_range(0usize..3))
+        .map(|_| (wire_string(rng, 12), rng.next_u64()))
+        .collect();
+    m.quarantined_by_reason = (0..rng.gen_range(0usize..3))
+        .map(|_| (wire_string(rng, 12), rng.next_u64()))
+        .collect();
+    m
+}
+
+/// Every `Msg` variant, selected by `which`, with seeded random content.
+fn wire_msg(rng: &mut ChaCha8Rng, which: usize) -> Msg {
+    match which % 12 {
+        0 => Msg::SpanBatch {
+            now_us: rng.next_u64(),
+            spans: (0..rng.gen_range(0usize..6))
+                .map(|_| wire_span(rng))
+                .collect(),
+        },
+        1 => Msg::Tick {
+            now_us: rng.next_u64(),
+        },
+        2 => Msg::Publish,
+        3 => Msg::RefreshBaselines,
+        4 => Msg::MetricsRequest,
+        5 => Msg::QuarantineDrain,
+        6 => Msg::Shutdown,
+        7 => Msg::Verdict(wire_verdict(rng)),
+        8 => Msg::Quarantined(wire_quarantined(rng)),
+        9 => Msg::MetricsReply(Box::new(wire_metrics(rng))),
+        10 => Msg::PublishReply {
+            version: rng.next_u64(),
+        },
+        _ => Msg::ShutdownReply(Box::new(ShardFinal {
+            metrics: wire_metrics(rng),
+            trace_count: rng.next_u64(),
+            span_count: rng.next_u64(),
+        })),
+    }
+}
+
+/// Every `Frame` variant: 0–4 are the control frames, 5.. wraps each
+/// `Msg` variant in a `Data` frame.
+fn wire_frame(rng: &mut ChaCha8Rng, which: usize) -> Frame {
+    match which % 17 {
+        0 => Frame::Hello {
+            min_version: rng.gen_range(0u16..4),
+            max_version: rng.gen_range(0u16..4),
+            session_id: rng.next_u64(),
+            resume: rng.gen_bool(0.5),
+        },
+        1 => Frame::HelloAck {
+            version: rng.gen_range(0u16..4),
+            resumed: rng.gen_bool(0.5),
+        },
+        2 => Frame::Ack {
+            upto: rng.next_u64(),
+        },
+        3 => Frame::Nack {
+            expected: rng.next_u64(),
+        },
+        4 => Frame::Error {
+            code: wire_string(rng, 16),
+            detail: wire_string(rng, 40),
+        },
+        n => Frame::Data {
+            seq: rng.next_u64(),
+            msg: wire_msg(rng, n - 5),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// decode(encode(frame)) == frame for every frame and message type.
+    #[test]
+    fn prop_wire_frames_roundtrip(seed in any::<u64>(), which in 0usize..17) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let frame = wire_frame(&mut rng, which);
+        let bytes = encode_frame(&frame, PROTOCOL_VERSION);
+        let decoded = decode_frame_bytes(&bytes, DEFAULT_MAX_FRAME_LEN);
+        prop_assert_eq!(decoded.as_ref(), Ok(&frame), "{:?}", frame);
+    }
+
+    /// Arbitrary bytes never panic the decoder (and, lacking the magic
+    /// preamble by overwhelming odds, never decode).
+    #[test]
+    fn prop_wire_arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let _ = decode_frame_bytes(&bytes, DEFAULT_MAX_FRAME_LEN);
+        // A tight cap must also hold (bounds the work an attacker can
+        // force with a huge declared length).
+        let _ = decode_frame_bytes(&bytes, 64);
+    }
+
+    /// Adversarial payloads under a *valid* header and *correct*
+    /// checksum (the worst case that reaches the body decoder) never
+    /// panic, for every known tag and a few unknown ones.
+    #[test]
+    fn prop_wire_adversarial_payloads_never_panic(
+        tag_idx in 0usize..21,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let tags: [u8; 21] = [
+            1, 2, 3, 4, 5, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 0, 6, 0x60, 0xff,
+        ];
+        let tag = tags[tag_idx];
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        bytes.push(tag);
+        bytes.push(0);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&frame_checksum(tag, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let _ = decode_frame_bytes(&bytes, DEFAULT_MAX_FRAME_LEN);
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated —
+    /// never a panic, never a bogus decode.
+    #[test]
+    fn prop_wire_truncated_prefixes_rejected(seed in any::<u64>(), which in 0usize..17) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let frame = wire_frame(&mut rng, which);
+        let bytes = encode_frame(&frame, PROTOCOL_VERSION);
+        for cut in 0..bytes.len() {
+            match decode_frame_bytes(&bytes[..cut], DEFAULT_MAX_FRAME_LEN) {
+                Err(sleuth::wire::WireError::Truncated { .. }) => {}
+                other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+            }
+        }
+    }
+
+    /// Any single-byte corruption of a valid frame is *detected*: the
+    /// magic, version, flags, and length fields are each validated,
+    /// and the checksum covers the frame type and payload — so no
+    /// flip yields a silently different frame.
+    #[test]
+    fn prop_wire_byte_flips_detected(
+        seed in any::<u64>(),
+        which in 0usize..17,
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let frame = wire_frame(&mut rng, which);
+        let mut bytes = encode_frame(&frame, PROTOCOL_VERSION);
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        prop_assert!(
+            decode_frame_bytes(&bytes, DEFAULT_MAX_FRAME_LEN).is_err(),
+            "flip {:#04x} at {} of {:?} went undetected",
+            flip, pos, frame
         );
     }
 }

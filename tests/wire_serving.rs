@@ -1,0 +1,523 @@
+//! Multi-process serving integration tests: the wire layer's central
+//! contract is **fault transparency** — a router fanning batches out
+//! to shard-server processes must produce the same verdict set as the
+//! single-process runtime, with or without budgeted network chaos in
+//! between — plus cross-process span conservation, typed rejection of
+//! malformed frames, control-message round trips, and degraded
+//! verdicts for dead peers.
+//!
+//! Shard "processes" here are threads running [`serve_shard`] over
+//! real Unix-domain sockets — the full wire stack (frames, sessions,
+//! reconnects) with none of the binary-spawning flakiness;
+//! `examples/multi_process_serving.rs` covers the true multi-process
+//! topology.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sleuth::chaos::{corrupt_batch, Corruption, NetFaultPlan, NetInjector};
+use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth::gnn::TrainConfig;
+use sleuth::serve::{shard_of, NoFaults, ServeConfig, ServeRuntime, Verdict};
+use sleuth::synth::presets;
+use sleuth::synth::workload::CorpusBuilder;
+use sleuth::trace::{Span, Trace};
+use sleuth::wire::{
+    encode_frame, serve_shard, Endpoint, Frame, NoWireFaults, RouterClient, RouterConfig,
+    ShardFinal, ShardServerConfig, WireError, WireFaultInjector, WireListener, WireMetrics,
+    WireStream, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+};
+
+/// One quick-fitted pipeline shared by every test in this file.
+fn pipeline() -> Arc<SleuthPipeline> {
+    static PIPELINE: OnceLock<Arc<SleuthPipeline>> = OnceLock::new();
+    Arc::clone(PIPELINE.get_or_init(|| {
+        let app = presets::synthetic(12, 1);
+        let train = CorpusBuilder::new(&app)
+            .seed(5)
+            .normal_traces(120)
+            .plain_traces();
+        let config = PipelineConfig {
+            train: TrainConfig {
+                epochs: 12,
+                batch_traces: 32,
+                lr: 1e-2,
+                seed: 0,
+            },
+            ..PipelineConfig::default()
+        };
+        Arc::new(SleuthPipeline::fit(&train, &config))
+    }))
+}
+
+fn workload(n: usize, anomalies: usize) -> Vec<Trace> {
+    let app = presets::synthetic(12, 1);
+    CorpusBuilder::new(&app)
+        .seed(5)
+        .mixed_traces(n, anomalies)
+        .traces
+        .into_iter()
+        .map(|t| t.trace)
+        .collect()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        num_shards: 2,
+        idle_timeout_us: 1_000_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Fresh UDS endpoint under the OS temp dir, unique per call.
+fn uds_endpoint(tag: &str) -> Endpoint {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    Endpoint::Unix(
+        std::env::temp_dir().join(format!("sleuth-wt-{}-{tag}-{n}.sock", std::process::id())),
+    )
+}
+
+struct ShardHandle {
+    handle: JoinHandle<Result<ShardFinal, WireError>>,
+    metrics: Arc<WireMetrics>,
+}
+
+/// Bind `endpoint` and run a shard server on a background thread.
+fn spawn_shard(
+    endpoint: &Endpoint,
+    shard_id: usize,
+    wire_faults: Arc<dyn WireFaultInjector>,
+) -> ShardHandle {
+    let listener = WireListener::bind(endpoint).expect("bind shard endpoint");
+    let metrics = Arc::new(WireMetrics::default());
+    let pipeline = pipeline();
+    let config = ShardServerConfig::new(shard_id, serve_config());
+    let thread_metrics = Arc::clone(&metrics);
+    let handle = std::thread::spawn(move || {
+        serve_shard(
+            &listener,
+            pipeline,
+            config,
+            Arc::new(NoFaults),
+            wire_faults,
+            thread_metrics,
+        )
+    });
+    ShardHandle { handle, metrics }
+}
+
+/// Comparable verdict identity: everything except the latency
+/// measurement, which legitimately differs run to run.
+type VerdictKey = (u64, Vec<String>, Option<isize>, u64, bool);
+
+fn verdict_key(v: &Verdict) -> VerdictKey {
+    (
+        v.trace_id,
+        v.services.clone(),
+        v.cluster,
+        v.model_version.0,
+        v.degraded,
+    )
+}
+
+fn verdict_set(verdicts: &[Verdict]) -> BTreeSet<VerdictKey> {
+    verdicts.iter().map(verdict_key).collect()
+}
+
+fn assert_conservation(m: &sleuth::serve::MetricsSnapshot) {
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored
+            + m.spans_rejected
+            + m.spans_shed
+            + m.spans_evicted
+            + m.spans_deduped
+            + m.spans_quarantined,
+        "span conservation violated: {m:?}"
+    );
+}
+
+/// Single-process reference: run the in-process runtime over the
+/// same traffic and return its verdicts.
+fn single_process_reference(traces: &[Trace]) -> Vec<Verdict> {
+    let runtime =
+        ServeRuntime::start(pipeline(), serve_config()).expect("valid single-process config");
+    let mut clock = 0u64;
+    for trace in traces {
+        runtime.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+    runtime.tick(clock + 2_000_000);
+    let report = runtime.shutdown();
+    assert_conservation(&report.metrics);
+    report.verdicts
+}
+
+/// Multi-process run: two shard servers over UDS plus a router, with
+/// `faults` injected into every frame writer on both sides. Returns
+/// (router report, per-shard wire metrics).
+fn multi_process_run(
+    traces: &[Trace],
+    faults: Arc<dyn WireFaultInjector>,
+    router_cfg: impl FnOnce(RouterConfig) -> RouterConfig,
+) -> (
+    sleuth::wire::RouterReport,
+    Vec<sleuth::wire::WireMetricsSnapshot>,
+) {
+    let endpoints = [uds_endpoint("a"), uds_endpoint("b")];
+    let shards: Vec<ShardHandle> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(id, ep)| spawn_shard(ep, id, Arc::clone(&faults)))
+        .collect();
+
+    let config = router_cfg(RouterConfig::new(endpoints.to_vec()));
+    let mut router = RouterClient::connect_with_injector(config, faults).expect("router connects");
+    let mut clock = 0u64;
+    for trace in traces {
+        let report = router.submit_batch(trace.spans().to_vec(), clock);
+        assert_eq!(report.rejected, 0, "no dead peers in this run");
+        clock += 1_000;
+    }
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+
+    let mut shard_wire = Vec::new();
+    for shard in shards {
+        let final_state = shard
+            .handle
+            .join()
+            .expect("shard thread not poisoned")
+            .expect("shard exits cleanly");
+        assert_conservation(&final_state.metrics);
+        shard_wire.push(shard.metrics.snapshot());
+    }
+    (report, shard_wire)
+}
+
+/// The headline gate, fault-free half: a router over two shard-server
+/// processes produces exactly the verdict set of the single-process
+/// runtime, and span conservation balances across process boundaries.
+#[test]
+fn multi_process_run_matches_single_process() {
+    let traces = workload(60, 8);
+    let reference = single_process_reference(&traces);
+    let (report, _) = multi_process_run(&traces, Arc::new(NoWireFaults), |c| c);
+
+    assert!(!reference.is_empty(), "workload produced no verdicts");
+    assert_eq!(
+        verdict_set(&report.verdicts),
+        verdict_set(&reference),
+        "multi-process verdicts diverge from single-process"
+    );
+    assert!(report.dead_peers.is_empty());
+    assert_eq!(report.shard_finals.iter().flatten().count(), 2);
+
+    // Cross-process conservation: the merged snapshot must balance,
+    // and every span the router routed must be accounted for by the
+    // shards' merged intake.
+    assert_conservation(&report.metrics);
+    let total_spans: u64 = traces.iter().map(|t| t.spans().len() as u64).sum();
+    assert_eq!(report.metrics.spans_submitted, total_spans);
+    assert_eq!(report.wire.spans_routed, total_spans);
+    assert_eq!(report.wire.spans_unroutable, 0);
+}
+
+/// The headline gate, chaos half: under a seeded, budgeted network
+/// fault plan (drops, duplicates, reorders, corruption, a truncated
+/// frame, a killed connection, stalled reconnects) the verdict set is
+/// *still* identical to the single-process run, faults demonstrably
+/// fired, and conservation still balances.
+#[test]
+fn fault_transparency_under_budgeted_network_chaos() {
+    let traces = workload(60, 8);
+    let reference = single_process_reference(&traces);
+
+    let injector = Arc::new(NetInjector::new(NetFaultPlan {
+        seed: 2024,
+        drop_rate: 1.0,
+        drop_budget: 2,
+        duplicate_rate: 0.25,
+        duplicate_budget: 3,
+        reorder_rate: 0.25,
+        reorder_budget: 3,
+        corrupt_rate: 0.5,
+        corrupt_budget: 3,
+        truncate_rate: 0.05,
+        truncate_budget: 1,
+        kill_rate: 0.05,
+        kill_budget: 1,
+        connect_stall: Some(Duration::from_millis(5)),
+        connect_stall_budget: 4,
+    }));
+    let (report, shard_wire) = multi_process_run(
+        &traces,
+        Arc::clone(&injector) as Arc<dyn WireFaultInjector>,
+        |c| c,
+    );
+
+    // The rate-1.0 drop class spends its whole budget deterministically
+    // (every data frame rolls it until drained); the probabilistic
+    // classes fire as their rolls land, which varies with resend
+    // timing — so assert the certain class exactly and the rest in
+    // aggregate.
+    assert_eq!(injector.injected_drops(), 2, "drop budget not spent");
+    assert!(injector.injected_total() > 2, "only the drop class fired");
+    assert_eq!(
+        verdict_set(&report.verdicts),
+        verdict_set(&reference),
+        "verdicts diverge under network chaos (injected {})",
+        injector.injected_total()
+    );
+    assert_conservation(&report.metrics);
+    let total_spans: u64 = traces.iter().map(|t| t.spans().len() as u64).sum();
+    assert_eq!(report.metrics.spans_submitted, total_spans);
+
+    // Corrupted frames that reach a reader show up as counted
+    // checksum rejections on whichever side received them (router or
+    // shard), never as a crash. A corrupt frame can also die in a
+    // socket buffer when a kill/truncate severs the connection first,
+    // so the count is bounded by, not equal to, the injection count.
+    let checksum_rejections = report.wire.rejected("checksum_mismatch")
+        + shard_wire
+            .iter()
+            .map(|m| m.rejected("checksum_mismatch"))
+            .sum::<u64>();
+    assert!(checksum_rejections <= injector.injected_corrupts());
+    assert!(
+        injector.injected_corrupts() > 0,
+        "corrupt class never fired"
+    );
+}
+
+/// Malformed, oversized, and corrupt frames from a hostile client are
+/// rejected with typed, counted errors — the server drops the
+/// connection where the stream is unrecoverable, keeps listening, and
+/// a well-behaved router still completes a full run afterwards.
+#[test]
+fn malformed_frames_are_rejected_and_server_survives() {
+    let endpoint = uds_endpoint("hostile");
+    let shard = spawn_shard(&endpoint, 0, Arc::new(NoWireFaults));
+
+    // 1. Garbage bytes: bad magic is stream-fatal; server hangs up.
+    let garbage = WireStream::connect(&endpoint).expect("connect");
+    {
+        let mut s = garbage.try_clone().expect("clone");
+        s.write_all(b"GET /frames HTTP/1.1\r\nHost: sleuth\r\n\r\n")
+            .expect("write garbage");
+    }
+    wait_for(
+        || shard.metrics.snapshot().rejected("bad_magic") == 1,
+        "bad magic counted",
+    );
+    garbage.shutdown_both();
+
+    // 2. Oversized frame: a valid header declaring a 1 GiB payload is
+    // rejected from the header alone.
+    let oversized = WireStream::connect(&endpoint).expect("connect");
+    {
+        let mut s = oversized.try_clone().expect("clone");
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        header.push(1); // frame type: Hello
+        header.push(0); // flags
+        header.extend_from_slice(&(1u32 << 30).to_le_bytes()); // 1 GiB
+        header.extend_from_slice(&0u64.to_le_bytes());
+        s.write_all(&header).expect("write oversized header");
+    }
+    wait_for(
+        || shard.metrics.snapshot().rejected("oversized") == 1,
+        "oversized counted",
+    );
+    oversized.shutdown_both();
+
+    // 3. Checksum corruption is NOT fatal: the frame is skipped and
+    // the same connection still completes the handshake.
+    let flaky = WireStream::connect(&endpoint).expect("connect");
+    {
+        let mut s = flaky.try_clone().expect("clone");
+        let mut bytes = encode_frame(
+            &Frame::Hello {
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
+                session_id: 1,
+                resume: false,
+            },
+            PROTOCOL_VERSION,
+        );
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt the payload => checksum mismatch
+        s.write_all(&bytes).expect("write corrupt frame");
+    }
+    wait_for(
+        || shard.metrics.snapshot().rejected("checksum_mismatch") == 1,
+        "checksum mismatch counted",
+    );
+    flaky.shutdown_both();
+
+    // 4. The server is still healthy: a real router completes a run.
+    let mut router =
+        RouterClient::connect(RouterConfig::new(vec![endpoint])).expect("router connects");
+    let traces = workload(6, 2);
+    let mut clock = 0u64;
+    for trace in &traces {
+        router.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+    assert!(report.dead_peers.is_empty());
+    assert_conservation(&report.metrics);
+    shard
+        .handle
+        .join()
+        .expect("shard thread not poisoned")
+        .expect("shard exits cleanly");
+}
+
+fn wait_for(cond: impl Fn() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Control-plane round trips: publish bumps every shard's model
+/// version, metrics snapshots stream back mergeable, and quarantine
+/// drains carry the *global* shard id that poisoned the trace.
+#[test]
+fn control_messages_and_quarantine_attribution() {
+    let endpoints = [uds_endpoint("c0"), uds_endpoint("c1")];
+    let shards: Vec<ShardHandle> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(id, ep)| spawn_shard(ep, id, Arc::new(NoWireFaults)))
+        .collect();
+    let mut router =
+        RouterClient::connect(RouterConfig::new(endpoints.to_vec())).expect("router connects");
+
+    // A structurally corrupt batch: assembly fails at completion and
+    // the trace is quarantined by whichever shard owns it.
+    let traces = workload(8, 0);
+    let poisoned_id = traces[0].trace_id();
+    let expected_shard = shard_of(poisoned_id, 2);
+    let mut clock = 0u64;
+    for (i, trace) in traces.iter().enumerate() {
+        let mut spans: Vec<Span> = trace.spans().to_vec();
+        if i == 0 {
+            corrupt_batch(&mut spans, Corruption::Cycle);
+        }
+        router.submit_batch(spans, clock);
+        clock += 1_000;
+    }
+    router.tick(clock + 2_000_000);
+
+    // Publish: both shards re-publish and report version 2.
+    let versions = router.publish_all();
+    assert_eq!(versions, vec![Some(2), Some(2)]);
+
+    // Metrics: every shard answers; merged intake covers the batch.
+    let snapshots = router.fetch_metrics();
+    assert_eq!(snapshots.iter().flatten().count(), 2);
+    let mut merged = sleuth::serve::MetricsSnapshot::default();
+    for snapshot in snapshots.iter().flatten() {
+        merged.merge(snapshot);
+    }
+    let total_spans: u64 = traces.iter().map(|t| t.spans().len() as u64).sum();
+    assert_eq!(merged.spans_submitted, total_spans);
+
+    // Quarantine: the poisoned trace comes back attributed to the
+    // global shard the router hashed it to.
+    router.drain_quarantine();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut quarantined = Vec::new();
+    while quarantined.is_empty() && Instant::now() < deadline {
+        quarantined = router.poll_quarantined();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(quarantined.len(), 1, "poisoned trace not quarantined");
+    assert_eq!(quarantined[0].trace_id, Some(poisoned_id));
+    assert_eq!(quarantined[0].origin_shard, Some(expected_shard));
+
+    let report = router.shutdown();
+    assert!(report.dead_peers.is_empty());
+    for shard in shards {
+        shard
+            .handle
+            .join()
+            .expect("shard thread not poisoned")
+            .expect("shard exits cleanly");
+    }
+}
+
+/// A shard that is down and stays down: its spans are counted
+/// unroutable, each affected trace gets exactly one degraded verdict,
+/// and the live shard keeps working.
+#[test]
+fn dead_peer_yields_degraded_verdicts() {
+    let live = uds_endpoint("live");
+    let dead = uds_endpoint("dead"); // never bound
+    let shard = spawn_shard(&live, 0, Arc::new(NoWireFaults));
+
+    let mut config = RouterConfig::new(vec![live, dead]);
+    config.reconnect_attempts = 0; // first failure is final
+    let mut router = RouterClient::connect(config).expect("one live peer is enough");
+    assert_eq!(router.dead_peers(), vec![1]);
+
+    let traces = workload(40, 6);
+    let mut clock = 0u64;
+    let mut live_spans = 0u64;
+    let mut dead_spans = 0u64;
+    let mut dead_traces = BTreeSet::new();
+    for trace in &traces {
+        let n = trace.spans().len() as u64;
+        if shard_of(trace.trace_id(), 2) == 0 {
+            live_spans += n;
+        } else {
+            dead_spans += n;
+            dead_traces.insert(trace.trace_id());
+        }
+        // Submit each trace twice: degraded verdicts must still be
+        // one-per-trace, not one-per-batch.
+        router.submit_batch(trace.spans().to_vec(), clock);
+        router.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+    assert!(dead_spans > 0, "workload never hit the dead shard");
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+
+    assert_eq!(report.dead_peers, vec![1]);
+    assert_eq!(report.wire.spans_unroutable, dead_spans * 2);
+    assert_eq!(report.wire.spans_routed, live_spans * 2);
+    assert_eq!(report.wire.degraded_unroutable, dead_traces.len() as u64);
+
+    let degraded: Vec<&Verdict> = report.verdicts.iter().filter(|v| v.degraded).collect();
+    let degraded_ids: BTreeSet<u64> = degraded.iter().map(|v| v.trace_id).collect();
+    assert_eq!(
+        degraded.len(),
+        dead_traces.len(),
+        "one degraded verdict per trace"
+    );
+    assert!(degraded_ids.is_superset(&dead_traces));
+    for v in &degraded {
+        assert!(v.services.is_empty());
+        assert_eq!(v.model_version.0, 0);
+    }
+    // The live shard still analysed its half (duplicate submissions
+    // dedup inside the runtime, so real verdicts stay one-per-trace).
+    assert!(report.verdicts.iter().any(|v| !v.degraded));
+
+    shard
+        .handle
+        .join()
+        .expect("shard thread not poisoned")
+        .expect("shard exits cleanly");
+}
