@@ -1,8 +1,9 @@
 //! Shared interfaces and per-operation statistics.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use sleuth_trace::{exclusive, SpanKind, Trace};
+use sleuth_trace::{exclusive, SpanKind, Symbol, Trace};
 
 /// The interface every RCA algorithm exposes: given one anomalous
 /// trace, name the root-cause services.
@@ -14,13 +15,19 @@ pub trait RootCauseLocator {
     fn localize(&self, trace: &Trace) -> Vec<String>;
 }
 
-/// Identity of one logical operation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Identity of one logical operation, keyed by interned symbols.
+///
+/// `Copy`: hashing and equality compare two `u32`s, so per-span
+/// profile lookups in the scoring hot loops never touch string data.
+/// Ordering is still lexicographic over the resolved names (plus
+/// kind) so deterministic model-training iteration orders survive the
+/// symbol migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpKey {
-    /// Service name.
-    pub service: String,
-    /// Operation name.
-    pub name: String,
+    /// Service symbol (global interner).
+    pub service: Symbol,
+    /// Operation-name symbol (global interner).
+    pub name: Symbol,
     /// Span kind.
     pub kind: SpanKind,
 }
@@ -29,10 +36,65 @@ impl OpKey {
     /// Key of a span.
     pub fn of(span: &sleuth_trace::Span) -> Self {
         OpKey {
-            service: span.service.clone(),
-            name: span.name.clone(),
+            service: span.service_sym,
+            name: span.name_sym,
             kind: span.kind,
         }
+    }
+
+    /// Key from already-interned symbols.
+    pub fn new(service: Symbol, name: Symbol, kind: SpanKind) -> Self {
+        OpKey {
+            service,
+            name,
+            kind,
+        }
+    }
+
+    /// Resolve the key from strings, if both have been interned.
+    pub fn resolve(service: &str, name: &str, kind: SpanKind) -> Option<Self> {
+        Some(OpKey {
+            service: Symbol::lookup(service)?,
+            name: Symbol::lookup(name)?,
+            kind,
+        })
+    }
+
+    /// Key from strings, interning them as needed.
+    #[deprecated(note = "intern the symbols once (`Symbol::intern`) and use `OpKey::new`, or \
+                         `OpKey::resolve` when absence should mean no-match")]
+    pub fn of_strings(service: &str, name: &str, kind: SpanKind) -> Self {
+        OpKey {
+            service: Symbol::intern(service),
+            name: Symbol::intern(name),
+            kind,
+        }
+    }
+
+    /// Service name text.
+    pub fn service_str(&self) -> &'static str {
+        self.service.as_str()
+    }
+
+    /// Operation name text.
+    pub fn name_str(&self) -> &'static str {
+        self.name.as_str()
+    }
+}
+
+impl PartialOrd for OpKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.service_str(), self.name_str(), self.kind).cmp(&(
+            other.service_str(),
+            other.name_str(),
+            other.kind,
+        ))
     }
 }
 
@@ -75,7 +137,7 @@ impl OpProfile {
             let ex = exclusive::exclusive_durations(t);
             for (i, s) in t.iter() {
                 let key = OpKey::of(s);
-                durs.entry(key.clone()).or_default().push(s.duration_us());
+                durs.entry(key).or_default().push(s.duration_us());
                 ex_durs.entry(key).or_default().push(ex[i]);
             }
             let root = t.span(t.root());
@@ -115,7 +177,7 @@ impl OpProfile {
         let mut root_p50 = HashMap::new();
         for (k, mut v) in roots {
             v.sort_unstable();
-            root_p95.insert(k.clone(), v[(v.len() * 95 / 100).min(v.len() - 1)]);
+            root_p95.insert(k, v[(v.len() * 95 / 100).min(v.len() - 1)]);
             root_p50.insert(k, v[v.len() / 2]);
         }
         OpProfile {
@@ -224,11 +286,7 @@ mod tests {
         let traces: Vec<Trace> = (0..20).map(|i| simple_trace(i, 100 + i, false)).collect();
         let prof = OpProfile::fit(&traces);
         assert_eq!(prof.len(), 2);
-        let key = OpKey {
-            service: "db".into(),
-            name: "query".into(),
-            kind: SpanKind::Client,
-        };
+        let key = OpKey::resolve("db", "query", SpanKind::Client).unwrap();
         let st = prof.get(&key).unwrap();
         assert_eq!(st.count, 20);
         assert!(st.mean_us > 100.0 && st.mean_us < 125.0);
@@ -239,18 +297,14 @@ mod tests {
     fn root_slo_from_p95() {
         let traces: Vec<Trace> = (0..100).map(|i| simple_trace(i, i, false)).collect();
         let prof = OpProfile::fit(&traces);
-        let root_key = OpKey {
-            service: "front".into(),
-            name: "GET /".into(),
-            kind: SpanKind::Server,
-        };
+        let root_key = OpKey::resolve("front", "GET /", SpanKind::Server).unwrap();
         let slo = prof.root_slo_us(&root_key);
         assert!((1090..=1100).contains(&slo), "slo {slo}");
-        let ghost = OpKey {
-            service: "x".into(),
-            name: "y".into(),
-            kind: SpanKind::Server,
-        };
+        let ghost = OpKey::new(
+            sleuth_trace::Symbol::intern("x"),
+            sleuth_trace::Symbol::intern("y"),
+            SpanKind::Server,
+        );
         assert_eq!(prof.root_slo_us(&ghost), u64::MAX);
     }
 

@@ -108,7 +108,7 @@ impl Sage {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut models = HashMap::new();
         let mut ordered: Vec<(OpKey, OpSamples)> = samples.into_iter().collect();
-        ordered.sort_by(|a, b| a.0.cmp(&b.0));
+        ordered.sort_by_key(|(k, _)| *k);
         for (key, (xs, d_targets, e_targets)) in ordered {
             let mut params = Params::new();
             let mlp = Mlp::new(&mut params, &[FEATS, 32, 32, 2], Activation::Tanh, &mut rng);

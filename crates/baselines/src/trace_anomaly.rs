@@ -43,7 +43,7 @@ impl TraceAnomaly {
     pub fn fit(traces: &[Trace], epochs: usize, seed: u64) -> Self {
         assert!(!traces.is_empty(), "training corpus must be non-empty");
         let profile = OpProfile::fit(traces);
-        let mut keys: Vec<OpKey> = profile.iter().map(|(k, _)| k.clone()).collect();
+        let mut keys: Vec<OpKey> = profile.iter().map(|(k, _)| *k).collect();
         keys.sort();
         let vocab: HashMap<OpKey, usize> =
             keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();

@@ -1,0 +1,96 @@
+//! Hot-path microbenchmarks for the interned ingest/distance kernels.
+//!
+//! Prints one machine-readable line per benchmark so `scripts/bench.sh`
+//! can assemble `BENCH_hotpath.json`:
+//!
+//! ```text
+//! HOTPATH_BENCH bench=ingest_otlp_parse spans=1234 median_us=567 samples=7
+//! HOTPATH_BENCH bench=distance_sorted_merge pairs=19900 median_us=890 samples=7
+//! HOTPATH_BENCH bench=distance_hashed pairs=19900 median_us=4567 samples=7
+//! ```
+//!
+//! `ingest_otlp_parse` drives the zero-copy OTLP JSON scanner plus
+//! trace assembly (the collector path); the two `distance_*` benches
+//! run the identical weighted-Jaccard merge over the flat sorted-id
+//! layout and over the legacy hashed `BTreeMap` layout, on the same
+//! encoded corpus.
+
+use std::time::Instant;
+
+use sleuth_cluster::distance::{trace_distance, trace_distance_hashed};
+use sleuth_cluster::TraceSetEncoder;
+use sleuth_synth::presets;
+use sleuth_synth::workload::CorpusBuilder;
+use sleuth_trace::formats::{from_otel_json, to_otel_json};
+use sleuth_trace::{Assembler, Trace};
+
+const SAMPLES: usize = 7;
+
+/// Median wall-clock of `SAMPLES` runs of `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let app = presets::synthetic(12, 1);
+    let traces: Vec<Trace> = CorpusBuilder::new(&app)
+        .seed(11)
+        .mixed_traces(200, 8)
+        .traces
+        .into_iter()
+        .map(|t| t.trace)
+        .collect();
+
+    // --- Ingest: OTLP JSON -> spans -> assembled traces -------------
+    let per_trace_json: Vec<String> = traces
+        .iter()
+        .map(|t| to_otel_json(t.spans()))
+        .collect();
+    let total_spans: usize = traces.iter().map(|t| t.len()).sum();
+    let mut assembler = Assembler::new();
+    let ingest_us = median_us(|| {
+        for json in &per_trace_json {
+            let spans = from_otel_json(json).expect("bench JSON is valid");
+            let trace = assembler.assemble(spans).expect("bench spans assemble");
+            std::hint::black_box(&trace);
+        }
+    });
+    println!("HOTPATH_BENCH bench=ingest_otlp_parse spans={total_spans} median_us={ingest_us} samples={SAMPLES}");
+
+    // --- Distance: sorted-merge vs hashed reference ------------------
+    let encoder = TraceSetEncoder::new(3);
+    let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
+    let hashed: Vec<_> = traces.iter().map(|t| encoder.encode_hashed(t)).collect();
+    let n = sets.len();
+    let pairs = n * (n - 1) / 2;
+
+    let merge_us = median_us(|| {
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                acc += trace_distance(&sets[i], &sets[j]);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    println!("HOTPATH_BENCH bench=distance_sorted_merge pairs={pairs} median_us={merge_us} samples={SAMPLES}");
+
+    let hashed_us = median_us(|| {
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                acc += trace_distance_hashed(&hashed[i], &hashed[j]);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    println!("HOTPATH_BENCH bench=distance_hashed pairs={pairs} median_us={hashed_us} samples={SAMPLES}");
+}

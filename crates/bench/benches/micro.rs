@@ -56,9 +56,9 @@ fn bench_clustering(c: &mut Criterion) {
     let encoder = TraceSetEncoder::new(3);
     let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
     c.bench_function("distance_matrix_60_traces", |b| {
-        b.iter(|| DistanceMatrix::from_sets(&sets))
+        b.iter(|| DistanceMatrix::builder().build_from(&sets))
     });
-    let dm = DistanceMatrix::from_sets(&sets);
+    let dm = DistanceMatrix::builder().build_from(&sets);
     c.bench_function("hdbscan_60_traces", |b| {
         b.iter(|| {
             hdbscan(

@@ -67,9 +67,9 @@ fn main() {
 
     // Pairwise distance matrix over the encoded corpus (par_triangle).
     let sets: Vec<_> = traces.iter().map(|t| pipeline.encoder().encode(t)).collect();
-    let mut dist = DistanceMatrix::from_sets(&sets);
+    let mut dist = DistanceMatrix::builder().build_from(&sets);
     report("distance_matrix", median_us(|| {
-        dist = DistanceMatrix::from_sets(&sets);
+        dist = DistanceMatrix::builder().build_from(&sets);
     }));
 
     // HDBSCAN core distances over that matrix (par_map).

@@ -1,6 +1,16 @@
 //! The extended weighted-Jaccard trace distance (Eq. 1).
+//!
+//! [`trace_distance`] is the clustering hot path: it runs once per
+//! trace pair, O(n²) pairs per corpus. The kernel is a sorted-merge
+//! over the flat id/weight arrays of [`WeightedTraceSet`] — index
+//! arithmetic and `f64::min`/`max` only, no hashing and no pointer
+//! chasing in the inner loop, with branch-free tail sums over the
+//! leftover suffixes. [`trace_distance_hashed`] keeps the pre-refactor
+//! `BTreeMap` merge as the reference baseline; the property suite
+//! proves the two bit-identical on encoder-produced sets (integer
+//! weights make every partial sum exact — see DESIGN.md §13).
 
-use crate::traceset::WeightedTraceSet;
+use crate::traceset::{HashedTraceSet, WeightedTraceSet};
 use sleuth_par::ThreadPool;
 
 /// Distance between two weighted trace sets:
@@ -10,6 +20,45 @@ use sleuth_par::ThreadPool;
 /// over the union of elements, with absent elements weighted 0. The
 /// result lies in `[0, 1]`; two empty sets are at distance 0.
 pub fn trace_distance(a: &WeightedTraceSet, b: &WeightedTraceSet) -> f64 {
+    let (ia, wa) = (a.ids(), a.weights());
+    let (ib, wb) = (b.ids(), b.weights());
+    let mut inter = 0.0f64;
+    let mut union = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ia.len() && j < ib.len() {
+        let (ka, kb) = (ia[i], ib[j]);
+        if ka == kb {
+            let (x, y) = (wa[i], wb[j]);
+            inter += x.min(y);
+            union += x.max(y);
+            i += 1;
+            j += 1;
+        } else if ka < kb {
+            union += wa[i];
+            i += 1;
+        } else {
+            union += wb[j];
+            j += 1;
+        }
+    }
+    // One side is exhausted: the other's suffix joins the union as-is.
+    for &w in &wa[i..] {
+        union += w;
+    }
+    for &w in &wb[j..] {
+        union += w;
+    }
+    if union <= 0.0 {
+        0.0
+    } else {
+        1.0 - inter / union
+    }
+}
+
+/// [`trace_distance`] over the reference [`HashedTraceSet`]
+/// representation (pre-refactor `BTreeMap` iterator merge). Kept for
+/// the bit-identity property suite and the hot-path benchmarks.
+pub fn trace_distance_hashed(a: &HashedTraceSet, b: &HashedTraceSet) -> f64 {
     let mut inter = 0.0f64;
     let mut union = 0.0f64;
     let mut ita = a.elements().iter().peekable();
@@ -49,6 +98,17 @@ pub fn trace_distance(a: &WeightedTraceSet, b: &WeightedTraceSet) -> f64 {
 }
 
 /// A symmetric pairwise distance matrix over `n` items.
+///
+/// Built through [`DistanceMatrix::builder`]:
+///
+/// ```
+/// # use sleuth_cluster::{DistanceMatrix, WeightedTraceSet};
+/// let mut a = WeightedTraceSet::default();
+/// a.add(1, 2.0);
+/// let sets = vec![a.clone(), a];
+/// let dm = DistanceMatrix::builder().build_from(&sets);
+/// assert_eq!(dm.get(0, 1), 0.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
@@ -56,35 +116,73 @@ pub struct DistanceMatrix {
     data: Vec<f64>,
 }
 
+/// Configures how a [`DistanceMatrix`] is computed (see
+/// [`DistanceMatrix::builder`]). The single entry point replaces the
+/// old `from_sets`/`from_fn`/`*_with` constructor family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistanceMatrixBuilder<'p> {
+    pool: Option<&'p ThreadPool>,
+}
+
+impl<'p> DistanceMatrixBuilder<'p> {
+    /// Compute on an explicit thread pool instead of the global one.
+    pub fn pool(self, pool: &ThreadPool) -> DistanceMatrixBuilder<'_> {
+        DistanceMatrixBuilder { pool: Some(pool) }
+    }
+
+    /// Compute all pairwise [`trace_distance`]s over `sets`.
+    pub fn build_from(self, sets: &[WeightedTraceSet]) -> DistanceMatrix {
+        self.build_from_fn(sets.len(), |i, j| trace_distance(&sets[i], &sets[j]))
+    }
+
+    /// Build from an arbitrary symmetric distance function. The
+    /// condensed upper triangle is partitioned into row bands claimed
+    /// dynamically across the pool's threads; the result is
+    /// bit-identical to the sequential fill at any thread count.
+    pub fn build_from_fn(self, n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> DistanceMatrix {
+        let pool = match self.pool {
+            Some(p) => p,
+            None => ThreadPool::global(),
+        };
+        let data = pool.par_triangle(n, f);
+        DistanceMatrix { n, data }
+    }
+}
+
 impl DistanceMatrix {
+    /// Start configuring a distance-matrix computation.
+    pub fn builder() -> DistanceMatrixBuilder<'static> {
+        DistanceMatrixBuilder::default()
+    }
+
     /// Compute all pairwise [`trace_distance`]s on the global pool.
+    #[deprecated(note = "use `DistanceMatrix::builder().build_from(sets)`")]
     pub fn from_sets(sets: &[WeightedTraceSet]) -> Self {
-        Self::from_sets_with(ThreadPool::global(), sets)
+        Self::builder().build_from(sets)
     }
 
     /// Compute all pairwise [`trace_distance`]s on an explicit pool.
+    #[deprecated(note = "use `DistanceMatrix::builder().pool(pool).build_from(sets)`")]
     pub fn from_sets_with(pool: &ThreadPool, sets: &[WeightedTraceSet]) -> Self {
-        Self::from_fn_with(pool, sets.len(), |i, j| trace_distance(&sets[i], &sets[j]))
+        Self::builder().pool(pool).build_from(sets)
     }
 
     /// Build from an arbitrary symmetric distance function on the
     /// global pool.
+    #[deprecated(note = "use `DistanceMatrix::builder().build_from_fn(n, f)`")]
     pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
-        Self::from_fn_with(ThreadPool::global(), n, f)
+        Self::builder().build_from_fn(n, f)
     }
 
     /// Build from an arbitrary symmetric distance function on an
-    /// explicit pool. The condensed upper triangle is partitioned into
-    /// row bands claimed dynamically across the pool's threads; the
-    /// result is bit-identical to the sequential fill at any thread
-    /// count.
+    /// explicit pool.
+    #[deprecated(note = "use `DistanceMatrix::builder().pool(pool).build_from_fn(n, f)`")]
     pub fn from_fn_with(
         pool: &ThreadPool,
         n: usize,
         f: impl Fn(usize, usize) -> f64 + Sync,
     ) -> Self {
-        let data = pool.par_triangle(n, f);
-        DistanceMatrix { n, data }
+        Self::builder().pool(pool).build_from_fn(n, f)
     }
 
     /// Number of items.
@@ -121,7 +219,7 @@ mod tests {
     use proptest::prelude::*;
     use sleuth_trace::{Span, Trace};
 
-    fn set(pairs: &[(u64, f64)]) -> WeightedTraceSet {
+    fn set(pairs: &[(u32, f64)]) -> WeightedTraceSet {
         let mut s = WeightedTraceSet::default();
         for &(k, w) in pairs {
             s.add(k, w);
@@ -175,13 +273,37 @@ mod tests {
     #[test]
     fn matrix_layout_and_diagonal() {
         let sets = vec![set(&[(1, 1.0)]), set(&[(1, 1.0)]), set(&[(2, 1.0)])];
-        let dm = DistanceMatrix::from_sets(&sets);
+        let dm = DistanceMatrix::builder().build_from(&sets);
         assert_eq!(dm.len(), 3);
         assert_eq!(dm.get(0, 0), 0.0);
         assert_eq!(dm.get(0, 1), 0.0);
         assert_eq!(dm.get(1, 0), 0.0);
         assert_eq!(dm.get(0, 2), 1.0);
         assert_eq!(dm.get(2, 1), 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let sets = vec![
+            set(&[(1, 1.0)]),
+            set(&[(2, 3.0)]),
+            set(&[(1, 1.0), (2, 3.0)]),
+        ];
+        let built = DistanceMatrix::builder().build_from(&sets);
+        assert_eq!(DistanceMatrix::from_sets(&sets), built);
+        let pool = ThreadPool::new(2);
+        assert_eq!(DistanceMatrix::from_sets_with(&pool, &sets), built);
+        assert_eq!(
+            DistanceMatrix::from_fn(sets.len(), |i, j| trace_distance(&sets[i], &sets[j])),
+            built
+        );
+        assert_eq!(
+            DistanceMatrix::from_fn_with(&pool, sets.len(), |i, j| trace_distance(
+                &sets[i], &sets[j]
+            )),
+            built
+        );
     }
 
     #[test]
@@ -207,15 +329,17 @@ mod tests {
         #[test]
         fn prop_parallel_matrix_bit_identical(
             weight_sets in proptest::collection::vec(
-                proptest::collection::vec((0u64..30, 0.1f64..100.0), 0..10),
+                proptest::collection::vec((0u32..30, 0.1f64..100.0), 0..10),
                 0..24,
             ),
         ) {
             let sets: Vec<WeightedTraceSet> =
                 weight_sets.iter().map(|pairs| set(pairs)).collect();
-            let seq = DistanceMatrix::from_sets_with(&ThreadPool::new(1), &sets);
+            let seq = DistanceMatrix::builder().pool(&ThreadPool::new(1)).build_from(&sets);
             for threads in [2usize, 8] {
-                let par = DistanceMatrix::from_sets_with(&ThreadPool::new(threads), &sets);
+                let par = DistanceMatrix::builder()
+                    .pool(&ThreadPool::new(threads))
+                    .build_from(&sets);
                 prop_assert_eq!(par.len(), seq.len());
                 let seq_bits: Vec<u64> = seq.data.iter().map(|d| d.to_bits()).collect();
                 let par_bits: Vec<u64> = par.data.iter().map(|d| d.to_bits()).collect();
@@ -230,8 +354,8 @@ mod tests {
         /// Symmetry, range, and identity over random weighted sets.
         #[test]
         fn prop_metric_axioms(
-            xs in proptest::collection::vec((0u64..20, 0.1f64..100.0), 0..12),
-            ys in proptest::collection::vec((0u64..20, 0.1f64..100.0), 0..12),
+            xs in proptest::collection::vec((0u32..20, 0.1f64..100.0), 0..12),
+            ys in proptest::collection::vec((0u32..20, 0.1f64..100.0), 0..12),
         ) {
             let a = set(&xs);
             let b = set(&ys);

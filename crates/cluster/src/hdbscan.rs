@@ -386,7 +386,7 @@ mod tests {
     /// Distance matrix with two tight groups and optional noise points.
     fn two_blobs(group: usize, noise: usize) -> DistanceMatrix {
         let n = 2 * group + noise;
-        DistanceMatrix::from_fn(n, |i, j| {
+        DistanceMatrix::builder().build_from_fn(n, |i, j| {
             let ga = blob_of(i, group, noise);
             let gb = blob_of(j, group, noise);
             match (ga, gb) {
@@ -455,7 +455,7 @@ mod tests {
 
     #[test]
     fn hdbscan_empty_input() {
-        let dm = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        let dm = DistanceMatrix::builder().build_from_fn(0, |_, _| 0.0);
         let c = hdbscan(&dm, &HdbscanParams::default());
         assert!(c.labels.is_empty());
     }
@@ -463,7 +463,7 @@ mod tests {
     #[test]
     fn hdbscan_three_blobs() {
         let n_per = 10;
-        let dm = DistanceMatrix::from_fn(3 * n_per, |i, j| {
+        let dm = DistanceMatrix::builder().build_from_fn(3 * n_per, |i, j| {
             if i / n_per == j / n_per {
                 0.02 + 0.001 * ((i + j) % 5) as f64
             } else {
@@ -494,17 +494,13 @@ mod tests {
         // epsilon 0.5 the split at 0.2 must be vetoed → single cluster
         // (allow_single_cluster enabled).
         let n_per = 8;
-        let dm =
-            DistanceMatrix::from_fn(
-                2 * n_per,
-                |i, j| {
-                    if i / n_per == j / n_per {
-                        0.02
-                    } else {
-                        0.2
-                    }
-                },
-            );
+        let dm = DistanceMatrix::builder().build_from_fn(2 * n_per, |i, j| {
+            if i / n_per == j / n_per {
+                0.02
+            } else {
+                0.2
+            }
+        });
         let split = hdbscan(
             &dm,
             &HdbscanParams {
@@ -569,9 +565,9 @@ mod tests {
 
     #[test]
     fn core_distances_trivial_inputs() {
-        let empty = DistanceMatrix::from_fn(0, |_, _| 0.0);
+        let empty = DistanceMatrix::builder().build_from_fn(0, |_, _| 0.0);
         assert!(core_distances(&empty, 5).is_empty());
-        let single = DistanceMatrix::from_fn(1, |_, _| 0.0);
+        let single = DistanceMatrix::builder().build_from_fn(1, |_, _| 0.0);
         assert_eq!(core_distances(&single, 5), vec![0.0]);
     }
 
@@ -592,11 +588,9 @@ mod tests {
                 // Derive a symmetric matrix of pseudo-random distances
                 // from the sampled pool.
                 let n = (1 + (seed_dists.len() as f64).sqrt() as usize).min(16);
-                let dm = DistanceMatrix::from_fn_with(
-                    &ThreadPool::new(1),
-                    n,
-                    |i, j| seed_dists[(i * 31 + j * 17) % seed_dists.len()],
-                );
+                let dm = DistanceMatrix::builder()
+                    .pool(&ThreadPool::new(1))
+                    .build_from_fn(n, |i, j| seed_dists[(i * 31 + j * 17) % seed_dists.len()]);
                 let seq = core_distances_with(&ThreadPool::new(1), &dm, min_samples);
                 for threads in [2usize, 8] {
                     let par = core_distances_with(&ThreadPool::new(threads), &dm, min_samples);

@@ -30,7 +30,7 @@
 //!     .iter()
 //!     .map(|tr| encoder.encode(tr))
 //!     .collect();
-//! let dm = DistanceMatrix::from_sets(&sets);
+//! let dm = DistanceMatrix::builder().build_from(&sets);
 //! assert!(dm.get(0, 1) < dm.get(0, 2));
 //! ```
 
@@ -40,10 +40,10 @@ pub mod representative;
 pub mod ted;
 pub mod traceset;
 
-pub use distance::DistanceMatrix;
+pub use distance::{trace_distance, trace_distance_hashed, DistanceMatrix, DistanceMatrixBuilder};
 pub use hdbscan::{
     core_distances, core_distances_with, dbscan, hdbscan, Clustering, DbscanParams, HdbscanParams,
 };
 pub use representative::geometric_median;
 pub use ted::{normalized_ted, tree_edit_distance, OrderedTree};
-pub use traceset::{TraceSetEncoder, WeightedTraceSet};
+pub use traceset::{ElementId, ElementInterner, HashedTraceSet, TraceSetEncoder, WeightedTraceSet};

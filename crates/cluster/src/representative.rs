@@ -49,14 +49,14 @@ mod tests {
         // Points on a line at 0, 1, 2, 3, 10 — point 1 is the median of
         // {0, 1, 2}; the far point 10 pulls the full median to 2.
         let pos = [0.0f64, 1.0, 2.0, 3.0, 10.0];
-        let dm = DistanceMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs());
+        let dm = DistanceMatrix::builder().build_from_fn(5, |i, j| (pos[i] - pos[j]).abs());
         assert_eq!(geometric_median(&dm, &[0, 1, 2]), Some(1));
         assert_eq!(geometric_median(&dm, &[0, 1, 2, 3, 4]), Some(2));
     }
 
     #[test]
     fn median_of_singleton_and_empty() {
-        let dm = DistanceMatrix::from_fn(3, |_, _| 1.0);
+        let dm = DistanceMatrix::builder().build_from_fn(3, |_, _| 1.0);
         assert_eq!(geometric_median(&dm, &[2]), Some(2));
         assert_eq!(geometric_median(&dm, &[]), None);
     }
@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn representatives_per_cluster() {
         let pos = [0.0f64, 0.1, 0.2, 5.0, 5.1, 5.2];
-        let dm = DistanceMatrix::from_fn(6, |i, j| (pos[i] - pos[j]).abs());
+        let dm = DistanceMatrix::builder().build_from_fn(6, |i, j| (pos[i] - pos[j]).abs());
         let clustering = Clustering {
             labels: vec![0, 0, 0, 1, 1, 1],
         };
@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn ties_resolve_deterministically() {
-        let dm = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let dm = DistanceMatrix::builder().build_from_fn(2, |_, _| 1.0);
         assert_eq!(geometric_median(&dm, &[0, 1]), Some(0));
     }
 }

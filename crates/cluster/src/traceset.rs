@@ -6,25 +6,200 @@
 //! the element weight is the span duration, so long spans dominate the
 //! similarity — "more sensitive to high-duration spans as they
 //! contribute more significantly to the entire trace".
+//!
+//! # Hot-path representation
+//!
+//! [`WeightedTraceSet`] stores the set as two parallel flat arrays —
+//! sorted dense element ids ([`ElementId`], `u32`) and their weights —
+//! so the weighted-Jaccard distance
+//! ([`trace_distance`](crate::distance::trace_distance)) is a
+//! sorted-merge over contiguous memory with no hashing in the inner
+//! loop. Element ids come from the process-global [`ElementInterner`],
+//! which maps each distinct span-identifier tuple (all components
+//! already interned `u32` symbols) to a dense id.
+//!
+//! The pre-refactor encoding — 64-bit FNV identifier hashes in a
+//! `BTreeMap` — is retained as [`HashedTraceSet`] /
+//! [`TraceSetEncoder::encode_hashed`]: it is the reference baseline the
+//! property suite proves the flat encoding bit-identical against, and
+//! the comparison point for `benches/hotpath.rs`. Bit-identity holds
+//! because element weights are integer-valued (µs durations), and
+//! integer-valued `f64` sums below 2⁵³ are exact, hence independent of
+//! the summation order that differs between id order and hash order
+//! (see DESIGN.md §13). The two encodings group spans identically
+//! unless two distinct identifier tuples collide under 64-bit FNV —
+//! negligible at corpus scale.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 use sleuth_trace::Trace;
 
-/// Hash of a span identifier tuple. Two spans share an element iff
-/// their identifiers hash equally (64-bit FNV; collisions negligible at
-/// corpus scale).
-pub type ElementId = u64;
+/// Dense interned id of a span-identifier tuple, assigned first-seen
+/// by the process-global [`ElementInterner`].
+pub type ElementId = u32;
 
-/// A trace encoded as a weighted set of span identifiers.
+/// 64-bit FNV hash of a span identifier tuple, as used by the
+/// reference [`HashedTraceSet`] encoding.
+pub type HashedElementId = u64;
+
+/// Process-global interner of span-identifier tuples.
+///
+/// Keys are the small `u32` sequences built by
+/// [`TraceSetEncoder::encode`] (service symbol, name symbol, kind,
+/// error flag, ancestor name symbols); values are dense [`ElementId`]s
+/// assigned first-seen. Like the string
+/// [`Interner`](sleuth_trace::Interner), the table only grows with the
+/// number of *distinct* operations × calling paths, which the paper's
+/// scale argument (§3.2.2) bounds far below span volume.
+#[derive(Default)]
+pub struct ElementInterner {
+    inner: RwLock<HashMap<Box<[u32]>, ElementId>>,
+}
+
+impl ElementInterner {
+    /// Create an empty interner (tests; production shares
+    /// [`ElementInterner::global`]).
+    pub fn new() -> Self {
+        ElementInterner::default()
+    }
+
+    /// The process-wide element interner used by
+    /// [`TraceSetEncoder::encode`].
+    pub fn global() -> &'static ElementInterner {
+        static GLOBAL: OnceLock<ElementInterner> = OnceLock::new();
+        GLOBAL.get_or_init(ElementInterner::new)
+    }
+
+    /// Intern an identifier tuple, returning its stable dense id.
+    pub fn intern(&self, key: &[u32]) -> ElementId {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            return id;
+        }
+        let mut w = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = w.get(key) {
+            return id;
+        }
+        let id = ElementId::try_from(w.len()).expect("element interner capacity exhausted");
+        w.insert(key.into(), id);
+        id
+    }
+
+    /// Number of distinct identifier tuples interned.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no tuples have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for ElementInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElementInterner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A trace encoded as a weighted set of span identifiers, stored as
+/// parallel sorted-id / weight arrays (structure-of-arrays).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct WeightedTraceSet {
-    elements: BTreeMap<ElementId, f64>,
+    /// Distinct element ids, strictly increasing.
+    ids: Vec<ElementId>,
+    /// Weight of the element at the same index in `ids`.
+    weights: Vec<f64>,
 }
 
 impl WeightedTraceSet {
-    /// The underlying `identifier → weight` map.
-    pub fn elements(&self) -> &BTreeMap<ElementId, f64> {
+    /// The sorted element ids.
+    pub fn ids(&self) -> &[ElementId] {
+        &self.ids
+    }
+
+    /// The element weights, parallel to [`WeightedTraceSet::ids`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterate `(id, weight)` pairs in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, f64)> + '_ {
+        self.ids.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Weight of an element, or `None` if absent.
+    pub fn weight_of(&self, id: ElementId) -> Option<f64> {
+        self.ids.binary_search(&id).ok().map(|i| self.weights[i])
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total weight `|S|` (Eq. 1).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Add weight to an element (merging duplicates by summation).
+    pub fn add(&mut self, id: ElementId, weight: f64) {
+        match self.ids.binary_search(&id) {
+            Ok(i) => self.weights[i] += weight,
+            Err(i) => {
+                self.ids.insert(i, id);
+                self.weights.insert(i, weight);
+            }
+        }
+    }
+
+    /// Build from `(id, weight)` pairs in occurrence order, merging
+    /// duplicate ids by summation. The sort is stable so duplicate
+    /// weights accumulate in occurrence order, exactly like the
+    /// reference `BTreeMap` encoding.
+    fn from_pairs_in_order(mut pairs: Vec<(ElementId, f64)>) -> Self {
+        pairs.sort_by_key(|&(id, _)| id);
+        let mut ids: Vec<ElementId> = Vec::with_capacity(pairs.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            if ids.last() == Some(&id) {
+                *weights.last_mut().expect("parallel to ids") += w;
+            } else {
+                ids.push(id);
+                weights.push(w);
+            }
+        }
+        WeightedTraceSet { ids, weights }
+    }
+}
+
+/// A trace encoded with 64-bit FNV identifier hashes in a `BTreeMap` —
+/// the pre-refactor representation, kept as the reference baseline for
+/// the bit-identity property suite and the hot-path benchmarks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HashedTraceSet {
+    elements: BTreeMap<HashedElementId, f64>,
+}
+
+impl HashedTraceSet {
+    /// The underlying `identifier hash → weight` map.
+    pub fn elements(&self) -> &BTreeMap<HashedElementId, f64> {
         &self.elements
     }
 
@@ -44,7 +219,7 @@ impl WeightedTraceSet {
     }
 
     /// Add weight to an element (merging duplicates by summation).
-    pub fn add(&mut self, id: ElementId, weight: f64) {
+    pub fn add(&mut self, id: HashedElementId, weight: f64) {
         *self.elements.entry(id).or_insert(0.0) += weight;
     }
 }
@@ -72,9 +247,43 @@ impl TraceSetEncoder {
         TraceSetEncoder { d_max }
     }
 
-    /// Encode one trace.
+    /// Encode one trace into the flat interned representation.
+    ///
+    /// Per span this pushes the already-interned identifier symbols
+    /// into a small reused `u32` key and interns the tuple — no string
+    /// hashing, no per-span allocation beyond the output arrays.
     pub fn encode(&self, trace: &Trace) -> WeightedTraceSet {
-        let mut set = WeightedTraceSet::default();
+        let interner = ElementInterner::global();
+        let mut key: Vec<u32> = Vec::with_capacity(4 + self.d_max);
+        let mut pairs: Vec<(ElementId, f64)> = Vec::with_capacity(trace.len());
+        for (i, span) in trace.iter() {
+            key.clear();
+            key.push(span.service_sym.id());
+            key.push(span.name_sym.id());
+            key.push(span.kind.index() as u32);
+            key.push(u32::from(span.is_error()));
+            let mut anc = trace.parent(i);
+            let mut hop = 0;
+            while hop < self.d_max {
+                match anc {
+                    Some(a) => {
+                        key.push(trace.span(a).name_sym.id());
+                        anc = trace.parent(a);
+                        hop += 1;
+                    }
+                    None => break,
+                }
+            }
+            pairs.push((interner.intern(&key), span.duration_us().max(1) as f64));
+        }
+        WeightedTraceSet::from_pairs_in_order(pairs)
+    }
+
+    /// Encode one trace with the reference FNV-hash representation
+    /// (pre-refactor semantics, string hashing per span). Used by the
+    /// bit-identity property suite and `benches/hotpath.rs`.
+    pub fn encode_hashed(&self, trace: &Trace) -> HashedTraceSet {
+        let mut set = HashedTraceSet::default();
         for (i, span) in trace.iter() {
             let mut h = 0xcbf29ce484222325u64;
             fnv1a_str(&mut h, &span.service);
@@ -125,6 +334,7 @@ mod tests {
         let a = chain(&["a", "b", "c"], &[100, 50, 20], false);
         let b = chain(&["a", "b", "c"], &[100, 50, 20], false);
         assert_eq!(enc.encode(&a), enc.encode(&b));
+        assert_eq!(enc.encode_hashed(&a), enc.encode_hashed(&b));
     }
 
     #[test]
@@ -132,6 +342,17 @@ mod tests {
         let enc = TraceSetEncoder::new(3);
         let t = chain(&["a", "b"], &[100, 40], false);
         assert_eq!(enc.encode(&t).total_weight(), 140.0);
+        assert_eq!(enc.encode_hashed(&t).total_weight(), 140.0);
+    }
+
+    #[test]
+    fn ids_are_sorted_and_distinct() {
+        let enc = TraceSetEncoder::new(3);
+        let t = chain(&["a", "b", "c", "d"], &[100, 50, 20, 5], false);
+        let set = enc.encode(&t);
+        assert!(set.ids().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(set.ids().len(), set.weights().len());
+        assert_eq!(set.len(), 4);
     }
 
     #[test]
@@ -142,9 +363,9 @@ mod tests {
         assert_ne!(ok, err);
         // Only the errored leaf's identifier changed.
         let shared = ok
-            .elements()
-            .keys()
-            .filter(|k| err.elements().contains_key(*k))
+            .ids()
+            .iter()
+            .filter(|k| err.weight_of(**k).is_some())
             .count();
         assert_eq!(shared, 1);
     }
@@ -164,9 +385,9 @@ mod tests {
         let sb0 = enc0.encode(&via_b);
         let sc0 = enc0.encode(&via_c);
         let shared = sb0
-            .elements()
-            .keys()
-            .filter(|k| sc0.elements().contains_key(*k))
+            .ids()
+            .iter()
+            .filter(|k| sc0.weight_of(**k).is_some())
             .count();
         assert!(shared >= 2, "root and leaf should coincide, got {shared}");
     }
@@ -192,6 +413,9 @@ mod tests {
         let set = TraceSetEncoder::new(3).encode(&t);
         assert_eq!(set.len(), 2);
         assert_eq!(set.total_weight(), 100.0 + 20.0 + 30.0);
+        let hashed = TraceSetEncoder::new(3).encode_hashed(&t);
+        assert_eq!(hashed.len(), 2);
+        assert_eq!(hashed.total_weight(), 150.0);
     }
 
     #[test]
@@ -199,5 +423,30 @@ mod tests {
         let t = Trace::assemble(vec![Span::builder(1, 1, "s", "op").time(5, 5).build()]).unwrap();
         let set = TraceSetEncoder::new(3).encode(&t);
         assert_eq!(set.total_weight(), 1.0);
+    }
+
+    #[test]
+    fn element_interner_is_idempotent() {
+        let i = ElementInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern(&[1, 2, 3]);
+        let b = i.intern(&[1, 2, 3]);
+        let c = i.intern(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn add_keeps_sorted_invariant() {
+        let mut s = WeightedTraceSet::default();
+        s.add(9, 1.0);
+        s.add(3, 2.0);
+        s.add(9, 0.5);
+        s.add(6, 4.0);
+        assert_eq!(s.ids(), &[3, 6, 9]);
+        assert_eq!(s.weight_of(9), Some(1.5));
+        assert_eq!(s.weight_of(4), None);
+        assert_eq!(s.total_weight(), 7.5);
     }
 }

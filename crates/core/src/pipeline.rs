@@ -258,6 +258,13 @@ impl SleuthPipeline {
         &self.encoder
     }
 
+    /// The process-wide string interner backing every span identifier
+    /// the pipeline touches. Resolve a [`sleuth_trace::Symbol`] from an
+    /// RCA result or profile key back to text through this handle.
+    pub fn interner(&self) -> &'static sleuth_trace::Interner {
+        sleuth_trace::Interner::global()
+    }
+
     /// A copy of this pipeline with its detector SLOs and
     /// counterfactual restore targets replaced by `profile` — the
     /// incremental baseline-refresh hook. The trained GNN, featurizer
@@ -307,7 +314,7 @@ impl SleuthPipeline {
         match options.clustering {
             ClusteringMode::Jaccard => {
                 let sets = pool.par_map(traces, |t| self.encoder.encode(t.borrow()));
-                let dm = DistanceMatrix::from_sets_with(pool, &sets);
+                let dm = DistanceMatrix::builder().pool(pool).build_from(&sets);
                 self.localize_clustered(traces, &dm)
             }
             ClusteringMode::Disabled => pool
@@ -502,7 +509,7 @@ mod tests {
             traces.iter().cloned().map(std::sync::Arc::new).collect();
         assert_eq!(pipeline.analyze(&shared, AnalyzeOptions::unclustered()), owned);
         let sets: Vec<_> = traces.iter().map(|t| TraceSetEncoder::new(3).encode(t)).collect();
-        let dm = DistanceMatrix::from_sets(&sets);
+        let dm = DistanceMatrix::builder().build_from(&sets);
         assert_eq!(
             pipeline.analyze(&borrowed, AnalyzeOptions::with_distance(&dm)),
             pipeline.analyze(&traces, AnalyzeOptions::with_distance(&dm))

@@ -221,7 +221,7 @@ pub fn ablation_clustering(scale: &EvalScale) -> ClusteringAblation {
     for q in &prepared.queries {
         let traces: Vec<&Trace> = q.traces.iter().map(|t| &t.trace).collect();
         let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
-        let dm = DistanceMatrix::from_sets(&sets);
+        let dm = DistanceMatrix::builder().build_from(&sets);
         let clustering = dbscan(
             &dm,
             &DbscanParams {

@@ -167,7 +167,7 @@ fn eval_deeptralog_clustered(
             .iter()
             .map(|t| deeptralog.borrow_mut().embed(t))
             .collect();
-        let dm = DistanceMatrix::from_fn(traces.len(), |i, j| {
+        let dm = DistanceMatrix::builder().build_from_fn(traces.len(), |i, j| {
             embeddings[i]
                 .iter()
                 .zip(&embeddings[j])

@@ -283,23 +283,23 @@ impl BaselineRefresher {
         let base_profile = self.base.detector().profile();
         let mut stats: HashMap<OpKey, OpStats> = base_profile
             .iter()
-            .map(|(key, stats)| (key.clone(), stats.clone()))
+            .map(|(key, stats)| (*key, stats.clone()))
             .collect();
         for (key, sketch) in &self.ops {
             if sketch.duration.count as usize >= self.min_op_samples {
-                stats.insert(key.clone(), sketch.to_stats());
+                stats.insert(*key, sketch.to_stats());
             }
         }
         let mut root_p50: HashMap<OpKey, u64> = HashMap::new();
         let mut root_p95: HashMap<OpKey, u64> = HashMap::new();
         for (key, p50, p95) in base_profile.roots() {
-            root_p50.insert(key.clone(), p50);
-            root_p95.insert(key.clone(), p95);
+            root_p50.insert(*key, p50);
+            root_p95.insert(*key, p95);
         }
         for (key, sketch) in &self.roots {
             if sketch.p95.count() as usize >= self.min_op_samples {
-                root_p50.insert(key.clone(), sketch.p50.estimate().max(0.0) as u64);
-                root_p95.insert(key.clone(), sketch.p95.estimate().max(0.0) as u64);
+                root_p50.insert(*key, sketch.p50.estimate().max(0.0) as u64);
+                root_p95.insert(*key, sketch.p95.estimate().max(0.0) as u64);
             }
         }
         let profile = OpProfile::from_parts(stats, root_p95, root_p50);

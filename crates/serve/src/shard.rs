@@ -12,7 +12,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use sleuth_store::{Collector, TraceStore};
-use sleuth_trace::{Span, Trace, TraceId};
+use sleuth_trace::{Assembler, Span, Trace, TraceId};
 
 use crate::config::ServeConfig;
 use crate::inject::FaultInjector;
@@ -86,6 +86,9 @@ pub(crate) struct ShardCtx {
 /// and the message in flight when the panic hit.
 struct ShardState {
     collector: Collector,
+    /// Reusable trace assembler: its adjacency/BFS scratch arrays stay
+    /// warm across every trace this shard completes.
+    assembler: Assembler,
     store: TraceStore,
     evicted_seen: usize,
     deduped_seen: usize,
@@ -122,6 +125,7 @@ fn apply_skew(now_us: u64, skew_us: i64) -> u64 {
 pub(crate) fn run_shard(ctx: ShardCtx, config: &ServeConfig) -> ShardReport {
     let mut state = ShardState {
         collector: Collector::new(config.idle_timeout_us).with_caps(config.collector_caps),
+        assembler: Assembler::new(),
         store: TraceStore::new(),
         evicted_seen: 0,
         deduped_seen: 0,
@@ -211,7 +215,7 @@ fn shard_loop(ctx: &ShardCtx, state: &mut ShardState, skew_us: i64) {
             let span_count = spans.len();
             ctx.metrics.spans_stored.add(span_count as u64);
             state.store.extend(spans.clone());
-            match Trace::assemble(spans) {
+            match state.assembler.assemble(spans) {
                 Ok(trace) => {
                     ctx.metrics.traces_completed.inc();
                     let trace = Arc::new(trace);

@@ -47,12 +47,7 @@ impl BaselineStats {
         let errors: HashMap<GroupKey, usize> = {
             let mut m: HashMap<GroupKey, usize> = HashMap::new();
             for s in Query::new(store).errors_only().spans() {
-                let key = GroupKey {
-                    service: s.service.clone(),
-                    name: s.name.clone(),
-                    kind: s.kind,
-                };
-                *m.entry(key).or_default() += 1;
+                *m.entry(GroupKey::of(&s)).or_default() += 1;
             }
             m
         };
@@ -81,19 +76,31 @@ impl BaselineStats {
         BaselineStats { by_op }
     }
 
+    /// Stats for one operation key, if observed.
+    pub fn get_key(&self, key: GroupKey) -> Option<&OperationStats> {
+        self.by_op.get(&key)
+    }
+
     /// Stats for one operation, if observed.
+    #[deprecated(note = "resolve a symbol-keyed `GroupKey` (`GroupKey::of`/`GroupKey::resolve`) \
+                         and use `get_key`")]
     pub fn get(&self, service: &str, name: &str, kind: sleuth_trace::SpanKind) -> Option<&OperationStats> {
-        self.by_op.get(&GroupKey {
-            service: service.to_string(),
-            name: name.to_string(),
-            kind,
-        })
+        self.get_key(GroupKey::resolve(service, name, kind)?)
+    }
+
+    /// Median duration for an operation key, falling back to
+    /// `default_us` when the operation was never observed (e.g. new
+    /// service).
+    pub fn median_or_key(&self, key: GroupKey, default_us: u64) -> u64 {
+        self.get_key(key).map(|s| s.median_us).unwrap_or(default_us)
     }
 
     /// Median duration for an operation, falling back to `default_us`
     /// when the operation was never observed (e.g. new service).
+    #[deprecated(note = "resolve a symbol-keyed `GroupKey` and use `median_or_key`")]
     pub fn median_or(&self, service: &str, name: &str, kind: sleuth_trace::SpanKind, default_us: u64) -> u64 {
-        self.get(service, name, kind)
+        GroupKey::resolve(service, name, kind)
+            .and_then(|k| self.get_key(k))
             .map(|s| s.median_us)
             .unwrap_or(default_us)
     }
@@ -187,7 +194,8 @@ mod tests {
     fn baseline_stats_fields() {
         let store = corpus();
         let stats = BaselineStats::compute(&store);
-        let op = stats.get("cart", "Add", SpanKind::Server).unwrap();
+        let key = GroupKey::resolve("cart", "Add", SpanKind::Server).unwrap();
+        let op = stats.get_key(key).unwrap();
         assert_eq!(op.count, 12);
         assert!(op.median_us >= 290 && op.median_us <= 310, "median {}", op.median_us);
         assert_eq!(op.p99_us, 10_000);
@@ -198,8 +206,23 @@ mod tests {
     #[test]
     fn median_or_falls_back() {
         let stats = BaselineStats::compute(&corpus());
-        assert_eq!(stats.median_or("ghost", "Op", SpanKind::Server, 777), 777);
-        assert_ne!(stats.median_or("cart", "Add", SpanKind::Server, 777), 777);
+        let ghost = GroupKey {
+            service: sleuth_trace::Symbol::intern("ghost"),
+            name: sleuth_trace::Symbol::intern("Op"),
+            kind: SpanKind::Server,
+        };
+        assert_eq!(stats.median_or_key(ghost, 777), 777);
+        let cart = GroupKey::resolve("cart", "Add", SpanKind::Server).unwrap();
+        assert_ne!(stats.median_or_key(cart, 777), 777);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_string_accessors_still_work() {
+        let stats = BaselineStats::compute(&corpus());
+        assert!(stats.get("cart", "Add", SpanKind::Server).is_some());
+        assert!(stats.get("never-interned", "Add", SpanKind::Server).is_none());
+        assert_eq!(stats.median_or("never-interned2", "Op", SpanKind::Server, 42), 42);
     }
 
     #[test]

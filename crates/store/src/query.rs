@@ -2,26 +2,31 @@
 
 use std::collections::HashMap;
 
-use sleuth_trace::{Span, SpanKind, TraceId};
+use sleuth_trace::{Span, SpanKind, Symbol, TraceId};
 
 use crate::store::TraceStore;
 
 /// A composable span scan over a [`TraceStore`].
 ///
 /// Filters are conjunctive. Terminal methods execute the scan.
+/// Identifier filters are symbol-keyed ([`Query::service_sym`]), so
+/// the scan compares dense `u32`s against the columnar storage.
 ///
 /// ```
 /// # use sleuth_store::{Query, TraceStore};
-/// # use sleuth_trace::Span;
+/// # use sleuth_trace::{Span, Symbol};
 /// # let mut store = TraceStore::new();
 /// # store.insert_span(Span::builder(1, 1, "cart", "Add").time(0, 100).build());
-/// let slow = Query::new(&store).service("cart").min_duration_us(50).spans();
+/// let cart = Symbol::intern("cart");
+/// let slow = Query::new(&store).service_sym(cart).min_duration_us(50).spans();
 /// assert_eq!(slow.len(), 1);
 /// ```
 #[derive(Debug)]
 pub struct Query<'a> {
     store: &'a TraceStore,
-    service: Option<String>,
+    /// Outer `None`: no service filter. `Some(None)`: filter on a name
+    /// that was never interned, so nothing can match.
+    service: Option<Option<Symbol>>,
     kind: Option<SpanKind>,
     errors_only: bool,
     min_duration_us: Option<u64>,
@@ -43,9 +48,17 @@ impl<'a> Query<'a> {
         }
     }
 
+    /// Keep spans from the service with this interned symbol only.
+    pub fn service_sym(mut self, service: Symbol) -> Self {
+        self.service = Some(Some(service));
+        self
+    }
+
     /// Keep spans from this service only.
+    #[deprecated(note = "resolve the symbol once (`Symbol::lookup`/`Symbol::intern`) and use \
+                         `service_sym`; string lookups do a hash per query build")]
     pub fn service(mut self, service: impl Into<String>) -> Self {
-        self.service = Some(service.into());
+        self.service = Some(Symbol::lookup(&service.into()));
         self
     }
 
@@ -80,11 +93,11 @@ impl<'a> Query<'a> {
     }
 
     fn matching_rows(&self) -> Vec<usize> {
-        let svc_id = match &self.service {
-            Some(s) => match self.store.service_id(s) {
-                Some(id) => Some(id),
-                None => return Vec::new(),
-            },
+        let svc_id = match self.service {
+            Some(Some(sym)) => Some(sym),
+            // A service name that was never interned anywhere cannot
+            // appear in any store.
+            Some(None) => return Vec::new(),
             None => None,
         };
         self.store
@@ -161,8 +174,8 @@ impl<'a> Query<'a> {
         let mut groups: HashMap<GroupKey, Vec<u64>> = HashMap::new();
         for r in self.matching_rows() {
             let key = GroupKey {
-                service: self.store.str_text(self.store.service_col()[r]).to_string(),
-                name: self.store.str_text(self.store.name_col()[r]).to_string(),
+                service: self.store.service_col()[r],
+                name: self.store.name_col()[r],
                 kind: self.store.kind_col()[r],
             };
             let dur = self.store.end_col()[r] - self.store.start_col()[r];
@@ -172,15 +185,46 @@ impl<'a> Query<'a> {
     }
 }
 
-/// Aggregation key: one logical operation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Aggregation key: one logical operation, identified by interned
+/// symbols. `Copy`, so grouping and lookups never clone strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupKey {
-    /// Service name.
-    pub service: String,
-    /// Operation name.
-    pub name: String,
+    /// Service symbol (global interner).
+    pub service: Symbol,
+    /// Operation-name symbol (global interner).
+    pub name: Symbol,
     /// Span kind.
     pub kind: SpanKind,
+}
+
+impl GroupKey {
+    /// The grouping key of a span.
+    pub fn of(span: &Span) -> GroupKey {
+        GroupKey {
+            service: span.service_sym,
+            name: span.name_sym,
+            kind: span.kind,
+        }
+    }
+
+    /// Resolve the key from strings, if both have been interned.
+    pub fn resolve(service: &str, name: &str, kind: SpanKind) -> Option<GroupKey> {
+        Some(GroupKey {
+            service: Symbol::lookup(service)?,
+            name: Symbol::lookup(name)?,
+            kind,
+        })
+    }
+
+    /// Service name text.
+    pub fn service_str(&self) -> &'static str {
+        self.service.as_str()
+    }
+
+    /// Operation name text.
+    pub fn name_str(&self) -> &'static str {
+        self.name.as_str()
+    }
 }
 
 #[cfg(test)]
@@ -210,8 +254,17 @@ mod tests {
     #[test]
     fn filter_by_service() {
         let s = store();
+        let cart = Symbol::intern("cart");
+        assert_eq!(Query::new(&s).service_sym(cart).count(), 2);
+        assert_eq!(Query::new(&s).service_sym(Symbol::intern("nope")).count(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_string_service_filter_still_works() {
+        let s = store();
         assert_eq!(Query::new(&s).service("cart").count(), 2);
-        assert_eq!(Query::new(&s).service("nope").count(), 0);
+        assert_eq!(Query::new(&s).service("never-interned-svc").count(), 0);
     }
 
     #[test]
@@ -234,13 +287,11 @@ mod tests {
     #[test]
     fn conjunctive_filters() {
         let s = store();
-        assert_eq!(
-            Query::new(&s).service("cart").errors_only().count(),
-            1
-        );
+        let cart = Symbol::intern("cart");
+        assert_eq!(Query::new(&s).service_sym(cart).errors_only().count(), 1);
         assert_eq!(
             Query::new(&s)
-                .service("cart")
+                .service_sym(cart)
                 .errors_only()
                 .min_duration_us(10_000)
                 .count(),
@@ -251,7 +302,8 @@ mod tests {
     #[test]
     fn trace_ids_deduplicated() {
         let s = store();
-        assert_eq!(Query::new(&s).service("cart").trace_ids(), vec![1, 2]);
+        let cart = Symbol::intern("cart");
+        assert_eq!(Query::new(&s).service_sym(cart).trace_ids(), vec![1, 2]);
     }
 
     #[test]
@@ -266,12 +318,11 @@ mod tests {
     fn group_by_operation() {
         let s = store();
         let groups = Query::new(&s).durations_by_operation();
-        let key = GroupKey {
-            service: "cart".into(),
-            name: "Add".into(),
-            kind: SpanKind::Client,
-        };
+        let key = GroupKey::resolve("cart", "Add", SpanKind::Client).unwrap();
         assert_eq!(groups[&key], vec![300]);
         assert_eq!(groups.len(), 3);
+        assert_eq!(key.service_str(), "cart");
+        assert_eq!(key.name_str(), "Add");
+        assert_eq!(GroupKey::resolve("no-such-svc", "Add", SpanKind::Client), None);
     }
 }

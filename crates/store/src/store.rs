@@ -1,55 +1,34 @@
-//! Columnar span storage with string interning.
+//! Columnar span storage keyed by globally interned symbols.
+//!
+//! String columns (`service`, `name`, `pod`, `node`) hold
+//! [`Symbol`]s from the process-global
+//! [`Interner`](sleuth_trace::Interner) rather than a store-private
+//! string table. Because every span already carries its interned
+//! symbols from [`SpanBuilder::build`](sleuth_trace::SpanBuilder),
+//! insertion pushes plain `u32`s (no hashing, no string copies), and
+//! [`TraceStore::merge`] between sharded stores is a column append —
+//! symbols mean the same thing in every store of the process.
 
 use std::collections::HashMap;
 
-use sleuth_trace::{AssembleTraceError, Span, SpanKind, StatusCode, Trace, TraceId};
-
-/// Interned string id.
-pub(crate) type StrId = u32;
-
-/// A deduplicating string table shared by all string columns.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct StringTable {
-    by_text: HashMap<String, StrId>,
-    texts: Vec<String>,
-}
-
-impl StringTable {
-    fn intern(&mut self, s: &str) -> StrId {
-        if let Some(&id) = self.by_text.get(s) {
-            return id;
-        }
-        let id = self.texts.len() as StrId;
-        self.texts.push(s.to_string());
-        self.by_text.insert(s.to_string(), id);
-        id
-    }
-
-    fn get(&self, id: StrId) -> &str {
-        &self.texts[id as usize]
-    }
-
-    fn lookup(&self, s: &str) -> Option<StrId> {
-        self.by_text.get(s).copied()
-    }
-}
+use sleuth_trace::{AssembleTraceError, Interner, Span, SpanKind, StatusCode, Symbol, Trace, TraceId};
 
 /// Columnar storage of spans: one vector per attribute, plus a per-trace
-/// row index. Strings (`service`, `name`, `pod`, `node`) are interned.
+/// row index. Strings (`service`, `name`, `pod`, `node`) are stored as
+/// globally interned [`Symbol`]s.
 #[derive(Debug, Default, Clone)]
 pub struct TraceStore {
-    strings: StringTable,
     trace_id: Vec<TraceId>,
     span_id: Vec<u64>,
     parent_span_id: Vec<Option<u64>>,
-    service: Vec<StrId>,
-    name: Vec<StrId>,
+    service: Vec<Symbol>,
+    name: Vec<Symbol>,
     kind: Vec<SpanKind>,
     start_us: Vec<u64>,
     end_us: Vec<u64>,
     status: Vec<StatusCode>,
-    pod: Vec<StrId>,
-    node: Vec<StrId>,
+    pod: Vec<Symbol>,
+    node: Vec<Symbol>,
     rows_by_trace: HashMap<TraceId, Vec<usize>>,
 }
 
@@ -57,6 +36,12 @@ impl TraceStore {
     /// Create an empty store.
     pub fn new() -> Self {
         TraceStore::default()
+    }
+
+    /// The interner whose symbols this store's string columns hold —
+    /// the process-global table, shared with every [`Span`].
+    pub fn interner(&self) -> &'static Interner {
+        Interner::global()
     }
 
     /// Number of spans stored.
@@ -74,24 +59,22 @@ impl TraceStore {
         self.trace_id.is_empty()
     }
 
-    /// Insert one span.
+    /// Insert one span. The identifier columns take the span's
+    /// pre-interned symbols; only `pod`/`node` (not interned by the
+    /// builder) hit the interner here.
     pub fn insert_span(&mut self, span: Span) {
         let row = self.span_count();
         self.trace_id.push(span.trace_id);
         self.span_id.push(span.span_id);
         self.parent_span_id.push(span.parent_span_id);
-        let svc = self.strings.intern(&span.service);
-        let name = self.strings.intern(&span.name);
-        let pod = self.strings.intern(&span.pod);
-        let node = self.strings.intern(&span.node);
-        self.service.push(svc);
-        self.name.push(name);
+        self.service.push(span.service_sym);
+        self.name.push(span.name_sym);
         self.kind.push(span.kind);
         self.start_us.push(span.start_us);
         self.end_us.push(span.end_us);
         self.status.push(span.status);
-        self.pod.push(pod);
-        self.node.push(node);
+        self.pod.push(Symbol::intern(&span.pod));
+        self.node.push(Symbol::intern(&span.node));
         self.rows_by_trace.entry(span.trace_id).or_default().push(row);
     }
 
@@ -109,12 +92,28 @@ impl TraceStore {
         }
     }
 
-    /// Absorb every span of `other`, re-interning its strings into
-    /// this store's table. Lets sharded stores (one per serving
-    /// worker) be folded into a single queryable store after drain.
+    /// Absorb every span of `other`. Because both stores share the
+    /// process-global interner, this is a plain column append — no
+    /// string re-interning and no span materialisation. Lets sharded
+    /// stores (one per serving worker) be folded into a single
+    /// queryable store after drain.
     pub fn merge(&mut self, other: &TraceStore) {
-        for row in other.rows() {
-            self.insert_span(other.span_at(row));
+        let base = self.span_count();
+        self.trace_id.extend_from_slice(&other.trace_id);
+        self.span_id.extend_from_slice(&other.span_id);
+        self.parent_span_id.extend_from_slice(&other.parent_span_id);
+        self.service.extend_from_slice(&other.service);
+        self.name.extend_from_slice(&other.name);
+        self.kind.extend_from_slice(&other.kind);
+        self.start_us.extend_from_slice(&other.start_us);
+        self.end_us.extend_from_slice(&other.end_us);
+        self.status.extend_from_slice(&other.status);
+        self.pod.extend_from_slice(&other.pod);
+        self.node.extend_from_slice(&other.node);
+        for (&tid, rows) in &other.rows_by_trace {
+            let entry = self.rows_by_trace.entry(tid).or_default();
+            entry.extend(rows.iter().map(|&r| base + r));
+            entry.sort_unstable();
         }
     }
 
@@ -124,14 +123,16 @@ impl TraceStore {
             trace_id: self.trace_id[row],
             span_id: self.span_id[row],
             parent_span_id: self.parent_span_id[row],
-            service: self.strings.get(self.service[row]).to_string(),
-            name: self.strings.get(self.name[row]).to_string(),
+            service: self.service[row].as_str().to_string(),
+            name: self.name[row].as_str().to_string(),
+            service_sym: self.service[row],
+            name_sym: self.name[row],
             kind: self.kind[row],
             start_us: self.start_us[row],
             end_us: self.end_us[row],
             status: self.status[row],
-            pod: self.strings.get(self.pod[row]).to_string(),
-            node: self.strings.get(self.node[row]).to_string(),
+            pod: self.pod[row].as_str().to_string(),
+            node: self.node[row].as_str().to_string(),
         }
     }
 
@@ -199,16 +200,11 @@ impl TraceStore {
         0..self.span_count()
     }
 
-    /// Interned id for a service name, if it has been seen.
-    pub(crate) fn service_id(&self, service: &str) -> Option<StrId> {
-        self.strings.lookup(service)
-    }
-
-    pub(crate) fn service_col(&self) -> &[StrId] {
+    pub(crate) fn service_col(&self) -> &[Symbol] {
         &self.service
     }
 
-    pub(crate) fn name_col(&self) -> &[StrId] {
+    pub(crate) fn name_col(&self) -> &[Symbol] {
         &self.name
     }
 
@@ -230,10 +226,6 @@ impl TraceStore {
 
     pub(crate) fn trace_id_col(&self) -> &[TraceId] {
         &self.trace_id
-    }
-
-    pub(crate) fn str_text(&self, id: StrId) -> &str {
-        self.strings.get(id)
     }
 }
 
@@ -291,13 +283,24 @@ mod tests {
     }
 
     #[test]
-    fn string_interning_dedups() {
+    fn identifier_columns_are_dense_symbols() {
         let mut s = TraceStore::new();
         for tid in 0..50 {
             s.extend(sample_spans(tid));
         }
-        // 3 services + 3 names + empty pod/node = small table.
-        assert!(s.strings.texts.len() <= 8);
+        // 150 rows, but only 3 distinct service symbols.
+        let mut services: Vec<Symbol> = s.service_col().to_vec();
+        services.sort_unstable();
+        services.dedup();
+        assert_eq!(services.len(), 3);
+        // Symbols resolve through the global interner.
+        let texts: Vec<&str> = services.iter().map(|s| s.as_str()).collect();
+        for t in ["frontend", "cart", "db"] {
+            assert!(texts.contains(&t), "{t} missing from {texts:?}");
+        }
+        // Row 0 is the frontend root span; its column symbol is the
+        // global interner's symbol for the same text.
+        assert_eq!(Some(s.service_col()[0]), s.interner().get("frontend"));
     }
 
     #[test]
@@ -330,6 +333,21 @@ mod tests {
         assert_eq!(a.span_count(), 9);
         let t2 = a.trace(2).unwrap();
         assert_eq!(t2, Trace::assemble(sample_spans(2)).unwrap());
+    }
+
+    #[test]
+    fn merge_interleaved_trace_rows_stay_ordered() {
+        // The same trace id split across both stores: merged row lists
+        // must stay sorted so assembly sees a coherent batch.
+        let mut a = TraceStore::new();
+        let mut b = TraceStore::new();
+        let spans = sample_spans(4);
+        a.insert_span(spans[0].clone());
+        b.insert_span(spans[1].clone());
+        b.insert_span(spans[2].clone());
+        a.merge(&b);
+        let t = a.trace(4).unwrap();
+        assert_eq!(t, Trace::assemble(spans).unwrap());
     }
 
     #[test]

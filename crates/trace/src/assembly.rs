@@ -70,100 +70,196 @@ impl Error for AssembleTraceError {}
 /// * every parent reference resolves,
 /// * every span is reachable from the root (no parent cycles).
 ///
+/// One-shot convenience over [`Assembler`]; loops assembling many
+/// traces (collectors, serve shards) should hold an `Assembler` and
+/// reuse its scratch buffers instead.
+///
 /// # Errors
 ///
 /// See [`AssembleTraceError`].
 pub fn assemble(spans: Vec<Span>) -> Result<Trace, AssembleTraceError> {
-    if spans.is_empty() {
-        return Err(AssembleTraceError::Empty);
+    Assembler::new().assemble(spans)
+}
+
+/// Sentinel in the parent-position scratch for "span has no parent".
+const NO_PARENT: usize = usize::MAX;
+
+/// Reusable trace assembler.
+///
+/// Assembly is arena-style: all intermediate state (id→position map,
+/// CSR adjacency in input-position space, BFS order, depth and
+/// re-index tables) lives in flat buffers owned by the `Assembler` and
+/// is recycled across calls, so a collector loop assembling thousands
+/// of traces allocates only the arrays the returned [`Trace`] itself
+/// owns. The input spans are re-ordered in place (cycle-following
+/// permutation) rather than moved through a second vector.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    id_to_pos: HashMap<SpanId, usize>,
+    parent_pos: Vec<usize>,
+    pos_off: Vec<usize>,
+    pos_fill: Vec<usize>,
+    pos_children: Vec<usize>,
+    order: Vec<usize>,
+    depth_by_pos: Vec<usize>,
+    new_idx: Vec<SpanIdx>,
+}
+
+impl Assembler {
+    /// Create an assembler with empty scratch buffers.
+    pub fn new() -> Self {
+        Assembler::default()
     }
-    let trace_id = spans[0].trace_id;
-    for s in &spans {
-        if s.trace_id != trace_id {
-            return Err(AssembleTraceError::MixedTraceIds(trace_id, s.trace_id));
+
+    /// Assemble an unordered span batch into a [`Trace`], reusing this
+    /// assembler's scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssembleTraceError`]; the spans are dropped on error.
+    pub fn assemble(&mut self, mut spans: Vec<Span>) -> Result<Trace, AssembleTraceError> {
+        if spans.is_empty() {
+            return Err(AssembleTraceError::Empty);
         }
-    }
-
-    let mut id_to_pos: HashMap<SpanId, usize> = HashMap::with_capacity(spans.len());
-    for (pos, s) in spans.iter().enumerate() {
-        if id_to_pos.insert(s.span_id, pos).is_some() {
-            return Err(AssembleTraceError::DuplicateSpanId(s.span_id));
+        let n = spans.len();
+        let trace_id = spans[0].trace_id;
+        for s in &spans {
+            if s.trace_id != trace_id {
+                return Err(AssembleTraceError::MixedTraceIds(trace_id, s.trace_id));
+            }
         }
-    }
 
-    let roots: Vec<SpanId> = spans
-        .iter()
-        .filter(|s| s.parent_span_id.is_none())
-        .map(|s| s.span_id)
-        .collect();
-    let root_id = match roots.as_slice() {
-        [] => return Err(AssembleTraceError::MissingRoot),
-        [only] => *only,
-        _ => return Err(AssembleTraceError::MultipleRoots(roots)),
-    };
-
-    // Children adjacency keyed by original positions.
-    let mut raw_children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
-    for (pos, s) in spans.iter().enumerate() {
-        if let Some(pid) = s.parent_span_id {
-            let ppos = *id_to_pos
-                .get(&pid)
-                .ok_or(AssembleTraceError::DanglingParent {
-                    span: s.span_id,
-                    parent: pid,
-                })?;
-            raw_children[ppos].push(pos);
+        self.id_to_pos.clear();
+        self.id_to_pos.reserve(n);
+        for (pos, s) in spans.iter().enumerate() {
+            if self.id_to_pos.insert(s.span_id, pos).is_some() {
+                return Err(AssembleTraceError::DuplicateSpanId(s.span_id));
+            }
         }
-    }
-    for kids in &mut raw_children {
-        kids.sort_by_key(|&c| (spans[c].start_us, spans[c].span_id));
-    }
 
-    // BFS from root to build topological order and detect unreachable spans.
-    let root_pos = id_to_pos[&root_id];
-    let mut order: Vec<usize> = Vec::with_capacity(spans.len());
-    let mut depth_by_pos: Vec<usize> = vec![0; spans.len()];
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(root_pos);
-    while let Some(p) = queue.pop_front() {
-        order.push(p);
-        for &c in &raw_children[p] {
-            depth_by_pos[c] = depth_by_pos[p] + 1;
-            queue.push_back(c);
+        let mut root_pos = NO_PARENT;
+        let mut root_count = 0usize;
+        for (pos, s) in spans.iter().enumerate() {
+            if s.parent_span_id.is_none() {
+                root_pos = pos;
+                root_count += 1;
+            }
         }
-    }
-    if order.len() != spans.len() {
-        let reached: std::collections::HashSet<usize> = order.iter().copied().collect();
-        let missing = (0..spans.len()).find(|p| !reached.contains(p)).expect(
-            "order shorter than span count implies an unreached position",
-        );
-        return Err(AssembleTraceError::Unreachable(spans[missing].span_id));
-    }
-
-    // Re-index into topological order.
-    let mut new_idx: Vec<SpanIdx> = vec![0; spans.len()];
-    for (new, &old) in order.iter().enumerate() {
-        new_idx[old] = new;
-    }
-    let mut ordered: Vec<Option<Span>> = spans.into_iter().map(Some).collect();
-    let mut out_spans: Vec<Span> = Vec::with_capacity(ordered.len());
-    for &old in &order {
-        out_spans.push(ordered[old].take().expect("each position taken once"));
-    }
-    let mut parent: Vec<Option<SpanIdx>> = vec![None; out_spans.len()];
-    let mut children: Vec<Vec<SpanIdx>> = vec![Vec::new(); out_spans.len()];
-    let mut depth: Vec<usize> = vec![0; out_spans.len()];
-    for (new, &old) in order.iter().enumerate() {
-        depth[new] = depth_by_pos[old];
-        children[new] = raw_children[old].iter().map(|&c| new_idx[c]).collect();
-    }
-    for (i, kids) in children.iter().enumerate() {
-        for &k in kids {
-            parent[k] = Some(i);
+        match root_count {
+            0 => return Err(AssembleTraceError::MissingRoot),
+            1 => {}
+            _ => {
+                let roots = spans
+                    .iter()
+                    .filter(|s| s.parent_span_id.is_none())
+                    .map(|s| s.span_id)
+                    .collect();
+                return Err(AssembleTraceError::MultipleRoots(roots));
+            }
         }
-    }
 
-    Ok(Trace::from_parts(out_spans, parent, children, depth, 0))
+        // CSR children adjacency in input-position space: count each
+        // parent's out-degree, prefix-sum into offsets, then fill.
+        self.parent_pos.clear();
+        self.parent_pos.resize(n, NO_PARENT);
+        self.pos_off.clear();
+        self.pos_off.resize(n + 1, 0);
+        for (pos, s) in spans.iter().enumerate() {
+            if let Some(pid) = s.parent_span_id {
+                let ppos =
+                    *self
+                        .id_to_pos
+                        .get(&pid)
+                        .ok_or(AssembleTraceError::DanglingParent {
+                            span: s.span_id,
+                            parent: pid,
+                        })?;
+                self.parent_pos[pos] = ppos;
+                self.pos_off[ppos + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.pos_off[i + 1] += self.pos_off[i];
+        }
+        self.pos_fill.clear();
+        self.pos_fill.extend_from_slice(&self.pos_off[..n]);
+        self.pos_children.clear();
+        self.pos_children.resize(self.pos_off[n], 0);
+        for pos in 0..n {
+            let ppos = self.parent_pos[pos];
+            if ppos != NO_PARENT {
+                self.pos_children[self.pos_fill[ppos]] = pos;
+                self.pos_fill[ppos] += 1;
+            }
+        }
+        for p in 0..n {
+            self.pos_children[self.pos_off[p]..self.pos_off[p + 1]]
+                .sort_unstable_by_key(|&c| (spans[c].start_us, spans[c].span_id));
+        }
+
+        // BFS from the root: `order` doubles as the queue. Builds the
+        // topological order and per-span depth, and exposes parent
+        // cycles as unreachable spans.
+        self.order.clear();
+        self.order.reserve(n);
+        self.order.push(root_pos);
+        self.depth_by_pos.clear();
+        self.depth_by_pos.resize(n, 0);
+        let mut head = 0;
+        while head < self.order.len() {
+            let p = self.order[head];
+            head += 1;
+            for &c in &self.pos_children[self.pos_off[p]..self.pos_off[p + 1]] {
+                self.depth_by_pos[c] = self.depth_by_pos[p] + 1;
+                self.order.push(c);
+            }
+        }
+        if self.order.len() != n {
+            let mut reached = vec![false; n];
+            for &p in &self.order {
+                reached[p] = true;
+            }
+            let missing = reached
+                .iter()
+                .position(|&r| !r)
+                .expect("order shorter than span count implies an unreached position");
+            return Err(AssembleTraceError::Unreachable(spans[missing].span_id));
+        }
+
+        // Re-index into topological order.
+        self.new_idx.clear();
+        self.new_idx.resize(n, 0);
+        for (new, &old) in self.order.iter().enumerate() {
+            self.new_idx[old] = new;
+        }
+        let mut parent: Vec<Option<SpanIdx>> = vec![None; n];
+        let mut depth: Vec<usize> = vec![0; n];
+        let mut child_off: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut child_idx: Vec<SpanIdx> = Vec::with_capacity(n - 1);
+        child_off.push(0);
+        for (new, &old) in self.order.iter().enumerate() {
+            depth[new] = self.depth_by_pos[old];
+            for &c in &self.pos_children[self.pos_off[old]..self.pos_off[old + 1]] {
+                let cn = self.new_idx[c];
+                parent[cn] = Some(new);
+                child_idx.push(cn);
+            }
+            child_off.push(child_idx.len());
+        }
+
+        // Apply the permutation in place: span at input position `i`
+        // belongs at `new_idx[i]`. Cycle-following swaps leave
+        // `new_idx` as the identity, so it is consumed here.
+        for i in 0..n {
+            while self.new_idx[i] != i {
+                let j = self.new_idx[i];
+                spans.swap(i, j);
+                self.new_idx.swap(i, j);
+            }
+        }
+
+        Ok(Trace::from_parts(spans, parent, child_off, child_idx, depth, 0))
+    }
 }
 
 #[cfg(test)]

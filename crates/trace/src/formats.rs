@@ -18,6 +18,10 @@ pub enum ParseSpanError {
     Json(String),
     /// An id field was not valid hexadecimal.
     BadId(String),
+    /// An id field had an odd number of hex digits. Ids are byte
+    /// strings; an odd digit count means a mangled record, so it is
+    /// rejected rather than silently truncated.
+    OddLengthId(String),
     /// A span ended before it started.
     NegativeDuration {
         /// Offending span id (hex).
@@ -30,6 +34,9 @@ impl std::fmt::Display for ParseSpanError {
         match self {
             ParseSpanError::Json(e) => write!(f, "invalid JSON: {e}"),
             ParseSpanError::BadId(s) => write!(f, "invalid hex id {s:?}"),
+            ParseSpanError::OddLengthId(s) => {
+                write!(f, "hex id {s:?} has an odd number of digits")
+            }
             ParseSpanError::NegativeDuration { span } => {
                 write!(f, "span {span} ends before it starts")
             }
@@ -40,13 +47,30 @@ impl std::fmt::Display for ParseSpanError {
 impl std::error::Error for ParseSpanError {}
 
 fn parse_hex_id(s: &str) -> Result<u64, ParseSpanError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(ParseSpanError::OddLengthId(s.to_string()));
+    }
     // Ids may be up to 128-bit; keep the low 64 bits, as many backends do.
     let tail = if s.len() > 16 { &s[s.len() - 16..] } else { s };
     u64::from_str_radix(tail, 16).map_err(|_| ParseSpanError::BadId(s.to_string()))
 }
 
+/// Append the 16-digit zero-padded lowercase hex form of `v` to `out`
+/// without any intermediate allocation (unlike `format!("{v:016x}")`,
+/// which builds formatter machinery and a fresh `String` per id).
+pub fn write_hex16(v: u64, out: &mut String) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut buf = [0u8; 16];
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = DIGITS[((v >> (60 - 4 * i)) & 0xf) as usize];
+    }
+    out.push_str(std::str::from_utf8(&buf).expect("hex digits are ASCII"));
+}
+
 fn hex16(v: u64) -> String {
-    format!("{v:016x}")
+    let mut s = String::with_capacity(16);
+    write_hex16(v, &mut s);
+    s
 }
 
 // ---------------------------------------------------------------------------
@@ -179,14 +203,427 @@ pub fn from_otel(records: &[OtelSpan]) -> Result<Vec<Span>, ParseSpanError> {
 
 /// Parse an OTLP-flavour JSON array into spans.
 ///
+/// This is the ingest hot path, so it does not round-trip through an
+/// intermediate record/value tree: a hand-rolled scanner walks the
+/// JSON bytes once, decoding each field into reusable scratch buffers
+/// and building [`Span`]s directly. The only per-span heap traffic is
+/// the owned strings of the resulting `Span` itself.
+///
 /// # Errors
 ///
 /// Returns [`ParseSpanError::Json`] for malformed JSON, otherwise as
 /// [`from_otel`].
 pub fn from_otel_json(json: &str) -> Result<Vec<Span>, ParseSpanError> {
-    let records: Vec<OtelSpan> =
-        serde_json::from_str(json).map_err(|e| ParseSpanError::Json(e.to_string()))?;
-    from_otel(&records)
+    let mut scanner = OtlpScanner::new(json);
+    scanner.parse_spans()
+}
+
+/// Single-pass OTLP-JSON scanner (see [`from_otel_json`]).
+///
+/// Field text is decoded into scratch buffers that are reused across
+/// spans, so steady-state parsing allocates nothing beyond the owned
+/// strings of the resulting [`Span`]s.
+struct OtlpScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Scratch for object keys.
+    key: String,
+    /// Scratch for transient field text (ids, kind, status).
+    tmp: String,
+    /// Raw span-id text, kept for error reporting.
+    span_id_text: String,
+    service: String,
+    name: String,
+    pod: String,
+    node: String,
+}
+
+impl<'a> OtlpScanner<'a> {
+    fn new(json: &'a str) -> Self {
+        OtlpScanner {
+            bytes: json.as_bytes(),
+            pos: 0,
+            key: String::new(),
+            tmp: String::new(),
+            span_id_text: String::new(),
+            service: String::new(),
+            name: String::new(),
+            pod: String::new(),
+            node: String::new(),
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseSpanError {
+        ParseSpanError::Json(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseSpanError> {
+        self.skip_ws();
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", want as char)))
+        }
+    }
+
+    /// Decode a JSON string value into `buf` (cleared first). The
+    /// escape-free fast path is a single scan plus one `memcpy` into
+    /// the warm buffer.
+    fn string_fill(
+        bytes: &[u8],
+        pos: &mut usize,
+        buf: &mut String,
+    ) -> Result<(), ParseSpanError> {
+        buf.clear();
+        while let Some(&b) = bytes.get(*pos) {
+            if b.is_ascii_whitespace() {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        let bad = |pos: usize| ParseSpanError::Json(format!("malformed string at byte {pos}"));
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(bad(*pos));
+        }
+        *pos += 1;
+        loop {
+            let seg = *pos;
+            while let Some(&b) = bytes.get(*pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                *pos += 1;
+            }
+            buf.push_str(std::str::from_utf8(&bytes[seg..*pos]).map_err(|_| bad(seg))?);
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = *bytes.get(*pos).ok_or_else(|| bad(*pos))?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => buf.push('"'),
+                        b'\\' => buf.push('\\'),
+                        b'/' => buf.push('/'),
+                        b'b' => buf.push('\u{8}'),
+                        b'f' => buf.push('\u{c}'),
+                        b'n' => buf.push('\n'),
+                        b'r' => buf.push('\r'),
+                        b't' => buf.push('\t'),
+                        b'u' => {
+                            let hi = Self::hex4(bytes, pos).ok_or_else(|| bad(*pos))?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair.
+                                if bytes.get(*pos) != Some(&b'\\')
+                                    || bytes.get(*pos + 1) != Some(&b'u')
+                                {
+                                    return Err(bad(*pos));
+                                }
+                                *pos += 2;
+                                let lo = Self::hex4(bytes, pos).ok_or_else(|| bad(*pos))?;
+                                let code = 0x10000
+                                    + ((hi - 0xd800) << 10)
+                                    + lo.checked_sub(0xdc00).ok_or_else(|| bad(*pos))?;
+                                char::from_u32(code).ok_or_else(|| bad(*pos))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| bad(*pos))?
+                            };
+                            buf.push(c);
+                        }
+                        _ => return Err(bad(*pos)),
+                    }
+                }
+                _ => return Err(bad(*pos)),
+            }
+        }
+    }
+
+    fn hex4(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = *bytes.get(*pos)?;
+            *pos += 1;
+            v = v * 16 + (b as char).to_digit(16)?;
+        }
+        Some(v)
+    }
+
+    /// Parse an unsigned 64-bit integer, bare or quoted (the OTLP
+    /// proto3 JSON mapping renders 64-bit ints as strings).
+    fn parse_u64(&mut self) -> Result<u64, ParseSpanError> {
+        self.skip_ws();
+        let quoted = self.peek() == Some(b'"');
+        if quoted {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let mut v: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| self.err("integer overflow"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer"));
+        }
+        if quoted {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("unterminated quoted integer"));
+            }
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Skip any JSON value (used for unknown fields).
+    fn skip_value(&mut self) -> Result<(), ParseSpanError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                let mut sink = std::mem::take(&mut self.tmp);
+                let r = Self::string_fill(self.bytes, &mut self.pos, &mut sink);
+                self.tmp = sink;
+                r
+            }
+            Some(b'{') | Some(b'[') => {
+                let mut depth = 0usize;
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'{') | Some(b'[') => {
+                            depth += 1;
+                            self.pos += 1;
+                        }
+                        Some(b'}') | Some(b']') => {
+                            depth -= 1;
+                            self.pos += 1;
+                            if depth == 0 {
+                                return Ok(());
+                            }
+                        }
+                        Some(b'"') => {
+                            let mut sink = std::mem::take(&mut self.tmp);
+                            let r = Self::string_fill(self.bytes, &mut self.pos, &mut sink);
+                            self.tmp = sink;
+                            r?;
+                        }
+                        Some(_) => self.pos += 1,
+                        None => return Err(self.err("unterminated value")),
+                    }
+                }
+            }
+            Some(_) => {
+                while let Some(b) = self.peek() {
+                    if b == b',' || b == b'}' || b == b']' || b.is_ascii_whitespace() {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// `true` when the next value is `null` (which is then consumed).
+    fn take_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_spans(&mut self) -> Result<Vec<Span>, ParseSpanError> {
+        let mut out = Vec::new();
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                let span = self.parse_record()?;
+                out.push(span);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after span array"));
+        }
+        Ok(out)
+    }
+
+    /// Decode a string value into the scratch field extracted with
+    /// `std::mem::take` from `slot`, putting it back afterwards.
+    fn field_fill(
+        &mut self,
+        slot: impl Fn(&mut Self) -> &mut String,
+    ) -> Result<(), ParseSpanError> {
+        let mut buf = std::mem::take(slot(self));
+        let r = Self::string_fill(self.bytes, &mut self.pos, &mut buf);
+        *slot(self) = buf;
+        r
+    }
+
+    fn parse_record(&mut self) -> Result<Span, ParseSpanError> {
+        self.expect(b'{')?;
+        let mut trace_id: Option<TraceId> = None;
+        let mut span_id: Option<SpanId> = None;
+        let mut parent: Option<SpanId> = None;
+        let mut kind: Option<SpanKind> = None;
+        let mut status = StatusCode::Unset;
+        let mut start_nano: Option<u64> = None;
+        let mut end_nano: Option<u64> = None;
+        let (mut has_name, mut has_service) = (false, false);
+        self.service.clear();
+        self.name.clear();
+        self.pod.clear();
+        self.node.clear();
+        self.span_id_text.clear();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b',') => {
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            self.field_fill(|s| &mut s.key)?;
+            self.expect(b':')?;
+            // Dispatch on the key text. `self.key` is not touched by
+            // any of the value parsers.
+            let key = std::mem::take(&mut self.key);
+            let result = match key.as_str() {
+                "traceId" => self.field_fill(|s| &mut s.tmp).and_then(|()| {
+                    trace_id = Some(parse_hex_id(&self.tmp)?);
+                    Ok(())
+                }),
+                "spanId" => self.field_fill(|s| &mut s.tmp).and_then(|()| {
+                    span_id = Some(parse_hex_id(&self.tmp)?);
+                    std::mem::swap(&mut self.span_id_text, &mut self.tmp);
+                    Ok(())
+                }),
+                "parentSpanId" => {
+                    if self.take_null() {
+                        Ok(())
+                    } else {
+                        self.field_fill(|s| &mut s.tmp).and_then(|()| {
+                            if !self.tmp.is_empty() {
+                                parent = Some(parse_hex_id(&self.tmp)?);
+                            }
+                            Ok(())
+                        })
+                    }
+                }
+                "name" => {
+                    has_name = true;
+                    self.field_fill(|s| &mut s.name)
+                }
+                "serviceName" => {
+                    has_service = true;
+                    self.field_fill(|s| &mut s.service)
+                }
+                "podName" => {
+                    if self.take_null() {
+                        Ok(())
+                    } else {
+                        self.field_fill(|s| &mut s.pod)
+                    }
+                }
+                "nodeName" => {
+                    if self.take_null() {
+                        Ok(())
+                    } else {
+                        self.field_fill(|s| &mut s.node)
+                    }
+                }
+                "kind" => self.field_fill(|s| &mut s.tmp).map(|()| {
+                    kind = Some(parse_otel_kind(&self.tmp));
+                }),
+                "statusCode" => {
+                    if self.take_null() {
+                        Ok(())
+                    } else {
+                        self.field_fill(|s| &mut s.tmp).map(|()| {
+                            status = match self.tmp.as_str() {
+                                "STATUS_CODE_ERROR" => StatusCode::Error,
+                                "STATUS_CODE_OK" => StatusCode::Ok,
+                                _ => StatusCode::Unset,
+                            };
+                        })
+                    }
+                }
+                "startTimeUnixNano" => self.parse_u64().map(|v| start_nano = Some(v)),
+                "endTimeUnixNano" => self.parse_u64().map(|v| end_nano = Some(v)),
+                _ => self.skip_value(),
+            };
+            self.key = key;
+            result?;
+        }
+        let missing = |f: &str| ParseSpanError::Json(format!("missing field `{f}`"));
+        let trace_id = trace_id.ok_or_else(|| missing("traceId"))?;
+        let span_id = span_id.ok_or_else(|| missing("spanId"))?;
+        let kind = kind.ok_or_else(|| missing("kind"))?;
+        let start_nano = start_nano.ok_or_else(|| missing("startTimeUnixNano"))?;
+        let end_nano = end_nano.ok_or_else(|| missing("endTimeUnixNano"))?;
+        if !has_name {
+            return Err(missing("name"));
+        }
+        if !has_service {
+            return Err(missing("serviceName"));
+        }
+        if end_nano < start_nano {
+            return Err(ParseSpanError::NegativeDuration {
+                span: self.span_id_text.clone(),
+            });
+        }
+        let mut b = Span::builder(trace_id, span_id, &*self.service, &*self.name)
+            .kind(kind)
+            .time(start_nano / 1_000, end_nano / 1_000)
+            .status(status)
+            .placement(&*self.pod, &*self.node);
+        if let Some(p) = parent {
+            b = b.parent(p);
+        }
+        Ok(b.build())
+    }
 }
 
 /// Serialise spans as an OTLP-flavour JSON array.
@@ -523,11 +960,112 @@ mod tests {
     #[test]
     fn bad_hex_rejected() {
         let mut rec = to_otel(&sample());
-        rec[0].trace_id = "not-hex".into();
+        rec[0].trace_id = "not-hexy".into(); // even length, non-hex digits
         assert!(matches!(
             from_otel(&rec),
             Err(ParseSpanError::BadId(_))
         ));
+    }
+
+    #[test]
+    fn odd_length_id_rejected_not_truncated() {
+        let mut rec = to_otel(&sample());
+        rec[0].trace_id = "abc".into(); // would parse as 0xabc if truncated
+        assert!(matches!(
+            from_otel(&rec),
+            Err(ParseSpanError::OddLengthId(_))
+        ));
+        let mut rec = to_otel(&sample());
+        rec[1].span_id = "0123456789abcdef0".into(); // 17 digits
+        assert!(matches!(
+            from_otel(&rec),
+            Err(ParseSpanError::OddLengthId(_))
+        ));
+    }
+
+    #[test]
+    fn write_hex16_matches_format() {
+        for v in [0u64, 1, 0xabc, u64::MAX, 0x0123_4567_89ab_cdef] {
+            let mut s = String::new();
+            write_hex16(v, &mut s);
+            assert_eq!(s, format!("{v:016x}"));
+        }
+    }
+
+    #[test]
+    fn scanner_matches_typed_import() {
+        // The hand-rolled scanner and the serde/record path must agree.
+        let spans = sample();
+        let json = to_otel_json(&spans);
+        let typed: Vec<OtelSpan> = serde_json::from_str(&json).unwrap();
+        assert_eq!(from_otel_json(&json).unwrap(), from_otel(&typed).unwrap());
+    }
+
+    #[test]
+    fn scanner_handles_escapes_unknown_fields_and_quoted_ints() {
+        let json = r#"[
+          {
+            "traceId": "0abc",
+            "spanId": "01",
+            "name": "GET \"\u00e9tat\" \n",
+            "kind": "SPAN_KIND_SERVER",
+            "startTimeUnixNano": "1000000",
+            "endTimeUnixNano": 9000000,
+            "statusCode": null,
+            "serviceName": "front\\end",
+            "futureField": {"nested": ["x", 1, true, null]},
+            "another": -3.5
+          },
+          {
+            "traceId": "0abc",
+            "spanId": "02",
+            "parentSpanId": "01",
+            "name": "q",
+            "kind": "SPAN_KIND_CLIENT",
+            "startTimeUnixNano": 2000000,
+            "endTimeUnixNano": 7000000,
+            "serviceName": "db",
+            "podName": "db-0",
+            "nodeName": null
+          }
+        ]"#;
+        let spans = from_otel_json(json).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "GET \"\u{e9}tat\" \n");
+        assert_eq!(spans[0].service, "front\\end");
+        assert_eq!(spans[0].start_us, 1_000);
+        assert_eq!(spans[0].status, StatusCode::Unset);
+        assert_eq!(spans[1].parent_span_id, Some(1));
+        assert_eq!(spans[1].pod, "db-0");
+        assert_eq!(spans[1].node, "");
+    }
+
+    #[test]
+    fn scanner_reports_missing_fields_and_garbage() {
+        assert!(matches!(
+            from_otel_json(r#"[{"traceId": "01"}]"#),
+            Err(ParseSpanError::Json(_))
+        ));
+        assert!(matches!(
+            from_otel_json("[1, 2]"),
+            Err(ParseSpanError::Json(_))
+        ));
+        assert!(matches!(
+            from_otel_json("[] trailing"),
+            Err(ParseSpanError::Json(_))
+        ));
+        assert!(from_otel_json("  [ ]  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn scanner_negative_duration_names_the_span() {
+        let json = r#"[{"traceId": "0a", "spanId": "beef", "name": "x",
+            "kind": "SPAN_KIND_SERVER", "startTimeUnixNano": 2000,
+            "endTimeUnixNano": 1000, "serviceName": "s"}]"#;
+        match from_otel_json(json) {
+            Err(ParseSpanError::NegativeDuration { span }) => assert_eq!(span, "beef"),
+            other => panic!("expected NegativeDuration, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! String interning: the id-first identifier layer of the hot paths.
+//!
+//! The paper's scale argument (§3.2.2) — billions of spans but only a
+//! few thousand distinct service/operation names — means every hot
+//! path that hashes, compares or clones identifier *strings* is doing
+//! per-span work proportional to string length for information worth
+//! 32 bits. This module provides the [`Symbol`]/[`Interner`] layer the
+//! rest of the system builds on:
+//!
+//! * [`Symbol`] is a dense `u32` handle; comparing, hashing and
+//!   copying one is a register operation,
+//! * [`Interner`] is a thread-safe append-only symbol table with
+//!   *stable resolve*: once a string is interned its symbol and its
+//!   `&'static str` text never change or move for the life of the
+//!   process,
+//! * [`Interner::global`] is the process-wide table every
+//!   [`Span`](crate::Span) draws its `service_sym`/`name_sym` from, so
+//!   equal identifier strings yield equal symbols across threads and
+//!   subsystems (property-tested under concurrent interning).
+//!
+//! Interned strings are allocated once and intentionally never freed
+//! (the table only grows with the number of *distinct* identifiers,
+//! which is bounded by the deployment's service/operation vocabulary —
+//! the same argument `EmbeddingInterner` makes for one vector per
+//! distinct string). This is what makes `resolve` a borrow instead of
+//! a reference-counted clone.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, PoisonError, RwLock};
+
+/// A dense interned-string handle.
+///
+/// Symbols are meaningful relative to the [`Interner`] that produced
+/// them; the convenience constructors/accessors ([`Symbol::intern`],
+/// [`Symbol::as_str`]) use the process-global table, which is where
+/// every [`Span`](crate::Span) symbol comes from. Two symbols from the
+/// same interner are equal iff their strings are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Intern `s` in the process-global table.
+    pub fn intern(s: &str) -> Symbol {
+        Interner::global().intern(s)
+    }
+
+    /// Look up `s` in the process-global table without inserting.
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        Interner::global().get(s)
+    }
+
+    /// The text of a symbol produced by the process-global table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` did not come from [`Interner::global`] (e.g. a
+    /// symbol from a local test interner with a larger id space).
+    pub fn as_str(self) -> &'static str {
+        Interner::global().resolve(self)
+    }
+
+    /// The raw dense id (index into the producing interner's table).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a symbol from a raw id. The caller asserts the id came
+    /// from [`Symbol::id`] against the same interner.
+    pub fn from_id(id: u32) -> Symbol {
+        Symbol(id)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match Interner::global().try_resolve(*self) {
+            Some(s) => f.write_str(s),
+            None => write!(f, "<sym#{}>", self.0),
+        }
+    }
+}
+
+/// Interner state: the map borrows the same leaked allocations the
+/// dense table points at, so both stay valid forever.
+#[derive(Default)]
+struct Inner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+/// A thread-safe, append-only string interner with stable resolve.
+///
+/// `intern` takes a read lock on the hit path (the overwhelmingly
+/// common case once the identifier vocabulary has been seen) and a
+/// write lock only for first-seen strings. Interned text is leaked
+/// into the heap exactly once, which is what lets [`Interner::resolve`]
+/// hand out `&'static str` without reference counting; the leak is
+/// bounded by the number of distinct strings ever interned.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Create an empty interner (tests and tooling; production code
+    /// shares [`Interner::global`]).
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The process-wide interner backing [`Span`](crate::Span) symbols.
+    pub fn global() -> &'static Interner {
+        static GLOBAL: OnceLock<Interner> = OnceLock::new();
+        GLOBAL.get_or_init(Interner::new)
+    }
+
+    /// Intern `s`, returning its stable symbol. Idempotent: the same
+    /// string always yields the same symbol, from any thread.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&id) = self.read().map.get(s) {
+            return Symbol(id);
+        }
+        let mut w = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        // Double-checked: another thread may have interned `s` between
+        // our read and write lock.
+        if let Some(&id) = w.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(w.strings.len()).expect("interner capacity (2^32 symbols) exhausted");
+        let text: &'static str = Box::leak(s.into());
+        w.strings.push(text);
+        w.map.insert(text, id);
+        Symbol(id)
+    }
+
+    /// Look up a string without inserting it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.read().map.get(s).map(|&id| Symbol(id))
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
+        self.try_resolve(sym).expect("symbol from a different interner")
+    }
+
+    /// The text of `sym`, or `None` if it is not from this interner.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&'static str> {
+        self.read().strings.get(sym.0 as usize).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.read().strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("cart");
+        let b = i.intern("cart");
+        let c = i.intern("orders");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        let texts = ["GET /", "checkout", "", "db.query", "checkout"];
+        let syms: Vec<Symbol> = texts.iter().map(|t| i.intern(t)).collect();
+        for (t, s) in texts.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *t);
+        }
+        assert_eq!(syms[1], syms[4]);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let i = Interner::new();
+        assert_eq!(i.get("ghost"), None);
+        assert!(i.is_empty());
+        let s = i.intern("ghost");
+        assert_eq!(i.get("ghost"), Some(s));
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_ids() {
+        let i = Interner::new();
+        i.intern("only");
+        assert_eq!(i.try_resolve(Symbol(0)), Some("only"));
+        assert_eq!(i.try_resolve(Symbol(7)), None);
+    }
+
+    #[test]
+    fn global_symbols_are_stable_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|k| Symbol::intern(&format!("svc-{}", k % 16)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all[1..] {
+            assert_eq!(row, &all[0]);
+        }
+        for (k, sym) in all[0].iter().take(16).enumerate() {
+            assert_eq!(sym.as_str(), format!("svc-{k}"));
+        }
+    }
+
+    #[test]
+    fn symbol_display_and_raw_id() {
+        let s = Symbol::intern("display-me");
+        assert_eq!(s.to_string(), "display-me");
+        assert_eq!(Symbol::from_id(s.id()), s);
+        assert_eq!(Symbol::lookup("display-me"), Some(s));
+    }
+}

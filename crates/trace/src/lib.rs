@@ -44,10 +44,12 @@
 pub mod assembly;
 pub mod exclusive;
 pub mod formats;
+pub mod intern;
 pub mod span;
 pub mod trace;
 pub mod transform;
 
-pub use assembly::AssembleTraceError;
+pub use assembly::{AssembleTraceError, Assembler};
+pub use intern::{Interner, Symbol};
 pub use span::{Span, SpanBuilder, SpanId, SpanKind, StatusCode, TraceId};
 pub use trace::{SpanIdx, Trace};

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::intern::Symbol;
+
 /// Unique identifier of a trace (one end-to-end request).
 pub type TraceId = u64;
 
@@ -122,6 +124,16 @@ pub struct Span {
     pub service: String,
     /// Operation name (e.g. `GET /cart`, `redis.get`).
     pub name: String,
+    /// Interned [`Symbol`] for `service` in [`Interner::global`]
+    /// (set by the builder; the hot paths key on this, never the
+    /// string).
+    ///
+    /// [`Interner::global`]: crate::intern::Interner::global
+    pub service_sym: Symbol,
+    /// Interned [`Symbol`] for `name` in [`Interner::global`].
+    ///
+    /// [`Interner::global`]: crate::intern::Interner::global
+    pub name_sym: Symbol,
     /// RPC role of the span.
     pub kind: SpanKind,
     /// Start timestamp in microseconds.
@@ -163,6 +175,16 @@ impl Span {
     /// Wall-clock duration of the span in microseconds.
     pub fn duration_us(&self) -> u64 {
         self.end_us - self.start_us
+    }
+
+    /// Interned service symbol (dense u32 handle; see [`Symbol`]).
+    pub fn service_sym(&self) -> Symbol {
+        self.service_sym
+    }
+
+    /// Interned operation-name symbol.
+    pub fn name_sym(&self) -> Symbol {
+        self.name_sym
     }
 
     /// Whether the span failed.
@@ -228,12 +250,16 @@ impl SpanBuilder {
         self
     }
 
-    /// Finish building the span.
+    /// Finish building the span. Interns the service and operation
+    /// names in the process-global [`Interner`](crate::intern::Interner)
+    /// so the span carries id-first symbols for the hot paths.
     pub fn build(self) -> Span {
         Span {
             trace_id: self.trace_id,
             span_id: self.span_id,
             parent_span_id: self.parent_span_id,
+            service_sym: Symbol::intern(&self.service),
+            name_sym: Symbol::intern(&self.name),
             service: self.service,
             name: self.name,
             kind: self.kind,
@@ -297,6 +323,16 @@ mod tests {
         assert!(!SpanKind::Server.is_caller());
         assert!(!SpanKind::Consumer.is_caller());
         assert!(!SpanKind::Internal.is_caller());
+    }
+
+    #[test]
+    fn builder_interns_identifier_symbols() {
+        let a = Span::builder(1, 1, "cart", "GET /cart").build();
+        let b = Span::builder(2, 9, "cart", "POST /cart").build();
+        assert_eq!(a.service_sym(), b.service_sym());
+        assert_ne!(a.name_sym(), b.name_sym());
+        assert_eq!(a.service_sym().as_str(), "cart");
+        assert_eq!(a.name_sym().as_str(), "GET /cart");
     }
 
     #[test]

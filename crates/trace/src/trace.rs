@@ -12,11 +12,23 @@ pub type SpanIdx = usize;
 /// children of each span sorted by start time. The tree mirrors the RPC
 /// dependency graph of the request, which Sleuth uses directly as the
 /// structure of its causal Bayesian network (§3.4).
+///
+/// The tree topology lives in a compressed-sparse-row (CSR) layout:
+/// one flat child-index array plus per-span offsets, so walking a
+/// trace touches two contiguous arrays instead of chasing a
+/// `Vec<Vec<_>>` of per-span heap allocations. Encoding a trace
+/// (ancestor walks, subtree scans) is the clustering hot path, and the
+/// flat layout is what keeps it in cache.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     spans: Vec<Span>,
     parent: Vec<Option<SpanIdx>>,
-    children: Vec<Vec<SpanIdx>>,
+    /// CSR offsets: children of span `i` are
+    /// `child_idx[child_off[i]..child_off[i + 1]]`. Length `len() + 1`.
+    child_off: Vec<usize>,
+    /// CSR child indices, concatenated in span order; each span's
+    /// segment is sorted by child start time.
+    child_idx: Vec<SpanIdx>,
     depth: Vec<usize>,
     root: SpanIdx,
 }
@@ -34,17 +46,21 @@ impl Trace {
     }
 
     /// Construct directly from pre-validated parts (used by assembly).
+    /// `child_off`/`child_idx` are the CSR adjacency described on
+    /// [`Trace`].
     pub(crate) fn from_parts(
         spans: Vec<Span>,
         parent: Vec<Option<SpanIdx>>,
-        children: Vec<Vec<SpanIdx>>,
+        child_off: Vec<usize>,
+        child_idx: Vec<SpanIdx>,
         depth: Vec<usize>,
         root: SpanIdx,
     ) -> Self {
         Trace {
             spans,
             parent,
-            children,
+            child_off,
+            child_idx,
             depth,
             root,
         }
@@ -92,7 +108,7 @@ impl Trace {
 
     /// Children of `idx`, sorted by start time.
     pub fn children(&self, idx: SpanIdx) -> &[SpanIdx] {
-        &self.children[idx]
+        &self.child_idx[self.child_off[idx]..self.child_off[idx + 1]]
     }
 
     /// Depth of `idx` (root has depth 0).
@@ -107,7 +123,11 @@ impl Trace {
 
     /// Maximum number of children of any span.
     pub fn max_out_degree(&self) -> usize {
-        self.children.iter().map(Vec::len).max().unwrap_or(0)
+        self.child_off
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// End-to-end duration of the request (root span duration), µs.
@@ -152,13 +172,15 @@ impl Trace {
 
     /// Distinct service names appearing in the trace, in first-seen order.
     pub fn services(&self) -> Vec<&str> {
-        let mut seen = Vec::new();
+        let mut seen_syms: Vec<crate::intern::Symbol> = Vec::new();
+        let mut out = Vec::new();
         for s in &self.spans {
-            if !seen.contains(&s.service.as_str()) {
-                seen.push(s.service.as_str());
+            if !seen_syms.contains(&s.service_sym) {
+                seen_syms.push(s.service_sym);
+                out.push(s.service.as_str());
             }
         }
-        seen
+        out
     }
 }
 

@@ -24,7 +24,7 @@ use sleuth_serve::metrics::HISTOGRAM_BUCKETS;
 use sleuth_serve::{
     HistogramSnapshot, MetricsSnapshot, ModelVersion, QuarantineReason, QuarantinedTrace, Verdict,
 };
-use sleuth_trace::{Span, SpanKind, StatusCode};
+use sleuth_trace::{Span, SpanKind, StatusCode, Symbol};
 
 use crate::bytes::{ByteReader, ByteWriter};
 use crate::error::WireError;
@@ -516,26 +516,41 @@ fn encode_span(w: &mut ByteWriter, span: &Span) {
 }
 
 fn decode_span(r: &mut ByteReader<'_>) -> Result<Span, WireError> {
+    let trace_id = r.get_u64()?;
+    let span_id = r.get_u64()?;
+    let parent_span_id = r.get_opt_u64()?;
+    let service = r.get_str()?;
+    let name = r.get_str()?;
+    let kind = match r.get_u8()? {
+        i if (i as usize) < SpanKind::ALL.len() => SpanKind::ALL[i as usize],
+        _ => return Err(WireError::InvalidPayload("span kind tag out of range")),
+    };
+    let start_us = r.get_u64()?;
+    let end_us = r.get_u64()?;
+    let status = match r.get_u8()? {
+        0 => StatusCode::Unset,
+        1 => StatusCode::Ok,
+        2 => StatusCode::Error,
+        _ => return Err(WireError::InvalidPayload("status tag out of range")),
+    };
+    let pod = r.get_str()?;
+    let node = r.get_str()?;
+    // Re-intern on the receiving side: symbols are process-local dense
+    // ids and never travel on the wire.
     Ok(Span {
-        trace_id: r.get_u64()?,
-        span_id: r.get_u64()?,
-        parent_span_id: r.get_opt_u64()?,
-        service: r.get_str()?,
-        name: r.get_str()?,
-        kind: match r.get_u8()? {
-            i if (i as usize) < SpanKind::ALL.len() => SpanKind::ALL[i as usize],
-            _ => return Err(WireError::InvalidPayload("span kind tag out of range")),
-        },
-        start_us: r.get_u64()?,
-        end_us: r.get_u64()?,
-        status: match r.get_u8()? {
-            0 => StatusCode::Unset,
-            1 => StatusCode::Ok,
-            2 => StatusCode::Error,
-            _ => return Err(WireError::InvalidPayload("status tag out of range")),
-        },
-        pod: r.get_str()?,
-        node: r.get_str()?,
+        service_sym: Symbol::intern(&service),
+        name_sym: Symbol::intern(&name),
+        service,
+        name,
+        trace_id,
+        span_id,
+        parent_span_id,
+        kind,
+        start_us,
+        end_us,
+        status,
+        pod,
+        node,
     })
 }
 

@@ -113,3 +113,56 @@ for name, b in benches.items():
     print(f"  {name:20s} median={b['median_us']}us "
           f"frames/s={b['frames_per_sec']} ns/span={b['ns_per_span']}")
 EOF
+
+# ---- Hot-path kernel benchmark -> BENCH_hotpath.json ----------------
+HOT_OUT=BENCH_hotpath.json
+echo "==> cargo bench hotpath (interned ingest + sorted-merge distance)" >&2
+HOT_LINES=$(cargo bench --offline -p bench --bench hotpath 2>/dev/null \
+    | grep '^HOTPATH_BENCH ')
+
+HOT="$HOT_LINES" OUT="$HOT_OUT" python3 - <<'EOF'
+import json, os
+
+raw = {}
+for line in os.environ["HOT"].strip().splitlines():
+    kv = dict(f.split("=", 1) for f in line.split()[1:])
+    raw[kv["bench"]] = kv
+
+ingest = raw["ingest_otlp_parse"]
+merge = raw["distance_sorted_merge"]
+hashed = raw["distance_hashed"]
+spans = int(ingest["spans"])
+pairs = int(merge["pairs"])
+ns_span = round(int(ingest["median_us"]) * 1000 / spans, 1)
+ns_merge = round(int(merge["median_us"]) * 1000 / pairs, 2)
+ns_hashed = round(int(hashed["median_us"]) * 1000 / pairs, 2)
+result = {
+    "note": "ingest drives the zero-copy OTLP scanner + reusable-arena "
+            "assembly; distance compares the sorted-merge Jaccard kernel "
+            "against the legacy hashed BTreeMap merge on the same corpus",
+    "ns_per_span_ingest": ns_span,
+    "ns_per_pair_distance": ns_merge,
+    "ingest": {
+        "spans": spans,
+        "median_us": int(ingest["median_us"]),
+        "samples": int(ingest["samples"]),
+    },
+    "distance": {
+        "pairs": pairs,
+        "sorted_merge_median_us": int(merge["median_us"]),
+        "hashed_median_us": int(hashed["median_us"]),
+        "ns_per_pair_sorted_merge": ns_merge,
+        "ns_per_pair_hashed": ns_hashed,
+        "speedup_vs_hashed": round(ns_hashed / ns_merge, 2) if ns_merge else None,
+        "samples": int(merge["samples"]),
+    },
+}
+path = os.environ["OUT"]
+with open(path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+print(f"  ingest   {ns_span} ns/span over {spans} spans")
+print(f"  distance {ns_merge} ns/pair sorted-merge vs {ns_hashed} ns/pair hashed "
+      f"({result['distance']['speedup_vs_hashed']}x)")
+EOF

@@ -89,6 +89,25 @@ SHARD_PIDS=()
 grep '^ROUTER_' "$SMOKE_DIR/routerd.log" | sed 's/^/    /'
 echo "loopback smoke: OK"
 
+echo "==> cargo test --test property_invariants hotpath_ (interned hot-path invariants)"
+cargo test -q --offline --test property_invariants hotpath_
+
+echo "==> BENCH_hotpath.json sanity (parses; carries both hot-path metrics)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_hotpath.json") as f:
+        data = json.load(f)
+except FileNotFoundError:
+    sys.exit("BENCH_hotpath.json missing - run scripts/bench.sh")
+for key in ("ns_per_span_ingest", "ns_per_pair_distance"):
+    v = data.get(key)
+    if not isinstance(v, (int, float)) or v <= 0:
+        sys.exit(f"BENCH_hotpath.json: metric {key!r} missing or non-positive: {v!r}")
+print(f"  ns_per_span_ingest={data['ns_per_span_ingest']} "
+      f"ns_per_pair_distance={data['ns_per_pair_distance']}")
+EOF
+
 echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
 cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire
 

@@ -65,6 +65,7 @@ pub use sleuth_core as core;
 pub use sleuth_embed as embed;
 pub use sleuth_eval as eval;
 pub use sleuth_gnn as gnn;
+pub use sleuth_par as par;
 pub use sleuth_serve as serve;
 pub use sleuth_store as store;
 pub use sleuth_synth as synth;

@@ -51,7 +51,7 @@ fn failure_modes_form_separate_clusters() {
 
     let encoder = TraceSetEncoder::new(3);
     let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
-    let dm = DistanceMatrix::from_sets(&sets);
+    let dm = DistanceMatrix::builder().build_from(&sets);
     let clustering = hdbscan(
         &dm,
         &HdbscanParams {
@@ -92,7 +92,7 @@ fn representative_is_a_member_of_its_cluster() {
     let traces = traces_under(&app, &plan, 15, 3);
     let encoder = TraceSetEncoder::new(3);
     let sets: Vec<_> = traces.iter().map(|t| encoder.encode(t)).collect();
-    let dm = DistanceMatrix::from_sets(&sets);
+    let dm = DistanceMatrix::builder().build_from(&sets);
     let clustering = hdbscan(
         &dm,
         &HdbscanParams {

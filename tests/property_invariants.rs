@@ -10,7 +10,9 @@ use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use sleuth::chaos::{FaultPlan as RuntimeFaultPlan, SeededInjector};
-use sleuth::cluster::{hdbscan, DistanceMatrix, HdbscanParams, TraceSetEncoder};
+use sleuth::cluster::{
+    hdbscan, trace_distance, trace_distance_hashed, DistanceMatrix, HdbscanParams, TraceSetEncoder,
+};
 use sleuth::core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
 use sleuth::serve::{shard_of, FaultInjector, ResilienceConfig, ServeConfig, ServeRuntime};
@@ -18,7 +20,7 @@ use sleuth::synth::chaos::{ChaosEngine, FaultPlan};
 use sleuth::synth::generator::{generate_app, GeneratorConfig};
 use sleuth::synth::workload::CorpusBuilder;
 use sleuth::synth::Simulator;
-use sleuth::trace::{exclusive, formats, SpanKind, Trace};
+use sleuth::trace::{exclusive, formats, Interner, SpanKind, Symbol, Trace};
 
 /// Simulate one trace of a generated app, under an arbitrary fault plan.
 fn simulate(n_rpcs: usize, app_seed: u64, sim_seed: u64, faulty: bool) -> Trace {
@@ -107,7 +109,7 @@ proptest! {
         let traces: Vec<Trace> = (0..n).map(|i| simulate(16, app_seed, i as u64, i % 3 == 0)).collect();
         let enc = TraceSetEncoder::new(3);
         let sets: Vec<_> = traces.iter().map(|t| enc.encode(t)).collect();
-        let dm = DistanceMatrix::from_sets(&sets);
+        let dm = DistanceMatrix::builder().build_from(&sets);
         let c = hdbscan(&dm, &HdbscanParams {
             min_cluster_size: mcs,
             min_samples: 2,
@@ -399,12 +401,16 @@ fn wire_string(rng: &mut ChaCha8Rng, max_len: usize) -> String {
 }
 
 fn wire_span(rng: &mut ChaCha8Rng) -> Span {
+    let service = wire_string(rng, 12);
+    let name = wire_string(rng, 12);
     Span {
         trace_id: rng.next_u64(),
         span_id: rng.next_u64(),
         parent_span_id: rng.gen_bool(0.5).then(|| rng.next_u64()),
-        service: wire_string(rng, 12),
-        name: wire_string(rng, 12),
+        service_sym: sleuth::trace::Symbol::intern(&service),
+        name_sym: sleuth::trace::Symbol::intern(&name),
+        service,
+        name,
         kind: SpanKind::ALL[rng.gen_range(0..SpanKind::ALL.len())],
         start_us: rng.next_u64(),
         end_us: rng.next_u64(),
@@ -661,5 +667,79 @@ proptest! {
             "flip {:#04x} at {} of {:?} went undetected",
             flip, pos, frame
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot-path kernels: string interning and the sorted-merge distance.
+// tier1.sh runs exactly these via
+// `cargo test --test property_invariants hotpath_`.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interning round-trips: the symbol resolves back to the exact
+    /// string, re-interning is idempotent, and lookup/get/from_id all
+    /// agree with the original handle.
+    #[test]
+    fn hotpath_intern_resolve_roundtrip(s in "\\PC{0,40}") {
+        let sym = Symbol::intern(&s);
+        prop_assert_eq!(sym.as_str(), s.as_str());
+        prop_assert_eq!(Symbol::intern(&s), sym);
+        prop_assert_eq!(Symbol::lookup(&s), Some(sym));
+        prop_assert_eq!(Symbol::from_id(sym.id()).as_str(), s.as_str());
+        let interner = Interner::global();
+        prop_assert_eq!(interner.get(&s), Some(sym));
+        prop_assert_eq!(interner.resolve(sym), s.as_str());
+    }
+
+    /// The interned sorted-merge weighted Jaccard is *bit-identical*
+    /// to the legacy hashed `BTreeMap` merge on simulated traces.
+    /// Encoder weights are integer-valued f64 (span microseconds), so
+    /// every per-pair sum is an exact integer well below 2^53 and the
+    /// result cannot depend on merge order — any bit divergence is a
+    /// real kernel bug, not floating-point noise.
+    #[test]
+    fn hotpath_distance_bitwise_matches_hashed(
+        app_seed in 0u64..60,
+        s1 in 0u64..300,
+        s2 in 0u64..300,
+        faulty in any::<bool>(),
+    ) {
+        let a = simulate(16, app_seed, s1, false);
+        let b = simulate(16, app_seed, s2, faulty);
+        let enc = TraceSetEncoder::new(3);
+        let d_new = trace_distance(&enc.encode(&a), &enc.encode(&b));
+        let d_old = trace_distance_hashed(&enc.encode_hashed(&a), &enc.encode_hashed(&b));
+        prop_assert_eq!(d_new.to_bits(), d_old.to_bits(), "new={} old={}", d_new, d_old);
+        let self_new = trace_distance(&enc.encode(&a), &enc.encode(&a));
+        let self_old = trace_distance_hashed(&enc.encode_hashed(&a), &enc.encode_hashed(&a));
+        prop_assert_eq!(self_new.to_bits(), self_old.to_bits());
+    }
+}
+
+/// Interning the same strings concurrently from the data-parallel pool
+/// yields one stable symbol per string: every worker gets the same id
+/// for the same text no matter which worker won the insertion race.
+#[test]
+fn hotpath_concurrent_interning_is_stable() {
+    use sleuth::par::ThreadPool;
+    let words: Vec<String> = (0..64).map(|i| format!("hotpath-conc-{i}")).collect();
+    let pool = ThreadPool::new(8);
+    // Each task interns the full word list starting at a different
+    // rotation, so first-insertion races actually happen.
+    let rotations: Vec<usize> = (0..32).collect();
+    let per_task: Vec<Vec<Symbol>> = pool.par_map(&rotations, |&r| {
+        (0..words.len())
+            .map(|i| Symbol::intern(&words[(i + r) % words.len()]))
+            .collect()
+    });
+    for (r, syms) in rotations.iter().zip(&per_task) {
+        for (i, sym) in syms.iter().enumerate() {
+            let word = &words[(i + r) % words.len()];
+            assert_eq!(sym.as_str(), word, "symbol resolves to a different string");
+            assert_eq!(*sym, Symbol::intern(word), "same text, different symbol");
+        }
     }
 }
