@@ -253,6 +253,13 @@ impl SleuthPipeline {
         &self.detector
     }
 
+    /// Mutable access to the anomaly detector, e.g. to widen
+    /// [`AnomalyDetector::slo_multiplier`] before serving a workload
+    /// whose healthy tail is fatter than the training sample's p95.
+    pub fn detector_mut(&mut self) -> &mut AnomalyDetector {
+        &mut self.detector
+    }
+
     /// The weighted trace-set encoder used for clustering.
     pub fn encoder(&self) -> &TraceSetEncoder {
         &self.encoder

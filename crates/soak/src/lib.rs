@@ -1,0 +1,35 @@
+//! Soak/replay harness for the serving runtime.
+//!
+//! `sleuth-synth`'s [`Scenario`](sleuth_synth::scenario::Scenario)
+//! generators describe hours of production-shaped traffic with
+//! ground-truth-labelled fault episodes; this crate replays them
+//! against a live [`ServeRuntime`](sleuth_serve::ServeRuntime) —
+//! optionally under a `sleuth-chaos` fault plan — on a *logical*
+//! clock, so a multi-hour scenario compresses into seconds of wall
+//! time while exercising exactly the arrival pattern, idle-timeout
+//! finalization and episode windows the scenario specifies.
+//!
+//! While replaying, the runner continuously evaluates:
+//!
+//! * **exact span conservation** — the serve metrics identity
+//!   `submitted = stored + rejected + shed + evicted + deduped +
+//!   quarantined` must balance after shutdown,
+//! * **RCA latency SLOs** — wall-clock p99 of verdict localisation,
+//! * **rolling RCA precision/recall** — every verdict is scored
+//!   against the per-trace simulation ground truth, and every fault
+//!   episode against its label: an episode that produced
+//!   detector-visible perturbed traffic must be *recovered* (some
+//!   verdict names a labelled root-cause service inside its window),
+//! * **zero false anomalies** — a verdict for a trace whose ground
+//!   truth is empty is always a violation,
+//!
+//! emitting a JSON [`Checkpoint`] line per logical interval and a
+//! final [`SoakOutcome`] whose `violations` list is empty exactly
+//! when the run passed. The `sleuth-soak` binary wraps this with a
+//! CLI and tier-1 wires its `--smoke` mode into every PR gate.
+
+mod report;
+mod runner;
+
+pub use report::{Checkpoint, EpisodeOutcome, SoakOutcome, TenantReport};
+pub use runner::{fit_pipeline, run, SoakOptions};

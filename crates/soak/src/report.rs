@@ -1,0 +1,153 @@
+//! Machine-readable soak results: periodic checkpoint lines and the
+//! final outcome.
+
+use serde::Serialize;
+use sleuth_serve::MetricsSnapshot;
+
+/// One periodic progress line, serialized as JSON to the soak log.
+/// Fields are cumulative since scenario start.
+#[derive(Debug, Clone, Serialize)]
+pub struct Checkpoint {
+    /// Always `"checkpoint"` (line discriminator for log parsers).
+    pub kind: String,
+    /// Scenario name (`<kind>-s<seed>`).
+    pub scenario: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Logical time of this checkpoint, µs from scenario start.
+    pub logical_us: u64,
+    /// Wall time elapsed, ms.
+    pub wall_ms: u64,
+    /// Requests submitted so far.
+    pub traces_submitted: u64,
+    /// Spans submitted so far.
+    pub spans_submitted: u64,
+    /// Submitted requests that were client retries.
+    pub retries: u64,
+    /// Verdicts received so far.
+    pub verdicts: u64,
+    /// Verdicts shed to the degraded path.
+    pub degraded_verdicts: u64,
+    /// Verdicts naming a ground-truth root-cause service.
+    pub true_positives: u64,
+    /// Verdicts on perturbed traces naming no ground-truth service.
+    pub false_positives: u64,
+    /// Verdicts on traces with *empty* ground truth (must stay 0).
+    pub false_anomalies: u64,
+    /// `tp / (tp + fp + false_anomalies)`; 1.0 before any verdict.
+    pub precision: f64,
+    /// Recovered fraction of the eligible episodes already ended.
+    pub episode_recall: f64,
+    /// Fault episodes in the scenario.
+    pub episodes_total: usize,
+    /// Episodes whose window has closed.
+    pub episodes_ended: usize,
+    /// Ended episodes that produced detector-visible perturbed
+    /// traffic (the recall denominator).
+    pub episodes_eligible: usize,
+    /// Eligible episodes already recovered by some verdict.
+    pub episodes_recovered: usize,
+    /// Wall-clock RCA latency p99 upper bound, µs.
+    pub rca_p99_us: u64,
+    /// Worker panics caught by supervision so far.
+    pub worker_panics: u64,
+    /// Worker restarts so far.
+    pub worker_restarts: u64,
+    /// Spans parked in quarantine so far.
+    pub spans_quarantined: u64,
+    /// Spans refused at admission so far.
+    pub spans_rejected: u64,
+}
+
+/// Final state of one fault episode.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpisodeOutcome {
+    /// Index into the scenario's episode list.
+    pub index: usize,
+    /// Fault-class tag from the label.
+    pub fault: String,
+    /// Window start, logical µs.
+    pub start_us: u64,
+    /// Window end, logical µs.
+    pub end_us: u64,
+    /// Labelled root-cause services.
+    pub services: Vec<String>,
+    /// Labelled tenant, for multi-tenant scenarios.
+    pub tenant: Option<String>,
+    /// Requests that arrived inside the window.
+    pub traces_in_window: u64,
+    /// Delivered traces the episode perturbed (ground truth names a
+    /// labelled service) that the detector flags as anomalous.
+    pub eligible_traces: u64,
+    /// Whether some verdict named a labelled service for a trace
+    /// perturbed by this episode.
+    pub recovered: bool,
+}
+
+/// Per-tenant SLO compliance, measured against the tenant's own
+/// healthy p99.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests attributed to the tenant.
+    pub traces: u64,
+    /// The tenant's latency SLO, µs (`slo_multiplier` × healthy p99
+    /// of its clean traffic; 0 when the tenant saw no clean traffic).
+    pub slo_us: u64,
+    /// Requests exceeding the SLO.
+    pub slo_violations: u64,
+}
+
+/// Everything a finished soak run reports.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario kind name (`diurnal_flash`, …).
+    pub kind: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Logical length replayed, µs.
+    pub duration_us: u64,
+    /// Wall time spent, ms.
+    pub wall_ms: u64,
+    /// Logical seconds replayed per wall second.
+    pub compression: f64,
+    /// Requests submitted.
+    pub traces: u64,
+    /// Spans submitted.
+    pub spans: u64,
+    /// Client retries among the requests.
+    pub retries: u64,
+    /// Whether the schedule hit its generation cap.
+    pub truncated: bool,
+    /// Verdicts received.
+    pub verdicts: u64,
+    /// Degraded verdicts among them.
+    pub degraded_verdicts: u64,
+    /// Verdicts naming a ground-truth service.
+    pub true_positives: u64,
+    /// Verdicts on perturbed traces missing the ground truth.
+    pub false_positives: u64,
+    /// Verdicts on unperturbed traces.
+    pub false_anomalies: u64,
+    /// `tp / (tp + fp + false_anomalies)`; 1.0 with no verdicts.
+    pub precision: f64,
+    /// Recovered / eligible episodes; 1.0 with no eligible episodes.
+    pub recall: f64,
+    /// Per-episode outcomes.
+    pub episodes: Vec<EpisodeOutcome>,
+    /// Per-tenant SLO compliance.
+    pub tenants: Vec<TenantReport>,
+    /// Worker panics caught by supervision.
+    pub caught_panics: u64,
+    /// Whether the span conservation identity balanced exactly.
+    pub conservation_ok: bool,
+    /// Wall-clock RCA latency p99 upper bound, µs.
+    pub rca_p99_us: u64,
+    /// Every continuous-assertion failure observed; empty = pass.
+    pub violations: Vec<String>,
+    /// Final serve metrics.
+    pub metrics: MetricsSnapshot,
+}

@@ -1,0 +1,488 @@
+//! The replay loop: scenario traffic into a live runtime, continuous
+//! scoring against ground truth.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sleuth_chaos::{FaultPlan as RuntimeFaultPlan, SeededInjector};
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_serve::{FaultInjector, ServeConfig, ServeRuntime, Verdict};
+use sleuth_synth::scenario::Scenario;
+
+use crate::report::{Checkpoint, EpisodeOutcome, SoakOutcome, TenantReport};
+
+/// Runner knobs. Defaults suit the smoke scale; multi-hour soaks
+/// mainly raise `checkpoint_every_us`.
+#[derive(Debug, Clone)]
+pub struct SoakOptions {
+    /// Serve ingest shards.
+    pub num_shards: usize,
+    /// RCA workers.
+    pub rca_workers: usize,
+    /// Logical idle gap after which a trace is finalized, µs.
+    pub idle_timeout_us: u64,
+    /// Logical tick cadence driving trace finalization, µs.
+    pub tick_every_us: u64,
+    /// Logical interval between checkpoint lines, µs.
+    pub checkpoint_every_us: u64,
+    /// Wall-clock RCA latency p99 budget, µs.
+    pub rca_p99_slo_us: u64,
+    /// Runtime-level chaos plan to run under (worker kills, stalls,
+    /// clock skew…). `None` = calm runtime.
+    pub chaos: Option<RuntimeFaultPlan>,
+}
+
+impl Default for SoakOptions {
+    fn default() -> Self {
+        SoakOptions {
+            num_shards: 2,
+            rca_workers: 2,
+            idle_timeout_us: 2_000_000,
+            tick_every_us: 250_000,
+            checkpoint_every_us: 60_000_000,
+            rca_p99_slo_us: 500_000,
+            chaos: None,
+        }
+    }
+}
+
+/// Fit a pipeline for a scenario's app: healthy training corpus,
+/// quick GNN fit, detector widened to `slo_multiplier` × the learned
+/// root p95 so healthy tail traffic never trips it. Scenarios built
+/// from the same [`ScenarioParams`](sleuth_synth::scenario::ScenarioParams)
+/// share an app, so one fitted pipeline serves them all.
+pub fn fit_pipeline(
+    scenario: &Scenario,
+    train_traces: usize,
+    epochs: usize,
+    slo_multiplier: f64,
+) -> Arc<SleuthPipeline> {
+    let train = scenario.training_corpus(train_traces);
+    let config = PipelineConfig {
+        train: TrainConfig {
+            epochs,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+        ..PipelineConfig::default()
+    };
+    let mut pipeline = SleuthPipeline::fit(&train, &config);
+    pipeline.detector_mut().slo_multiplier = slo_multiplier;
+    Arc::new(pipeline)
+}
+
+/// What the runner remembers about each submitted trace to score the
+/// verdicts that come back.
+struct TraceTruth {
+    gt_services: BTreeSet<String>,
+    episodes: Vec<usize>,
+}
+
+struct EpisodeState {
+    label_services: BTreeSet<String>,
+    traces_in_window: u64,
+    eligible_traces: u64,
+    recovered: bool,
+}
+
+#[derive(Default)]
+struct Agg {
+    verdicts: u64,
+    degraded: u64,
+    tp: u64,
+    fp: u64,
+    false_anomalies: u64,
+}
+
+impl Agg {
+    fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp + self.false_anomalies;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    fn score(&mut self, v: &Verdict, truth: &HashMap<u64, TraceTruth>, eps: &mut [EpisodeState]) {
+        self.verdicts += 1;
+        if v.degraded {
+            self.degraded += 1;
+        }
+        match truth.get(&v.trace_id) {
+            Some(t) if !t.gt_services.is_empty() => {
+                if v.services.iter().any(|s| t.gt_services.contains(s)) {
+                    self.tp += 1;
+                } else {
+                    self.fp += 1;
+                }
+                for &e in &t.episodes {
+                    if v.services.iter().any(|s| eps[e].label_services.contains(s)) {
+                        eps[e].recovered = true;
+                    }
+                }
+            }
+            _ => self.false_anomalies += 1,
+        }
+    }
+}
+
+/// p99 with the usual upper-index convention; 0 for an empty sample.
+fn p99_us(durations: &mut [u64]) -> u64 {
+    if durations.is_empty() {
+        return 0;
+    }
+    durations.sort_unstable();
+    let n = durations.len();
+    durations[(n * 99 / 100).min(n - 1)]
+}
+
+/// Replay `scenario` against a fresh runtime serving `pipeline`,
+/// scoring continuously. `on_checkpoint` fires once per logical
+/// `checkpoint_every_us`; the returned outcome's `violations` is
+/// empty exactly when every continuous assertion held.
+pub fn run(
+    scenario: &Scenario,
+    pipeline: Arc<SleuthPipeline>,
+    opts: &SoakOptions,
+    mut on_checkpoint: impl FnMut(&Checkpoint),
+) -> SoakOutcome {
+    let wall_start = Instant::now();
+    let schedule = scenario.schedule();
+    let detector = pipeline.detector().clone();
+
+    let config = ServeConfig {
+        num_shards: opts.num_shards,
+        rca_workers: opts.rca_workers,
+        idle_timeout_us: opts.idle_timeout_us,
+        refresh: None,
+        ..ServeConfig::default()
+    };
+    let runtime = match &opts.chaos {
+        Some(plan) => ServeRuntime::start_with_injector(
+            Arc::clone(&pipeline),
+            config,
+            Arc::new(SeededInjector::new(*plan)) as Arc<dyn FaultInjector>,
+        ),
+        None => ServeRuntime::start(Arc::clone(&pipeline), config),
+    }
+    .expect("soak serve config is valid");
+
+    let mut eps: Vec<EpisodeState> = scenario
+        .episodes
+        .iter()
+        .map(|e| EpisodeState {
+            label_services: e.label.services.clone(),
+            traces_in_window: 0,
+            eligible_traces: 0,
+            recovered: false,
+        })
+        .collect();
+    let mut truth: HashMap<u64, TraceTruth> = HashMap::with_capacity(schedule.traces.len());
+    let mut agg = Agg::default();
+    let mut traces_submitted = 0u64;
+    let mut spans_submitted = 0u64;
+    let mut retries_submitted = 0u64;
+    let mut resubmissions = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let mut next_tick = opts.tick_every_us;
+    let mut next_cp = opts.checkpoint_every_us;
+
+    let checkpoint = |logical_us: u64,
+                      runtime: &ServeRuntime,
+                      agg: &Agg,
+                      eps: &[EpisodeState],
+                      traces_submitted: u64,
+                      spans_submitted: u64,
+                      retries_submitted: u64,
+                      on_checkpoint: &mut dyn FnMut(&Checkpoint)| {
+        let m = runtime.metrics().snapshot();
+        let ended: Vec<usize> = scenario
+            .episodes
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.end_us <= logical_us)
+            .map(|(i, _)| i)
+            .collect();
+        let eligible = ended
+            .iter()
+            .filter(|&&i| eps[i].eligible_traces > 0)
+            .count();
+        let recovered = ended
+            .iter()
+            .filter(|&&i| eps[i].eligible_traces > 0 && eps[i].recovered)
+            .count();
+        let cp = Checkpoint {
+            kind: "checkpoint".into(),
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            logical_us,
+            wall_ms: wall_start.elapsed().as_millis() as u64,
+            traces_submitted,
+            spans_submitted,
+            retries: retries_submitted,
+            verdicts: agg.verdicts,
+            degraded_verdicts: agg.degraded,
+            true_positives: agg.tp,
+            false_positives: agg.fp,
+            false_anomalies: agg.false_anomalies,
+            precision: agg.precision(),
+            episode_recall: if eligible == 0 {
+                1.0
+            } else {
+                recovered as f64 / eligible as f64
+            },
+            episodes_total: scenario.episodes.len(),
+            episodes_ended: ended.len(),
+            episodes_eligible: eligible,
+            episodes_recovered: recovered,
+            rca_p99_us: m.rca_latency_us.quantile_upper_bound(0.99),
+            worker_panics: m.worker_panics.iter().map(|&(_, _, n)| n).sum(),
+            worker_restarts: m.worker_restarts.iter().map(|&(_, _, n)| n).sum(),
+            spans_quarantined: m.spans_quarantined,
+            spans_rejected: m.spans_rejected,
+        };
+        on_checkpoint(&cp);
+    };
+
+    for st in &schedule.traces {
+        while next_tick <= st.at_us {
+            runtime.tick(next_tick);
+            for v in runtime.poll_verdicts() {
+                agg.score(&v, &truth, &mut eps);
+            }
+            if next_tick >= next_cp {
+                checkpoint(
+                    next_tick,
+                    &runtime,
+                    &agg,
+                    &eps,
+                    traces_submitted,
+                    spans_submitted,
+                    retries_submitted,
+                    &mut on_checkpoint,
+                );
+                next_cp += opts.checkpoint_every_us;
+            }
+            next_tick += opts.tick_every_us;
+        }
+
+        let id = st.sim.trace.trace_id();
+        let n_spans = st.sim.trace.spans().len();
+        let mut report = runtime.submit_batch(st.sim.trace.spans().to_vec(), st.at_us);
+        // Transient backpressure: the replay loop outruns wall time by
+        // design, so a full queue just means "let the workers drain".
+        let mut attempts = 0;
+        while report.rejected > 0 && attempts < 200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            resubmissions += 1;
+            attempts += 1;
+            report = runtime.submit_batch(st.sim.trace.spans().to_vec(), st.at_us);
+        }
+        traces_submitted += 1;
+        spans_submitted += n_spans as u64;
+        if st.retry_of.is_some() {
+            retries_submitted += 1;
+        }
+        let delivered = report.rejected == 0 && report.invalid == 0;
+        if !delivered {
+            violations.push(format!(
+                "trace {id} not fully delivered after {attempts} retries (rejected {}, invalid {})",
+                report.rejected, report.invalid
+            ));
+        }
+
+        let gt_services = st.sim.ground_truth.services.clone();
+        let anomalous = detector.is_anomalous(&st.sim.trace);
+        for &e in &st.episodes_active {
+            eps[e].traces_in_window += 1;
+            let labelled = gt_services.intersection(&eps[e].label_services).count() > 0;
+            if delivered && labelled && anomalous {
+                eps[e].eligible_traces += 1;
+            }
+        }
+        truth.insert(
+            id,
+            TraceTruth {
+                gt_services,
+                episodes: st.episodes_active.clone(),
+            },
+        );
+    }
+
+    // Flush: run the logical clock past the last arrival's idle
+    // timeout so every trace finalizes, then drain the runtime.
+    let last_at = schedule.traces.last().map_or(0, |s| s.at_us);
+    let end = last_at + opts.idle_timeout_us + 2 * opts.tick_every_us;
+    while next_tick <= end {
+        runtime.tick(next_tick);
+        for v in runtime.poll_verdicts() {
+            agg.score(&v, &truth, &mut eps);
+        }
+        if next_tick >= next_cp {
+            checkpoint(
+                next_tick,
+                &runtime,
+                &agg,
+                &eps,
+                traces_submitted,
+                spans_submitted,
+                retries_submitted,
+                &mut on_checkpoint,
+            );
+            next_cp += opts.checkpoint_every_us;
+        }
+        next_tick += opts.tick_every_us;
+    }
+    let report = runtime.shutdown();
+    for v in &report.verdicts {
+        agg.score(v, &truth, &mut eps);
+    }
+
+    // --- Final assertions -------------------------------------------------
+    let m = &report.metrics;
+    let accounted = m.spans_stored
+        + m.spans_rejected
+        + m.spans_shed
+        + m.spans_evicted
+        + m.spans_deduped
+        + m.spans_quarantined;
+    let conservation_ok = m.spans_submitted == accounted;
+    if !conservation_ok {
+        violations.push(format!(
+            "span conservation violated: submitted {} != accounted {accounted}",
+            m.spans_submitted
+        ));
+    }
+    if resubmissions == 0 && m.spans_submitted != spans_submitted {
+        violations.push(format!(
+            "runtime saw {} spans, harness submitted {spans_submitted}",
+            m.spans_submitted
+        ));
+    }
+    if m.verdicts_emitted != agg.verdicts {
+        violations.push(format!(
+            "verdicts emitted {} != verdicts collected {}",
+            m.verdicts_emitted, agg.verdicts
+        ));
+    }
+    if agg.false_anomalies > 0 {
+        violations.push(format!(
+            "{} verdicts on traces with empty ground truth",
+            agg.false_anomalies
+        ));
+    }
+    for (i, e) in eps.iter().enumerate() {
+        if e.eligible_traces > 0 && !e.recovered {
+            violations.push(format!(
+                "episode {i} ({:?}) not recovered: {} eligible traces, no verdict named {:?}",
+                scenario.episodes[i].label.fault, e.eligible_traces, e.label_services
+            ));
+        }
+    }
+    let rca_p99 = m.rca_latency_us.quantile_upper_bound(0.99);
+    if agg.verdicts > 0 && rca_p99 > opts.rca_p99_slo_us {
+        violations.push(format!(
+            "RCA latency p99 {rca_p99}µs exceeds SLO {}µs",
+            opts.rca_p99_slo_us
+        ));
+    }
+    let caught_panics: u64 = m.worker_panics.iter().map(|&(_, _, n)| n).sum();
+    if opts.chaos.is_none() && caught_panics > 0 {
+        violations.push(format!("{caught_panics} worker panics on a calm runtime"));
+    }
+
+    // --- Per-tenant SLO compliance ----------------------------------------
+    let tenants = scenario
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(ti, spec)| {
+            let mut clean: Vec<u64> = schedule
+                .traces
+                .iter()
+                .filter(|s| {
+                    s.tenant == ti && s.sim.ground_truth.is_empty() && s.episodes_active.is_empty()
+                })
+                .map(|s| s.sim.trace.total_duration_us())
+                .collect();
+            let healthy_p99 = p99_us(&mut clean);
+            let slo_us = (healthy_p99 as f64 * spec.slo_multiplier) as u64;
+            let all: Vec<u64> = schedule
+                .traces
+                .iter()
+                .filter(|s| s.tenant == ti)
+                .map(|s| s.sim.trace.total_duration_us())
+                .collect();
+            TenantReport {
+                name: spec.name.clone(),
+                traces: all.len() as u64,
+                slo_us,
+                slo_violations: if slo_us == 0 {
+                    0
+                } else {
+                    all.iter().filter(|&&d| d > slo_us).count() as u64
+                },
+            }
+        })
+        .collect();
+
+    let episodes = scenario
+        .episodes
+        .iter()
+        .enumerate()
+        .map(|(i, e)| EpisodeOutcome {
+            index: i,
+            fault: e.label.fault.to_string(),
+            start_us: e.start_us,
+            end_us: e.end_us,
+            services: e.label.services.iter().cloned().collect(),
+            tenant: e.label.tenant.clone(),
+            traces_in_window: eps[i].traces_in_window,
+            eligible_traces: eps[i].eligible_traces,
+            recovered: eps[i].recovered,
+        })
+        .collect();
+
+    let wall_ms = wall_start.elapsed().as_millis() as u64;
+    SoakOutcome {
+        scenario: scenario.name.clone(),
+        kind: scenario.kind.name().to_string(),
+        seed: scenario.seed,
+        duration_us: scenario.duration_us,
+        wall_ms,
+        compression: (scenario.duration_us as f64 / 1e6) / (wall_ms.max(1) as f64 / 1e3),
+        traces: traces_submitted,
+        spans: spans_submitted,
+        retries: retries_submitted,
+        truncated: schedule.truncated,
+        verdicts: agg.verdicts,
+        degraded_verdicts: agg.degraded,
+        true_positives: agg.tp,
+        false_positives: agg.fp,
+        false_anomalies: agg.false_anomalies,
+        precision: agg.precision(),
+        recall: {
+            let eligible = eps.iter().filter(|e| e.eligible_traces > 0).count();
+            if eligible == 0 {
+                1.0
+            } else {
+                eps.iter()
+                    .filter(|e| e.eligible_traces > 0 && e.recovered)
+                    .count() as f64
+                    / eligible as f64
+            }
+        },
+        episodes,
+        tenants,
+        caught_panics,
+        conservation_ok,
+        rca_p99_us: rca_p99,
+        violations,
+        metrics: report.metrics,
+    }
+}

@@ -114,9 +114,8 @@ impl FaultPlan {
 
     fn target_matches(app: &App, target: FaultTarget, service: usize, pod: usize) -> bool {
         match target {
-            FaultTarget::Container { service: s, pod: p } | FaultTarget::Pod { service: s, pod: p } => {
-                s == service && p == pod
-            }
+            FaultTarget::Container { service: s, pod: p }
+            | FaultTarget::Pod { service: s, pod: p } => s == service && p == pod,
             FaultTarget::Node { node } => app.services[service].pods[pod].node == node,
         }
     }
@@ -140,7 +139,8 @@ impl FaultPlan {
     pub fn network_delay_us(&self, app: &App, service: usize, pod: usize) -> u64 {
         let mut d = 0.0;
         for f in &self.faults {
-            if f.kind == FaultKind::NetworkDelay && Self::target_matches(app, f.target, service, pod)
+            if f.kind == FaultKind::NetworkDelay
+                && Self::target_matches(app, f.target, service, pod)
             {
                 d += f.severity * 1_000.0;
             }
@@ -152,7 +152,8 @@ impl FaultPlan {
     pub fn error_probability(&self, app: &App, service: usize, pod: usize) -> f64 {
         let mut p: f64 = 0.0;
         for f in &self.faults {
-            if f.kind == FaultKind::ErrorInjection && Self::target_matches(app, f.target, service, pod)
+            if f.kind == FaultKind::ErrorInjection
+                && Self::target_matches(app, f.target, service, pod)
             {
                 p = p.max(f.severity);
             }

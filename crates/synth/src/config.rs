@@ -168,7 +168,11 @@ impl Flow {
 
     /// Maximum fan-out of any node.
     pub fn max_out_degree(&self) -> usize {
-        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of spans a request through this flow produces
@@ -246,12 +250,20 @@ impl App {
     /// RPC level contributes a client and a server hop, so a tree of RPC
     /// depth `d` produces spans nested `2d + 1` deep.
     pub fn max_depth(&self) -> usize {
-        self.flows.iter().map(|f| 2 * f.depth() + 1).max().unwrap_or(0)
+        self.flows
+            .iter()
+            .map(|f| 2 * f.depth() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest fan-out of any RPC (Table 1 "Max out degree").
     pub fn max_out_degree(&self) -> usize {
-        self.flows.iter().map(Flow::max_out_degree).max().unwrap_or(0)
+        self.flows
+            .iter()
+            .map(Flow::max_out_degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validate all flows against the service inventory.
@@ -306,12 +318,18 @@ mod tests {
                 Service {
                     name: "frontend".into(),
                     tier: Tier::Frontend,
-                    pods: vec![Pod { name: "frontend-0".into(), node: 0 }],
+                    pods: vec![Pod {
+                        name: "frontend-0".into(),
+                        node: 0,
+                    }],
                 },
                 Service {
                     name: "cart".into(),
                     tier: Tier::Backend,
-                    pods: vec![Pod { name: "cart-0".into(), node: 0 }],
+                    pods: vec![Pod {
+                        name: "cart-0".into(),
+                        node: 0,
+                    }],
                 },
             ],
             flows: vec![Flow {
@@ -350,7 +368,10 @@ mod tests {
         assert!(plan.validate(3).is_err()); // missing position
         plan.stages.push(vec![1]);
         assert!(plan.validate(2).is_err()); // duplicate
-        let oob = ExecutionPlan { stages: vec![vec![5]], async_children: vec![] };
+        let oob = ExecutionPlan {
+            stages: vec![vec![5]],
+            async_children: vec![],
+        };
         assert!(oob.validate(2).is_err());
     }
 

@@ -9,8 +9,8 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::config::{App, ExecutionPlan, Flow, FlowNode, Pod, Service, Tier};
 use crate::kernels::{Kernel, KernelKind};
@@ -116,9 +116,17 @@ const SERVICE_BASES: &[(&str, Tier)] = &[
     ("blobstore", Tier::Leaf),
 ];
 
-const MID_VERBS: &[&str] = &["Get", "List", "Create", "Update", "Delete", "Compose", "Check", "Resolve", "Validate", "Fetch"];
-const MID_NOUNS: &[&str] = &["User", "Order", "Cart", "Item", "Post", "Timeline", "Profile", "Price", "Stock", "Session", "Review", "Payment", "Media"];
-const LEAF_OPS: &[&str] = &["get", "set", "mget", "query", "insert", "update", "scan", "publish", "consume", "read", "write"];
+const MID_VERBS: &[&str] = &[
+    "Get", "List", "Create", "Update", "Delete", "Compose", "Check", "Resolve", "Validate", "Fetch",
+];
+const MID_NOUNS: &[&str] = &[
+    "User", "Order", "Cart", "Item", "Post", "Timeline", "Profile", "Price", "Stock", "Session",
+    "Review", "Payment", "Media",
+];
+const LEAF_OPS: &[&str] = &[
+    "get", "set", "mget", "query", "insert", "update", "scan", "publish", "consume", "read",
+    "write",
+];
 
 /// Generate a complete application deterministically from a seed.
 ///
@@ -128,7 +136,10 @@ const LEAF_OPS: &[&str] = &["get", "set", "mget", "query", "insert", "update", "
 /// flows, or cluster nodes).
 pub fn generate_app(cfg: &GeneratorConfig, seed: u64) -> App {
     assert!(cfg.num_services >= 2, "need at least two services");
-    assert!(cfg.num_rpcs >= cfg.num_flows, "need at least one RPC per flow");
+    assert!(
+        cfg.num_rpcs >= cfg.num_flows,
+        "need at least one RPC per flow"
+    );
     assert!(cfg.num_flows >= 1, "need at least one flow");
     assert!(cfg.num_cluster_nodes >= 1, "need at least one cluster node");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -247,7 +258,16 @@ fn op_name_for<R: Rng>(services: &[Service], service: usize, depth: usize, rng: 
     match svc.tier {
         Tier::Frontend => {
             let verbs = ["GET", "POST", "PUT"];
-            let paths = ["/home", "/orders", "/cart", "/user", "/compose", "/search", "/feed", "/checkout"];
+            let paths = [
+                "/home",
+                "/orders",
+                "/cart",
+                "/user",
+                "/compose",
+                "/search",
+                "/feed",
+                "/checkout",
+            ];
             format!(
                 "{} {}",
                 verbs[rng.gen_range(0..verbs.len())],
@@ -312,7 +332,9 @@ fn generate_flow<R: Rng>(
         // attachment — production RPC graphs have pronounced hubs,
         // matching Table 1's large max out-degrees).
         let parent = *eligible
-            .choose_weighted(rng, |&i| 1.0 + depths[i] as f64 + 1.5 * child_count[i] as f64)
+            .choose_weighted(rng, |&i| {
+                1.0 + depths[i] as f64 + 1.5 * child_count[i] as f64
+            })
             .unwrap_or_else(|_| {
                 panic!("tree generation ran out of eligible parents (budget {budget})")
             });

@@ -28,7 +28,12 @@
 //!   topologies matching the paper's Table 1,
 //! * [`updates`] — the live service updates A–D of §6.4,
 //! * [`workload`] — corpus generation: normal training corpora and
-//!   labelled anomaly queries for evaluation.
+//!   labelled anomaly queries for evaluation,
+//! * [`scenario`] — production-shaped soak scenarios (diurnal + flash
+//!   crowd traffic, retry storms, cascades, partial deploys,
+//!   multi-tenant workloads, thousand-service topologies) with
+//!   ground-truth-labelled fault episodes, replayable through the
+//!   `sleuth-soak` harness.
 //!
 //! # Example
 //!
@@ -46,6 +51,7 @@ pub mod config;
 pub mod generator;
 pub mod kernels;
 pub mod presets;
+pub mod scenario;
 pub mod simulator;
 pub mod updates;
 pub mod workload;
@@ -53,4 +59,8 @@ pub mod workload;
 pub use chaos::{ChaosEngine, Fault, FaultKind, FaultPlan, FaultTarget};
 pub use config::{App, ExecutionPlan, Flow, FlowNode, Service, Tier};
 pub use generator::{generate_app, GeneratorConfig};
+pub use scenario::{
+    EpisodeLabel, FaultEpisode, FlashCrowd, RetryPolicy, Scenario, ScenarioKind, ScenarioParams,
+    Schedule, ScheduledTrace, TenantSpec, TrafficShape,
+};
 pub use simulator::{GroundTruth, SimConfig, SimulatedTrace, Simulator};

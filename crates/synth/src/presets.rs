@@ -7,8 +7,8 @@
 //! span-tree depth.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::config::{App, ExecutionPlan, Flow, FlowNode, Pod, Service, Tier};
 use crate::generator::{generate_app, GeneratorConfig};
@@ -106,7 +106,11 @@ impl FlowBuilder {
     }
 }
 
-fn make_services(specs: &[(&str, Tier, KernelKind)], num_nodes: usize, seed: u64) -> (Vec<Service>, Vec<String>) {
+fn make_services(
+    specs: &[(&str, Tier, KernelKind)],
+    num_nodes: usize,
+    seed: u64,
+) -> (Vec<Service>, Vec<String>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let nodes: Vec<String> = (0..num_nodes).map(|i| format!("node-{i}")).collect();
     let services = specs
@@ -334,8 +338,16 @@ pub fn socialnetwork() -> App {
             ("social-graph-service", Tier::Middleware, KernelKind::Cpu),
             ("social-graph-redis", Tier::Leaf, KernelKind::Memory),
             ("social-graph-mongodb", Tier::Leaf, KernelKind::Disk),
-            ("write-home-timeline-service", Tier::Backend, KernelKind::Cpu),
-            ("write-home-timeline-rabbitmq", Tier::Leaf, KernelKind::Scheduler),
+            (
+                "write-home-timeline-service",
+                Tier::Backend,
+                KernelKind::Cpu,
+            ),
+            (
+                "write-home-timeline-rabbitmq",
+                Tier::Leaf,
+                KernelKind::Scheduler,
+            ),
             ("compose-post-redis", Tier::Leaf, KernelKind::Memory),
         ],
         10,
@@ -351,13 +363,28 @@ pub fn socialnetwork() -> App {
     let urls = b.node(Some(text), URL_SHORTEN, "UploadUrls", mid_kernel());
     b.node(Some(urls), URL_MONGO, "mongo.insert", db_kernel());
     let mention = b.node(Some(text), USER_MENTION, "UploadUserMentions", mid_kernel());
-    b.node(Some(mention), USER_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(
+        Some(mention),
+        USER_MEMCACHED,
+        "memcached.mget",
+        cache_kernel(),
+    );
     b.node(Some(compose), MEDIA, "UploadMedia", mid_kernel());
     let creator = b.node(Some(compose), USER, "UploadCreator", mid_kernel());
-    b.node(Some(creator), USER_MEMCACHED, "memcached.get", cache_kernel());
+    b.node(
+        Some(creator),
+        USER_MEMCACHED,
+        "memcached.get",
+        cache_kernel(),
+    );
     let store = b.node(Some(compose), POST_STORAGE, "StorePost", svc_kernel());
     b.node(Some(store), POST_MONGO, "mongo.insert", db_kernel());
-    let ut = b.node(Some(compose), USER_TIMELINE, "WriteUserTimeline", mid_kernel());
+    let ut = b.node(
+        Some(compose),
+        USER_TIMELINE,
+        "WriteUserTimeline",
+        mid_kernel(),
+    );
     b.node(Some(ut), UT_REDIS, "redis.zadd", cache_kernel());
     let fanout = b.node(Some(compose), WRITE_HT, "FanoutHomeTimelines", svc_kernel());
     b.asynchronous(compose, fanout);
@@ -371,7 +398,12 @@ pub fn socialnetwork() -> App {
     let ht = b.node(Some(root), HOME_TIMELINE, "ReadHomeTimeline", svc_kernel());
     b.node(Some(ht), HT_REDIS, "redis.zrange", cache_kernel());
     let posts = b.node(Some(ht), POST_STORAGE, "ReadPosts", mid_kernel());
-    b.node(Some(posts), POST_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(
+        Some(posts),
+        POST_MEMCACHED,
+        "memcached.mget",
+        cache_kernel(),
+    );
     b.node(Some(posts), POST_MONGO, "mongo.find", db_kernel());
     let read_home = b.finish("ReadHomeTimeline", 1.0);
 
@@ -382,7 +414,12 @@ pub fn socialnetwork() -> App {
     b.node(Some(ut), UT_REDIS, "redis.zrevrange", cache_kernel());
     b.node(Some(ut), UT_MONGO, "mongo.find", db_kernel());
     let posts = b.node(Some(ut), POST_STORAGE, "ReadPosts", mid_kernel());
-    b.node(Some(posts), POST_MEMCACHED, "memcached.mget", cache_kernel());
+    b.node(
+        Some(posts),
+        POST_MEMCACHED,
+        "memcached.mget",
+        cache_kernel(),
+    );
     b.node(Some(posts), POST_MONGO, "mongo.find", db_kernel());
     let read_user = b.finish("ReadUserTimeline", 0.8);
 

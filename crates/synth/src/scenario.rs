@@ -1,0 +1,1154 @@
+//! Production-shaped soak scenarios.
+//!
+//! The presets in [`crate::presets`] reproduce the paper's benchmark
+//! shapes; real fleets fail differently. This module generates the
+//! failure shapes industrial post-mortems catalogue — diurnal traffic
+//! with flash crowds, retry storms that go metastable, cascading
+//! cross-tier failures, partial deploys where two code versions serve
+//! side by side, multi-tenant workloads with per-tenant SLOs, and
+//! thousand-service topologies — each as a [`Scenario`]: an [`App`], a
+//! traffic shape over logical time, and a list of [`FaultEpisode`]s
+//! carrying machine-readable ground-truth labels (the injected
+//! root-cause services/operations and the fault window).
+//!
+//! [`Scenario::schedule`] expands a scenario into a deterministic,
+//! time-ordered list of simulated requests ready to replay against a
+//! live `ServeRuntime` (see the `sleuth-soak` crate): arrivals follow
+//! a Poisson process modulated by the traffic shape, requests landing
+//! inside an episode window are simulated under the episode's merged
+//! fault plan, and failed requests are retried per [`RetryPolicy`] —
+//! with outstanding retries amplifying active fault severities, the
+//! metastable-overload mechanism where the retry load itself keeps the
+//! system saturated past the triggering fault.
+//!
+//! Severities are *calibrated*, not fixed: each stress fault is sized
+//! against a healthy sample of its victim flow so the perturbation is
+//! unambiguously SLO-violating regardless of which kernels the app
+//! generator rolled. That keeps the ground-truth labels honest across
+//! seeds — a property test can demand recovery instead of hoping the
+//! fault was big enough.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::chaos::{Fault, FaultKind, FaultPlan, FaultTarget};
+use crate::config::{App, Flow};
+use crate::generator::{generate_app, GeneratorConfig};
+use crate::kernels::KernelKind;
+use crate::simulator::{SimulatedTrace, Simulator};
+use sleuth_trace::Trace;
+
+/// The production failure shape a [`Scenario`] reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Sinusoidal daily load with superimposed flash crowds; a stress
+    /// fault lands during the largest crowd.
+    DiurnalFlash,
+    /// Error injection on a mid-tier service; failed requests retry
+    /// with backoff and outstanding retries amplify the overload
+    /// (metastability: the retry tail outlives the fault window).
+    RetryStorm,
+    /// Two overlapping, staggered stress episodes on a deep service
+    /// and one of its ancestors in a different tier.
+    Cascade,
+    /// A canary: one pod of a service runs a slow code version while
+    /// the other pods stay healthy (container-scoped fault).
+    PartialDeploy,
+    /// Named tenants with distinct flows, weights and SLO multipliers;
+    /// the fault hits a low-traffic tenant's flow.
+    MultiTenant,
+    /// A ~thousand-service topology under a single calibrated stress
+    /// episode — the paper's "large-scale" regime.
+    ThousandServices,
+}
+
+impl ScenarioKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [ScenarioKind; 6] = [
+        ScenarioKind::DiurnalFlash,
+        ScenarioKind::RetryStorm,
+        ScenarioKind::Cascade,
+        ScenarioKind::PartialDeploy,
+        ScenarioKind::MultiTenant,
+        ScenarioKind::ThousandServices,
+    ];
+
+    /// The kinds cheap enough for a smoke/CI budget (everything but
+    /// [`ScenarioKind::ThousandServices`]).
+    pub const SMALL: [ScenarioKind; 5] = [
+        ScenarioKind::DiurnalFlash,
+        ScenarioKind::RetryStorm,
+        ScenarioKind::Cascade,
+        ScenarioKind::PartialDeploy,
+        ScenarioKind::MultiTenant,
+    ];
+
+    /// Stable snake_case name (CLI argument / checkpoint field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::DiurnalFlash => "diurnal_flash",
+            ScenarioKind::RetryStorm => "retry_storm",
+            ScenarioKind::Cascade => "cascade",
+            ScenarioKind::PartialDeploy => "partial_deploy",
+            ScenarioKind::MultiTenant => "multi_tenant",
+            ScenarioKind::ThousandServices => "thousand_services",
+        }
+    }
+
+    /// Parse a [`ScenarioKind::name`] back.
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+/// Machine-readable ground truth for one [`FaultEpisode`]: what an RCA
+/// verdict must name for the episode to count as recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpisodeLabel {
+    /// Root-cause services (names from [`App::services`]).
+    pub services: BTreeSet<String>,
+    /// Operations of the victim services on the faulted flow.
+    pub operations: BTreeSet<String>,
+    /// Faulted pods, when the fault is narrower than the service
+    /// (partial deploys); empty for service-wide faults.
+    pub pods: BTreeSet<String>,
+    /// The tenant whose flow is hit, when the scenario is
+    /// multi-tenant.
+    pub tenant: Option<String>,
+    /// Stable fault-class tag (`cpu_stress`, `error_injection`, …).
+    pub fault: &'static str,
+}
+
+/// One injected fault with its window and ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEpisode {
+    /// Window start, logical µs from scenario start (inclusive).
+    pub start_us: u64,
+    /// Window end, logical µs (exclusive).
+    pub end_us: u64,
+    /// Faults active during the window.
+    pub plan: FaultPlan,
+    /// What RCA must recover.
+    pub label: EpisodeLabel,
+}
+
+impl FaultEpisode {
+    /// Whether the episode is active at logical time `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        self.start_us <= t && t < self.end_us
+    }
+}
+
+/// A transient traffic surge multiplying the diurnal base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Surge start, logical µs (inclusive).
+    pub start_us: u64,
+    /// Surge end, logical µs (exclusive).
+    pub end_us: u64,
+    /// Rate multiplier while active.
+    pub multiplier: f64,
+}
+
+/// Arrival-rate model: diurnal sinusoid plus flash crowds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficShape {
+    /// Mean arrival rate, requests per logical second.
+    pub base_rate_per_sec: f64,
+    /// Relative amplitude of the diurnal sinusoid in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Period of the sinusoid, logical µs.
+    pub diurnal_period_us: u64,
+    /// Superimposed surges.
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+impl TrafficShape {
+    /// A flat shape at `rate` requests per logical second.
+    pub fn flat(rate: f64) -> Self {
+        TrafficShape {
+            base_rate_per_sec: rate,
+            diurnal_amplitude: 0.0,
+            diurnal_period_us: 1,
+            flash_crowds: Vec::new(),
+        }
+    }
+
+    /// Instantaneous arrival rate at logical time `t`, per second.
+    pub fn rate_at(&self, t: u64) -> f64 {
+        let phase =
+            2.0 * std::f64::consts::PI * (t as f64) / (self.diurnal_period_us.max(1) as f64);
+        let mut rate = self.base_rate_per_sec * (1.0 + self.diurnal_amplitude * phase.sin());
+        for c in &self.flash_crowds {
+            if c.start_us <= t && t < c.end_us {
+                rate *= c.multiplier;
+            }
+        }
+        rate.max(self.base_rate_per_sec * 0.05).max(0.01)
+    }
+}
+
+/// Client retry behaviour, the engine of metastable overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per failed request (exponential backoff).
+    pub max_retries: u32,
+    /// First backoff, logical µs (doubles per attempt).
+    pub backoff_us: u64,
+    /// Each outstanding retry amplifies active fault severities by
+    /// this fraction — retry load feeding the overload back.
+    pub overload_gain: f64,
+}
+
+/// One tenant of a multi-tenant scenario: a flow, a traffic share and
+/// an SLO multiplier over the flow's healthy p99.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (`gold`, `silver`, …).
+    pub name: String,
+    /// Index into [`App::flows`].
+    pub flow: usize,
+    /// Relative traffic weight.
+    pub weight: f64,
+    /// The tenant's latency SLO as a multiple of its flow's healthy
+    /// p99 (smaller = stricter).
+    pub slo_multiplier: f64,
+}
+
+/// Scale knobs shared by every generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioParams {
+    /// RPC sites of the generated app (overridden upward for
+    /// [`ScenarioKind::ThousandServices`]).
+    pub num_rpcs: usize,
+    /// Seed for app topology generation (distinct from the scenario
+    /// seed so one fitted pipeline serves many scenario seeds).
+    pub app_seed: u64,
+    /// Scenario length, logical µs.
+    pub duration_us: u64,
+    /// Base arrival rate, requests per logical second.
+    pub base_rate_per_sec: f64,
+}
+
+impl ScenarioParams {
+    /// CI-budget scale: a small app, eight logical minutes of traffic.
+    pub fn smoke() -> Self {
+        ScenarioParams {
+            num_rpcs: 24,
+            app_seed: 1,
+            duration_us: 480_000_000,
+            base_rate_per_sec: 1.5,
+        }
+    }
+
+    /// Soak scale: a bigger app, one logical hour per scenario.
+    pub fn soak() -> Self {
+        ScenarioParams {
+            num_rpcs: 64,
+            app_seed: 1,
+            duration_us: 3_600_000_000,
+            base_rate_per_sec: 4.0,
+        }
+    }
+}
+
+/// A fully-specified replayable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// `<kind>-s<seed>`.
+    pub name: String,
+    /// The failure shape.
+    pub kind: ScenarioKind,
+    /// The application under test.
+    pub app: App,
+    /// Scenario length, logical µs.
+    pub duration_us: u64,
+    /// Arrival-rate model.
+    pub shape: TrafficShape,
+    /// Injected faults with ground-truth labels (empty for a
+    /// fault-free control run).
+    pub episodes: Vec<FaultEpisode>,
+    /// Traffic split; every scenario has at least one tenant per flow
+    /// it exercises.
+    pub tenants: Vec<TenantSpec>,
+    /// Client retry behaviour, when the scenario models retries.
+    pub retry: Option<RetryPolicy>,
+    /// Seed driving episode placement, arrivals and simulation.
+    pub seed: u64,
+}
+
+/// One simulated request of a [`Schedule`].
+#[derive(Debug, Clone)]
+pub struct ScheduledTrace {
+    /// Arrival time, logical µs from scenario start.
+    pub at_us: u64,
+    /// Index into [`Scenario::tenants`].
+    pub tenant: usize,
+    /// Original trace id when this request is a retry.
+    pub retry_of: Option<u64>,
+    /// Retry attempt (0 for fresh arrivals).
+    pub attempt: u32,
+    /// Indices of the episodes active at arrival.
+    pub episodes_active: Vec<usize>,
+    /// The simulated request: trace plus per-trace ground truth.
+    pub sim: SimulatedTrace,
+}
+
+/// A scenario expanded to concrete, time-ordered traffic.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Requests sorted by arrival time; trace ids are unique and
+    /// sequential from 1.
+    pub traces: Vec<ScheduledTrace>,
+    /// How many of them are retries.
+    pub retries: usize,
+    /// Total span count (for conservation assertions).
+    pub spans: usize,
+    /// Whether the hard cap on generated traffic truncated the run.
+    pub truncated: bool,
+}
+
+/// App generation shared by every kind: error-free baseline (so
+/// fault-free runs are provably clean), modest kernel tails, three
+/// flows (multi-tenant needs them), generous RPC timeout.
+fn app_config(kind: ScenarioKind, params: &ScenarioParams) -> GeneratorConfig {
+    let rpcs = match kind {
+        ScenarioKind::ThousandServices => params.num_rpcs.max(1100),
+        _ => params.num_rpcs,
+    };
+    let mut cfg = GeneratorConfig::synthetic(rpcs);
+    if kind == ScenarioKind::ThousandServices {
+        cfg.num_services = cfg.num_services.max(1000);
+    }
+    cfg.name = format!("soak-{rpcs}");
+    cfg.num_flows = 3;
+    cfg.base_error_rate = 0.0;
+    cfg.kernel_sigma_range = (0.15, 0.4);
+    cfg.timeout_us = 30_000_000;
+    cfg.async_fraction = 0.05;
+    cfg
+}
+
+/// Sync-path structure of a flow: which nodes a synchronous request
+/// path reaches (fire-and-forget subtrees never perturb the root, so
+/// victims must sit on the sync path to be recoverable).
+struct FlowIndex {
+    parent: Vec<Option<usize>>,
+    sync: Vec<bool>,
+}
+
+fn index_flow(flow: &Flow) -> FlowIndex {
+    let n = flow.nodes.len();
+    let mut parent = vec![None; n];
+    let mut sync = vec![false; n];
+    sync[0] = true;
+    // Children always have larger indices (validated topological
+    // order), so one forward pass settles the whole tree.
+    for i in 0..n {
+        let node = &flow.nodes[i];
+        let async_pos: BTreeSet<usize> = node.exec.async_children.iter().copied().collect();
+        for (pos, &c) in node.children.iter().enumerate() {
+            parent[c] = Some(i);
+            sync[c] = sync[i] && !async_pos.contains(&pos);
+        }
+    }
+    FlowIndex { parent, sync }
+}
+
+/// Expected healthy kernel time of a flow node, µs (median of pre +
+/// post kernels) — the lever a stress fault multiplies.
+fn node_kernel_us(flow: &Flow, node: usize) -> f64 {
+    flow.nodes[node].pre_kernel.mu.exp() + flow.nodes[node].post_kernel.mu.exp()
+}
+
+/// Non-root sync-path nodes ordered by descending kernel weight: the
+/// best stress victims first.
+fn victim_candidates(flow: &Flow) -> Vec<usize> {
+    let idx = index_flow(flow);
+    let mut nodes: Vec<usize> = (1..flow.nodes.len()).filter(|&i| idx.sync[i]).collect();
+    if nodes.is_empty() {
+        nodes.push(0);
+    }
+    nodes.sort_by(|&a, &b| {
+        node_kernel_us(flow, b)
+            .partial_cmp(&node_kernel_us(flow, a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    nodes
+}
+
+/// The stress kind with full affinity for the node's heavier kernel,
+/// so severity translates 1:1 into slowdown.
+fn matched_stress(flow: &Flow, node: usize) -> FaultKind {
+    let n = &flow.nodes[node];
+    let kind = if n.pre_kernel.mu.exp() >= n.post_kernel.mu.exp() {
+        n.pre_kernel.kind
+    } else {
+        n.post_kernel.kind
+    };
+    match kind {
+        KernelKind::Cpu | KernelKind::Scheduler => FaultKind::CpuStress,
+        KernelKind::Memory => FaultKind::MemoryStress,
+        KernelKind::Disk => FaultKind::DiskStress,
+    }
+}
+
+fn fault_tag(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::CpuStress => "cpu_stress",
+        FaultKind::MemoryStress => "memory_stress",
+        FaultKind::DiskStress => "disk_stress",
+        FaultKind::NetworkDelay => "network_delay",
+        FaultKind::ErrorInjection => "error_injection",
+    }
+}
+
+/// Healthy worst-case duration of a flow, estimated by simulation —
+/// the yardstick severities are calibrated against.
+fn healthy_ceiling_us(app: &App, flow: usize, seed: u64) -> f64 {
+    let sim = Simulator::new(app);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6865_616c); // "heal"
+    let healthy = FaultPlan::healthy();
+    let mut max_us = 0u64;
+    for i in 0..48 {
+        let t = sim.simulate(flow, &healthy, 900_000_000 + i, &mut rng);
+        max_us = max_us.max(t.trace.total_duration_us());
+    }
+    max_us as f64
+}
+
+/// Severity that makes a stress fault on `victim` add several times
+/// the flow's healthy worst case — unambiguously SLO-violating and
+/// dominant in the trace, whatever kernels the generator rolled.
+fn calibrated_severity(app: &App, flow_idx: usize, victim: usize, seed: u64) -> f64 {
+    let flow = &app.flows[flow_idx];
+    let ceiling = healthy_ceiling_us(app, flow_idx, seed);
+    let lever = node_kernel_us(flow, victim).max(1.0);
+    ((6.0 * ceiling) / lever).clamp(25.0, 50_000.0)
+}
+
+/// One fault per pod of `service` — a service-wide injection.
+fn service_faults(app: &App, service: usize, kind: FaultKind, severity: f64) -> Vec<Fault> {
+    (0..app.services[service].pods.len())
+        .map(|pod| Fault {
+            kind,
+            target: FaultTarget::Pod { service, pod },
+            severity,
+        })
+        .collect()
+}
+
+/// Label for a service-wide fault on `flow`: the victim service plus
+/// every operation it serves on that flow.
+fn service_label(app: &App, flow: &Flow, service: usize, fault: &'static str) -> EpisodeLabel {
+    let mut operations = BTreeSet::new();
+    for n in &flow.nodes {
+        if n.service == service {
+            operations.insert(n.op_name.clone());
+        }
+    }
+    EpisodeLabel {
+        services: [app.services[service].name.clone()].into_iter().collect(),
+        operations,
+        pods: BTreeSet::new(),
+        tenant: None,
+        fault,
+    }
+}
+
+fn window(duration_us: u64, a: f64, b: f64) -> (u64, u64) {
+    (
+        (duration_us as f64 * a) as u64,
+        (duration_us as f64 * b) as u64,
+    )
+}
+
+/// A calibrated service-wide stress episode on the flow's best victim
+/// (rank-`rank` candidate), over `[a, b]` fractions of the duration.
+fn stress_episode(
+    app: &App,
+    flow_idx: usize,
+    rank: usize,
+    duration_us: u64,
+    a: f64,
+    b: f64,
+    seed: u64,
+) -> FaultEpisode {
+    let flow = &app.flows[flow_idx];
+    let candidates = victim_candidates(flow);
+    let victim = candidates[rank.min(candidates.len() - 1)];
+    let service = flow.nodes[victim].service;
+    let kind = matched_stress(flow, victim);
+    let severity = calibrated_severity(app, flow_idx, victim, seed);
+    let (start_us, end_us) = window(duration_us, a, b);
+    FaultEpisode {
+        start_us,
+        end_us,
+        plan: FaultPlan {
+            faults: service_faults(app, service, kind, severity),
+        },
+        label: service_label(app, flow, service, fault_tag(kind)),
+    }
+}
+
+/// One tenant per flow, weighted like the flows themselves.
+fn default_tenants(app: &App) -> Vec<TenantSpec> {
+    app.flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| TenantSpec {
+            name: f.name.clone(),
+            flow: i,
+            weight: f.weight,
+            slo_multiplier: 3.0,
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Generate a scenario of the given kind. Deterministic in
+    /// `(kind, params, seed)`; the app topology depends only on
+    /// `params`, so scenarios sharing params share the app (and a
+    /// pipeline fitted for one serves them all).
+    pub fn generate(kind: ScenarioKind, params: &ScenarioParams, seed: u64) -> Scenario {
+        let cfg = app_config(kind, params);
+        let app = generate_app(&cfg, params.app_seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7363_656e); // "scen"
+        let dur = params.duration_us;
+        let mut shape = TrafficShape {
+            base_rate_per_sec: params.base_rate_per_sec,
+            diurnal_amplitude: 0.3,
+            diurnal_period_us: dur.max(2),
+            flash_crowds: Vec::new(),
+        };
+        let mut tenants = default_tenants(&app);
+        let mut retry = None;
+        let mut episodes = Vec::new();
+
+        match kind {
+            ScenarioKind::DiurnalFlash => {
+                shape.diurnal_amplitude = 0.5;
+                shape.diurnal_period_us = (dur / 2).max(2);
+                let (s1, e1) = window(dur, 0.28, 0.36);
+                let (s2, e2) = window(dur, 0.68, 0.78);
+                shape.flash_crowds = vec![
+                    FlashCrowd {
+                        start_us: s1,
+                        end_us: e1,
+                        multiplier: rng.gen_range(2.0..=3.0),
+                    },
+                    FlashCrowd {
+                        start_us: s2,
+                        end_us: e2,
+                        multiplier: rng.gen_range(3.0..=4.0),
+                    },
+                ];
+                // The fault lands inside the second, larger crowd: peak
+                // load and a real root cause at once.
+                episodes.push(stress_episode(&app, 0, 0, dur, 0.70, 0.76, seed));
+            }
+            ScenarioKind::RetryStorm => {
+                // Backoff is a sizable fraction of the fault window so
+                // the retry tail reliably outlives it (metastability).
+                retry = Some(RetryPolicy {
+                    max_retries: 2,
+                    backoff_us: (dur / 8).max(1_000_000),
+                    overload_gain: 0.05,
+                });
+                let flow = &app.flows[0];
+                let candidates = victim_candidates(flow);
+                let victim = candidates[rng.gen_range(0..candidates.len().min(3))];
+                let service = flow.nodes[victim].service;
+                let (start_us, end_us) = window(dur, 0.35, 0.55);
+                episodes.push(FaultEpisode {
+                    start_us,
+                    end_us,
+                    plan: FaultPlan {
+                        faults: service_faults(&app, service, FaultKind::ErrorInjection, 0.9),
+                    },
+                    label: service_label(&app, flow, service, "error_injection"),
+                });
+            }
+            ScenarioKind::Cascade => {
+                let flow = &app.flows[0];
+                let idx = index_flow(flow);
+                let candidates = victim_candidates(flow);
+                let deep = candidates[0];
+                // Walk the sync ancestor chain for a different service
+                // in a different (shallower) tier.
+                let deep_service = flow.nodes[deep].service;
+                let mut ancestor = None;
+                let mut cur = idx.parent[deep];
+                while let Some(p) = cur {
+                    if p != 0 && flow.nodes[p].service != deep_service {
+                        ancestor = Some(p);
+                        break;
+                    }
+                    cur = idx.parent[p];
+                }
+                // Tiny flows may leave only the root as ancestor; a
+                // distinct second victim keeps the cascade two-service.
+                let upstream = ancestor.unwrap_or_else(|| {
+                    candidates
+                        .iter()
+                        .copied()
+                        .find(|&c| flow.nodes[c].service != deep_service)
+                        .unwrap_or(0)
+                });
+                let mk = |victim: usize, a: f64, b: f64, salt: u64| {
+                    let service = flow.nodes[victim].service;
+                    let kind = matched_stress(flow, victim);
+                    let severity = calibrated_severity(&app, 0, victim, seed ^ salt);
+                    let (start_us, end_us) = window(dur, a, b);
+                    FaultEpisode {
+                        start_us,
+                        end_us,
+                        plan: FaultPlan {
+                            faults: service_faults(&app, service, kind, severity),
+                        },
+                        label: service_label(&app, flow, service, fault_tag(kind)),
+                    }
+                };
+                episodes.push(mk(deep, 0.30, 0.55, 0));
+                episodes.push(mk(upstream, 0.42, 0.66, 1));
+            }
+            ScenarioKind::PartialDeploy => {
+                let flow = &app.flows[0];
+                let candidates = victim_candidates(flow);
+                let victim = candidates[0];
+                let service = flow.nodes[victim].service;
+                let canary = app.services[service].pods.len() - 1;
+                let kind = matched_stress(flow, victim);
+                let severity = calibrated_severity(&app, 0, victim, seed);
+                let (start_us, end_us) = window(dur, 0.20, 0.85);
+                let mut label = service_label(&app, flow, service, fault_tag(kind));
+                label
+                    .pods
+                    .insert(app.services[service].pods[canary].name.clone());
+                episodes.push(FaultEpisode {
+                    start_us,
+                    end_us,
+                    plan: FaultPlan {
+                        faults: vec![Fault {
+                            kind,
+                            target: FaultTarget::Container {
+                                service,
+                                pod: canary,
+                            },
+                            severity,
+                        }],
+                    },
+                    label,
+                });
+            }
+            ScenarioKind::MultiTenant => {
+                let nf = app.flows.len();
+                tenants = vec![
+                    TenantSpec {
+                        name: "gold".into(),
+                        flow: 0,
+                        weight: 0.55,
+                        slo_multiplier: 2.0,
+                    },
+                    TenantSpec {
+                        name: "silver".into(),
+                        flow: 1 % nf,
+                        weight: 0.30,
+                        slo_multiplier: 3.0,
+                    },
+                    TenantSpec {
+                        name: "bronze".into(),
+                        flow: 2 % nf,
+                        weight: 0.15,
+                        slo_multiplier: 4.0,
+                    },
+                ];
+                let victim_flow = 1 % nf;
+                let flow = &app.flows[victim_flow];
+                // Prefer a victim that gold's flow never touches, so
+                // the blast radius is genuinely tenant-scoped.
+                let gold_services: BTreeSet<usize> =
+                    app.flows[0].nodes.iter().map(|n| n.service).collect();
+                let candidates = victim_candidates(flow);
+                let victim = candidates
+                    .iter()
+                    .copied()
+                    .find(|&c| !gold_services.contains(&flow.nodes[c].service))
+                    .unwrap_or(candidates[0]);
+                let service = flow.nodes[victim].service;
+                let kind = matched_stress(flow, victim);
+                let severity = calibrated_severity(&app, victim_flow, victim, seed);
+                let (start_us, end_us) = window(dur, 0.40, 0.62);
+                let mut label = service_label(&app, flow, service, fault_tag(kind));
+                label.tenant = Some("silver".into());
+                episodes.push(FaultEpisode {
+                    start_us,
+                    end_us,
+                    plan: FaultPlan {
+                        faults: service_faults(&app, service, kind, severity),
+                    },
+                    label,
+                });
+            }
+            ScenarioKind::ThousandServices => {
+                shape.diurnal_amplitude = 0.25;
+                episodes.push(stress_episode(&app, 0, 0, dur, 0.35, 0.60, seed));
+            }
+        }
+
+        Scenario {
+            name: format!("{}-s{seed}", kind.name()),
+            kind,
+            app,
+            duration_us: dur,
+            shape,
+            episodes,
+            tenants,
+            retry,
+            seed,
+        }
+    }
+
+    /// The same scenario with every fault stripped: the control run
+    /// that must produce zero anomaly verdicts.
+    pub fn fault_free(&self) -> Scenario {
+        Scenario {
+            episodes: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// A deterministic healthy training corpus covering every flow
+    /// round-robin (so the detector learns an SLO for each root op).
+    pub fn training_corpus(&self, n: usize) -> Vec<Trace> {
+        let sim = Simulator::new(&self.app);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x7472_6169); // "trai"
+        let healthy = FaultPlan::healthy();
+        let nf = self.app.flows.len();
+        (0..n)
+            .map(|i| {
+                sim.simulate(i % nf, &healthy, 1_000_000_000 + i as u64, &mut rng)
+                    .trace
+            })
+            .collect()
+    }
+
+    /// Upper bound on generated requests: headroom over the expected
+    /// arrival count so a runaway retry loop cannot OOM the harness.
+    fn trace_cap(&self) -> usize {
+        let secs = self.duration_us as f64 / 1e6;
+        let peak: f64 = self
+            .shape
+            .flash_crowds
+            .iter()
+            .map(|c| c.multiplier)
+            .fold(1.0 + self.shape.diurnal_amplitude, f64::max);
+        ((secs * self.shape.base_rate_per_sec * peak * 4.0) as usize).max(64) + 1024
+    }
+
+    /// Expand the scenario into deterministic, time-ordered traffic.
+    pub fn schedule(&self) -> Schedule {
+        let sim = Simulator::new(&self.app);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x7366_6c6f); // "sflo"
+        let total_weight: f64 = self.tenants.iter().map(|t| t.weight).sum();
+        let cap = self.trace_cap();
+
+        let mut traces: Vec<ScheduledTrace> = Vec::new();
+        // (due, original trace id, tenant, attempt) min-heap of retries.
+        let mut pending: BinaryHeap<Reverse<(u64, u64, usize, u32)>> = BinaryHeap::new();
+        let mut outstanding: u32 = 0;
+        let mut retries = 0usize;
+        let mut spans = 0usize;
+        let mut next_id: u64 = 1;
+        let mut truncated = false;
+
+        let emit = |at: u64,
+                    tenant: usize,
+                    retry_of: Option<u64>,
+                    attempt: u32,
+                    outstanding: u32,
+                    rng: &mut ChaCha8Rng,
+                    traces: &mut Vec<ScheduledTrace>,
+                    pending: &mut BinaryHeap<Reverse<(u64, u64, usize, u32)>>,
+                    retries: &mut usize,
+                    spans: &mut usize,
+                    next_id: &mut u64|
+         -> u32 {
+            let episodes_active: Vec<usize> = self
+                .episodes
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.active_at(at))
+                .map(|(i, _)| i)
+                .collect();
+            let mut plan = FaultPlan::healthy();
+            for &i in &episodes_active {
+                plan.faults.extend_from_slice(&self.episodes[i].plan.faults);
+            }
+            // Metastable overload: outstanding retry load amplifies
+            // whatever fault is active.
+            if let Some(rp) = &self.retry {
+                if outstanding > 0 && !plan.faults.is_empty() {
+                    let amp = 1.0 + rp.overload_gain * outstanding as f64;
+                    for f in &mut plan.faults {
+                        f.severity = match f.kind {
+                            FaultKind::ErrorInjection => (f.severity * amp).min(1.0),
+                            _ => f.severity * amp,
+                        };
+                    }
+                }
+            }
+            let id = *next_id;
+            *next_id += 1;
+            let st = sim.simulate(self.tenants[tenant].flow, &plan, id, rng);
+            *spans += st.trace.spans().len();
+            if retry_of.is_some() {
+                *retries += 1;
+            }
+            let mut scheduled_retry = 0;
+            if let Some(rp) = &self.retry {
+                if st.trace.is_error() && attempt < rp.max_retries {
+                    let backoff = rp.backoff_us << attempt;
+                    let jitter = rng.gen_range(0..=rp.backoff_us / 4 + 1);
+                    pending.push(Reverse((
+                        at + backoff + jitter,
+                        retry_of.unwrap_or(id),
+                        tenant,
+                        attempt + 1,
+                    )));
+                    scheduled_retry = 1;
+                }
+            }
+            traces.push(ScheduledTrace {
+                at_us: at,
+                tenant,
+                retry_of,
+                attempt,
+                episodes_active,
+                sim: st,
+            });
+            scheduled_retry
+        };
+
+        let pick_tenant = |rng: &mut ChaCha8Rng| -> usize {
+            let mut roll = rng.gen_range(0.0..1.0f64) * total_weight;
+            for (i, t) in self.tenants.iter().enumerate() {
+                roll -= t.weight;
+                if roll <= 0.0 {
+                    return i;
+                }
+            }
+            self.tenants.len() - 1
+        };
+
+        let mut t: u64 = 0;
+        loop {
+            while let Some(&Reverse((due, orig, tenant, attempt))) = pending.peek() {
+                if due > t {
+                    break;
+                }
+                pending.pop();
+                outstanding -= 1;
+                outstanding += emit(
+                    due,
+                    tenant,
+                    Some(orig),
+                    attempt,
+                    outstanding,
+                    &mut rng,
+                    &mut traces,
+                    &mut pending,
+                    &mut retries,
+                    &mut spans,
+                    &mut next_id,
+                );
+            }
+            if t >= self.duration_us {
+                break;
+            }
+            if traces.len() >= cap {
+                truncated = true;
+                break;
+            }
+            let tenant = pick_tenant(&mut rng);
+            outstanding += emit(
+                t,
+                tenant,
+                None,
+                0,
+                outstanding,
+                &mut rng,
+                &mut traces,
+                &mut pending,
+                &mut retries,
+                &mut spans,
+                &mut next_id,
+            );
+            // Poisson arrivals at the shaped instantaneous rate.
+            let mean_gap_us = 1_000_000.0 / self.shape.rate_at(t);
+            let u: f64 = rng.gen_range(0.0..1.0f64).max(1e-12);
+            t += ((-u.ln()) * mean_gap_us).clamp(1.0, 600_000_000.0) as u64 + 1;
+        }
+        // The metastable tail: retries scheduled inside the window land
+        // after it — drain them in due order.
+        while let Some(Reverse((due, orig, tenant, attempt))) = pending.pop() {
+            if traces.len() >= cap {
+                truncated = true;
+                break;
+            }
+            outstanding -= 1;
+            outstanding += emit(
+                due,
+                tenant,
+                Some(orig),
+                attempt,
+                outstanding,
+                &mut rng,
+                &mut traces,
+                &mut pending,
+                &mut retries,
+                &mut spans,
+                &mut next_id,
+            );
+        }
+        let _ = outstanding;
+        traces.sort_by_key(|s| s.at_us);
+        Schedule {
+            traces,
+            retries,
+            spans,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScenarioParams {
+        ScenarioParams {
+            num_rpcs: 24,
+            app_seed: 1,
+            duration_us: 60_000_000,
+            base_rate_per_sec: 1.0,
+        }
+    }
+
+    #[test]
+    fn every_kind_generates_a_valid_labelled_scenario() {
+        for kind in ScenarioKind::SMALL {
+            let sc = Scenario::generate(kind, &params(), 7);
+            sc.app.validate().unwrap();
+            assert!(!sc.episodes.is_empty(), "{kind:?} has no episodes");
+            for e in &sc.episodes {
+                assert!(e.start_us < e.end_us && e.end_us <= sc.duration_us);
+                assert!(!e.label.services.is_empty(), "{kind:?} label empty");
+                assert!(!e.plan.is_healthy());
+                let names: BTreeSet<&str> =
+                    sc.app.services.iter().map(|s| s.name.as_str()).collect();
+                for s in &e.label.services {
+                    assert!(names.contains(s.as_str()), "label service {s} unknown");
+                }
+            }
+            assert!(!sc.tenants.is_empty());
+            for t in &sc.tenants {
+                assert!(t.flow < sc.app.flows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_conserves_spans() {
+        let sc = Scenario::generate(ScenarioKind::RetryStorm, &params(), 3);
+        let a = sc.schedule();
+        let b = sc.schedule();
+        assert_eq!(a.traces.len(), b.traces.len());
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(
+            a.spans,
+            a.traces
+                .iter()
+                .map(|s| s.sim.trace.spans().len())
+                .sum::<usize>()
+        );
+        assert!(a.traces.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(!a.truncated);
+        // Unique sequential ids starting at 1.
+        let mut ids: Vec<u64> = a.traces.iter().map(|s| s.sim.trace.trace_id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=a.traces.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retry_storm_goes_metastable() {
+        let sc = Scenario::generate(ScenarioKind::RetryStorm, &params(), 5);
+        let schedule = sc.schedule();
+        assert!(schedule.retries > 0, "no retries fired");
+        let episode_end = sc.episodes[0].end_us;
+        // Some retry tail lands after the fault window closes.
+        assert!(
+            schedule
+                .traces
+                .iter()
+                .any(|s| s.retry_of.is_some() && s.at_us >= episode_end),
+            "retry tail did not outlive the fault window"
+        );
+        for s in &schedule.traces {
+            if let Some(orig) = s.retry_of {
+                assert!(orig < s.sim.trace.trace_id());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_schedules_have_empty_ground_truth() {
+        for kind in ScenarioKind::SMALL {
+            let sc = Scenario::generate(kind, &params(), 11).fault_free();
+            assert!(sc.episodes.is_empty());
+            let schedule = sc.schedule();
+            assert!(!schedule.traces.is_empty());
+            for s in &schedule.traces {
+                assert!(
+                    s.sim.ground_truth.is_empty(),
+                    "{kind:?} fault-free trace has gt"
+                );
+                assert!(!s.sim.trace.is_error(), "{kind:?} fault-free trace errored");
+                assert!(s.episodes_active.is_empty());
+            }
+            assert_eq!(schedule.retries, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_windows_produce_labelled_ground_truth() {
+        for kind in ScenarioKind::SMALL {
+            let sc = Scenario::generate(kind, &params(), 13);
+            let schedule = sc.schedule();
+            for (i, e) in sc.episodes.iter().enumerate() {
+                let hits = schedule
+                    .traces
+                    .iter()
+                    .filter(|s| s.episodes_active.contains(&i))
+                    .filter(|s| {
+                        s.sim
+                            .ground_truth
+                            .services
+                            .intersection(&e.label.services)
+                            .count()
+                            > 0
+                    })
+                    .count();
+                assert!(hits > 0, "{kind:?} episode {i} perturbed no trace");
+            }
+            // Ground truth only appears inside episode windows.
+            for s in &schedule.traces {
+                if s.episodes_active.is_empty() && s.retry_of.is_none() {
+                    assert!(s.sim.ground_truth.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_deploy_only_hits_the_canary_pod() {
+        let sc = Scenario::generate(ScenarioKind::PartialDeploy, &params(), 17);
+        let e = &sc.episodes[0];
+        assert_eq!(e.label.pods.len(), 1);
+        let canary = e.label.pods.iter().next().unwrap();
+        let schedule = sc.schedule();
+        let (mut affected, mut clean_in_window) = (0, 0);
+        for s in &schedule.traces {
+            if !s.episodes_active.is_empty() {
+                if s.sim.ground_truth.pods.contains(canary) {
+                    affected += 1;
+                } else if s.sim.ground_truth.is_empty() {
+                    clean_in_window += 1;
+                }
+                assert!(
+                    s.sim.ground_truth.pods.is_empty() || s.sim.ground_truth.pods.contains(canary)
+                );
+            }
+        }
+        // Both code versions serve inside the window: some requests hit
+        // the slow canary, some the healthy pods.
+        assert!(affected > 0, "canary never hit");
+        assert!(clean_in_window > 0, "healthy pods never hit");
+    }
+
+    #[test]
+    fn multi_tenant_fault_hits_the_labelled_tenant() {
+        let sc = Scenario::generate(ScenarioKind::MultiTenant, &params(), 19);
+        assert_eq!(sc.tenants.len(), 3);
+        let e = &sc.episodes[0];
+        assert_eq!(e.label.tenant.as_deref(), Some("silver"));
+        let silver_flow = sc.tenants.iter().find(|t| t.name == "silver").unwrap().flow;
+        // Services the victim flow shares with other tenants (small
+        // apps reuse services across flows; the blast radius is only
+        // tenant-exclusive when the topology allows it).
+        let victim_services: BTreeSet<usize> = sc.episodes[0]
+            .label
+            .services
+            .iter()
+            .map(|n| sc.app.services.iter().position(|s| &s.name == n).unwrap())
+            .collect();
+        let schedule = sc.schedule();
+        let mut silver_hit = false;
+        for s in &schedule.traces {
+            if s.sim.ground_truth.is_empty() {
+                continue;
+            }
+            let flow = sc.tenants[s.tenant].flow;
+            silver_hit |= flow == silver_flow;
+            // Any collateral damage must go through a shared service.
+            if flow != silver_flow {
+                assert!(
+                    sc.app.flows[flow]
+                        .nodes
+                        .iter()
+                        .any(|n| victim_services.contains(&n.service)),
+                    "tenant {} hit without touching the victim",
+                    sc.tenants[s.tenant].name
+                );
+            }
+        }
+        assert!(silver_hit, "the labelled tenant was never affected");
+    }
+
+    #[test]
+    fn diurnal_flash_shape_modulates_rate() {
+        let sc = Scenario::generate(ScenarioKind::DiurnalFlash, &params(), 23);
+        assert_eq!(sc.shape.flash_crowds.len(), 2);
+        let crowd = sc.shape.flash_crowds[1];
+        let mid = (crowd.start_us + crowd.end_us) / 2;
+        assert!(sc.shape.rate_at(mid) > 2.0 * sc.shape.base_rate_per_sec);
+        // Scenarios share one app across kinds (same params ⇒ one
+        // fitted pipeline serves them all).
+        let other = Scenario::generate(ScenarioKind::Cascade, &params(), 23);
+        assert_eq!(sc.app, other.app);
+    }
+
+    #[test]
+    fn thousand_services_topology_is_large() {
+        let p = ScenarioParams {
+            num_rpcs: 1100,
+            app_seed: 1,
+            duration_us: 10_000_000,
+            base_rate_per_sec: 0.5,
+        };
+        let sc = Scenario::generate(ScenarioKind::ThousandServices, &p, 29);
+        assert!(sc.app.num_services() >= 1000, "{}", sc.app.num_services());
+        assert!(!sc.episodes.is_empty());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+}

@@ -225,11 +225,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn net_hop_us<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        lognormal_us(
-            self.cfg.network_median_us.ln(),
-            self.cfg.network_sigma,
-            rng,
-        )
+        lognormal_us(self.cfg.network_median_us.ln(), self.cfg.network_sigma, rng)
     }
 
     /// Simulate the server-side execution of `node`, returning
@@ -266,8 +262,7 @@ impl<'a> Simulator<'a> {
         let pre_base = node.pre_kernel.sample_us(1.0, rng);
         let pre_actual = ((pre_base as f64) * pre_slow).round().max(1.0) as u64;
         if pre_slow >= self.cfg.affected_slowdown_threshold && ctx.async_depth == 0 {
-            *ctx.added_us.entry((svc_idx, pod_idx)).or_default() +=
-                (pre_actual - pre_base) as f64;
+            *ctx.added_us.entry((svc_idx, pod_idx)).or_default() += (pre_actual - pre_base) as f64;
         }
         t += pre_actual;
 
@@ -321,9 +316,7 @@ impl<'a> Simulator<'a> {
                 // can target the instance the request actually reaches.
                 let callee_pod = rng.gen_range(0..self.app.services[callee_svc].pods.len());
 
-                let net_fault = ctx
-                    .plan
-                    .network_delay_us(self.app, callee_svc, callee_pod);
+                let net_fault = ctx.plan.network_delay_us(self.app, callee_svc, callee_pod);
                 if net_fault >= self.cfg.affected_delay_threshold_us && ctx.async_depth == 0 {
                     *ctx.added_us.entry((callee_svc, callee_pod)).or_default() +=
                         2.0 * net_fault as f64;
@@ -403,16 +396,21 @@ impl<'a> Simulator<'a> {
         let errored = own_error || propagated;
 
         ctx.spans.push(
-            Span::builder(ctx.trace_id, span_id, svc.name.clone(), node.op_name.clone())
-                .kind(kind)
-                .time(start_us, t)
-                .status(if errored {
-                    StatusCode::Error
-                } else {
-                    StatusCode::Ok
-                })
-                .placement(pod.name.clone(), self.app.nodes[pod.node].clone())
-                .build(),
+            Span::builder(
+                ctx.trace_id,
+                span_id,
+                svc.name.clone(),
+                node.op_name.clone(),
+            )
+            .kind(kind)
+            .time(start_us, t)
+            .status(if errored {
+                StatusCode::Error
+            } else {
+                StatusCode::Ok
+            })
+            .placement(pod.name.clone(), self.app.nodes[pod.node].clone())
+            .build(),
         );
         // Root has no parent; set parent for non-roots.
         if let Some(p) = parent_span {
@@ -509,11 +507,17 @@ mod tests {
         let plan = FaultPlan {
             faults: (0..app.services[victim].pods.len())
                 .flat_map(|p| {
-                    crate::kernels::KernelKind::ALL.iter().map(move |_| p).take(1)
+                    crate::kernels::KernelKind::ALL
+                        .iter()
+                        .map(move |_| p)
+                        .take(1)
                 })
                 .map(|p| Fault {
                     kind: FaultKind::CpuStress,
-                    target: FaultTarget::Pod { service: victim, pod: p },
+                    target: FaultTarget::Pod {
+                        service: victim,
+                        pod: p,
+                    },
                     severity: 40.0,
                 })
                 .collect(),
@@ -549,7 +553,10 @@ mod tests {
             faults: (0..app.services[root_svc].pods.len())
                 .map(|p| Fault {
                     kind: FaultKind::ErrorInjection,
-                    target: FaultTarget::Pod { service: root_svc, pod: p },
+                    target: FaultTarget::Pod {
+                        service: root_svc,
+                        pod: p,
+                    },
                     severity: 1.0,
                 })
                 .collect(),

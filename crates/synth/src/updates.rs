@@ -187,10 +187,7 @@ pub fn update_d_add_chains(app: &mut App) -> UpdateReport {
         let f = &mut app.flows[0];
         // Attach under a mid node: pick the chain-th child of the root
         // when available, else the root.
-        let anchor = *f.nodes[0]
-            .children
-            .get(chain)
-            .unwrap_or(&0);
+        let anchor = *f.nodes[0].children.get(chain).unwrap_or(&0);
         let mut parent = anchor;
         for (k, &svc) in svcs.iter().enumerate() {
             let idx = f.nodes.len();

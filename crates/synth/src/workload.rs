@@ -166,8 +166,7 @@ impl<'a> CorpusBuilder<'a> {
                 let flow = sim.pick_flow(&mut rng);
                 let st = sim.simulate(flow, &plan, trace_id, &mut rng);
                 trace_id += 1;
-                let violates =
-                    st.trace.is_error() || st.trace.total_duration_us() > slo[st.flow];
+                let violates = st.trace.is_error() || st.trace.total_duration_us() > slo[st.flow];
                 if violates && !st.ground_truth.is_empty() {
                     traces.push(st);
                 }
@@ -231,7 +230,11 @@ mod tests {
             .seed(6)
             .chaos(chaos)
             .mixed_traces(200, 20);
-        let anomalous = c.traces.iter().filter(|t| !t.ground_truth.is_empty()).count();
+        let anomalous = c
+            .traces
+            .iter()
+            .filter(|t| !t.ground_truth.is_empty())
+            .count();
         assert!(anomalous > 0, "no anomalies in mixed corpus");
         assert!(anomalous < 150, "too many anomalies: {anomalous}");
     }

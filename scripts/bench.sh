@@ -166,3 +166,76 @@ print(f"  ingest   {ns_span} ns/span over {spans} spans")
 print(f"  distance {ns_merge} ns/pair sorted-merge vs {ns_hashed} ns/pair hashed "
       f"({result['distance']['speedup_vs_hashed']}x)")
 EOF
+
+# ---- Validate every artifact ----------------------------------------
+# A bench run that silently wrote a truncated or non-numeric artifact
+# poisons every later comparison against it; refuse to exit 0 unless
+# all three JSON files parse and carry numeric metrics everywhere a
+# number is expected.
+echo "==> validating BENCH_parallel.json BENCH_wire.json BENCH_hotpath.json" >&2
+python3 - <<'EOF'
+import json, sys
+
+failures = []
+
+def num(data, path, positive=True):
+    v = data
+    for p in path.split("."):
+        if not isinstance(v, dict) or p not in v:
+            failures.append(f"missing key {path!r}")
+            return
+        v = v[p]
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        failures.append(f"key {path!r} is not numeric: {v!r}")
+    elif positive and v <= 0:
+        failures.append(f"key {path!r} is not positive: {v!r}")
+
+def load(name):
+    try:
+        with open(name) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        failures.append(f"{name} missing")
+    except json.JSONDecodeError as e:
+        failures.append(f"{name} is not valid JSON: {e}")
+    return None
+
+par = load("BENCH_parallel.json")
+if par is not None:
+    num(par, "hardware_threads")
+    num(par, "requested_threads")
+    if not isinstance(par.get("benches"), dict) or not par["benches"]:
+        failures.append("BENCH_parallel.json: no benches recorded")
+    else:
+        for name, b in par["benches"].items():
+            for key in ("sequential_median_us", "parallel_median_us",
+                        "parallel_threads", "speedup", "samples"):
+                num(b, key)
+
+wire = load("BENCH_wire.json")
+if wire is not None:
+    num(wire, "encoded_payload_bytes")
+    if not isinstance(wire.get("benches"), dict) or not wire["benches"]:
+        failures.append("BENCH_wire.json: no benches recorded")
+    else:
+        for name, b in wire["benches"].items():
+            for key in ("frames", "spans", "median_us", "frames_per_sec",
+                        "spans_per_sec", "ns_per_span", "samples"):
+                num(b, key)
+
+hot = load("BENCH_hotpath.json")
+if hot is not None:
+    for key in ("ns_per_span_ingest", "ns_per_pair_distance",
+                "ingest.spans", "ingest.median_us", "ingest.samples",
+                "distance.pairs", "distance.sorted_merge_median_us",
+                "distance.hashed_median_us", "distance.ns_per_pair_sorted_merge",
+                "distance.ns_per_pair_hashed", "distance.speedup_vs_hashed",
+                "distance.samples"):
+        num(hot, key)
+
+if failures:
+    for f in failures:
+        print(f"bench validation: {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench artifacts: all metrics present and numeric")
+EOF

@@ -3,34 +3,23 @@
 #
 #   scripts/tier1.sh
 #
-# Runs the release build, the full test suite, a multi-process
-# loopback smoke test (router + two real shard-server processes over
-# Unix-domain sockets), and (for the crates added or reworked after
-# the seed: serve, par, cluster, chaos, wire) formatting and lint
-# gates.
+# Runs the release build, the full workspace test suite (which already
+# includes every per-crate suite and integration test — nothing is
+# re-run piecemeal), a multi-process loopback smoke test (router + two
+# real shard-server processes over Unix-domain sockets), a budgeted
+# soak-harness smoke replay, and (for the crates added or reworked
+# after the seed) formatting, lint and doc gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q (workspace)"
+# One run covers everything: unit tests of every workspace crate plus
+# all root integration suites (hot_swap, chaos_serving, wire_serving,
+# property_invariants, soak_scenarios, ...).
+echo "==> cargo test -q (workspace: all crate + integration suites)"
 cargo test -q --workspace --offline
-
-echo "==> cargo test --test hot_swap (hot-swap + refresh integration)"
-cargo test -q --offline --test hot_swap
-
-echo "==> cargo test -p sleuth-chaos (fault-injection harness)"
-cargo test -q --offline -p sleuth-chaos
-
-echo "==> cargo test --test chaos_serving (chaos serving integration)"
-cargo test -q --offline --test chaos_serving
-
-echo "==> cargo test -p sleuth-wire (wire protocol + router/server)"
-cargo test -q --offline -p sleuth-wire
-
-echo "==> cargo test --test wire_serving (multi-process serving integration)"
-cargo test -q --offline --test wire_serving
 
 # ---- Multi-process loopback smoke -----------------------------------
 # Real processes: two sleuth-shardd children behind Unix-domain
@@ -89,8 +78,38 @@ SHARD_PIDS=()
 grep '^ROUTER_' "$SMOKE_DIR/routerd.log" | sed 's/^/    /'
 echo "loopback smoke: OK"
 
-echo "==> cargo test --test property_invariants hotpath_ (interned hot-path invariants)"
-cargo test -q --offline --test property_invariants hotpath_
+# ---- Soak-harness smoke ---------------------------------------------
+# Deterministic replay of every small failure-scenario generator
+# (diurnal/flash-crowd, retry storm, cascade, partial deploy,
+# multi-tenant) against the live runtime under a lossless chaos plan.
+# Pass = exit 0 inside the budget, span conservation exact for every
+# scenario, zero escaped panics, and the labelled root cause recovered
+# in every injected fault episode (SOAK_RESULT ok).
+echo "==> soak smoke: sleuth-soak --smoke (seed 42, budget 60s)"
+SOAK_LOG="$SMOKE_DIR/soak.log"
+if ! timeout 60 target/release/sleuth-soak --smoke --quiet \
+    >"$SOAK_LOG" 2>"$SMOKE_DIR/soak.err"; then
+    echo "soak smoke: sleuth-soak failed or overran its 60s budget" >&2
+    cat "$SOAK_LOG" >&2
+    tail -n 40 "$SMOKE_DIR/soak.err" >&2
+    exit 1
+fi
+grep -q '^SOAK_RESULT ok ' "$SOAK_LOG" || {
+    echo "soak smoke: SOAK_RESULT ok line missing" >&2
+    cat "$SOAK_LOG" >&2
+    exit 1
+}
+SCENARIOS=$(grep -c '^SOAK_SCENARIO ' "$SOAK_LOG")
+CONSERVED=$(grep -c '^SOAK_CONSERVATION ok ' "$SOAK_LOG")
+CLEAN_PANICS=$(grep -c '^SOAK_PANICS .* escaped=0$' "$SOAK_LOG")
+if [ "$SCENARIOS" -ne 5 ] || [ "$CONSERVED" -ne 5 ] || [ "$CLEAN_PANICS" -ne 5 ]; then
+    echo "soak smoke: expected 5 scenarios all conserved with no escaped panics" \
+         "(got scenarios=$SCENARIOS conserved=$CONSERVED clean=$CLEAN_PANICS)" >&2
+    cat "$SOAK_LOG" >&2
+    exit 1
+fi
+grep -E '^SOAK_(SCENARIO|RESULT) ' "$SOAK_LOG" | sed 's/^/    /'
+echo "soak smoke: OK"
 
 echo "==> BENCH_hotpath.json sanity (parses; carries both hot-path metrics)"
 python3 - <<'EOF'
@@ -108,13 +127,18 @@ print(f"  ns_per_span_ingest={data['ns_per_span_ingest']} "
       f"ns_per_pair_distance={data['ns_per_pair_distance']}")
 EOF
 
-echo "==> cargo fmt --check (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
-cargo fmt --check -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire
+GATED="-p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire -p sleuth-synth -p sleuth-soak"
 
-echo "==> cargo clippy -D warnings (sleuth-serve, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
-cargo clippy --offline -p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire --all-targets -- -D warnings
+echo "==> cargo fmt --check (serve, par, cluster, chaos, wire, synth, soak)"
+# shellcheck disable=SC2086
+cargo fmt --check $GATED
 
-echo "==> cargo doc --no-deps -D warnings (sleuth-serve, sleuth-core, sleuth-par, sleuth-cluster, sleuth-chaos, sleuth-wire)"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p sleuth-serve -p sleuth-core -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire
+echo "==> cargo clippy -D warnings (serve, par, cluster, chaos, wire, synth, soak)"
+# shellcheck disable=SC2086
+cargo clippy --offline $GATED --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps -D warnings (gated crates + sleuth-core)"
+# shellcheck disable=SC2086
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps $GATED -p sleuth-core
 
 echo "tier-1: OK"

@@ -1,0 +1,293 @@
+//! `sleuth-soak`: replay production-shaped failure scenarios against
+//! the live serving runtime with continuous assertions.
+//!
+//! ```text
+//! sleuth-soak --smoke                      # tier-1 gate: every small scenario, ≤60 s
+//! sleuth-soak --scenario retry_storm --duration-secs 3600 --seed 7
+//! sleuth-soak --scenario all --chaos       # full sweep under runtime chaos
+//! ```
+//!
+//! Emits one JSON checkpoint line per logical interval and, per
+//! scenario, `SOAK_SCENARIO` / `SOAK_CONSERVATION` / `SOAK_PANICS`
+//! audit lines. Exit status: 0 when every scenario finished with an
+//! empty violation list, 1 when any continuous assertion failed,
+//! 2 on usage errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sleuth::chaos::FaultPlan as RuntimeFaultPlan;
+use sleuth::soak::{fit_pipeline, run, SoakOptions, SoakOutcome};
+use sleuth::synth::scenario::{Scenario, ScenarioKind, ScenarioParams};
+
+const USAGE: &str = "usage: sleuth-soak (--smoke | --scenario NAME) [options]
+
+modes:
+  --smoke            every small scenario kind at CI scale under a light
+                     chaos plan; deterministic; budgeted for tier-1
+  --scenario NAME    one generator kind (diurnal_flash, retry_storm,
+                     cascade, partial_deploy, multi_tenant,
+                     thousand_services) or `all`
+
+options:
+  --seed N           scenario seed (default 42)
+  --duration-secs N  logical scenario length (default: 480 smoke-scale,
+                     3600 soak-scale)
+  --rate R           base arrivals per logical second
+  --rpcs N           application size in RPC kinds
+  --train-traces N   healthy traces for the pipeline fit (default 160)
+  --epochs N         GNN training epochs (default 10)
+  --chaos            run under a seeded runtime fault plan (worker
+                     kills, RCA panics/delays, shard stalls, clock skew)
+  --fault-free       strip fault episodes: the run must produce zero
+                     verdicts and zero false anomalies
+  --checkpoint-secs N  logical seconds between checkpoint lines (default 60)
+  --quiet            suppress checkpoint lines, keep audit lines";
+
+struct Args {
+    smoke: bool,
+    scenario: Option<String>,
+    seed: u64,
+    duration_secs: Option<u64>,
+    rate: Option<f64>,
+    rpcs: Option<usize>,
+    train_traces: usize,
+    epochs: usize,
+    chaos: bool,
+    fault_free: bool,
+    checkpoint_secs: u64,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        scenario: None,
+        seed: 42,
+        duration_secs: None,
+        rate: None,
+        rpcs: None,
+        train_traces: 160,
+        epochs: 10,
+        chaos: false,
+        fault_free: false,
+        checkpoint_secs: 60,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--duration-secs" => {
+                args.duration_secs = Some(parse_num(&value("--duration-secs")?, "--duration-secs")?)
+            }
+            "--rate" => args.rate = Some(parse_num(&value("--rate")?, "--rate")?),
+            "--rpcs" => args.rpcs = Some(parse_num(&value("--rpcs")?, "--rpcs")?),
+            "--train-traces" => {
+                args.train_traces = parse_num(&value("--train-traces")?, "--train-traces")?
+            }
+            "--epochs" => args.epochs = parse_num(&value("--epochs")?, "--epochs")?,
+            "--chaos" => args.chaos = true,
+            "--fault-free" => args.fault_free = true,
+            "--checkpoint-secs" => {
+                args.checkpoint_secs = parse_num(&value("--checkpoint-secs")?, "--checkpoint-secs")?
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.smoke == args.scenario.is_some() {
+        return Err(format!("exactly one of --smoke / --scenario is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: not a number: {s}"))
+}
+
+/// A chaos plan that stresses supervision without losing work: worker
+/// kills and first-attempt RCA panics are always retried to success,
+/// stalls and skew only slow things down. No shard panics, so no
+/// traces are quarantined and episode recovery stays assertable.
+fn lossless_chaos(seed: u64) -> RuntimeFaultPlan {
+    RuntimeFaultPlan {
+        seed,
+        kill_each_rca_worker_once: true,
+        rca_panic_rate: 0.05,
+        rca_panic_budget: 4,
+        rca_delay_rate: 0.05,
+        rca_delay_us: 2_000,
+        rca_delay_budget: 8,
+        shard_stall_rate: 0.02,
+        shard_stall_us: 1_000,
+        shard_stall_budget: 8,
+        clock_skew_us: 1_500,
+        ..RuntimeFaultPlan::default()
+    }
+}
+
+fn params_for(kind: ScenarioKind, args: &Args) -> ScenarioParams {
+    let mut p = if args.smoke { ScenarioParams::smoke() } else { ScenarioParams::soak() };
+    if let Some(secs) = args.duration_secs {
+        p.duration_us = secs * 1_000_000;
+    }
+    if let Some(rate) = args.rate {
+        p.base_rate_per_sec = rate;
+    }
+    if let Some(rpcs) = args.rpcs {
+        p.num_rpcs = rpcs;
+    }
+    // Keep the thousand-service sweep affordable at soak rates.
+    if kind == ScenarioKind::ThousandServices && args.duration_secs.is_none() && !args.smoke {
+        p.duration_us = p.duration_us.min(600_000_000);
+    }
+    p
+}
+
+fn report(outcome: &SoakOutcome) {
+    println!(
+        "SOAK_SCENARIO name={} seed={} traces={} spans={} retries={} verdicts={} degraded={} \
+         tp={} fp={} false_anomalies={} precision={:.3} recall={:.3} episodes={} eligible={} \
+         recovered={} rca_p99_us={} logical_secs={} wall_ms={} compression={:.1}",
+        outcome.scenario,
+        outcome.seed,
+        outcome.traces,
+        outcome.spans,
+        outcome.retries,
+        outcome.verdicts,
+        outcome.degraded_verdicts,
+        outcome.true_positives,
+        outcome.false_positives,
+        outcome.false_anomalies,
+        outcome.precision,
+        outcome.recall,
+        outcome.episodes.len(),
+        outcome.episodes.iter().filter(|e| e.eligible_traces > 0).count(),
+        outcome.episodes.iter().filter(|e| e.recovered).count(),
+        outcome.rca_p99_us,
+        outcome.duration_us / 1_000_000,
+        outcome.wall_ms,
+        outcome.compression,
+    );
+    for t in &outcome.tenants {
+        println!(
+            "SOAK_TENANT scenario={} name={} traces={} slo_us={} violations={}",
+            outcome.scenario, t.name, t.traces, t.slo_us, t.slo_violations
+        );
+    }
+    println!(
+        "SOAK_CONSERVATION {} scenario={}",
+        if outcome.conservation_ok { "ok" } else { "VIOLATED" },
+        outcome.scenario
+    );
+    // The process reaching this line means no panic escaped
+    // supervision: an escaped worker panic aborts the runtime.
+    println!(
+        "SOAK_PANICS scenario={} caught={} escaped=0",
+        outcome.scenario, outcome.caught_panics
+    );
+    for v in &outcome.violations {
+        println!("SOAK_VIOLATION scenario={} {}", outcome.scenario, v);
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let kinds: Vec<ScenarioKind> = if args.smoke {
+        ScenarioKind::SMALL.to_vec()
+    } else {
+        match args.scenario.as_deref() {
+            Some("all") => ScenarioKind::ALL.to_vec(),
+            Some(name) => match ScenarioKind::parse(name) {
+                Some(kind) => vec![kind],
+                None => {
+                    eprintln!("sleuth-soak: unknown scenario {name}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => unreachable!("parse_args enforces --smoke xor --scenario"),
+        }
+    };
+
+    let mut scenarios: Vec<Scenario> = kinds
+        .iter()
+        .map(|&kind| Scenario::generate(kind, &params_for(kind, &args), args.seed))
+        .collect();
+    if args.fault_free {
+        scenarios = scenarios.iter().map(Scenario::fault_free).collect();
+    }
+
+    let opts = SoakOptions {
+        checkpoint_every_us: args.checkpoint_secs * 1_000_000,
+        chaos: if args.chaos || args.smoke {
+            Some(lossless_chaos(args.seed))
+        } else {
+            None
+        },
+        ..SoakOptions::default()
+    };
+
+    // Scenarios from identical params share an app, so one fitted
+    // pipeline serves them all; fit once per distinct app.
+    let mut fitted: Vec<(String, Arc<sleuth::core::pipeline::SleuthPipeline>)> = Vec::new();
+    let mut failures = 0usize;
+    let mut total_violations = 0usize;
+    for scenario in &scenarios {
+        let pipeline = match fitted.iter().find(|(name, _)| *name == scenario.app.name) {
+            Some((_, p)) => Arc::clone(p),
+            None => {
+                let p = fit_pipeline(scenario, args.train_traces, args.epochs, 3.0);
+                println!(
+                    "SOAK_FIT app={} train_traces={} epochs={}",
+                    scenario.app.name, args.train_traces, args.epochs
+                );
+                fitted.push((scenario.app.name.clone(), Arc::clone(&p)));
+                p
+            }
+        };
+        let quiet = args.quiet;
+        let outcome = run(scenario, pipeline, &opts, |cp| {
+            if !quiet {
+                println!("{}", serde_json::to_string(cp).expect("checkpoint serialises"));
+            }
+        });
+        report(&outcome);
+        if args.fault_free && outcome.verdicts > 0 {
+            println!(
+                "SOAK_VIOLATION scenario={} fault-free run produced {} verdicts",
+                outcome.scenario, outcome.verdicts
+            );
+            failures += 1;
+            total_violations += 1;
+        }
+        if !outcome.violations.is_empty() {
+            failures += 1;
+            total_violations += outcome.violations.len();
+        }
+    }
+
+    println!(
+        "SOAK_RESULT {} scenarios={} failed={} violations={}",
+        if failures == 0 { "ok" } else { "fail" },
+        scenarios.len(),
+        failures,
+        total_violations
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -25,6 +25,12 @@
 //! * [`chaos`] — deterministic fault-injection harness for the serving
 //!   runtime: seeded fault plans (worker panics, stalls, clock skew)
 //!   and adversarial span-batch corruptions,
+//! * [`soak`] — soak/replay harness: production-shaped scenario
+//!   traffic (diurnal/flash-crowd shaping, retry storms, cascades,
+//!   partial deploys, multi-tenant SLOs, thousand-service topologies)
+//!   replayed against the live runtime on a compressed logical clock
+//!   with continuous conservation, latency-SLO and RCA
+//!   precision/recall assertions,
 //! * [`wire`] — multi-process sharded serving: a length-prefixed
 //!   checksummed binary frame protocol, shard-server loop
 //!   (`sleuth-shardd`), and a hash-routing front-end
@@ -67,6 +73,7 @@ pub use sleuth_eval as eval;
 pub use sleuth_gnn as gnn;
 pub use sleuth_par as par;
 pub use sleuth_serve as serve;
+pub use sleuth_soak as soak;
 pub use sleuth_store as store;
 pub use sleuth_synth as synth;
 pub use sleuth_tensor as tensor;

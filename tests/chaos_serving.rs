@@ -11,7 +11,8 @@ use sleuth::chaos::{corrupt_batch, Corruption, FaultPlan, SeededInjector};
 use sleuth::core::pipeline::{AnalyzeOptions, PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
 use sleuth::serve::{
-    FaultInjector, QuarantineReason, RefreshConfig, ResilienceConfig, ServeConfig, ServeRuntime,
+    shard_of, FaultInjector, QuarantineReason, RefreshConfig, ResilienceConfig, ServeConfig,
+    ServeRuntime,
 };
 use sleuth::synth::presets;
 use sleuth::synth::workload::CorpusBuilder;
@@ -551,6 +552,168 @@ fn shard_panics_quarantine_in_flight_batches() {
         .collect();
     assert_eq!(verdicted, expected);
 
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored
+            + m.spans_rejected
+            + m.spans_shed
+            + m.spans_evicted
+            + m.spans_deduped
+            + m.spans_quarantined
+    );
+}
+
+/// A shard-panic storm that overflows a tiny quarantine buffer: the
+/// store keeps only the newest `quarantine_capacity` entries (oldest
+/// dropped and counted in `quarantine_dropped`), while the monotonic
+/// `poison_traces` and `spans_quarantined` counters keep *exact* books
+/// — the conservation identity must balance even though most
+/// quarantined entries were evicted from the buffer itself.
+#[test]
+fn quarantine_storm_wraps_buffer_with_exact_accounting() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(4);
+    let spans = traces[0].spans();
+    let span_count = spans.len() as u64;
+
+    let total = 32u64;
+    let panics = 12u64;
+    let capacity = 4usize;
+    let plan = FaultPlan {
+        seed: 33,
+        shard_panic_rate: 1.0,
+        shard_panic_budget: panics,
+        ..FaultPlan::default()
+    };
+    let injector = Arc::new(SeededInjector::new(plan));
+    let runtime = ServeRuntime::start_with_injector(
+        Arc::clone(&pipeline),
+        ServeConfig {
+            num_shards: 2,
+            idle_timeout_us: 1_000_000,
+            resilience: ResilienceConfig {
+                quarantine_capacity: capacity,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        Arc::clone(&injector) as Arc<dyn FaultInjector>,
+    )
+    .expect("valid serve config");
+    // All batches before any tick, so every budgeted panic lands on a
+    // Batch message and strands exactly one single-trace batch.
+    for i in 0..total {
+        let report = runtime.submit_batch(rebadged(spans, 80_000 + i), 0);
+        assert_eq!(report.rejected + report.shed, 0);
+    }
+    runtime.tick(2_000_000);
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+
+    assert_eq!(injector.injected_shard_panics(), panics);
+    assert_eq!(m.poison_traces, panics, "every panic quarantined exactly once");
+    // The buffer wrapped: only the newest `capacity` entries survive.
+    assert_eq!(report.quarantined.len(), capacity);
+    assert_eq!(m.quarantine_dropped, panics - capacity as u64);
+    // The span counter is monotonic and unaffected by buffer wrap.
+    assert_eq!(m.spans_quarantined, panics * span_count);
+    assert_eq!(
+        m.spans_submitted,
+        m.spans_stored
+            + m.spans_rejected
+            + m.spans_shed
+            + m.spans_evicted
+            + m.spans_deduped
+            + m.spans_quarantined,
+        "conservation must stay exact when the quarantine buffer wraps"
+    );
+
+    // Surviving entries still carry full provenance: the origin shard
+    // matches both the panic reason and the trace's routing.
+    for q in &report.quarantined {
+        let origin = q.origin_shard.expect("shard panic entries carry origin_shard");
+        assert!(
+            matches!(q.reason, QuarantineReason::ShardPanic { shard } if shard == origin),
+            "reason {:?} disagrees with origin_shard {origin}",
+            q.reason
+        );
+        let id = q.trace_id.expect("single-trace batches have a trace id");
+        assert_eq!(origin, shard_of(id, 2), "origin_shard disagrees with routing");
+        assert_eq!(q.span_count as u64, span_count);
+    }
+
+    // Every non-stranded trace still completed and was verdicted or
+    // stored; nothing leaked besides the labelled quarantines.
+    assert_eq!(m.traces_completed, total - panics);
+}
+
+/// `poll_quarantined` under an active storm: each poll returns at most
+/// `quarantine_capacity` entries (the store is hard-bounded no matter
+/// how fast panics arrive), drained entries never reappear, and
+/// provenance survives the mid-storm drain — entries polled live plus
+/// entries left at shutdown account for every non-dropped quarantine.
+#[test]
+fn poll_quarantined_respects_bound_and_preserves_origin_during_storm() {
+    let pipeline = pipeline();
+    let traces = chaos_traces(4);
+    let spans = traces[0].spans();
+
+    let total = 32u64;
+    let panics = 12u64;
+    let capacity = 4usize;
+    let plan = FaultPlan {
+        seed: 34,
+        shard_panic_rate: 1.0,
+        shard_panic_budget: panics,
+        ..FaultPlan::default()
+    };
+    let injector = Arc::new(SeededInjector::new(plan));
+    let runtime = ServeRuntime::start_with_injector(
+        Arc::clone(&pipeline),
+        ServeConfig {
+            num_shards: 2,
+            idle_timeout_us: 1_000_000,
+            resilience: ResilienceConfig {
+                quarantine_capacity: capacity,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        Arc::clone(&injector) as Arc<dyn FaultInjector>,
+    )
+    .expect("valid serve config");
+
+    let mut polled: Vec<_> = Vec::new();
+    for i in 0..total {
+        runtime.submit_batch(rebadged(spans, 90_000 + i), 0);
+        let batch = runtime.poll_quarantined();
+        assert!(
+            batch.len() <= capacity,
+            "poll returned {} entries from a store bounded at {capacity}",
+            batch.len()
+        );
+        polled.extend(batch);
+    }
+    runtime.tick(2_000_000);
+    let report = runtime.shutdown();
+    let m = &report.metrics;
+
+    assert!(report.quarantined.len() <= capacity);
+    let seen: Vec<_> = polled.iter().chain(&report.quarantined).collect();
+    // Drains are destructive: no entry is returned twice.
+    let ids: BTreeSet<u64> = seen.iter().filter_map(|q| q.trace_id).collect();
+    assert_eq!(ids.len(), seen.len(), "a quarantined entry was drained twice");
+    // Live polling frees buffer space, so fewer (or zero) entries are
+    // dropped than in the unpolled storm — but the books still close:
+    // everything quarantined was either drained by someone or dropped.
+    assert_eq!(seen.len() as u64 + m.quarantine_dropped, panics);
+    assert_eq!(m.poison_traces, panics);
+    for q in seen {
+        let origin = q.origin_shard.expect("shard panic entries carry origin_shard");
+        assert!(matches!(q.reason, QuarantineReason::ShardPanic { shard } if shard == origin));
+        let id = q.trace_id.expect("single-trace batches have a trace id");
+        assert_eq!(origin, shard_of(id, 2), "origin_shard survives a mid-storm drain");
+    }
     assert_eq!(
         m.spans_submitted,
         m.spans_stored

@@ -719,6 +719,286 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential OTLP parsing: the zero-copy scanner vs a naive
+// serde_json::Value reference parser.
+// ---------------------------------------------------------------------------
+
+/// An adversarial-but-parseable string: ASCII, quotes, backslashes,
+/// control characters, BMP unicode, and astral codepoints (which the
+/// escaped emitter renders as surrogate pairs).
+fn otlp_string(rng: &mut ChaCha8Rng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'Z', '3', ' ', '_', '"', '\\', '/', '\n', '\t', '\u{8}', '\u{c}', '\r', '\u{1}',
+        'é', 'ß', '→', '漢', '\u{7ff}', '\u{ffff}', '😀', '𝕊', '\u{10ffff}',
+    ];
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+/// Emit `s` as a JSON string literal. `escape_all` renders every char
+/// as `\uXXXX` (surrogate pairs for astral); otherwise only what JSON
+/// requires is escaped and the rest rides raw UTF-8.
+fn emit_json_string(s: &str, escape_all: bool, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        if escape_all {
+            let mut units = [0u16; 2];
+            for u in c.encode_utf16(&mut units) {
+                out.push_str(&format!("\\u{u:04x}"));
+            }
+        } else {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+    out.push('"');
+}
+
+/// A hex id of 4, 8, 16 or 32 digits (mixed case); ids longer than 16
+/// digits must truncate to their low 64 bits on both parsers.
+fn otlp_hex_id(rng: &mut ChaCha8Rng) -> String {
+    let full = format!("{:032x}", (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()));
+    let digits = [4, 8, 16, 32][rng.gen_range(0..4)];
+    let mut s = full[32 - digits..].to_string();
+    if rng.gen_bool(0.3) {
+        s = s.to_uppercase();
+    }
+    s
+}
+
+/// A value for an unknown field the scanner must skip: scalars,
+/// strings with escapes, and nested arrays/objects.
+fn otlp_junk_value(rng: &mut ChaCha8Rng, depth: usize, out: &mut String) {
+    match rng.gen_range(0..if depth == 0 { 4 } else { 6 }) {
+        0 => out.push_str("null"),
+        1 => out.push_str(if rng.gen_bool(0.5) { "true" } else { "false" }),
+        2 => out.push_str(&format!("{}", rng.next_u64())),
+        3 => emit_json_string(&otlp_string(rng, 8), rng.gen_bool(0.5), out),
+        4 => {
+            out.push('[');
+            for i in 0..rng.gen_range(0..3) {
+                if i > 0 {
+                    out.push(',');
+                }
+                otlp_junk_value(rng, depth - 1, out);
+            }
+            out.push(']');
+        }
+        _ => {
+            out.push('{');
+            for i in 0..rng.gen_range(0..3) {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json_string(&format!("extra{i}"), false, out);
+                out.push(':');
+                otlp_junk_value(rng, depth - 1, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+const OTLP_KINDS: &[&str] = &[
+    "SPAN_KIND_CLIENT",
+    "SPAN_KIND_SERVER",
+    "SPAN_KIND_PRODUCER",
+    "SPAN_KIND_CONSUMER",
+    "SPAN_KIND_INTERNAL",
+    "SPAN_KIND_UNSPECIFIED",
+    "garbage",
+];
+const OTLP_STATUSES: &[&str] =
+    &["STATUS_CODE_UNSET", "STATUS_CODE_OK", "STATUS_CODE_ERROR", "bogus"];
+
+/// One adversarial OTLP-JSON span record: valid ids and times, but
+/// hostile strings, quoted-or-bare u64s, shuffled key order, unknown
+/// fields, and randomized escaping.
+fn otlp_record(rng: &mut ChaCha8Rng) -> String {
+    let esc = rng.gen_bool(0.4);
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = |key: &str, value: String| {
+        let mut f = String::new();
+        emit_json_string(key, false, &mut f);
+        f.push(':');
+        f.push_str(&value);
+        fields.push(f);
+    };
+    let quoted_str = |rng: &mut ChaCha8Rng, s: &str| {
+        let mut v = String::new();
+        emit_json_string(s, esc && rng.gen_bool(0.7), &mut v);
+        v
+    };
+    let emit_u64 = |rng: &mut ChaCha8Rng, v: u64| {
+        if rng.gen_bool(0.5) {
+            format!("\"{v}\"")
+        } else {
+            format!("{v}")
+        }
+    };
+
+    let tid = otlp_hex_id(rng);
+    field("traceId", quoted_str(rng, &tid));
+    let sid = otlp_hex_id(rng);
+    field("spanId", quoted_str(rng, &sid));
+    match rng.gen_range(0..4) {
+        0 => {} // absent
+        1 => field("parentSpanId", "null".into()),
+        2 => field("parentSpanId", "\"\"".into()),
+        _ => {
+            let p = otlp_hex_id(rng);
+            field("parentSpanId", quoted_str(rng, &p));
+        }
+    }
+    let name = otlp_string(rng, 12);
+    field("name", quoted_str(rng, &name));
+    let service = otlp_string(rng, 12);
+    field("serviceName", quoted_str(rng, &service));
+    let kind = OTLP_KINDS[rng.gen_range(0..OTLP_KINDS.len())];
+    field("kind", quoted_str(rng, kind));
+    let start = rng.next_u64() >> rng.gen_range(0..32);
+    let end = start.saturating_add(rng.next_u64() >> rng.gen_range(16..48));
+    field("startTimeUnixNano", emit_u64(rng, start));
+    field("endTimeUnixNano", emit_u64(rng, end));
+    if rng.gen_bool(0.7) {
+        match rng.gen_range(0..3) {
+            0 => field("statusCode", "null".into()),
+            _ => {
+                let s = OTLP_STATUSES[rng.gen_range(0..OTLP_STATUSES.len())];
+                field("statusCode", quoted_str(rng, s));
+            }
+        }
+    }
+    for (key, slot) in [("podName", 0), ("nodeName", 1)] {
+        match rng.gen_range(0..3) {
+            0 => {}
+            1 => field(key, "null".into()),
+            _ => {
+                let s = otlp_string(rng, 6 + slot);
+                field(key, quoted_str(rng, &s));
+            }
+        }
+    }
+    for i in 0..rng.gen_range(0..3) {
+        let mut v = String::new();
+        otlp_junk_value(rng, 2, &mut v);
+        field(&format!("unknownField{i}"), v);
+    }
+
+    // Shuffle field order: both parsers must be order-independent.
+    for i in (1..fields.len()).rev() {
+        fields.swap(i, rng.gen_range(0..=i));
+    }
+    let ws = |rng: &mut ChaCha8Rng| " \n\t"[..rng.gen_range(0..3)].to_string();
+    let mut out = String::from("{");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ws(rng));
+        out.push_str(f);
+        out.push_str(&ws(rng));
+    }
+    out.push('}');
+    out
+}
+
+/// The naive reference: parse the whole document with serde_json,
+/// then walk the `Value` tree replicating the documented semantics
+/// (low-64-bit id truncation, kind/status fallbacks, ns→µs division,
+/// empty/null parent → root, unknown fields ignored).
+fn otlp_reference_parse(json: &str) -> Vec<Span> {
+    fn ref_hex(s: &str) -> u64 {
+        assert!(s.len() % 2 == 0, "reference: odd-length id {s:?}");
+        let tail = if s.len() > 16 { &s[s.len() - 16..] } else { s };
+        u64::from_str_radix(tail, 16).expect("reference: bad hex id")
+    }
+    fn ref_u64(v: &serde_json::Value) -> u64 {
+        match v {
+            serde_json::Value::Number(n) => n.as_u64().expect("reference: negative time"),
+            serde_json::Value::String(s) => s.parse().expect("reference: bad quoted u64"),
+            other => panic!("reference: time is {}", other.kind()),
+        }
+    }
+    let doc: serde_json::Value = serde_json::from_str(json).expect("reference: malformed JSON");
+    doc.as_array()
+        .expect("reference: top level is not an array")
+        .iter()
+        .map(|rec| {
+            let obj = rec.as_object().expect("reference: record is not an object");
+            let str_of = |k: &str| obj.get(k).and_then(|v| v.as_str());
+            let trace_id = ref_hex(str_of("traceId").expect("traceId"));
+            let span_id = ref_hex(str_of("spanId").expect("spanId"));
+            let parent = str_of("parentSpanId").filter(|p| !p.is_empty()).map(ref_hex);
+            let kind = match str_of("kind").expect("kind") {
+                "SPAN_KIND_CLIENT" => SpanKind::Client,
+                "SPAN_KIND_PRODUCER" => SpanKind::Producer,
+                "SPAN_KIND_CONSUMER" => SpanKind::Consumer,
+                "SPAN_KIND_INTERNAL" => SpanKind::Internal,
+                _ => SpanKind::Server,
+            };
+            let status = match str_of("statusCode") {
+                Some("STATUS_CODE_ERROR") => StatusCode::Error,
+                Some("STATUS_CODE_OK") => StatusCode::Ok,
+                _ => StatusCode::Unset,
+            };
+            let start = ref_u64(obj.get("startTimeUnixNano").expect("startTimeUnixNano"));
+            let end = ref_u64(obj.get("endTimeUnixNano").expect("endTimeUnixNano"));
+            let mut b = Span::builder(
+                trace_id,
+                span_id,
+                str_of("serviceName").expect("serviceName"),
+                str_of("name").expect("name"),
+            )
+            .kind(kind)
+            .time(start / 1_000, end / 1_000)
+            .status(status)
+            .placement(
+                str_of("podName").unwrap_or_default(),
+                str_of("nodeName").unwrap_or_default(),
+            );
+            if let Some(p) = parent {
+                b = b.parent(p);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential test for the zero-copy OTLP scanner: arbitrary
+    /// span batches rendered as adversarial OTLP JSON — hostile
+    /// strings, `\u` escapes with surrogate pairs, quoted vs bare
+    /// u64s, 128-bit ids, shuffled keys, unknown (nested) fields —
+    /// must parse to exactly the spans a naive serde_json-based
+    /// reference parser produces, field for field.
+    #[test]
+    fn otlp_scanner_matches_reference_parser(seed in any::<u64>(), n in 0usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut json = String::from("[");
+        for i in 0..n {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&otlp_record(&mut rng));
+        }
+        json.push(']');
+
+        let scanned = formats::from_otel_json(&json)
+            .unwrap_or_else(|e| panic!("scanner rejected valid batch: {e} in {json}"));
+        let reference = otlp_reference_parse(&json);
+        prop_assert_eq!(scanned.len(), n);
+        prop_assert_eq!(&scanned, &reference, "scanner and reference disagree on {}", json);
+    }
+}
+
 /// Interning the same strings concurrently from the data-parallel pool
 /// yields one stable symbol per string: every worker gets the same id
 /// for the same text no matter which worker won the insertion race.

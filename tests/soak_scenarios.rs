@@ -1,0 +1,130 @@
+//! Property tests for the soak scenario generators: for every
+//! generator kind and across seeds, a fault-free run must produce
+//! zero anomaly verdicts, and a faulted run must recover the labelled
+//! root-cause set in every injected fault episode — end to end
+//! through the live serving runtime, with span conservation exact.
+
+use std::sync::{Arc, OnceLock};
+
+use sleuth::core::pipeline::SleuthPipeline;
+use sleuth::soak::{fit_pipeline, run, SoakOptions, SoakOutcome};
+use sleuth::synth::scenario::{Scenario, ScenarioKind, ScenarioParams};
+
+const SEEDS: [u64; 2] = [42, 1234];
+
+/// Test-scale params: smaller/shorter than the binary's smoke preset
+/// so the whole file stays inside the tier-1 budget, but the same app
+/// seed for every small kind — one fitted pipeline serves them all.
+fn params() -> ScenarioParams {
+    ScenarioParams { duration_us: 300_000_000, ..ScenarioParams::smoke() }
+}
+
+/// One quick-fitted pipeline shared by every small-scenario test.
+fn pipeline() -> Arc<SleuthPipeline> {
+    static PIPELINE: OnceLock<Arc<SleuthPipeline>> = OnceLock::new();
+    Arc::clone(PIPELINE.get_or_init(|| {
+        let probe = Scenario::generate(ScenarioKind::DiurnalFlash, &params(), 0);
+        fit_pipeline(&probe, 128, 8, 3.0)
+    }))
+}
+
+fn soak(scenario: &Scenario, pipeline: Arc<SleuthPipeline>) -> SoakOutcome {
+    run(scenario, pipeline, &SoakOptions::default(), |_| {})
+}
+
+#[test]
+fn fault_free_runs_produce_zero_anomaly_verdicts() {
+    for kind in ScenarioKind::SMALL {
+        for seed in SEEDS {
+            let scenario = Scenario::generate(kind, &params(), seed).fault_free();
+            let outcome = soak(&scenario, pipeline());
+            assert_eq!(
+                outcome.verdicts, 0,
+                "{}: fault-free run produced {} verdicts",
+                scenario.name, outcome.verdicts
+            );
+            assert_eq!(outcome.false_anomalies, 0, "{}", scenario.name);
+            assert!(outcome.conservation_ok, "{}: span conservation violated", scenario.name);
+            assert!(
+                outcome.violations.is_empty(),
+                "{}: {:?}",
+                scenario.name,
+                outcome.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_recover_every_labelled_root_cause() {
+    for kind in ScenarioKind::SMALL {
+        for seed in SEEDS {
+            let scenario = Scenario::generate(kind, &params(), seed);
+            let outcome = soak(&scenario, pipeline());
+            assert!(!outcome.episodes.is_empty(), "{}", scenario.name);
+            for e in &outcome.episodes {
+                assert!(
+                    e.eligible_traces > 0,
+                    "{}: episode {} ({}) produced no detector-visible perturbed traffic",
+                    scenario.name,
+                    e.index,
+                    e.fault
+                );
+                assert!(
+                    e.recovered,
+                    "{}: episode {} ({}) not recovered; labelled services {:?}",
+                    scenario.name,
+                    e.index,
+                    e.fault,
+                    e.services
+                );
+            }
+            assert_eq!(outcome.false_anomalies, 0, "{}", scenario.name);
+            assert!(outcome.conservation_ok, "{}: span conservation violated", scenario.name);
+            assert!(
+                outcome.violations.is_empty(),
+                "{}: {:?}",
+                scenario.name,
+                outcome.violations
+            );
+            assert!(outcome.precision > 0.99, "{}: precision {}", scenario.name, outcome.precision);
+            assert!((outcome.recall - 1.0).abs() < 1e-9, "{}", scenario.name);
+        }
+    }
+}
+
+#[test]
+fn retry_storm_schedules_metastable_retries() {
+    let scenario = Scenario::generate(ScenarioKind::RetryStorm, &params(), SEEDS[0]);
+    let outcome = soak(&scenario, pipeline());
+    assert!(outcome.retries > 0, "retry storm replay carried no client retries");
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn multi_tenant_run_reports_per_tenant_slos() {
+    let scenario = Scenario::generate(ScenarioKind::MultiTenant, &params(), SEEDS[0]);
+    let outcome = soak(&scenario, pipeline());
+    assert_eq!(outcome.tenants.len(), 3);
+    let victim = scenario.episodes[0].label.tenant.clone().expect("labelled tenant");
+    let hit = outcome.tenants.iter().find(|t| t.name == victim).expect("victim tenant reported");
+    assert!(hit.traces > 0);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn thousand_service_topology_soaks_clean() {
+    // Its own app (forced up to 1000+ services), so its own pipeline;
+    // kept to one short run to stay inside the tier-1 budget.
+    let p = ScenarioParams { duration_us: 90_000_000, ..params() };
+    let scenario = Scenario::generate(ScenarioKind::ThousandServices, &p, SEEDS[0]);
+    assert!(scenario.app.num_services() >= 1000);
+    let pipeline = fit_pipeline(&scenario, 64, 4, 3.0);
+    let outcome = soak(&scenario, pipeline);
+    assert!(outcome.conservation_ok, "span conservation violated");
+    for e in &outcome.episodes {
+        assert!(e.eligible_traces > 0, "episode {} not eligible", e.index);
+        assert!(e.recovered, "episode {} not recovered", e.index);
+    }
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}
