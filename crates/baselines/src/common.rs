@@ -36,8 +36,8 @@ impl OpKey {
     /// Key of a span.
     pub fn of(span: &sleuth_trace::Span) -> Self {
         OpKey {
-            service: span.service_sym,
-            name: span.name_sym,
+            service: span.service_sym(),
+            name: span.name_sym(),
             kind: span.kind,
         }
     }
@@ -256,8 +256,8 @@ pub fn exclusive_error_services(trace: &Trace) -> Vec<String> {
     let ex_err = exclusive::exclusive_errors(trace);
     let mut out: Vec<String> = Vec::new();
     for (i, s) in trace.iter() {
-        if ex_err[i] && !out.contains(&s.service) {
-            out.push(s.service.clone());
+        if ex_err[i] && !out.iter().any(|o| *o == s.service) {
+            out.push(s.service.to_string());
         }
     }
     out

@@ -51,9 +51,9 @@ impl RootCauseLocator for Threshold {
                 continue;
             };
             if s.duration_us() as f64 > st.p95_us as f64 * self.multiplier
-                && !out.contains(&s.service)
+                && !out.iter().any(|o| *o == s.service)
             {
-                out.push(s.service.clone());
+                out.push(s.service.to_string());
             }
         }
         out

@@ -165,7 +165,7 @@ impl RootCauseLocator for TraceAnomaly {
         }
         // Deepest anomalous span on the longest anomalous path.
         if let Some(&deepest) = anomalous.iter().max_by_key(|&&i| trace.depth(i)) {
-            return vec![trace.span(deepest).service.clone()];
+            return vec![trace.span(deepest).service.to_string()];
         }
         if trace.is_error() {
             return exclusive_error_services(trace);

@@ -258,8 +258,8 @@ impl TraceSetEncoder {
         let mut pairs: Vec<(ElementId, f64)> = Vec::with_capacity(trace.len());
         for (i, span) in trace.iter() {
             key.clear();
-            key.push(span.service_sym.id());
-            key.push(span.name_sym.id());
+            key.push(span.service_sym().id());
+            key.push(span.name_sym().id());
             key.push(span.kind.index() as u32);
             key.push(u32::from(span.is_error()));
             let mut anc = trace.parent(i);
@@ -267,7 +267,7 @@ impl TraceSetEncoder {
             while hop < self.d_max {
                 match anc {
                     Some(a) => {
-                        key.push(trace.span(a).name_sym.id());
+                        key.push(trace.span(a).name_sym().id());
                         anc = trace.parent(a);
                         hop += 1;
                     }

@@ -6,16 +6,41 @@
 //! with both caller and callee, because network faults at the callee
 //! surface in the caller's span), ranks services by exclusive errors
 //! plus excess exclusive duration, and restores them one by one —
-//! re-predicting the trace with the GNN generatively — until the trace
-//! is predicted normal. The restored set is the root cause.
+//! re-predicting the trace with the GNN — until the trace is predicted
+//! normal. The restored set is the root cause.
+//!
+//! # Adaptive pruning (`prune`, on by default)
+//!
+//! The search's cost model changed in two ways relative to the naive
+//! O(candidates × spans) loop, without changing a single answer:
+//!
+//! 1. **One [`SubtreeScan`] per localisation** fixes the restorable
+//!    span set (anomalous exclusive duration or exclusive error) up
+//!    front. Candidates with no restorable affiliated span are *pruned*:
+//!    their restoration is the identity, so every query about them is
+//!    answered from the observation with zero model evaluations.
+//! 2. **One [`CfSession`] per localisation** replaces per-query
+//!    encode+abduce: the observed pass runs once and each query
+//!    recomputes only the ancestor closure of its (effective) override
+//!    frontier — the scan's surviving subgraph. Query results are
+//!    additionally memoised on the set of live candidates involved, so
+//!    prefixes and elimination probes that differ only in pruned
+//!    candidates cost nothing.
+//!
+//! The candidate ranking and the accept/eliminate control flow are
+//! bit-identical in both modes — pruning reduces *work*, never
+//! *answers* — which is what lets the property suite assert pruned ≡
+//! unpruned across every synthetic scenario rather than approximately.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
 use sleuth_baselines::common::{OpKey, OpProfile, RootCauseLocator};
-use sleuth_gnn::{Featurizer, SleuthModel};
+use sleuth_gnn::{CfRoot, CfSession, EncodedTrace, Featurizer, SleuthModel};
 use sleuth_par::ThreadPool;
-use sleuth_trace::{exclusive, transform, Trace};
+use sleuth_trace::{Symbol, Trace};
+
+use crate::prune::SubtreeScan;
 
 /// The Sleuth counterfactual localiser: a trained GNN plus the normal
 /// profile it restores spans against.
@@ -29,11 +54,38 @@ pub struct CounterfactualRca {
     // concurrent callers see identical encodings regardless of order.
     featurizer: Mutex<Featurizer>,
     profile: OpProfile,
-    /// Maximum services restored before giving up (then the top-ranked
-    /// candidate alone is reported).
+    /// Maximum number of ranked candidate services *considered* per
+    /// localisation. The restoration search only ever probes prefixes
+    /// and subsets of this many top-ranked candidates; it does not cap
+    /// how many of them end up restored (after elimination, anywhere
+    /// from one to all of them can be reported).
     pub max_candidates: usize,
     /// Multiplier on the learned root p95 used as the "normal" bar.
     pub slo_multiplier: f64,
+    /// Use the subtree-pruned, session-cached fast path (module docs).
+    /// `false` runs every query as an independent full-trace
+    /// counterfactual — same answers, legacy cost; kept for equivalence
+    /// gates and benchmarking.
+    pub prune: bool,
+}
+
+/// Outcome of one localisation with its cost/pruning telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RcaReport {
+    /// The root-cause services (what [`CounterfactualRca::localize`]
+    /// returns).
+    pub services: Vec<String>,
+    /// Counterfactual model evaluations performed (memo hits and
+    /// identity queries are free and not counted).
+    pub predict_calls: u64,
+    /// Candidate services considered.
+    pub candidates: usize,
+    /// Candidates pruned outright (no restorable affiliated span).
+    pub pruned_candidates: usize,
+    /// Fraction of the trace's spans outside the surviving subgraph.
+    pub pruned_span_fraction: f64,
+    /// Spans in the trace.
+    pub spans: usize,
 }
 
 impl CounterfactualRca {
@@ -46,6 +98,7 @@ impl CounterfactualRca {
             profile,
             max_candidates: 5,
             slo_multiplier: 1.0,
+            prune: true,
         }
     }
 
@@ -61,6 +114,7 @@ impl CounterfactualRca {
             profile,
             max_candidates: self.max_candidates,
             slo_multiplier: self.slo_multiplier,
+            prune: self.prune,
         }
     }
 
@@ -79,12 +133,12 @@ impl CounterfactualRca {
     /// affiliate with their callee services, because failures at the
     /// callee (e.g. network faults) surface in the caller's span
     /// without touching the callee's own spans.
-    fn affiliations(trace: &Trace, i: usize) -> Vec<&str> {
+    fn affiliations(trace: &Trace, i: usize) -> Vec<Symbol> {
         let s = trace.span(i);
-        let mut out = vec![s.service.as_str()];
+        let mut out = vec![s.service_sym()];
         if s.kind.is_caller() {
             for &c in trace.children(i) {
-                let callee = trace.span(c).service.as_str();
+                let callee = trace.span(c).service_sym();
                 if !out.contains(&callee) {
                     out.push(callee);
                 }
@@ -93,12 +147,25 @@ impl CounterfactualRca {
         out
     }
 
-    /// Candidate services, most suspicious first: ranked by exclusive
-    /// errors and excess exclusive duration of all affiliated spans.
-    pub fn rank_candidates(&self, trace: &Trace) -> Vec<String> {
-        let ex_d = exclusive::exclusive_durations(trace);
-        let ex_e = exclusive::exclusive_errors(trace);
-        let mut score: HashMap<String, f64> = HashMap::new();
+    /// Whether span `i` is affiliated with `service` (allocation-free
+    /// form of [`Self::affiliations`] membership).
+    fn affiliated_with(trace: &Trace, i: usize, service: Symbol) -> bool {
+        let s = trace.span(i);
+        s.service_sym() == service
+            || (s.kind.is_caller()
+                && trace
+                    .children(i)
+                    .iter()
+                    .any(|&c| trace.span(c).service_sym() == service))
+    }
+
+    /// Candidate services as interned symbols, most suspicious first:
+    /// ranked by exclusive errors and excess exclusive duration of all
+    /// affiliated spans.
+    pub fn rank_candidate_syms(&self, trace: &Trace) -> Vec<Symbol> {
+        let ex_d = sleuth_trace::exclusive::exclusive_durations(trace);
+        let ex_e = sleuth_trace::exclusive::exclusive_errors(trace);
+        let mut score: HashMap<Symbol, f64> = HashMap::new();
         for (i, s) in trace.iter() {
             let median = self
                 .profile
@@ -133,16 +200,27 @@ impl CounterfactualRca {
                 } else {
                     1.0
                 };
-                *score.entry(svc.to_string()).or_default() += weight * share;
+                *score.entry(svc).or_default() += weight * share;
             }
         }
-        let mut ranked: Vec<(String, f64)> = score.into_iter().collect();
+        let mut ranked: Vec<(Symbol, f64)> = score.into_iter().collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finite scores")
-                .then(a.0.cmp(&b.0))
+                .then_with(|| a.0.as_str().cmp(b.0.as_str()))
         });
         ranked.into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// Candidate services, most suspicious first, as owned strings
+    /// (allocating convenience wrapper over
+    /// [`Self::rank_candidate_syms`] — the serve degraded path and
+    /// external callers want display names).
+    pub fn rank_candidates(&self, trace: &Trace) -> Vec<String> {
+        self.rank_candidate_syms(trace)
+            .into_iter()
+            .map(|s| s.as_str().to_string())
+            .collect()
     }
 
     /// Whether every ancestor of `i` (inclusive) up to the root carries
@@ -162,23 +240,20 @@ impl CounterfactualRca {
 
     /// Overrides restoring every span *affiliated with* `service` to its
     /// normal state: exclusive duration = the operation's median, no
-    /// exclusive error.
-    fn restore_overrides(&self, trace: &Trace, service: &str, out: &mut Vec<(usize, f32, f32)>) {
-        let ex_d = exclusive::exclusive_durations(trace);
-        for (i, s) in trace.iter() {
-            if Self::affiliations(trace, i).contains(&service) {
-                let med = self
-                    .profile
-                    .get(&OpKey::of(s))
-                    .map(|st| st.median_exclusive_us)
-                    .unwrap_or(0);
-                // Only spans meaningfully above their normal state are
-                // restored: touching already-normal spans would shave
-                // ordinary median-to-observation noise off the whole
-                // service and masquerade as counterfactual savings.
-                let anomalous_duration = ex_d[i] > med.saturating_mul(2);
-                let target = if anomalous_duration { med } else { ex_d[i] };
-                out.push((i, transform::scale_duration(target), 0.0));
+    /// exclusive error. Only restorable spans (per the `scan`) are
+    /// emitted — for the rest the restoration is the identity and the
+    /// counterfactual engine would discard it anyway.
+    fn restore_overrides(
+        trace: &Trace,
+        scan: &SubtreeScan,
+        service: Symbol,
+        out: &mut Vec<(usize, f32, f32)>,
+    ) {
+        for i in 0..trace.len() {
+            if let Some((d, e)) = scan.restore_target(i) {
+                if Self::affiliated_with(trace, i, service) {
+                    out.push((i, d, e));
+                }
             }
         }
     }
@@ -193,7 +268,6 @@ impl CounterfactualRca {
     }
 }
 
-
 /// Root-cause verdict at all three granularities (§3.5): services, and
 /// the pods/nodes those services' spans ran on, read off the span
 /// attributes.
@@ -205,6 +279,69 @@ pub struct InstanceVerdict {
     pub pods: Vec<String>,
     /// Cluster nodes those pods were scheduled on.
     pub nodes: Vec<String>,
+}
+
+/// Shared query engine for one localisation: owns the session, the
+/// candidate-set memo, and the call counter. A candidate set is
+/// identified by the bitmask of its *live* (non-pruned) members — two
+/// sets differing only in pruned candidates are the same query.
+struct QueryEngine<'a> {
+    rca: &'a CounterfactualRca,
+    enc: &'a EncodedTrace,
+    per_cand: &'a [Vec<(usize, f32, f32)>],
+    observed: CfRoot,
+    session: Option<CfSession<'a>>,
+    memo: HashMap<u128, CfRoot>,
+    ov_buf: Vec<(usize, f32, f32)>,
+    calls: u64,
+}
+
+impl QueryEngine<'_> {
+    /// Counterfactual root for the candidate subset `sel` (indices into
+    /// the ranked candidate list).
+    fn query(&mut self, sel: impl Iterator<Item = usize>) -> CfRoot {
+        self.ov_buf.clear();
+        let maskable = self.per_cand.len() <= 128;
+        let mut mask = 0u128;
+        for k in sel {
+            let ov = &self.per_cand[k];
+            if ov.is_empty() {
+                continue; // pruned candidate: restoring it is the identity
+            }
+            if maskable {
+                mask |= 1 << k;
+            }
+            self.ov_buf.extend_from_slice(ov);
+        }
+        match self.session.as_mut() {
+            Some(session) => {
+                if self.ov_buf.is_empty() {
+                    return self.observed;
+                }
+                if maskable {
+                    if let Some(&r) = self.memo.get(&mask) {
+                        return r;
+                    }
+                }
+                self.calls += 1;
+                let r = session.predict_root(&self.ov_buf);
+                if maskable {
+                    self.memo.insert(mask, r);
+                }
+                r
+            }
+            // Legacy mode: every query is an independent one-shot
+            // full-trace counterfactual (same answers, honest cost).
+            None => {
+                self.calls += 1;
+                let p = self.rca.model().predict_counterfactual(self.enc, &self.ov_buf);
+                CfRoot {
+                    d_scaled: p.d_scaled[0],
+                    error_prob: p.e_prob[0],
+                }
+            }
+        }
+    }
 }
 
 impl CounterfactualRca {
@@ -221,44 +358,64 @@ impl CounterfactualRca {
             ..InstanceVerdict::default()
         };
         for (_, s) in trace.iter() {
-            if verdict.services.contains(&s.service) {
-                if !s.pod.is_empty() && !verdict.pods.contains(&s.pod) {
-                    verdict.pods.push(s.pod.clone());
+            if verdict.services.iter().any(|v| s.service == *v) {
+                if !s.pod.is_empty() && !verdict.pods.iter().any(|p| s.pod == *p) {
+                    verdict.pods.push(s.pod.to_string());
                 }
-                if !s.node.is_empty() && !verdict.nodes.contains(&s.node) {
-                    verdict.nodes.push(s.node.clone());
+                if !s.node.is_empty() && !verdict.nodes.iter().any(|n| s.node == *n) {
+                    verdict.nodes.push(s.node.to_string());
                 }
             }
         }
         verdict
     }
-}
 
-impl RootCauseLocator for CounterfactualRca {
-    fn name(&self) -> &str {
-        "sleuth"
-    }
-
-    fn localize(&self, trace: &Trace) -> Vec<String> {
+    /// Localise the root cause, returning the services together with
+    /// the cost/pruning telemetry of the search.
+    pub fn localize_report(&self, trace: &Trace) -> RcaReport {
         let enc = self.featurizer.lock().expect("featurizer lock").encode(trace);
-        let candidates: Vec<String> = self
-            .rank_candidates(trace)
+        let scan = SubtreeScan::scan(trace, &self.profile);
+        let candidates: Vec<Symbol> = self
+            .rank_candidate_syms(trace)
             .into_iter()
             .take(self.max_candidates)
             .collect();
+        let mut report = RcaReport {
+            candidates: candidates.len(),
+            pruned_span_fraction: scan.pruned_span_fraction(trace),
+            spans: trace.len(),
+            ..RcaReport::default()
+        };
         if candidates.is_empty() {
-            return Vec::new();
+            return report;
         }
-        let actual = trace.total_duration_us() as f32;
+        let n = candidates.len();
 
-        // Counterfactual for a set of restored services (structural
-        // counterfactual with per-node abduction, §3.5).
-        let predict_set = |set: &[&String]| {
-            let mut overrides = Vec::new();
-            for svc in set {
-                self.restore_overrides(trace, svc, &mut overrides);
-            }
-            self.model.predict_counterfactual(&enc, &overrides)
+        // The restorable span set is fixed per trace, so each
+        // candidate's override list is computed exactly once.
+        let per_cand: Vec<Vec<(usize, f32, f32)>> = candidates
+            .iter()
+            .map(|&svc| {
+                let mut ov = Vec::new();
+                Self::restore_overrides(trace, &scan, svc, &mut ov);
+                ov
+            })
+            .collect();
+        report.pruned_candidates = per_cand.iter().filter(|ov| ov.is_empty()).count();
+
+        let actual = trace.total_duration_us() as f32;
+        let mut eng = QueryEngine {
+            rca: self,
+            enc: &enc,
+            per_cand: &per_cand,
+            observed: CfRoot {
+                d_scaled: enc.d_scaled[0],
+                error_prob: enc.e[0],
+            },
+            session: self.prune.then(|| CfSession::new(&self.model, &enc)),
+            memo: HashMap::new(),
+            ov_buf: Vec::new(),
+            calls: 0,
         };
 
         // Best the model can explain: all candidates restored. Comparing
@@ -266,36 +423,50 @@ impl RootCauseLocator for CounterfactualRca {
         // share of the anomaly the model attributes to exogenous noise,
         // so a partially-blind model still separates contributing from
         // non-contributing candidates.
-        let all_refs: Vec<&String> = candidates.iter().collect();
-        let best = predict_set(&all_refs);
-        let best_savings = (actual - best.root_duration_us()).max(0.0);
-        let error_explainable = trace.is_error() && best.root_error_prob() < 0.5;
+        let best = eng.query(0..n);
+        let best_savings = (actual - best.duration_us()).max(0.0);
+        let error_explainable = trace.is_error() && best.error_prob < 0.5;
 
-        let accept = |pred: &sleuth_gnn::TracePrediction| {
-            let savings = (actual - pred.root_duration_us()).max(0.0);
+        let accept = |pred: CfRoot| {
+            let savings = (actual - pred.duration_us()).max(0.0);
             let duration_ok = savings >= Self::SAVINGS_COVERAGE * best_savings
-                || self.is_normal(trace, pred.root_duration_us(), 0.0);
-            let error_ok = !error_explainable || pred.root_error_prob() < 0.5;
+                || self.is_normal(trace, pred.duration_us(), 0.0);
+            let error_ok = !error_explainable || pred.error_prob < 0.5;
             duration_ok && error_ok
         };
 
         // Smallest prefix of the ranking that explains as much as the
-        // whole candidate set. The prefix predictions are independent
-        // of each other, so they fan out across the pool and the first
-        // accepted length is read off the ordered results — the same
-        // `chosen` the sequential early-exit loop would find, at the
-        // cost of predicting the (short) tail it would have skipped.
-        let lengths: Vec<usize> = (1..=candidates.len()).collect();
-        let prefix_preds = ThreadPool::global().par_map(&lengths, |&k| {
-            let prefix: Vec<&String> = candidates[..k].iter().collect();
-            predict_set(&prefix)
-        });
-        let chosen = prefix_preds
-            .iter()
-            .position(accept)
-            .map(|p| p + 1)
-            .unwrap_or(candidates.len());
-        let mut kept: Vec<String> = candidates[..chosen].to_vec();
+        // whole candidate set.
+        let chosen = if self.prune {
+            // Sequential with early exit: identity/memoised prefixes are
+            // free, and the tail after the first accepted length is
+            // never predicted at all.
+            (1..=n)
+                .find(|&k| accept(eng.query(0..k)))
+                .unwrap_or(n)
+        } else {
+            // Legacy fan-out: all prefixes predicted across the pool,
+            // the first accepted length read off the ordered results.
+            let lengths: Vec<usize> = (1..=n).collect();
+            let prefix_preds = ThreadPool::global().par_map(&lengths, |&k| {
+                let mut ov = Vec::new();
+                for cand in &per_cand[..k] {
+                    ov.extend_from_slice(cand);
+                }
+                let p = self.model.predict_counterfactual(&enc, &ov);
+                CfRoot {
+                    d_scaled: p.d_scaled[0],
+                    error_prob: p.e_prob[0],
+                }
+            });
+            eng.calls += n as u64;
+            prefix_preds
+                .iter()
+                .position(|&p| accept(p))
+                .map(|p| p + 1)
+                .unwrap_or(n)
+        };
+        let mut kept: Vec<usize> = (0..chosen).collect();
 
         // …then backward-eliminate candidates whose restoration adds
         // nothing (they rode in on the prefix).
@@ -306,14 +477,34 @@ impl RootCauseLocator for CounterfactualRca {
                 if kept.len() == 1 {
                     break;
                 }
-                let without: Vec<&String> =
-                    kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, s)| s).collect();
-                if accept(&predict_set(&without)) {
+                let without: Vec<usize> = kept
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, &k)| k)
+                    .collect();
+                if accept(eng.query(without.into_iter())) {
                     kept.remove(i);
                 }
             }
         }
-        kept
+
+        report.services = kept
+            .into_iter()
+            .map(|k| candidates[k].as_str().to_string())
+            .collect();
+        report.predict_calls = eng.calls;
+        report
+    }
+}
+
+impl RootCauseLocator for CounterfactualRca {
+    fn name(&self) -> &str {
+        "sleuth"
+    }
+
+    fn localize(&self, trace: &Trace) -> Vec<String> {
+        self.localize_report(trace).services
     }
 }
 
@@ -411,6 +602,34 @@ mod tests {
     }
 
     #[test]
+    fn pruned_localization_matches_unpruned_exactly() {
+        let (mut rca, app) = trained_rca();
+        let chaos = ChaosEngine::default();
+        let queries = CorpusBuilder::new(&app)
+            .seed(29)
+            .chaos(chaos)
+            .anomaly_queries(6, 9);
+        for q in &queries {
+            for st in &q.traces {
+                rca.prune = true;
+                let pruned = rca.localize_report(&st.trace);
+                rca.prune = false;
+                let unpruned = rca.localize_report(&st.trace);
+                assert_eq!(
+                    pruned.services, unpruned.services,
+                    "pruning changed the verdict"
+                );
+                assert!(
+                    pruned.predict_calls <= unpruned.predict_calls,
+                    "pruned path used {} calls vs {} unpruned",
+                    pruned.predict_calls,
+                    unpruned.predict_calls
+                );
+            }
+        }
+    }
+
+    #[test]
     fn healthy_traces_restore_to_few_candidates() {
         let (rca, app) = trained_rca();
         let corpus = CorpusBuilder::new(&app).seed(23).normal_traces(5);
@@ -448,11 +667,11 @@ mod tests {
                 .trace
                 .spans()
                 .iter()
-                .filter(|s| &s.service == svc)
+                .filter(|s| s.service == **svc)
                 .collect();
             if !spans.is_empty() {
-                assert!(spans.iter().any(|s| verdict.pods.contains(&s.pod)));
-                assert!(spans.iter().any(|s| verdict.nodes.contains(&s.node)));
+                assert!(spans.iter().any(|s| verdict.pods.iter().any(|p| s.pod == *p)));
+                assert!(spans.iter().any(|s| verdict.nodes.iter().any(|n| s.node == *n)));
             }
         }
     }

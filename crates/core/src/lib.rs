@@ -42,10 +42,12 @@
 pub mod anomaly;
 pub mod counterfactual;
 pub mod pipeline;
+pub mod prune;
 pub mod registry;
 
 pub use anomaly::AnomalyDetector;
-pub use counterfactual::{CounterfactualRca, InstanceVerdict};
+pub use counterfactual::{CounterfactualRca, InstanceVerdict, RcaReport};
+pub use prune::SubtreeScan;
 pub use pipeline::{
     AnalyzeOptions, ClusteringMode, PipelineConfig, PipelineConfigBuilder, RcaResult,
     SleuthPipeline,

@@ -34,9 +34,17 @@ pub struct PipelineConfig {
     /// cluster size, core-distance sample count, selection epsilon,
     /// and whether a single all-encompassing cluster is acceptable.
     pub hdbscan: HdbscanParams,
-    /// Maximum services restored per counterfactual query (§3.5)
-    /// before RCA gives up and reports the top-ranked candidate alone.
+    /// Maximum ranked candidate services *considered* per
+    /// counterfactual localisation (§3.5). This caps the search space —
+    /// prefixes and subsets of the top-ranked candidates — not how many
+    /// services the final verdict may contain (after elimination the
+    /// verdict holds between one and this many services).
     pub max_candidates: usize,
+    /// Use the subtree-pruned, session-cached counterfactual search
+    /// (on by default). `false` re-predicts the full trace per
+    /// restoration step: identical verdicts (property-gated), legacy
+    /// cost; useful for equivalence checks and benchmarking.
+    pub prune: bool,
     /// Seed for GNN weight initialisation (§3.4); experiments are
     /// reproducible bit-for-bit on one platform given the same seed.
     pub seed: u64,
@@ -60,6 +68,7 @@ impl Default for PipelineConfig {
                 allow_single_cluster: true,
             },
             max_candidates: 5,
+            prune: true,
             seed: 0,
         }
     }
@@ -118,9 +127,17 @@ impl PipelineConfigBuilder {
         self
     }
 
-    /// Set the counterfactual candidate budget (§3.5).
+    /// Set how many ranked candidates the counterfactual search
+    /// considers (§3.5) — the search-space cap, not a cap on the
+    /// verdict size.
     pub fn max_candidates(mut self, max_candidates: usize) -> Self {
         self.config.max_candidates = max_candidates;
+        self
+    }
+
+    /// Enable or disable the subtree-pruned counterfactual fast path.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.config.prune = prune;
         self
     }
 
@@ -235,6 +252,7 @@ impl SleuthPipeline {
         let detector = AnomalyDetector::from_profile(profile.clone());
         let mut rca = CounterfactualRca::new(model, featurizer, profile);
         rca.max_candidates = config.max_candidates;
+        rca.prune = config.prune;
         SleuthPipeline {
             rca,
             detector,
@@ -528,6 +546,7 @@ mod tests {
         let config = PipelineConfig::builder()
             .d_max(5)
             .max_candidates(7)
+            .prune(false)
             .seed(11)
             .train(TrainConfig {
                 epochs: 3,
@@ -538,6 +557,8 @@ mod tests {
             .build();
         assert_eq!(config.d_max, 5);
         assert_eq!(config.max_candidates, 7);
+        assert!(!config.prune);
+        assert!(PipelineConfig::default().prune, "pruning is on by default");
         assert_eq!(config.seed, 11);
         assert_eq!(config.train.epochs, 3);
         assert_eq!(config.model, PipelineConfig::default().model);

@@ -105,8 +105,8 @@ impl Renamer {
             .iter()
             .map(|s| {
                 let mut s = s.clone();
-                s.service = self.service(&s.service, rng);
-                s.name = self.op(&s.name, rng);
+                s.service = self.service(&s.service, rng).as_str().into();
+                s.name = self.op(&s.name, rng).as_str().into();
                 s
             })
             .collect();

@@ -51,9 +51,9 @@ impl RootCauseLocator for NSigmaRule {
                 continue;
             };
             if s.duration_us() as f64 > st.mean_us + self.n * st.std_us
-                && !out.contains(&s.service)
+                && !out.iter().any(|o| s.service == *o)
             {
-                out.push(s.service.clone());
+                out.push(s.service.to_string());
             }
         }
         out

@@ -52,8 +52,10 @@
 
 pub mod encode;
 pub mod model;
+pub mod session;
 pub mod train;
 
 pub use encode::{EncodedTrace, Featurizer, GraphBatch};
 pub use model::{AggregatorKind, Checkpoint, ModelConfig, SleuthModel, TracePrediction};
+pub use session::{CfRoot, CfSession};
 pub use train::{TrainConfig, TrainReport};

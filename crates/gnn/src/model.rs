@@ -88,11 +88,11 @@ impl TracePrediction {
     }
 }
 
-fn unscale_f(x: f32) -> f32 {
+pub(crate) fn unscale_f(x: f32) -> f32 {
     10f32.powf((SIG * x + MU).clamp(-8.0, 8.0))
 }
 
-fn scale_log_f(x: f32) -> f32 {
+pub(crate) fn scale_log_f(x: f32) -> f32 {
     (x.max(LOG_EPS).log10() - MU) / SIG
 }
 
@@ -103,9 +103,9 @@ fn sigmoid_f(x: f32) -> f32 {
 /// The Sleuth trace GNN.
 #[derive(Debug, Clone)]
 pub struct SleuthModel {
-    config: ModelConfig,
-    params: Params,
-    mlp: Mlp,
+    pub(crate) config: ModelConfig,
+    pub(crate) params: Params,
+    pub(crate) mlp: Mlp,
 }
 
 /// Serializable snapshot of a model (§4's model server stores these).
@@ -464,141 +464,18 @@ impl SleuthModel {
     ///
     /// `overrides` replaces `[d*, e*]` of selected spans, as in
     /// [`SleuthModel::predict_with_overrides`].
+    ///
+    /// Spans outside the overrides' ancestor closure reproduce their
+    /// observed values exactly (that is what abduction pins down), so
+    /// this is a one-shot [`crate::CfSession`] — callers issuing many
+    /// override sets against the same trace should hold a session and
+    /// amortise the observed pass.
     pub fn predict_counterfactual(
         &self,
         enc: &EncodedTrace,
         overrides: &[(usize, f32, f32)],
     ) -> TracePrediction {
-        let n = enc.len();
-        let mut d_star_cf = enc.d_star_scaled.clone();
-        let mut e_star_cf = enc.e_star.clone();
-        for &(i, d, e) in overrides {
-            d_star_cf[i] = d;
-            e_star_cf[i] = e;
-        }
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, p) in enc.parent.iter().enumerate() {
-            if let Some(p) = *p {
-                children[p].push(i);
-            }
-        }
-
-        // Counterfactual state per span, initialised for leaves: a
-        // leaf's duration is exactly its exclusive duration, so its
-        // residual is zero and the override applies directly.
-        let mut d_cf = d_star_cf.clone();
-        let mut e_cf = e_star_cf.clone();
-        let f = 2 + self.config.sem_dim;
-        let in_dim = 2 + f;
-
-        for i in (0..n).rev() {
-            if children[i].is_empty() {
-                continue;
-            }
-            let fam = &children[i];
-
-            // Two family evaluations: observed (for abduction) and
-            // counterfactual (for the query).
-            let eval = |d_child: &dyn Fn(usize) -> f32,
-                        e_child: &dyn Fn(usize) -> f32,
-                        d_star_i: f32,
-                        e_star_i: f32|
-             -> (f32, f32) {
-                let mut fam_agg = vec![0f32; f];
-                for &j in fam {
-                    fam_agg[0] += d_child(j);
-                    fam_agg[1] += e_child(j);
-                    for (c, s) in fam_agg[2..].iter_mut().zip(&enc.sem[j]) {
-                        *c += s;
-                    }
-                }
-                if self.config.aggregator == AggregatorKind::Gcn {
-                    for a in fam_agg.iter_mut() {
-                        *a /= fam.len() as f32;
-                    }
-                }
-                let mut input = Vec::with_capacity(fam.len() * in_dim);
-                for &j in fam {
-                    input.push(d_star_i);
-                    input.push(e_star_i);
-                    let self_feats = [d_child(j), e_child(j)];
-                    for c in 0..f {
-                        let base = fam_agg[c];
-                        let self_term = if self.config.aggregator == AggregatorKind::Gin {
-                            let xjc = if c < 2 {
-                                self_feats[c]
-                            } else {
-                                enc.sem[j][c - 2]
-                            };
-                            self.config.epsilon * xjc
-                        } else {
-                            0.0
-                        };
-                        input.push(base + self_term);
-                    }
-                }
-                let h = self.mlp.infer(&self.params, &Tensor::new(vec![fam.len(), in_dim], input));
-                let mut wait = 0f32;
-                let mut gate_max = 0f32;
-                for (r, &j) in fam.iter().enumerate() {
-                    let u = unscale_f(h.at(r, 0));
-                    let v = u + unscale_f(h.at(r, 1) + self.config.knee_bias);
-                    let dj = unscale_f(d_child(j));
-                    wait += (dj - u).max(0.0) - (dj - v).max(0.0);
-                    let e_pm = 2.0 * e_child(j) - 1.0;
-                    let gate_err = sigmoid_f(h.at(r, 2) * e_pm);
-                    let gate_dur = sigmoid_f(h.at(r, 3) * (d_child(j) - scale_log_f(v)));
-                    gate_max = gate_max.max(gate_err).max(gate_dur);
-                }
-                (wait, gate_max)
-            };
-
-            let (wait_obs, _gate_obs) = eval(
-                &|j| enc.d_scaled[j],
-                &|j| enc.e[j],
-                enc.d_star_scaled[i],
-                enc.e_star[i],
-            );
-            let (wait_cf, _gate_cf) = eval(
-                &|j| d_cf[j],
-                &|j| e_cf[j],
-                d_star_cf[i],
-                e_star_cf[i],
-            );
-
-            // Abduction: the exogenous residuals reproduce the observed
-            // trace under the observed inputs. Duration residuals live
-            // in log space (multiplicative in µs) — durations are
-            // log-normal and the training loss is MSE on the log scale,
-            // so the node mechanism is `log d = log f(children, d*) + ε`.
-            let d_tf = wait_obs + unscale_f(enc.d_star_scaled[i]);
-            let resid_d_log = enc.d_scaled[i] - scale_log_f(d_tf);
-            let d_prime_cf = (wait_cf + unscale_f(d_star_cf[i])).max(1.0);
-            d_cf[i] = scale_log_f(d_prime_cf) + resid_d_log;
-
-            // Error channel: abduction pins the propagation noise to the
-            // observed realisation. Restorations only ever *remove*
-            // error causes, so a span that did not error cannot error
-            // counterfactually; a span that did stays errored exactly
-            // while its own (possibly restored) exclusive error or an
-            // observed-errored child's counterfactual error persists.
-            e_cf[i] = if enc.e[i] < 0.5 {
-                0.0
-            } else {
-                let mut worst = e_star_cf[i];
-                for &j in fam {
-                    if enc.e[j] >= 0.5 {
-                        worst = worst.max(e_cf[j]);
-                    }
-                }
-                worst
-            };
-        }
-
-        TracePrediction {
-            d_scaled: d_cf,
-            e_prob: e_cf,
-        }
+        crate::CfSession::new(self, enc).predict_full(overrides)
     }
 }
 

@@ -201,8 +201,8 @@ impl GroupKey {
     /// The grouping key of a span.
     pub fn of(span: &Span) -> GroupKey {
         GroupKey {
-            service: span.service_sym,
-            name: span.name_sym,
+            service: span.service_sym(),
+            name: span.name_sym(),
             kind: span.kind,
         }
     }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use sleuth_trace::{AssembleTraceError, Interner, Span, SpanKind, StatusCode, Symbol, Trace, TraceId};
+use sleuth_trace::{AssembleTraceError, IStr, Interner, Span, SpanKind, StatusCode, Symbol, Trace, TraceId};
 
 /// Columnar storage of spans: one vector per attribute, plus a per-trace
 /// row index. Strings (`service`, `name`, `pod`, `node`) are stored as
@@ -59,22 +59,22 @@ impl TraceStore {
         self.trace_id.is_empty()
     }
 
-    /// Insert one span. The identifier columns take the span's
-    /// pre-interned symbols; only `pod`/`node` (not interned by the
-    /// builder) hit the interner here.
+    /// Insert one span. Every identifier column takes the span's
+    /// pre-interned symbols — columnar storage of a span allocates
+    /// nothing.
     pub fn insert_span(&mut self, span: Span) {
         let row = self.span_count();
         self.trace_id.push(span.trace_id);
         self.span_id.push(span.span_id);
         self.parent_span_id.push(span.parent_span_id);
-        self.service.push(span.service_sym);
-        self.name.push(span.name_sym);
+        self.service.push(span.service_sym());
+        self.name.push(span.name_sym());
         self.kind.push(span.kind);
         self.start_us.push(span.start_us);
         self.end_us.push(span.end_us);
         self.status.push(span.status);
-        self.pod.push(Symbol::intern(&span.pod));
-        self.node.push(Symbol::intern(&span.node));
+        self.pod.push(span.pod.sym());
+        self.node.push(span.node.sym());
         self.rows_by_trace.entry(span.trace_id).or_default().push(row);
     }
 
@@ -123,16 +123,14 @@ impl TraceStore {
             trace_id: self.trace_id[row],
             span_id: self.span_id[row],
             parent_span_id: self.parent_span_id[row],
-            service: self.service[row].as_str().to_string(),
-            name: self.name[row].as_str().to_string(),
-            service_sym: self.service[row],
-            name_sym: self.name[row],
+            service: IStr::from_symbol(self.service[row]),
+            name: IStr::from_symbol(self.name[row]),
             kind: self.kind[row],
             start_us: self.start_us[row],
             end_us: self.end_us[row],
             status: self.status[row],
-            pod: self.pod[row].as_str().to_string(),
-            node: self.node[row].as_str().to_string(),
+            pod: IStr::from_symbol(self.pod[row]),
+            node: IStr::from_symbol(self.node[row]),
         }
     }
 

@@ -138,7 +138,7 @@ pub fn to_otel(spans: &[Span]) -> Vec<OtelSpan> {
             trace_id: hex16(s.trace_id),
             span_id: hex16(s.span_id),
             parent_span_id: s.parent_span_id.map(hex16),
-            name: s.name.clone(),
+            name: s.name.to_string(),
             kind: otel_kind(s.kind).to_string(),
             start_time_unix_nano: s.start_us * 1_000,
             end_time_unix_nano: s.end_us * 1_000,
@@ -150,9 +150,9 @@ pub fn to_otel(spans: &[Span]) -> Vec<OtelSpan> {
                 }
                 .to_string(),
             ),
-            service_name: s.service.clone(),
-            pod_name: (!s.pod.is_empty()).then(|| s.pod.clone()),
-            node_name: (!s.node.is_empty()).then(|| s.node.clone()),
+            service_name: s.service.to_string(),
+            pod_name: (!s.pod.is_empty()).then(|| s.pod.to_string()),
+            node_name: (!s.node.is_empty()).then(|| s.node.to_string()),
         })
         .collect()
 }
@@ -683,16 +683,16 @@ pub fn to_zipkin(spans: &[Span]) -> Vec<ZipkinSpan> {
                 tags.insert("error".to_string(), "true".to_string());
             }
             if !s.pod.is_empty() {
-                tags.insert("k8s.pod".to_string(), s.pod.clone());
+                tags.insert("k8s.pod".to_string(), s.pod.to_string());
             }
             if !s.node.is_empty() {
-                tags.insert("k8s.node".to_string(), s.node.clone());
+                tags.insert("k8s.node".to_string(), s.node.to_string());
             }
             ZipkinSpan {
                 trace_id: hex16(s.trace_id),
                 id: hex16(s.span_id),
                 parent_id: s.parent_span_id.map(hex16),
-                name: s.name.clone(),
+                name: s.name.to_string(),
                 kind: Some(
                     match s.kind {
                         SpanKind::Client => "CLIENT",
@@ -706,7 +706,7 @@ pub fn to_zipkin(spans: &[Span]) -> Vec<ZipkinSpan> {
                 timestamp: s.start_us,
                 duration: s.duration_us(),
                 local_endpoint: ZipkinEndpoint {
-                    service_name: s.service.clone(),
+                    service_name: s.service.to_string(),
                 },
                 tags,
             }
@@ -827,19 +827,19 @@ pub fn to_jaeger(spans: &[Span]) -> Vec<JaegerSpan> {
             if !s.pod.is_empty() {
                 tags.push(JaegerTag {
                     key: "k8s.pod".into(),
-                    value: s.pod.clone(),
+                    value: s.pod.to_string(),
                 });
             }
             if !s.node.is_empty() {
                 tags.push(JaegerTag {
                     key: "k8s.node".into(),
-                    value: s.node.clone(),
+                    value: s.node.to_string(),
                 });
             }
             JaegerSpan {
                 trace_id: hex16(s.trace_id),
                 span_id: hex16(s.span_id),
-                operation_name: s.name.clone(),
+                operation_name: s.name.to_string(),
                 references: s
                     .parent_span_id
                     .map(|p| {
@@ -851,7 +851,7 @@ pub fn to_jaeger(spans: &[Span]) -> Vec<JaegerSpan> {
                     .unwrap_or_default(),
                 start_time: s.start_us,
                 duration: s.duration_us(),
-                service_name: s.service.clone(),
+                service_name: s.service.to_string(),
                 tags,
             }
         })

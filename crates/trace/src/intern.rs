@@ -81,6 +81,185 @@ impl fmt::Display for Symbol {
     }
 }
 
+/// A pooled, interned string: the identifier text plus its [`Symbol`]
+/// in [`Interner::global`], in one `Copy` handle.
+///
+/// This is the *storage* form of an interned identifier — what a
+/// [`Span`](crate::Span) carries for `service`/`name`/`pod`/`node`
+/// instead of an owned `String`. The global interner is the pool:
+/// each distinct identifier string is allocated exactly once for the
+/// life of the process, and every span referring to it holds this
+/// 24-byte handle. Cloning is a register copy, equality and hashing
+/// are `u32` operations on the symbol, and `as_str` is a borrow —
+/// so steady-state ingest of a bounded identifier vocabulary does
+/// zero per-span string allocation.
+///
+/// `IStr` dereferences to `str`, compares against `str`/`String`
+/// directly, and displays as its text, so it drops into most code
+/// that previously held a `String`.
+#[derive(Clone, Copy)]
+pub struct IStr {
+    sym: Symbol,
+    text: &'static str,
+}
+
+impl IStr {
+    /// Intern `s` in the process-global pool and return its handle.
+    pub fn intern(s: &str) -> IStr {
+        let sym = Symbol::intern(s);
+        IStr {
+            sym,
+            text: Interner::global().resolve(sym),
+        }
+    }
+
+    /// Handle for a symbol already produced by [`Interner::global`].
+    pub fn from_symbol(sym: Symbol) -> IStr {
+        IStr {
+            sym,
+            text: Interner::global().resolve(sym),
+        }
+    }
+
+    /// The pooled text. `&'static` because interned strings are never
+    /// freed (see the module docs for the bounded-leak argument).
+    pub fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// The interned symbol — the id the hot paths key on.
+    pub fn sym(self) -> Symbol {
+        self.sym
+    }
+}
+
+impl Default for IStr {
+    fn default() -> Self {
+        IStr::intern("")
+    }
+}
+
+impl std::ops::Deref for IStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.text
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        self.text
+    }
+}
+
+// Equality and hashing go through the symbol: the global interner is
+// bijective, so equal text ⇔ equal symbol, and a u32 compare/hash
+// beats walking the bytes.
+impl PartialEq for IStr {
+    fn eq(&self, other: &IStr) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for IStr {}
+
+impl std::hash::Hash for IStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+// Ordering is lexicographic on the text (symbol ids are assigned in
+// first-seen order, which would leak interning history into sorts).
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &IStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &IStr) -> std::cmp::Ordering {
+        if self.sym == other.sym {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(other.text)
+        }
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+impl PartialEq<String> for IStr {
+    fn eq(&self, other: &String) -> bool {
+        self.text == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for str {
+    fn eq(&self, other: &IStr) -> bool {
+        self == other.text
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == other.text
+    }
+}
+
+impl PartialEq<IStr> for String {
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == other.text
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> IStr {
+        IStr::intern(s)
+    }
+}
+
+impl From<&String> for IStr {
+    fn from(s: &String) -> IStr {
+        IStr::intern(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> IStr {
+        IStr::intern(&s)
+    }
+}
+
+impl From<IStr> for String {
+    fn from(s: IStr) -> String {
+        s.text.to_string()
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.text, f)
+    }
+}
+
 /// Interner state: the map borrows the same leaked allocations the
 /// dense table points at, so both stay valid forever.
 #[derive(Default)]
@@ -243,5 +422,51 @@ mod tests {
         assert_eq!(s.to_string(), "display-me");
         assert_eq!(Symbol::from_id(s.id()), s);
         assert_eq!(Symbol::lookup("display-me"), Some(s));
+    }
+
+    #[test]
+    fn istr_pools_identical_text() {
+        let a = IStr::intern("pooled-service");
+        let b = IStr::intern("pooled-service");
+        assert_eq!(a, b);
+        assert_eq!(a.sym(), b.sym());
+        // Same leaked allocation, not merely equal bytes.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn istr_compares_against_strings() {
+        let a = IStr::intern("cart");
+        assert_eq!(a, "cart");
+        assert_eq!("cart", a);
+        assert_eq!(a, String::from("cart"));
+        assert_eq!(String::from("cart"), a);
+        assert_ne!(a, "orders");
+        assert!(!a.is_empty());
+        assert!(IStr::default().is_empty());
+    }
+
+    #[test]
+    fn istr_orders_lexicographically() {
+        // Intern out of order so symbol-id order disagrees with text
+        // order.
+        let z = IStr::intern("zzz-last");
+        let a = IStr::intern("aaa-first");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v[0], a);
+    }
+
+    #[test]
+    fn istr_round_trips_symbol_and_string() {
+        let a = IStr::intern("roundtrip");
+        assert_eq!(IStr::from_symbol(a.sym()), a);
+        assert_eq!(String::from(a), "roundtrip");
+        assert_eq!(a.to_string(), "roundtrip");
+        assert_eq!(format!("{a:?}"), "\"roundtrip\"");
+        assert_eq!(IStr::from("roundtrip"), a);
+        assert_eq!(IStr::from(String::from("roundtrip")), a);
+        assert_eq!(a.len(), "roundtrip".len());
     }
 }

@@ -50,6 +50,6 @@ pub mod trace;
 pub mod transform;
 
 pub use assembly::{AssembleTraceError, Assembler};
-pub use intern::{Interner, Symbol};
+pub use intern::{IStr, Interner, Symbol};
 pub use span::{Span, SpanBuilder, SpanId, SpanKind, StatusCode, TraceId};
 pub use trace::{SpanIdx, Trace};

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use crate::intern::Symbol;
+use crate::intern::{IStr, Symbol};
 
 /// Unique identifier of a trace (one end-to-end request).
 pub type TraceId = u64;
@@ -120,20 +120,16 @@ pub struct Span {
     pub span_id: SpanId,
     /// Parent span id, or `None` for the root span.
     pub parent_span_id: Option<SpanId>,
-    /// Name of the service that recorded the span.
-    pub service: String,
-    /// Operation name (e.g. `GET /cart`, `redis.get`).
-    pub name: String,
-    /// Interned [`Symbol`] for `service` in [`Interner::global`]
-    /// (set by the builder; the hot paths key on this, never the
-    /// string).
+    /// Name of the service that recorded the span, as a pooled
+    /// [`IStr`]: the text lives once in [`Interner::global`] and the
+    /// span carries a `Copy` handle, so building a span from an
+    /// already-seen identifier allocates nothing.
     ///
     /// [`Interner::global`]: crate::intern::Interner::global
-    pub service_sym: Symbol,
-    /// Interned [`Symbol`] for `name` in [`Interner::global`].
-    ///
-    /// [`Interner::global`]: crate::intern::Interner::global
-    pub name_sym: Symbol,
+    pub service: IStr,
+    /// Operation name (e.g. `GET /cart`, `redis.get`), pooled like
+    /// `service`.
+    pub name: IStr,
     /// RPC role of the span.
     pub kind: SpanKind,
     /// Start timestamp in microseconds.
@@ -143,32 +139,35 @@ pub struct Span {
     /// Completion status.
     pub status: StatusCode,
     /// Identity of the pod the service instance ran on (for root-cause
-    /// instance reporting at pod granularity).
-    pub pod: String,
-    /// Identity of the node the pod ran on.
-    pub node: String,
+    /// instance reporting at pod granularity), pooled like `service` —
+    /// pod identities are bounded by the deployment, not the traffic.
+    pub pod: IStr,
+    /// Identity of the node the pod ran on, pooled like `pod`.
+    pub node: IStr,
 }
 
 impl Span {
-    /// Start building a span with the required identity fields.
+    /// Start building a span with the required identity fields. The
+    /// service and operation names are interned immediately — the
+    /// builder never holds an owned `String`.
     pub fn builder(
         trace_id: TraceId,
         span_id: SpanId,
-        service: impl Into<String>,
-        name: impl Into<String>,
+        service: impl AsRef<str>,
+        name: impl AsRef<str>,
     ) -> SpanBuilder {
         SpanBuilder {
             trace_id,
             span_id,
             parent_span_id: None,
-            service: service.into(),
-            name: name.into(),
+            service: IStr::intern(service.as_ref()),
+            name: IStr::intern(name.as_ref()),
             kind: SpanKind::default(),
             start_us: 0,
             end_us: 0,
             status: StatusCode::default(),
-            pod: String::new(),
-            node: String::new(),
+            pod: IStr::default(),
+            node: IStr::default(),
         }
     }
 
@@ -179,12 +178,12 @@ impl Span {
 
     /// Interned service symbol (dense u32 handle; see [`Symbol`]).
     pub fn service_sym(&self) -> Symbol {
-        self.service_sym
+        self.service.sym()
     }
 
     /// Interned operation-name symbol.
     pub fn name_sym(&self) -> Symbol {
-        self.name_sym
+        self.name.sym()
     }
 
     /// Whether the span failed.
@@ -199,14 +198,14 @@ pub struct SpanBuilder {
     trace_id: TraceId,
     span_id: SpanId,
     parent_span_id: Option<SpanId>,
-    service: String,
-    name: String,
+    service: IStr,
+    name: IStr,
     kind: SpanKind,
     start_us: u64,
     end_us: u64,
     status: StatusCode,
-    pod: String,
-    node: String,
+    pod: IStr,
+    node: IStr,
 }
 
 impl SpanBuilder {
@@ -243,23 +242,21 @@ impl SpanBuilder {
         self
     }
 
-    /// Set the pod and node the span's service instance ran on.
-    pub fn placement(mut self, pod: impl Into<String>, node: impl Into<String>) -> Self {
-        self.pod = pod.into();
-        self.node = node.into();
+    /// Set the pod and node the span's service instance ran on
+    /// (interned immediately, like the identity fields).
+    pub fn placement(mut self, pod: impl AsRef<str>, node: impl AsRef<str>) -> Self {
+        self.pod = IStr::intern(pod.as_ref());
+        self.node = IStr::intern(node.as_ref());
         self
     }
 
-    /// Finish building the span. Interns the service and operation
-    /// names in the process-global [`Interner`](crate::intern::Interner)
-    /// so the span carries id-first symbols for the hot paths.
+    /// Finish building the span. Every identifier was interned when it
+    /// was set, so this is a plain move: zero allocations.
     pub fn build(self) -> Span {
         Span {
             trace_id: self.trace_id,
             span_id: self.span_id,
             parent_span_id: self.parent_span_id,
-            service_sym: Symbol::intern(&self.service),
-            name_sym: Symbol::intern(&self.name),
             service: self.service,
             name: self.name,
             kind: self.kind,

@@ -175,8 +175,8 @@ impl Trace {
         let mut seen_syms: Vec<crate::intern::Symbol> = Vec::new();
         let mut out = Vec::new();
         for s in &self.spans {
-            if !seen_syms.contains(&s.service_sym) {
-                seen_syms.push(s.service_sym);
+            if !seen_syms.contains(&s.service_sym()) {
+                seen_syms.push(s.service_sym());
                 out.push(s.service.as_str());
             }
         }

@@ -24,7 +24,7 @@ use sleuth_serve::metrics::HISTOGRAM_BUCKETS;
 use sleuth_serve::{
     HistogramSnapshot, MetricsSnapshot, ModelVersion, QuarantineReason, QuarantinedTrace, Verdict,
 };
-use sleuth_trace::{Span, SpanKind, StatusCode, Symbol};
+use sleuth_trace::{IStr, Span, SpanKind, StatusCode};
 
 use crate::bytes::{ByteReader, ByteWriter};
 use crate::error::WireError;
@@ -536,12 +536,11 @@ fn decode_span(r: &mut ByteReader<'_>) -> Result<Span, WireError> {
     let pod = r.get_str()?;
     let node = r.get_str()?;
     // Re-intern on the receiving side: symbols are process-local dense
-    // ids and never travel on the wire.
+    // ids and never travel on the wire. Interning also pools the
+    // identifier text, so a decoded span holds no owned strings.
     Ok(Span {
-        service_sym: Symbol::intern(&service),
-        name_sym: Symbol::intern(&name),
-        service,
-        name,
+        service: IStr::intern(&service),
+        name: IStr::intern(&name),
         trace_id,
         span_id,
         parent_span_id,
@@ -549,8 +548,8 @@ fn decode_span(r: &mut ByteReader<'_>) -> Result<Span, WireError> {
         start_us,
         end_us,
         status,
-        pod,
-        node,
+        pod: IStr::intern(&pod),
+        node: IStr::intern(&node),
     })
 }
 

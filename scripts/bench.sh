@@ -167,12 +167,62 @@ print(f"  distance {ns_merge} ns/pair sorted-merge vs {ns_hashed} ns/pair hashed
       f"({result['distance']['speedup_vs_hashed']}x)")
 EOF
 
+# ---- Counterfactual RCA benchmark -> BENCH_rca.json -----------------
+RCA_OUT=BENCH_rca.json
+echo "==> cargo bench rca (subtree-pruned vs legacy localisation)" >&2
+RCA_LINES=$(cargo bench --offline -p bench --bench rca 2>/dev/null \
+    | grep '^RCA_BENCH ')
+
+RCA="$RCA_LINES" OUT="$RCA_OUT" python3 - <<'EOF'
+import json, os
+
+modes = {}
+summary = {}
+for line in os.environ["RCA"].strip().splitlines():
+    fields = line.split()[1:]
+    if fields[0] == "summary":
+        summary = dict(f.split("=", 1) for f in fields[1:])
+        continue
+    kv = dict(f.split("=", 1) for f in fields)
+    modes[kv["mode"]] = {
+        "traces": int(kv["traces"]),
+        "predict_calls": int(kv["calls"]),
+        "predict_calls_per_localisation": float(kv["calls_per_trace"]),
+        "p50_us": int(kv["p50_us"]),
+        "p99_us": int(kv["p99_us"]),
+        "pruned_span_fraction": float(kv["pruned_span_fraction"]),
+    }
+result = {
+    "note": "thousand-service soak scenario; both modes run the identical "
+            "candidate ranking and accept logic, the pruned mode reuses one "
+            "cached trace encoding per localisation and answers repeated "
+            "counterfactual queries as deltas over the live candidate mask",
+    "scenario": "thousand_services",
+    "pruned": modes["pruned"],
+    "unpruned": modes["unpruned"],
+    "call_ratio": float(summary["call_ratio"]),
+    "p50_speedup": float(summary["speedup"]),
+    "identical_root_cause_sets": int(summary["identical_sets"]),
+}
+path = os.environ["OUT"]
+with open(path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+for mode in ("pruned", "unpruned"):
+    b = modes[mode]
+    print(f"  {mode:9s} calls/loc={b['predict_calls_per_localisation']} "
+          f"p50={b['p50_us']}us p99={b['p99_us']}us")
+print(f"  call_ratio={result['call_ratio']} speedup={result['p50_speedup']}x "
+      f"identical_sets={result['identical_root_cause_sets']}")
+EOF
+
 # ---- Validate every artifact ----------------------------------------
 # A bench run that silently wrote a truncated or non-numeric artifact
 # poisons every later comparison against it; refuse to exit 0 unless
 # all three JSON files parse and carry numeric metrics everywhere a
 # number is expected.
-echo "==> validating BENCH_parallel.json BENCH_wire.json BENCH_hotpath.json" >&2
+echo "==> validating BENCH_parallel.json BENCH_wire.json BENCH_hotpath.json BENCH_rca.json" >&2
 python3 - <<'EOF'
 import json, sys
 
@@ -232,6 +282,24 @@ if hot is not None:
                 "distance.ns_per_pair_hashed", "distance.speedup_vs_hashed",
                 "distance.samples"):
         num(hot, key)
+
+rca = load("BENCH_rca.json")
+if rca is not None:
+    for mode in ("pruned", "unpruned"):
+        for key in ("traces", "predict_calls", "predict_calls_per_localisation",
+                    "p50_us", "p99_us"):
+            num(rca, f"{mode}.{key}")
+        num(rca, f"{mode}.pruned_span_fraction", positive=False)
+    num(rca, "call_ratio")
+    num(rca, "p50_speedup")
+    # The acceptance gates: pruning must at least halve the model
+    # evaluations on the thousand-service scenario, without changing a
+    # single verdict.
+    ratio = rca.get("call_ratio")
+    if isinstance(ratio, (int, float)) and ratio > 0.5:
+        failures.append(f"BENCH_rca.json: call_ratio {ratio} exceeds 0.5 gate")
+    if rca.get("identical_root_cause_sets") != 1:
+        failures.append("BENCH_rca.json: pruned and unpruned verdicts diverged")
 
 if failures:
     for f in failures:

@@ -127,6 +127,25 @@ print(f"  ns_per_span_ingest={data['ns_per_span_ingest']} "
       f"ns_per_pair_distance={data['ns_per_pair_distance']}")
 EOF
 
+echo "==> BENCH_rca.json sanity (parses; pruning gates hold)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_rca.json") as f:
+        data = json.load(f)
+except FileNotFoundError:
+    sys.exit("BENCH_rca.json missing - run scripts/bench.sh")
+ratio = data.get("call_ratio")
+if not isinstance(ratio, (int, float)) or ratio <= 0:
+    sys.exit(f"BENCH_rca.json: call_ratio missing or non-positive: {ratio!r}")
+if ratio > 0.5:
+    sys.exit(f"BENCH_rca.json: call_ratio {ratio} exceeds the 0.5 gate")
+if data.get("identical_root_cause_sets") != 1:
+    sys.exit("BENCH_rca.json: pruned and unpruned verdicts diverged")
+print(f"  call_ratio={ratio} p50_speedup={data.get('p50_speedup')} "
+      f"identical_root_cause_sets=1")
+EOF
+
 GATED="-p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire -p sleuth-synth -p sleuth-soak"
 
 echo "==> cargo fmt --check (serve, par, cluster, chaos, wire, synth, soak)"

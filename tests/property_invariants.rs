@@ -407,10 +407,8 @@ fn wire_span(rng: &mut ChaCha8Rng) -> Span {
         trace_id: rng.next_u64(),
         span_id: rng.next_u64(),
         parent_span_id: rng.gen_bool(0.5).then(|| rng.next_u64()),
-        service_sym: sleuth::trace::Symbol::intern(&service),
-        name_sym: sleuth::trace::Symbol::intern(&name),
-        service,
-        name,
+        service: service.as_str().into(),
+        name: name.as_str().into(),
         kind: SpanKind::ALL[rng.gen_range(0..SpanKind::ALL.len())],
         start_us: rng.next_u64(),
         end_us: rng.next_u64(),
@@ -419,8 +417,8 @@ fn wire_span(rng: &mut ChaCha8Rng) -> Span {
             1 => StatusCode::Ok,
             _ => StatusCode::Error,
         },
-        pod: wire_string(rng, 8),
-        node: wire_string(rng, 8),
+        pod: wire_string(rng, 8).as_str().into(),
+        node: wire_string(rng, 8).as_str().into(),
     }
 }
 

@@ -294,3 +294,50 @@ fn verdict_set_invariant_to_rca_workers() {
         .collect();
     assert_eq!(runs[0], batch);
 }
+
+/// Subtree pruning is a serving-layer no-op: two identically-fitted
+/// pipelines that differ only in `PipelineConfig::prune` must emit the
+/// exact same verdict set for the same span stream.
+#[test]
+fn pruning_is_transparent_to_serving_verdicts() {
+    let app = presets::synthetic(12, 1);
+    let train = CorpusBuilder::new(&app).seed(5).normal_traces(120).plain_traces();
+    let fit = |prune: bool| {
+        let config = PipelineConfig {
+            train: TrainConfig { epochs: 12, batch_traces: 32, lr: 1e-2, seed: 0 },
+            prune,
+            ..PipelineConfig::default()
+        };
+        Arc::new(SleuthPipeline::fit(&train, &config))
+    };
+
+    let traces = chaos_traces(60);
+    let spans: Vec<Span> = traces.iter().flat_map(|t| t.spans().to_vec()).collect();
+    let mut runs: Vec<BTreeMap<u64, Vec<String>>> = Vec::new();
+    for prune in [true, false] {
+        let runtime = ServeRuntime::start(fit(prune), ServeConfig {
+            num_shards: 2,
+            idle_timeout_us: 1_000_000,
+            ..ServeConfig::default()
+        })
+        .expect("valid serve config");
+        let mut clock = 0;
+        for batch in spans.chunks(250) {
+            let report = runtime.submit_batch(batch.to_vec(), clock);
+            assert_eq!(report.rejected + report.shed, 0, "no overload expected");
+            clock += 1_000;
+        }
+        runtime.tick(clock + 2_000_000);
+        let report = runtime.shutdown();
+        runs.push(
+            report
+                .verdicts
+                .iter()
+                .map(|v| (v.trace_id, v.services.clone()))
+                .collect(),
+        );
+    }
+
+    assert!(!runs[0].is_empty(), "chaos corpus produced no anomalies");
+    assert_eq!(runs[0], runs[1], "pruning changed the served verdict set");
+}
