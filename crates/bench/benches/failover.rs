@@ -1,0 +1,256 @@
+//! Failover benchmark: heartbeat detection latency and verdict
+//! throughput while a shard is failing over.
+//!
+//! Prints one machine-readable line per metric so `scripts/bench.sh`
+//! can assemble `BENCH_failover.json`:
+//!
+//! ```text
+//! FAILOVER_BENCH bench=detection samples=7 p50_us=31000 p99_us=42000
+//! ```
+//!
+//! Topology per sample: shard 0 is a real [`sleuth_wire::serve_shard`]
+//! server (the survivor); shard 1 is a minimal in-bench peer that
+//! completes the handshake, acks data frames and heartbeat probes —
+//! then goes *mute* on command while keeping its socket open. That is
+//! the worst detection case: no socket error ever fires, only the
+//! router's heartbeat miss counter can declare the peer dead. The
+//! bench measures mute → `dead_peers()` (detection) and mute → all
+//! verdicts drained after failover re-routes the dead shard's traces
+//! to the survivor (total failover), plus verdicts/sec through that
+//! window.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sleuth_core::pipeline::{PipelineConfig, SleuthPipeline};
+use sleuth_gnn::TrainConfig;
+use sleuth_serve::{NoFaults, ServeConfig};
+use sleuth_synth::presets;
+use sleuth_synth::workload::CorpusBuilder;
+use sleuth_trace::Span;
+use sleuth_wire::{
+    serve_shard, Endpoint, Frame, FrameReader, FrameWriter, NoWireFaults, RouterClient,
+    RouterConfig, ShardServerConfig, WireError, WireListener, WireMetrics, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+const SAMPLES: usize = 7;
+const TRACES: usize = 32;
+const ANOMALIES: usize = 6;
+
+fn fitted_pipeline() -> Arc<SleuthPipeline> {
+    let app = presets::synthetic(12, 1);
+    let train = CorpusBuilder::new(&app)
+        .seed(5)
+        .normal_traces(100)
+        .plain_traces();
+    let config = PipelineConfig {
+        train: TrainConfig {
+            epochs: 8,
+            batch_traces: 32,
+            lr: 1e-2,
+            seed: 0,
+        },
+        ..PipelineConfig::default()
+    };
+    Arc::new(SleuthPipeline::fit(&train, &config))
+}
+
+fn batches() -> Vec<Vec<Span>> {
+    let app = presets::synthetic(12, 1);
+    CorpusBuilder::new(&app)
+        .seed(5)
+        .mixed_traces(TRACES, ANOMALIES)
+        .traces
+        .into_iter()
+        .map(|t| t.trace.spans().to_vec())
+        .collect()
+}
+
+fn uds(tag: &str) -> Endpoint {
+    Endpoint::Unix(
+        std::env::temp_dir().join(format!("sleuth-failover-{}-{tag}.sock", std::process::id())),
+    )
+}
+
+/// A protocol-complete peer that acks everything until `mute` flips,
+/// then keeps the socket open but never responds again — invisible to
+/// everything except heartbeat misses.
+fn mute_shard(listener: WireListener, mute: Arc<AtomicBool>) {
+    let metrics = Arc::new(WireMetrics::default());
+    let Ok(stream) = listener.accept() else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(read_half, DEFAULT_MAX_FRAME_LEN, Arc::clone(&metrics));
+    let mut writer = FrameWriter::new(
+        stream,
+        PROTOCOL_VERSION,
+        1,
+        Arc::new(NoWireFaults),
+        Arc::clone(&metrics),
+    );
+    loop {
+        let frame = match reader.read_frame() {
+            Ok(frame) => frame,
+            Err(WireError::Timeout) => continue,
+            Err(e) if !e.is_stream_fatal() => continue,
+            Err(_) => return,
+        };
+        if mute.load(Ordering::Relaxed) {
+            continue; // keep draining so the sender never blocks
+        }
+        let reply = match frame {
+            Frame::Hello { .. } => Some(Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+                resumed: false,
+            }),
+            Frame::Data { seq, .. } => Some(Frame::Ack { upto: seq }),
+            Frame::Heartbeat { nonce } => Some(Frame::HeartbeatAck { nonce }),
+            Frame::Goodbye { .. } => return,
+            _ => None,
+        };
+        if let Some(reply) = reply {
+            if writer.send(&reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+struct Sample {
+    detection_us: u64,
+    total_us: u64,
+    verdicts: usize,
+}
+
+/// One failover run: route a mixed workload across a real shard and
+/// the mute-able peer, flip the peer mute, and time detection plus
+/// the full drain after the dead shard's traces fail over.
+fn failover_run(pipeline: &Arc<SleuthPipeline>, work: &[Vec<Span>]) -> Sample {
+    let survivor_ep = uds("s0");
+    let mute_ep = uds("s1");
+    let survivor_listener = WireListener::bind(&survivor_ep).expect("bind survivor");
+    let mute_listener = WireListener::bind(&mute_ep).expect("bind mute peer");
+
+    let serve = ServeConfig {
+        num_shards: 1,
+        idle_timeout_us: 1_000_000,
+        ..ServeConfig::default()
+    };
+    let server_config = ShardServerConfig::new(0, serve);
+    let server_pipeline = Arc::clone(pipeline);
+    let survivor = std::thread::spawn(move || {
+        serve_shard(
+            &survivor_listener,
+            server_pipeline,
+            server_config,
+            Arc::new(NoFaults),
+            Arc::new(NoWireFaults),
+            Arc::new(WireMetrics::default()),
+        )
+    });
+    let mute = Arc::new(AtomicBool::new(false));
+    let mute_flag = Arc::clone(&mute);
+    let muted = std::thread::spawn(move || mute_shard(mute_listener, mute_flag));
+
+    let mut config = RouterConfig::new(vec![survivor_ep, mute_ep]);
+    config.reconnect_attempts = 50;
+    config.heartbeat.interval = Duration::from_millis(10);
+    config.heartbeat.miss_threshold = 2;
+    let mut router = RouterClient::connect(config).expect("connect fleet");
+    assert!(router.dead_peers().is_empty(), "fleet never came up");
+
+    let mut clock = 0u64;
+    for batch in work {
+        clock += 1_000;
+        router.submit_batch(batch.clone(), clock);
+    }
+    // A few healthy heartbeat rounds so detection starts from a clean
+    // miss counter.
+    for _ in 0..5 {
+        router.tick(clock);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let start = Instant::now();
+    mute.store(true, Ordering::Relaxed);
+    while !router.dead_peers().contains(&1) {
+        router.tick(clock);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "mute peer never declared dead"
+        );
+    }
+    let detection_us = start.elapsed().as_micros() as u64;
+
+    // Failover has re-staged the dead shard's traces on the survivor;
+    // drain every verdict.
+    router.tick(clock + 10_000_000);
+    let report = router.shutdown();
+    let total_us = start.elapsed().as_micros() as u64;
+    assert_eq!(report.dead_peers, vec![1]);
+    assert!(report.wire.shard_failovers >= 1, "no failover recorded");
+    assert_eq!(report.wire.spans_unroutable, 0, "spans lost in failover");
+    assert!(
+        report.verdicts.iter().all(|v| !v.degraded),
+        "failover degraded a verdict"
+    );
+
+    survivor
+        .join()
+        .expect("survivor thread")
+        .expect("clean survivor exit");
+    muted.join().expect("mute peer thread");
+    Sample {
+        detection_us,
+        total_us,
+        verdicts: report.verdicts.len(),
+    }
+}
+
+/// Percentile with the usual upper-index convention on a sorted copy.
+fn pct(samples: &[u64], p: usize) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    sorted[(n * p / 100).min(n - 1)]
+}
+
+fn main() {
+    let pipeline = fitted_pipeline();
+    let work = batches();
+
+    let warm = failover_run(&pipeline, &work); // warm-up + sanity
+    assert!(warm.verdicts > 0, "warm-up produced no verdicts");
+
+    let samples: Vec<Sample> = (0..SAMPLES).map(|_| failover_run(&pipeline, &work)).collect();
+    let detection: Vec<u64> = samples.iter().map(|s| s.detection_us).collect();
+    let total: Vec<u64> = samples.iter().map(|s| s.total_us).collect();
+    let rates: Vec<u64> = samples
+        .iter()
+        .map(|s| (s.verdicts as f64 / (s.total_us.max(1) as f64 / 1e6)) as u64)
+        .collect();
+
+    println!(
+        "FAILOVER_BENCH bench=detection samples={SAMPLES} p50_us={} p99_us={}",
+        pct(&detection, 50),
+        pct(&detection, 99)
+    );
+    println!(
+        "FAILOVER_BENCH bench=failover_total samples={SAMPLES} p50_us={} p99_us={}",
+        pct(&total, 50),
+        pct(&total, 99)
+    );
+    println!(
+        "FAILOVER_BENCH bench=verdict_throughput samples={SAMPLES} traces={TRACES} verdicts={} p50_per_sec={} min_per_sec={}",
+        samples[0].verdicts,
+        pct(&rates, 50),
+        rates.iter().min().copied().unwrap_or(0)
+    );
+}

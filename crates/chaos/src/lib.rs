@@ -53,11 +53,19 @@
 //! (and kills connections / stalls reconnects) through the
 //! [`sleuth_wire::WireFaultInjector`] seam, with the same
 //! seeded-and-budgeted determinism.
+//!
+//! [`proc`] climbs one level further: a [`ProcFaultPlan`] decides —
+//! deterministically, per harness step — which shard *process* gets
+//! `kill -9`'d, `SIGSTOP`'d, or re-killed after a respawn, driving the
+//! cluster self-healing gates (heartbeat detection, failover,
+//! exactly-once verdict delivery across restarts).
 
 pub mod malform;
 pub mod net;
 pub mod plan;
+pub mod proc;
 
 pub use malform::{corrupt_batch, corruption_for, Corruption};
 pub use net::{NetFaultPlan, NetInjector};
 pub use plan::{FaultPlan, SeededInjector};
+pub use proc::{ProcFate, ProcFaultPlan, ProcInjector};

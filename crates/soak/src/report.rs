@@ -34,6 +34,10 @@ pub struct Checkpoint {
     pub false_positives: u64,
     /// Verdicts on traces with *empty* ground truth (must stay 0).
     pub false_anomalies: u64,
+    /// Second-or-later verdicts for a trace id that already has one
+    /// (must stay 0: every scheduled request — retries included —
+    /// carries a fresh trace id, so verdicts are exactly-once).
+    pub duplicate_verdicts: u64,
     /// `tp / (tp + fp + false_anomalies)`; 1.0 before any verdict.
     pub precision: f64,
     /// Recovered fraction of the eligible episodes already ended.
@@ -132,6 +136,8 @@ pub struct SoakOutcome {
     pub false_positives: u64,
     /// Verdicts on unperturbed traces.
     pub false_anomalies: u64,
+    /// Repeat verdicts for an already-settled trace id (must stay 0).
+    pub duplicate_verdicts: u64,
     /// `tp / (tp + fp + false_anomalies)`; 1.0 with no verdicts.
     pub precision: f64,
     /// Recovered / eligible episodes; 1.0 with no eligible episodes.

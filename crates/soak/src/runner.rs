@@ -95,6 +95,11 @@ struct Agg {
     tp: u64,
     fp: u64,
     false_anomalies: u64,
+    /// Trace ids that already produced a verdict; every scheduled
+    /// request (retries included) carries a fresh id, so a repeat is
+    /// an exactly-once violation.
+    settled: BTreeSet<u64>,
+    duplicates: u64,
 }
 
 impl Agg {
@@ -111,6 +116,9 @@ impl Agg {
         self.verdicts += 1;
         if v.degraded {
             self.degraded += 1;
+        }
+        if !self.settled.insert(v.trace_id) {
+            self.duplicates += 1;
         }
         match truth.get(&v.trace_id) {
             Some(t) if !t.gt_services.is_empty() => {
@@ -230,6 +238,7 @@ pub fn run(
             true_positives: agg.tp,
             false_positives: agg.fp,
             false_anomalies: agg.false_anomalies,
+            duplicate_verdicts: agg.duplicates,
             precision: agg.precision(),
             episode_recall: if eligible == 0 {
                 1.0
@@ -376,6 +385,12 @@ pub fn run(
             agg.false_anomalies
         ));
     }
+    if agg.duplicates > 0 {
+        violations.push(format!(
+            "{} duplicate verdicts: some trace id settled more than once",
+            agg.duplicates
+        ));
+    }
     for (i, e) in eps.iter().enumerate() {
         if e.eligible_traces > 0 && !e.recovered {
             violations.push(format!(
@@ -465,6 +480,7 @@ pub fn run(
         true_positives: agg.tp,
         false_positives: agg.fp,
         false_anomalies: agg.false_anomalies,
+        duplicate_verdicts: agg.duplicates,
         precision: agg.precision(),
         recall: {
             let eligible = eps.iter().filter(|e| e.eligible_traces > 0).count();

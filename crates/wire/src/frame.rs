@@ -12,7 +12,8 @@
 //!     12     8  checksum     u64 LE, FNV-1a-64 over frame_type ++ payload
 //! ```
 //!
-//! Control frames (`Hello`, `HelloAck`, `Ack`, `Nack`, `Error`) are
+//! Control frames (`Hello`, `HelloAck`, `Ack`, `Nack`, `Error`,
+//! `Heartbeat`, `HeartbeatAck`, `Goodbye`) are
 //! unsequenced; application messages travel inside `Data { seq, msg }`
 //! frames whose sequence numbers drive the reliable-delivery layer in
 //! [`crate::session`]. Decoding is total: any byte string either
@@ -48,6 +49,9 @@ pub(crate) mod tag {
     pub const ACK: u8 = 3;
     pub const NACK: u8 = 4;
     pub const ERROR: u8 = 5;
+    pub const HEARTBEAT: u8 = 6;
+    pub const HEARTBEAT_ACK: u8 = 7;
+    pub const GOODBYE: u8 = 8;
     pub const SPAN_BATCH: u8 = 16;
     pub const TICK: u8 = 17;
     pub const PUBLISH: u8 = 18;
@@ -235,6 +239,28 @@ pub enum Frame {
         /// Human-readable detail.
         detail: String,
     },
+    /// Liveness probe. The receiver must reply [`Frame::HeartbeatAck`]
+    /// with the same nonce immediately — even while draining — so the
+    /// sender can bound failure-detection time. Heartbeats are
+    /// unsequenced and exempt from chaos fates, like every control
+    /// frame.
+    Heartbeat {
+        /// Echo token correlating the probe with its ack.
+        nonce: u64,
+    },
+    /// Reply to a [`Frame::Heartbeat`], echoing its nonce.
+    HeartbeatAck {
+        /// The nonce from the probe being answered.
+        nonce: u64,
+    },
+    /// Clean end-of-connection notice: the sender is closing this
+    /// socket on purpose (e.g. a shard server superseding an old
+    /// session with a newly accepted connection). The receiver should
+    /// not treat the close as a peer failure.
+    Goodbye {
+        /// Stable, human-readable reason (e.g. `"superseded"`).
+        reason: String,
+    },
     /// A sequenced application message.
     Data {
         /// Sequence number, starting at 1 per session.
@@ -253,6 +279,9 @@ impl Frame {
             Frame::Ack { .. } => tag::ACK,
             Frame::Nack { .. } => tag::NACK,
             Frame::Error { .. } => tag::ERROR,
+            Frame::Heartbeat { .. } => tag::HEARTBEAT,
+            Frame::HeartbeatAck { .. } => tag::HEARTBEAT_ACK,
+            Frame::Goodbye { .. } => tag::GOODBYE,
             Frame::Data { msg, .. } => msg.tag(),
         }
     }
@@ -394,6 +423,9 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_str(code);
             w.put_str(detail);
         }
+        Frame::Heartbeat { nonce } => w.put_u64(*nonce),
+        Frame::HeartbeatAck { nonce } => w.put_u64(*nonce),
+        Frame::Goodbye { reason } => w.put_str(reason),
         Frame::Data { seq, msg } => {
             w.put_u64(*seq);
             encode_msg(&mut w, msg);
@@ -421,6 +453,15 @@ fn decode_body(frame_type: u8, r: &mut ByteReader<'_>) -> Result<Frame, WireErro
         tag::ERROR => Frame::Error {
             code: r.get_str()?,
             detail: r.get_str()?,
+        },
+        tag::HEARTBEAT => Frame::Heartbeat {
+            nonce: r.get_u64()?,
+        },
+        tag::HEARTBEAT_ACK => Frame::HeartbeatAck {
+            nonce: r.get_u64()?,
+        },
+        tag::GOODBYE => Frame::Goodbye {
+            reason: r.get_str()?,
         },
         t if (tag::SPAN_BATCH..=tag::SHUTDOWN_REPLY).contains(&t) => {
             let seq = r.get_u64()?;
@@ -826,6 +867,11 @@ mod tests {
         roundtrip(Frame::Error {
             code: "oversized".to_string(),
             detail: "declared 1 GiB".to_string(),
+        });
+        roundtrip(Frame::Heartbeat { nonce: 0x1234 });
+        roundtrip(Frame::HeartbeatAck { nonce: u64::MAX });
+        roundtrip(Frame::Goodbye {
+            reason: "superseded".to_string(),
         });
     }
 

@@ -26,12 +26,17 @@
 //!   connection killed, by a seeded and budgeted plan.
 //! * [`transport`] — `tcp:HOST:PORT` / `unix:/path` endpoints behind
 //!   one blocking-stream type.
+//! * [`health`] — the cluster failure model: heartbeat-driven
+//!   Live/Suspect/Dead peer state, rendezvous (highest-random-weight)
+//!   ownership for failover, and the exactly-once [`VerdictLedger`].
 //! * [`server`] — [`serve_shard`]: the shard-server loop a
-//!   `sleuth-shardd` process runs.
+//!   `sleuth-shardd` process runs, with an acceptor that supersedes a
+//!   dead session when a new router connection arrives.
 //! * [`router`] — [`RouterClient`]: connects to every shard, routes
 //!   batches, merges verdict/quarantine/metric streams, heals from
-//!   peer death with bounded reconnects, and emits degraded verdicts
-//!   for unreachable shards.
+//!   peer death with bounded reconnects, detects dead or stalled
+//!   shards via heartbeats, fails their traces over to survivors, and
+//!   emits degraded verdicts only when no shard is left.
 //!
 //! The contract that makes the whole construction testable:
 //! **fault transparency**. For any budgeted [`WireFaultInjector`]
@@ -44,6 +49,7 @@ mod bytes;
 pub mod codec;
 pub mod error;
 pub mod frame;
+pub mod health;
 pub mod metrics;
 pub mod router;
 pub mod server;
@@ -56,6 +62,9 @@ pub use frame::{
     decode_frame_bytes, encode_frame, fnv1a64, frame_checksum, Frame, FrameHeader, Msg, ShardFinal,
     WireQuarantined, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, MAGIC, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+};
+pub use health::{
+    rendezvous_owner, HealthConfigError, HeartbeatConfig, HeartbeatState, PeerHealth, VerdictLedger,
 };
 pub use metrics::{WireMetrics, WireMetricsSnapshot};
 pub use router::{RouterClient, RouterConfig, RouterReport};

@@ -50,6 +50,27 @@ pub struct WireMetrics {
     /// Degraded verdicts synthesized by the router for unreachable
     /// shards.
     pub degraded_unroutable: Counter,
+    /// Heartbeat probes written to peers.
+    pub heartbeats_sent: Counter,
+    /// Heartbeat acks received from peers.
+    pub heartbeat_acks: Counter,
+    /// Heartbeat intervals that elapsed without the previous probe
+    /// being acked (drives the Suspect/Dead state machine).
+    pub heartbeats_missed: Counter,
+    /// Dead shards whose keyspace was failed over to survivors.
+    pub shard_failovers: Counter,
+    /// Traces re-routed to a survivor shard during a failover.
+    pub traces_failed_over: Counter,
+    /// Verdicts dropped by the router's exactly-once ledger (a trace
+    /// already has an accepted verdict — e.g. a respawned shard
+    /// replaying its unacked session tail, or a failover re-run).
+    pub verdicts_deduped: Counter,
+    /// Peer sessions reset because the peer came back without session
+    /// state (a fresh process accepted the connection).
+    pub sessions_reset: Counter,
+    /// Worker processes restarted by a `sleuth-shardd --respawn`
+    /// supervisor (incremented by the supervisor, not the router).
+    pub respawns_total: Counter,
     rejected_by_reason: Mutex<BTreeMap<&'static str, u64>>,
 }
 
@@ -82,6 +103,14 @@ impl WireMetrics {
             spans_routed: self.spans_routed.get(),
             spans_unroutable: self.spans_unroutable.get(),
             degraded_unroutable: self.degraded_unroutable.get(),
+            heartbeats_sent: self.heartbeats_sent.get(),
+            heartbeat_acks: self.heartbeat_acks.get(),
+            heartbeats_missed: self.heartbeats_missed.get(),
+            shard_failovers: self.shard_failovers.get(),
+            traces_failed_over: self.traces_failed_over.get(),
+            verdicts_deduped: self.verdicts_deduped.get(),
+            sessions_reset: self.sessions_reset.get(),
+            respawns_total: self.respawns_total.get(),
             rejected_by_reason: lock_or_recover(&self.rejected_by_reason, None)
                 .iter()
                 .map(|(&r, &n)| (r.to_string(), n))
@@ -109,6 +138,14 @@ pub struct WireMetricsSnapshot {
     pub spans_routed: u64,
     pub spans_unroutable: u64,
     pub degraded_unroutable: u64,
+    pub heartbeats_sent: u64,
+    pub heartbeat_acks: u64,
+    pub heartbeats_missed: u64,
+    pub shard_failovers: u64,
+    pub traces_failed_over: u64,
+    pub verdicts_deduped: u64,
+    pub sessions_reset: u64,
+    pub respawns_total: u64,
     /// Rejected frames per reason, ascending by reason label.
     pub rejected_by_reason: Vec<(String, u64)>,
 }
@@ -149,6 +186,20 @@ impl WireMetricsSnapshot {
                 "sleuth_wire_degraded_unroutable_total",
                 self.degraded_unroutable,
             ),
+            ("sleuth_wire_heartbeats_sent_total", self.heartbeats_sent),
+            ("sleuth_wire_heartbeat_acks_total", self.heartbeat_acks),
+            (
+                "sleuth_wire_heartbeats_missed_total",
+                self.heartbeats_missed,
+            ),
+            ("sleuth_wire_shard_failovers_total", self.shard_failovers),
+            (
+                "sleuth_wire_traces_failed_over_total",
+                self.traces_failed_over,
+            ),
+            ("sleuth_wire_verdicts_deduped_total", self.verdicts_deduped),
+            ("sleuth_wire_sessions_reset_total", self.sessions_reset),
+            ("sleuth_wire_respawns_total", self.respawns_total),
         ] {
             out.push_str(&format!("{name} {value}\n"));
         }

@@ -15,12 +15,25 @@
 //! generation) into an event queue, which the caller drains on every
 //! API call ([`RouterClient::poll_verdicts`] etc.). Peer death is
 //! healed with bounded, backed-off reconnects that resume the
-//! session and replay the unacked tail; a peer that stays dead gets
-//! its spans counted unroutable and one synthetic degraded
-//! [`Verdict`] per affected trace, so downstream consumers see an
-//! explicit signal instead of silence.
+//! session and replay the unacked tail.
+//!
+//! Self-healing (see [`crate::health`]): every live peer is probed
+//! with heartbeats on a configurable interval, so a stalled process
+//! (SIGSTOP: socket open, nothing moving) is detected in bounded time
+//! instead of never. A peer that misses its threshold — or exhausts
+//! reconnects — is declared dead and its *retained traces fail over*:
+//! the router keeps a bounded per-peer buffer of every trace it
+//! routed, and re-routes the dead shard's buffer to survivors chosen
+//! by rendezvous hashing (only the dead shard's keys move). A shard
+//! that comes back as a fresh process gets its session reset and its
+//! buffer replayed. Both replays can re-produce verdicts the dead
+//! incarnation already delivered; the bounded per-trace
+//! [`VerdictLedger`] drops those duplicates, making delivery
+//! exactly-once across restarts. Only when *no* shard is live does a
+//! trace get one synthetic degraded [`Verdict`], so downstream
+//! consumers see an explicit signal instead of silence.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,6 +47,7 @@ use crate::error::WireError;
 use crate::frame::{
     Frame, Msg, ShardFinal, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::health::{rendezvous_owner, HeartbeatConfig, HeartbeatState, PeerHealth, VerdictLedger};
 use crate::metrics::{WireMetrics, WireMetricsSnapshot};
 use crate::session::{RecvChannel, RecvOutcome, SendChannel};
 use crate::transport::{Endpoint, WireStream};
@@ -65,6 +79,19 @@ pub struct RouterConfig {
     /// Seed for session ids (distinct per peer; deterministic for
     /// reproducible tests).
     pub session_seed: u64,
+    /// Heartbeat failure detection (probe interval + miss threshold).
+    pub heartbeat: HeartbeatConfig,
+    /// Whether traces owned by a dead shard fail over to survivors
+    /// (rendezvous-hashed) and fresh-process reconnects replay the
+    /// retained buffer. When false the router keeps the pre-failover
+    /// behaviour: dead-peer traces get degraded verdicts only.
+    pub failover_enabled: bool,
+    /// Per-peer bound on traces retained for failover/restage replay
+    /// (oldest evicted first).
+    pub failover_buffer_cap: usize,
+    /// Bound on the exactly-once verdict ledger (trace ids with an
+    /// accepted verdict; oldest evicted first).
+    pub ledger_cap: usize,
 }
 
 impl RouterConfig {
@@ -81,7 +108,88 @@ impl RouterConfig {
             response_timeout: Duration::from_secs(30),
             resend_interval: Duration::from_millis(100),
             session_seed: 0x5eed,
+            heartbeat: HeartbeatConfig::default(),
+            failover_enabled: true,
+            failover_buffer_cap: 4096,
+            ledger_cap: 65536,
         }
+    }
+
+    /// Validate the configuration with typed errors before any socket
+    /// is dialed (the builder-validation pattern: a config that could
+    /// never detect failures is rejected up front).
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.endpoints.is_empty() {
+            return Err(WireError::Config(
+                "router needs at least one endpoint".into(),
+            ));
+        }
+        if self.session_cap == 0 {
+            return Err(WireError::Config("session_cap must be >= 1".into()));
+        }
+        if self.failover_enabled && self.failover_buffer_cap == 0 {
+            return Err(WireError::Config(
+                "failover_buffer_cap must be >= 1 when failover is enabled".into(),
+            ));
+        }
+        if self.ledger_cap == 0 {
+            return Err(WireError::Config("ledger_cap must be >= 1".into()));
+        }
+        self.heartbeat.validate(self.response_timeout)?;
+        Ok(())
+    }
+}
+
+/// Bounded per-peer record of every trace routed to a peer, replayed
+/// wholesale when the peer dies (failover) or comes back as a fresh
+/// process (restage). Evicts whole traces, oldest first.
+struct FailoverBuffer {
+    spans: HashMap<u64, Vec<Span>>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl FailoverBuffer {
+    fn new(cap: usize) -> Self {
+        FailoverBuffer {
+            spans: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn record(&mut self, span: &Span) {
+        if let Some(existing) = self.spans.get_mut(&span.trace_id) {
+            existing.push(span.clone());
+            return;
+        }
+        self.spans.insert(span.trace_id, vec![span.clone()]);
+        self.order.push_back(span.trace_id);
+        if self.order.len() > self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.spans.remove(&evicted);
+            }
+        }
+    }
+
+    /// Clone every retained trace, oldest first (restage keeps the
+    /// buffer: the peer still owns these traces).
+    fn entries(&self) -> Vec<(u64, Vec<Span>)> {
+        self.order
+            .iter()
+            .filter_map(|id| self.spans.get(id).map(|s| (*id, s.clone())))
+            .collect()
+    }
+
+    /// Take every retained trace, oldest first, leaving the buffer
+    /// empty (failover moves ownership to the survivors).
+    fn drain_all(&mut self) -> Vec<(u64, Vec<Span>)> {
+        let order = std::mem::take(&mut self.order);
+        let mut spans = std::mem::take(&mut self.spans);
+        order
+            .into_iter()
+            .filter_map(|id| spans.remove(&id).map(|s| (id, s)))
+            .collect()
     }
 }
 
@@ -128,6 +236,10 @@ struct Peer {
     last_metrics: Option<Box<MetricsSnapshot>>,
     publish_version: Option<u64>,
     degraded_traces: HashSet<u64>,
+    hb: HeartbeatState,
+    buffer: FailoverBuffer,
+    needs_restage: bool,
+    restaging: bool,
 }
 
 /// A client connection to a fleet of shard servers.
@@ -140,6 +252,10 @@ pub struct RouterClient {
     events_rx: Receiver<Event>,
     verdicts: Vec<Verdict>,
     quarantined: Vec<QuarantinedTrace>,
+    ledger: VerdictLedger,
+    closing: bool,
+    started: Instant,
+    last_now_us: u64,
 }
 
 impl RouterClient {
@@ -156,11 +272,7 @@ impl RouterClient {
         config: RouterConfig,
         injector: Arc<dyn WireFaultInjector>,
     ) -> Result<RouterClient, WireError> {
-        if config.endpoints.is_empty() {
-            return Err(WireError::Config(
-                "router needs at least one endpoint".into(),
-            ));
-        }
+        config.validate()?;
         let (events_tx, events_rx) = std::sync::mpsc::channel();
         let metrics = Arc::new(WireMetrics::default());
         let peers = config
@@ -187,8 +299,13 @@ impl RouterClient {
                 last_metrics: None,
                 publish_version: None,
                 degraded_traces: HashSet::new(),
+                hb: HeartbeatState::default(),
+                buffer: FailoverBuffer::new(config.failover_buffer_cap),
+                needs_restage: false,
+                restaging: false,
             })
             .collect();
+        let ledger_cap = config.ledger_cap;
         let mut client = RouterClient {
             peers,
             config,
@@ -198,6 +315,10 @@ impl RouterClient {
             events_rx,
             verdicts: Vec::new(),
             quarantined: Vec::new(),
+            ledger: VerdictLedger::new(ledger_cap),
+            closing: false,
+            started: Instant::now(),
+            last_now_us: 0,
         };
         for idx in 0..client.peers.len() {
             if !client.dial(idx, false) {
@@ -321,10 +442,19 @@ impl RouterClient {
         writer.set_version(version);
         let peer = &mut self.peers[idx];
         if resume && !resumed {
-            // The server lost the session (process restart). Any
-            // unacked state is unrecoverable; only a pristine channel
-            // may continue safely.
-            if peer.send.unacked_len() > 0 || peer.recv.expected() > 1 {
+            // The server lost the session: a fresh process accepted
+            // the connection. With failover on, reset both channels
+            // and replay the retained trace buffer once the dial
+            // completes — the verdict ledger absorbs any duplicates
+            // the dead incarnation already delivered. Otherwise any
+            // unacked state is unrecoverable and only a pristine
+            // channel may continue safely.
+            if self.config.failover_enabled && !self.closing {
+                peer.send = SendChannel::new(self.config.session_cap);
+                peer.recv = RecvChannel::new(self.config.session_cap);
+                peer.needs_restage = true;
+                self.metrics.sessions_reset.inc();
+            } else if peer.send.unacked_len() > 0 || peer.recv.expected() > 1 {
                 return false;
             }
         }
@@ -332,6 +462,7 @@ impl RouterClient {
             self.metrics.sessions_resumed.inc();
         }
         peer.generation += 1;
+        peer.hb.reset_probe();
         let generation = peer.generation;
         peer.writer = Some(writer);
         peer.stream = Some(stream);
@@ -379,8 +510,8 @@ impl RouterClient {
         writer.flush_held().is_ok()
     }
 
-    /// Declare a peer dead: close its socket, count it, and leave its
-    /// future spans to the unroutable path.
+    /// Declare a peer dead: close its socket, count it, and fail its
+    /// retained traces over to the survivors.
     fn kill_peer(&mut self, idx: usize) {
         let peer = &mut self.peers[idx];
         if let Some(stream) = peer.stream.take() {
@@ -391,10 +522,13 @@ impl RouterClient {
             self.metrics.peer_deaths.inc();
         }
         peer.alive = false;
+        peer.hb.health = PeerHealth::Dead;
+        self.fail_over(idx);
     }
 
     /// Recover a failed connection: dial with resume, replaying the
-    /// unacked tail. On failure the peer is dead.
+    /// unacked tail (or, when the peer came back as a fresh process,
+    /// restaging its retained traces). On failure the peer is dead.
     fn recover(&mut self, idx: usize) -> bool {
         if let Some(stream) = self.peers[idx].stream.take() {
             stream.shutdown_both();
@@ -402,10 +536,131 @@ impl RouterClient {
         self.peers[idx].writer = None;
         self.peers[idx].alive = false;
         if self.dial(idx, true) {
+            if std::mem::take(&mut self.peers[idx].needs_restage) {
+                self.restage(idx);
+            }
             true
         } else {
             self.kill_peer(idx);
             false
+        }
+    }
+
+    /// Re-route everything a dead peer retained to survivors chosen by
+    /// rendezvous hashing, or synthesize degraded verdicts when no
+    /// shard is left. The drained buffer makes re-entry (a survivor
+    /// dying mid-failover) terminate: each peer's traces move at most
+    /// once per incident.
+    fn fail_over(&mut self, idx: usize) {
+        if !self.config.failover_enabled || self.closing {
+            return;
+        }
+        let entries = self.peers[idx].buffer.drain_all();
+        if entries.is_empty() {
+            return;
+        }
+        self.metrics.shard_failovers.inc();
+        let now_us = self.last_now_us;
+        for (trace_id, spans) in entries {
+            match self.route_of(trace_id) {
+                Some(target) => {
+                    for span in &spans {
+                        self.peers[target].buffer.record(span);
+                    }
+                    self.metrics.traces_failed_over.inc();
+                    self.send_msg(target, Msg::SpanBatch { now_us, spans });
+                }
+                None => self.degrade_trace(idx, trace_id),
+            }
+        }
+    }
+
+    /// Replay a fresh-process peer's retained traces over its reset
+    /// session. The buffer is kept (the peer still owns these traces);
+    /// duplicate verdicts die at the ledger.
+    fn restage(&mut self, idx: usize) {
+        if self.peers[idx].restaging {
+            return;
+        }
+        self.peers[idx].restaging = true;
+        let now_us = self.last_now_us;
+        for (_, spans) in self.peers[idx].buffer.entries() {
+            if !self.peers[idx].alive {
+                break;
+            }
+            self.send_msg(idx, Msg::SpanBatch { now_us, spans });
+        }
+        self.peers[idx].restaging = false;
+    }
+
+    /// Where a trace goes right now: its static owner while that peer
+    /// is live, else a rendezvous-hashed survivor (failover only).
+    fn route_of(&self, trace_id: u64) -> Option<usize> {
+        let owner = shard_of(trace_id, self.peers.len());
+        if self.peers[owner].alive {
+            return Some(owner);
+        }
+        if !self.config.failover_enabled {
+            return None;
+        }
+        let live: Vec<usize> = self
+            .peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.idx)
+            .collect();
+        rendezvous_owner(trace_id, &live)
+    }
+
+    /// Probe live peers whose heartbeat interval has elapsed, and kill
+    /// the ones that crossed the miss threshold. Runs on the caller
+    /// thread from [`RouterClient::pump`], so detection advances on
+    /// every API call and inside every blocking wait.
+    fn tick_health(&mut self) {
+        if self.closing {
+            // During shutdown a shard legitimately goes quiet while
+            // draining; socket errors still catch real deaths.
+            return;
+        }
+        let interval_us = self.config.heartbeat.interval.as_micros() as u64;
+        let miss_threshold = self.config.heartbeat.miss_threshold;
+        let now_us = self.started.elapsed().as_micros() as u64;
+        let mut dead = Vec::new();
+        let mut failed = Vec::new();
+        for idx in 0..self.peers.len() {
+            let peer = &mut self.peers[idx];
+            if !peer.alive || now_us.saturating_sub(peer.hb.last_sent_us) < interval_us {
+                continue;
+            }
+            if peer.hb.outstanding.is_some() {
+                self.metrics.heartbeats_missed.inc();
+                if peer.hb.on_miss(miss_threshold) == PeerHealth::Dead {
+                    dead.push(idx);
+                    continue;
+                }
+            }
+            let nonce = peer.hb.on_send(now_us);
+            let Some(writer) = peer.writer.as_mut() else {
+                continue;
+            };
+            if writer
+                .send(&Frame::Heartbeat { nonce })
+                .and_then(|_| writer.flush_held())
+                .is_ok()
+            {
+                self.metrics.heartbeats_sent.inc();
+            } else {
+                failed.push(idx);
+            }
+        }
+        for idx in dead {
+            // No redial: a SIGSTOP'd process would accept the
+            // connection and stall the handshake; failover now,
+            // bounded, beats maybe-recovery later.
+            self.kill_peer(idx);
+        }
+        for idx in failed {
+            self.recover(idx);
         }
     }
 
@@ -439,9 +694,12 @@ impl RouterClient {
     // ---- Event pump --------------------------------------------------
 
     fn pump(&mut self) {
+        // Drain queued frames first so an ack that already arrived is
+        // credited before the heartbeat pass judges the peer.
         while let Ok(event) = self.events_rx.try_recv() {
             self.handle_event(event);
         }
+        self.tick_health();
     }
 
     fn handle_event(&mut self, event: Event) {
@@ -524,6 +782,29 @@ impl RouterClient {
                     }
                 }
             },
+            Frame::HeartbeatAck { nonce } => {
+                if self.peers[idx].hb.on_ack(nonce) {
+                    self.metrics.heartbeat_acks.inc();
+                }
+            }
+            Frame::Heartbeat { nonce } => {
+                // A peer probing us: answer immediately.
+                let mut failed = false;
+                if let Some(writer) = self.peers[idx].writer.as_mut() {
+                    failed = writer
+                        .send(&Frame::HeartbeatAck { nonce })
+                        .and_then(|_| writer.flush_held())
+                        .is_err();
+                }
+                if failed {
+                    self.recover(idx);
+                }
+            }
+            Frame::Goodbye { .. } => {
+                // Clean close from the server (our session was
+                // superseded by a newer connection): don't dial back.
+                self.kill_peer(idx);
+            }
             Frame::Hello { .. } | Frame::HelloAck { .. } | Frame::Error { .. } => {}
         }
     }
@@ -547,7 +828,17 @@ impl RouterClient {
 
     fn handle_msg(&mut self, idx: usize, msg: Msg) {
         match msg {
-            Msg::Verdict(v) => self.verdicts.push(v),
+            Msg::Verdict(v) => {
+                // Exactly-once across restarts: a trace that already
+                // produced an accepted verdict (then got replayed by a
+                // respawned shard or re-run by a failover) is dropped
+                // here, not double-emitted.
+                if self.ledger.insert(v.trace_id) {
+                    self.verdicts.push(v);
+                } else {
+                    self.metrics.verdicts_deduped.inc();
+                }
+            }
             Msg::Quarantined(q) => {
                 let mut entry = q.into_entry();
                 // Rewrite local → global shard attribution. Servers
@@ -610,16 +901,23 @@ impl RouterClient {
     // ---- Public API --------------------------------------------------
 
     /// Route one span batch. Whole traces go to
-    /// `shard_of(trace_id, num_shards)`; spans bound for dead peers
-    /// are counted unroutable and their traces get one synthetic
-    /// degraded verdict each.
+    /// `shard_of(trace_id, num_shards)` while that peer is live; a
+    /// dead owner's traces fail over to a rendezvous-hashed survivor.
+    /// Only when no shard is live does a trace get counted unroutable
+    /// and one synthetic degraded verdict.
     pub fn submit_batch(&mut self, spans: Vec<Span>, now_us: u64) -> sleuth_serve::SubmitReport {
+        self.last_now_us = self.last_now_us.max(now_us);
         self.pump();
         let num_shards = self.peers.len();
         let mut report = sleuth_serve::SubmitReport::default();
         let mut routed: Vec<Vec<Span>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let mut unroutable: Vec<Vec<u64>> = (0..num_shards).map(|_| Vec::new()).collect();
         for span in spans {
-            routed[shard_of(span.trace_id, num_shards)].push(span);
+            let owner = shard_of(span.trace_id, num_shards);
+            match self.route_of(span.trace_id) {
+                Some(target) => routed[target].push(span),
+                None => unroutable[owner].push(span.trace_id),
+            }
         }
         for (idx, batch) in routed.into_iter().enumerate() {
             if batch.is_empty() {
@@ -627,18 +925,33 @@ impl RouterClient {
             }
             let count = batch.len();
             let trace_ids: Vec<u64> = batch.iter().map(|s| s.trace_id).collect();
-            if self.send_msg(
+            if self.config.failover_enabled {
+                for span in &batch {
+                    self.peers[idx].buffer.record(span);
+                }
+            }
+            let sent = self.send_msg(
                 idx,
                 Msg::SpanBatch {
                     now_us,
                     spans: batch,
                 },
-            ) {
+            );
+            if sent || (self.config.failover_enabled && self.peers.iter().any(|p| p.alive)) {
+                // Either staged on a live peer, or the peer died
+                // mid-send and kill_peer already failed its buffer —
+                // these spans included — over to a survivor.
                 self.metrics.spans_routed.add(count as u64);
                 report.enqueued += count;
             } else {
                 self.mark_unroutable(idx, &trace_ids, &mut report);
             }
+        }
+        for (idx, ids) in unroutable.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            self.mark_unroutable(idx, &ids, &mut report);
         }
         report
     }
@@ -652,22 +965,32 @@ impl RouterClient {
         report.rejected += trace_ids.len();
         self.metrics.spans_unroutable.add(trace_ids.len() as u64);
         for &trace_id in trace_ids {
-            if self.peers[idx].degraded_traces.insert(trace_id) {
-                self.metrics.degraded_unroutable.inc();
-                self.verdicts.push(Verdict {
-                    trace_id,
-                    services: Vec::new(),
-                    cluster: None,
-                    rca_latency_us: 0,
-                    model_version: ModelVersion(0),
-                    degraded: true,
-                });
-            }
+            self.degrade_trace(idx, trace_id);
+        }
+    }
+
+    /// One synthetic degraded verdict per trace that no shard can
+    /// answer for — unless a real verdict already covers it.
+    fn degrade_trace(&mut self, idx: usize, trace_id: u64) {
+        if self.ledger.contains(trace_id) {
+            return;
+        }
+        if self.peers[idx].degraded_traces.insert(trace_id) {
+            self.metrics.degraded_unroutable.inc();
+            self.verdicts.push(Verdict {
+                trace_id,
+                services: Vec::new(),
+                cluster: None,
+                rca_latency_us: 0,
+                model_version: ModelVersion(0),
+                degraded: true,
+            });
         }
     }
 
     /// Advance every live shard's logical clock.
     pub fn tick(&mut self, now_us: u64) {
+        self.last_now_us = self.last_now_us.max(now_us);
         self.pump();
         for idx in 0..self.peers.len() {
             self.send_msg(idx, Msg::Tick { now_us });
@@ -741,6 +1064,7 @@ impl RouterClient {
     /// Drive every live shard through shutdown, drain all residual
     /// verdicts and quarantine entries, and merge final metrics.
     pub fn shutdown(mut self) -> RouterReport {
+        self.closing = true;
         self.pump();
         for idx in 0..self.peers.len() {
             self.send_msg(idx, Msg::Shutdown);

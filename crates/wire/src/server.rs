@@ -3,8 +3,11 @@
 //!
 //! A `sleuth-shardd` process calls [`serve_shard`], which:
 //!
-//! * accepts connections serially (one router at a time owns a
-//!   shard),
+//! * accepts connections through a polling acceptor thread — one
+//!   router at a time owns a shard, but a *newer* connection
+//!   supersedes the current one (the old socket gets a clean
+//!   `Goodbye`) instead of queueing behind a dead session's read
+//!   timeouts,
 //! * performs the `Hello`/`HelloAck` version negotiation and session
 //!   (re)attachment,
 //! * runs a **reader loop** on the accept thread — decoding frames,
@@ -25,7 +28,9 @@
 //! ([`ShardServerConfig::shard_id`]), not the runtime's internal
 //! shard 0, so the router's aggregate attribution is meaningful.
 
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -86,6 +91,25 @@ impl ShardServerConfig {
             handshake_timeout: Duration::from_secs(10),
         }
     }
+
+    /// Validate with typed errors before any listener work begins (the
+    /// builder-validation pattern shared with
+    /// [`crate::RouterConfig::validate`]).
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.session_cap == 0 {
+            return Err(WireError::Config("session_cap must be >= 1".into()));
+        }
+        if self.poll_interval.is_zero() {
+            return Err(WireError::Config("poll_interval must be > 0".into()));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(WireError::Config("read_timeout must be > 0".into()));
+        }
+        if self.handshake_timeout.is_zero() {
+            return Err(WireError::Config("handshake_timeout must be > 0".into()));
+        }
+        Ok(())
+    }
 }
 
 /// Reliable-delivery state that outlives individual connections.
@@ -101,6 +125,17 @@ enum ConnEnd {
     Disconnected,
     /// Shutdown complete and fully acked.
     Finished(Box<ShardFinal>),
+    /// A newer connection arrived while this one was being served; it
+    /// takes over (the old peer got a clean `Goodbye`).
+    Superseded(WireStream),
+}
+
+/// What the acceptor thread hands to the serving loop.
+enum AcceptEvent {
+    /// A new connection, already switched back to blocking mode.
+    Conn(WireStream),
+    /// The listener failed; serving cannot continue.
+    Err(io::Error),
 }
 
 /// Stage a message into the session's send channel and write it.
@@ -142,6 +177,7 @@ pub fn serve_shard(
     wire_faults: Arc<dyn WireFaultInjector>,
     metrics: Arc<WireMetrics>,
 ) -> Result<ShardFinal, WireError> {
+    config.validate()?;
     let mut serve_cfg = config.serve.clone();
     serve_cfg.num_shards = 1;
     let runtime = ServeRuntime::start_with_injector(pipeline.clone(), serve_cfg, runtime_faults)
@@ -150,27 +186,78 @@ pub fn serve_shard(
     let mut session: Option<Session> = None;
     let mut done: Option<Box<ShardFinal>> = None;
 
-    loop {
-        let stream = listener.accept()?;
-        match handle_conn(
-            stream,
-            &config,
-            &pipeline,
-            &runtime,
-            &mut session,
-            &mut done,
-            &wire_faults,
-            &metrics,
-        ) {
-            ConnEnd::Finished(final_state) => return Ok(*final_state),
-            ConnEnd::Disconnected => continue,
-        }
-    }
+    // A polling acceptor thread feeds connections through a channel so
+    // the reader loop can notice a *newer* connection while the old
+    // session is still draining: accept supersedes instead of queueing
+    // behind a dead socket's read timeouts.
+    listener.set_nonblocking(true)?;
+    let stop_accept = AtomicBool::new(false);
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel::<AcceptEvent>();
+    let accept_poll = config.poll_interval;
+    let result = thread::scope(|scope| {
+        let acceptor = scope.spawn(|| loop {
+            if stop_accept.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok(stream) => {
+                    // Accepted sockets can inherit the listener's
+                    // non-blocking mode; the codec needs blocking.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    if conn_tx.send(AcceptEvent::Conn(stream)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(accept_poll),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let _ = conn_tx.send(AcceptEvent::Err(e));
+                    return;
+                }
+            }
+        });
+        let out = 'serve: loop {
+            let mut next = match conn_rx.recv() {
+                Ok(AcceptEvent::Conn(stream)) => stream,
+                Ok(AcceptEvent::Err(e)) => break 'serve Err(WireError::from(e)),
+                Err(_) => {
+                    break 'serve Err(WireError::Config(
+                        "shard listener accept loop exited".into(),
+                    ))
+                }
+            };
+            loop {
+                match handle_conn(
+                    next,
+                    &conn_rx,
+                    &config,
+                    &pipeline,
+                    &runtime,
+                    &mut session,
+                    &mut done,
+                    &wire_faults,
+                    &metrics,
+                ) {
+                    ConnEnd::Finished(final_state) => break 'serve Ok(*final_state),
+                    ConnEnd::Disconnected => break,
+                    ConnEnd::Superseded(stream) => next = stream,
+                }
+            }
+        };
+        stop_accept.store(true, Ordering::Relaxed);
+        let _ = acceptor.join();
+        out
+    });
+    let _ = listener.set_nonblocking(false);
+    result
 }
 
 #[allow(clippy::too_many_arguments)]
 fn handle_conn(
     stream: WireStream,
+    conn_rx: &Receiver<AcceptEvent>,
     config: &ShardServerConfig,
     pipeline: &Arc<SleuthPipeline>,
     runtime: &Arc<Mutex<Option<ServeRuntime>>>,
@@ -324,6 +411,7 @@ fn handle_conn(
     // ---- Reader loop ------------------------------------------------
     let end = reader_loop(
         &mut reader,
+        conn_rx,
         config,
         pipeline,
         runtime,
@@ -342,6 +430,7 @@ fn handle_conn(
 #[allow(clippy::too_many_arguments)]
 fn reader_loop(
     reader: &mut FrameReader<WireStream>,
+    conn_rx: &Receiver<AcceptEvent>,
     config: &ShardServerConfig,
     pipeline: &Arc<SleuthPipeline>,
     runtime: &Arc<Mutex<Option<ServeRuntime>>>,
@@ -353,6 +442,24 @@ fn reader_loop(
     stop: &AtomicBool,
 ) -> ConnEnd {
     loop {
+        // Checked on *every* iteration (not just read timeouts), so a
+        // steady stream of traffic on a soon-to-be-dead connection
+        // cannot starve a replacement connection waiting in the queue.
+        match conn_rx.try_recv() {
+            Ok(AcceptEvent::Conn(new)) => {
+                let mut w = lock_or_recover(writer, None);
+                let _ = w.send(&Frame::Goodbye {
+                    reason: "superseded".to_string(),
+                });
+                let _ = w.flush_held();
+                drop(w);
+                return ConnEnd::Superseded(new);
+            }
+            // A listener failure ends the acceptor; the serving loop
+            // surfaces it once this connection finishes.
+            Ok(AcceptEvent::Err(_)) => {}
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+        }
         if conn_failed.load(Ordering::Relaxed) {
             return ConnEnd::Disconnected;
         }
@@ -456,6 +563,22 @@ fn reader_loop(
                     }
                 }
             },
+            Frame::Heartbeat { nonce } => {
+                // Liveness probe: answer immediately, even while
+                // draining a shutdown tail, so a busy-but-healthy
+                // shard never reads as dead.
+                let mut w = lock_or_recover(writer, None);
+                if w.send(&Frame::HeartbeatAck { nonce })
+                    .and_then(|_| w.flush_held())
+                    .is_err()
+                {
+                    return ConnEnd::Disconnected;
+                }
+            }
+            Frame::HeartbeatAck { .. } => {}
+            // The router is leaving this connection cleanly; keep the
+            // session for whoever dials next.
+            Frame::Goodbye { .. } => return ConnEnd::Disconnected,
             // A second Hello mid-session or stray handshake frames are
             // protocol noise; ignore rather than kill a healthy link.
             Frame::Hello { .. } | Frame::HelloAck { .. } | Frame::Error { .. } => {}

@@ -162,9 +162,11 @@ fn main() {
     );
 
     // ---- Reap the children: clean exits, no orphans -----------------
+    // Pop children one at a time so any not yet reaped stay owned by
+    // the fleet: a panic mid-loop (or the panic below) still runs the
+    // Drop guard, which kills and waits the remainder.
     let deadline = Instant::now() + Duration::from_secs(30);
-    let children = std::mem::take(&mut fleet.children);
-    for (shard_id, mut child) in children {
+    while let Some((shard_id, mut child)) = fleet.children.pop() {
         let status = loop {
             match child.try_wait().expect("try_wait") {
                 Some(status) => break status,
@@ -173,6 +175,7 @@ fn main() {
                 }
                 None => {
                     let _ = child.kill();
+                    let _ = child.wait();
                     panic!("shard {shard_id} did not exit after shutdown");
                 }
             }

@@ -217,12 +217,64 @@ print(f"  call_ratio={result['call_ratio']} speedup={result['p50_speedup']}x "
       f"identical_sets={result['identical_root_cause_sets']}")
 EOF
 
+# ---- Failover benchmark -> BENCH_failover.json ----------------------
+FAILOVER_OUT=BENCH_failover.json
+echo "==> cargo bench failover (heartbeat detection + failover drain)" >&2
+FAILOVER_LINES=$(cargo bench --offline -p bench --bench failover 2>/dev/null \
+    | grep '^FAILOVER_BENCH ')
+
+FAILOVER="$FAILOVER_LINES" OUT="$FAILOVER_OUT" python3 - <<'EOF'
+import json, os
+
+raw = {}
+for line in os.environ["FAILOVER"].strip().splitlines():
+    kv = dict(f.split("=", 1) for f in line.split()[1:])
+    raw[kv["bench"]] = kv
+
+det = raw["detection"]
+total = raw["failover_total"]
+thru = raw["verdict_throughput"]
+result = {
+    "note": "a protocol-complete peer goes mute (socket stays open) so "
+            "only heartbeat misses can detect it; detection is mute -> "
+            "dead_peers, failover_total is mute -> every verdict drained "
+            "after re-routing to the survivor",
+    "detection": {
+        "p50_us": int(det["p50_us"]),
+        "p99_us": int(det["p99_us"]),
+        "samples": int(det["samples"]),
+    },
+    "failover_total": {
+        "p50_us": int(total["p50_us"]),
+        "p99_us": int(total["p99_us"]),
+        "samples": int(total["samples"]),
+    },
+    "verdict_throughput": {
+        "traces": int(thru["traces"]),
+        "verdicts": int(thru["verdicts"]),
+        "p50_per_sec": int(thru["p50_per_sec"]),
+        "min_per_sec": int(thru["min_per_sec"]),
+        "samples": int(thru["samples"]),
+    },
+}
+path = os.environ["OUT"]
+with open(path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+print(f"  detection p50={result['detection']['p50_us']}us "
+      f"p99={result['detection']['p99_us']}us")
+print(f"  failover  p50={result['failover_total']['p50_us']}us "
+      f"p99={result['failover_total']['p99_us']}us "
+      f"verdicts/s p50={result['verdict_throughput']['p50_per_sec']}")
+EOF
+
 # ---- Validate every artifact ----------------------------------------
 # A bench run that silently wrote a truncated or non-numeric artifact
 # poisons every later comparison against it; refuse to exit 0 unless
 # all three JSON files parse and carry numeric metrics everywhere a
 # number is expected.
-echo "==> validating BENCH_parallel.json BENCH_wire.json BENCH_hotpath.json BENCH_rca.json" >&2
+echo "==> validating BENCH_parallel.json BENCH_wire.json BENCH_hotpath.json BENCH_rca.json BENCH_failover.json" >&2
 python3 - <<'EOF'
 import json, sys
 
@@ -300,6 +352,20 @@ if rca is not None:
         failures.append(f"BENCH_rca.json: call_ratio {ratio} exceeds 0.5 gate")
     if rca.get("identical_root_cause_sets") != 1:
         failures.append("BENCH_rca.json: pruned and unpruned verdicts diverged")
+
+failover = load("BENCH_failover.json")
+if failover is not None:
+    for key in ("detection.p50_us", "detection.p99_us", "detection.samples",
+                "failover_total.p50_us", "failover_total.p99_us",
+                "verdict_throughput.traces", "verdict_throughput.verdicts",
+                "verdict_throughput.p50_per_sec", "verdict_throughput.min_per_sec"):
+        num(failover, key)
+    # Detection is bounded by the heartbeat config (10ms interval,
+    # miss threshold 2): anything past 2s means the supervisor is not
+    # actually driving detection off the miss counter.
+    p99 = failover.get("detection", {}).get("p99_us")
+    if isinstance(p99, (int, float)) and p99 > 2_000_000:
+        failures.append(f"BENCH_failover.json: detection p99 {p99}us exceeds 2s gate")
 
 if failures:
     for f in failures:

@@ -78,6 +78,81 @@ SHARD_PIDS=()
 grep '^ROUTER_' "$SMOKE_DIR/routerd.log" | sed 's/^/    /'
 echo "loopback smoke: OK"
 
+# ---- Failover smoke: kill -9 one shardd mid-run ----------------------
+# Three shard processes, paced traffic, one shard SIGKILLed while
+# batches are still flowing. Pass = router exits 0 (conservation still
+# balanced across processes), at least one failover recorded, and zero
+# degraded verdicts: every healthy trace gets its full-fidelity verdict
+# from a survivor.
+echo "==> failover smoke: kill -9 one of 3 sleuth-shardd mid-run"
+for i in 0 1 2; do
+    target/release/sleuth-shardd \
+        --addr "unix:$SMOKE_DIR/fo$i.sock" --shard-id "$i" \
+        >"$SMOKE_DIR/fo-shardd$i.log" 2>&1 &
+    SHARD_PIDS+=($!)
+done
+FO_LOG="$SMOKE_DIR/fo-routerd.log"
+timeout 120 target/release/sleuth-routerd \
+    --shard "unix:$SMOKE_DIR/fo0.sock" --shard "unix:$SMOKE_DIR/fo1.sock" \
+    --shard "unix:$SMOKE_DIR/fo2.sock" \
+    --traces 48 --anomalies 6 --pace-ms 10 --connect-retries 2 \
+    --hb-interval-ms 25 --hb-miss 2 >"$FO_LOG" 2>&1 &
+ROUTER_PID=$!
+# Wait for the router to be connected to a fully live fleet, let some
+# paced batches land, then kill a shard while traffic is flowing.
+for _ in $(seq 1 600); do
+    grep -q '^ROUTER_READY ' "$FO_LOG" && break
+    sleep 0.1
+done
+grep -q '^ROUTER_READY shards=3 dead=\[\]$' "$FO_LOG" || {
+    echo "failover smoke: fleet never came up live" >&2
+    cat "$FO_LOG" "$SMOKE_DIR"/fo-shardd*.log >&2
+    exit 1
+}
+sleep 0.1
+kill -9 "${SHARD_PIDS[2]}" 2>/dev/null || true
+if ! wait "$ROUTER_PID"; then
+    echo "failover smoke: router failed after shard kill" >&2
+    cat "$FO_LOG" "$SMOKE_DIR"/fo-shardd*.log >&2
+    exit 1
+fi
+grep -q '^ROUTER_CONSERVATION ok$' "$FO_LOG" || {
+    echo "failover smoke: conservation violated after shard kill" >&2
+    cat "$FO_LOG" >&2
+    exit 1
+}
+grep -Eq '^ROUTER_FAILOVER failovers=[1-9]' "$FO_LOG" || {
+    echo "failover smoke: no failover recorded (kill landed too late?)" >&2
+    cat "$FO_LOG" >&2
+    exit 1
+}
+grep -Eq '^ROUTER_VERDICTS total=[0-9]+ degraded=0 ' "$FO_LOG" || {
+    echo "failover smoke: degraded verdicts after failover" >&2
+    cat "$FO_LOG" >&2
+    exit 1
+}
+# The two survivors must still exit 0 on the router's clean shutdown;
+# the killed shard is reaped by the EXIT trap.
+for i in 0 1; do
+    pid=${SHARD_PIDS[$i]}
+    for _ in $(seq 1 250); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.02
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "failover smoke: survivor shard (pid $pid) orphaned" >&2
+        exit 1
+    elif ! wait "$pid"; then
+        echo "failover smoke: survivor shard exited non-zero" >&2
+        cat "$SMOKE_DIR"/fo-shardd*.log >&2
+        exit 1
+    fi
+done
+wait "${SHARD_PIDS[2]}" 2>/dev/null || true
+SHARD_PIDS=()
+grep -E '^ROUTER_(FAILOVER|DEAD|CONSERVATION)' "$FO_LOG" | sed 's/^/    /'
+echo "failover smoke: OK"
+
 # ---- Soak-harness smoke ---------------------------------------------
 # Deterministic replay of every small failure-scenario generator
 # (diurnal/flash-crowd, retry storm, cascade, partial deploy,
@@ -144,6 +219,28 @@ if data.get("identical_root_cause_sets") != 1:
     sys.exit("BENCH_rca.json: pruned and unpruned verdicts diverged")
 print(f"  call_ratio={ratio} p50_speedup={data.get('p50_speedup')} "
       f"identical_root_cause_sets=1")
+EOF
+
+echo "==> BENCH_failover.json sanity (parses; detection bound holds)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_failover.json") as f:
+        data = json.load(f)
+except FileNotFoundError:
+    sys.exit("BENCH_failover.json missing - run scripts/bench.sh")
+for key in ("p50_us", "p99_us"):
+    v = data.get("detection", {}).get(key)
+    if not isinstance(v, (int, float)) or v <= 0:
+        sys.exit(f"BENCH_failover.json: detection.{key} missing or non-positive: {v!r}")
+p99 = data["detection"]["p99_us"]
+if p99 > 2_000_000:
+    sys.exit(f"BENCH_failover.json: detection p99 {p99}us exceeds the 2s gate")
+thru = data.get("verdict_throughput", {}).get("p50_per_sec")
+if not isinstance(thru, (int, float)) or thru <= 0:
+    sys.exit(f"BENCH_failover.json: verdict_throughput.p50_per_sec missing: {thru!r}")
+print(f"  detection p50={data['detection']['p50_us']}us p99={p99}us "
+      f"verdicts/s p50={thru}")
 EOF
 
 GATED="-p sleuth-serve -p sleuth-par -p sleuth-cluster -p sleuth-chaos -p sleuth-wire -p sleuth-synth -p sleuth-soak"

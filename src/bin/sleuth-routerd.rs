@@ -35,6 +35,11 @@ options:
   --rpcs N           synthetic application size in RPC kinds (default 12)
   --stdin-otlp       read OTLP-JSON spans from stdin instead of synthesizing
   --connect-retries N  dial attempts per shard before declaring it dead (default 100)
+  --pace-ms N        sleep N ms between submitted batches (gives mid-run
+                     process faults a window to land; default 0)
+  --hb-interval-ms N heartbeat probe interval (default 100)
+  --hb-miss N        consecutive missed probes before a shard is declared
+                     dead and failed over (default 3)
   --verdicts         print one VERDICT line per verdict";
 
 struct Args {
@@ -45,6 +50,9 @@ struct Args {
     rpcs: usize,
     stdin_otlp: bool,
     connect_retries: u32,
+    pace_ms: u64,
+    hb_interval_ms: u64,
+    hb_miss: u32,
     print_verdicts: bool,
 }
 
@@ -57,6 +65,9 @@ fn parse_args() -> Result<Args, String> {
         rpcs: 12,
         stdin_otlp: false,
         connect_retries: 100,
+        pace_ms: 0,
+        hb_interval_ms: 100,
+        hb_miss: 3,
         print_verdicts: false,
     };
     let mut it = std::env::args().skip(1);
@@ -74,6 +85,11 @@ fn parse_args() -> Result<Args, String> {
             "--connect-retries" => {
                 args.connect_retries = parse_num(&value("--connect-retries")?, "--connect-retries")?
             }
+            "--pace-ms" => args.pace_ms = parse_num(&value("--pace-ms")?, "--pace-ms")?,
+            "--hb-interval-ms" => {
+                args.hb_interval_ms = parse_num(&value("--hb-interval-ms")?, "--hb-interval-ms")?
+            }
+            "--hb-miss" => args.hb_miss = parse_num(&value("--hb-miss")?, "--hb-miss")?,
             "--verdicts" => args.print_verdicts = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -145,6 +161,8 @@ fn main() -> ExitCode {
 
     let mut config = RouterConfig::new(args.shards.clone());
     config.reconnect_attempts = args.connect_retries;
+    config.heartbeat.interval = std::time::Duration::from_millis(args.hb_interval_ms);
+    config.heartbeat.miss_threshold = args.hb_miss;
     let mut router = match RouterClient::connect(config) {
         Ok(router) => router,
         Err(e) => {
@@ -165,6 +183,13 @@ fn main() -> ExitCode {
         clock += 1_000;
         submitted += batch.len();
         router.submit_batch(batch, clock);
+        if args.pace_ms > 0 {
+            // Pacing stretches the run so mid-run process faults (a
+            // killed or stalled shardd) land while traffic is still
+            // flowing, exercising detection + failover rather than
+            // only shutdown-time discovery.
+            std::thread::sleep(std::time::Duration::from_millis(args.pace_ms));
+        }
     }
     // One tick far past the idle timeout finalizes every open trace.
     router.tick(clock + 10_000_000);
@@ -206,6 +231,14 @@ fn main() -> ExitCode {
         report.wire.reconnects,
         report.wire.nacks_sent,
         report.wire.duplicates_dropped
+    );
+    println!(
+        "ROUTER_FAILOVER failovers={} traces_failed_over={} heartbeats_missed={} verdicts_deduped={} sessions_reset={}",
+        report.wire.shard_failovers,
+        report.wire.traces_failed_over,
+        report.wire.heartbeats_missed,
+        report.wire.verdicts_deduped,
+        report.wire.sessions_reset
     );
     println!("ROUTER_DEAD peers={:?}", report.dead_peers);
     println!(

@@ -14,9 +14,19 @@
 //! On clean shutdown it prints one machine-readable `SHARDD_FINAL`
 //! line (shard id, stored trace/span counts, span conservation) and
 //! exits 0; any listener or protocol-fatal error exits 2.
+//!
+//! With `--respawn` the process becomes a *supervisor*: it spawns a
+//! worker copy of itself (same flags minus the respawn ones) and, when
+//! the worker dies without exiting 0 — crash, `kill -9`, conservation
+//! failure — restarts it after a bounded backoff, up to
+//! `--max-respawns` times, printing one `SHARDD_RESPAWN` line per
+//! restart. A respawned worker rebinds the same endpoint, so a router
+//! redialling the dead shard lands on the fresh process; the router's
+//! verdict ledger dedups any replayed session tail.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
@@ -36,7 +46,12 @@ options:
   --rpcs N           synthetic application size in RPC kinds (default 12)
   --train N          normal traces in the training corpus (default 120)
   --epochs N         GNN training epochs (default 12)
-  --idle-us N        trace idle timeout in microseconds (default 1000000)";
+  --idle-us N        trace idle timeout in microseconds (default 1000000)
+  --respawn          supervise: restart the worker when it dies abnormally
+  --max-respawns N   restart budget in supervisor mode (default 3)
+  --respawn-backoff-ms N
+                     base backoff between restarts, doubled per attempt
+                     and capped at 8x (default 50)";
 
 struct Args {
     addr: Endpoint,
@@ -46,6 +61,9 @@ struct Args {
     train: usize,
     epochs: usize,
     idle_us: u64,
+    respawn: bool,
+    max_respawns: u32,
+    respawn_backoff_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
     let mut train = 120usize;
     let mut epochs = 12usize;
     let mut idle_us = 1_000_000u64;
+    let mut respawn = false;
+    let mut max_respawns = 3u32;
+    let mut respawn_backoff_ms = 50u64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -67,6 +88,11 @@ fn parse_args() -> Result<Args, String> {
             "--train" => train = parse_num(&value("--train")?, "--train")?,
             "--epochs" => epochs = parse_num(&value("--epochs")?, "--epochs")?,
             "--idle-us" => idle_us = parse_num(&value("--idle-us")?, "--idle-us")?,
+            "--respawn" => respawn = true,
+            "--max-respawns" => max_respawns = parse_num(&value("--max-respawns")?, "--max-respawns")?,
+            "--respawn-backoff-ms" => {
+                respawn_backoff_ms = parse_num(&value("--respawn-backoff-ms")?, "--respawn-backoff-ms")?
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -80,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
         train,
         epochs,
         idle_us,
+        respawn,
+        max_respawns,
+        respawn_backoff_ms,
     })
 }
 
@@ -107,6 +136,85 @@ fn fit_pipeline(args: &Args) -> Arc<SleuthPipeline> {
     Arc::new(SleuthPipeline::fit(&corpus, &config))
 }
 
+/// Supervisor mode: run worker copies of this binary (same flags minus
+/// the respawn ones) until one exits 0 or the restart budget is spent.
+/// A worker that dies to a signal has no exit code; both that and a
+/// non-zero exit trigger a respawn. The worker rebinds the endpoint
+/// itself ([`WireListener::bind`] clears stale unix socket files), and
+/// binds *before* its slow pipeline fit, so a redialling router
+/// reconnects as soon as the fresh process is up.
+fn supervise(args: &Args) -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("sleuth-shardd: current_exe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let worker_args: Vec<String> = vec![
+        "--addr".into(),
+        args.addr.to_string(),
+        "--shard-id".into(),
+        args.shard_id.to_string(),
+        "--seed".into(),
+        args.seed.to_string(),
+        "--rpcs".into(),
+        args.rpcs.to_string(),
+        "--train".into(),
+        args.train.to_string(),
+        "--epochs".into(),
+        args.epochs.to_string(),
+        "--idle-us".into(),
+        args.idle_us.to_string(),
+    ];
+    let metrics = WireMetrics::default();
+    let mut attempt = 0u32;
+    loop {
+        let mut child = match std::process::Command::new(&exe).args(&worker_args).spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                eprintln!("sleuth-shardd: spawn worker: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let status = match child.wait() {
+            Ok(status) => status,
+            Err(e) => {
+                eprintln!("sleuth-shardd: wait worker: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if status.success() {
+            println!(
+                "SHARDD_SUPERVISOR shard={} respawns_total={}",
+                args.shard_id,
+                metrics.snapshot().respawns_total
+            );
+            return ExitCode::SUCCESS;
+        }
+        if attempt >= args.max_respawns {
+            eprintln!(
+                "sleuth-shardd: shard {} worker died ({status}); respawn budget spent",
+                args.shard_id
+            );
+            return ExitCode::from(status.code().unwrap_or(2).clamp(0, 255) as u8);
+        }
+        attempt += 1;
+        metrics.respawns_total.inc();
+        println!(
+            "SHARDD_RESPAWN shard={} attempt={} status={}",
+            args.shard_id,
+            attempt,
+            status.code().map_or_else(|| "signal".to_string(), |c| c.to_string()),
+        );
+        // Bounded exponential backoff: base * 2^(attempt-1), capped at
+        // 8x base so a restart storm can't stretch detection windows
+        // unboundedly.
+        let factor = 1u64 << (attempt - 1).min(3);
+        std::thread::sleep(Duration::from_millis(args.respawn_backoff_ms.saturating_mul(factor)));
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -115,6 +223,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.respawn {
+        return supervise(&args);
+    }
     // Bind before the (slow) fit so a router polling for the socket
     // knows the process is coming up.
     let listener = match WireListener::bind(&args.addr) {
@@ -125,7 +236,12 @@ fn main() -> ExitCode {
         }
     };
     let pipeline = fit_pipeline(&args);
-    println!("SHARDD_READY shard={} addr={}", args.shard_id, args.addr);
+    println!(
+        "SHARDD_READY shard={} addr={} pid={}",
+        args.shard_id,
+        args.addr,
+        std::process::id()
+    );
 
     let serve = ServeConfig {
         num_shards: 1,

@@ -152,8 +152,8 @@ fn params_for(kind: ScenarioKind, args: &Args) -> ScenarioParams {
 fn report(outcome: &SoakOutcome) {
     println!(
         "SOAK_SCENARIO name={} seed={} traces={} spans={} retries={} verdicts={} degraded={} \
-         tp={} fp={} false_anomalies={} precision={:.3} recall={:.3} episodes={} eligible={} \
-         recovered={} rca_p99_us={} logical_secs={} wall_ms={} compression={:.1}",
+         duplicates={} tp={} fp={} false_anomalies={} precision={:.3} recall={:.3} episodes={} \
+         eligible={} recovered={} rca_p99_us={} logical_secs={} wall_ms={} compression={:.1}",
         outcome.scenario,
         outcome.seed,
         outcome.traces,
@@ -161,6 +161,7 @@ fn report(outcome: &SoakOutcome) {
         outcome.retries,
         outcome.verdicts,
         outcome.degraded_verdicts,
+        outcome.duplicate_verdicts,
         outcome.true_positives,
         outcome.false_positives,
         outcome.false_anomalies,

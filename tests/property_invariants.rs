@@ -553,7 +553,7 @@ fn wire_msg(rng: &mut ChaCha8Rng, which: usize) -> Msg {
 /// Every `Frame` variant: 0–4 are the control frames, 5.. wraps each
 /// `Msg` variant in a `Data` frame.
 fn wire_frame(rng: &mut ChaCha8Rng, which: usize) -> Frame {
-    match which % 17 {
+    match which % 20 {
         0 => Frame::Hello {
             min_version: rng.gen_range(0u16..4),
             max_version: rng.gen_range(0u16..4),
@@ -574,9 +574,18 @@ fn wire_frame(rng: &mut ChaCha8Rng, which: usize) -> Frame {
             code: wire_string(rng, 16),
             detail: wire_string(rng, 40),
         },
+        5 => Frame::Heartbeat {
+            nonce: rng.next_u64(),
+        },
+        6 => Frame::HeartbeatAck {
+            nonce: rng.next_u64(),
+        },
+        7 => Frame::Goodbye {
+            reason: wire_string(rng, 24),
+        },
         n => Frame::Data {
             seq: rng.next_u64(),
-            msg: wire_msg(rng, n - 5),
+            msg: wire_msg(rng, n - 8),
         },
     }
 }
@@ -586,7 +595,7 @@ proptest! {
 
     /// decode(encode(frame)) == frame for every frame and message type.
     #[test]
-    fn prop_wire_frames_roundtrip(seed in any::<u64>(), which in 0usize..17) {
+    fn prop_wire_frames_roundtrip(seed in any::<u64>(), which in 0usize..20) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let frame = wire_frame(&mut rng, which);
         let bytes = encode_frame(&frame, PROTOCOL_VERSION);
@@ -611,11 +620,11 @@ proptest! {
     /// panic, for every known tag and a few unknown ones.
     #[test]
     fn prop_wire_adversarial_payloads_never_panic(
-        tag_idx in 0usize..21,
+        tag_idx in 0usize..23,
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
-        let tags: [u8; 21] = [
-            1, 2, 3, 4, 5, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 0, 6, 0x60, 0xff,
+        let tags: [u8; 23] = [
+            1, 2, 3, 4, 5, 6, 7, 8, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 0, 0x60, 0xff,
         ];
         let tag = tags[tag_idx];
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -632,7 +641,7 @@ proptest! {
     /// Every strict prefix of a valid frame is rejected as truncated —
     /// never a panic, never a bogus decode.
     #[test]
-    fn prop_wire_truncated_prefixes_rejected(seed in any::<u64>(), which in 0usize..17) {
+    fn prop_wire_truncated_prefixes_rejected(seed in any::<u64>(), which in 0usize..20) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let frame = wire_frame(&mut rng, which);
         let bytes = encode_frame(&frame, PROTOCOL_VERSION);
@@ -651,7 +660,7 @@ proptest! {
     #[test]
     fn prop_wire_byte_flips_detected(
         seed in any::<u64>(),
-        which in 0usize..17,
+        which in 0usize..20,
         pos in any::<u64>(),
         flip in 1u8..=255,
     ) {

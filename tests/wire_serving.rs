@@ -13,13 +13,16 @@
 //! topology.
 
 use std::collections::BTreeSet;
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sleuth::chaos::{corrupt_batch, Corruption, NetFaultPlan, NetInjector};
+use sleuth::chaos::{
+    corrupt_batch, Corruption, NetFaultPlan, NetInjector, ProcFate, ProcFaultPlan, ProcInjector,
+};
 use sleuth::core::pipeline::{PipelineConfig, SleuthPipeline};
 use sleuth::gnn::TrainConfig;
 use sleuth::serve::{shard_of, NoFaults, ServeConfig, ServeRuntime, Verdict};
@@ -457,9 +460,12 @@ fn control_messages_and_quarantine_attribution() {
     }
 }
 
-/// A shard that is down and stays down: its spans are counted
-/// unroutable, each affected trace gets exactly one degraded verdict,
-/// and the live shard keeps working.
+/// A shard that is down and stays down, with failover *disabled*: its
+/// spans are counted unroutable, each affected trace gets exactly one
+/// degraded verdict, and the live shard keeps working. (With failover
+/// on — the default — the dead shard's traces would be re-routed to
+/// the survivor instead; `failover_rescues_dead_shard_traces` covers
+/// that path.)
 #[test]
 fn dead_peer_yields_degraded_verdicts() {
     let live = uds_endpoint("live");
@@ -468,6 +474,7 @@ fn dead_peer_yields_degraded_verdicts() {
 
     let mut config = RouterConfig::new(vec![live, dead]);
     config.reconnect_attempts = 0; // first failure is final
+    config.failover_enabled = false;
     let mut router = RouterClient::connect(config).expect("one live peer is enough");
     assert_eq!(router.dead_peers(), vec![1]);
 
@@ -520,4 +527,499 @@ fn dead_peer_yields_degraded_verdicts() {
         .join()
         .expect("shard thread not poisoned")
         .expect("shard exits cleanly");
+}
+
+// ---- Cluster self-healing: failover, supersede, process chaos ------
+
+/// Failover keyed at connect time: with the default failover-enabled
+/// config, traces owned by a shard that is down from the start are
+/// re-routed to a rendezvous-chosen survivor instead of being
+/// degraded — nothing is unroutable and the verdict set matches the
+/// single-process reference exactly.
+#[test]
+fn failover_rescues_dead_shard_traces() {
+    let traces = workload(40, 6);
+    let reference = single_process_reference(&traces);
+
+    let live = uds_endpoint("fo-live");
+    let dead = uds_endpoint("fo-dead"); // never bound
+    let shard = spawn_shard(&live, 0, Arc::new(NoWireFaults));
+
+    let mut config = RouterConfig::new(vec![live, dead]);
+    config.reconnect_attempts = 0; // first failure is final
+    let mut router = RouterClient::connect(config).expect("one live peer is enough");
+    assert_eq!(router.dead_peers(), vec![1]);
+
+    let mut clock = 0u64;
+    let mut rerouted = 0u64;
+    for trace in &traces {
+        if shard_of(trace.trace_id(), 2) == 1 {
+            rerouted += 1;
+        }
+        let report = router.submit_batch(trace.spans().to_vec(), clock);
+        assert_eq!(report.rejected, 0, "failover leaves nothing unroutable");
+        clock += 1_000;
+    }
+    assert!(rerouted > 0, "workload never hit the dead shard");
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+
+    assert_eq!(report.dead_peers, vec![1]);
+    assert_eq!(report.wire.spans_unroutable, 0);
+    assert_eq!(report.wire.degraded_unroutable, 0);
+    let total: u64 = traces.iter().map(|t| t.spans().len() as u64).sum();
+    assert_eq!(report.wire.spans_routed, total);
+    assert!(report.verdicts.iter().all(|v| !v.degraded));
+    assert_eq!(
+        verdict_set(&report.verdicts),
+        verdict_set(&reference),
+        "failover changed verdict content"
+    );
+    assert_eq!(
+        report.verdicts.len(),
+        reference.len(),
+        "ledger admitted duplicate verdicts"
+    );
+
+    shard
+        .handle
+        .join()
+        .expect("shard thread not poisoned")
+        .expect("shard exits cleanly");
+}
+
+/// Accept-supersede plus buffered failover: a new connection to a busy
+/// shard supersedes the serving session (the old socket gets a clean
+/// `Goodbye`), the router treats the Goodbye as a peer death, and
+/// every trace that shard retained is re-routed to the survivor —
+/// verdicts still match the single-process reference with no
+/// duplicates and no degradation.
+#[test]
+fn superseded_session_fails_over_buffered_traces() {
+    let traces = workload(32, 5);
+    let reference = single_process_reference(&traces);
+
+    let endpoints = [uds_endpoint("ss-a"), uds_endpoint("ss-b")];
+    let shard0 = spawn_shard(&endpoints[0], 0, Arc::new(NoWireFaults));
+    let _shard1 = spawn_shard(&endpoints[1], 1, Arc::new(NoWireFaults));
+
+    let mut router =
+        RouterClient::connect(RouterConfig::new(endpoints.to_vec())).expect("router connects");
+
+    // First half of the traffic lands on both shards, so shard 1
+    // retains traces worth failing over.
+    let (first, rest) = traces.split_at(traces.len() / 2);
+    assert!(
+        first.iter().any(|t| shard_of(t.trace_id(), 2) == 1),
+        "first half never hit shard 1"
+    );
+    let mut clock = 0u64;
+    for trace in first {
+        router.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+
+    // A usurper connects to shard 1: the serving session is handed a
+    // clean Goodbye and the server switches to the new connection.
+    let usurper = WireStream::connect(&endpoints[1]).expect("usurper connects");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        router.tick(clock);
+        if router.dead_peers() == vec![1] {
+            break;
+        }
+        assert!(Instant::now() < deadline, "router never saw the Goodbye");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for trace in rest {
+        let report = router.submit_batch(trace.spans().to_vec(), clock);
+        assert_eq!(report.rejected, 0, "survivor absorbs rerouted traffic");
+        clock += 1_000;
+    }
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+    drop(usurper);
+
+    assert_eq!(report.dead_peers, vec![1]);
+    assert!(report.wire.shard_failovers >= 1, "no failover recorded");
+    assert!(report.wire.traces_failed_over >= 1);
+    assert_eq!(report.wire.spans_unroutable, 0);
+    assert!(report.verdicts.iter().all(|v| !v.degraded));
+    assert_eq!(
+        verdict_set(&report.verdicts),
+        verdict_set(&reference),
+        "supersede + failover changed verdict content"
+    );
+    assert_eq!(report.verdicts.len(), reference.len());
+
+    shard0
+        .handle
+        .join()
+        .expect("shard thread not poisoned")
+        .expect("shard exits cleanly");
+    // Shard 1 is parked on its accept loop waiting for a next
+    // connection; its thread is detached rather than joined.
+}
+
+// ---- Real-process fleet ---------------------------------------------
+
+/// Single-process reference matching the `sleuth-shardd` worker
+/// config (`num_shards: 1`; the binary's default fit parameters equal
+/// [`pipeline`]'s).
+fn single_process_reference_shardd(traces: &[Trace]) -> Vec<Verdict> {
+    let config = ServeConfig {
+        num_shards: 1,
+        idle_timeout_us: 1_000_000,
+        ..ServeConfig::default()
+    };
+    let runtime = ServeRuntime::start(pipeline(), config).expect("valid config");
+    let mut clock = 0u64;
+    for trace in traces {
+        runtime.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+    runtime.tick(clock + 2_000_000);
+    let report = runtime.shutdown();
+    assert_conservation(&report.metrics);
+    report.verdicts
+}
+
+/// Send `sig` (e.g. "KILL", "STOP") to `pid` via the system `kill`.
+fn signal(pid: u32, sig: &str) {
+    let _ = Command::new("kill")
+        .arg(format!("-{sig}"))
+        .arg(pid.to_string())
+        .output(); // output(), not status(): swallow ESRCH noise
+}
+
+/// Real `sleuth-shardd` children, killed and reaped on drop so a
+/// panicking test never leaks processes. Worker pids parsed from
+/// `SHARDD_READY` lines are signalled too: under `--respawn` the
+/// workers are grandchildren that would outlive their supervisor.
+struct Fleet {
+    children: Vec<Child>,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Fleet {
+    fn new() -> Fleet {
+        Fleet {
+            children: Vec::new(),
+            lines: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn spawn(&mut self, endpoint: &Endpoint, shard_id: usize, extra: &[&str]) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sleuth-shardd"))
+            .arg("--addr")
+            .arg(endpoint.to_string())
+            .arg("--shard-id")
+            .arg(shard_id.to_string())
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn sleuth-shardd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::clone(&self.lines);
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                lines.lock().expect("lines lock").push(line);
+            }
+        });
+        self.children.push(child);
+    }
+
+    fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("lines lock").clone()
+    }
+
+    /// (shard id, pid) pairs announced by `SHARDD_READY` lines, in
+    /// announcement order — which is fit-completion order, not shard
+    /// order, since the fleet fits concurrently.
+    fn ready(&self) -> Vec<(usize, u32)> {
+        self.lines()
+            .iter()
+            .filter(|l| l.starts_with("SHARDD_READY"))
+            .filter_map(|l| {
+                let field = |key: &str| -> Option<u64> {
+                    l.split_whitespace()
+                        .find_map(|f| f.strip_prefix(key))
+                        .and_then(|v| v.parse().ok())
+                };
+                Some((field("shard=")? as usize, field("pid=")? as u32))
+            })
+            .collect()
+    }
+
+    /// Latest announced pid for `shard` (a respawned worker announces
+    /// again, superseding the dead pid).
+    fn pid_of(&self, shard: usize) -> u32 {
+        self.ready()
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, pid)| *pid)
+            .unwrap_or_else(|| panic!("shard {shard} never announced READY"))
+    }
+
+    fn ready_pids(&self) -> Vec<u32> {
+        self.ready().into_iter().map(|(_, pid)| pid).collect()
+    }
+
+    fn wait_ready(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while self.ready_pids().len() < n {
+            assert!(
+                Instant::now() < deadline,
+                "shardd fleet never became ready"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for pid in self.ready_pids() {
+            signal(pid, "KILL");
+        }
+        while let Some(mut child) = self.children.pop() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The tentpole gate: under a seeded, budgeted *process* fault plan —
+/// one `kill -9` and one `SIGSTOP` stall against three real
+/// `sleuth-shardd` processes — the router's verdict set over healthy
+/// traces is identical to the fault-free single-process run: no lost
+/// episodes, no duplicates, zero degraded verdicts (survivors exist),
+/// and merged span conservation stays exact.
+#[test]
+fn proc_fault_transparency_under_budgeted_process_chaos() {
+    let traces = workload(48, 6);
+    let reference = single_process_reference_shardd(&traces);
+
+    let endpoints = [uds_endpoint("pf0"), uds_endpoint("pf1"), uds_endpoint("pf2")];
+    let mut fleet = Fleet::new();
+    for (id, ep) in endpoints.iter().enumerate() {
+        fleet.spawn(ep, id, &[]);
+    }
+    fleet.wait_ready(3);
+    let pids: Vec<u32> = (0..3).map(|s| fleet.pid_of(s)).collect();
+
+    let injector = ProcInjector::new(ProcFaultPlan {
+        seed: 42,
+        num_shards: 3,
+        kill_rate: 0.2,
+        kill_budget: 1,
+        stall_rate: 0.2,
+        stall_budget: 1,
+        ..ProcFaultPlan::default()
+    });
+
+    let mut config = RouterConfig::new(endpoints.to_vec());
+    config.reconnect_attempts = 2; // faulted processes never come back
+    config.heartbeat.interval = Duration::from_millis(25);
+    config.heartbeat.miss_threshold = 2;
+    let mut router = RouterClient::connect(config).expect("router connects");
+
+    let mut faulted = BTreeSet::new();
+    let mut clock = 0u64;
+    for (step, trace) in traces.iter().enumerate() {
+        match injector.step_fate(step as u64) {
+            ProcFate::Kill(v) | ProcFate::RespawnKill(v) => {
+                if faulted.insert(v) {
+                    signal(pids[v], "KILL");
+                }
+            }
+            ProcFate::Stall(v) => {
+                if faulted.insert(v) {
+                    signal(pids[v], "STOP");
+                }
+            }
+            ProcFate::Spare => {}
+        }
+        clock += 1_000;
+        let report = router.submit_batch(trace.spans().to_vec(), clock);
+        assert_eq!(report.rejected, 0, "survivors exist; nothing is unroutable");
+        // Real time between batches so the stall is detected by missed
+        // heartbeats mid-run, not discovered at shutdown.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(injector.injected_kills(), 1, "kill budget unspent");
+    assert_eq!(injector.injected_stalls(), 1, "stall budget unspent");
+    assert!(!faulted.is_empty() && faulted.len() <= 2);
+
+    // Every faulted process must be declared dead before shutdown so
+    // the final drain only waits on survivors.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        router.tick(clock);
+        let dead: BTreeSet<usize> = router.dead_peers().into_iter().collect();
+        if faulted.is_subset(&dead) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "faulted shards never declared dead"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    router.tick(clock + 2_000_000);
+    let report = router.shutdown();
+
+    assert!(report.wire.shard_failovers >= 1, "no failover recorded");
+    assert!(
+        report.wire.heartbeats_missed >= 1,
+        "the stall never missed a heartbeat"
+    );
+    assert_eq!(report.wire.spans_unroutable, 0);
+    assert!(
+        report.verdicts.iter().all(|v| !v.degraded),
+        "degraded verdict despite survivors"
+    );
+    assert_eq!(
+        verdict_set(&report.verdicts),
+        verdict_set(&reference),
+        "verdicts diverge under process chaos"
+    );
+    assert_eq!(
+        report.verdicts.len(),
+        reference.len(),
+        "duplicate verdicts slipped past the ledger"
+    );
+    assert_conservation(&report.metrics);
+}
+
+/// Satellite: session resume across a real process restart. Kill a
+/// shardd worker after its verdicts are delivered; its `--respawn`
+/// supervisor restarts it on the same endpoint; the router redials,
+/// finds a fresh process (resume denied), resets the session, and
+/// restages every retained trace. The respawned worker recomputes the
+/// verdicts and the router's exactly-once ledger drops each replay as
+/// a duplicate.
+#[test]
+fn respawned_shardd_replays_and_router_ledger_dedups() {
+    let traces = workload(16, 3);
+    let reference = single_process_reference_shardd(&traces);
+    let expected = reference.len() as u64;
+    assert!(expected > 0, "workload produced no verdicts");
+
+    let endpoint = uds_endpoint("respawn");
+    let mut fleet = Fleet::new();
+    fleet.spawn(
+        &endpoint,
+        0,
+        &["--respawn", "--max-respawns", "2", "--respawn-backoff-ms", "10"],
+    );
+    fleet.wait_ready(1);
+    let worker = fleet.pid_of(0);
+
+    let mut config = RouterConfig::new(vec![endpoint]);
+    config.reconnect_attempts = 60; // outlast the worker's refit
+    let mut router = RouterClient::connect(config).expect("router connects");
+
+    let mut clock = 0u64;
+    for trace in &traces {
+        router.submit_batch(trace.spans().to_vec(), clock);
+        clock += 1_000;
+    }
+    router.tick(clock + 2_000_000);
+
+    // Wait until the worker has emitted every verdict: the metrics
+    // reply is ordered after the verdict frames on the same socket, so
+    // once the counter reads full the router's ledger is populated.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let emitted: u64 = router
+            .fetch_metrics()
+            .iter()
+            .flatten()
+            .map(|m| m.verdicts_emitted)
+            .sum();
+        if emitted >= expected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker never emitted all verdicts"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // kill -9 the worker; the supervisor respawns it on the same addr.
+    signal(worker, "KILL");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        router.tick(clock + 2_000_000);
+        if fleet.ready_pids().len() >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never respawned the worker"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The fresh process denies resume, so the router resets the
+    // session and restages its retained traces; a later tick
+    // finalizes them and every recomputed verdict hits the ledger.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        router.tick(clock + 4_000_000);
+        let emitted: u64 = router
+            .fetch_metrics()
+            .iter()
+            .flatten()
+            .map(|m| m.verdicts_emitted)
+            .sum();
+        if emitted >= expected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "respawned worker never recomputed verdicts"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let report = router.shutdown();
+    assert!(report.wire.sessions_reset >= 1, "resume was never denied");
+    assert_eq!(
+        report.wire.verdicts_deduped, expected,
+        "replayed verdicts not deduped"
+    );
+    assert!(report.verdicts.iter().all(|v| !v.degraded));
+    assert_eq!(verdict_set(&report.verdicts), verdict_set(&reference));
+    assert_eq!(report.verdicts.len(), reference.len());
+    assert!(fleet
+        .lines()
+        .iter()
+        .any(|l| l.starts_with("SHARDD_RESPAWN")));
+
+    // Clean shutdown propagates: worker exits 0, supervisor follows
+    // and reports how many restarts it performed.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match fleet.children[0].try_wait().expect("wait supervisor") {
+            Some(status) => {
+                assert!(status.success(), "supervisor exited {status}");
+                break;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "supervisor never exited");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    assert!(fleet
+        .lines()
+        .iter()
+        .any(|l| l.starts_with("SHARDD_SUPERVISOR") && l.contains("respawns_total=1")));
 }
